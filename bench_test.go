@@ -1,0 +1,266 @@
+package vs2
+
+// Benchmark harness: one benchmark per evaluation table of the paper
+// (Tables 5–9, Section 6), each reporting the headline precision/recall
+// figures as custom benchmark metrics, plus micro-benchmarks of the
+// pipeline stages. Regenerate everything with
+//
+//	go test -bench=. -benchmem
+//
+// The per-table corpora are kept small so the full suite completes in
+// minutes; use cmd/vs2bench for larger, paper-scale runs.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vs2/internal/eval"
+	"vs2/internal/segment"
+)
+
+// metricKey builds a ReportMetric unit name; units must not contain
+// whitespace ("Apostolova et al." would panic the testing package).
+func metricKey(parts ...string) string {
+	k := strings.Join(parts, "/")
+	return strings.ReplaceAll(k, " ", "_")
+}
+
+const (
+	benchN    = 16
+	benchSeed = 1
+)
+
+// BenchmarkTable5 regenerates the segmentation comparison (Table 5):
+// precision/recall of the six page segmenters on D1/D2/D3.
+func BenchmarkTable5(b *testing.B) {
+	var results []eval.MethodResult
+	for i := 0; i < b.N; i++ {
+		results = eval.RunTable5(eval.Options{N: benchN, Seed: benchSeed})
+	}
+	b.StopTimer()
+	for _, r := range results {
+		if !r.Applicable {
+			continue
+		}
+		key := metricKey(r.Dataset, r.Method)
+		b.ReportMetric(r.PR.Precision()*100, key+"-P%")
+		b.ReportMetric(r.PR.Recall()*100, key+"-R%")
+	}
+	b.Log("\n" + eval.FormatTable5(results).String())
+}
+
+// BenchmarkTable6 regenerates the per-entity end-to-end evaluation on the
+// event-posters dataset (Table 6), including the ΔF1 column against the
+// text-only baseline.
+func BenchmarkTable6(b *testing.B) {
+	benchPerEntity(b, "d2", "Table 6: End-to-end evaluation of VS2 on D2")
+}
+
+// BenchmarkTable8 regenerates the per-entity evaluation on the real-estate
+// dataset (Table 8).
+func BenchmarkTable8(b *testing.B) {
+	benchPerEntity(b, "d3", "Table 8: End-to-end evaluation of VS2 on D3")
+}
+
+func benchPerEntity(b *testing.B, ds, title string) {
+	var results []eval.EntityResult
+	for i := 0; i < b.N; i++ {
+		results = eval.RunPerEntity(ds, eval.Options{N: benchN, Seed: benchSeed})
+	}
+	b.StopTimer()
+	for _, r := range results {
+		b.ReportMetric(r.VS2.Precision()*100, r.Entity+"-P%")
+		b.ReportMetric(r.VS2.Recall()*100, r.Entity+"-R%")
+		b.ReportMetric(r.DeltaF1, r.Entity+"-dF1")
+	}
+	b.Log("\n" + eval.FormatPerEntity(title, results).String())
+}
+
+// BenchmarkTable7 regenerates the end-to-end comparison against the five
+// prior methods (Table 7).
+func BenchmarkTable7(b *testing.B) {
+	var results []eval.MethodResult
+	for i := 0; i < b.N; i++ {
+		results = eval.RunTable7(eval.Options{N: benchN, Seed: benchSeed})
+	}
+	b.StopTimer()
+	for _, r := range results {
+		if !r.Applicable {
+			continue
+		}
+		key := metricKey(r.Dataset, r.Method)
+		b.ReportMetric(r.PR.Precision()*100, key+"-P%")
+		b.ReportMetric(r.PR.Recall()*100, key+"-R%")
+	}
+	b.Log("\n" + eval.FormatTable7(results).String())
+}
+
+// BenchmarkTable9 regenerates the ablation study (Table 9): the F1 the
+// full system loses when each component is removed.
+func BenchmarkTable9(b *testing.B) {
+	var results []eval.AblationResult
+	for i := 0; i < b.N; i++ {
+		results = eval.RunTable9(eval.Options{N: benchN / 2, Seed: benchSeed})
+	}
+	b.StopTimer()
+	for _, r := range results {
+		for ds, delta := range r.DeltaF1 {
+			b.ReportMetric(delta, metricKey(r.Scenario[:2], ds)+"-dF1")
+		}
+	}
+	b.Log("\n" + eval.FormatTable9(results).String())
+}
+
+// BenchmarkSignificance runs the Section 6.4 paired t-test on D2.
+func BenchmarkSignificance(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.SignificanceVS2VsTextOnly("d2", eval.Options{N: benchN, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p = res.P
+	}
+	b.ReportMetric(p, "p-value")
+}
+
+// --- Stage micro-benchmarks -------------------------------------------------
+
+// BenchmarkSegmentPoster measures VS2-Segment on one event poster.
+func BenchmarkSegmentPoster(b *testing.B) {
+	d := GenerateEventPosters(1, 5)[0].Doc
+	s := segment.New(segment.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Blocks(d)
+	}
+}
+
+// BenchmarkSegmentTaxForm measures VS2-Segment on one dense tax form
+// (~300 elements).
+func BenchmarkSegmentTaxForm(b *testing.B) {
+	d := GenerateTaxForms(1, 5)[0].Doc
+	s := segment.New(segment.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Blocks(d)
+	}
+}
+
+// BenchmarkExtractPoster measures the full pipeline (segment + select) on
+// one poster.
+func BenchmarkExtractPoster(b *testing.B) {
+	d := GenerateEventPosters(1, 5)[0].Doc
+	p := NewPipeline(Config{Task: EventPosterTask()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Extract(d)
+	}
+}
+
+// BenchmarkExtractFlyer measures the full pipeline on one flyer.
+func BenchmarkExtractFlyer(b *testing.B) {
+	d := GenerateRealEstateFlyers(1, 5)[0].Doc
+	p := NewPipeline(Config{Task: RealEstateTask()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Extract(d)
+	}
+}
+
+// BenchmarkOCRChannel measures the mobile-capture noise channel.
+func BenchmarkOCRChannel(b *testing.B) {
+	l := GenerateEventPosters(1, 5)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OCRNoise(l, int64(i))
+	}
+}
+
+// BenchmarkPatternLearning measures distant-supervision pattern mining
+// from the D3 holdout corpus.
+func BenchmarkPatternLearning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LearnPatterns("real-estate", benchSeed)
+	}
+}
+
+// BenchmarkEmbedderTraining measures PPMI-SVD embedding training on a
+// small corpus.
+func BenchmarkEmbedderTraining(b *testing.B) {
+	var corpus []string
+	for _, l := range GenerateEventPosters(20, 5) {
+		corpus = append(corpus, l.Doc.Transcript(nil))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainEmbedder(corpus, 16)
+	}
+}
+
+// --- Extension experiments (DESIGN.md §5 design-choice ablations) -----------
+
+// BenchmarkCutModelAblation compares drifting-seam cuts against straight
+// projection cuts (design choice 1 of DESIGN.md).
+func BenchmarkCutModelAblation(b *testing.B) {
+	var results []eval.CutModelResult
+	for i := 0; i < b.N; i++ {
+		results = eval.RunCutModelAblation(eval.Options{N: benchN / 2, Seed: benchSeed})
+	}
+	b.StopTimer()
+	for _, r := range results {
+		b.ReportMetric(r.Seam.F1()*100, fmt.Sprintf("rot%02.0f-seam-F1", r.Degrees))
+		b.ReportMetric(r.Straight.F1()*100, fmt.Sprintf("rot%02.0f-straight-F1", r.Degrees))
+	}
+}
+
+// BenchmarkWeightProfiles sweeps the Eq. 2 weight profiles (design choice 6).
+func BenchmarkWeightProfiles(b *testing.B) {
+	var results []eval.WeightProfileResult
+	for i := 0; i < b.N; i++ {
+		results = eval.RunWeightProfiles(eval.Options{N: benchN / 2, Seed: benchSeed})
+	}
+	b.StopTimer()
+	for _, r := range results {
+		for name, f1 := range r.F1 {
+			b.ReportMetric(f1*100, r.Dataset+"-"+name+"-F1")
+		}
+	}
+}
+
+// BenchmarkNoiseSweep measures robustness to transcription noise on D2.
+func BenchmarkNoiseSweep(b *testing.B) {
+	var points []eval.NoisePoint
+	for i := 0; i < b.N; i++ {
+		points = eval.RunNoiseSweep(eval.Options{N: benchN / 2, Seed: benchSeed})
+	}
+	b.StopTimer()
+	for _, p := range points {
+		b.ReportMetric(p.VS2.F1()*100, p.Label+"-vs2-F1")
+		b.ReportMetric(p.Text.F1()*100, p.Label+"-text-F1")
+	}
+}
+
+// BenchmarkRotationSweep checks the "robust to rotation up to 45°" claim
+// of Section 5.1.2.
+func BenchmarkRotationSweep(b *testing.B) {
+	var points []eval.RotationPoint
+	for i := 0; i < b.N; i++ {
+		points = eval.RunRotationSweep(eval.Options{N: benchN / 2, Seed: benchSeed})
+	}
+	b.StopTimer()
+	for _, p := range points {
+		b.ReportMetric(p.PR.F1()*100, fmt.Sprintf("rot%02.0f-F1", p.Degrees))
+	}
+}
+
+// BenchmarkFitWeights exercises the Section 7 future-work extension:
+// learning the Eq. 2 weights from labelled data by simplex grid search.
+func BenchmarkFitWeights(b *testing.B) {
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		_, f1 = eval.FitWeights("d2", eval.Options{N: benchN / 2, Seed: benchSeed})
+	}
+	b.ReportMetric(f1*100, "fitted-F1")
+}

@@ -1,0 +1,134 @@
+// Command vs2 runs the VS2 pipeline on one document: it reads a document
+// (or labelled document) JSON file, segments it into logical blocks, and —
+// given a task — extracts the task's named entities.
+//
+// Usage:
+//
+//	vs2 -in poster.json -task events            # segment + extract
+//	vs2 -in poster.json -dump                   # print the layout tree
+//	vs2 -in form.json -task tax -json           # machine-readable output
+//
+// Tasks: events (Table 3), realestate (Table 4), tax (NIST form fields).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vs2"
+	"vs2/internal/render"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input document JSON (document or labelled document)")
+		task     = flag.String("task", "events", "task: events | realestate | tax")
+		dump     = flag.Bool("dump", false, "print the layout tree instead of extracting")
+		interest = flag.Bool("interest", false, "print the interest points (Fig. 6 analogue)")
+		svgOut   = flag.String("svg", "", "write an SVG rendering (document + blocks + interest points) to this file")
+		ascii    = flag.Bool("ascii", false, "print the block layout as ASCII art")
+		asJSON   = flag.Bool("json", false, "emit extractions as JSON")
+		ablation = flag.String("disambiguation", "multimodal", "multimodal | none | lesk")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "vs2: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := loadDocument(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := vs2.Config{Task: taskByName(*task)}
+	switch *ablation {
+	case "none":
+		cfg.DisableDisambiguation = true
+	case "lesk":
+		cfg.LeskDisambiguation = true
+	case "multimodal":
+	default:
+		fatal(fmt.Errorf("unknown disambiguation %q", *ablation))
+	}
+	p := vs2.NewPipeline(cfg)
+
+	if *dump {
+		tree := p.Segment(d)
+		fmt.Print(tree.Dump(d))
+		return
+	}
+	if *interest {
+		for _, b := range p.InterestPoints(d) {
+			fmt.Printf("interest point [%.0f,%.0f %.0fx%.0f] %q\n",
+				b.Box.X, b.Box.Y, b.Box.W, b.Box.H, b.Text(d))
+		}
+		return
+	}
+	if *svgOut != "" {
+		tree := p.Segment(d)
+		svg := render.SVG(d, render.Options{
+			Blocks:   tree.Leaves(),
+			Interest: p.InterestPoints(d),
+		})
+		if err := os.WriteFile(*svgOut, []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+		return
+	}
+	if *ascii {
+		fmt.Print(render.ASCII(d, p.Segment(d).Leaves(), 100))
+		return
+	}
+
+	res := p.Extract(d)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Entities); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%s: %d logical blocks, %d entities\n\n", d.ID, len(res.Blocks), len(res.Entities))
+	for _, e := range res.Entities {
+		fmt.Printf("%-22s %q\n", e.Entity, e.Text)
+		fmt.Printf("%22s at (%.0f,%.0f) %0.fx%.0f\n", "", e.Box.X, e.Box.Y, e.Box.W, e.Box.H)
+	}
+}
+
+func loadDocument(path string) (*vs2.Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Try a labelled document first, then a bare document.
+	var l vs2.Labeled
+	if err := json.Unmarshal(data, &l); err == nil && l.Doc != nil {
+		return l.Doc, nil
+	}
+	return vs2.DecodeDocument(data)
+}
+
+func taskByName(name string) vs2.Task {
+	switch name {
+	case "events":
+		return vs2.EventPosterTask()
+	case "realestate":
+		return vs2.RealEstateTask()
+	case "tax":
+		return vs2.NISTTaxTask()
+	default:
+		fatal(fmt.Errorf("unknown task %q (want events | realestate | tax)", name))
+		return vs2.Task{}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vs2:", err)
+	os.Exit(1)
+}

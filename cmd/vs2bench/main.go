@@ -1,0 +1,183 @@
+// Command vs2bench regenerates the evaluation tables of the paper
+// (Tables 5–9 of Section 6) on the synthetic corpora, plus the paired
+// significance test of Section 6.4 and the holdout-corpus summary of
+// Table 2.
+//
+// Usage:
+//
+//	vs2bench                       # every table, default sizes
+//	vs2bench -table 5 -n 120       # one table, larger corpus
+//	vs2bench -ttest                # significance tests only
+//	vs2bench -holdout              # holdout corpus construction summary
+//	vs2bench -patterns             # print the Table 3/4 pattern inventory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vs2/internal/eval"
+	"vs2/internal/holdout"
+	"vs2/internal/pattern"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "run only this table (5, 6, 7, 8 or 9); 0 = all")
+		n        = flag.Int("n", 60, "documents per dataset")
+		seed     = flag.Int64("seed", 1, "generation/noise seed")
+		ttest    = flag.Bool("ttest", false, "run the Section 6.4 significance tests")
+		holdoutF = flag.Bool("holdout", false, "summarise holdout corpus construction (Table 2)")
+		patterns = flag.Bool("patterns", false, "print the Table 3/4 pattern inventory")
+		ext      = flag.String("ext", "", "extension experiment: cutmodel | weights | noise | rotation | fit")
+		csvOut   = flag.String("csv", "", "also write table results as CSV files with this prefix")
+	)
+	flag.Parse()
+	opts := eval.Options{N: *n, Seed: *seed}
+
+	switch {
+	case *ext != "":
+		runExtension(*ext, opts)
+		return
+	case *ttest:
+		runTTests(opts)
+		return
+	case *holdoutF:
+		runHoldout(*seed)
+		return
+	case *patterns:
+		printPatterns()
+		return
+	}
+
+	run := func(id int, f func()) {
+		if *table != 0 && *table != id {
+			return
+		}
+		t0 := time.Now()
+		f()
+		fmt.Printf("(table %d: %d docs/dataset, %.1fs)\n\n", id, *n, time.Since(t0).Seconds())
+	}
+	run(5, func() {
+		res := eval.RunTable5(opts)
+		fmt.Println(eval.FormatTable5(res))
+		writeCSV(*csvOut, "table5", func(w *os.File) error { return eval.WriteMethodCSV(w, res) })
+	})
+	run(6, func() {
+		fmt.Println(eval.FormatPerEntity("Table 6: End-to-end evaluation of VS2 on D2", eval.RunPerEntity("d2", opts)))
+	})
+	run(7, func() {
+		res := eval.RunTable7(opts)
+		fmt.Println(eval.FormatTable7(res))
+		writeCSV(*csvOut, "table7", func(w *os.File) error { return eval.WriteMethodCSV(w, res) })
+	})
+	run(8, func() {
+		fmt.Println(eval.FormatPerEntity("Table 8: End-to-end evaluation of VS2 on D3", eval.RunPerEntity("d3", opts)))
+	})
+	run(9, func() { fmt.Println(eval.FormatTable9(eval.RunTable9(opts))) })
+}
+
+func writeCSV(prefix, name string, write func(*os.File) error) {
+	if prefix == "" {
+		return
+	}
+	f, err := os.Create(prefix + name + ".csv")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vs2bench:", err)
+		return
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "vs2bench:", err)
+	}
+}
+
+func runExtension(name string, opts eval.Options) {
+	switch name {
+	case "cutmodel":
+		fmt.Println("Cut-model ablation on D2 under rotation: drifting seams vs straight cuts (segmentation F1)")
+		for _, r := range eval.RunCutModelAblation(opts) {
+			fmt.Printf("  %4.0f°: seam %.2f%%  straight %.2f%%\n",
+				r.Degrees, r.Seam.F1()*100, r.Straight.F1()*100)
+		}
+	case "weights":
+		fmt.Println("Eq. 2 weight-profile sweep (end-to-end F1)")
+		for _, r := range eval.RunWeightProfiles(opts) {
+			fmt.Printf("  %s: balanced %.2f%%  ornate %.2f%%  verbose %.2f%%\n",
+				r.Dataset, r.F1["balanced"]*100, r.F1["ornate"]*100, r.F1["verbose"]*100)
+		}
+	case "noise":
+		fmt.Println("OCR-noise sweep on D2 (end-to-end F1, VS2 vs text-only)")
+		for _, p := range eval.RunNoiseSweep(opts) {
+			fmt.Printf("  %-7s vs2 %.2f%%  text-only %.2f%%\n",
+				p.Label, p.VS2.F1()*100, p.Text.F1()*100)
+		}
+	case "rotation":
+		fmt.Println("Rotation sweep on D2 (segmentation F1; the paper claims robustness to 45°)")
+		for _, p := range eval.RunRotationSweep(opts) {
+			fmt.Printf("  %4.0f°: %.2f%%\n", p.Degrees, p.PR.F1()*100)
+		}
+	case "fit":
+		fmt.Println("Learned Eq. 2 weights (Section 7 future work): grid search on the simplex")
+		for _, ds := range []string{"d1", "d2", "d3"} {
+			w, f1 := eval.FitWeights(ds, opts)
+			fmt.Printf("  %s: α=%.1f β=%.1f γ=%.1f ν=%.1f  (F1 %.2f%%)\n",
+				ds, w.Alpha, w.Beta, w.Gamma, w.Nu, f1*100)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "vs2bench: unknown extension %q\n", name)
+		os.Exit(2)
+	}
+}
+
+func runTTests(opts eval.Options) {
+	fmt.Println("Section 6.4: paired t-test, per-document F1, VS2 vs text-only")
+	for _, ds := range []string{"d1", "d2", "d3"} {
+		res, err := eval.SignificanceVS2VsTextOnly(ds, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vs2bench: %s: %v\n", ds, err)
+			continue
+		}
+		verdict := "significant (p < 0.05)"
+		if res.P >= 0.05 {
+			verdict = "not significant"
+		}
+		fmt.Printf("  %s: t = %.3f, df = %.0f, p = %.4g — %s\n", ds, res.T, res.DF, res.P, verdict)
+	}
+}
+
+func runHoldout(seed int64) {
+	fmt.Println("Table 2: holdout corpus construction (simulated public-domain sites)")
+	for _, c := range []struct {
+		name  string
+		sites []holdout.Site
+	}{
+		{"D1 (irs.gov)", holdout.D1Sites()},
+		{"D2 (allevents.in, dl.acm.org)", holdout.D2Sites()},
+		{"D3 (fsbo.com, homesbyowner.com)", holdout.D3Sites()},
+	} {
+		corpus := holdout.Build(c.sites, holdout.BuildOptions{Seed: seed})
+		fmt.Printf("\n%s: %d tuples, %d entities\n", c.name, corpus.Size(), len(corpus.Entities()))
+		if len(corpus.Entities()) <= 12 {
+			fmt.Print(corpus)
+		}
+	}
+}
+
+func printPatterns() {
+	show := func(title string, sets []*pattern.Set) {
+		fmt.Println(title)
+		for _, s := range sets {
+			fmt.Printf("  %s\n", s.Entity)
+			for _, p := range s.Patterns {
+				fmt.Printf("    - %s\n", p.Name())
+			}
+		}
+		fmt.Println()
+	}
+	show("Table 3: event-poster patterns (D2)", pattern.EventPatterns())
+	show("Table 4: real-estate patterns (D3)", pattern.RealEstatePatterns())
+	fmt.Println("D1 uses exact descriptor matching over the per-face field inventory (vs2bench -holdout shows the corpus).")
+}

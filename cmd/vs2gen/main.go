@@ -1,0 +1,73 @@
+// Command vs2gen generates the synthetic experimental corpora (the D1/D2/D3
+// equivalents of Section 6.1) as labelled-document JSON files.
+//
+// Usage:
+//
+//	vs2gen -dataset d2 -n 50 -out ./corpus          # 50 event posters
+//	vs2gen -dataset d1 -n 10 -seed 7 -out ./forms   # 10 tax forms
+//	vs2gen -dataset d3 -n 1 -noise -out -           # one noisy flyer to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vs2"
+	"vs2/internal/doc"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "d2", "dataset: d1 | d2 | d3")
+		n       = flag.Int("n", 10, "number of documents")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", ".", "output directory, or - for stdout")
+		noise   = flag.Bool("noise", false, "pass documents through the OCR channel of their capture mode")
+	)
+	flag.Parse()
+
+	var docs []vs2.Labeled
+	switch *dataset {
+	case "d1":
+		docs = vs2.GenerateTaxForms(*n, *seed)
+	case "d2":
+		docs = vs2.GenerateEventPosters(*n, *seed)
+	case "d3":
+		docs = vs2.GenerateRealEstateFlyers(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "vs2gen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	for i, l := range docs {
+		if *noise {
+			l = vs2.OCRNoise(l, *seed+int64(i))
+		}
+		data, err := doc.EncodeLabeled(&l)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "-" {
+			os.Stdout.Write(data)
+			os.Stdout.Write([]byte("\n"))
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, l.Doc.ID+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %d %s documents to %s\n", len(docs), *dataset, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vs2gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Event-poster batch extraction: the Example 1.1 scenario of the paper.
+// Alice wants {Event Title, Event Organizer, ...} from a pile of collected
+// event posters — some photographed with a phone, some saved as PDFs. The
+// example generates such a heterogeneous batch, passes each capture
+// through the OCR channel its provenance dictates, extracts the Table 3
+// entities, and scores the result against the generator's ground truth.
+//
+//	go run ./examples/eventposters
+package main
+
+import (
+	"fmt"
+
+	"vs2"
+)
+
+func main() {
+	const n = 12
+	batch := vs2.GenerateEventPosters(n, 2026)
+	pipeline := vs2.NewPipeline(vs2.Config{Task: vs2.EventPosterTask()})
+
+	correct, total := 0, 0
+	for i, labeled := range batch {
+		observed := vs2.OCRNoise(labeled, int64(i))
+		res := pipeline.Extract(observed.Doc)
+
+		fmt.Printf("%s (%s capture)\n", observed.Doc.ID, observed.Doc.Capture)
+		byEntity := map[string]string{}
+		for _, e := range res.Entities {
+			byEntity[e.Entity] = e.Text
+		}
+		for _, entity := range []string{
+			vs2.EventTitle, vs2.EventOrganizer, vs2.EventTime, vs2.EventPlace,
+		} {
+			got := byEntity[entity]
+			want := ""
+			for _, a := range observed.Truth.ForEntity(entity) {
+				want = a.Text
+				break
+			}
+			mark := " "
+			if overlap(got, want) {
+				mark = "✓"
+				correct++
+			}
+			total++
+			fmt.Printf("  %s %-16s got %-38q want %q\n", mark, entity, clip(got), clip(want))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("text accuracy over the batch: %d/%d\n", correct, total)
+}
+
+func overlap(got, want string) bool {
+	if got == "" || want == "" {
+		return false
+	}
+	gotSet := fields(got)
+	wantTokens := fields2(want)
+	n := 0
+	for _, w := range wantTokens {
+		if gotSet[w] {
+			n++
+		}
+	}
+	return n*2 >= len(wantTokens) // at least half the gold tokens recovered
+}
+
+func fields(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range fields2(s) {
+		out[f] = true
+	}
+	return out
+}
+
+func fields2(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' || r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func clip(s string) string {
+	if len(s) > 36 {
+		return s[:36] + "…"
+	}
+	return s
+}

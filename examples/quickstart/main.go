@@ -1,0 +1,64 @@
+// Quickstart: build a small visually rich document by hand, run the VS2
+// pipeline on it, and print the logical blocks and extracted entities.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"vs2"
+)
+
+func main() {
+	d := poster()
+
+	pipeline := vs2.NewPipeline(vs2.Config{Task: vs2.EventPosterTask()})
+	result := pipeline.Extract(d)
+
+	fmt.Println("── logical blocks ──")
+	for _, b := range result.Blocks {
+		fmt.Printf("  [%4.0f,%4.0f %4.0fx%3.0f] %q\n", b.Box.X, b.Box.Y, b.Box.W, b.Box.H, b.Text(d))
+	}
+
+	fmt.Println("\n── extracted entities ──")
+	for _, e := range result.Entities {
+		fmt.Printf("  %-18s %q\n", e.Entity, e.Text)
+	}
+}
+
+// poster lays out a minimal event poster: a headline, an organizer credit,
+// a logistics block and a decoy mention in the fine print that the
+// multimodal disambiguation must reject.
+func poster() *vs2.Document {
+	d := &vs2.Document{
+		ID:         "quickstart",
+		Width:      400,
+		Height:     560,
+		Background: vs2.White,
+	}
+	id := 0
+	add := func(x, y, fontH float64, color vs2.RGB, words ...string) {
+		cx := x
+		for _, w := range words {
+			width := float64(len(w)) * fontH * 0.55
+			d.Elements = append(d.Elements, vs2.Element{
+				ID: id, Kind: vs2.TextElement, Text: w,
+				Box:      vs2.Rect{X: cx, Y: y, W: width, H: fontH},
+				Color:    color,
+				FontSize: fontH, Line: int(y),
+			})
+			id++
+			cx += width + fontH*0.5
+		}
+	}
+
+	add(40, 40, 32, vs2.RGB{R: 16, G: 24, B: 64}, "Summer", "Jazz", "Night")
+	add(40, 100, 15, vs2.RGB{R: 128, B: 32}, "presented", "by", "Riverside", "Jazz", "Society")
+	add(40, 230, 15, vs2.Black, "Saturday,", "June", "14,", "7:30", "PM")
+	add(40, 262, 12, vs2.Black, "450", "Maple", "Ave,", "Columbus,", "OH", "43210")
+	add(40, 360, 11, vs2.Black, "join", "us", "for", "an", "unforgettable", "evening")
+	add(40, 376, 11, vs2.Black, "of", "live", "music", "and", "great", "food")
+	add(40, 520, 8, vs2.Gray, "flyer", "design", "by", "Maria", "Chen")
+	return d
+}

@@ -1,0 +1,3 @@
+module vs2
+
+go 1.22

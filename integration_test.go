@@ -1,0 +1,98 @@
+package vs2
+
+// Integration regression guards: end-to-end quality floors on each
+// dataset. These are deliberately set well below the measured numbers
+// (EXPERIMENTS.md) so they only trip on real regressions, not on noise.
+
+import (
+	"testing"
+
+	"vs2/internal/eval"
+)
+
+func e2eF1(t *testing.T, ds string, n int) float64 {
+	t.Helper()
+	spec := eval.Specs()[ds]
+	docs := spec.Generate(n, 1)
+	p := NewPipeline(Config{Task: taskOf(ds)})
+	var pr eval.PR
+	for i, l := range docs {
+		obs := eval.Observed(l, 1+int64(i))
+		res := p.Extract(obs.Doc)
+		pr.Add(eval.EndToEndPR(res.Entities, obs.Truth))
+	}
+	return pr.F1()
+}
+
+func taskOf(ds string) Task {
+	switch ds {
+	case "d1":
+		return NISTTaxTask()
+	case "d2":
+		return EventPosterTask()
+	default:
+		return RealEstateTask()
+	}
+}
+
+func TestEndToEndQualityFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration floor check")
+	}
+	floors := map[string]float64{
+		"d1": 0.90, // measured ≈ 0.97
+		"d2": 0.70, // measured ≈ 0.88
+		"d3": 0.80, // measured ≈ 0.93
+	}
+	for ds, floor := range floors {
+		if f1 := e2eF1(t, ds, 16); f1 < floor {
+			t.Errorf("%s end-to-end F1 %.3f below regression floor %.2f", ds, f1, floor)
+		}
+	}
+}
+
+func TestSegmentationQualityFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration floor check")
+	}
+	floors := map[string]float64{
+		"d1": 0.92, // measured ≈ 0.97
+		"d2": 0.65, // measured ≈ 0.81
+		"d3": 0.70, // measured ≈ 0.85
+	}
+	for ds, floor := range floors {
+		spec := eval.Specs()[ds]
+		docs := spec.Generate(16, 1)
+		p := NewPipeline(Config{Task: taskOf(ds)})
+		var pr eval.PR
+		for i, l := range docs {
+			obs := eval.Observed(l, 1+int64(i))
+			pr.Add(eval.SegmentationPRDoc(obs.Doc, p.Segment(obs.Doc).Leaves(), obs.Truth))
+		}
+		if f1 := pr.F1(); f1 < floor {
+			t.Errorf("%s segmentation F1 %.3f below regression floor %.2f", ds, f1, floor)
+		}
+	}
+}
+
+func TestVS2BeatsTextOnlyOverall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration floor check")
+	}
+	// The paper's central claim, as a regression test: on the visually
+	// rich corpora VS2 must beat the text-only pipeline end to end.
+	for _, ds := range []string{"d2"} {
+		spec := eval.Specs()[ds]
+		docs := spec.Generate(16, 1)
+		p := NewPipeline(Config{Task: taskOf(ds)})
+		var vsPR, txtPR eval.PR
+		for i, l := range docs {
+			obs := eval.Observed(l, 1+int64(i))
+			vsPR.Add(eval.EndToEndPR(p.Extract(obs.Doc).Entities, obs.Truth))
+			txtPR.Add(eval.EndToEndPR(TextOnlyBaseline(taskOf(ds), obs.Doc), obs.Truth))
+		}
+		if vsPR.F1() <= txtPR.F1() {
+			t.Errorf("%s: VS2 F1 %.3f does not beat text-only %.3f", ds, vsPR.F1(), txtPR.F1())
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package baselines
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vs2/internal/datasets"
+	"vs2/internal/doc"
+	"vs2/internal/extract"
+	"vs2/internal/holdout"
+	"vs2/internal/pattern"
+)
+
+func sampleD2(t *testing.T, n int) []doc.Labeled {
+	t.Helper()
+	return datasets.GenerateD2(datasets.Options{N: n, Seed: 17})
+}
+
+func sampleD3(t *testing.T, n int) []doc.Labeled {
+	t.Helper()
+	return datasets.GenerateD3(datasets.Options{N: n, Seed: 19})
+}
+
+func TestTextClusterSegmenter(t *testing.T) {
+	d := sampleD2(t, 1)[0].Doc
+	blocks := (&TextCluster{}).Segment(d)
+	if len(blocks) < 2 {
+		t.Fatalf("text clustering produced %d blocks", len(blocks))
+	}
+	// Every text element must appear in exactly one block.
+	seen := map[int]int{}
+	for _, b := range blocks {
+		for _, id := range b.Elements {
+			seen[id]++
+		}
+	}
+	for _, id := range d.TextElements() {
+		if seen[id] != 1 {
+			t.Errorf("element %d in %d blocks", id, seen[id])
+		}
+	}
+}
+
+func TestXYCutSegmentsPoster(t *testing.T) {
+	d := sampleD2(t, 1)[0].Doc
+	blocks := (&XYCut{}).Segment(d)
+	if len(blocks) < 2 {
+		t.Fatalf("XY-cut produced %d blocks", len(blocks))
+	}
+	// Blocks must not share elements.
+	seen := map[int]bool{}
+	for _, b := range blocks {
+		for _, id := range b.Elements {
+			if seen[id] {
+				t.Fatal("element in two XY-cut blocks")
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestXYCutCannotSplitStagger(t *testing.T) {
+	// Interlocked boxes: no straight gap; XY-cut must return one block.
+	d := &doc.Document{ID: "stagger", Width: 100, Height: 40}
+	d.Elements = []doc.Element{
+		{ID: 0, Kind: doc.TextElement, Text: "aaaa", Box: rect(0, 0, 60, 12)},
+		{ID: 1, Kind: doc.TextElement, Text: "bbbb", Box: rect(30, 16, 60, 12)},
+	}
+	blocks := (&XYCut{MinGap: 5}).Segment(d)
+	if len(blocks) != 1 {
+		t.Errorf("XY-cut split an interlocked layout into %d", len(blocks))
+	}
+}
+
+func rect(x, y, w, h float64) (r struct{ X, Y, W, H float64 }) {
+	r.X, r.Y, r.W, r.H = x, y, w, h
+	return
+}
+
+func TestVoronoiSegmenter(t *testing.T) {
+	d := sampleD2(t, 1)[0].Doc
+	blocks := (&Voronoi{}).Segment(d)
+	if len(blocks) < 2 {
+		t.Fatalf("voronoi produced %d blocks", len(blocks))
+	}
+	empty := &doc.Document{ID: "e", Width: 10, Height: 10}
+	if got := (&Voronoi{}).Segment(empty); len(got) != 1 {
+		t.Errorf("empty doc blocks = %d", len(got))
+	}
+}
+
+func TestVIPSRequiresDOM(t *testing.T) {
+	docs := sampleD2(t, 20)
+	var withDOM, without *doc.Document
+	for _, l := range docs {
+		if l.Doc.DOM != nil && withDOM == nil {
+			withDOM = l.Doc
+		}
+		if l.Doc.DOM == nil && without == nil {
+			without = l.Doc
+		}
+	}
+	if withDOM == nil || without == nil {
+		t.Fatal("capture mix missing one kind")
+	}
+	if blocks := (VIPS{}).Segment(withDOM); len(blocks) < 2 {
+		t.Errorf("VIPS on DOM doc = %d blocks", len(blocks))
+	}
+	if blocks := (VIPS{}).Segment(without); blocks != nil {
+		t.Errorf("VIPS without DOM returned %d blocks", len(blocks))
+	}
+}
+
+func TestTable5SegmentersComplete(t *testing.T) {
+	segs := Table5Segmenters()
+	if len(segs) != 6 {
+		t.Fatalf("segmenters = %d", len(segs))
+	}
+	names := []string{"Text-only", "XY-Cut", "Voronoi", "VIPS", "Tesseract", "VS2-Segment"}
+	for i, s := range segs {
+		if s.Name() != names[i] {
+			t.Errorf("segmenter %d = %s, want %s", i, s.Name(), names[i])
+		}
+	}
+}
+
+func d2Task() Task {
+	return Task{Dataset: "d2", Sets: pattern.EventPatterns(), Weights: extract.VisuallyOrnate}
+}
+
+func d3Task() Task {
+	return Task{Dataset: "d3", Sets: pattern.RealEstatePatterns(), Weights: extract.Balanced}
+}
+
+func TestVS2EndToEnd(t *testing.T) {
+	l := sampleD2(t, 1)[0]
+	got := (VS2{}).Extract(d2Task(), l.Doc)
+	if len(got) < 3 {
+		t.Fatalf("VS2 extracted only %d entities: %+v", len(got), got)
+	}
+}
+
+func TestTextOnlyEndToEnd(t *testing.T) {
+	l := sampleD3(t, 1)[0]
+	got := (TextOnly{}).Extract(d3Task(), l.Doc)
+	if len(got) < 3 {
+		t.Fatalf("TextOnly extracted only %d entities", len(got))
+	}
+}
+
+func TestClausIE(t *testing.T) {
+	if (ClausIE{}).Applicable("d1") {
+		t.Error("ClausIE should not apply to D1")
+	}
+	l := sampleD2(t, 1)[0]
+	got := (ClausIE{}).Extract(d2Task(), l.Doc)
+	if len(got) == 0 {
+		t.Fatal("ClausIE extracted nothing")
+	}
+}
+
+func TestFSMTrainsAndExtracts(t *testing.T) {
+	f := &FSM{Corpora: map[string]*holdout.Corpus{
+		"d3": holdout.Build(holdout.D3Sites(), holdout.BuildOptions{Seed: 4, MaxBatches: 3}),
+	}}
+	task := d3Task()
+	f.Train(task, nil)
+	l := sampleD3(t, 1)[0]
+	got := f.Extract(task, l.Doc)
+	if len(got) == 0 {
+		t.Fatal("FSM extracted nothing")
+	}
+}
+
+func TestApostolovaLearnsBlocks(t *testing.T) {
+	docs := sampleD3(t, 30)
+	split := len(docs) * 6 / 10
+	a := &Apostolova{}
+	task := d3Task()
+	a.Train(task, docs[:split])
+	hits := 0
+	for _, l := range docs[split:] {
+		got := a.Extract(task, l.Doc)
+		for _, e := range got {
+			for _, ann := range l.Truth.ForEntity(e.Entity) {
+				if e.Box.IoU(ann.Box) >= 0.5 {
+					hits++
+				}
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("Apostolova never located an entity on held-out docs")
+	}
+}
+
+func TestMLBasedRequiresDOM(t *testing.T) {
+	m := &MLBased{}
+	if m.Applicable("d1") {
+		t.Error("ML-based should not apply to D1")
+	}
+	docs := sampleD3(t, 20)
+	task := d3Task()
+	m.Train(task, docs[:12])
+	got := m.Extract(task, docs[15].Doc)
+	if len(got) == 0 {
+		t.Error("ML-based extracted nothing from a DOM document")
+	}
+	noDom := docs[16].Doc.Clone()
+	noDom.DOM = nil
+	if got := m.Extract(task, noDom); got != nil {
+		t.Error("ML-based should skip DOM-less documents")
+	}
+}
+
+func TestReportMinerMasks(t *testing.T) {
+	docs := sampleD3(t, 40)
+	split := len(docs) * 6 / 10
+	r := &ReportMiner{}
+	task := d3Task()
+	r.Train(task, docs[:split])
+	l := docs[split]
+	got := r.Extract(task, l.Doc)
+	if len(got) == 0 {
+		t.Fatal("ReportMiner extracted nothing for a known template")
+	}
+	// Unknown template yields nothing.
+	stranger := l.Doc.Clone()
+	stranger.Template = "never-seen"
+	if got := r.Extract(task, stranger); got != nil {
+		t.Error("ReportMiner extracted for an unseen template")
+	}
+	// Masks should locate at least the phone on same-template docs.
+	found := false
+	for _, e := range got {
+		if e.Entity == pattern.BrokerPhone && strings.ContainsAny(e.Text, "0123456789") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ReportMiner phone mask failed: %+v", got)
+	}
+}
+
+func TestLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []string
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		label := "a"
+		if x[0]+x[1] > 1 {
+			label = "b"
+		}
+		xs = append(xs, x)
+		ys = append(ys, label)
+	}
+	m := trainLinear(xs, ys, 20, 3)
+	correct := 0
+	for i := range xs {
+		if got, _ := m.Predict(xs[i]); got == ys[i] {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Errorf("linear model accuracy %d/200", correct)
+	}
+	if _, s := m.Predict([]float64{0, 0}); s == 0 {
+		t.Log("zero score at origin is acceptable but unexpected")
+	}
+	empty := trainLinear(nil, nil, 5, 1)
+	if c, _ := empty.Predict([]float64{1}); c != "" {
+		t.Error("empty model should predict nothing")
+	}
+}
+
+func TestOtsuThreshold(t *testing.T) {
+	// Clean bimodal: threshold between the modes.
+	gaps := []float64{4, 4, 4.5, 5, 5, 5.2, 12, 12, 12.5, 13, 13}
+	cut := otsuThreshold(gaps)
+	if cut < 5.2 || cut > 12 {
+		t.Errorf("otsu threshold %v not in the valley", cut)
+	}
+	// Unimodal: no cut.
+	uni := []float64{5, 5.1, 5.2, 5.3, 5.1, 5.05, 5.2}
+	if cut := otsuThreshold(uni); cut < 1e10 {
+		t.Errorf("unimodal threshold %v should be +Inf", cut)
+	}
+	// Degenerate input.
+	if cut := otsuThreshold([]float64{1, 2}); cut < 1e10 {
+		t.Error("tiny sample should not threshold")
+	}
+}
+
+func TestAdaptiveGap(t *testing.T) {
+	d := sampleD2(t, 1)[0].Doc
+	ids := d.TextElements()
+	g := adaptiveGap(d, ids, 6)
+	if g < 6 {
+		t.Errorf("adaptive gap %v below floor", g)
+	}
+	// Empty selection falls back to the floor.
+	if got := adaptiveGap(d, nil, 6); got != 6 {
+		t.Errorf("empty adaptive gap = %v", got)
+	}
+}
+
+func TestVS2SegmentAdapter(t *testing.T) {
+	d := sampleD2(t, 1)[0].Doc
+	blocks := (VS2Segment{}).Segment(d)
+	if len(blocks) < 2 {
+		t.Errorf("adapter produced %d blocks", len(blocks))
+	}
+}

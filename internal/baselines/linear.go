@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// linear.go provides the small multiclass linear classifier behind the two
+// learning-based comparators of Table 7: the SVM of Apostolova et al. [2]
+// (visual + textual features of candidate regions) and the ML-based web
+// extractor of Zhou & Mashuq [49] (features of HTML text nodes). An
+// averaged multiclass perceptron is a faithful stand-in for a linear-kernel
+// SVM at this scale: both learn a linear separator per class; the averaged
+// perceptron simply reaches it by online updates.
+type linearModel struct {
+	classes []string
+	dim     int
+	// w[c] is the weight vector of class c (bias folded in at index dim).
+	w [][]float64
+}
+
+// trainLinear fits an averaged multiclass perceptron. xs are feature
+// vectors (equal length), ys the class labels. Deterministic for a fixed
+// seed.
+func trainLinear(xs [][]float64, ys []string, epochs int, seed int64) *linearModel {
+	if len(xs) == 0 {
+		return &linearModel{}
+	}
+	if epochs <= 0 {
+		epochs = 12
+	}
+	dim := len(xs[0])
+	classSet := map[string]int{}
+	var classes []string
+	for _, y := range ys {
+		if _, ok := classSet[y]; !ok {
+			classSet[y] = len(classes)
+			classes = append(classes, y)
+		}
+	}
+	sort.Strings(classes)
+	for i, c := range classes {
+		classSet[c] = i
+	}
+
+	w := make([][]float64, len(classes))
+	acc := make([][]float64, len(classes))
+	for i := range w {
+		w[i] = make([]float64, dim+1)
+		acc[i] = make([]float64, dim+1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	steps := 1.0
+	for ep := 0; ep < epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			x := xs[i]
+			gold := classSet[ys[i]]
+			pred := argmaxClass(w, x)
+			if pred != gold {
+				for d := 0; d < dim; d++ {
+					w[gold][d] += x[d]
+					w[pred][d] -= x[d]
+				}
+				w[gold][dim]++
+				w[pred][dim]--
+			}
+			for c := range w {
+				for d := range w[c] {
+					acc[c][d] += w[c][d]
+				}
+			}
+			steps++
+		}
+	}
+	for c := range acc {
+		for d := range acc[c] {
+			acc[c][d] /= steps
+		}
+	}
+	return &linearModel{classes: classes, dim: dim, w: acc}
+}
+
+func argmaxClass(w [][]float64, x []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := range w {
+		s := score(w[c], x)
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+func score(w, x []float64) float64 {
+	s := w[len(w)-1] // bias
+	for d := 0; d < len(w)-1 && d < len(x); d++ {
+		s += w[d] * x[d]
+	}
+	return s
+}
+
+// Predict returns the best class and its margin score.
+func (m *linearModel) Predict(x []float64) (string, float64) {
+	if len(m.classes) == 0 {
+		return "", 0
+	}
+	c := argmaxClass(m.w, x)
+	return m.classes[c], score(m.w[c], x)
+}
+
+// Score returns the margin of one class for the input.
+func (m *linearModel) Score(class string, x []float64) float64 {
+	for c, name := range m.classes {
+		if name == class {
+			return score(m.w[c], x)
+		}
+	}
+	return math.Inf(-1)
+}

@@ -1,0 +1,463 @@
+// Package baselines implements every comparator of the paper's evaluation:
+// the five page-segmentation baselines of Table 5 (text-only clustering,
+// XY-Cut, Voronoi tessellation, VIPS, Tesseract layout analysis) and the
+// five end-to-end IE baselines of Table 7 (ClausIE, frequent-subtree
+// mining, the ML-based web extractor, Apostolova et al.'s multimodal SVM,
+// and the ReportMiner template-mask tool), plus the text-only pipeline the
+// ΔF1 columns of Tables 6 and 8 are measured against.
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"vs2/internal/doc"
+	"vs2/internal/embed"
+	"vs2/internal/ocr"
+	"vs2/internal/segment"
+)
+
+// PageSegmenter is the common interface of Table 5 rows: decompose a
+// document into block proposals. Segmenters that cannot process a document
+// (VIPS without a DOM) return nil, and the evaluation skips the document
+// for that method, as the paper does ("A4 could not be applied on D1").
+type PageSegmenter interface {
+	Name() string
+	Segment(d *doc.Document) []*doc.Node
+}
+
+// --- A1: text-only clustering ------------------------------------------
+
+// TextCluster groups words with similar word embeddings into the same
+// clusters, ignoring geometry (baseline A1): words are consumed in reading
+// order and a new cluster opens whenever the next word's embedding departs
+// from the running cluster centroid — topic shifts in the text stream are
+// the only block boundaries this baseline can see. Block boxes are the
+// bounding boxes of the clusters, spatially incoherent whenever the layout
+// interleaves topics, which is the point of the baseline.
+type TextCluster struct {
+	// Threshold is the cosine similarity below which a word starts a new
+	// cluster (default 0.35).
+	Threshold float64
+	// Embedder defaults to the shared lexicon embedder.
+	Embedder embed.Embedder
+}
+
+// Name implements PageSegmenter.
+func (t *TextCluster) Name() string { return "Text-only" }
+
+// Segment implements PageSegmenter.
+func (t *TextCluster) Segment(d *doc.Document) []*doc.Node {
+	th := t.Threshold
+	if th == 0 {
+		th = 0.35
+	}
+	e := t.Embedder
+	if e == nil {
+		e = sharedLexicon
+	}
+	var out []*doc.Node
+	var cur []int
+	var vec []float64
+	n := 0
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, &doc.Node{Box: d.BoundingBoxOf(cur), Elements: cur, Depth: 1})
+			cur, vec, n = nil, nil, 0
+		}
+	}
+	for _, id := range d.ReadingOrder(d.TextElements()) {
+		v := e.Vec(d.Elements[id].Text)
+		if n > 0 && embed.Cosine(v, vec) < th {
+			flush()
+		}
+		if n == 0 {
+			vec = append([]float64(nil), v...)
+		} else {
+			for i := range vec {
+				vec[i] = (vec[i]*float64(n) + v[i]) / float64(n+1)
+			}
+		}
+		cur = append(cur, id)
+		n++
+	}
+	flush()
+	for _, id := range d.ImageElements() {
+		out = append(out, &doc.Node{Box: d.Elements[id].Box, Elements: []int{id}, Depth: 1})
+	}
+	return out
+}
+
+var sharedLexicon = embed.NewLexicon()
+
+// --- A2: XY-Cut ----------------------------------------------------------
+
+// XYCut recursively splits the page at the widest straight projection gap
+// (baseline A2, the classic Nagy-style recursive cut). Gaps must exceed
+// MinGap page units to cut.
+type XYCut struct {
+	// MinGap is the smallest projection gap that still splits (default 6).
+	MinGap float64
+	// MaxDepth bounds the recursion (default 8).
+	MaxDepth int
+}
+
+// Name implements PageSegmenter.
+func (x *XYCut) Name() string { return "XY-Cut" }
+
+// Segment implements PageSegmenter.
+func (x *XYCut) Segment(d *doc.Document) []*doc.Node {
+	minGap := x.MinGap
+	if minGap == 0 {
+		minGap = 6
+	}
+	maxDepth := x.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 14
+	}
+	all := make([]int, len(d.Elements))
+	for i := range all {
+		all[i] = i
+	}
+	var rec func(ids []int, depth int) []*doc.Node
+	rec = func(ids []int, depth int) []*doc.Node {
+		node := &doc.Node{Box: d.BoundingBoxOf(ids), Elements: ids, Depth: depth}
+		if depth >= maxDepth || len(ids) < 2 {
+			return []*doc.Node{node}
+		}
+		if groups := xySplit(d, ids, adaptiveGap(d, ids, minGap)); len(groups) >= 2 {
+			var out []*doc.Node
+			for _, g := range groups {
+				out = append(out, rec(g, depth+1)...)
+			}
+			return out
+		}
+		return []*doc.Node{node}
+	}
+	return rec(all, 0)
+}
+
+// adaptiveGap scales the cut threshold to the group's typography: a
+// projection gap only separates areas when it clearly exceeds the line
+// height of the text it runs through (word spacing is ≈0.5×, leading
+// ≈0.2-0.5× the font height).
+func adaptiveGap(d *doc.Document, ids []int, minGap float64) float64 {
+	var hs []float64
+	for _, id := range ids {
+		if d.Elements[id].Kind == doc.TextElement {
+			hs = append(hs, d.Elements[id].Box.H)
+		}
+	}
+	if len(hs) == 0 {
+		return minGap
+	}
+	sort.Float64s(hs)
+	if g := 0.9 * hs[len(hs)/2]; g > minGap {
+		return g
+	}
+	return minGap
+}
+
+// xySplit finds the widest horizontal or vertical projection gap and
+// splits the element set there.
+func xySplit(d *doc.Document, ids []int, minGap float64) [][]int {
+	bestGap, bestAt, bestHoriz := minGap, 0.0, false
+	found := false
+	for _, horiz := range []bool{true, false} {
+		type iv struct{ lo, hi float64 }
+		ivs := make([]iv, 0, len(ids))
+		for _, id := range ids {
+			b := d.Elements[id].Box
+			if horiz {
+				ivs = append(ivs, iv{b.Y, b.MaxY()})
+			} else {
+				ivs = append(ivs, iv{b.X, b.MaxX()})
+			}
+		}
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+		cover := ivs[0].hi
+		for _, v := range ivs[1:] {
+			if v.lo-cover > bestGap {
+				bestGap, bestAt, bestHoriz, found = v.lo-cover, (v.lo+cover)/2, horiz, true
+			}
+			if v.hi > cover {
+				cover = v.hi
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	var a, b []int
+	for _, id := range ids {
+		c := d.Elements[id].Box.Centroid()
+		v := c.X
+		if bestHoriz {
+			v = c.Y
+		}
+		if v < bestAt {
+			a = append(a, id)
+		} else {
+			b = append(b, id)
+		}
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	return [][]int{a, b}
+}
+
+// --- A3: Voronoi tessellation -------------------------------------------
+
+// Voronoi approximates Kise's area-Voronoi segmentation (baseline A3): a
+// neighbour graph over element boxes is thresholded on the gap
+// distribution — edges much longer than the dominant inter-word/line gap
+// are cut — and the connected components become blocks. Font-size ratio is
+// taken into account as in the original ("summary statistics such as the
+// distribution of font size, area ratio, angular distance").
+type Voronoi struct {
+	// K is the number of nearest neighbours linked per element (default 4).
+	K int
+}
+
+// Name implements PageSegmenter.
+func (v *Voronoi) Name() string { return "Voronoi" }
+
+// Segment implements PageSegmenter.
+func (v *Voronoi) Segment(d *doc.Document) []*doc.Node {
+	k := v.K
+	if k == 0 {
+		k = 4
+	}
+	ids := append(d.TextElements(), d.ImageElements()...)
+	if len(ids) == 0 {
+		return []*doc.Node{doc.NewTree(d)}
+	}
+	type edge struct {
+		a, b int
+		gap  float64
+	}
+	var edges []edge
+	for i, a := range ids {
+		type cand struct {
+			j   int
+			gap float64
+		}
+		var cands []cand
+		for j, b := range ids {
+			if i == j {
+				continue
+			}
+			cands = append(cands, cand{j, d.Elements[a].Box.Gap(d.Elements[b].Box)})
+		}
+		sort.Slice(cands, func(x, y int) bool { return cands[x].gap < cands[y].gap })
+		for n := 0; n < k && n < len(cands); n++ {
+			edges = append(edges, edge{i, cands[n].j, cands[n].gap})
+		}
+	}
+	// Threshold from the gap distribution, as Kise's analysis of the area
+	// Voronoi diagram does: the sorted neighbour gaps are bimodal
+	// (intra-area word/line spacing vs inter-area separation); the largest
+	// multiplicative jump in the sorted sequence separates the modes, and
+	// the threshold sits between them. A near-unimodal distribution (max
+	// jump < 1.5×) means the page has no separation structure to cut.
+	gaps := make([]float64, len(edges))
+	for i, e := range edges {
+		gaps[i] = e.gap
+	}
+	sort.Float64s(gaps)
+	// Trim the far tail before thresholding: a few huge gaps (isolated
+	// decorations, page corners) would otherwise dominate the between-class
+	// variance and drag the Otsu threshold into the tail instead of the
+	// valley between the word-spacing and area-separation modes. Edges that
+	// long are cuts under any threshold, so dropping them loses nothing.
+	if n := len(gaps); n > 0 {
+		lim := gaps[n/2]*3 + 1
+		cut := sort.SearchFloat64s(gaps, lim)
+		gaps = gaps[:cut]
+	}
+	cutAt := otsuThreshold(gaps)
+
+	parent := make([]int, len(ids))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range edges {
+		if e.gap > cutAt {
+			continue
+		}
+		// Font-size guard: elements with very different heights do not
+		// join directly (headline vs body), unless they touch.
+		ha, hb := d.Elements[ids[e.a]].Box.H, d.Elements[ids[e.b]].Box.H
+		ratio := ha / hb
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > 1.8 && e.gap > 2 {
+			continue
+		}
+		parent[find(e.a)] = find(e.b)
+	}
+	comps := map[int][]int{}
+	for i, id := range ids {
+		r := find(i)
+		comps[r] = append(comps[r], id)
+	}
+	roots := make([]int, 0, len(comps))
+	for r := range comps {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	var out []*doc.Node
+	for _, r := range roots {
+		out = append(out, &doc.Node{Box: d.BoundingBoxOf(comps[r]), Elements: comps[r], Depth: 1})
+	}
+	return out
+}
+
+// otsuThreshold splits a sorted sample into two classes maximising the
+// between-class variance (Otsu's method) — the classic way to separate the
+// intra-area spacing mode from the inter-area separation mode in a gap
+// histogram. Returns +Inf when the distribution is effectively unimodal
+// (no threshold achieves meaningful separation).
+func otsuThreshold(sorted []float64) float64 {
+	n := len(sorted)
+	if n < 4 {
+		return math.Inf(1)
+	}
+	prefix := make([]float64, n+1)
+	for i, g := range sorted {
+		prefix[i+1] = prefix[i] + g
+	}
+	total := prefix[n]
+	bestVar, bestAt := 0.0, -1
+	for i := 1; i < n; i++ {
+		if sorted[i] == sorted[i-1] {
+			continue
+		}
+		w0 := float64(i)
+		w1 := float64(n - i)
+		mu0 := prefix[i] / w0
+		mu1 := (total - prefix[i]) / w1
+		v := w0 * w1 * (mu0 - mu1) * (mu0 - mu1)
+		if v > bestVar {
+			bestVar, bestAt = v, i
+		}
+	}
+	if bestAt < 0 {
+		return math.Inf(1)
+	}
+	lo, hi := sorted[bestAt-1], sorted[bestAt]
+	// Unimodal guard: the two classes must be genuinely apart.
+	if lo <= 0 || hi/math.Max(lo, 1) < 1.3 {
+		mu0 := prefix[bestAt] / float64(bestAt)
+		mu1 := (total - prefix[bestAt]) / float64(n-bestAt)
+		if mu1/math.Max(mu0, 1) < 1.8 {
+			return math.Inf(1)
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// --- A4: VIPS -------------------------------------------------------------
+
+// VIPS exploits HTML-specific structure (baseline A4, Cai et al. [4]): the
+// DOM's block-level children become visual blocks, recursively split when
+// a child covers disjoint areas. Returns nil for documents without markup
+// — the paper could not apply VIPS to D1 and converted other documents to
+// HTML first.
+type VIPS struct{}
+
+// Name implements PageSegmenter.
+func (VIPS) Name() string { return "VIPS" }
+
+// Segment implements PageSegmenter.
+func (VIPS) Segment(d *doc.Document) []*doc.Node {
+	if d.DOM == nil {
+		return nil
+	}
+	var out []*doc.Node
+	var walk func(n *doc.DOMNode)
+	walk = func(n *doc.DOMNode) {
+		if len(n.Children) == 0 {
+			if len(n.Elements) > 0 {
+				out = append(out, &doc.Node{
+					Box:      d.BoundingBoxOf(n.Elements),
+					Elements: append([]int(nil), n.Elements...),
+					Depth:    1,
+				})
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(d.DOM)
+	if len(out) == 0 {
+		return nil
+	}
+	// Elements not covered by any DOM node form one residual block —
+	// VIPS sees only the markup tree.
+	covered := map[int]bool{}
+	for _, b := range out {
+		for _, id := range b.Elements {
+			covered[id] = true
+		}
+	}
+	var rest []int
+	for i := range d.Elements {
+		if !covered[i] {
+			rest = append(rest, i)
+		}
+	}
+	if len(rest) > 0 {
+		out = append(out, &doc.Node{Box: d.BoundingBoxOf(rest), Elements: rest, Depth: 1})
+	}
+	return out
+}
+
+// --- A5: Tesseract layout --------------------------------------------------
+
+// Tesseract wraps the ocr package's layout analysis (baseline A5).
+type Tesseract struct{}
+
+// Name implements PageSegmenter.
+func (Tesseract) Name() string { return "Tesseract" }
+
+// Segment implements PageSegmenter.
+func (Tesseract) Segment(d *doc.Document) []*doc.Node { return ocr.LayoutBlocks(d) }
+
+// --- A6: VS2-Segment --------------------------------------------------------
+
+// VS2Segment adapts the core segmenter to the PageSegmenter interface.
+type VS2Segment struct {
+	Opts segment.Options
+}
+
+// Name implements PageSegmenter.
+func (VS2Segment) Name() string { return "VS2-Segment" }
+
+// Segment implements PageSegmenter.
+func (v VS2Segment) Segment(d *doc.Document) []*doc.Node {
+	return segment.New(v.Opts).Blocks(d)
+}
+
+// Table5Segmenters returns the six rows of Table 5 in paper order.
+func Table5Segmenters() []PageSegmenter {
+	return []PageSegmenter{
+		&TextCluster{},
+		&XYCut{},
+		&Voronoi{},
+		VIPS{},
+		Tesseract{},
+		VS2Segment{},
+	}
+}

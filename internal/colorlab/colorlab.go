@@ -1,0 +1,153 @@
+// Package colorlab implements sRGB ↔ CIE-L*a*b* conversion and perceptual
+// colour distance. The paper's layout model (Section 4.1.1) stores the
+// "average color distribution (in LAB colorspace)" of every textual element,
+// and Table 1 lists colour among the low-level features used by the
+// clustering phase of VS2-Segment. Using L*a*b* instead of raw RGB makes the
+// Euclidean distance between two colours approximate the perceptual
+// difference a human reader would see between, say, a highlighted header and
+// body text.
+package colorlab
+
+import "math"
+
+// RGB is an 8-bit-per-channel sRGB colour.
+type RGB struct {
+	R, G, B uint8
+}
+
+// LAB is a colour in the CIE-L*a*b* space under the D65 reference white.
+// L ranges over [0,100]; a and b are unbounded in principle but stay within
+// roughly [-128, 128] for sRGB inputs.
+type LAB struct {
+	L, A, B float64
+}
+
+// D65 reference white point (2° observer).
+const (
+	xn = 0.95047
+	yn = 1.00000
+	zn = 1.08883
+)
+
+// linearize converts an 8-bit sRGB channel to linear light.
+func linearize(c uint8) float64 {
+	v := float64(c) / 255.0
+	if v <= 0.04045 {
+		return v / 12.92
+	}
+	return math.Pow((v+0.055)/1.055, 2.4)
+}
+
+// delinearize converts linear light back to an 8-bit sRGB channel.
+func delinearize(v float64) uint8 {
+	var s float64
+	if v <= 0.0031308 {
+		s = v * 12.92
+	} else {
+		s = 1.055*math.Pow(v, 1/2.4) - 0.055
+	}
+	s = math.Round(s * 255)
+	if s < 0 {
+		s = 0
+	}
+	if s > 255 {
+		s = 255
+	}
+	return uint8(s)
+}
+
+func labF(t float64) float64 {
+	const delta = 6.0 / 29.0
+	if t > delta*delta*delta {
+		return math.Cbrt(t)
+	}
+	return t/(3*delta*delta) + 4.0/29.0
+}
+
+func labFInv(t float64) float64 {
+	const delta = 6.0 / 29.0
+	if t > delta {
+		return t * t * t
+	}
+	return 3 * delta * delta * (t - 4.0/29.0)
+}
+
+// ToLAB converts an sRGB colour to CIE-L*a*b*.
+func ToLAB(c RGB) LAB {
+	r := linearize(c.R)
+	g := linearize(c.G)
+	b := linearize(c.B)
+
+	// sRGB → XYZ (D65).
+	x := 0.4124564*r + 0.3575761*g + 0.1804375*b
+	y := 0.2126729*r + 0.7151522*g + 0.0721750*b
+	z := 0.0193339*r + 0.1191920*g + 0.9503041*b
+
+	fx := labF(x / xn)
+	fy := labF(y / yn)
+	fz := labF(z / zn)
+	return LAB{
+		L: 116*fy - 16,
+		A: 500 * (fx - fy),
+		B: 200 * (fy - fz),
+	}
+}
+
+// ToRGB converts a CIE-L*a*b* colour back to sRGB, clamping out-of-gamut
+// channels.
+func ToRGB(c LAB) RGB {
+	fy := (c.L + 16) / 116
+	fx := fy + c.A/500
+	fz := fy - c.B/200
+
+	x := xn * labFInv(fx)
+	y := yn * labFInv(fy)
+	z := zn * labFInv(fz)
+
+	r := 3.2404542*x - 1.5371385*y - 0.4985314*z
+	g := -0.9692660*x + 1.8760108*y + 0.0415560*z
+	b := 0.0556434*x - 0.2040259*y + 1.0572252*z
+	return RGB{R: delinearize(r), G: delinearize(g), B: delinearize(b)}
+}
+
+// DeltaE returns the CIE76 colour difference between two LAB colours: the
+// Euclidean distance in L*a*b* space. A ΔE near 2.3 corresponds to a "just
+// noticeable difference" for human observers.
+func DeltaE(a, b LAB) float64 {
+	dl := a.L - b.L
+	da := a.A - b.A
+	db := a.B - b.B
+	return math.Sqrt(dl*dl + da*da + db*db)
+}
+
+// Mix returns the LAB colour of the average of the two sRGB colours in
+// linear-light space, weighted w toward a (w in [0,1]). Dataset generators
+// use it to blend text colour onto backgrounds.
+func Mix(a, b RGB, w float64) RGB {
+	if w < 0 {
+		w = 0
+	}
+	if w > 1 {
+		w = 1
+	}
+	lerp := func(x, y uint8) uint8 {
+		lv := linearize(x)*w + linearize(y)*(1-w)
+		return delinearize(lv)
+	}
+	return RGB{R: lerp(a.R, b.R), G: lerp(a.G, b.G), B: lerp(a.B, b.B)}
+}
+
+// Common document colours used by the dataset generators and tests.
+var (
+	Black     = RGB{0, 0, 0}
+	White     = RGB{255, 255, 255}
+	Red       = RGB{200, 30, 30}
+	Blue      = RGB{30, 60, 180}
+	Green     = RGB{20, 140, 60}
+	Gray      = RGB{120, 120, 120}
+	DarkNavy  = RGB{16, 24, 64}
+	Gold      = RGB{212, 175, 55}
+	Cream     = RGB{250, 245, 230}
+	Burgundy  = RGB{128, 0, 32}
+	TealPress = RGB{0, 128, 128}
+)

@@ -1,0 +1,102 @@
+package colorlab
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownConversions(t *testing.T) {
+	cases := []struct {
+		in   RGB
+		want LAB
+		tol  float64
+	}{
+		{RGB{255, 255, 255}, LAB{100, 0, 0}, 0.5},
+		{RGB{0, 0, 0}, LAB{0, 0, 0}, 0.5},
+		{RGB{255, 0, 0}, LAB{53.24, 80.09, 67.20}, 1.0},
+		{RGB{0, 255, 0}, LAB{87.73, -86.18, 83.18}, 1.0},
+		{RGB{0, 0, 255}, LAB{32.30, 79.19, -107.86}, 1.0},
+	}
+	for _, c := range cases {
+		got := ToLAB(c.in)
+		if math.Abs(got.L-c.want.L) > c.tol ||
+			math.Abs(got.A-c.want.A) > c.tol ||
+			math.Abs(got.B-c.want.B) > c.tol {
+			t.Errorf("ToLAB(%v) = %+v, want ≈ %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: round-trip through LAB recovers the original sRGB colour.
+func TestRoundTrip(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		in := RGB{r, g, b}
+		out := ToRGB(ToLAB(in))
+		// Allow ±1 per channel for float rounding.
+		d := func(a, b uint8) int {
+			x := int(a) - int(b)
+			if x < 0 {
+				x = -x
+			}
+			return x
+		}
+		return d(in.R, out.R) <= 1 && d(in.G, out.G) <= 1 && d(in.B, out.B) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaE(t *testing.T) {
+	if got := DeltaE(ToLAB(Black), ToLAB(Black)); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	bw := DeltaE(ToLAB(Black), ToLAB(White))
+	if math.Abs(bw-100) > 0.5 {
+		t.Errorf("black-white ΔE = %v, want ≈ 100", bw)
+	}
+	// Red is farther from green than from burgundy.
+	rg := DeltaE(ToLAB(Red), ToLAB(Green))
+	rb := DeltaE(ToLAB(Red), ToLAB(Burgundy))
+	if rg <= rb {
+		t.Errorf("expected ΔE(red,green)=%v > ΔE(red,burgundy)=%v", rg, rb)
+	}
+}
+
+// Property: ΔE is a symmetric, non-negative pseudo-metric obeying the
+// triangle inequality (it is a Euclidean distance).
+func TestDeltaEMetric(t *testing.T) {
+	f := func(r1, g1, b1, r2, g2, b2, r3, g3, b3 uint8) bool {
+		a := ToLAB(RGB{r1, g1, b1})
+		b := ToLAB(RGB{r2, g2, b2})
+		c := ToLAB(RGB{r3, g3, b3})
+		if DeltaE(a, b) < 0 || math.Abs(DeltaE(a, b)-DeltaE(b, a)) > 1e-9 {
+			return false
+		}
+		return DeltaE(a, c) <= DeltaE(a, b)+DeltaE(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMix(t *testing.T) {
+	if got := Mix(Black, White, 1); got != Black {
+		t.Errorf("Mix w=1 = %v, want black", got)
+	}
+	if got := Mix(Black, White, 0); got != White {
+		t.Errorf("Mix w=0 = %v, want white", got)
+	}
+	mid := Mix(Black, White, 0.5)
+	if mid.R != mid.G || mid.G != mid.B {
+		t.Errorf("mid grey should be neutral: %v", mid)
+	}
+	// Clamping of out-of-range weights.
+	if got := Mix(Black, White, 2); got != Black {
+		t.Errorf("Mix w=2 should clamp to 1, got %v", got)
+	}
+	if got := Mix(Black, White, -1); got != White {
+		t.Errorf("Mix w=-1 should clamp to 0, got %v", got)
+	}
+}

@@ -1,0 +1,271 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Content pools for the synthetic corpora. Names, cities and organisation
+// forms deliberately overlap the gazetteers of the nlp package — exactly as
+// the paper's real documents overlap the vocabulary of the Stanford NER —
+// while leaving enough out-of-gazetteer mass to keep the annotators
+// imperfect.
+
+var firstNamePool = []string{
+	"James", "Mary", "Robert", "Patricia", "Michael", "Linda", "David",
+	"Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph",
+	"Jessica", "Thomas", "Sarah", "Kevin", "Karen", "Brian", "Nancy",
+	"Edward", "Lisa", "Ronald", "Margaret", "Anthony", "Betty", "Jason",
+	"Sandra", "Matthew", "Ashley", "Gary", "Emily", "Timothy", "Donna",
+	"Maria", "Elena", "Priya", "Wei", "Ahmed", "Sofia", "Marco", "Yuki",
+	"Dmitri", "Ingrid", "Ravi", "Aisha", "Hannah", "Victor", "Julia",
+	"Samuel",
+}
+
+var lastNamePool = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Wilson", "Anderson", "Taylor",
+	"Thomas", "Moore", "Jackson", "Martin", "Lee", "Thompson", "White",
+	"Harris", "Clark", "Lewis", "Robinson", "Walker", "Hall", "Young",
+	"King", "Wright", "Scott", "Green", "Baker", "Adams", "Nelson",
+	"Mitchell", "Carter", "Roberts", "Turner", "Phillips", "Campbell",
+	"Parker", "Evans", "Edwards", "Collins", "Stewart", "Morris", "Murphy",
+	"Cook", "Rogers", "Walsh", "Petrov", "Tanaka", "Novak", "Kowalski",
+}
+
+var orgStemPool = []string{
+	"Riverside", "Summit", "Lakeview", "Heritage", "Capital", "Northside",
+	"Downtown", "Maplewood", "Crestview", "Pinnacle", "Harbor", "Evergreen",
+	"Franklin", "Liberty", "Union", "Meridian", "Cascade", "Horizon",
+	"Redstone", "Silverlake", "Oakwood", "Buckeye", "Scioto", "Olentangy",
+}
+
+var eventOrgSuffixPool = []string{
+	"Jazz Society", "Arts Council", "Community Center", "Music Club",
+	"Cultural Association", "Theatre Company", "Dance Academy",
+	"Historical Society", "Film Society", "Library Foundation",
+	"Youth Orchestra", "Garden Club", "Writers Guild", "Science Museum",
+}
+
+var brokerOrgSuffixPool = []string{
+	"Realty LLC", "Properties Inc", "Commercial Group", "Real Estate Partners",
+	"Brokerage Co", "Property Advisors LLC", "Land Company", "Holdings Corp",
+	"Realty Group", "Investment Properties Inc",
+}
+
+var streetNamePool = []string{
+	"Maple", "Oak", "Main", "High", "Walnut", "Cedar", "Elm", "Washington",
+	"Lincoln", "Jefferson", "Park", "Lake", "Hill", "River", "Spring",
+	"Church", "Market", "Broad", "Front", "Mill", "Corporate", "Commerce",
+	"Industrial", "Enterprise", "Innovation",
+}
+
+var streetSuffixPool = []string{"St", "Ave", "Rd", "Blvd", "Dr", "Ln", "Ct", "Pkwy", "Way", "Pl"}
+
+var cityPool = []string{
+	"Columbus", "Westerville", "Dublin", "Hilliard", "Gahanna", "Bexley",
+	"Whitehall", "Reynoldsburg", "Pickerington", "Lancaster", "Newark",
+	"Marion", "Delaware", "Cleveland", "Dayton",
+}
+
+var eventKindPool = []string{
+	"Jazz Night", "Art Walk", "Poetry Slam", "Food Festival", "Film Screening",
+	"Science Fair", "Book Fair", "Dance Recital", "Craft Market",
+	"Charity Gala", "Wine Tasting", "Open Mic", "History Lecture",
+	"Chamber Concert", "Photography Workshop", "Coding Bootcamp",
+	"Yoga Class", "Farmers Market", "Trivia Night", "Choir Performance",
+}
+
+var eventAdjPool = []string{
+	"Annual", "Grand", "Summer", "Winter", "Spring", "Autumn", "Midnight",
+	"Downtown", "Free", "Family", "Community", "International", "Local",
+	"Second", "Third", "10th",
+}
+
+var eventDescPool = []string{
+	"join us for an unforgettable evening of live music and great food",
+	"bring the whole family and enjoy free snacks and activities for kids",
+	"doors open early and seating is limited so arrive on time",
+	"featuring special guests and a raffle with amazing prizes",
+	"a celebration of local talent with performances all evening",
+	"learn new skills and meet people who share your interests",
+	"all proceeds benefit local community programs and schools",
+	"light refreshments will be served during the intermission",
+	"come early to explore the gallery and meet the artists",
+	"an exciting program of workshops and hands-on demonstrations",
+}
+
+var weekdayPool = []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+var monthPool = []string{"January", "February", "March", "April", "May", "June",
+	"July", "August", "September", "October", "November", "December"}
+
+var propertyTypePool = []string{
+	"retail space", "office building", "warehouse", "mixed-use building",
+	"restaurant space", "medical office", "industrial lot", "storefront",
+	"commercial land", "flex space",
+}
+
+var propertyDescPool = []string{
+	"prime location near downtown with excellent street visibility",
+	"recently renovated building with modern fixtures throughout",
+	"ample parking and easy highway access for commuters",
+	"close to grocery stores restaurants and public transit",
+	"ideal for retail office or restaurant use with flexible zoning",
+	"high ceilings open floor plan and abundant natural light",
+	"well maintained property in a rapidly growing business corridor",
+	"corner lot with signage opportunities and heavy foot traffic",
+}
+
+var taxSubjectPool = []string{
+	"Wages, salaries, tips", "Taxable interest income", "Dividend income",
+	"Business income or loss", "Capital gain or loss", "Total pensions",
+	"Unemployment compensation", "Social security benefits",
+	"Adjusted gross income", "Itemized deductions", "Standard deduction",
+	"Taxable income", "Federal income tax withheld", "Earned income credit",
+	"Child care expenses", "Moving expenses", "Alimony paid",
+	"IRA deduction", "Self-employment tax", "Estimated tax payments",
+	"Amount you owe", "Refund amount", "Total tax", "Total income",
+	"Medical and dental expenses", "State and local taxes", "Real estate taxes",
+	"Home mortgage interest", "Charitable contributions", "Casualty losses",
+	"Union dues", "Tax preparation fees", "Rental income", "Royalty income",
+	"Farm income or loss", "Foreign tax credit", "Education credits",
+	"Retirement savings contribution", "Residential energy credit",
+	"Alternative minimum tax", "Household employment taxes",
+	"Spouse's occupation", "Presidential election campaign fund",
+	"Filing status", "Total exemptions claimed", "Dependent's relationship",
+}
+
+// pick returns a deterministic random element of the pool.
+func pick(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}
+
+func personName(rng *rand.Rand) string {
+	return pick(rng, firstNamePool) + " " + pick(rng, lastNamePool)
+}
+
+func eventOrgName(rng *rand.Rand) string {
+	return pick(rng, orgStemPool) + " " + pick(rng, eventOrgSuffixPool)
+}
+
+func brokerOrgName(rng *rand.Rand) string {
+	return pick(rng, orgStemPool) + " " + pick(rng, brokerOrgSuffixPool)
+}
+
+func streetAddress(rng *rand.Rand) string {
+	return fmt.Sprintf("%d %s %s", 100+rng.Intn(8900), pick(rng, streetNamePool), pick(rng, streetSuffixPool))
+}
+
+func cityStateZip(rng *rand.Rand) string {
+	return fmt.Sprintf("%s, OH %d", pick(rng, cityPool), 43000+rng.Intn(999))
+}
+
+func phoneNumber(rng *rand.Rand) string {
+	styles := []string{"614-555-%04d", "(614) 555-%04d", "614.555.%04d"}
+	return fmt.Sprintf(pick(rng, styles), rng.Intn(10000))
+}
+
+func emailAddr(rng *rand.Rand, name string) string {
+	parts := strings.Fields(strings.ToLower(name))
+	user := parts[0]
+	if len(parts) > 1 {
+		user = parts[0] + "." + parts[len(parts)-1]
+	}
+	domains := []string{"acmerealty.com", "cityproperties.net", "ohiobrokers.org",
+		"summitgroup.com", "midwestcommercial.com"}
+	return user + "@" + pick(rng, domains)
+}
+
+func eventTitle(rng *rand.Rand) string {
+	if rng.Float64() < 0.6 {
+		return pick(rng, eventAdjPool) + " " + pick(rng, eventKindPool)
+	}
+	return pick(rng, eventKindPool)
+}
+
+func eventTime(rng *rand.Rand) string {
+	day := pick(rng, weekdayPool)
+	month := pick(rng, monthPool)
+	date := 1 + rng.Intn(28)
+	hour := 1 + rng.Intn(11)
+	min := []string{"00", "30", "15"}[rng.Intn(3)]
+	ampm := []string{"AM", "PM"}[rng.Intn(2)]
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%s, %s %d, %d:%s %s", day, month, date, hour, min, ampm)
+	case 1:
+		return fmt.Sprintf("%s %d at %d:%s %s", month, date, hour, min, ampm)
+	default:
+		return fmt.Sprintf("%s %d:%s %s", day, hour, min, ampm)
+	}
+}
+
+func propertySize(rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%d,%03d sqft", 1+rng.Intn(20), rng.Intn(1000))
+	case 1:
+		return fmt.Sprintf("%d.%d acres", 1+rng.Intn(12), rng.Intn(10))
+	default:
+		return fmt.Sprintf("%d floors %d,%03d sqft", 1+rng.Intn(5), 1+rng.Intn(9), rng.Intn(1000))
+	}
+}
+
+func moneyAmount(rng *rand.Rand) string {
+	if rng.Float64() < 0.5 {
+		return fmt.Sprintf("%d,%03d.%02d", rng.Intn(90)+1, rng.Intn(1000), rng.Intn(100))
+	}
+	return fmt.Sprintf("%d.%02d", rng.Intn(9000)+100, rng.Intn(100))
+}
+
+// Exported content accessors for the holdout package: distant supervision
+// needs holdout text drawn from the same distributions as the documents.
+
+// EventTitleFor samples an event title.
+func EventTitleFor(rng *rand.Rand) string { return eventTitle(rng) }
+
+// OrganizerFor samples an event organizer (person or organisation).
+func OrganizerFor(rng *rand.Rand) string {
+	if rng.Float64() < 0.5 {
+		return eventOrgName(rng)
+	}
+	return personName(rng)
+}
+
+// EventTimeFor samples an event time expression.
+func EventTimeFor(rng *rand.Rand) string { return eventTime(rng) }
+
+// PlaceFor samples a full venue address.
+func PlaceFor(rng *rand.Rand) string {
+	return streetAddress(rng) + ", " + cityStateZip(rng)
+}
+
+// EventDescFor samples an event description sentence.
+func EventDescFor(rng *rand.Rand) string { return pick(rng, eventDescPool) }
+
+// PersonFor samples a person name.
+func PersonFor(rng *rand.Rand) string { return personName(rng) }
+
+// FlyerContent is the exported view of one real-estate listing's fields.
+type FlyerContent struct {
+	Size       string
+	Address    string
+	Desc       string
+	BrokerName string
+	Phone      string
+	Email      string
+}
+
+// FlyerContentFor samples listing content for the holdout sites.
+func FlyerContentFor(rng *rand.Rand) FlyerContent {
+	name := personName(rng)
+	return FlyerContent{
+		Size:       propertySize(rng),
+		Address:    streetAddress(rng) + ", " + cityStateZip(rng),
+		Desc:       pick(rng, propertyDescPool),
+		BrokerName: name,
+		Phone:      phoneNumber(rng),
+		Email:      emailAddr(rng, name),
+	}
+}

@@ -1,0 +1,170 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/doc"
+)
+
+// Dataset D1 — structured tax forms in the manner of the NIST Special
+// Database 6: 20 form faces from one "package", each a fixed template of
+// labelled fields with filled-in values. The IE task extracts every named
+// entity corresponding to a form field (Section 6.1); following
+// Section 5.2.1, the patterns are exact string matches against the field
+// descriptors, so the per-face descriptor inventory doubles as the holdout
+// corpus content.
+
+// NumFormFaces is the number of distinct form templates, as in NIST SD6.
+const NumFormFaces = 20
+
+// fieldsPerFace yields 20 faces × ~68 fields ≈ the paper's 1369 fields.
+func fieldsPerFace(face int) int { return 64 + (face*7)%9 }
+
+// fieldKey is the entity key of one form field.
+func fieldKey(face, field int) string { return fmt.Sprintf("face%02d_f%03d", face, field) }
+
+// fieldDescriptor builds the printed label of a field, unique per face.
+func fieldDescriptor(face, field int) string {
+	subject := taxSubjectPool[(face*13+field)%len(taxSubjectPool)]
+	switch field % 3 {
+	case 0:
+		return fmt.Sprintf("%d %s", field+1, subject)
+	case 1:
+		return fmt.Sprintf("Line %d. %s", field+1, subject)
+	default:
+		return fmt.Sprintf("%d %s (see instructions)", field+1, subject)
+	}
+}
+
+// D1Fields returns entity key → descriptor list for every field of every
+// form face — the input to pattern.TaxPatterns and the D1 holdout corpus.
+func D1Fields() map[string][]string {
+	out := map[string][]string{}
+	for face := 0; face < NumFormFaces; face++ {
+		for f := 0; f < fieldsPerFace(face); f++ {
+			out[fieldKey(face, f)] = []string{fieldDescriptor(face, f)}
+		}
+	}
+	return out
+}
+
+// D1FieldCount reports the total number of distinct form fields.
+func D1FieldCount() int {
+	n := 0
+	for face := 0; face < NumFormFaces; face++ {
+		n += fieldsPerFace(face)
+	}
+	return n
+}
+
+// GenerateD1 produces n scanned tax-form documents cycling through the 20
+// form faces.
+func GenerateD1(opts Options) []doc.Labeled {
+	opts = opts.withDefaults()
+	out := make([]doc.Labeled, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		rng := rngFor(opts.Seed, i)
+		face := i % NumFormFaces
+		out = append(out, genTaxForm(docID("d1", i), face, rng))
+	}
+	return out
+}
+
+func genTaxForm(id string, face int, rng *rand.Rand) doc.Labeled {
+	const (
+		pageW = 612.0
+		pageH = 792.0
+	)
+	p := newPage(id, "d1", pageW, pageH, doc.CaptureScan, colorlab.White)
+	p.d.Template = fmt.Sprintf("face%02d", face)
+	truth := &doc.GroundTruth{DocID: id}
+
+	// Form header.
+	title := fmt.Sprintf("Form 10%02d Department of the Treasury", 40+face)
+	p.words(40, 24, 14, colorlab.Black, true, title)
+	p.words(40, 46, 9, colorlab.Gray, false,
+		fmt.Sprintf("Individual Income Tax Return 1988 face %d", face))
+
+	nFields := fieldsPerFace(face)
+	twoColumn := face%2 == 1
+
+	labelFont := 8.0
+	valueFont := 8.0
+	rowH := 20.0 // a full-line gutter between rows: each field is its own block
+
+	y := 80.0
+	col := 0
+	for f := 0; f < nFields; f++ {
+		var lx float64
+		if twoColumn {
+			if col == 0 {
+				lx = 36
+			} else {
+				lx = 320
+			}
+		} else {
+			lx = 40
+			// Real 1040 faces pack short fields two to a line; the narrow
+			// inter-field gap defeats line-based layout analysis (the
+			// Tesseract baseline merges the pair) while the whitespace-cut
+			// model still separates them.
+			if f%5 == 4 && f+1 < nFields {
+				descA := fieldDescriptor(face, f)
+				valueA := fieldValue(rng, f)
+				desc2 := fieldDescriptor(face, f+1)
+				value2 := fieldValue(rng, f+1)
+				lbBox, _ := p.words(40, y, labelFont, colorlab.Black, false, descA)
+				vBox, _ := p.words(lbBox.MaxX()+5, y, valueFont, colorlab.Black, false, valueA)
+				annotate(truth, fieldKey(face, f), lbBox.Union(vBox), valueA)
+				lx2 := vBox.MaxX() + 22
+				lbBox2, _ := p.words(lx2, y, labelFont, colorlab.Black, false, desc2)
+				vBox2, _ := p.words(lbBox2.MaxX()+5, y, valueFont, colorlab.Black, false, value2)
+				annotate(truth, fieldKey(face, f+1), lbBox2.Union(vBox2), value2)
+				f++
+				y += rowH
+				if y > pageH-30 {
+					break
+				}
+				continue
+			}
+		}
+		desc := fieldDescriptor(face, f)
+		value := fieldValue(rng, f)
+		lbBox, _ := p.words(lx, y, labelFont, colorlab.Black, false, desc)
+		// The value sits right after the label, close enough (sub-line gap)
+		// that segmentation keeps label and value in one logical block.
+		vBox, _ := p.words(lbBox.MaxX()+5, y, valueFont, colorlab.Black, false, value)
+
+		annotate(truth, fieldKey(face, f), lbBox.Union(vBox), value)
+
+		// Advance layout.
+		if twoColumn {
+			col = 1 - col
+			if col == 0 {
+				y += rowH
+			}
+		} else {
+			y += rowH
+		}
+		if y > pageH-30 {
+			break
+		}
+	}
+	return doc.Labeled{Doc: p.d, Truth: truth}
+}
+
+// fieldValue fills a field with a plausible value.
+func fieldValue(rng *rand.Rand, field int) string {
+	switch field % 5 {
+	case 0, 1:
+		return moneyAmount(rng)
+	case 2:
+		return fmt.Sprintf("%d", rng.Intn(99999))
+	case 3:
+		return personName(rng)
+	default:
+		return []string{"Yes", "No", "X", "None", "0"}[rng.Intn(5)]
+	}
+}

@@ -1,0 +1,363 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+	"vs2/internal/pattern"
+)
+
+// Dataset D2 — event posters and flyers advertising local events,
+// "collected randomly from various sources, including local magazines,
+// bulletin boards, and event hosting websites" (Section 6.1). The paper's
+// corpus mixes 1375 mobile captures with 815 born-digital PDFs out of 2190
+// documents; the generator reproduces that ratio. Five Table 3 entities
+// are annotated: Event Title, Event Place, Event Time, Event Organizer and
+// Event Description.
+
+// mobileFraction matches the paper's 1375/2190 capture mix.
+const mobileFraction = 1375.0 / 2190.0
+
+// posterPalettes give each poster a coherent colour scheme.
+var posterPalettes = []struct {
+	bg, headline, accent, body colorlab.RGB
+}{
+	{colorlab.White, colorlab.DarkNavy, colorlab.Burgundy, colorlab.Black},
+	{colorlab.Cream, colorlab.Burgundy, colorlab.TealPress, colorlab.Black},
+	{colorlab.White, colorlab.Red, colorlab.Blue, colorlab.Gray},
+	{colorlab.Cream, colorlab.TealPress, colorlab.Gold, colorlab.Black},
+	{colorlab.White, colorlab.Black, colorlab.Red, colorlab.Gray},
+}
+
+// GenerateD2 produces n event posters across five layout templates.
+func GenerateD2(opts Options) []doc.Labeled {
+	opts = opts.withDefaults()
+	out := make([]doc.Labeled, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		rng := rngFor(opts.Seed+1, i)
+		out = append(out, genPoster(docID("d2", i), rng))
+	}
+	return out
+}
+
+// posterContent is the ground-truth content of one poster.
+type posterContent struct {
+	title     string
+	organizer string // rendered inside organizerLine
+	orgLine   string
+	time      string
+	place     string
+	desc      string
+}
+
+// descLeading samples the description paragraph's leading: most posters
+// set copy tight, a third set it airy enough that lines become visually
+// separate areas.
+func descLeading(rng *rand.Rand) float64 {
+	switch r := rng.Float64(); {
+	case r < 0.60:
+		return 1.35
+	case r < 0.85:
+		return 1.9
+	default:
+		return 2.6
+	}
+}
+
+func makePosterContent(rng *rand.Rand) posterContent {
+	var organizer string
+	if rng.Float64() < 0.5 {
+		organizer = eventOrgName(rng)
+	} else {
+		organizer = personName(rng)
+	}
+	// Poster conventions: a third of posters carry the bare organizer name
+	// as its own credit line; the rest frame it ("Presented by X",
+	// "X presents", ...).
+	var line string
+	switch r := rng.Float64(); {
+	case r < 0.35:
+		line = organizer
+	default:
+		styles := []string{
+			"Presented by %s", "Hosted by %s", "Organized by %s", "%s presents",
+		}
+		line = fmt.Sprintf(pick(rng, styles), organizer)
+	}
+	return posterContent{
+		title:     eventTitle(rng),
+		organizer: organizer,
+		orgLine:   line,
+		time:      eventTime(rng),
+		place:     streetAddress(rng) + ", " + cityStateZip(rng),
+		desc:      pick(rng, eventDescPool),
+	}
+}
+
+func genPoster(id string, rng *rand.Rand) doc.Labeled {
+	const (
+		pageW = 450.0
+		pageH = 640.0
+	)
+	capture := doc.CaptureDigital
+	if rng.Float64() < mobileFraction {
+		capture = doc.CaptureMobile
+	}
+	pal := posterPalettes[rng.Intn(len(posterPalettes))]
+	p := newPage(id, "d2", pageW, pageH, capture, pal.bg)
+	truth := &doc.GroundTruth{DocID: id}
+	content := makePosterContent(rng)
+
+	template := rng.Intn(5)
+	p.d.Template = fmt.Sprintf("poster%02d", template)
+	var sections []domSection
+	switch template {
+	case 0:
+		sections = posterCentered(p, truth, content, pal, rng)
+	case 1:
+		sections = posterLeftRail(p, truth, content, pal, rng)
+	case 2:
+		sections = posterSplit(p, truth, content, pal, rng)
+	case 3:
+		sections = posterBanner(p, truth, content, pal, rng)
+	default:
+		sections = posterStacked(p, truth, content, pal, rng)
+	}
+	if capture == doc.CaptureDigital {
+		// Poster PDFs reach HTML through a converter; its markup is coarse.
+		buildDOMNoisy(p.d, sections, 0.3, rng)
+	}
+	return doc.Labeled{Doc: p.d, Truth: truth}
+}
+
+// badge drops a decorative highlight ("FREE", "TONIGHT ONLY") into the
+// whitespace gutter between two section bands, horizontally offset and
+// vertically straddling both bands' y-ranges. Real posters use such
+// badges constantly; they are exactly the structure that defeats straight
+// projection cuts (no clear horizontal line survives) while a drifting
+// whitespace seam routes around them — the paper's Fig. 5 motivation. The
+// badge is annotated as an EventDescription mention ("essential details"
+// per Table 3: admission highlights qualify).
+func badge(p *page, truth *doc.GroundTruth, pal struct{ bg, headline, accent, body colorlab.RGB },
+	rng *rand.Rand, upper, lower geom.Rect) {
+	if rng.Float64() > 0.45 {
+		return
+	}
+	gap := lower.Y - upper.MaxY()
+	if gap < 28 {
+		return
+	}
+	texts := []string{"FREE", "LIVE", "TONIGHT", "NEW", "SOLD OUT", "ALL AGES"}
+	text := pick(rng, texts)
+	// The badge sits inside the gutter, horizontally offset toward the
+	// right margin, leaving whitespace channels on every side.
+	fontH := gap - 14
+	if fontH > 40 {
+		fontH = 40
+	}
+	if fontH < 14 {
+		return
+	}
+	y := upper.MaxY() + 7
+	x := p.d.Width - textWidth(text, fontH) - 24 - float64(rng.Intn(16))
+	if x < 30 {
+		return
+	}
+	bBox, _ := p.words(x, y, fontH, pal.accent, true, text)
+	annotate(truth, pattern.EventDescription, bBox, text)
+}
+
+// finePrint drops a 7pt credits line at the page bottom: designer name,
+// print date and a print-shop phone — the decoy mentions that force the
+// disambiguation step to do real work (a text-only pipeline routinely
+// confuses these with the event's organizer and time, Fig. 3 of the
+// paper).
+func finePrint(p *page, pal struct{ bg, headline, accent, body colorlab.RGB }, rng *rand.Rand) []domSection {
+	if rng.Float64() < 0.25 {
+		return nil
+	}
+	text := fmt.Sprintf("design %s printed %d/%d %s",
+		personName(rng), 1+rng.Intn(12), 1+rng.Intn(28), phoneNumber(rng))
+	box, ids := p.words(24, p.d.Height-18, 7, colorlab.Gray, false, text)
+	return []domSection{{"footer", box, ids}}
+}
+
+// jitterY returns a per-section layout perturbation: no two real posters
+// share exact section positions, which is what defeats template-mask
+// extraction (the paper's ReportMiner analysis: "performance worsened as
+// the variability in document layouts increased").
+func jitterY(rng *rand.Rand) float64 { return float64(rng.Intn(45)) - 22 }
+
+// centered lays every section on a centred column.
+func posterCentered(p *page, truth *doc.GroundTruth, c posterContent,
+	pal struct{ bg, headline, accent, body colorlab.RGB }, rng *rand.Rand) []domSection {
+	pageW := p.d.Width
+	center := func(text string, fontH float64) float64 {
+		w := textWidth(text, fontH) + fontH*0.5*float64(len(splitWords(text))-1)
+		x := (pageW - w) / 2
+		if x < 20 {
+			x = 20
+		}
+		return x
+	}
+	titleFont := 30.0 + float64(rng.Intn(8))
+	y := 50.0 + float64(rng.Intn(30))
+	tBox, tIDs := p.words(center(c.title, titleFont), y, titleFont, pal.headline, true, c.title)
+	annotate(truth, pattern.EventTitle, tBox, c.title)
+	y = tBox.MaxY() + 45 + jitterY(rng)
+
+	oBox, oIDs := p.words(center(c.orgLine, 15), y, 15, pal.accent, false, c.orgLine)
+	annotate(truth, pattern.EventOrganizer, oBox, c.organizer)
+	y = oBox.MaxY() + 55 + jitterY(rng)
+
+	badge(p, truth, pal, rng, oBox, geom.Rect{X: 60, Y: y, W: 10, H: 10})
+	tmBox, tmIDs := p.words(center(c.time, 16), y, 16, pal.body, true, c.time)
+	annotate(truth, pattern.EventTime, tmBox, c.time)
+	y = tmBox.MaxY() + 22
+
+	plBox, plIDs := p.words(center(c.place, 12), y, 12, pal.body, false, c.place)
+	annotate(truth, pattern.EventPlace, plBox, c.place)
+	y = plBox.MaxY() + 55 + jitterY(rng)
+
+	dBox, dIDs := p.wrappedLeading(60, y, 11, pageW-120, descLeading(rng), pal.body, c.desc)
+	annotate(truth, pattern.EventDescription, dBox, c.desc)
+
+	return append([]domSection{
+		{"h1", tBox, tIDs}, {"h3", oBox, oIDs}, {"p", tmBox, tmIDs},
+		{"p", plBox, plIDs}, {"p", dBox, dIDs},
+	}, finePrint(p, pal, rng)...)
+}
+
+// leftRail puts the description in a left column and logistics on the right.
+func posterLeftRail(p *page, truth *doc.GroundTruth, c posterContent,
+	pal struct{ bg, headline, accent, body colorlab.RGB }, rng *rand.Rand) []domSection {
+	titleFont := 26.0 + float64(rng.Intn(6))
+	tBox, tIDs := p.words(30, 40, titleFont, pal.headline, true, c.title)
+	annotate(truth, pattern.EventTitle, tBox, c.title)
+
+	dBox, dIDs := p.wrappedLeading(30, tBox.MaxY()+50+jitterY(rng), 11, 180, descLeading(rng), pal.body, c.desc)
+	annotate(truth, pattern.EventDescription, dBox, c.desc)
+
+	rx := 260.0
+	tmBox, tmIDs := p.words(rx, tBox.MaxY()+50+jitterY(rng), 15, pal.accent, true, c.time)
+	annotate(truth, pattern.EventTime, tmBox, c.time)
+
+	plBox, plIDs := p.wrapped(rx, tmBox.MaxY()+26, 11, 160, pal.body, c.place)
+	annotate(truth, pattern.EventPlace, plBox, c.place)
+
+	oBox, oIDs := p.wrapped(rx, plBox.MaxY()+40+jitterY(rng), 12, 160, pal.accent, c.orgLine)
+	annotate(truth, pattern.EventOrganizer, oBox, c.organizer)
+
+	return append([]domSection{
+		{"h1", tBox, tIDs}, {"p", dBox, dIDs}, {"p", tmBox, tmIDs},
+		{"p", plBox, plIDs}, {"h3", oBox, oIDs},
+	}, finePrint(p, pal, rng)...)
+}
+
+// split separates a big top banner from a bottom logistics strip.
+func posterSplit(p *page, truth *doc.GroundTruth, c posterContent,
+	pal struct{ bg, headline, accent, body colorlab.RGB }, rng *rand.Rand) []domSection {
+	titleFont := 34.0
+	tBox, tIDs := p.words(40, 70, titleFont, pal.headline, true, c.title)
+	annotate(truth, pattern.EventTitle, tBox, c.title)
+
+	oBox, oIDs := p.words(40, tBox.MaxY()+18, 14, pal.accent, false, c.orgLine)
+	annotate(truth, pattern.EventOrganizer, oBox, c.organizer)
+
+	imgBox, imgID := p.image(120, oBox.MaxY()+40+jitterY(rng), 210, 140, "event-art")
+
+	y := imgBox.MaxY() + 50 + jitterY(rng)
+	tmBox, tmIDs := p.words(40, y, 16, pal.body, true, c.time)
+	annotate(truth, pattern.EventTime, tmBox, c.time)
+	plBox, plIDs := p.words(40, tmBox.MaxY()+20, 12, pal.body, false, c.place)
+	annotate(truth, pattern.EventPlace, plBox, c.place)
+	dBox, dIDs := p.wrappedLeading(40, plBox.MaxY()+40+jitterY(rng), 11, p.d.Width-80, descLeading(rng), pal.body, c.desc)
+	annotate(truth, pattern.EventDescription, dBox, c.desc)
+
+	return append([]domSection{
+		{"h1", tBox, tIDs}, {"h3", oBox, oIDs},
+		{"img", imgBox, []int{imgID}},
+		{"p", tmBox, tmIDs}, {"p", plBox, plIDs}, {"p", dBox, dIDs},
+	}, finePrint(p, pal, rng)...)
+}
+
+// banner opens with an image strip, then stacked sections.
+func posterBanner(p *page, truth *doc.GroundTruth, c posterContent,
+	pal struct{ bg, headline, accent, body colorlab.RGB }, rng *rand.Rand) []domSection {
+	imgBox, imgID := p.image(0, 0, p.d.Width, 120, "banner")
+	titleFont := 28.0
+	tBox, tIDs := p.words(35, imgBox.MaxY()+30, titleFont, pal.headline, true, c.title)
+	annotate(truth, pattern.EventTitle, tBox, c.title)
+
+	tmBox, tmIDs := p.words(35, tBox.MaxY()+45+jitterY(rng), 15, pal.accent, true, c.time)
+	annotate(truth, pattern.EventTime, tmBox, c.time)
+	plBox, plIDs := p.words(35, tmBox.MaxY()+20, 12, pal.body, false, c.place)
+	annotate(truth, pattern.EventPlace, plBox, c.place)
+
+	badge(p, truth, pal, rng, plBox, geom.Rect{X: 35, Y: plBox.MaxY() + 45, W: 10, H: 10})
+	dBox, dIDs := p.wrappedLeading(35, plBox.MaxY()+45, 11, p.d.Width-70, descLeading(rng), pal.body, c.desc)
+	annotate(truth, pattern.EventDescription, dBox, c.desc)
+
+	oBox, oIDs := p.words(35, dBox.MaxY()+50+jitterY(rng), 13, pal.accent, false, c.orgLine)
+	annotate(truth, pattern.EventOrganizer, oBox, c.organizer)
+
+	return append([]domSection{
+		{"img", imgBox, []int{imgID}},
+		{"h1", tBox, tIDs}, {"p", tmBox, tmIDs}, {"p", plBox, plIDs},
+		{"p", dBox, dIDs}, {"h3", oBox, oIDs},
+	}, finePrint(p, pal, rng)...)
+}
+
+// stacked is a plain flyer: every section left-aligned with generous
+// gutters, plus a fine-print footer that tends to confuse text-only
+// pipelines (decoy names).
+func posterStacked(p *page, truth *doc.GroundTruth, c posterContent,
+	pal struct{ bg, headline, accent, body colorlab.RGB }, rng *rand.Rand) []domSection {
+	titleFont := 24.0 + float64(rng.Intn(10))
+	tBox, tIDs := p.words(30, 45, titleFont, pal.headline, true, c.title)
+	annotate(truth, pattern.EventTitle, tBox, c.title)
+
+	oBox, oIDs := p.words(30, tBox.MaxY()+40+jitterY(rng), 14, pal.accent, false, c.orgLine)
+	annotate(truth, pattern.EventOrganizer, oBox, c.organizer)
+
+	dBox, dIDs := p.wrappedLeading(30, oBox.MaxY()+45+jitterY(rng), 11, p.d.Width-60, descLeading(rng), pal.body, c.desc)
+	annotate(truth, pattern.EventDescription, dBox, c.desc)
+
+	badge(p, truth, pal, rng, dBox, geom.Rect{X: 30, Y: dBox.MaxY() + 45, W: 10, H: 10})
+	tmBox, tmIDs := p.words(30, dBox.MaxY()+45+jitterY(rng), 16, pal.body, true, c.time)
+	annotate(truth, pattern.EventTime, tmBox, c.time)
+	plBox, plIDs := p.words(30, tmBox.MaxY()+20, 12, pal.body, false, c.place)
+	annotate(truth, pattern.EventPlace, plBox, c.place)
+
+	// Decoy fine print: a person name unrelated to the event.
+	fpBox, fpIDs := p.words(30, p.d.Height-45, 8, colorlab.Gray, false,
+		"flyer design by "+personName(rng))
+
+	return []domSection{
+		{"h1", tBox, tIDs}, {"h3", oBox, oIDs}, {"p", dBox, dIDs},
+		{"p", tmBox, tmIDs}, {"p", plBox, plIDs}, {"footer", fpBox, fpIDs},
+	}
+}
+
+// organizerBox returns the bounding box of just the organizer name inside
+// the rendered organizer line ("Presented by <name>"): the ground-truth
+// box covers the name tokens, not the framing words.
+func organizerBox(d *doc.Document, lineIDs []int, organizer string) geom.Rect {
+	nameWords := map[string]bool{}
+	for _, w := range splitWords(organizer) {
+		nameWords[w] = true
+	}
+	var out geom.Rect
+	for _, id := range lineIDs {
+		if nameWords[d.Elements[id].Text] {
+			out = out.Union(d.Elements[id].Box)
+		}
+	}
+	if out.Empty() {
+		return d.BoundingBoxOf(lineIDs)
+	}
+	return out
+}

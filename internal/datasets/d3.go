@@ -1,0 +1,250 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+	"vs2/internal/pattern"
+)
+
+// Dataset D3 — online commercial real-estate flyers "collected from 20
+// different real-estate broker websites" in HTML format (Section 6.1).
+// Documents from the same broker site share a template (that per-source
+// homogeneity is what lets the ReportMiner baseline work at all), while
+// templates differ across sites. Six Table 4 entities are annotated.
+
+// NumBrokerSites matches the paper's 20 source websites.
+const NumBrokerSites = 20
+
+// GenerateD3 produces n real-estate flyers distributed over the 20 sites.
+func GenerateD3(opts Options) []doc.Labeled {
+	opts = opts.withDefaults()
+	out := make([]doc.Labeled, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		rng := rngFor(opts.Seed+2, i)
+		site := i % NumBrokerSites
+		out = append(out, genFlyer(docID("d3", i), site, rng))
+	}
+	return out
+}
+
+// flyerContent is the ground truth of one flyer.
+type flyerContent struct {
+	headline   string
+	address    string
+	size       string
+	desc       string
+	brokerName string
+	brokerOrg  string
+	phone      string
+	email      string
+}
+
+func makeFlyerContent(rng *rand.Rand) flyerContent {
+	name := personName(rng)
+	ptype := pick(rng, propertyTypePool)
+	headline := strings.Title(ptype) + " for " + pick(rng, []string{"Lease", "Sale"})
+	return flyerContent{
+		headline:   headline,
+		address:    streetAddress(rng) + ", " + cityStateZip(rng),
+		size:       propertySize(rng),
+		desc:       pick(rng, propertyDescPool),
+		brokerName: name,
+		brokerOrg:  brokerOrgName(rng),
+		phone:      phoneNumber(rng),
+		email:      emailAddr(rng, name),
+	}
+}
+
+// sitePalette gives each broker site a stable colour scheme.
+func sitePalette(site int) (headline, accent, body colorlab.RGB) {
+	palettes := []struct{ h, a, b colorlab.RGB }{
+		{colorlab.DarkNavy, colorlab.Gold, colorlab.Black},
+		{colorlab.Burgundy, colorlab.Gray, colorlab.Black},
+		{colorlab.TealPress, colorlab.DarkNavy, colorlab.Black},
+		{colorlab.Black, colorlab.Red, colorlab.Gray},
+		{colorlab.Blue, colorlab.Green, colorlab.Black},
+	}
+	p := palettes[site%len(palettes)]
+	return p.h, p.a, p.b
+}
+
+// listingFooter drops the small-print data-attribution line real listing
+// sites carry: a second organization, an update date and an office phone —
+// decoys for BrokerName, BrokerPhone and the temporal patterns.
+func listingFooter(p *page, rng *rand.Rand) []domSection {
+	if rng.Float64() < 0.3 {
+		return nil
+	}
+	text := fmt.Sprintf("listing data by %s updated %d/%d office %s",
+		brokerOrgName(rng), 1+rng.Intn(12), 2015+rng.Intn(5), phoneNumber(rng))
+	box, ids := p.words(24, p.d.Height-16, 7, colorlab.Gray, false, text)
+	return []domSection{{"footer", box, ids}}
+}
+
+func genFlyer(id string, site int, rng *rand.Rand) doc.Labeled {
+	const (
+		pageW = 520.0
+		pageH = 680.0
+	)
+	p := newPage(id, "d3", pageW, pageH, doc.CaptureDigital, colorlab.White)
+	p.d.Template = fmt.Sprintf("site%02d", site)
+	truth := &doc.GroundTruth{DocID: id}
+	c := makeFlyerContent(rng)
+	hc, ac, bc := sitePalette(site)
+
+	var sections []domSection
+	// Site template family: 20 sites map onto 4 structural variants with
+	// per-site palettes and spacing offsets.
+	switch site % 4 {
+	case 0:
+		sections = flyerClassic(p, truth, c, hc, ac, bc, site, rng)
+	case 1:
+		sections = flyerPhotoLeft(p, truth, c, hc, ac, bc, site, rng)
+	case 2:
+		sections = flyerBrokerTop(p, truth, c, hc, ac, bc, site, rng)
+	default:
+		sections = flyerTwoColumn(p, truth, c, hc, ac, bc, site, rng)
+	}
+	sections = append(sections, listingFooter(p, rng)...)
+	// Broker sites are HTML-native, but template markup still wraps some
+	// neighbouring sections in shared containers.
+	buildDOMNoisy(p.d, sections, 0.1, rng)
+	return doc.Labeled{Doc: p.d, Truth: truth}
+}
+
+// contactBlock renders the broker contact section and annotates it. The
+// returned sections carry per-line DOM granularity — real broker sites
+// mark each contact line with its own element, which is what lets
+// markup-driven baselines (VIPS, ML-based) resolve contact entities.
+func contactBlock(p *page, truth *doc.GroundTruth, c flyerContent,
+	x, y float64, accent, body colorlab.RGB) (geom.Rect, []int, []domSection) {
+	var all []int
+	hBox, hIDs := p.words(x, y, 12, accent, true, "Contact "+c.brokerName)
+	all = append(all, hIDs...)
+	annotate(truth, pattern.BrokerName, hBox, c.brokerName)
+
+	oBox, oIDs := p.words(x, hBox.MaxY()+13, 10, body, false, c.brokerOrg)
+	all = append(all, oIDs...)
+
+	phBox, phIDs := p.words(x, oBox.MaxY()+13, 10, body, false, c.phone)
+	all = append(all, phIDs...)
+	annotate(truth, pattern.BrokerPhone, phBox, c.phone)
+
+	emBox, emIDs := p.words(x, phBox.MaxY()+13, 10, body, false, c.email)
+	all = append(all, emIDs...)
+	annotate(truth, pattern.BrokerEmail, emBox, c.email)
+
+	sections := []domSection{
+		{"h4", hBox, hIDs},
+		{"p", oBox, oIDs},
+		{"p", phBox, phIDs}, {"p", emBox, emIDs},
+	}
+	return hBox.Union(oBox).Union(phBox).Union(emBox), all, sections
+}
+
+func flyerClassic(p *page, truth *doc.GroundTruth, c flyerContent,
+	hc, ac, bc colorlab.RGB, site int, rng *rand.Rand) []domSection {
+	yOff := float64(site%5) * 6
+	tBox, tIDs := p.words(30, 40+yOff, 26, hc, true, c.headline)
+	annotate(truth, pattern.PropertyDesc, tBox, c.headline)
+	aBox, aIDs := p.words(30, tBox.MaxY()+16, 13, ac, false, c.address)
+	annotate(truth, pattern.PropertyAddr, aBox, c.address)
+
+	imgBox, imgID := p.image(30, aBox.MaxY()+30, 300, 170, "property-photo")
+
+	szBox, szIDs := p.words(30, imgBox.MaxY()+30, 14, hc, true, c.size)
+	annotate(truth, pattern.PropertySize, szBox, c.size)
+
+	dBox, dIDs := p.wrapped(30, szBox.MaxY()+25, 11, p.d.Width-60, bc, c.desc)
+	annotate(truth, pattern.PropertyDesc, dBox, c.desc)
+
+	cbBox, cbIDs, cbSecs := contactBlock(p, truth, c, 360, imgBox.Y, ac, bc)
+	_ = cbBox
+	_ = cbIDs
+
+	return append([]domSection{
+		{"h1", tBox, tIDs}, {"h2", aBox, aIDs},
+		{"img", imgBox, []int{imgID}},
+		{"h3", szBox, szIDs}, {"p", dBox, dIDs},
+	}, cbSecs...)
+}
+
+func flyerPhotoLeft(p *page, truth *doc.GroundTruth, c flyerContent,
+	hc, ac, bc colorlab.RGB, site int, rng *rand.Rand) []domSection {
+	imgBox, imgID := p.image(0, 0, 220, 300, "property-photo")
+
+	tBox, tIDs := p.words(250, 50, 22, hc, true, c.headline)
+	annotate(truth, pattern.PropertyDesc, tBox, c.headline)
+	aBox, aIDs := p.words(250, tBox.MaxY()+14, 12, ac, false, c.address)
+	annotate(truth, pattern.PropertyAddr, aBox, c.address)
+	szBox, szIDs := p.words(250, aBox.MaxY()+24, 13, hc, true, c.size)
+	annotate(truth, pattern.PropertySize, szBox, c.size)
+
+	dBox, dIDs := p.wrapped(30, imgBox.MaxY()+40, 11, p.d.Width-60, bc, c.desc)
+	annotate(truth, pattern.PropertyDesc, dBox, c.desc)
+
+	cbBox, cbIDs, cbSecs := contactBlock(p, truth, c, 30, dBox.MaxY()+50, ac, bc)
+	_ = cbBox
+	_ = cbIDs
+
+	return append([]domSection{
+		{"img", imgBox, []int{imgID}},
+		{"h1", tBox, tIDs}, {"h2", aBox, aIDs}, {"h3", szBox, szIDs},
+		{"p", dBox, dIDs},
+	}, cbSecs...)
+}
+
+func flyerBrokerTop(p *page, truth *doc.GroundTruth, c flyerContent,
+	hc, ac, bc colorlab.RGB, site int, rng *rand.Rand) []domSection {
+	cbBox, cbIDs, cbSecs := contactBlock(p, truth, c, 340, 30, ac, bc)
+	_ = cbIDs
+
+	tBox, tIDs := p.words(30, 30, 24, hc, true, c.headline)
+	annotate(truth, pattern.PropertyDesc, tBox, c.headline)
+	aBox, aIDs := p.words(30, tBox.MaxY()+14, 12, ac, false, c.address)
+	annotate(truth, pattern.PropertyAddr, aBox, c.address)
+
+	imgBox, imgID := p.image(30, cbBox.MaxY()+40, p.d.Width-60, 180, "property-photo")
+
+	szBox, szIDs := p.words(30, imgBox.MaxY()+28, 13, hc, true, c.size)
+	annotate(truth, pattern.PropertySize, szBox, c.size)
+	dBox, dIDs := p.wrapped(30, szBox.MaxY()+24, 11, p.d.Width-60, bc, c.desc)
+	annotate(truth, pattern.PropertyDesc, dBox, c.desc)
+
+	return append(append([]domSection{}, cbSecs...), []domSection{
+		{"h1", tBox, tIDs}, {"h2", aBox, aIDs},
+		{"img", imgBox, []int{imgID}},
+		{"h3", szBox, szIDs}, {"p", dBox, dIDs},
+	}...)
+}
+
+func flyerTwoColumn(p *page, truth *doc.GroundTruth, c flyerContent,
+	hc, ac, bc colorlab.RGB, site int, rng *rand.Rand) []domSection {
+	tBox, tIDs := p.words(30, 36, 24, hc, true, c.headline)
+	annotate(truth, pattern.PropertyDesc, tBox, c.headline)
+
+	// Left column: property facts.
+	aBox, aIDs := p.wrapped(30, tBox.MaxY()+40, 12, 200, ac, c.address)
+	annotate(truth, pattern.PropertyAddr, aBox, c.address)
+	szBox, szIDs := p.wrapped(30, aBox.MaxY()+26, 13, 200, hc, c.size)
+	annotate(truth, pattern.PropertySize, szBox, c.size)
+	dBox, dIDs := p.wrapped(30, szBox.MaxY()+30, 11, 200, bc, c.desc)
+	annotate(truth, pattern.PropertyDesc, dBox, c.desc)
+
+	// Right column: photo plus contact.
+	imgBox, imgID := p.image(280, tBox.MaxY()+40, 210, 160, "property-photo")
+	cbBox, cbIDs, cbSecs := contactBlock(p, truth, c, 280, imgBox.MaxY()+35, ac, bc)
+	_ = cbBox
+	_ = cbIDs
+
+	return append([]domSection{
+		{"h1", tBox, tIDs},
+		{"h2", aBox, aIDs}, {"h3", szBox, szIDs}, {"p", dBox, dIDs},
+		{"img", imgBox, []int{imgID}},
+	}, cbSecs...)
+}

@@ -1,0 +1,218 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"vs2/internal/doc"
+	"vs2/internal/pattern"
+)
+
+func TestGenerateD1Basics(t *testing.T) {
+	docs := GenerateD1(Options{N: 40, Seed: 3})
+	if len(docs) != 40 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	faces := map[string]bool{}
+	for _, l := range docs {
+		if err := l.Doc.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", l.Doc.ID, err)
+		}
+		if err := l.Truth.Validate(l.Doc); err != nil {
+			t.Fatalf("%s truth invalid: %v", l.Doc.ID, err)
+		}
+		if l.Doc.Capture != doc.CaptureScan {
+			t.Errorf("%s capture = %v", l.Doc.ID, l.Doc.Capture)
+		}
+		if len(l.Truth.Annotations) < 30 {
+			t.Errorf("%s has only %d annotations", l.Doc.ID, len(l.Truth.Annotations))
+		}
+		faces[l.Doc.Template] = true
+	}
+	if len(faces) != NumFormFaces {
+		t.Errorf("form faces used = %d, want %d", len(faces), NumFormFaces)
+	}
+}
+
+func TestD1FieldInventory(t *testing.T) {
+	fields := D1Fields()
+	n := D1FieldCount()
+	if len(fields) != n {
+		t.Errorf("D1Fields = %d entries, count = %d", len(fields), n)
+	}
+	// The paper reports 1369 fields; ours should be the same order of
+	// magnitude (exactly 20 faces × 64..72 fields).
+	if n < 1200 || n > 1500 {
+		t.Errorf("field count %d not near 1369", n)
+	}
+	// Descriptors must be unique per entity and non-empty.
+	for k, ds := range fields {
+		if len(ds) == 0 || ds[0] == "" {
+			t.Fatalf("entity %s has no descriptor", k)
+		}
+	}
+}
+
+func TestD1DescriptorsAppearInDocuments(t *testing.T) {
+	docs := GenerateD1(Options{N: 1, Seed: 9})
+	l := docs[0]
+	transcript := l.Doc.Transcript(nil)
+	found := 0
+	for _, a := range l.Truth.Annotations {
+		if strings.Contains(transcript, a.Text) {
+			found++
+		}
+	}
+	if found < len(l.Truth.Annotations)*9/10 {
+		t.Errorf("only %d/%d values appear in transcript", found, len(l.Truth.Annotations))
+	}
+}
+
+func TestGenerateD2Basics(t *testing.T) {
+	docs := GenerateD2(Options{N: 80, Seed: 5})
+	mobile, digital, withDOM := 0, 0, 0
+	templates := map[string]bool{}
+	for _, l := range docs {
+		if err := l.Doc.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", l.Doc.ID, err)
+		}
+		if err := l.Truth.Validate(l.Doc); err != nil {
+			t.Fatalf("%s truth invalid: %v", l.Doc.ID, err)
+		}
+		switch l.Doc.Capture {
+		case doc.CaptureMobile:
+			mobile++
+			if l.Doc.DOM != nil {
+				t.Error("mobile capture should not carry a DOM")
+			}
+		case doc.CaptureDigital:
+			digital++
+			if l.Doc.DOM != nil {
+				withDOM++
+			}
+		}
+		templates[l.Doc.Template] = true
+		// All five entities annotated.
+		ents := l.Truth.Entities()
+		if len(ents) != 5 {
+			t.Errorf("%s entities = %v", l.Doc.ID, ents)
+		}
+	}
+	if mobile == 0 || digital == 0 {
+		t.Errorf("capture mix degenerate: mobile=%d digital=%d", mobile, digital)
+	}
+	// Ratio should be near the paper's 1375/2190 ≈ 0.63.
+	frac := float64(mobile) / float64(len(docs))
+	if frac < 0.45 || frac < 0.3 || frac > 0.85 {
+		t.Errorf("mobile fraction = %v", frac)
+	}
+	if withDOM != digital {
+		t.Errorf("digital docs without DOM: %d/%d", digital-withDOM, digital)
+	}
+	if len(templates) < 4 {
+		t.Errorf("templates used = %v", templates)
+	}
+}
+
+func TestD2AnnotationsMatchContent(t *testing.T) {
+	docs := GenerateD2(Options{N: 30, Seed: 11})
+	for _, l := range docs {
+		transcript := l.Doc.Transcript(nil)
+		for _, a := range l.Truth.Annotations {
+			// Every annotated word should exist in the document text.
+			for _, w := range strings.Fields(a.Text) {
+				if !strings.Contains(transcript, w) {
+					t.Errorf("%s: annotation %s word %q missing from document",
+						l.Doc.ID, a.Entity, w)
+				}
+			}
+			if a.Box.Empty() {
+				t.Errorf("%s: empty box for %s", l.Doc.ID, a.Entity)
+			}
+		}
+	}
+}
+
+func TestGenerateD3Basics(t *testing.T) {
+	docs := GenerateD3(Options{N: 60, Seed: 7})
+	sites := map[string]bool{}
+	for _, l := range docs {
+		if err := l.Doc.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", l.Doc.ID, err)
+		}
+		if err := l.Truth.Validate(l.Doc); err != nil {
+			t.Fatalf("%s truth invalid: %v", l.Doc.ID, err)
+		}
+		if l.Doc.Capture != doc.CaptureDigital || l.Doc.DOM == nil {
+			t.Errorf("%s should be digital with DOM", l.Doc.ID)
+		}
+		sites[l.Doc.Template] = true
+		ents := l.Truth.Entities()
+		if len(ents) != 6 {
+			t.Errorf("%s entities = %v", l.Doc.ID, ents)
+		}
+	}
+	if len(sites) != NumBrokerSites {
+		t.Errorf("sites used = %d, want %d", len(sites), NumBrokerSites)
+	}
+}
+
+func TestD3SiteTemplatesAreConsistent(t *testing.T) {
+	docs := GenerateD3(Options{N: 40, Seed: 13})
+	// Two documents from the same site must place the BrokerPhone
+	// annotation at similar positions (template reuse).
+	bySite := map[string][]doc.Labeled{}
+	for _, l := range docs {
+		bySite[l.Doc.Template] = append(bySite[l.Doc.Template], l)
+	}
+	for site, ls := range bySite {
+		if len(ls) < 2 {
+			continue
+		}
+		a := ls[0].Truth.ForEntity(pattern.BrokerPhone)
+		b := ls[1].Truth.ForEntity(pattern.BrokerPhone)
+		if len(a) == 0 || len(b) == 0 {
+			t.Fatalf("site %s missing phone annotations", site)
+		}
+		dy := a[0].Box.Y - b[0].Box.Y
+		if dy < 0 {
+			dy = -dy
+		}
+		if dy > 120 {
+			t.Errorf("site %s phone positions differ by %v (template drift)", site, dy)
+		}
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	a := GenerateD2(Options{N: 5, Seed: 21})
+	b := GenerateD2(Options{N: 5, Seed: 21})
+	for i := range a {
+		ta, _ := doc.EncodeLabeled(&a[i])
+		tb, _ := doc.EncodeLabeled(&b[i])
+		if string(ta) != string(tb) {
+			t.Fatalf("doc %d differs across runs", i)
+		}
+	}
+	// Different seeds produce different corpora.
+	c := GenerateD2(Options{N: 5, Seed: 22})
+	same := 0
+	for i := range a {
+		if a[i].Doc.Transcript(nil) == c[i].Doc.Transcript(nil) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestDocumentsAreIndependentOfN(t *testing.T) {
+	small := GenerateD3(Options{N: 3, Seed: 31})
+	large := GenerateD3(Options{N: 10, Seed: 31})
+	for i := range small {
+		if small[i].Doc.Transcript(nil) != large[i].Doc.Transcript(nil) {
+			t.Fatalf("doc %d depends on N", i)
+		}
+	}
+}

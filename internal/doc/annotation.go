@@ -1,0 +1,101 @@
+package doc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"vs2/internal/geom"
+)
+
+// Annotation is one expert-labelled named entity occurrence: the smallest
+// bounding box containing the entity, the entity key from the task's
+// semantic vocabulary, and the ground-truth text (Section 6.2). The paper
+// averages coordinates from three annotators and majority-votes the label;
+// the dataset generators emit the already-consolidated result.
+type Annotation struct {
+	Entity string    `json:"entity"`
+	Box    geom.Rect `json:"box"`
+	Text   string    `json:"text"`
+}
+
+// GroundTruth holds every annotation for one document.
+type GroundTruth struct {
+	DocID       string       `json:"docId"`
+	Annotations []Annotation `json:"annotations"`
+}
+
+// ForEntity returns the annotations labelled with the given entity key.
+func (g *GroundTruth) ForEntity(entity string) []Annotation {
+	var out []Annotation
+	for _, a := range g.Annotations {
+		if a.Entity == entity {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Entities returns the distinct entity keys present, sorted.
+func (g *GroundTruth) Entities() []string {
+	set := map[string]bool{}
+	for _, a := range g.Annotations {
+		set[a.Entity] = true
+	}
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Labeled couples a document with its ground truth; the dataset generators
+// return slices of these.
+type Labeled struct {
+	Doc   *Document    `json:"doc"`
+	Truth *GroundTruth `json:"truth"`
+}
+
+// Validate checks that every annotation box intersects the page and refers
+// to a known entity-key syntax (non-empty).
+func (g *GroundTruth) Validate(d *Document) error {
+	page := d.Bounds()
+	for i, a := range g.Annotations {
+		if a.Entity == "" {
+			return fmt.Errorf("truth %s: annotation %d has empty entity", g.DocID, i)
+		}
+		if a.Box.Empty() {
+			return fmt.Errorf("truth %s: annotation %d (%s) has empty box", g.DocID, i, a.Entity)
+		}
+		if !page.Intersects(a.Box) {
+			return fmt.Errorf("truth %s: annotation %d (%s) outside page", g.DocID, i, a.Entity)
+		}
+	}
+	return nil
+}
+
+// EncodeLabeled serialises a labelled document as indented JSON.
+func EncodeLabeled(l *Labeled) ([]byte, error) {
+	return json.MarshalIndent(l, "", "  ")
+}
+
+// DecodeLabeled parses and validates a labelled document.
+func DecodeLabeled(data []byte) (*Labeled, error) {
+	var l Labeled
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("decode labeled document: %w", err)
+	}
+	if l.Doc == nil {
+		return nil, fmt.Errorf("decode labeled document: missing doc")
+	}
+	if err := l.Doc.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Truth != nil {
+		if err := l.Truth.Validate(l.Doc); err != nil {
+			return nil, err
+		}
+	}
+	return &l, nil
+}

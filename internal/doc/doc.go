@@ -1,0 +1,318 @@
+// Package doc implements the document layout model of Section 4 of the VS2
+// paper: a visually rich document D is a nested tuple (C, T) where C is the
+// set of visual contents (atomic textual and image elements, Section 4.1)
+// and T is the visual organisation of D — a tree whose leaves are the
+// smallest visually isolated but semantically coherent areas (Section 4.2).
+//
+// Documents are self-describing and serialisable to JSON so that the CLI
+// tools, the dataset generators and downstream users exchange one format.
+// Born-digital documents (the PDF/HTML subsets of datasets D2 and D3) may
+// additionally carry a DOM-like markup tree, which is what format-dependent
+// baselines such as VIPS (Cai et al.) consume; VS2 itself never reads it.
+package doc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/geom"
+)
+
+// ElementKind distinguishes the two atomic element categories of
+// Section 4.1.
+type ElementKind int
+
+const (
+	// TextElement is the smallest unit with textual attributes; the paper
+	// deems a "word" the textual element of a document.
+	TextElement ElementKind = iota
+	// ImageElement represents an image content (bitmap region).
+	ImageElement
+)
+
+func (k ElementKind) String() string {
+	switch k {
+	case TextElement:
+		return "text"
+	case ImageElement:
+		return "image"
+	default:
+		return fmt.Sprintf("ElementKind(%d)", int(k))
+	}
+}
+
+// Element is an atomic element a = (text-data, color, width, height) or
+// a_i = (image-data, width, height) per Section 4.1, positioned by the
+// smallest bounding box that encloses it.
+type Element struct {
+	ID   int         `json:"id"`
+	Kind ElementKind `json:"kind"`
+	Text string      `json:"text,omitempty"`
+	Box  geom.Rect   `json:"box"`
+	// Color is the average colour distribution of the element's visual area.
+	Color colorlab.RGB `json:"color"`
+	// FontSize is the nominal glyph height in page units; for generated
+	// documents it equals Box.H for single-line words.
+	FontSize float64 `json:"fontSize,omitempty"`
+	Bold     bool    `json:"bold,omitempty"`
+	// Line groups words rendered on the same text line; -1 when unknown
+	// (e.g. after OCR noise). Image elements use -1.
+	Line int `json:"line"`
+	// ImageData names the bitmap payload for image elements (the generators
+	// store a content tag rather than pixels).
+	ImageData string `json:"imageData,omitempty"`
+}
+
+// LAB returns the element colour in CIE-L*a*b* space (the encoding the
+// clustering features of Table 1 operate in).
+func (e *Element) LAB() colorlab.LAB { return colorlab.ToLAB(e.Color) }
+
+// Capture describes how a document entered the pipeline; the paper's D2
+// mixes mobile captures of printed flyers with born-digital PDFs, and D3 is
+// HTML-native. Format-dependent baselines and the OCR noise channel branch
+// on this.
+type Capture int
+
+const (
+	CaptureDigital Capture = iota // born-digital (PDF/HTML): clean boxes, DOM available
+	CaptureMobile                 // photographed print: jitter, rotation, transcription noise
+	CaptureScan                   // flatbed scan (D1 NIST forms): mild noise, no DOM
+)
+
+func (c Capture) String() string {
+	switch c {
+	case CaptureDigital:
+		return "digital"
+	case CaptureMobile:
+		return "mobile"
+	case CaptureScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("Capture(%d)", int(c))
+	}
+}
+
+// DOMNode is a minimal markup tree for born-digital documents. Only
+// format-dependent baselines (VIPS, the ML-based comparator) read it.
+type DOMNode struct {
+	Tag      string     `json:"tag"`
+	Box      geom.Rect  `json:"box"`
+	Text     string     `json:"text,omitempty"`
+	Elements []int      `json:"elements,omitempty"` // IDs of atomic elements under this node
+	Children []*DOMNode `json:"children,omitempty"`
+}
+
+// Walk visits n and all descendants in depth-first order.
+func (n *DOMNode) Walk(f func(*DOMNode)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// Document is a visually rich document: a page of atomic elements plus
+// provenance metadata. Width and Height are in page units (points).
+type Document struct {
+	ID       string    `json:"id"`
+	Dataset  string    `json:"dataset,omitempty"`
+	Template string    `json:"template,omitempty"` // generator template/form-face identifier
+	Width    float64   `json:"width"`
+	Height   float64   `json:"height"`
+	Capture  Capture   `json:"capture"`
+	Elements []Element `json:"elements"`
+	// Background is the dominant page colour.
+	Background colorlab.RGB `json:"background"`
+	// DOM is non-nil only for born-digital documents.
+	DOM *DOMNode `json:"dom,omitempty"`
+}
+
+// Bounds returns the page rectangle.
+func (d *Document) Bounds() geom.Rect {
+	return geom.Rect{W: d.Width, H: d.Height}
+}
+
+// TextElements returns the indices of all textual atomic elements, in
+// element order.
+func (d *Document) TextElements() []int {
+	var out []int
+	for i := range d.Elements {
+		if d.Elements[i].Kind == TextElement {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ImageElements returns the indices of all image atomic elements.
+func (d *Document) ImageElements() []int {
+	var out []int
+	for i := range d.Elements {
+		if d.Elements[i].Kind == ImageElement {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ReadingOrder returns element indices sorted into reading order: primary by
+// line band (top to bottom), secondary left to right. Elements whose boxes
+// overlap vertically by more than half of the smaller height share a band.
+func (d *Document) ReadingOrder(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := d.Elements[out[i]].Box, d.Elements[out[j]].Box
+		if sameBand(a, b) {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	return out
+}
+
+func sameBand(a, b geom.Rect) bool {
+	top := a.Y
+	if b.Y > top {
+		top = b.Y
+	}
+	bot := a.MaxY()
+	if b.MaxY() < bot {
+		bot = b.MaxY()
+	}
+	overlap := bot - top
+	minH := a.H
+	if b.H < minH {
+		minH = b.H
+	}
+	return overlap > minH/2
+}
+
+// Transcript joins the text of the given elements in reading order with
+// single spaces, inserting newlines between line bands. Passing nil
+// transcribes every textual element. This is the text-only view a
+// traditional IE pipeline sees (Fig. 3 of the paper).
+func (d *Document) Transcript(ids []int) string {
+	if ids == nil {
+		ids = d.TextElements()
+	}
+	ordered := d.ReadingOrder(ids)
+	var sb strings.Builder
+	var prev geom.Rect
+	for i, id := range ordered {
+		e := &d.Elements[id]
+		if e.Kind != TextElement || e.Text == "" {
+			continue
+		}
+		if i > 0 {
+			if sameBand(prev, e.Box) {
+				sb.WriteByte(' ')
+			} else {
+				sb.WriteByte('\n')
+			}
+		}
+		sb.WriteString(e.Text)
+		prev = e.Box
+	}
+	return sb.String()
+}
+
+// ElementsIn returns indices of textual and image elements whose boxes are
+// at least half contained in r. It is the "reverse lookup in the list of
+// atomic elements" of Section 4.2.
+func (d *Document) ElementsIn(r geom.Rect) []int {
+	var out []int
+	for i := range d.Elements {
+		b := d.Elements[i].Box
+		if b.Area() == 0 {
+			if r.Contains(geom.Point{X: b.X, Y: b.Y}) {
+				out = append(out, i)
+			}
+			continue
+		}
+		if r.Intersect(b).Area() >= b.Area()/2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BoundingBoxOf returns the union of the boxes of the identified elements.
+func (d *Document) BoundingBoxOf(ids []int) geom.Rect {
+	var out geom.Rect
+	for _, id := range ids {
+		out = out.Union(d.Elements[id].Box)
+	}
+	return out
+}
+
+// Validate reports structural problems: elements outside the page, negative
+// sizes, duplicate IDs. Generators and decoders call it defensively.
+func (d *Document) Validate() error {
+	if d.Width <= 0 || d.Height <= 0 {
+		return fmt.Errorf("doc %s: non-positive page size %gx%g", d.ID, d.Width, d.Height)
+	}
+	seen := make(map[int]bool, len(d.Elements))
+	page := d.Bounds().Inset(-d.Width) // allow rotated/jittered boxes to spill one page width
+	for i := range d.Elements {
+		e := &d.Elements[i]
+		if e.Box.W < 0 || e.Box.H < 0 {
+			return fmt.Errorf("doc %s: element %d has negative size %v", d.ID, e.ID, e.Box)
+		}
+		if !page.ContainsRect(e.Box) {
+			return fmt.Errorf("doc %s: element %d far outside page: %v", d.ID, e.ID, e.Box)
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("doc %s: duplicate element id %d", d.ID, e.ID)
+		}
+		seen[e.ID] = true
+		if e.Kind == TextElement && e.Text == "" {
+			return fmt.Errorf("doc %s: empty text element %d", d.ID, e.ID)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the document (DOM included).
+func (d *Document) Clone() *Document {
+	out := *d
+	out.Elements = append([]Element(nil), d.Elements...)
+	out.DOM = cloneDOM(d.DOM)
+	return &out
+}
+
+func cloneDOM(n *DOMNode) *DOMNode {
+	if n == nil {
+		return nil
+	}
+	out := *n
+	out.Elements = append([]int(nil), n.Elements...)
+	out.Children = make([]*DOMNode, len(n.Children))
+	for i, c := range n.Children {
+		out.Children[i] = cloneDOM(c)
+	}
+	return &out
+}
+
+// MarshalJSON / decoding helpers -------------------------------------------
+
+// Encode serialises the document as indented JSON.
+func Encode(d *Document) ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// Decode parses a document from JSON and validates it.
+func Decode(data []byte) (*Document, error) {
+	var d Document
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("decode document: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

@@ -1,0 +1,271 @@
+package doc
+
+import (
+	"strings"
+	"testing"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/geom"
+)
+
+// testDoc builds a two-line document:
+//
+//	Hello World      (line 0, y=10)
+//	Goodbye          (line 1, y=40)
+//	[image]          (y=80)
+func testDoc() *Document {
+	return &Document{
+		ID:     "t1",
+		Width:  200,
+		Height: 120,
+		Elements: []Element{
+			{ID: 0, Kind: TextElement, Text: "Hello", Box: geom.Rect{X: 10, Y: 10, W: 40, H: 12}, Line: 0},
+			{ID: 1, Kind: TextElement, Text: "World", Box: geom.Rect{X: 60, Y: 10, W: 40, H: 12}, Line: 0},
+			{ID: 2, Kind: TextElement, Text: "Goodbye", Box: geom.Rect{X: 10, Y: 40, W: 60, H: 12}, Line: 1},
+			{ID: 3, Kind: ImageElement, ImageData: "logo", Box: geom.Rect{X: 10, Y: 80, W: 30, H: 30}, Line: -1},
+		},
+		Background: colorlab.White,
+	}
+}
+
+func TestTextAndImageElements(t *testing.T) {
+	d := testDoc()
+	if got := d.TextElements(); len(got) != 3 {
+		t.Errorf("TextElements = %v", got)
+	}
+	if got := d.ImageElements(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("ImageElements = %v", got)
+	}
+}
+
+func TestReadingOrder(t *testing.T) {
+	d := testDoc()
+	// Scramble the order deliberately.
+	got := d.ReadingOrder([]int{2, 1, 0})
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReadingOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTranscript(t *testing.T) {
+	d := testDoc()
+	got := d.Transcript(nil)
+	want := "Hello World\nGoodbye"
+	if got != want {
+		t.Errorf("Transcript = %q, want %q", got, want)
+	}
+	// Subset transcription.
+	if got := d.Transcript([]int{2}); got != "Goodbye" {
+		t.Errorf("subset Transcript = %q", got)
+	}
+}
+
+func TestElementsIn(t *testing.T) {
+	d := testDoc()
+	top := geom.Rect{X: 0, Y: 0, W: 200, H: 30}
+	got := d.ElementsIn(top)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("ElementsIn(top) = %v", got)
+	}
+	if got := d.ElementsIn(geom.Rect{X: 150, Y: 0, W: 10, H: 10}); len(got) != 0 {
+		t.Errorf("ElementsIn(empty corner) = %v", got)
+	}
+}
+
+func TestBoundingBoxOf(t *testing.T) {
+	d := testDoc()
+	bb := d.BoundingBoxOf([]int{0, 2})
+	if bb.X != 10 || bb.Y != 10 || bb.MaxX() != 70 || bb.MaxY() != 52 {
+		t.Errorf("BoundingBoxOf = %v", bb)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := testDoc()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	bad := testDoc()
+	bad.Elements[1].ID = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate IDs not caught")
+	}
+	bad = testDoc()
+	bad.Elements[0].Text = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty text element not caught")
+	}
+	bad = testDoc()
+	bad.Width = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero width not caught")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := testDoc()
+	d.DOM = &DOMNode{Tag: "body", Box: d.Bounds(), Children: []*DOMNode{
+		{Tag: "div", Box: geom.Rect{X: 10, Y: 10, W: 90, H: 12}, Elements: []int{0, 1}},
+	}}
+	data, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != d.ID || len(back.Elements) != len(d.Elements) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if back.DOM == nil || back.DOM.Children[0].Tag != "div" {
+		t.Errorf("DOM lost in round trip")
+	}
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := testDoc()
+	d.DOM = &DOMNode{Tag: "body"}
+	c := d.Clone()
+	c.Elements[0].Text = "changed"
+	c.DOM.Tag = "changed"
+	if d.Elements[0].Text != "Hello" || d.DOM.Tag != "body" {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestTreeBasics(t *testing.T) {
+	d := testDoc()
+	root := NewTree(d)
+	if !root.IsLeaf() || len(root.Elements) != 4 {
+		t.Fatalf("fresh tree: %+v", root)
+	}
+	top := root.AddChild(geom.Rect{X: 0, Y: 0, W: 200, H: 30}, []int{0, 1})
+	bot := root.AddChild(geom.Rect{X: 0, Y: 30, W: 200, H: 90}, []int{2, 3})
+	if top.Depth != 1 || bot.Depth != 1 {
+		t.Errorf("child depths: %d %d", top.Depth, bot.Depth)
+	}
+	if root.Height() != 1 || root.Size() != 3 {
+		t.Errorf("Height=%d Size=%d", root.Height(), root.Size())
+	}
+	leaves := root.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("Leaves = %d", len(leaves))
+	}
+	if err := root.Validate(); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+	var visited int
+	root.Walk(func(*Node) { visited++ })
+	if visited != 3 {
+		t.Errorf("Walk visited %d", visited)
+	}
+}
+
+func TestTreeValidateCatchesOverlapAssignments(t *testing.T) {
+	d := testDoc()
+	root := NewTree(d)
+	root.AddChild(geom.Rect{X: 0, Y: 0, W: 200, H: 30}, []int{0, 1})
+	root.AddChild(geom.Rect{X: 0, Y: 30, W: 200, H: 90}, []int{1, 2}) // element 1 duplicated
+	if err := root.Validate(); err == nil {
+		t.Error("duplicate element assignment not caught")
+	}
+	root2 := NewTree(d)
+	c := root2.AddChild(geom.Rect{X: 0, Y: 0, W: 200, H: 30}, []int{0})
+	c.Depth = 5 // corrupt depth
+	if err := root2.Validate(); err == nil {
+		t.Error("bad depth not caught")
+	}
+}
+
+func TestNodeTextAndDensity(t *testing.T) {
+	d := testDoc()
+	n := &Node{Box: geom.Rect{X: 0, Y: 0, W: 200, H: 30}, Elements: []int{0, 1, 3}}
+	if got := n.Text(d); got != "Hello World" {
+		t.Errorf("Node.Text = %q", got)
+	}
+	wd := n.WordDensity(d)
+	if wd <= 0 {
+		t.Errorf("WordDensity = %v", wd)
+	}
+	empty := &Node{}
+	if empty.WordDensity(d) != 0 {
+		t.Error("empty node density should be 0")
+	}
+}
+
+func TestDump(t *testing.T) {
+	d := testDoc()
+	root := NewTree(d)
+	root.AddChild(geom.Rect{X: 0, Y: 0, W: 200, H: 30}, []int{0, 1})
+	s := root.Dump(d)
+	if !strings.Contains(s, "block") || !strings.Contains(s, "Hello") {
+		t.Errorf("Dump output unexpected:\n%s", s)
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	d := testDoc()
+	g := &GroundTruth{DocID: "t1", Annotations: []Annotation{
+		{Entity: "Title", Box: geom.Rect{X: 10, Y: 10, W: 90, H: 12}, Text: "Hello World"},
+		{Entity: "Body", Box: geom.Rect{X: 10, Y: 40, W: 60, H: 12}, Text: "Goodbye"},
+		{Entity: "Title", Box: geom.Rect{X: 10, Y: 80, W: 30, H: 30}, Text: "dup"},
+	}}
+	if err := g.Validate(d); err != nil {
+		t.Fatalf("valid truth rejected: %v", err)
+	}
+	if got := g.ForEntity("Title"); len(got) != 2 {
+		t.Errorf("ForEntity = %v", got)
+	}
+	ents := g.Entities()
+	if len(ents) != 2 || ents[0] != "Body" || ents[1] != "Title" {
+		t.Errorf("Entities = %v", ents)
+	}
+	bad := &GroundTruth{DocID: "t1", Annotations: []Annotation{{Entity: "", Box: geom.Rect{W: 1, H: 1}}}}
+	if err := bad.Validate(d); err == nil {
+		t.Error("empty entity not caught")
+	}
+	far := &GroundTruth{DocID: "t1", Annotations: []Annotation{{Entity: "X", Box: geom.Rect{X: 999, Y: 999, W: 1, H: 1}}}}
+	if err := far.Validate(d); err == nil {
+		t.Error("off-page annotation not caught")
+	}
+}
+
+func TestLabeledRoundTrip(t *testing.T) {
+	d := testDoc()
+	l := &Labeled{Doc: d, Truth: &GroundTruth{DocID: d.ID, Annotations: []Annotation{
+		{Entity: "Title", Box: geom.Rect{X: 10, Y: 10, W: 90, H: 12}, Text: "Hello World"},
+	}}}
+	data, err := EncodeLabeled(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeLabeled(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Truth.Annotations[0].Entity != "Title" {
+		t.Errorf("round trip truth mismatch: %+v", back.Truth)
+	}
+	if _, err := DecodeLabeled([]byte(`{"truth":{}}`)); err == nil {
+		t.Error("missing doc accepted")
+	}
+}
+
+func TestCaptureAndKindStrings(t *testing.T) {
+	if TextElement.String() != "text" || ImageElement.String() != "image" {
+		t.Error("ElementKind strings wrong")
+	}
+	if CaptureDigital.String() != "digital" || CaptureMobile.String() != "mobile" || CaptureScan.String() != "scan" {
+		t.Error("Capture strings wrong")
+	}
+	if !strings.Contains(ElementKind(9).String(), "9") {
+		t.Error("unknown kind string")
+	}
+}

@@ -1,0 +1,27 @@
+package doc
+
+import "testing"
+
+// FuzzDecode checks the document JSON decoder: arbitrary bytes must never
+// panic, and accepted documents must pass validation and re-encode.
+func FuzzDecode(f *testing.F) {
+	good := testDoc()
+	data, _ := Encode(good)
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"id":"x","width":10,"height":10}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"width":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid document: %v", err)
+		}
+		if _, err := Encode(d); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package doc
+
+import (
+	"fmt"
+	"strings"
+
+	"vs2/internal/geom"
+)
+
+// Node is a node of the hierarchical layout tree T_D = (V, E) of
+// Section 4.2. Each node is the nested tuple (B, x, y, width, height): the
+// smallest bounding box enclosing a visual area, plus the atomic elements
+// appearing within it. An edge from a parent to a child means the child's
+// visual area is enclosed by the parent's. Leaf nodes represent the logical
+// blocks of the document after segmentation converges.
+type Node struct {
+	Box      geom.Rect
+	Elements []int // indices into Document.Elements appearing in this area
+	Children []*Node
+	// Depth is the node's distance from the root; the semantic-merging
+	// threshold θ_h of Section 5.1.2 depends on it.
+	Depth int
+}
+
+// NewTree returns a single-node layout tree covering the whole document with
+// every atomic element attached — the starting state of VS2-Segment.
+func NewTree(d *Document) *Node {
+	all := make([]int, len(d.Elements))
+	for i := range all {
+		all[i] = i
+	}
+	return &Node{Box: d.Bounds(), Elements: all}
+}
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Leaves returns the leaf nodes of the subtree rooted at n, left to right.
+// After convergence these are the logical blocks.
+func (n *Node) Leaves() []*Node {
+	if n == nil {
+		return nil
+	}
+	if n.IsLeaf() {
+		return []*Node{n}
+	}
+	var out []*Node
+	for _, c := range n.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Walk visits every node of the subtree in pre-order.
+func (n *Node) Walk(f func(*Node)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// Height returns the height of the subtree rooted at n (a single node has
+// height 0).
+func (n *Node) Height() int {
+	h := 0
+	for _, c := range n.Children {
+		if ch := c.Height() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// Size returns the number of nodes in the subtree.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// AddChild appends a child node, stamping its depth, and returns it.
+func (n *Node) AddChild(box geom.Rect, elems []int) *Node {
+	c := &Node{Box: box, Elements: elems, Depth: n.Depth + 1}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Text transcribes the node's textual elements in reading order.
+func (n *Node) Text(d *Document) string {
+	var textual []int
+	for _, id := range n.Elements {
+		if d.Elements[id].Kind == TextElement {
+			textual = append(textual, id)
+		}
+	}
+	if len(textual) == 0 {
+		return ""
+	}
+	return d.Transcript(textual)
+}
+
+// WordDensity returns the number of words per unit area of the node's box,
+// scaled by 1e4 so typical magnitudes are near 1. Objective (3) of the
+// interest-point selection (Section 5.3.1) minimises this.
+func (n *Node) WordDensity(d *Document) float64 {
+	area := n.Box.Area()
+	if area == 0 {
+		return 0
+	}
+	words := 0
+	for _, id := range n.Elements {
+		if d.Elements[id].Kind == TextElement {
+			words++
+		}
+	}
+	return float64(words) / area * 1e4
+}
+
+// Validate checks the layout-tree invariants: children boxes are contained
+// in (or at least intersect) the parent box, child element sets partition a
+// subset of the parent's, and depths increase by one.
+func (n *Node) Validate() error {
+	return n.validate(nil)
+}
+
+func (n *Node) validate(parent *Node) error {
+	if parent != nil {
+		if n.Depth != parent.Depth+1 {
+			return fmt.Errorf("node depth %d under parent depth %d", n.Depth, parent.Depth)
+		}
+		if !n.Box.Empty() && !parent.Box.Intersects(n.Box) && !parent.Box.ContainsRect(n.Box) {
+			return fmt.Errorf("child box %v escapes parent %v", n.Box, parent.Box)
+		}
+	}
+	if len(n.Children) > 0 {
+		seen := map[int]bool{}
+		parentSet := map[int]bool{}
+		for _, id := range n.Elements {
+			parentSet[id] = true
+		}
+		for _, c := range n.Children {
+			for _, id := range c.Elements {
+				if seen[id] {
+					return fmt.Errorf("element %d assigned to two sibling nodes", id)
+				}
+				seen[id] = true
+				if len(parentSet) > 0 && !parentSet[id] {
+					return fmt.Errorf("element %d in child but not in parent", id)
+				}
+			}
+			if err := c.validate(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Dump renders the tree as an indented ASCII outline (the Fig. 4 analogue
+// produced by cmd/vs2 -dump).
+func (n *Node) Dump(d *Document) string {
+	var sb strings.Builder
+	n.dump(d, &sb, 0)
+	return sb.String()
+}
+
+func (n *Node) dump(d *Document, sb *strings.Builder, indent int) {
+	sb.WriteString(strings.Repeat("  ", indent))
+	kind := "block"
+	if !n.IsLeaf() {
+		kind = "area"
+	}
+	fmt.Fprintf(sb, "%s %v (%d elems)", kind, n.Box, len(n.Elements))
+	if n.IsLeaf() && d != nil {
+		txt := n.Text(d)
+		if len(txt) > 40 {
+			txt = txt[:40] + "…"
+		}
+		fmt.Fprintf(sb, " %q", strings.ReplaceAll(txt, "\n", " / "))
+	}
+	sb.WriteByte('\n')
+	for _, c := range n.Children {
+		c.dump(d, sb, indent+1)
+	}
+}

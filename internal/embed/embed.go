@@ -1,0 +1,113 @@
+// Package embed provides the word-embedding space VS2 needs for its
+// semantic operations: the semantic-merging step of VS2-Segment (Eq. 1
+// compares sibling areas by cosine similarity of their text), the semantic
+// coherence objective of the interest-point selection (Section 5.3.1), and
+// the ΔSim term of the multimodal distance (Eq. 2).
+//
+// The paper uses a pre-trained Word2Vec model [26]. With no pretrained
+// weights available offline, this package offers two deterministic
+// substitutes that preserve the property the algorithms actually rely on —
+// topically related words are close in cosine space:
+//
+//   - Lexicon: a fixed embedder that composes a topic-category subspace
+//     (from a built-in word→topic lexicon) with a hashed character-n-gram
+//     subspace (so unknown words still embed, and lexically similar
+//     words correlate).
+//   - PPMI: a trainable co-occurrence embedder (positive pointwise mutual
+//     information matrix factorised by power iteration), for callers that
+//     want in-domain vectors learned from their own corpus.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+
+	"vs2/internal/nlp"
+)
+
+// Embedder maps words to dense vectors of a fixed dimension.
+type Embedder interface {
+	// Vec returns the embedding of one word. Implementations must return a
+	// zero vector (len == Dim) for words they cannot embed.
+	Vec(word string) []float64
+	// Dim returns the embedding dimensionality.
+	Dim() int
+}
+
+// Cosine returns the cosine similarity of two vectors (0 when either is
+// zero or lengths differ).
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// TextVec embeds a token list as the L2-normalised centroid of its word
+// vectors after stopword removal and stemming. Returns a zero vector for
+// empty/unembeddable text.
+func TextVec(e Embedder, text string) []float64 {
+	out := make([]float64, e.Dim())
+	n := 0
+	for _, w := range nlp.Normalize(text) {
+		v := e.Vec(w)
+		for i := range v {
+			out[i] += v[i]
+		}
+		n++
+	}
+	if n == 0 {
+		return out
+	}
+	normalize(out)
+	return out
+}
+
+// Similarity returns the cosine similarity of two texts under e.
+func Similarity(e Embedder, a, b string) float64 {
+	return Cosine(TextVec(e, a), TextVec(e, b))
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	if n == 0 {
+		return
+	}
+	n = math.Sqrt(n)
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// hashTo produces a deterministic pseudo-random unit-ish vector for a
+// string, by seeding per-dimension FNV hashes. Used for both the n-gram
+// subspace of the Lexicon embedder and power-iteration initialisation.
+func hashTo(s string, dim int) []float64 {
+	out := make([]float64, dim)
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	for i := range out {
+		// xorshift64 stream from the seed
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		// map to [-1, 1): the signed reinterpretation is symmetric around
+		// zero, so components carry no bias and distinct seeds decorrelate
+		out[i] = float64(int64(x)) / float64(math.MaxInt64)
+	}
+	normalize(out)
+	return out
+}

@@ -1,0 +1,186 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosineBasics(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 1, 0}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self cosine = %v", got)
+	}
+	if got := Cosine(a, b); got != 0 {
+		t.Errorf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine(a, []float64{-1, 0, 0}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("opposite cosine = %v", got)
+	}
+	if Cosine(a, []float64{1, 2}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if Cosine(a, []float64{0, 0, 0}) != 0 {
+		t.Error("zero vector cosine should be 0")
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	f := func(xs [6]int16, ys [6]int16) bool {
+		a := make([]float64, 6)
+		b := make([]float64, 6)
+		for i := range xs {
+			a[i] = float64(xs[i])
+			b[i] = float64(ys[i])
+		}
+		c := Cosine(a, b)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexiconTopicalSimilarity(t *testing.T) {
+	e := NewLexicon()
+	pairsClose := [][2]string{
+		{"jazz", "concert"},
+		{"broker", "property"},
+		{"bedroom", "kitchen"},
+		{"tax", "deduction"},
+		{"saturday", "june"},
+	}
+	pairsFar := [][2]string{
+		{"jazz", "deduction"},
+		{"bedroom", "saturday"},
+		{"broker", "guitar"},
+	}
+	for _, p := range pairsClose {
+		close := Cosine(e.Vec(p[0]), e.Vec(p[1]))
+		if close < 0.3 {
+			t.Errorf("%v similarity = %v, want >= 0.3", p, close)
+		}
+	}
+	for _, p := range pairsFar {
+		far := Cosine(e.Vec(p[0]), e.Vec(p[1]))
+		if far > 0.3 {
+			t.Errorf("%v similarity = %v, want < 0.3", p, far)
+		}
+	}
+	// Relative ordering: in-topic beats cross-topic.
+	music := Cosine(e.Vec("jazz"), e.Vec("guitar"))
+	cross := Cosine(e.Vec("jazz"), e.Vec("mortgage"))
+	if music <= cross {
+		t.Errorf("in-topic %v <= cross-topic %v", music, cross)
+	}
+}
+
+func TestLexiconInflectionsShareVectors(t *testing.T) {
+	e := NewLexicon()
+	if got := Cosine(e.Vec("concert"), e.Vec("concerts")); math.Abs(got-1) > 1e-9 {
+		t.Errorf("inflection similarity = %v", got)
+	}
+}
+
+func TestLexiconUnknownWordsEmbed(t *testing.T) {
+	e := NewLexicon()
+	v := e.Vec("zyzzyva")
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm == 0 {
+		t.Error("unknown word embedded to zero")
+	}
+	// Determinism.
+	v2 := e.Vec("zyzzyva")
+	for i := range v {
+		if v[i] != v2[i] {
+			t.Fatal("non-deterministic embedding")
+		}
+	}
+	// Lexically similar unknown words correlate more than dissimilar ones.
+	sim := Cosine(e.Vec("glimbering"), e.Vec("glimbered"))
+	dis := Cosine(e.Vec("glimbering"), e.Vec("xylotomy"))
+	if sim <= dis {
+		t.Errorf("n-gram similarity ordering violated: %v <= %v", sim, dis)
+	}
+}
+
+func TestTextVecAndSimilarity(t *testing.T) {
+	e := NewLexicon()
+	a := "live jazz concert with the band"
+	b := "symphony orchestra performs music"
+	c := "4 bedroom house with renovated kitchen"
+	if Similarity(e, a, b) <= Similarity(e, a, c) {
+		t.Error("music texts should be closer than music-vs-realestate")
+	}
+	zero := TextVec(e, "")
+	for _, x := range zero {
+		if x != 0 {
+			t.Fatal("empty text should embed to zero vector")
+		}
+	}
+	if len(zero) != e.Dim() {
+		t.Error("zero vector has wrong dimension")
+	}
+}
+
+func TestPPMITraining(t *testing.T) {
+	corpus := []string{
+		"jazz concert live music band stage jazz music concert",
+		"band plays jazz music tonight live concert stage",
+		"music concert jazz band live",
+		"property broker sells house listing broker property sale",
+		"house listing broker property sale agent house",
+		"broker agent property house listing",
+		"tax form income deduction filing tax income",
+		"income tax filing deduction form refund",
+		"deduction income tax form filing",
+	}
+	p := TrainPPMI(corpus, 8, 3, 30)
+	if p.VocabSize() == 0 {
+		t.Fatal("no vocabulary trained")
+	}
+	inTopic := Cosine(p.Vec("jazz"), p.Vec("concert"))
+	crossTopic := Cosine(p.Vec("jazz"), p.Vec("deduction"))
+	if inTopic <= crossTopic {
+		t.Errorf("PPMI ordering violated: in=%v cross=%v", inTopic, crossTopic)
+	}
+	re := Cosine(p.Vec("broker"), p.Vec("listing"))
+	reCross := Cosine(p.Vec("broker"), p.Vec("jazz"))
+	if re <= reCross {
+		t.Errorf("PPMI realestate ordering violated: in=%v cross=%v", re, reCross)
+	}
+	// Unknown word: zero vector.
+	v := p.Vec("notinvocab")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("unknown word should embed to zero")
+		}
+	}
+}
+
+func TestPPMIDeterminism(t *testing.T) {
+	corpus := []string{"alpha beta gamma alpha beta", "beta gamma alpha beta gamma"}
+	p1 := TrainPPMI(corpus, 4, 2, 10)
+	p2 := TrainPPMI(corpus, 4, 2, 10)
+	v1, v2 := p1.Vec("alpha"), p2.Vec("alpha")
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("training is not deterministic")
+		}
+	}
+}
+
+func TestPPMIDegenerateInputs(t *testing.T) {
+	p := TrainPPMI(nil, 8, 3, 5)
+	if p.Dim() < 1 {
+		t.Error("empty corpus should still yield a usable embedder")
+	}
+	p2 := TrainPPMI([]string{"word word"}, 100, 3, 5)
+	if p2.Dim() > p2.VocabSize() && p2.VocabSize() > 0 {
+		t.Error("dim should clamp to vocab size")
+	}
+}

@@ -1,0 +1,230 @@
+package embed
+
+import (
+	"strings"
+	"sync"
+
+	"vs2/internal/nlp"
+)
+
+// topics maps word stems to topic categories. Two words sharing a topic
+// embed close together. The lists cover the vocabulary of the three
+// experimental domains (events, real estate, tax forms) plus general
+// document language; coverage gaps fall back to the n-gram subspace.
+var topics = map[string][]string{
+	"music": {
+		"music", "jazz", "rock", "concert", "band", "song", "sing", "singer",
+		"guitar", "piano", "drum", "orchestra", "choir", "melody", "acoustic",
+		"dj", "vinyl", "album", "stage", "soundtrack", "recital", "symphony",
+		"blues", "folk", "opera", "ensemble", "quartet",
+	},
+	"event": {
+		"event", "festival", "fair", "gala", "party", "celebration",
+		"gathering", "meetup", "social", "reception", "ceremony", "parade",
+		"carnival", "happening", "occasion", "celebrate", "join", "attend",
+		"rsvp", "invite", "admission", "ticket", "entry", "door", "guest",
+		"audience", "crowd", "venue", "free", "raffle", "prize", "seating",
+		"arrive", "proceeds", "benefit", "refreshments", "intermission",
+		"talent", "volunteer",
+	},
+	"learning": {
+		"workshop", "seminar", "lecture", "talk", "class", "course", "lesson",
+		"training", "tutorial", "teach", "learn", "study", "student",
+		"professor", "teacher", "speaker", "school", "university", "college",
+		"academy", "education", "conference", "symposium", "research",
+		"science", "lab", "topic", "scope", "syllabus",
+	},
+	"art": {
+		"art", "gallery", "exhibition", "exhibit", "painting", "sculpture",
+		"artist", "craft", "pottery", "photography", "film", "screening",
+		"theatre", "theater", "dance", "ballet", "poetry", "poem", "author",
+		"book", "museum", "mural", "design", "studio",
+	},
+	"food": {
+		"food", "dinner", "lunch", "breakfast", "brunch", "tasting", "wine",
+		"beer", "coffee", "tea", "snack", "dessert", "restaurant", "chef",
+		"cook", "bake", "bbq", "barbecue", "potluck", "picnic", "menu",
+		"catering", "pizza", "truck",
+	},
+	"realestate": {
+		"property", "home", "house", "apartment", "condo", "listing", "sale",
+		"rent", "lease", "broker", "agent", "realtor", "realty", "estate",
+		"land", "lot", "parcel", "acre", "build", "building", "office",
+		"retail", "warehouse", "commercial", "residential", "zoning",
+		"mortgage", "tenant", "owner", "premise", "development", "investment",
+	},
+	"rooms": {
+		"bed", "bedroom", "bath", "bathroom", "kitchen", "basement", "garage",
+		"yard", "floor", "room", "suite", "closet", "attic", "porch", "deck",
+		"patio", "fireplace", "hardwood", "granite", "appliance", "storage",
+		"parking", "elevator", "lobby", "sqft", "renovate", "spacious",
+	},
+	"money": {
+		"price", "cost", "fee", "payment", "pay", "dollar", "cash", "money",
+		"discount", "deal", "offer", "value", "afford", "budget", "finance",
+		"loan", "credit", "deposit", "invoice",
+	},
+	"tax": {
+		"tax", "irs", "income", "wage", "salary", "deduction", "exemption",
+		"refund", "filing", "form", "schedule", "dependent", "withhold",
+		"gross", "adjusted", "taxable", "return", "interest", "dividend",
+		"pension", "social", "security", "employer", "employee", "spouse",
+		"line", "amount", "total", "enter", "attach", "instruction",
+	},
+	"time": {
+		"time", "date", "day", "week", "month", "year", "hour", "minute",
+		"today", "tomorrow", "tonight", "morning", "afternoon", "evening",
+		"night", "noon", "midnight", "schedule", "calendar", "deadline",
+		"start", "begin", "end", "open", "close", "daily", "weekly",
+		"monthly", "annual", "season", "spring", "summer", "fall", "winter",
+		"monday", "tuesday", "wednesday", "thursday", "friday", "saturday",
+		"sunday", "january", "february", "march", "april", "may", "june",
+		"july", "august", "september", "october", "november", "december",
+	},
+	"place": {
+		"place", "location", "address", "street", "avenue", "road", "city",
+		"town", "state", "zip", "downtown", "north", "south", "east", "west",
+		"park", "hall", "center", "centre", "plaza", "square", "corner",
+		"near", "nearby", "local", "neighborhood", "area", "direction", "map",
+	},
+	"person": {
+		"person", "name", "people", "member", "family", "friend", "kid",
+		"child", "children", "adult", "senior", "volunteer", "staff", "team",
+		"host", "organizer", "sponsor", "chair", "director", "president",
+		"founder", "manager", "contact", "phone", "email", "call", "fax",
+	},
+	"org": {
+		"organization", "company", "club", "society", "association",
+		"committee", "council", "foundation", "department", "agency",
+		"group", "community", "church", "league", "union", "nonprofit",
+		"corporation", "firm", "partner", "office",
+	},
+	"description": {
+		"description", "detail", "info", "information", "feature", "include",
+		"highlight", "note", "about", "overview", "summary", "essential",
+		"expect", "bring", "present", "special", "new", "great", "amazing",
+		"exciting", "fun", "beautiful", "stunning", "famous", "welcome",
+		"skill", "interest", "demonstration", "program", "activity",
+		"unforgettable", "hands", "serve", "limited", "early",
+	},
+}
+
+// Lexicon is the deterministic topic+n-gram embedder. The first topicDim
+// dimensions carry topic membership; the remaining dimensions carry a
+// hashed character-trigram signature. The zero value is not usable; call
+// NewLexicon.
+type Lexicon struct {
+	dim      int
+	topicIdx map[string]int   // topic name -> dimension
+	wordTop  map[string][]int // word stem -> topic dimensions
+	mu       sync.Mutex
+	cache    map[string][]float64
+}
+
+// topicWeight and ngramWeight set the relative strength of the topic
+// subspace vs. the n-gram subspace. Topic evidence must dominate: the
+// n-gram signature exists to break ties between unknown words, and at
+// equal strength its hash collisions manufacture similarity between
+// unrelated lines (a person name and an organization name would merge).
+const (
+	topicWeight = 3.0
+	ngramWeight = 0.45
+)
+
+// NewLexicon builds the built-in lexicon embedder.
+func NewLexicon() *Lexicon {
+	l := &Lexicon{
+		topicIdx: map[string]int{},
+		wordTop:  map[string][]int{},
+		cache:    map[string][]float64{},
+	}
+	names := make([]string, 0, len(topics))
+	for name := range topics {
+		names = append(names, name)
+	}
+	// map iteration order is random; sort for a stable dimension layout
+	sortStrings(names)
+	for i, name := range names {
+		l.topicIdx[name] = i
+	}
+	for name, words := range topics {
+		d := l.topicIdx[name]
+		for _, w := range words {
+			keys := map[string]bool{w: true, nlp.Stem(w): true}
+			// Inflections of e-final words stem without the e ("feature" →
+			// "featuring" → "featur"); register that stem too so lookups
+			// from any inflection land on the topic.
+			if strings.HasSuffix(w, "e") {
+				keys[w[:len(w)-1]] = true
+			}
+			for k := range keys {
+				l.wordTop[k] = append(l.wordTop[k], d)
+			}
+		}
+	}
+	const ngramDim = 24
+	l.dim = len(topics) + ngramDim
+	return l
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Dim implements Embedder.
+func (l *Lexicon) Dim() int { return l.dim }
+
+// Vec implements Embedder.
+func (l *Lexicon) Vec(word string) []float64 {
+	w := nlp.Stem(strings.ToLower(word))
+	l.mu.Lock()
+	if v, ok := l.cache[w]; ok {
+		l.mu.Unlock()
+		return v
+	}
+	l.mu.Unlock()
+
+	v := make([]float64, l.dim)
+	topics := l.wordTop[w]
+	for _, d := range topics {
+		v[d] += topicWeight
+	}
+	ngramStart := len(l.topicIdx)
+	ng := ngramVec(w, l.dim-ngramStart)
+	for i, x := range ng {
+		v[ngramStart+i] = x * ngramWeight
+	}
+	if len(topics) > 0 {
+		normalize(v)
+	}
+	// Topic-less words keep a sub-unit norm (ngramWeight): they must not
+	// carry the same weight in a text centroid as words with real semantic
+	// evidence, or hash-collision similarity between names and numbers
+	// dominates every line-to-line comparison.
+
+	l.mu.Lock()
+	l.cache[w] = v
+	l.mu.Unlock()
+	return v
+}
+
+// ngramVec hashes the word's character trigrams into a small dense vector.
+func ngramVec(w string, dim int) []float64 {
+	out := make([]float64, dim)
+	padded := "^" + w + "$"
+	if len(padded) < 3 {
+		padded += "$$"
+	}
+	for i := 0; i+3 <= len(padded); i++ {
+		g := hashTo(padded[i:i+3], dim)
+		for d := range out {
+			out[d] += g[d]
+		}
+	}
+	normalize(out)
+	return out
+}

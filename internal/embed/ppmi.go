@@ -1,0 +1,183 @@
+package embed
+
+import (
+	"math"
+	"sort"
+
+	"vs2/internal/nlp"
+)
+
+// PPMI is a trainable co-occurrence embedder: it builds a word×word
+// positive-pointwise-mutual-information matrix from a training corpus and
+// factorises it with orthogonal power iteration, yielding dense vectors
+// whose cosine similarity reflects distributional similarity — the same
+// property the skip-gram model of Word2Vec [26] optimises (Levy & Goldberg
+// showed SGNS implicitly factorises a shifted PMI matrix).
+type PPMI struct {
+	dim   int
+	index map[string]int
+	vecs  [][]float64
+}
+
+// TrainPPMI learns embeddings of the given dimension from a corpus of
+// documents (each a plain-text string). window is the co-occurrence
+// half-width in tokens; iterations controls the power-iteration count
+// (20–50 is plenty). Deterministic for fixed inputs.
+func TrainPPMI(corpus []string, dim, window, iterations int) *PPMI {
+	if window <= 0 {
+		window = 4
+	}
+	if iterations <= 0 {
+		iterations = 30
+	}
+
+	// Pass 1: vocabulary.
+	counts := map[string]int{}
+	tokenized := make([][]string, len(corpus))
+	for i, text := range corpus {
+		tokenized[i] = nlp.Normalize(text)
+		for _, w := range tokenized[i] {
+			counts[w]++
+		}
+	}
+	vocab := make([]string, 0, len(counts))
+	for w, c := range counts {
+		if c >= 2 { // drop hapax legomena
+			vocab = append(vocab, w)
+		}
+	}
+	sort.Strings(vocab)
+	index := make(map[string]int, len(vocab))
+	for i, w := range vocab {
+		index[w] = i
+	}
+	n := len(vocab)
+	if dim > n {
+		dim = n
+	}
+	if dim < 1 {
+		dim = 1
+	}
+	if n == 0 {
+		return &PPMI{dim: dim, index: index}
+	}
+
+	// Pass 2: co-occurrence counts within the window.
+	cooc := make(map[[2]int]float64)
+	rowSum := make([]float64, n)
+	var total float64
+	for _, toks := range tokenized {
+		for i, w := range toks {
+			wi, ok := index[w]
+			if !ok {
+				continue
+			}
+			for j := i + 1; j <= i+window && j < len(toks); j++ {
+				cj, ok := index[toks[j]]
+				if !ok {
+					continue
+				}
+				cooc[[2]int{wi, cj}]++
+				cooc[[2]int{cj, wi}]++
+				rowSum[wi]++
+				rowSum[cj]++
+				total += 2
+			}
+		}
+	}
+
+	// Sparse PPMI matrix rows.
+	type cell struct {
+		col int
+		val float64
+	}
+	rows := make([][]cell, n)
+	for key, c := range cooc {
+		i, j := key[0], key[1]
+		if rowSum[i] == 0 || rowSum[j] == 0 {
+			continue
+		}
+		pmi := math.Log((c * total) / (rowSum[i] * rowSum[j]))
+		if pmi > 0 {
+			rows[i] = append(rows[i], cell{col: j, val: pmi})
+		}
+	}
+	for i := range rows {
+		sort.Slice(rows[i], func(a, b int) bool { return rows[i][a].col < rows[i][b].col })
+	}
+
+	mul := func(v []float64) []float64 {
+		out := make([]float64, n)
+		for i := range rows {
+			var s float64
+			for _, c := range rows[i] {
+				s += c.val * v[c.col]
+			}
+			out[i] = s
+		}
+		return out
+	}
+
+	// Orthogonal power iteration on the symmetric PPMI matrix: find the top
+	// dim eigenvectors. Deterministic seeds from the vocabulary.
+	basis := make([][]float64, dim)
+	for k := range basis {
+		basis[k] = hashTo(vocab[k%n]+"#seed", n)
+	}
+	for it := 0; it < iterations; it++ {
+		for k := range basis {
+			v := mul(basis[k])
+			// Gram-Schmidt against previous vectors.
+			for p := 0; p < k; p++ {
+				var dot float64
+				for i := range v {
+					dot += v[i] * basis[p][i]
+				}
+				for i := range v {
+					v[i] -= dot * basis[p][i]
+				}
+			}
+			normalize(v)
+			basis[k] = v
+		}
+	}
+
+	// Word vectors: projections onto the eigenbasis, scaled by the
+	// (approximate) eigenvalues so dominant directions carry more weight.
+	eigval := make([]float64, dim)
+	for k := range basis {
+		mv := mul(basis[k])
+		var lambda float64
+		for i := range mv {
+			lambda += mv[i] * basis[k][i]
+		}
+		if lambda < 0 {
+			lambda = -lambda
+		}
+		eigval[k] = math.Sqrt(lambda + 1e-12)
+	}
+	vecs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		for k := 0; k < dim; k++ {
+			v[k] = basis[k][i] * eigval[k]
+		}
+		normalize(v)
+		vecs[i] = v
+	}
+	return &PPMI{dim: dim, index: index, vecs: vecs}
+}
+
+// Dim implements Embedder.
+func (p *PPMI) Dim() int { return p.dim }
+
+// Vec implements Embedder. Unknown words embed to the zero vector.
+func (p *PPMI) Vec(word string) []float64 {
+	if i, ok := p.index[nlp.Stem(word)]; ok {
+		return p.vecs[i]
+	}
+	return make([]float64, p.dim)
+}
+
+// VocabSize returns the number of trained word vectors.
+func (p *PPMI) VocabSize() int { return len(p.vecs) }

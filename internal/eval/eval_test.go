@@ -1,0 +1,354 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"vs2/internal/doc"
+	"vs2/internal/extract"
+	"vs2/internal/geom"
+)
+
+func TestPRArithmetic(t *testing.T) {
+	pr := PR{TP: 8, FP: 2, FN: 2}
+	if pr.Precision() != 0.8 || pr.Recall() != 0.8 {
+		t.Errorf("P=%v R=%v", pr.Precision(), pr.Recall())
+	}
+	if f1 := pr.F1(); f1 < 0.799 || f1 > 0.801 {
+		t.Errorf("F1 = %v", f1)
+	}
+	var zero PR
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Error("zero PR should be all zeros")
+	}
+	zero.Add(pr)
+	if zero.TP != 8 || zero.FP != 2 || zero.FN != 2 {
+		t.Errorf("Add = %+v", zero)
+	}
+}
+
+func TestSegmentationPRMatching(t *testing.T) {
+	truth := &doc.GroundTruth{Annotations: []doc.Annotation{
+		{Entity: "A", Box: geom.Rect{X: 0, Y: 0, W: 100, H: 20}},
+		{Entity: "B", Box: geom.Rect{X: 0, Y: 50, W: 100, H: 20}},
+	}}
+	proposals := []*doc.Node{
+		{Box: geom.Rect{X: 0, Y: 0, W: 100, H: 20}},  // exact match for A
+		{Box: geom.Rect{X: 0, Y: 200, W: 50, H: 10}}, // matches nothing
+	}
+	pr := SegmentationPR(proposals, truth)
+	if pr.TP != 1 || pr.FP != 1 || pr.FN != 1 {
+		t.Errorf("PR = %+v", pr)
+	}
+}
+
+func TestSegmentationPRGreedyNoDoubleMatch(t *testing.T) {
+	// One proposal cannot satisfy two annotations.
+	box := geom.Rect{X: 0, Y: 0, W: 100, H: 20}
+	truth := &doc.GroundTruth{Annotations: []doc.Annotation{
+		{Entity: "A", Box: box}, {Entity: "B", Box: box},
+	}}
+	pr := SegmentationPR([]*doc.Node{{Box: box}}, truth)
+	if pr.TP != 1 || pr.FN != 1 {
+		t.Errorf("PR = %+v", pr)
+	}
+}
+
+func TestSegmentationPRSkipsImageOnlyProposals(t *testing.T) {
+	d := &doc.Document{ID: "x", Width: 200, Height: 200, Elements: []doc.Element{
+		{ID: 0, Kind: doc.ImageElement, Box: geom.Rect{X: 0, Y: 100, W: 50, H: 50}},
+		{ID: 1, Kind: doc.TextElement, Text: "w", Box: geom.Rect{X: 0, Y: 0, W: 10, H: 10}},
+	}}
+	truth := &doc.GroundTruth{Annotations: []doc.Annotation{
+		{Entity: "A", Box: geom.Rect{X: 0, Y: 0, W: 10, H: 10}},
+	}}
+	proposals := []*doc.Node{
+		{Box: d.Elements[1].Box, Elements: []int{1}},
+		{Box: d.Elements[0].Box, Elements: []int{0}}, // image-only: not an FP
+	}
+	pr := SegmentationPRDoc(d, proposals, truth)
+	if pr.TP != 1 || pr.FP != 0 {
+		t.Errorf("PR = %+v", pr)
+	}
+}
+
+func TestEndToEndPRLabelsMatter(t *testing.T) {
+	box := geom.Rect{X: 0, Y: 0, W: 100, H: 20}
+	truth := &doc.GroundTruth{Annotations: []doc.Annotation{{Entity: "A", Box: box, Text: "hello"}}}
+	right := []extract.Extraction{{Entity: "A", Box: box, Text: "zz"}}
+	wrong := []extract.Extraction{{Entity: "B", Box: box, Text: "zz"}}
+	if pr := EndToEndPR(right, truth); pr.TP != 1 || pr.FP != 0 || pr.FN != 0 {
+		t.Errorf("right = %+v", pr)
+	}
+	if pr := EndToEndPR(wrong, truth); pr.TP != 0 || pr.FP != 1 || pr.FN != 1 {
+		t.Errorf("wrong = %+v", pr)
+	}
+}
+
+func TestEndToEndPRBlockBoxFallback(t *testing.T) {
+	ann := geom.Rect{X: 0, Y: 0, W: 100, H: 20}
+	truth := &doc.GroundTruth{Annotations: []doc.Annotation{{Entity: "A", Box: ann, Text: "alpha beta"}}}
+	// Tight token box misses, block box hits.
+	e := []extract.Extraction{{
+		Entity:   "A",
+		Box:      geom.Rect{X: 0, Y: 0, W: 30, H: 20},
+		BlockBox: ann,
+		Text:     "zz",
+	}}
+	if pr := EndToEndPR(e, truth); pr.TP != 1 {
+		t.Errorf("block box fallback failed: %+v", pr)
+	}
+	// Text fallback for box-less methods.
+	e2 := []extract.Extraction{{Entity: "A", Text: "alpha beta"}}
+	if pr := EndToEndPR(e2, truth); pr.TP != 1 {
+		t.Errorf("text fallback failed: %+v", pr)
+	}
+}
+
+func TestEndToEndEntityLevelRecall(t *testing.T) {
+	// Two mentions of the same entity; matching one is full recall.
+	a1 := geom.Rect{X: 0, Y: 0, W: 100, H: 20}
+	a2 := geom.Rect{X: 0, Y: 100, W: 100, H: 20}
+	truth := &doc.GroundTruth{Annotations: []doc.Annotation{
+		{Entity: "A", Box: a1, Text: "first"},
+		{Entity: "A", Box: a2, Text: "second"},
+	}}
+	e := []extract.Extraction{{Entity: "A", Box: a1, Text: "zz"}}
+	pr := EndToEndPR(e, truth)
+	if pr.TP != 1 || pr.FN != 0 {
+		t.Errorf("entity-level recall violated: %+v", pr)
+	}
+}
+
+func TestTextMatches(t *testing.T) {
+	if !textMatches("Kevin Walsh", "kevin walsh") {
+		t.Error("case-insensitive match failed")
+	}
+	if !textMatches("Saturday, June 14", "Saturday June 14") {
+		t.Error("punctuation-insensitive match failed")
+	}
+	if textMatches("completely different", "Kevin Walsh") {
+		t.Error("unrelated texts matched")
+	}
+	if textMatches("", "x") || textMatches("x", "") {
+		t.Error("empty text matched")
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	for _, ds := range []string{"d1", "d2", "d3"} {
+		spec, ok := specs[ds]
+		if !ok {
+			t.Fatalf("missing spec %s", ds)
+		}
+		docs := spec.Generate(2, 5)
+		if len(docs) != 2 {
+			t.Errorf("%s generated %d docs", ds, len(docs))
+		}
+		if len(spec.Task.Sets) == 0 {
+			t.Errorf("%s has no pattern sets", ds)
+		}
+	}
+}
+
+func TestObservedAppliesCaptureNoise(t *testing.T) {
+	spec := Specs()["d2"]
+	docs := spec.Generate(12, 3)
+	changed := false
+	for i, l := range docs {
+		obs := Observed(l, int64(i))
+		if err := obs.Doc.Validate(); err != nil {
+			t.Fatalf("observed doc invalid: %v", err)
+		}
+		if obs.Doc.Transcript(nil) != l.Doc.Transcript(nil) {
+			changed = true
+		}
+		// Truth must stay aligned (same entity counts).
+		if len(obs.Truth.Annotations) != len(l.Truth.Annotations) {
+			t.Error("annotation count changed")
+		}
+	}
+	if !changed {
+		t.Error("no document picked up any noise")
+	}
+}
+
+func TestRunTable5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	results := RunTable5(Options{N: 3, Seed: 9})
+	if len(results) != 18 { // 6 methods x 3 datasets
+		t.Fatalf("results = %d", len(results))
+	}
+	// VIPS must be inapplicable on d1.
+	for _, r := range results {
+		if r.Method == "VIPS" && r.Dataset == "d1" && r.Applicable {
+			t.Error("VIPS should not apply to d1")
+		}
+		if r.Method == "VS2-Segment" && !r.Applicable {
+			t.Errorf("VS2 not applicable on %s", r.Dataset)
+		}
+	}
+	table := FormatTable5(results)
+	if !strings.Contains(table.String(), "VS2-Segment") {
+		t.Error("table missing VS2 row")
+	}
+}
+
+func TestRunPerEntitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	results := RunPerEntity("d2", Options{N: 4, Seed: 9})
+	if len(results) != 5 {
+		t.Fatalf("entities = %d", len(results))
+	}
+	table := FormatPerEntity("Table 6", results)
+	if !strings.Contains(table.String(), "Overall") {
+		t.Error("missing Overall row")
+	}
+}
+
+func TestRunTable9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	results := RunTable9(Options{N: 3, Seed: 9})
+	if len(results) != 4 {
+		t.Fatalf("scenarios = %d", len(results))
+	}
+	for _, r := range results {
+		for _, ds := range []string{"d1", "d2", "d3"} {
+			if _, ok := r.DeltaF1[ds]; !ok {
+				t.Errorf("%s missing %s", r.Scenario, ds)
+			}
+		}
+	}
+	_ = FormatTable9(results)
+}
+
+func TestSignificanceRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	res, err := SignificanceVS2VsTextOnly("d3", Options{N: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0 || res.P > 1 {
+		t.Errorf("p = %v", res.P)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"xxx", "y"}},
+	}
+	s := tab.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "xxx") {
+		t.Errorf("table output:\n%s", s)
+	}
+}
+
+func TestCutModelAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	results := RunCutModelAblation(Options{N: 4, Seed: 9})
+	if len(results) != 4 {
+		t.Fatalf("rotation steps = %d", len(results))
+	}
+	// The seam model should never be categorically worse than straight
+	// cuts at any rotation.
+	for _, r := range results {
+		if r.Seam.F1() < r.Straight.F1()-0.1 {
+			t.Errorf("rot %.0f°: seam F1 %.3f far below straight %.3f",
+				r.Degrees, r.Seam.F1(), r.Straight.F1())
+		}
+	}
+}
+
+func TestWeightProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	results := RunWeightProfiles(Options{N: 3, Seed: 9})
+	for _, r := range results {
+		if len(r.F1) != 3 {
+			t.Errorf("%s profiles = %v", r.Dataset, r.F1)
+		}
+	}
+}
+
+func TestNoiseSweepMonotoneOnAverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	points := RunNoiseSweep(Options{N: 6, Seed: 9})
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	clean, harsh := points[0], points[3]
+	if harsh.VS2.F1() > clean.VS2.F1() {
+		t.Errorf("harsh noise improved VS2: %.3f > %.3f", harsh.VS2.F1(), clean.VS2.F1())
+	}
+}
+
+func TestRotationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	points := RunRotationSweep(Options{N: 4, Seed: 9})
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].PR.F1() == 0 {
+		t.Error("zero-rotation segmentation failed entirely")
+	}
+}
+
+func TestFitWeights(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	w, f1 := FitWeights("d3", Options{N: 4, Seed: 9})
+	sum := w.Alpha + w.Beta + w.Gamma + w.Nu
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fitted weights do not sum to 1: %+v", w)
+	}
+	if f1 <= 0 {
+		t.Errorf("fitted F1 = %v", f1)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	var sb strings.Builder
+	err := WriteMethodCSV(&sb, []MethodResult{
+		{Method: "VS2", Dataset: "d1", Applicable: true, PR: PR{TP: 9, FP: 1, FN: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "VS2,d1,true,9,1,1,0.9000,0.9000,0.9000") {
+		t.Errorf("method CSV:\n%s", out)
+	}
+	sb.Reset()
+	err = WriteEntityCSV(&sb, []EntityResult{
+		{Entity: "X", VS2: PR{TP: 1, FN: 1}, Text: PR{TP: 1, FP: 1}, DeltaF1: 1.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "X,") {
+		t.Errorf("entity CSV:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteJSON(&sb, map[string]int{"a": 1}); err != nil || !strings.Contains(sb.String(), `"a": 1`) {
+		t.Errorf("JSON export: %v %q", err, sb.String())
+	}
+}

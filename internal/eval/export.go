@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Export helpers: the experiment runners return typed results; these
+// writers emit them as CSV (for plotting pipelines) or JSON (for archival
+// alongside EXPERIMENTS.md).
+
+// WriteMethodCSV writes MethodResult rows (Tables 5/7) as CSV.
+func WriteMethodCSV(w io.Writer, results []MethodResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "dataset", "applicable", "tp", "fp", "fn", "precision", "recall", "f1"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Method, r.Dataset, strconv.FormatBool(r.Applicable),
+			strconv.Itoa(r.PR.TP), strconv.Itoa(r.PR.FP), strconv.Itoa(r.PR.FN),
+			fmtF(r.PR.Precision()), fmtF(r.PR.Recall()), fmtF(r.PR.F1()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEntityCSV writes EntityResult rows (Tables 6/8) as CSV.
+func WriteEntityCSV(w io.Writer, results []EntityResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"entity", "precision", "recall", "f1", "text_precision", "text_recall", "delta_f1"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Entity,
+			fmtF(r.VS2.Precision()), fmtF(r.VS2.Recall()), fmtF(r.VS2.F1()),
+			fmtF(r.Text.Precision()), fmtF(r.Text.Recall()),
+			fmt.Sprintf("%.4f", r.DeltaF1),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes any result value as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func fmtF(x float64) string { return strconv.FormatFloat(x, 'f', 4, 64) }

@@ -1,0 +1,215 @@
+package eval
+
+import (
+	"vs2/internal/baselines"
+	"vs2/internal/doc"
+	"vs2/internal/extract"
+	"vs2/internal/ocr"
+	"vs2/internal/segment"
+	"vs2/internal/stats"
+)
+
+// Extension experiments beyond the paper's tables, covering the design
+// choices DESIGN.md calls out and the future-work directions of Section 7.
+
+// CutModelResult compares the drifting-seam cut model against straight
+// projection cuts (DESIGN.md ablation 1: the seam model is what separates
+// VS2-Segment's cut phase from XY-cut behaviour). On perfectly axis-aligned
+// pages the two coincide — straight cuts are a special case of seams — so
+// the comparison sweeps page rotation, where seams can follow the skewed
+// gutters that straight lines cannot.
+type CutModelResult struct {
+	Degrees  float64
+	Seam     PR
+	Straight PR
+}
+
+// RunCutModelAblation measures D2 segmentation quality with and without
+// seam drift under increasing page rotation.
+func RunCutModelAblation(opts Options) []CutModelResult {
+	opts = opts.withDefaults()
+	spec := Specs()["d2"]
+	docs := spec.Generate(opts.N, opts.Seed)
+	seamOpts := opts.SegOpts
+	straightOpts := opts.SegOpts
+	straightOpts.StraightCutsOnly = true
+	seam := baselines.VS2Segment{Opts: seamOpts}
+	straight := baselines.VS2Segment{Opts: straightOpts}
+	var out []CutModelResult
+	for _, deg := range []float64{0, 4, 8, 12} {
+		noise := ocr.NoiseLevel{Rotation: deg * 3.14159265 / 180}
+		res := CutModelResult{Degrees: deg}
+		for i, l := range docs {
+			rng := rngForNoise(opts.Seed + int64(i))
+			d, truth := ocr.TranscribeLabeled(l, noise, rng)
+			res.Seam.Add(SegmentationPRDoc(d, seam.Segment(d), truth))
+			res.Straight.Add(SegmentationPRDoc(d, straight.Segment(d), truth))
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// WeightProfileResult measures end-to-end F1 under each Eq. 2 weight
+// profile (Section 5.3.2's guidance: ornate corpora weight the visual
+// terms, verbose corpora the textual term).
+type WeightProfileResult struct {
+	Dataset string
+	// F1 per profile name.
+	F1 map[string]float64
+}
+
+// RunWeightProfiles sweeps the three built-in weight profiles over every
+// dataset.
+func RunWeightProfiles(opts Options) []WeightProfileResult {
+	opts = opts.withDefaults()
+	profiles := map[string]extract.Weights{
+		"balanced": extract.Balanced,
+		"ornate":   extract.VisuallyOrnate,
+		"verbose":  extract.Verbose,
+	}
+	var out []WeightProfileResult
+	for _, ds := range []string{"d1", "d2", "d3"} {
+		spec := Specs()[ds]
+		docs := spec.Generate(opts.N, opts.Seed)
+		res := WeightProfileResult{Dataset: ds, F1: map[string]float64{}}
+		for name, w := range profiles {
+			m := baselines.VS2{SegOpts: opts.SegOpts, ExtOpts: extract.Options{Weights: w}}
+			var pr PR
+			for i, l := range docs {
+				obs := Observed(l, opts.Seed+int64(i))
+				pr.Add(EndToEndPR(m.Extract(spec.Task, obs.Doc), obs.Truth))
+			}
+			res.F1[name] = pr.F1()
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// NoisePoint is one step of the OCR noise sweep.
+type NoisePoint struct {
+	Label string
+	VS2   PR
+	Text  PR
+}
+
+// RunNoiseSweep measures VS2 and the text-only baseline on D2 under
+// increasing transcription noise — the robustness claim of Sections 5.1.2
+// and 7 (errors "inhibit semantic merging at later iterations").
+func RunNoiseSweep(opts Options) []NoisePoint {
+	opts = opts.withDefaults()
+	spec := Specs()["d2"]
+	docs := spec.Generate(opts.N, opts.Seed)
+	vs2 := baselines.VS2{SegOpts: opts.SegOpts}
+	textOnly := baselines.TextOnly{}
+	levels := []struct {
+		label string
+		noise ocr.NoiseLevel
+	}{
+		{"clean", ocr.Clean},
+		{"scan", ocr.Scan},
+		{"mobile", ocr.Mobile},
+		{"harsh", ocr.Harsh},
+	}
+	var out []NoisePoint
+	for _, lvl := range levels {
+		p := NoisePoint{Label: lvl.label}
+		for i, l := range docs {
+			rng := rngForNoise(opts.Seed + int64(i))
+			d, truth := ocr.TranscribeLabeled(l, lvl.noise, rng)
+			obs := docLabeled(d, truth)
+			p.VS2.Add(EndToEndPR(vs2.Extract(spec.Task, obs.Doc), obs.Truth))
+			p.Text.Add(EndToEndPR(textOnly.Extract(spec.Task, obs.Doc), obs.Truth))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// RotationPoint is one step of the rotation-robustness sweep.
+type RotationPoint struct {
+	Degrees float64
+	PR      PR
+}
+
+// RunRotationSweep checks the Section 5.1.2 claim that VS2-Segment "is
+// robust to rotation (up to 45°)": segmentation quality on D2 under pure
+// page rotation of increasing magnitude, no other noise.
+func RunRotationSweep(opts Options) []RotationPoint {
+	opts = opts.withDefaults()
+	spec := Specs()["d2"]
+	docs := spec.Generate(opts.N, opts.Seed)
+	seg := baselines.VS2Segment{Opts: opts.SegOpts}
+	var out []RotationPoint
+	for _, deg := range []float64{0, 5, 10, 20, 30, 45} {
+		noise := ocr.NoiseLevel{Rotation: deg * 3.14159265 / 180}
+		p := RotationPoint{Degrees: deg}
+		for i, l := range docs {
+			rng := rngForNoise(opts.Seed + int64(i))
+			d, truth := ocr.TranscribeLabeled(l, noise, rng)
+			p.PR.Add(SegmentationPRDoc(d, seg.Segment(d), truth))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// SignificanceAll runs the paired t-test on every dataset, returning the
+// per-dataset results keyed by dataset name.
+func SignificanceAll(opts Options) map[string]stats.TTestResult {
+	out := map[string]stats.TTestResult{}
+	for _, ds := range []string{"d1", "d2", "d3"} {
+		if res, err := SignificanceVS2VsTextOnly(ds, opts); err == nil {
+			out[ds] = res
+		}
+	}
+	return out
+}
+
+// FitWeights implements the paper's future-work direction of "learning to
+// weight each feature based on observed data" (Section 7): a grid search
+// over the Eq. 2 simplex (step 0.1, α+β+γ+ν = 1) maximising end-to-end F1
+// on a labelled training split. Segmentation is shared across candidates —
+// the weights only affect the select phase.
+func FitWeights(ds string, opts Options) (extract.Weights, float64) {
+	opts = opts.withDefaults()
+	spec := Specs()[ds]
+	docs := spec.Generate(opts.N, opts.Seed)
+
+	// Pre-segment every document once.
+	type obsDoc struct {
+		l      doc.Labeled
+		blocks []*doc.Node
+	}
+	seg := segment.New(opts.SegOpts)
+	observed := make([]obsDoc, 0, len(docs))
+	for i, l := range docs {
+		o := Observed(l, opts.Seed+int64(i))
+		observed = append(observed, obsDoc{l: o, blocks: seg.Blocks(o.Doc)})
+	}
+
+	best := extract.Balanced
+	bestF1 := -1.0
+	const step = 2 // tenths
+	for a := 0; a <= 10; a += step {
+		for bb := 0; a+bb <= 10; bb += step {
+			for g := 0; a+bb+g <= 10; g += step {
+				n := 10 - a - bb - g
+				w := extract.Weights{
+					Alpha: float64(a) / 10, Beta: float64(bb) / 10,
+					Gamma: float64(g) / 10, Nu: float64(n) / 10,
+				}
+				ex := extract.New(extract.Options{Weights: w})
+				var pr PR
+				for _, o := range observed {
+					pr.Add(EndToEndPR(ex.Extract(o.l.Doc, o.blocks, spec.Task.Sets), o.l.Truth))
+				}
+				if f1 := pr.F1(); f1 > bestF1 {
+					bestF1, best = f1, w
+				}
+			}
+		}
+	}
+	return best, bestF1
+}

@@ -1,0 +1,215 @@
+// Package eval implements the evaluation protocol of Section 6.2 and the
+// experiment runners that regenerate every table of the paper's evaluation
+// (Tables 5–9), including the paired significance test of Section 6.4.
+//
+// Two-phase protocol: segmentation quality is measured by matching block
+// proposals to ground-truth entity boxes at IoU ≥ 0.65 (labels ignored),
+// following the PASCAL-VOC criterion [12]; end-to-end quality additionally
+// requires the predicted entity label to match.
+package eval
+
+import (
+	"strings"
+
+	"vs2/internal/doc"
+	"vs2/internal/extract"
+	"vs2/internal/geom"
+)
+
+// IoUThreshold is the accuracy criterion of Section 6.2.
+const IoUThreshold = 0.65
+
+// PR accumulates precision/recall counts.
+type PR struct {
+	TP, FP, FN int
+}
+
+// Add merges another count.
+func (p *PR) Add(q PR) {
+	p.TP += q.TP
+	p.FP += q.FP
+	p.FN += q.FN
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (p PR) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (p PR) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (p PR) F1() float64 {
+	pr, rc := p.Precision(), p.Recall()
+	if pr+rc == 0 {
+		return 0
+	}
+	return 2 * pr * rc / (pr + rc)
+}
+
+// SegmentationPR scores block proposals against the annotated entity boxes
+// (localisation phase): each annotation greedily matches its best-IoU
+// unused proposal; a proposal is accurate when its IoU exceeds the
+// threshold. Labels are not considered at this stage (Section 6.2).
+// Image-only proposals are excluded: entity annotations are textual, so a
+// picture region is neither a hit nor a miss for any method.
+func SegmentationPR(proposals []*doc.Node, truth *doc.GroundTruth) PR {
+	return SegmentationPRDoc(nil, proposals, truth)
+}
+
+// SegmentationPRDoc is SegmentationPR with the document available to
+// filter image-only proposals (pass nil to keep every proposal).
+func SegmentationPRDoc(d *doc.Document, proposals []*doc.Node, truth *doc.GroundTruth) PR {
+	var boxes []geom.Rect
+	for _, p := range proposals {
+		if d != nil && !hasText(d, p) {
+			continue
+		}
+		boxes = append(boxes, p.Box)
+	}
+	return boxPR(boxes, truth.Annotations)
+}
+
+func hasText(d *doc.Document, n *doc.Node) bool {
+	for _, id := range n.Elements {
+		if id >= 0 && id < len(d.Elements) && d.Elements[id].Kind == doc.TextElement {
+			return true
+		}
+	}
+	return false
+}
+
+func boxPR(proposals []geom.Rect, annotations []doc.Annotation) PR {
+	used := make([]bool, len(proposals))
+	var pr PR
+	for _, a := range annotations {
+		best, bestIoU := -1, IoUThreshold
+		for i, b := range proposals {
+			if used[i] {
+				continue
+			}
+			if iou := b.IoU(a.Box); iou >= bestIoU {
+				best, bestIoU = i, iou
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			pr.TP++
+		} else {
+			pr.FN++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			pr.FP++
+		}
+	}
+	return pr
+}
+
+// EndToEndPR scores extractions against the ground truth following the
+// paper's two-phase reading of Section 6.2: the *localized* unit (the
+// logical block the entity was found in, when the method produces one) must
+// overlap an annotation at IoU ≥ threshold, and the predicted entity label
+// must match it. Extractions for entities absent from the truth count as
+// false positives; annotations with no accurate extraction count as false
+// negatives.
+func EndToEndPR(extractions []extract.Extraction, truth *doc.GroundTruth) PR {
+	var pr PR
+	usedAnn := make([]bool, len(truth.Annotations))
+	for _, e := range extractions {
+		box := e.BlockBox
+		if box.Empty() {
+			box = e.Box
+		}
+		matched := false
+		for i, a := range truth.Annotations {
+			if usedAnn[i] || a.Entity != e.Entity {
+				continue
+			}
+			if box.IoU(a.Box) >= IoUThreshold || e.Box.IoU(a.Box) >= IoUThreshold ||
+				textMatches(e.Text, a.Text) {
+				usedAnn[i] = true
+				matched = true
+				break
+			}
+		}
+		if matched {
+			pr.TP++
+		} else {
+			pr.FP++
+		}
+	}
+	// Recall is entity-level: VS2-Select returns one value per named
+	// entity, so an entity with several ground-truth mentions (a
+	// description paragraph plus a highlight badge) is recalled when any
+	// mention was matched.
+	matchedEntity := map[string]bool{}
+	for i, u := range usedAnn {
+		if u {
+			matchedEntity[truth.Annotations[i].Entity] = true
+		}
+	}
+	seen := map[string]bool{}
+	for _, a := range truth.Annotations {
+		if seen[a.Entity] {
+			continue
+		}
+		seen[a.Entity] = true
+		if !matchedEntity[a.Entity] {
+			pr.FN++
+		}
+	}
+	return pr
+}
+
+// textMatches compares extracted text against the annotation's text with
+// token-level Jaccard overlap. Purely textual comparators (ClausIE, FSM)
+// have no native notion of an image region; the paper scores them on label
+// correctness, which for a text method means the extracted string itself.
+func textMatches(got, want string) bool {
+	a := tokenSet(got)
+	b := tokenSet(want)
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	inter := 0
+	for t := range a {
+		if b[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter)/float64(union) >= 0.6
+}
+
+func tokenSet(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range strings.Fields(strings.ToLower(s)) {
+		out[strings.Trim(f, ".,;:!?()")] = true
+	}
+	delete(out, "")
+	return out
+}
+
+// EndToEndPRForEntity restricts the end-to-end score to one entity key —
+// the per-entity rows of Tables 6 and 8.
+func EndToEndPRForEntity(extractions []extract.Extraction, truth *doc.GroundTruth, entity string) PR {
+	var es []extract.Extraction
+	for _, e := range extractions {
+		if e.Entity == entity {
+			es = append(es, e)
+		}
+	}
+	sub := &doc.GroundTruth{DocID: truth.DocID, Annotations: truth.ForEntity(entity)}
+	return EndToEndPR(es, sub)
+}

@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable results table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.2f", x*100) }
+
+// FormatTable5 renders Table 5 results in the paper's layout.
+func FormatTable5(results []MethodResult) Table {
+	t := Table{
+		Title: "Table 5: Evaluation of VS2-Segment (segmentation P/R, IoU ≥ 0.65)",
+		Header: []string{"Algorithm",
+			"D1 Pr(%)", "D1 Rec(%)", "D2 Pr(%)", "D2 Rec(%)", "D3 Pr(%)", "D3 Rec(%)"},
+	}
+	order := []string{"Text-only", "XY-Cut", "Voronoi", "VIPS", "Tesseract", "VS2-Segment"}
+	byKey := map[string]MethodResult{}
+	for _, r := range results {
+		byKey[r.Method+"/"+r.Dataset] = r
+	}
+	for _, m := range order {
+		row := []string{m}
+		for _, ds := range []string{"d1", "d2", "d3"} {
+			r, ok := byKey[m+"/"+ds]
+			if !ok || !r.Applicable {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, pct(r.PR.Precision()), pct(r.PR.Recall()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// FormatPerEntity renders Tables 6 and 8.
+func FormatPerEntity(title string, results []EntityResult) Table {
+	t := Table{
+		Title:  title,
+		Header: []string{"Named Entity", "Pr(%)", "Rec(%)", "ΔF1(%)"},
+	}
+	var vsAll, txtAll PR
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Entity, pct(r.VS2.Precision()), pct(r.VS2.Recall()),
+			fmt.Sprintf("%+.2f", r.DeltaF1),
+		})
+		vsAll.Add(r.VS2)
+		txtAll.Add(r.Text)
+	}
+	t.Rows = append(t.Rows, []string{
+		"Overall", pct(vsAll.Precision()), pct(vsAll.Recall()),
+		fmt.Sprintf("%+.2f", (vsAll.F1()-txtAll.F1())*100),
+	})
+	return t
+}
+
+// FormatTable7 renders Table 7.
+func FormatTable7(results []MethodResult) Table {
+	t := Table{
+		Title: "Table 7: End-to-end comparison against existing methods",
+		Header: []string{"Algorithm",
+			"D1 Pr(%)", "D1 Rec(%)", "D2 Pr(%)", "D2 Rec(%)", "D3 Pr(%)", "D3 Rec(%)"},
+	}
+	order := []string{"ClausIE", "FSM", "ML-based", "Apostolova et al.", "ReportMiner", "VS2"}
+	byKey := map[string]MethodResult{}
+	for _, r := range results {
+		byKey[r.Method+"/"+r.Dataset] = r
+	}
+	for _, m := range order {
+		row := []string{m}
+		for _, ds := range []string{"d1", "d2", "d3"} {
+			r, ok := byKey[m+"/"+ds]
+			if !ok || !r.Applicable {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, pct(r.PR.Precision()), pct(r.PR.Recall()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// FormatTable9 renders the ablation study.
+func FormatTable9(results []AblationResult) Table {
+	t := Table{
+		Title:  "Table 9: Ablation study (ΔF1 of full VS2 over each ablation, %)",
+		Header: []string{"Scenario", "D1", "D2", "D3"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Scenario,
+			fmt.Sprintf("%+.2f", r.DeltaF1["d1"]),
+			fmt.Sprintf("%+.2f", r.DeltaF1["d2"]),
+			fmt.Sprintf("%+.2f", r.DeltaF1["d3"]),
+		})
+	}
+	return t
+}

@@ -1,0 +1,129 @@
+package extract
+
+import (
+	"strings"
+
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+	"vs2/internal/nlp"
+)
+
+// BlockText is the transcription of one logical block together with the
+// mapping from character offsets back to the atomic elements that produced
+// them — the bridge between a textual pattern match and its visual area,
+// which the multimodal disambiguation of Section 5.3 needs.
+type BlockText struct {
+	Block *doc.Node
+	Text  string
+	Ann   *nlp.Annotated
+	// spans[i] is the byte range of element elems[i] in Text.
+	spans [][2]int
+	elems []int
+	// meanH is the mean text-element height (type size) of the block.
+	meanH float64
+}
+
+// NewBlockText transcribes the block in reading order (mirroring
+// doc.Transcript: spaces within a line band, newlines between bands) and
+// annotates the result with the NLP pipeline.
+func NewBlockText(d *doc.Document, block *doc.Node) *BlockText {
+	var textual []int
+	for _, id := range block.Elements {
+		if d.Elements[id].Kind == doc.TextElement && d.Elements[id].Text != "" {
+			textual = append(textual, id)
+		}
+	}
+	ordered := d.ReadingOrder(textual)
+	bt := &BlockText{Block: block}
+	var sb strings.Builder
+	var prev geom.Rect
+	for i, id := range ordered {
+		e := &d.Elements[id]
+		if i > 0 {
+			if sameLineBand(prev, e.Box) {
+				sb.WriteByte(' ')
+			} else {
+				sb.WriteByte('\n')
+			}
+		}
+		start := sb.Len()
+		sb.WriteString(e.Text)
+		bt.spans = append(bt.spans, [2]int{start, sb.Len()})
+		bt.elems = append(bt.elems, id)
+		prev = e.Box
+	}
+	bt.Text = sb.String()
+	bt.Ann = nlp.Annotate(bt.Text)
+	if len(bt.elems) > 0 {
+		var sum float64
+		for _, id := range bt.elems {
+			sum += d.Elements[id].Box.H
+		}
+		bt.meanH = sum / float64(len(bt.elems))
+	}
+	return bt
+}
+
+func sameLineBand(a, b geom.Rect) bool {
+	top := a.Y
+	if b.Y > top {
+		top = b.Y
+	}
+	bot := a.MaxY()
+	if b.MaxY() < bot {
+		bot = b.MaxY()
+	}
+	overlap := bot - top
+	minH := a.H
+	if b.H < minH {
+		minH = b.H
+	}
+	return overlap > minH/2
+}
+
+// BoxFor returns the union bounding box of the elements whose text overlaps
+// the byte range [lo, hi) of the transcription. An empty box means the
+// range covered no element (should not happen for real matches).
+func (bt *BlockText) BoxFor(d *doc.Document, lo, hi int) geom.Rect {
+	var out geom.Rect
+	for i, span := range bt.spans {
+		if span[0] < hi && span[1] > lo {
+			out = out.Union(d.Elements[bt.elems[i]].Box)
+		}
+	}
+	return out
+}
+
+// ElementsFor returns the element IDs overlapping the byte range.
+func (bt *BlockText) ElementsFor(lo, hi int) []int {
+	var out []int
+	for i, span := range bt.spans {
+		if span[0] < hi && span[1] > lo {
+			out = append(out, bt.elems[i])
+		}
+	}
+	return out
+}
+
+// ContextWords returns the normalised stems within a window of the byte
+// range — the candidate context the Lesk baseline ranks with.
+func (bt *BlockText) ContextWords(lo, hi, window int) []string {
+	start := lo - window
+	if start < 0 {
+		start = 0
+	}
+	end := hi + window
+	if end > len(bt.Text) {
+		end = len(bt.Text)
+	}
+	return nlp.Normalize(bt.Text[start:end])
+}
+
+// meanElementHeight returns the mean height of the block's text elements —
+// its effective type size.
+func meanElementHeight(bt *BlockText) float64 {
+	if bt.meanH == 0 {
+		return bt.Block.Box.H
+	}
+	return bt.meanH
+}

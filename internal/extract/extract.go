@@ -1,0 +1,425 @@
+// Package extract implements VS2-Select, the paper's second technical
+// contribution (Sections 5.2–5.3): a distantly supervised search-and-select
+// method. For each named entity, the entity's lexico-syntactic pattern set
+// is searched within the context boundaries defined by the logical blocks;
+// when several candidates match, an optimization-based multimodal entity
+// disambiguation picks the candidate minimising the Eq. 2 distance to its
+// closest interest point:
+//
+//	F(s, c) = α·ΔD(s,c) + β·ΔH(s,c) + γ·ΔSim(s,c) + ν·ΔWd(s,c)
+//
+// with α+β+γ+ν = 1. ΔD is the L1 distance between centroids, ΔH the height
+// difference of the enclosing boxes, ΔSim the (dis)similarity of the texts
+// and ΔWd the difference of distance-normalised word densities. The weights
+// express the corpus character: visually ornate corpora weight the visual
+// terms (α, β, ν), verbose corpora the textual term (γ).
+package extract
+
+import (
+	"math"
+	"sort"
+
+	"vs2/internal/doc"
+	"vs2/internal/embed"
+	"vs2/internal/geom"
+	"vs2/internal/nlp"
+	"vs2/internal/pattern"
+)
+
+// Weights are the Eq. 2 mixing coefficients.
+type Weights struct {
+	Alpha float64 // ΔD: centroid displacement
+	Beta  float64 // ΔH: height difference
+	Gamma float64 // ΔSim: textual similarity
+	Nu    float64 // ΔWd: word-density difference
+}
+
+// The paper's guidance on setting the weights (Section 5.3.2).
+var (
+	// Balanced suits corpora that are neither extremely ornate nor extremely
+	// verbose (datasets D1 and D3): α ≈ β ≈ γ ≈ ν.
+	Balanced = Weights{0.25, 0.25, 0.25, 0.25}
+	// VisuallyOrnate suits sparse, decorated documents (dataset D2):
+	// α, β, ν ≥ γ.
+	VisuallyOrnate = Weights{0.3, 0.3, 0.1, 0.3}
+	// Verbose suits text-heavy documents: γ > α, β, ν.
+	Verbose = Weights{0.15, 0.15, 0.55, 0.15}
+)
+
+// Disambiguation selects the conflict-resolution strategy; the non-default
+// values exist for the Table 9 ablation rows A3 (none) and A4 (text-only
+// Lesk).
+type Disambiguation int
+
+const (
+	// Multimodal is the paper's Eq. 2 optimisation (default).
+	Multimodal Disambiguation = iota
+	// None takes the first match in reading order.
+	None
+	// Lesk ranks candidates by gloss overlap with the entity concept — the
+	// text-only baseline [3].
+	Lesk
+)
+
+// Options configures an Extractor.
+type Options struct {
+	Weights        Weights
+	Disambiguation Disambiguation
+	// Embedder supplies vectors for ΔSim, coherence, and interest points;
+	// nil selects the built-in lexicon embedder.
+	Embedder embed.Embedder
+	// Concepts maps entity keys to head concepts for the Lesk strategy
+	// (e.g. "EventOrganizer" → "organizer"). Unknown entities fall back to
+	// first-match.
+	Concepts map[string]string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Weights == (Weights{}) {
+		o.Weights = Balanced
+	}
+	if o.Embedder == nil {
+		o.Embedder = sharedLexicon
+	}
+	if o.Concepts == nil {
+		o.Concepts = DefaultConcepts
+	}
+	return o
+}
+
+var sharedLexicon = embed.NewLexicon()
+
+// DefaultConcepts maps the Tables 3/4 entity keys to Lesk head concepts.
+var DefaultConcepts = map[string]string{
+	pattern.EventTitle:       "event",
+	pattern.EventPlace:       "venue",
+	pattern.EventTime:        "time",
+	pattern.EventOrganizer:   "organizer",
+	pattern.EventDescription: "event",
+	pattern.BrokerName:       "broker",
+	pattern.BrokerPhone:      "phone",
+	pattern.BrokerEmail:      "phone",
+	pattern.PropertyAddr:     "address",
+	pattern.PropertySize:     "acre",
+	pattern.PropertyDesc:     "property",
+}
+
+// Extraction is one extracted named entity.
+type Extraction struct {
+	Entity string
+	Text   string
+	// Box is the bounding box of the elements the match covered.
+	Box geom.Rect
+	// BlockBox is the logical block the match came from.
+	BlockBox geom.Rect
+	// Distance is the Eq. 2 distance to the closest interest point (0 when
+	// disambiguation was unnecessary or disabled).
+	Distance float64
+	// Pattern names the alternative that matched.
+	Score float64
+}
+
+// Candidate is a pattern match with its visual grounding; exported for the
+// baselines that reuse the search phase with different selection logic.
+type Candidate struct {
+	Entity string
+	Match  pattern.Match
+	Box    geom.Rect
+	BT     *BlockText
+	// order is the candidate's reading-order rank, for the None strategy.
+	order int
+}
+
+// Extractor runs VS2-Select over segmented documents.
+type Extractor struct {
+	opts Options
+}
+
+// New returns an Extractor.
+func New(opts Options) *Extractor {
+	return &Extractor{opts: opts.withDefaults()}
+}
+
+// Search runs the pattern sets over every block, returning all candidates
+// grouped by entity. This is the "search" half of search-and-select.
+func (e *Extractor) Search(d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) map[string][]Candidate {
+	texts := make([]*BlockText, 0, len(blocks))
+	for _, b := range blocks {
+		texts = append(texts, NewBlockText(d, b))
+	}
+	out := map[string][]Candidate{}
+	order := 0
+	for _, bt := range texts {
+		if bt.Text == "" {
+			continue
+		}
+		for _, set := range sets {
+			for _, m := range set.Find(bt.Ann) {
+				box := bt.BoxFor(d, m.CharStart, m.CharStart+len(m.Text))
+				if box.Empty() || set.BlockLevel {
+					box = bt.Block.Box
+				}
+				out[set.Entity] = append(out[set.Entity], Candidate{
+					Entity: set.Entity,
+					Match:  m,
+					Box:    box,
+					BT:     bt,
+					order:  order,
+				})
+				order++
+			}
+		}
+	}
+	return out
+}
+
+// Extract runs the full search-and-select: one extraction per entity that
+// matched anywhere (entities with no match are absent from the result).
+func (e *Extractor) Extract(d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) []Extraction {
+	candidates := e.Search(d, blocks, sets)
+	var points []InterestPoint
+	if e.opts.Disambiguation == Multimodal {
+		points = interestPoints(d, blocks, e.opts.Embedder)
+	}
+	var out []Extraction
+	for _, set := range sets {
+		cands := candidates[set.Entity]
+		if len(cands) == 0 {
+			continue
+		}
+		if set.BlockLevel {
+			cands = densestBlock(d, cands)
+		}
+		best, dist := e.selectCandidate(d, set.Entity, cands, points)
+		out = append(out, Extraction{
+			Entity:   set.Entity,
+			Text:     best.Match.Text,
+			Box:      best.Box,
+			BlockBox: best.BT.Block.Box,
+			Distance: dist,
+			Score:    best.Match.Score,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Entity < out[j].Entity })
+	return out
+}
+
+// ExtractAll is like Extract but returns every candidate for each entity,
+// ranked best-first — used by the localisation evaluation, which scores all
+// proposals, and by multi-valued fields.
+func (e *Extractor) ExtractAll(d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) map[string][]Extraction {
+	candidates := e.Search(d, blocks, sets)
+	var points []InterestPoint
+	if e.opts.Disambiguation == Multimodal {
+		points = interestPoints(d, blocks, e.opts.Embedder)
+	}
+	out := map[string][]Extraction{}
+	for entity, cands := range candidates {
+		ranked := e.rank(d, entity, cands, points)
+		for _, c := range ranked {
+			out[entity] = append(out[entity], Extraction{
+				Entity:   entity,
+				Text:     c.Match.Text,
+				Box:      c.Box,
+				BlockBox: c.BT.Block.Box,
+				Score:    c.Match.Score,
+			})
+		}
+	}
+	return out
+}
+
+// selectCandidate picks the winning candidate per the configured strategy.
+func (e *Extractor) selectCandidate(d *doc.Document, entity string, cands []Candidate, points []InterestPoint) (Candidate, float64) {
+	if len(cands) == 1 {
+		return cands[0], 0
+	}
+	ranked := e.rank(d, entity, cands, points)
+	best := ranked[0]
+	if e.opts.Disambiguation == Multimodal {
+		return best, e.distanceToNearest(d, best, points)
+	}
+	return best, 0
+}
+
+// rank orders candidates best-first under the configured strategy.
+func (e *Extractor) rank(d *doc.Document, entity string, cands []Candidate, points []InterestPoint) []Candidate {
+	out := append([]Candidate(nil), cands...)
+	switch e.opts.Disambiguation {
+	case None:
+		sort.SliceStable(out, func(i, j int) bool { return out[i].order < out[j].order })
+	case Lesk:
+		concept := e.opts.Concepts[entity]
+		score := func(c Candidate) int {
+			return nlp.LeskScore(concept, c.BT.ContextWords(c.Match.CharStart, c.Match.CharStart+len(c.Match.Text), 80))
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			si, sj := score(out[i]), score(out[j])
+			if si != sj {
+				return si > sj
+			}
+			return out[i].order < out[j].order
+		})
+	default: // Multimodal
+		dist := make([]float64, len(out))
+		for i, c := range out {
+			dist[i] = e.distanceToNearest(d, c, points)
+		}
+		idx := make([]int, len(out))
+		for i := range idx {
+			idx[i] = i
+		}
+		// Distances within distEps of each other are ties: the Eq. 2
+		// encoding cannot meaningfully order two candidates a hair apart.
+		// Ties resolve by the prominence of the candidate's block (larger
+		// type marks the significant area, per the interest-point
+		// objectives), then pattern specificity, then reading order.
+		const distEps = 0.06
+		height := make([]float64, len(out))
+		for i, c := range out {
+			height[i] = blockMeanHeight(d, c.BT.Block)
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			da, db := dist[idx[a]], dist[idx[b]]
+			if da < db-distEps || db < da-distEps {
+				return da < db
+			}
+			if ha, hb := height[idx[a]], height[idx[b]]; ha != hb {
+				return ha > hb
+			}
+			if out[idx[a]].Match.Score != out[idx[b]].Match.Score {
+				return out[idx[a]].Match.Score > out[idx[b]].Match.Score
+			}
+			return out[idx[a]].order < out[idx[b]].order
+		})
+		ranked := make([]Candidate, len(out))
+		for i, k := range idx {
+			ranked[i] = out[k]
+		}
+		return ranked
+	}
+	return out
+}
+
+// distanceToNearest evaluates Eq. 2 between the candidate's visual area and
+// every interest point, returning the minimum.
+func (e *Extractor) distanceToNearest(d *doc.Document, c Candidate, points []InterestPoint) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	w := e.opts.Weights
+	pageDiag := d.Width + d.Height
+	// A match inside an interest point is at its closest interest point
+	// already: distance zero. Without this case the ΔSim term would
+	// penalise the match for resembling its own block.
+	for _, p := range points {
+		if p.Block == c.BT.Block {
+			return 0
+		}
+	}
+	matchVec := embed.TextVec(e.opts.Embedder, c.Match.Text)
+	matchWd := wordDensity(c.Box, countWords(d, c.Box))
+	best := math.Inf(1)
+	for _, p := range points {
+		dD := c.Box.Centroid().L1Dist(p.Block.Box.Centroid()) / pageDiag
+		dH := math.Abs(c.Box.H-p.Block.Box.H) / d.Height
+		// ΔSim is the raw cosine similarity, exactly as Eq. 2 states: F is
+		// minimised, so the preferred match is textually COMPLEMENTARY to
+		// the interest point rather than a duplicate of it. A broker name
+		// near the property headline should not be out-scored by the
+		// brokerage line merely because the latter shares the headline's
+		// real-estate vocabulary.
+		dSim := embed.Cosine(matchVec, p.Vec)
+		dWd := math.Abs(matchWd - p.WordDensity)
+		// Normalise the density term into a comparable scale.
+		dWd = dWd / (dWd + 1)
+		f := w.Alpha*dD + w.Beta*dH + w.Gamma*dSim + w.Nu*dWd
+		if f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// medianTextHeight returns the median height of the document's text
+// elements.
+func medianTextHeight(d *doc.Document) float64 {
+	var hs []float64
+	for i := range d.Elements {
+		if d.Elements[i].Kind == doc.TextElement {
+			hs = append(hs, d.Elements[i].Box.H)
+		}
+	}
+	if len(hs) == 0 {
+		return 0
+	}
+	sort.Float64s(hs)
+	return hs[len(hs)/2]
+}
+
+func countWords(d *doc.Document, box geom.Rect) int {
+	n := 0
+	for i := range d.Elements {
+		el := &d.Elements[i]
+		if el.Kind != doc.TextElement {
+			continue
+		}
+		if inter := box.Intersect(el.Box); !inter.Empty() && inter.Area() >= el.Box.Area()/2 {
+			n++
+		}
+	}
+	return n
+}
+
+func wordDensity(box geom.Rect, words int) float64 {
+	a := box.Area()
+	if a == 0 {
+		return 0
+	}
+	return float64(words) / a * 1e4
+}
+
+// densestBlock restricts block-level candidates to the block with the most
+// pattern matches. Description-type entities are paragraphs: many clause
+// and phrase patterns fire inside the true description block, while a
+// headline or a logistics line yields at most one incidental match. The
+// match count is the discriminating signal; Eq. 2 then ranks within the
+// chosen block (and breaks ties between equally dense blocks).
+func densestBlock(d *doc.Document, cands []Candidate) []Candidate {
+	// Fine print cannot be the description block: drop candidates whose
+	// block is set well below the document's median type size (data
+	// attributions, print credits), mirroring the prominence filter of the
+	// interest-point selection. If everything is small, keep everything.
+	med := medianTextHeight(d)
+	var kept []Candidate
+	for _, c := range cands {
+		if meanElementHeight(c.BT) >= 0.75*med {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) > 0 {
+		cands = kept
+	}
+	counts := map[*BlockText]int{}
+	for _, c := range cands {
+		counts[c.BT]++
+	}
+	best, bestN := (*BlockText)(nil), 0
+	for _, c := range cands {
+		n := counts[c.BT]
+		switch {
+		case best == nil, n > bestN,
+			// Equal match counts: the wordier block is the better
+			// description candidate.
+			n == bestN && len(c.BT.Text) > len(best.Text):
+			best, bestN = c.BT, n
+		}
+	}
+	var out []Candidate
+	for _, c := range cands {
+		if c.BT == best {
+			out = append(out, c)
+		}
+	}
+	return out
+}

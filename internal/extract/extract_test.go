@@ -1,0 +1,270 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+	"vs2/internal/pattern"
+	"vs2/internal/segment"
+)
+
+// poster builds a synthetic event poster with a big headline, an organizer
+// line, a time/place block, and a decoy organizer mention buried in the
+// fine print.
+func poster() *doc.Document {
+	d := &doc.Document{ID: "poster", Width: 400, Height: 600, Background: colorlab.White}
+	id := 0
+	add := func(x, y, fontH float64, color colorlab.RGB, words ...string) {
+		cx := x
+		for _, w := range words {
+			width := float64(len(w)) * fontH * 0.55
+			d.Elements = append(d.Elements, doc.Element{
+				ID: id, Kind: doc.TextElement, Text: w,
+				Box:      geom.Rect{X: cx, Y: y, W: width, H: fontH},
+				Color:    color,
+				FontSize: fontH, Line: int(y),
+			})
+			id++
+			cx += width + fontH*0.5
+		}
+	}
+	// Headline (big type — an interest point).
+	add(30, 30, 30, colorlab.DarkNavy, "Summer", "Jazz", "Night")
+	// Organizer line right under the headline.
+	add(30, 80, 16, colorlab.Burgundy, "presented", "by", "Riverside", "Jazz", "Society")
+	// Time/place block.
+	add(30, 220, 14, colorlab.Black, "Saturday", "June", "14,", "7:30", "PM")
+	add(30, 250, 14, colorlab.Black, "450", "Maple", "Ave,", "Columbus,", "OH")
+	// Fine print with a decoy person far from any interest point.
+	add(30, 520, 9, colorlab.Gray, "flyer", "design", "donated", "by", "Maria", "Chen")
+	return d
+}
+
+func segmentPoster(t *testing.T, d *doc.Document) []*doc.Node {
+	t.Helper()
+	blocks := segment.New(segment.Options{}).Blocks(d)
+	if len(blocks) < 3 {
+		t.Fatalf("poster under-segmented: %d blocks", len(blocks))
+	}
+	return blocks
+}
+
+func byEntity(ex []Extraction) map[string]Extraction {
+	out := map[string]Extraction{}
+	for _, e := range ex {
+		out[e.Entity] = e
+	}
+	return out
+}
+
+func TestBlockTextRoundTrip(t *testing.T) {
+	d := poster()
+	block := &doc.Node{Box: d.Bounds(), Elements: []int{0, 1, 2}}
+	bt := NewBlockText(d, block)
+	if bt.Text != "Summer Jazz Night" {
+		t.Errorf("block text = %q", bt.Text)
+	}
+	// BoxFor the word "Jazz" (offset 7..11).
+	lo := strings.Index(bt.Text, "Jazz")
+	box := bt.BoxFor(d, lo, lo+4)
+	if box.Empty() || !box.Intersects(d.Elements[1].Box) {
+		t.Errorf("BoxFor = %v", box)
+	}
+	ids := bt.ElementsFor(lo, lo+4)
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("ElementsFor = %v", ids)
+	}
+	ctx := bt.ContextWords(lo, lo+4, 100)
+	if len(ctx) == 0 {
+		t.Error("empty context")
+	}
+}
+
+func TestSearchFindsCandidatesInBlocks(t *testing.T) {
+	d := poster()
+	blocks := segmentPoster(t, d)
+	ex := New(Options{})
+	cands := ex.Search(d, blocks, pattern.EventPatterns())
+	if len(cands[pattern.EventTime]) == 0 {
+		t.Error("no EventTime candidates")
+	}
+	if len(cands[pattern.EventOrganizer]) == 0 {
+		t.Error("no EventOrganizer candidates")
+	}
+	// The decoy should also produce an organizer candidate — that is the
+	// disambiguation's job to reject.
+	if len(cands[pattern.EventOrganizer]) < 2 {
+		t.Log("decoy did not produce a second candidate; disambiguation path untested")
+	}
+}
+
+func TestExtractEndToEnd(t *testing.T) {
+	d := poster()
+	blocks := segmentPoster(t, d)
+	got := byEntity(New(Options{Weights: VisuallyOrnate}).Extract(d, blocks, pattern.EventPatterns()))
+
+	if e, ok := got[pattern.EventTime]; !ok ||
+		(!strings.Contains(e.Text, "7:30") && !strings.Contains(e.Text, "June")) {
+		t.Errorf("EventTime = %+v", got[pattern.EventTime])
+	}
+	if e, ok := got[pattern.EventPlace]; !ok || !strings.Contains(e.Text, "Maple") {
+		t.Errorf("EventPlace = %+v", got[pattern.EventPlace])
+	}
+	org, ok := got[pattern.EventOrganizer]
+	if !ok {
+		t.Fatal("no organizer extracted")
+	}
+	if !strings.Contains(org.Text, "Riverside") && !strings.Contains(org.Text, "Jazz Society") {
+		t.Errorf("organizer = %q (decoy won?)", org.Text)
+	}
+}
+
+func TestDisambiguationBeatsFirstMatch(t *testing.T) {
+	// Force the decoy to appear first in reading order by placing it high:
+	// swap the layout so the fine print precedes the real organizer.
+	d := &doc.Document{ID: "decoy", Width: 400, Height: 600, Background: colorlab.White}
+	id := 0
+	add := func(x, y, fontH float64, color colorlab.RGB, words ...string) {
+		cx := x
+		for _, w := range words {
+			width := float64(len(w)) * fontH * 0.55
+			d.Elements = append(d.Elements, doc.Element{
+				ID: id, Kind: doc.TextElement, Text: w,
+				Box:   geom.Rect{X: cx, Y: y, W: width, H: fontH},
+				Color: color, FontSize: fontH, Line: int(y),
+			})
+			id++
+			cx += width + fontH*0.5
+		}
+	}
+	add(30, 30, 9, colorlab.Gray, "photo", "credit", "Maria", "Chen") // decoy first
+	add(30, 200, 34, colorlab.DarkNavy, "Winter", "Gala")             // interest point
+	add(30, 260, 16, colorlab.Burgundy, "hosted", "by", "Kevin", "Walsh")
+
+	blocks := segment.New(segment.Options{}).Blocks(d)
+	multi := byEntity(New(Options{Weights: VisuallyOrnate}).Extract(d, blocks, pattern.EventPatterns()))
+	first := byEntity(New(Options{Disambiguation: None}).Extract(d, blocks, pattern.EventPatterns()))
+
+	m, ok1 := multi[pattern.EventOrganizer]
+	f, ok2 := first[pattern.EventOrganizer]
+	if !ok1 || !ok2 {
+		t.Fatalf("organizer missing: multi=%v first=%v", ok1, ok2)
+	}
+	if !strings.Contains(m.Text, "Kevin Walsh") {
+		t.Errorf("multimodal picked %q, want Kevin Walsh", m.Text)
+	}
+	if strings.Contains(f.Text, "Kevin Walsh") {
+		t.Logf("first-match baseline also got it right (%q); decoy order insufficient", f.Text)
+	}
+}
+
+func TestInterestPoints(t *testing.T) {
+	d := poster()
+	blocks := segmentPoster(t, d)
+	points := interestPoints(d, blocks, sharedLexicon)
+	if len(points) == 0 {
+		t.Fatal("no interest points")
+	}
+	if len(points) > len(blocks) {
+		t.Error("more interest points than blocks")
+	}
+	// The headline block (tallest) must be on the Pareto front.
+	foundHeadline := false
+	for _, p := range points {
+		if p.Block.Box.H >= 28 && p.Block.Box.Y < 120 {
+			foundHeadline = true
+		}
+	}
+	if !foundHeadline {
+		for _, p := range points {
+			t.Logf("interest point %v", p.Block.Box)
+		}
+		t.Error("headline block not an interest point")
+	}
+}
+
+func TestLeskStrategyRuns(t *testing.T) {
+	d := poster()
+	blocks := segmentPoster(t, d)
+	got := byEntity(New(Options{Disambiguation: Lesk}).Extract(d, blocks, pattern.EventPatterns()))
+	if _, ok := got[pattern.EventTime]; !ok {
+		t.Error("Lesk strategy lost EventTime")
+	}
+}
+
+func TestExtractAllRanksBestFirst(t *testing.T) {
+	d := poster()
+	blocks := segmentPoster(t, d)
+	all := New(Options{Weights: VisuallyOrnate}).ExtractAll(d, blocks, pattern.EventPatterns())
+	orgs := all[pattern.EventOrganizer]
+	if len(orgs) == 0 {
+		t.Fatal("no organizer candidates")
+	}
+	single := byEntity(New(Options{Weights: VisuallyOrnate}).Extract(d, blocks, pattern.EventPatterns()))
+	if orgs[0].Text != single[pattern.EventOrganizer].Text {
+		t.Errorf("ExtractAll[0] = %q, Extract = %q", orgs[0].Text, single[pattern.EventOrganizer].Text)
+	}
+}
+
+func TestWeightsProfiles(t *testing.T) {
+	for _, w := range []Weights{Balanced, VisuallyOrnate, Verbose} {
+		sum := w.Alpha + w.Beta + w.Gamma + w.Nu
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("weights %+v do not sum to 1", w)
+		}
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	d := &doc.Document{ID: "empty", Width: 100, Height: 100}
+	blocks := segment.New(segment.Options{}).Blocks(d)
+	got := New(Options{}).Extract(d, blocks, pattern.EventPatterns())
+	if len(got) != 0 {
+		t.Errorf("extractions from empty doc: %v", got)
+	}
+}
+
+func TestDensestBlockExcludesFinePrint(t *testing.T) {
+	d := poster()
+	// Add a 7pt fine-print block plus its pseudo-matches.
+	blocks := segmentPoster(t, d)
+	ex := New(Options{})
+	cands := ex.Search(d, blocks, pattern.EventPatterns())
+	descCands := cands[pattern.EventDescription]
+	if len(descCands) == 0 {
+		t.Skip("no description candidates on this layout")
+	}
+	kept := densestBlock(d, descCands)
+	if len(kept) == 0 {
+		t.Fatal("densestBlock dropped everything")
+	}
+	// All kept candidates share one block.
+	for _, c := range kept[1:] {
+		if c.BT != kept[0].BT {
+			t.Error("densestBlock returned candidates from several blocks")
+		}
+	}
+	// The fine-print block (9pt, median ~14) must not be chosen.
+	if h := meanElementHeight(kept[0].BT); h < 0.75*medianTextHeight(d) {
+		t.Errorf("fine-print block selected (h=%v)", h)
+	}
+}
+
+func TestDistanceInsideInterestPointIsZero(t *testing.T) {
+	d := poster()
+	blocks := segmentPoster(t, d)
+	points := interestPoints(d, blocks, sharedLexicon)
+	if len(points) == 0 {
+		t.Skip("no interest points")
+	}
+	ex := New(Options{})
+	// A candidate anchored in an interest-point block has distance 0.
+	bt := NewBlockText(d, points[0].Block)
+	c := Candidate{BT: bt, Box: points[0].Block.Box}
+	if got := ex.distanceToNearest(d, c, points); got != 0 {
+		t.Errorf("inside-interest distance = %v", got)
+	}
+}

@@ -1,0 +1,167 @@
+package extract
+
+import (
+	"sort"
+
+	"vs2/internal/doc"
+	"vs2/internal/embed"
+	"vs2/internal/stats"
+)
+
+// InterestPoint is a logical block selected as visually and/or semantically
+// significant (Section 5.3.1). Matches near interest points win conflicts.
+type InterestPoint struct {
+	Block *doc.Node
+	// Vec is the embedding centroid of the block's text.
+	Vec []float64
+	// WordDensity is the block's distance-normalised word density.
+	WordDensity float64
+}
+
+// InterestPoints exposes the interest-point selection for callers that
+// want to inspect or visualise it (cmd/vs2's Fig. 6-style dump).
+func InterestPoints(d *doc.Document, blocks []*doc.Node, e embed.Embedder) []InterestPoint {
+	return interestPoints(d, blocks, e)
+}
+
+// interestPoints solves the optimal-subset-selection problem of
+// Section 5.3.1 by non-dominated sorting of the logical blocks under three
+// objectives, returning the first-order Pareto front:
+//
+//  1. maximise the height of the block's bounding box (large type marks
+//     significant areas);
+//  2. maximise semantic coherence — the sum of pairwise cosine similarities
+//     between the block's text elements;
+//  3. minimise the average word density (sparse, large blocks highlight
+//     important content).
+func interestPoints(d *doc.Document, blocks []*doc.Node, e embed.Embedder) []InterestPoint {
+	if len(blocks) == 0 {
+		return nil
+	}
+	// Only textual areas qualify: a photo block is tall and word-sparse by
+	// construction and would Pareto-dominate every headline, yet carries no
+	// semantics for a match to be near.
+	var textBlocks []*doc.Node
+	for _, b := range blocks {
+		if hasTextElements(d, b) {
+			textBlocks = append(textBlocks, b)
+		}
+	}
+	blocks = textBlocks
+	if len(blocks) == 0 {
+		return nil
+	}
+	objectives := make([][]float64, len(blocks))
+	vecs := make([][]float64, len(blocks))
+	for i, b := range blocks {
+		vecs[i] = embed.TextVec(e, b.Text(d))
+		objectives[i] = []float64{
+			-b.Box.H,                    // maximise height
+			-semanticCoherence(d, b, e), // maximise coherence
+			b.WordDensity(d),            // minimise density
+		}
+	}
+	front := stats.ParetoFront(objectives)
+	// Prominence filter: "larger font size is typically used to highlight
+	// significant areas" — a block set in type smaller than the document's
+	// median cannot be an interest point however well it scores on the
+	// remaining objectives (fine print survives Pareto fronts otherwise,
+	// because three noisy objectives rarely all agree).
+	med := medianElementHeight(d)
+	out := make([]InterestPoint, 0, len(front))
+	for _, i := range front {
+		if blockMeanHeight(d, blocks[i]) < 0.9*med {
+			continue
+		}
+		out = append(out, InterestPoint{
+			Block:       blocks[i],
+			Vec:         vecs[i],
+			WordDensity: blocks[i].WordDensity(d),
+		})
+	}
+	if len(out) == 0 { // degenerate: keep the unfiltered front
+		for _, i := range front {
+			out = append(out, InterestPoint{
+				Block:       blocks[i],
+				Vec:         vecs[i],
+				WordDensity: blocks[i].WordDensity(d),
+			})
+		}
+	}
+	return out
+}
+
+func hasTextElements(d *doc.Document, b *doc.Node) bool {
+	for _, id := range b.Elements {
+		if d.Elements[id].Kind == doc.TextElement {
+			return true
+		}
+	}
+	return false
+}
+
+func medianElementHeight(d *doc.Document) float64 {
+	var hs []float64
+	for i := range d.Elements {
+		if d.Elements[i].Kind == doc.TextElement {
+			hs = append(hs, d.Elements[i].Box.H)
+		}
+	}
+	if len(hs) == 0 {
+		return 0
+	}
+	sort.Float64s(hs)
+	return hs[len(hs)/2]
+}
+
+func blockMeanHeight(d *doc.Document, b *doc.Node) float64 {
+	var sum float64
+	n := 0
+	for _, id := range b.Elements {
+		if d.Elements[id].Kind == doc.TextElement {
+			sum += d.Elements[id].Box.H
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// semanticCoherence is the pairwise cosine similarity between the block's
+// text elements (objective 2 of Section 5.3.1), normalised by the pair
+// count. The paper states the raw sum; normalising by pairs keeps wordy
+// but incoherent blocks (fine print) from dominating the objective purely
+// by volume, which would drag junk areas onto the Pareto front.
+func semanticCoherence(d *doc.Document, b *doc.Node, e embed.Embedder) float64 {
+	var words []string
+	for _, id := range b.Elements {
+		el := &d.Elements[id]
+		if el.Kind == doc.TextElement && el.Text != "" {
+			words = append(words, el.Text)
+		}
+	}
+	if len(words) < 2 {
+		return 0
+	}
+	// Cap the pair count for very wordy blocks: coherence saturates and the
+	// O(n²) loop is wasted effort beyond a sample.
+	const maxWords = 40
+	if len(words) > maxWords {
+		words = words[:maxWords]
+	}
+	vecs := make([][]float64, len(words))
+	for i, w := range words {
+		vecs[i] = e.Vec(w)
+	}
+	var sum float64
+	pairs := 0
+	for i := range vecs {
+		for j := i + 1; j < len(vecs); j++ {
+			sum += embed.Cosine(vecs[i], vecs[j])
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}

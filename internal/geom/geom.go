@@ -1,0 +1,239 @@
+// Package geom provides the planar geometry primitives used throughout VS2:
+// integer-coordinate points and rectangles, bounding-box algebra, and the
+// distance measures (Euclidean, L1, angular) referenced by the paper's
+// layout model (Section 4) and the clustering features of Table 1.
+//
+// The coordinate system follows the paper: the origin is the top-left corner
+// of the page, x grows rightward and y grows downward. A Rect is identified
+// by its top-left corner (X, Y) and its Width and Height, matching the
+// bounding-box tuple b = (x_b, y_b, w_b, h_b) of Section 5.1.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position on the document plane.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns the vector sum p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p-q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// L1Dist returns the Manhattan distance between p and q. Equation 2 of the
+// paper measures centroid displacement ΔD with this metric.
+func (p Point) L1Dist(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Norm returns the Euclidean norm of p treated as a vector from the origin.
+func (p Point) Norm() float64 { return math.Sqrt(p.X*p.X + p.Y*p.Y) }
+
+// Angle returns the angular distance of p from the origin: the angle, in
+// radians within [0, π/2] for page coordinates, of the ray from the page
+// origin (top-left corner) to p. This is the "angular distance" visual
+// attribute of Table 1.
+func (p Point) Angle() float64 {
+	if p.X == 0 && p.Y == 0 {
+		return 0
+	}
+	return math.Atan2(p.Y, p.X)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle identified by its top-left corner and
+// size. The zero Rect is empty.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// RectFromCorners builds the smallest rectangle covering both corner points.
+func RectFromCorners(a, b Point) Rect {
+	x0, x1 := math.Min(a.X, b.X), math.Max(a.X, b.X)
+	y0, y1 := math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)
+	return Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}
+
+// Empty reports whether r has no area.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Area returns the area of r, or 0 if r is empty.
+func (r Rect) Area() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.W * r.H
+}
+
+// MaxX returns the x coordinate of the right edge.
+func (r Rect) MaxX() float64 { return r.X + r.W }
+
+// MaxY returns the y coordinate of the bottom edge.
+func (r Rect) MaxY() float64 { return r.Y + r.H }
+
+// Centroid returns the center point of r.
+func (r Rect) Centroid() Point { return Point{r.X + r.W/2, r.Y + r.H/2} }
+
+// Contains reports whether the point p lies inside r (edges inclusive on the
+// top/left, exclusive on the bottom/right, so that adjacent rectangles
+// partition the plane without double counting).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X && p.X < r.MaxX() && p.Y >= r.Y && p.Y < r.MaxY()
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.X >= r.X && s.Y >= r.Y && s.MaxX() <= r.MaxX() && s.MaxY() <= r.MaxY()
+}
+
+// Intersect returns the overlapping region of r and s; the result is empty
+// when they do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	x0 := math.Max(r.X, s.X)
+	y0 := math.Max(r.Y, s.Y)
+	x1 := math.Min(r.MaxX(), s.MaxX())
+	y1 := math.Min(r.MaxY(), s.MaxY())
+	if x1 <= x0 || y1 <= y0 {
+		return Rect{}
+	}
+	return Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}
+
+// Intersects reports whether r and s overlap with positive area.
+func (r Rect) Intersects(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// Union returns the smallest rectangle covering both r and s. An empty
+// rectangle is the identity element.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	x0 := math.Min(r.X, s.X)
+	y0 := math.Min(r.Y, s.Y)
+	x1 := math.Max(r.MaxX(), s.MaxX())
+	y1 := math.Max(r.MaxY(), s.MaxY())
+	return Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}
+
+// IoU returns the intersection-over-union overlap of r and s in [0, 1].
+// The evaluation protocol of Section 6.2 deems a proposal accurate when its
+// IoU against a ground-truth box exceeds 0.65.
+func (r Rect) IoU(s Rect) float64 {
+	inter := r.Intersect(s).Area()
+	if inter == 0 {
+		return 0
+	}
+	union := r.Area() + s.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Inset shrinks r by d on every side. A negative d grows the rectangle.
+// If the inset would make the rectangle empty, an empty Rect centered on the
+// original centroid is returned.
+func (r Rect) Inset(d float64) Rect {
+	out := Rect{X: r.X + d, Y: r.Y + d, W: r.W - 2*d, H: r.H - 2*d}
+	if out.W <= 0 || out.H <= 0 {
+		c := r.Centroid()
+		return Rect{X: c.X, Y: c.Y}
+	}
+	return out
+}
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{X: r.X + dx, Y: r.Y + dy, W: r.W, H: r.H}
+}
+
+// Gap returns the smallest Euclidean distance between the boundaries of r
+// and s, or 0 when they touch or overlap. It is the "minimum Euclidean
+// distance" used to find the neighbouring bounding boxes of a separator band
+// in Algorithm 1.
+func (r Rect) Gap(s Rect) float64 {
+	dx := axisGap(r.X, r.MaxX(), s.X, s.MaxX())
+	dy := axisGap(r.Y, r.MaxY(), s.Y, s.MaxY())
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func axisGap(a0, a1, b0, b1 float64) float64 {
+	switch {
+	case b0 > a1:
+		return b0 - a1
+	case a0 > b1:
+		return a0 - b1
+	default:
+		return 0
+	}
+}
+
+// AngularDistance returns the absolute difference between the angular
+// positions of the two rectangle centroids relative to the page origin
+// (Table 1, "angular distance").
+func AngularDistance(r, s Rect) float64 {
+	return math.Abs(r.Centroid().Angle() - s.Centroid().Angle())
+}
+
+// SumAngularDistance returns the sum of the angular positions of the two
+// centroids (Table 1, "sum of angular distances"); together with the plain
+// angular distance it discriminates elements on the same ray from elements
+// mirrored across it.
+func SumAngularDistance(r, s Rect) float64 {
+	return r.Centroid().Angle() + s.Centroid().Angle()
+}
+
+// BoundingBox returns the union of all rectangles, or an empty Rect when
+// the slice is empty.
+func BoundingBox(rects []Rect) Rect {
+	var out Rect
+	for _, r := range rects {
+		out = out.Union(r)
+	}
+	return out
+}
+
+// Rotate returns the axis-aligned bounding box of r rotated by theta radians
+// about the point c. VS2-Segment claims robustness to rotation up to 45
+// degrees (Section 5.1.2); the dataset corrupters use this to skew mobile
+// captures.
+func Rotate(r Rect, theta float64, c Point) Rect {
+	sin, cos := math.Sincos(theta)
+	corners := []Point{
+		{r.X, r.Y}, {r.MaxX(), r.Y}, {r.X, r.MaxY()}, {r.MaxX(), r.MaxY()},
+	}
+	var minX, minY = math.Inf(1), math.Inf(1)
+	var maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, p := range corners {
+		dx, dy := p.X-c.X, p.Y-c.Y
+		x := c.X + dx*cos - dy*sin
+		y := c.Y + dx*sin + dy*cos
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+	}
+	return Rect{X: minX, Y: minY, W: maxX - minX, H: maxY - minY}
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f %.1fx%.1f]", r.X, r.Y, r.W, r.H)
+}

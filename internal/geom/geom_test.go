@@ -1,0 +1,261 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{1, -2}
+	if got := p.Add(q); got != (Point{4, 2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Norm(); !almostEq(got, 5) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Dist(Point{0, 0}); !almostEq(got, 5) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := p.L1Dist(q); !almostEq(got, 8) {
+		t.Errorf("L1Dist = %v", got)
+	}
+}
+
+func TestAngle(t *testing.T) {
+	if got := (Point{0, 0}).Angle(); got != 0 {
+		t.Errorf("origin angle = %v", got)
+	}
+	if got := (Point{1, 0}).Angle(); !almostEq(got, 0) {
+		t.Errorf("x-axis angle = %v", got)
+	}
+	if got := (Point{0, 1}).Angle(); !almostEq(got, math.Pi/2) {
+		t.Errorf("y-axis angle = %v", got)
+	}
+	if got := (Point{1, 1}).Angle(); !almostEq(got, math.Pi/4) {
+		t.Errorf("diagonal angle = %v", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{X: 10, Y: 20, W: 30, H: 40}
+	if r.Empty() {
+		t.Fatal("r should not be empty")
+	}
+	if got := r.Area(); got != 1200 {
+		t.Errorf("Area = %v", got)
+	}
+	if got := r.MaxX(); got != 40 {
+		t.Errorf("MaxX = %v", got)
+	}
+	if got := r.MaxY(); got != 60 {
+		t.Errorf("MaxY = %v", got)
+	}
+	if got := r.Centroid(); got != (Point{25, 40}) {
+		t.Errorf("Centroid = %v", got)
+	}
+	if (Rect{}).Area() != 0 {
+		t.Error("empty rect area should be 0")
+	}
+	if !(Rect{W: -1, H: 5}).Empty() {
+		t.Error("negative width must be empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{X: 0, Y: 0, W: 10, H: 10}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{5, 5}, true},
+		{Point{10, 5}, false}, // right edge exclusive
+		{Point{5, 10}, false}, // bottom edge exclusive
+		{Point{-1, 5}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !r.ContainsRect(Rect{X: 2, Y: 2, W: 3, H: 3}) {
+		t.Error("inner rect should be contained")
+	}
+	if r.ContainsRect(Rect{X: 8, Y: 8, W: 5, H: 5}) {
+		t.Error("overflowing rect should not be contained")
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 10, H: 10}
+	b := Rect{X: 5, Y: 5, W: 10, H: 10}
+	inter := a.Intersect(b)
+	if inter != (Rect{X: 5, Y: 5, W: 5, H: 5}) {
+		t.Errorf("Intersect = %v", inter)
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	disjoint := Rect{X: 100, Y: 100, W: 1, H: 1}
+	if a.Intersects(disjoint) {
+		t.Error("disjoint rects must not intersect")
+	}
+	u := a.Union(b)
+	if u != (Rect{X: 0, Y: 0, W: 15, H: 15}) {
+		t.Errorf("Union = %v", u)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("union with empty should be identity, got %v", got)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("empty union a should be a, got %v", got)
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 10, H: 10}
+	if got := a.IoU(a); !almostEq(got, 1) {
+		t.Errorf("self IoU = %v", got)
+	}
+	b := Rect{X: 5, Y: 0, W: 10, H: 10}
+	// intersection 50, union 150
+	if got := a.IoU(b); !almostEq(got, 1.0/3.0) {
+		t.Errorf("IoU = %v", got)
+	}
+	if got := a.IoU(Rect{X: 50, Y: 50, W: 2, H: 2}); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+}
+
+func TestGap(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 10, H: 10}
+	right := Rect{X: 15, Y: 0, W: 5, H: 10}
+	if got := a.Gap(right); !almostEq(got, 5) {
+		t.Errorf("horizontal gap = %v", got)
+	}
+	below := Rect{X: 0, Y: 13, W: 10, H: 2}
+	if got := a.Gap(below); !almostEq(got, 3) {
+		t.Errorf("vertical gap = %v", got)
+	}
+	diag := Rect{X: 13, Y: 14, W: 2, H: 2}
+	if got := a.Gap(diag); !almostEq(got, 5) { // 3-4-5 triangle
+		t.Errorf("diagonal gap = %v", got)
+	}
+	if got := a.Gap(Rect{X: 5, Y: 5, W: 2, H: 2}); got != 0 {
+		t.Errorf("overlap gap = %v", got)
+	}
+}
+
+func TestInsetTranslate(t *testing.T) {
+	r := Rect{X: 10, Y: 10, W: 20, H: 20}
+	if got := r.Inset(5); got != (Rect{X: 15, Y: 15, W: 10, H: 10}) {
+		t.Errorf("Inset = %v", got)
+	}
+	if got := r.Inset(-5); got != (Rect{X: 5, Y: 5, W: 30, H: 30}) {
+		t.Errorf("negative Inset = %v", got)
+	}
+	collapsed := r.Inset(15)
+	if !collapsed.Empty() {
+		t.Errorf("over-inset should be empty, got %v", collapsed)
+	}
+	if got := r.Translate(1, -2); got != (Rect{X: 11, Y: 8, W: 20, H: 20}) {
+		t.Errorf("Translate = %v", got)
+	}
+}
+
+func TestRectFromCorners(t *testing.T) {
+	r := RectFromCorners(Point{10, 20}, Point{0, 5})
+	if r != (Rect{X: 0, Y: 5, W: 10, H: 15}) {
+		t.Errorf("RectFromCorners = %v", r)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	if !BoundingBox(nil).Empty() {
+		t.Error("bounding box of nothing should be empty")
+	}
+	bb := BoundingBox([]Rect{
+		{X: 0, Y: 0, W: 1, H: 1},
+		{X: 9, Y: 9, W: 1, H: 1},
+	})
+	if bb != (Rect{X: 0, Y: 0, W: 10, H: 10}) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	r := Rect{X: -1, Y: -1, W: 2, H: 2}
+	rot := Rotate(r, math.Pi/4, Point{0, 0})
+	want := math.Sqrt2 * 2
+	if !almostEq(rot.W, want) || !almostEq(rot.H, want) {
+		t.Errorf("45-degree rotation of unit square = %v, want %vx%v", rot, want, want)
+	}
+	// Rotation by 0 is the identity.
+	same := Rotate(r, 0, Point{5, 5})
+	if !almostEq(same.X, r.X) || !almostEq(same.W, r.W) {
+		t.Errorf("zero rotation changed the rect: %v", same)
+	}
+}
+
+func TestAngularDistances(t *testing.T) {
+	a := Rect{X: 10, Y: 0, W: 2, H: 2} // near x-axis
+	b := Rect{X: 0, Y: 10, W: 2, H: 2} // near y-axis
+	if d := AngularDistance(a, b); d <= 0 || d > math.Pi/2 {
+		t.Errorf("angular distance out of range: %v", d)
+	}
+	if s := SumAngularDistance(a, a); !almostEq(s, 2*a.Centroid().Angle()) {
+		t.Errorf("sum angular distance = %v", s)
+	}
+}
+
+// Property: IoU is symmetric and bounded in [0,1].
+func TestIoUProperties(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 uint8) bool {
+		a := Rect{float64(x1), float64(y1), float64(w1%64) + 1, float64(h1%64) + 1}
+		b := Rect{float64(x2), float64(y2), float64(w2%64) + 1, float64(h2%64) + 1}
+		ab, ba := a.IoU(b), b.IoU(a)
+		return almostEq(ab, ba) && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intersect result is contained in both operands, Union contains both.
+func TestIntersectUnionProperties(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 uint8) bool {
+		a := Rect{float64(x1), float64(y1), float64(w1%64) + 1, float64(h1%64) + 1}
+		b := Rect{float64(x2), float64(y2), float64(w2%64) + 1, float64(h2%64) + 1}
+		inter := a.Intersect(b)
+		u := a.Union(b)
+		if !inter.Empty() && (!a.ContainsRect(inter) || !b.ContainsRect(inter)) {
+			return false
+		}
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gap is zero iff rectangles touch or overlap; symmetric.
+func TestGapProperties(t *testing.T) {
+	f := func(x1, y1, x2, y2 uint8) bool {
+		a := Rect{float64(x1), float64(y1), 10, 10}
+		b := Rect{float64(x2), float64(y2), 10, 10}
+		return almostEq(a.Gap(b), b.Gap(a)) && a.Gap(b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

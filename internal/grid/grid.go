@@ -1,0 +1,387 @@
+// Package grid implements the rasterised whitespace analysis underpinning
+// VS2-Segment (Section 5.1.1 of the paper). A document region is rendered
+// onto an occupancy grid; a cell not covered by any bounding box is a
+// "whitespace position". A valid horizontal movement steps one cell right
+// with a vertical drift of at most one cell (and symmetrically for vertical
+// movements); chaining W of them across a region of width W yields a
+// horizontal "cut". Because cuts may drift ±1 per hop, they are seams rather
+// than straight projection lines — this is exactly what lets VS2 separate
+// blocks that are not delimited by a rectangular whitespace channel, its
+// stated advantage over VIPS and XY-cut.
+//
+// Maximal runs of consecutive cut rows (or columns) form separator bands;
+// Algorithm 1 of the paper then decides which bands are true visual
+// delimiters.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"vs2/internal/geom"
+)
+
+// IntRect is a half-open integer rectangle [X0,X1) × [Y0,Y1) in grid cells.
+type IntRect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// W returns the width of r in cells.
+func (r IntRect) W() int { return r.X1 - r.X0 }
+
+// H returns the height of r in cells.
+func (r IntRect) H() int { return r.Y1 - r.Y0 }
+
+// Empty reports whether r covers no cells.
+func (r IntRect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+func (r IntRect) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)", r.X0, r.X1, r.Y0, r.Y1)
+}
+
+// Grid is a binary occupancy raster of a document page (or a sub-area).
+type Grid struct {
+	W, H  int
+	Scale float64 // cells per page unit
+	occ   []bool
+}
+
+// New returns an empty (all-whitespace) grid of w×h cells.
+func New(w, h int) *Grid {
+	if w < 0 {
+		w = 0
+	}
+	if h < 0 {
+		h = 0
+	}
+	return &Grid{W: w, H: h, Scale: 1, occ: make([]bool, w*h)}
+}
+
+// FromRects rasterises the given bounding boxes onto a grid covering bounds.
+// scale controls resolution: cells per page unit (1.0 is adequate for
+// point-sized pages; the paper's grid lines of Fig. 5 correspond to scale 1).
+func FromRects(bounds geom.Rect, rects []geom.Rect, scale float64) *Grid {
+	if scale <= 0 {
+		scale = 1
+	}
+	w := int(math.Ceil(bounds.W * scale))
+	h := int(math.Ceil(bounds.H * scale))
+	g := New(w, h)
+	g.Scale = scale
+	for _, r := range rects {
+		g.mark(bounds, r, scale)
+	}
+	return g
+}
+
+func (g *Grid) mark(bounds, r geom.Rect, scale float64) {
+	x0 := int(math.Floor((r.X - bounds.X) * scale))
+	y0 := int(math.Floor((r.Y - bounds.Y) * scale))
+	x1 := int(math.Ceil((r.MaxX() - bounds.X) * scale))
+	y1 := int(math.Ceil((r.MaxY() - bounds.Y) * scale))
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > g.W {
+		x1 = g.W
+	}
+	if y1 > g.H {
+		y1 = g.H
+	}
+	for y := y0; y < y1; y++ {
+		row := g.occ[y*g.W : (y+1)*g.W]
+		for x := x0; x < x1; x++ {
+			row[x] = true
+		}
+	}
+}
+
+// Set marks the cell (x, y) occupied (no-op out of range).
+func (g *Grid) Set(x, y int) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.occ[y*g.W+x] = true
+}
+
+// Occupied reports whether the cell (x, y) is covered by some bounding box.
+// Out-of-range cells count as occupied so that movements cannot leave the
+// page.
+func (g *Grid) Occupied(x, y int) bool {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return true
+	}
+	return g.occ[y*g.W+x]
+}
+
+// Whitespace reports whether (x, y) is a whitespace position per
+// Section 5.1.1: a position not contained in any bounding box.
+func (g *Grid) Whitespace(x, y int) bool { return !g.Occupied(x, y) }
+
+// Bounds returns the full-grid region.
+func (g *Grid) Bounds() IntRect { return IntRect{0, 0, g.W, g.H} }
+
+// ToCells converts a page-space rectangle to grid cells relative to the
+// page-space origin used at rasterisation time (assumed (0,0) here, as all
+// callers rasterise with bounds anchored at the area origin).
+func (g *Grid) ToCells(r geom.Rect) IntRect {
+	out := IntRect{
+		X0: int(math.Floor(r.X * g.Scale)),
+		Y0: int(math.Floor(r.Y * g.Scale)),
+		X1: int(math.Ceil(r.MaxX() * g.Scale)),
+		Y1: int(math.Ceil(r.MaxY() * g.Scale)),
+	}
+	if out.X0 < 0 {
+		out.X0 = 0
+	}
+	if out.Y0 < 0 {
+		out.Y0 = 0
+	}
+	if out.X1 > g.W {
+		out.X1 = g.W
+	}
+	if out.Y1 > g.H {
+		out.Y1 = g.H
+	}
+	return out
+}
+
+// ToPage converts a grid-cell region back to page units.
+func (g *Grid) ToPage(r IntRect) geom.Rect {
+	return geom.Rect{
+		X: float64(r.X0) / g.Scale,
+		Y: float64(r.Y0) / g.Scale,
+		W: float64(r.W()) / g.Scale,
+		H: float64(r.H()) / g.Scale,
+	}
+}
+
+// HorizontalCutRows returns, within region, every row y (absolute grid
+// coordinate) from which a horizontal cut originates: a chain of valid
+// 1-hop horizontal movements with drift ±1 spanning the full region width
+// through whitespace. Rows are returned in increasing order.
+func (g *Grid) HorizontalCutRows(region IntRect) []int {
+	w, h := region.W(), region.H()
+	if w <= 0 || h <= 0 {
+		return nil
+	}
+	// reach[y] is true when a seam can continue from column x (current) at
+	// row y to the right edge. Sweep right-to-left.
+	reach := make([]bool, h)
+	next := make([]bool, h)
+	for y := 0; y < h; y++ {
+		reach[y] = g.Whitespace(region.X1-1, region.Y0+y)
+	}
+	for x := region.X1 - 2; x >= region.X0; x-- {
+		for y := 0; y < h; y++ {
+			next[y] = false
+			if !g.Whitespace(x, region.Y0+y) {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				ny := y + dy
+				if ny >= 0 && ny < h && reach[ny] {
+					next[y] = true
+					break
+				}
+			}
+		}
+		reach, next = next, reach
+	}
+	var rows []int
+	for y := 0; y < h; y++ {
+		if reach[y] {
+			rows = append(rows, region.Y0+y)
+		}
+	}
+	return rows
+}
+
+// VerticalCutCols returns, within region, every column x from which a
+// vertical cut originates (the transpose of HorizontalCutRows).
+func (g *Grid) VerticalCutCols(region IntRect) []int {
+	w, h := region.W(), region.H()
+	if w <= 0 || h <= 0 {
+		return nil
+	}
+	reach := make([]bool, w)
+	next := make([]bool, w)
+	for x := 0; x < w; x++ {
+		reach[x] = g.Whitespace(region.X0+x, region.Y1-1)
+	}
+	for y := region.Y1 - 2; y >= region.Y0; y-- {
+		for x := 0; x < w; x++ {
+			next[x] = false
+			if !g.Whitespace(region.X0+x, y) {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				nx := x + dx
+				if nx >= 0 && nx < w && reach[nx] {
+					next[x] = true
+					break
+				}
+			}
+		}
+		reach, next = next, reach
+	}
+	var cols []int
+	for x := 0; x < w; x++ {
+		if reach[x] {
+			cols = append(cols, region.X0+x)
+		}
+	}
+	return cols
+}
+
+// ValidHorizontalMove reports whether a valid 1-hop horizontal movement
+// exists from the whitespace position (x, y): per Section 5.1.1, to
+// (x+1, y) when that is whitespace, or diagonally to (x+1, y±1) otherwise.
+func (g *Grid) ValidHorizontalMove(x, y int) bool {
+	if !g.Whitespace(x, y) {
+		return false
+	}
+	return g.Whitespace(x+1, y) || g.Whitespace(x+1, y-1) || g.Whitespace(x+1, y+1)
+}
+
+// ValidVerticalMove reports whether a valid 1-hop vertical movement exists
+// from (x, y).
+func (g *Grid) ValidVerticalMove(x, y int) bool {
+	if !g.Whitespace(x, y) {
+		return false
+	}
+	return g.Whitespace(x, y+1) || g.Whitespace(x-1, y+1) || g.Whitespace(x+1, y+1)
+}
+
+// Span is an inclusive run [Start, End] of consecutive cut rows or columns.
+// Its Width (cardinality of the set of consecutive valid cuts, in the
+// paper's terms) is End-Start+1.
+type Span struct {
+	Start, End int
+}
+
+// Width returns the number of consecutive cuts in the span.
+func (s Span) Width() int { return s.End - s.Start + 1 }
+
+// Bands groups a sorted list of cut coordinates into maximal runs of
+// consecutive values — the sets V_{s,i} of Fig. 5b.
+func Bands(coords []int) []Span {
+	var out []Span
+	for i := 0; i < len(coords); {
+		j := i
+		for j+1 < len(coords) && coords[j+1] == coords[j]+1 {
+			j++
+		}
+		out = append(out, Span{Start: coords[i], End: coords[j]})
+		i = j + 1
+	}
+	return out
+}
+
+// BottleneckWidth returns the effective width of a separator band: the
+// minimum, over the rows (for a horizontal band: columns) the seams must
+// traverse, of the number of whitespace cells reachable from the band's
+// origins under drift-±1 movement. The raw origin span of a band
+// overstates its width when open whitespace funnels into a narrow gap —
+// many origins, one bottleneck — and it is the bottleneck that determines
+// whether two areas are visually separated.
+func (g *Grid) BottleneckWidth(region IntRect, band Span, horizontal bool) int {
+	if horizontal {
+		// Band of cut rows; seams run left to right. Track reachable rows.
+		h := region.H()
+		reach := make([]bool, h)
+		next := make([]bool, h)
+		for y := band.Start; y <= band.End; y++ {
+			if y >= region.Y0 && y < region.Y1 {
+				reach[y-region.Y0] = g.Whitespace(region.X0, y)
+			}
+		}
+		bottleneck := count(reach)
+		for x := region.X0 + 1; x < region.X1; x++ {
+			for y := 0; y < h; y++ {
+				next[y] = false
+				if !g.Whitespace(x, region.Y0+y) {
+					continue
+				}
+				for dy := -1; dy <= 1; dy++ {
+					py := y + dy
+					if py >= 0 && py < h && reach[py] {
+						next[y] = true
+						break
+					}
+				}
+			}
+			reach, next = next, reach
+			if c := count(reach); c < bottleneck {
+				bottleneck = c
+			}
+			if bottleneck == 0 {
+				return 0
+			}
+		}
+		return bottleneck
+	}
+	// Band of cut columns; seams run top to bottom. Track reachable columns.
+	w := region.W()
+	reach := make([]bool, w)
+	next := make([]bool, w)
+	for x := band.Start; x <= band.End; x++ {
+		if x >= region.X0 && x < region.X1 {
+			reach[x-region.X0] = g.Whitespace(x, region.Y0)
+		}
+	}
+	bottleneck := count(reach)
+	for y := region.Y0 + 1; y < region.Y1; y++ {
+		for x := 0; x < w; x++ {
+			next[x] = false
+			if !g.Whitespace(region.X0+x, y) {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				px := x + dx
+				if px >= 0 && px < w && reach[px] {
+					next[x] = true
+					break
+				}
+			}
+		}
+		reach, next = next, reach
+		if c := count(reach); c < bottleneck {
+			bottleneck = c
+		}
+		if bottleneck == 0 {
+			return 0
+		}
+	}
+	return bottleneck
+}
+
+func count(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns the fraction of cells occupied within region.
+func (g *Grid) Coverage(region IntRect) float64 {
+	total := region.W() * region.H()
+	if total <= 0 {
+		return 0
+	}
+	n := 0
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			if g.Occupied(x, y) {
+				n++
+			}
+		}
+	}
+	return float64(n) / float64(total)
+}

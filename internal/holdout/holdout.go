@@ -1,0 +1,240 @@
+// Package holdout implements the distant-supervision side of VS2
+// (Section 5.2.1): construction of the holdout corpus H = Σ_i (N_i, T_Ni)
+// and the learning of lexico-syntactic patterns from it.
+//
+// The paper builds H by scraping public-domain websites (Table 2:
+// irs.gov for D1; allevents.in and dl.acm.org for D2; fsbo.com and
+// homesbyowner.com for D3) with a custom web wrapper [19], inserting
+// tuples "until the distribution of distinct syntactic patterns defined by
+// the tuples was approximately normal" (tested per Shapiro & Wilk [40]) or
+// the source was exhausted. Those sites cannot be scraped offline, so this
+// package simulates them: each site generator emits fixed-format HTML
+// pages whose markup wraps every entity occurrence in a class-tagged span,
+// exactly the structure a hand-written wrapper exploits; the wrapper then
+// recovers (entity, text) tuples from the markup.
+package holdout
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+
+	"vs2/internal/stats"
+)
+
+// Entry is one (named entity, text) tuple of the corpus.
+type Entry struct {
+	Entity string
+	Text   string
+	// Context is the surrounding sentence the entity appeared in — the
+	// "diverse semantic contexts" the pattern learner mines.
+	Context string
+}
+
+// Page is one fixed-format HTML page returned by a site query.
+type Page struct {
+	URL  string
+	HTML string
+}
+
+// Corpus is the holdout corpus H.
+type Corpus struct {
+	// Entries groups tuples by entity key.
+	Entries map[string][]Entry
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{Entries: map[string][]Entry{}}
+}
+
+// Add inserts a tuple.
+func (c *Corpus) Add(e Entry) {
+	c.Entries[e.Entity] = append(c.Entries[e.Entity], e)
+}
+
+// Size returns the total number of tuples.
+func (c *Corpus) Size() int {
+	n := 0
+	for _, es := range c.Entries {
+		n += len(es)
+	}
+	return n
+}
+
+// Texts returns the texts recorded for one entity.
+func (c *Corpus) Texts(entity string) []string {
+	var out []string
+	for _, e := range c.Entries[entity] {
+		out = append(out, e.Text)
+	}
+	return out
+}
+
+// Entities lists the entity keys present, sorted.
+func (c *Corpus) Entities() []string {
+	out := make([]string, 0, len(c.Entries))
+	for k := range c.Entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The web wrapper ------------------------------------------------------
+
+// spanRE captures <span class="Entity">text</span> occurrences; contextRE
+// captures the enclosing fixed-format container.
+var (
+	spanRE = regexp.MustCompile(`<span class="([A-Za-z0-9_]+)">([^<]*)</span>`)
+	tagRE  = regexp.MustCompile(`<[^>]+>`)
+)
+
+// ExtractTuples is the custom web wrapper of Section 5.2.1 step (c): it
+// exploits the fixed-format HTML environment to pull every entity
+// occurrence with its sentence context.
+func ExtractTuples(p Page) []Entry {
+	var out []Entry
+	// Containers are the block elements; context = stripped text of the
+	// container holding the span.
+	for _, container := range strings.Split(p.HTML, "</div>") {
+		plain := strings.TrimSpace(tagRE.ReplaceAllString(container, " "))
+		plain = strings.Join(strings.Fields(plain), " ")
+		for _, m := range spanRE.FindAllStringSubmatch(container, -1) {
+			text := strings.TrimSpace(m[2])
+			if text == "" {
+				continue
+			}
+			out = append(out, Entry{Entity: m[1], Text: text, Context: plain})
+		}
+	}
+	return out
+}
+
+// Corpus construction ----------------------------------------------------
+
+// Site is a simulated public-domain website: Query returns the result
+// pages for one query batch (empty when exhausted), mirroring Table 2's
+// query/filter recipe.
+type Site struct {
+	Name string
+	// Query returns the i-th batch of result pages.
+	Query func(batch int, rng *rand.Rand) []Page
+}
+
+// BuildOptions controls corpus construction.
+type BuildOptions struct {
+	Seed int64
+	// MaxBatches bounds the construction loop (default 40).
+	MaxBatches int
+	// NormalP is the Shapiro-Wilk p-value above which the distinct-pattern
+	// distribution counts as "approximately normal" (default 0.05).
+	NormalP float64
+}
+
+// Build constructs the holdout corpus from the sites per Section 5.2.1:
+// batches of result pages are wrapped and inserted until the distribution
+// of distinct syntactic shapes per entity is approximately normal (or the
+// sites are exhausted / the batch budget runs out).
+func Build(sites []Site, opts BuildOptions) *Corpus {
+	if opts.MaxBatches <= 0 {
+		opts.MaxBatches = 40
+	}
+	if opts.NormalP <= 0 {
+		opts.NormalP = 0.05
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 97))
+	c := NewCorpus()
+	for batch := 0; batch < opts.MaxBatches; batch++ {
+		exhausted := true
+		for _, site := range sites {
+			pages := site.Query(batch, rng)
+			if len(pages) == 0 {
+				continue
+			}
+			exhausted = false
+			for _, p := range pages {
+				for _, e := range ExtractTuples(p) {
+					c.Add(e)
+				}
+			}
+		}
+		if exhausted {
+			break
+		}
+		if batch >= 2 && c.approximatelyNormal(opts.NormalP) {
+			break
+		}
+	}
+	return c
+}
+
+// approximatelyNormal applies the Section 5.2.1 stopping criterion: for
+// each entity, the counts of distinct syntactic shapes (POS-signature of
+// the tuple text) should pass a Shapiro-Wilk normality test.
+func (c *Corpus) approximatelyNormal(minP float64) bool {
+	for _, entity := range c.Entities() {
+		counts := c.ShapeDistribution(entity)
+		if len(counts) < 3 {
+			return false
+		}
+		_, p, err := stats.ShapiroWilk(counts)
+		if err != nil || p < minP {
+			return false
+		}
+	}
+	return true
+}
+
+// ShapeDistribution returns, for one entity, the tuple counts of each
+// distinct syntactic shape, sorted descending — the distribution the
+// normality criterion inspects.
+func (c *Corpus) ShapeDistribution(entity string) []float64 {
+	byShape := map[string]int{}
+	for _, e := range c.Entries[entity] {
+		byShape[SyntacticShape(e.Text)]++
+	}
+	out := make([]float64, 0, len(byShape))
+	for _, n := range byShape {
+		out = append(out, float64(n))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// SyntacticShape reduces a text to a coarse syntactic signature: the
+// sequence of word classes (capitalised word, number, lowercase word,
+// symbol), capped for stability.
+func SyntacticShape(text string) string {
+	var sb strings.Builder
+	n := 0
+	for _, w := range strings.Fields(text) {
+		if n >= 6 {
+			break
+		}
+		switch {
+		case strings.IndexFunc(w, isDigit) >= 0:
+			sb.WriteByte('9')
+		case w[0] >= 'A' && w[0] <= 'Z':
+			sb.WriteByte('A')
+		default:
+			sb.WriteByte('a')
+		}
+		n++
+	}
+	return sb.String()
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+// String summarises the corpus.
+func (c *Corpus) String() string {
+	var sb strings.Builder
+	for _, e := range c.Entities() {
+		fmt.Fprintf(&sb, "%s: %d tuples, %d shapes\n",
+			e, len(c.Entries[e]), len(c.ShapeDistribution(e)))
+	}
+	return sb.String()
+}

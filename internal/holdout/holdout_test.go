@@ -1,0 +1,164 @@
+package holdout
+
+import (
+	"strings"
+	"testing"
+
+	"vs2/internal/nlp"
+	"vs2/internal/pattern"
+	"vs2/internal/treemine"
+)
+
+func TestWrapperExtractsTuples(t *testing.T) {
+	page := Page{
+		URL: "https://example.test",
+		HTML: `<div class="event"><span class="EventTitle">Jazz Night</span> hosted by ` +
+			`<span class="EventOrganizer">Kevin Walsh</span></div>` +
+			`<div class="event"><span class="EventTitle">Art Walk</span></div>`,
+	}
+	tuples := ExtractTuples(page)
+	if len(tuples) != 3 {
+		t.Fatalf("tuples = %v", tuples)
+	}
+	if tuples[0].Entity != "EventTitle" || tuples[0].Text != "Jazz Night" {
+		t.Errorf("tuple[0] = %+v", tuples[0])
+	}
+	if !strings.Contains(tuples[0].Context, "hosted by") {
+		t.Errorf("context lost: %+v", tuples[0])
+	}
+	if tuples[1].Entity != "EventOrganizer" || tuples[1].Text != "Kevin Walsh" {
+		t.Errorf("tuple[1] = %+v", tuples[1])
+	}
+}
+
+func TestBuildD2Corpus(t *testing.T) {
+	c := Build(D2Sites(), BuildOptions{Seed: 1})
+	if c.Size() == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, entity := range []string{
+		pattern.EventTitle, pattern.EventTime, pattern.EventOrganizer,
+		pattern.EventPlace, pattern.EventDescription,
+	} {
+		if len(c.Entries[entity]) < 20 {
+			t.Errorf("%s has only %d tuples", entity, len(c.Entries[entity]))
+		}
+	}
+	// Shape distributions exist and are non-trivial for organizers (person
+	// vs org forms).
+	shapes := c.ShapeDistribution(pattern.EventOrganizer)
+	if len(shapes) < 2 {
+		t.Errorf("organizer shapes = %v", shapes)
+	}
+}
+
+func TestBuildD1Corpus(t *testing.T) {
+	c := Build(D1Sites(), BuildOptions{Seed: 1, MaxBatches: 30})
+	// Every form field must be present exactly once (fixed tables).
+	if len(c.Entities()) < 1200 {
+		t.Errorf("D1 corpus has %d entities", len(c.Entities()))
+	}
+	for _, e := range c.Entities()[:10] {
+		if len(c.Entries[e]) != 1 {
+			t.Errorf("field %s tuples = %d", e, len(c.Entries[e]))
+		}
+	}
+}
+
+func TestBuildD3Corpus(t *testing.T) {
+	c := Build(D3Sites(), BuildOptions{Seed: 2})
+	for _, entity := range []string{
+		pattern.BrokerName, pattern.BrokerPhone, pattern.BrokerEmail,
+		pattern.PropertyAddr, pattern.PropertySize, pattern.PropertyDesc,
+	} {
+		if len(c.Entries[entity]) < 10 {
+			t.Errorf("%s has only %d tuples", entity, len(c.Entries[entity]))
+		}
+	}
+	// Phones recorded verbatim.
+	for _, txt := range c.Texts(pattern.BrokerPhone)[:5] {
+		if !strings.ContainsAny(txt, "0123456789") {
+			t.Errorf("phone tuple %q has no digits", txt)
+		}
+	}
+}
+
+func TestSyntacticShape(t *testing.T) {
+	cases := map[string]string{
+		"Kevin Walsh":            "AA",
+		"Riverside Jazz Society": "AAA",
+		"614-555-0137":           "9",
+		"join us for fun":        "aaaa",
+		"Saturday, June 14":      "AA9",
+	}
+	for in, want := range cases {
+		if got := SyntacticShape(in); got != want {
+			t.Errorf("SyntacticShape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLearnOrganizerPatterns(t *testing.T) {
+	c := Build(D2Sites(), BuildOptions{Seed: 3})
+	mined := Learn(c, pattern.EventOrganizer, LearnOptions{MinSupport: 0.25})
+	if len(mined) == 0 {
+		t.Fatal("no organizer patterns mined")
+	}
+	// The mined patterns must include person-evidence: some pattern should
+	// contain an NE:PERSON or NE:ORG node (organizers are people or orgs).
+	var hasEntityEvidence bool
+	for _, m := range mined {
+		m.Tree.Walk(func(n *treemine.Tree) {
+			if n.Label == "NE:PERSON" || n.Label == "NE:ORG" || n.Label == "NNP" {
+				hasEntityEvidence = true
+			}
+		})
+	}
+	if !hasEntityEvidence {
+		for _, m := range mined {
+			t.Logf("mined: %s (score %v)", m.Tree.Encode(), m.ScoreVal)
+		}
+		t.Error("mined organizer patterns carry no entity evidence")
+	}
+	// And the mined patterns must actually match fresh organizer text.
+	a := nlp.Annotate("Maria Chen hosts the gala")
+	matched := false
+	for _, m := range mined {
+		if len(m.Find(a)) > 0 {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Error("no mined pattern matches a fresh organizer mention")
+	}
+}
+
+func TestLearnedSetsCoverEntities(t *testing.T) {
+	c := Build(D3Sites(), BuildOptions{Seed: 5})
+	sets := LearnedSets(c, LearnOptions{MinSupport: 0.3})
+	if len(sets) < 4 {
+		t.Errorf("learned sets = %d", len(sets))
+	}
+	for _, s := range sets {
+		if len(s.Patterns) == 0 {
+			t.Errorf("set %s empty", s.Entity)
+		}
+	}
+}
+
+func TestLearnEmptyEntity(t *testing.T) {
+	c := NewCorpus()
+	if got := Learn(c, "Nope", LearnOptions{}); got != nil {
+		t.Errorf("patterns from empty corpus: %v", got)
+	}
+}
+
+func TestCorpusString(t *testing.T) {
+	c := NewCorpus()
+	c.Add(Entry{Entity: "X", Text: "alpha beta"})
+	c.Add(Entry{Entity: "X", Text: "Gamma Delta"})
+	s := c.String()
+	if !strings.Contains(s, "X: 2 tuples") {
+		t.Errorf("summary = %q", s)
+	}
+}

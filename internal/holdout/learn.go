@@ -1,0 +1,115 @@
+package holdout
+
+import (
+	"fmt"
+
+	"vs2/internal/nlp"
+	"vs2/internal/pattern"
+	"vs2/internal/treemine"
+)
+
+// Pattern learning per Section 5.2.1: each entity's holdout entries are
+// annotated with the full NLP feature stack (POS tags, chunk structure,
+// named entities, geocode tags for Location entities, hypernym senses for
+// noun tags, VerbNet senses for verb tags — exactly the paper's recipe),
+// the annotated texts become labelled ordered trees, and the maximal
+// frequent subtrees across them are the learned lexico-syntactic patterns
+// for that entity.
+
+// LearnOptions tunes the pattern learner.
+type LearnOptions struct {
+	// MinSupport is the frequent-subtree support threshold (default 0.3).
+	MinSupport float64
+	// MaxPatterns bounds the number of returned patterns (default 8).
+	MaxPatterns int
+	// UseContext mines the full sentence context rather than the bare
+	// entity text; context trees generalise better but mine slower.
+	UseContext bool
+}
+
+// Learn mines the syntactic patterns of one entity from the corpus and
+// wraps them as searchable pattern.Mined alternatives.
+func Learn(c *Corpus, entity string, opts LearnOptions) []*pattern.Mined {
+	if opts.MinSupport <= 0 {
+		opts.MinSupport = 0.3
+	}
+	if opts.MaxPatterns <= 0 {
+		opts.MaxPatterns = 8
+	}
+	entries := c.Entries[entity]
+	if len(entries) == 0 {
+		return nil
+	}
+	// Cap the mining database: the distribution is what matters, not bulk.
+	const maxDB = 120
+	var db []*treemine.Tree
+	for i, e := range entries {
+		if i >= maxDB {
+			break
+		}
+		text := e.Text
+		if opts.UseContext && e.Context != "" {
+			text = e.Context
+		}
+		tokens := nlp.Tokenize(text)
+		nlp.TagPOS(tokens)
+		nlp.TagEntities(tokens)
+		db = append(db, toMineTree(nlp.ParseTree(tokens)))
+	}
+	mined := treemine.MineMaximal(db, treemine.Options{
+		MinSupport: opts.MinSupport,
+		MaxNodes:   5,
+	})
+	var out []*pattern.Mined
+	for i, m := range mined {
+		if i >= opts.MaxPatterns {
+			break
+		}
+		out = append(out, &pattern.Mined{
+			PatternName: fmt.Sprintf("mined-%s-%d", entity, i),
+			Tree:        m.Tree,
+			ScoreVal:    0.4 + 0.4*m.Ratio, // more frequent ⇒ more trusted
+		})
+	}
+	return out
+}
+
+// LearnAll mines every entity in the corpus.
+func LearnAll(c *Corpus, opts LearnOptions) map[string][]*pattern.Mined {
+	out := map[string][]*pattern.Mined{}
+	for _, e := range c.Entities() {
+		out[e] = Learn(c, e, opts)
+	}
+	return out
+}
+
+// LearnedSets converts mined patterns into pattern.Sets usable by
+// VS2-Select — the fully distantly-supervised configuration, as opposed to
+// the curated Table 3/4 sets (which the paper reports as the *outcome* of
+// this mining process).
+func LearnedSets(c *Corpus, opts LearnOptions) []*pattern.Set {
+	var out []*pattern.Set
+	for _, entity := range c.Entities() {
+		mined := Learn(c, entity, opts)
+		if len(mined) == 0 {
+			continue
+		}
+		ps := make([]pattern.Pattern, 0, len(mined))
+		for _, m := range mined {
+			ps = append(ps, m)
+		}
+		out = append(out, &pattern.Set{Entity: entity, Patterns: ps})
+	}
+	return out
+}
+
+func toMineTree(n *nlp.ParseNode) *treemine.Tree {
+	if n == nil {
+		return nil
+	}
+	out := &treemine.Tree{Label: n.Label}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toMineTree(c))
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package holdout
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"vs2/internal/datasets"
+	"vs2/internal/pattern"
+)
+
+// Simulated public-domain websites per Table 2 of the paper. Each returns
+// fixed-format HTML — lists of result cards with class-tagged entity spans
+// — the way the real sites present indexed content. The content generators
+// reuse the datasets package's pools so holdout language matches document
+// language distributionally (the premise of distant supervision).
+
+// IRSSite simulates irs.gov queried for "1988" filtered to the 1040
+// package: pages of two-column tables mapping form-field identifiers to
+// field descriptors. The D1 holdout corpus in the paper "contained 20
+// tables, each with two columns, an identifier of the named entity to be
+// extracted and its corresponding field descriptor".
+func IRSSite() Site {
+	fields := datasets.D1Fields()
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	const perPage = 80
+	return Site{
+		Name: "irs.gov",
+		Query: func(batch int, rng *rand.Rand) []Page {
+			start := batch * perPage
+			if start >= len(keys) {
+				return nil
+			}
+			end := start + perPage
+			if end > len(keys) {
+				end = len(keys)
+			}
+			var sb strings.Builder
+			sb.WriteString("<table class=\"form-fields\">")
+			for _, k := range keys[start:end] {
+				fmt.Fprintf(&sb, `<div class="row"><td>%s</td><td><span class="%s">%s</span></td></div>`,
+					k, k, fields[k][0])
+			}
+			sb.WriteString("</table>")
+			return []Page{{
+				URL:  fmt.Sprintf("https://irs.gov/forms?q=1988&filter=1040&page=%d", batch),
+				HTML: sb.String(),
+			}}
+		},
+	}
+}
+
+// AllEventsSite simulates allevents.in queried for "NY" filtered to
+// 04/01–05/31: pages of event cards.
+func AllEventsSite() Site {
+	return Site{
+		Name: "allevents.in",
+		Query: func(batch int, rng *rand.Rand) []Page {
+			if batch >= 25 {
+				return nil
+			}
+			var sb strings.Builder
+			for i := 0; i < 20; i++ {
+				sb.WriteString(eventCard(rng))
+			}
+			return []Page{{
+				URL:  fmt.Sprintf("https://allevents.in/search?q=NY&from=04/01&to=05/31&page=%d", batch),
+				HTML: sb.String(),
+			}}
+		},
+	}
+}
+
+// ACMSite simulates dl.acm.org queried for "Talks" sorted by views: talk
+// listings whose titles/speakers/venues exercise different syntactic
+// contexts than the event cards.
+func ACMSite() Site {
+	return Site{
+		Name: "dl.acm.org",
+		Query: func(batch int, rng *rand.Rand) []Page {
+			if batch >= 25 {
+				return nil
+			}
+			var sb strings.Builder
+			for i := 0; i < 20; i++ {
+				sb.WriteString(talkCard(rng))
+			}
+			return []Page{{
+				URL:  fmt.Sprintf("https://dl.acm.org/action/doSearch?q=Talks&sort=views&page=%d", batch),
+				HTML: sb.String(),
+			}}
+		},
+	}
+}
+
+// FSBOSite simulates fsbo.com queried for "NY": listing cards.
+func FSBOSite() Site {
+	return Site{
+		Name: "fsbo.com",
+		Query: func(batch int, rng *rand.Rand) []Page {
+			if batch >= 10 {
+				return nil
+			}
+			var sb strings.Builder
+			for i := 0; i < 10; i++ {
+				sb.WriteString(listingCard(rng))
+			}
+			return []Page{{
+				URL:  fmt.Sprintf("https://fsbo.com/search?q=NY&page=%d", batch),
+				HTML: sb.String(),
+			}}
+		},
+	}
+}
+
+// HomesByOwnerSite simulates homesbyowner.com queried for "NY".
+func HomesByOwnerSite() Site {
+	return Site{
+		Name: "homesbyowner.com",
+		Query: func(batch int, rng *rand.Rand) []Page {
+			if batch >= 10 {
+				return nil
+			}
+			var sb strings.Builder
+			for i := 0; i < 10; i++ {
+				sb.WriteString(listingCard(rng))
+			}
+			return []Page{{
+				URL:  fmt.Sprintf("https://homesbyowner.com/search?q=NY&page=%d", batch),
+				HTML: sb.String(),
+			}}
+		},
+	}
+}
+
+// D1Sites, D2Sites and D3Sites assemble the Table 2 recipe per task.
+func D1Sites() []Site { return []Site{IRSSite()} }
+func D2Sites() []Site { return []Site{AllEventsSite(), ACMSite()} }
+func D3Sites() []Site { return []Site{FSBOSite(), HomesByOwnerSite()} }
+
+// Card builders ----------------------------------------------------------
+
+func eventCard(rng *rand.Rand) string {
+	title := datasets.EventTitleFor(rng)
+	org := datasets.OrganizerFor(rng)
+	time := datasets.EventTimeFor(rng)
+	place := datasets.PlaceFor(rng)
+	desc := datasets.EventDescFor(rng)
+	forms := []string{
+		`<div class="event"><span class="%[1]s">%[2]s</span> on <span class="%[3]s">%[4]s</span> hosted by <span class="%[5]s">%[6]s</span> at <span class="%[7]s">%[8]s</span>. <span class="%[9]s">%[10]s</span>.</div>`,
+		`<div class="event"><span class="%[5]s">%[6]s</span> presents <span class="%[1]s">%[2]s</span> at <span class="%[7]s">%[8]s</span>, <span class="%[3]s">%[4]s</span>. <span class="%[9]s">%[10]s</span>.</div>`,
+		`<div class="event">Join us for <span class="%[1]s">%[2]s</span>. <span class="%[9]s">%[10]s</span>. Doors open <span class="%[3]s">%[4]s</span>, <span class="%[7]s">%[8]s</span>. Organized by <span class="%[5]s">%[6]s</span>.</div>`,
+	}
+	f := forms[rng.Intn(len(forms))]
+	return fmt.Sprintf(f,
+		pattern.EventTitle, title,
+		pattern.EventTime, time,
+		pattern.EventOrganizer, org,
+		pattern.EventPlace, place,
+		pattern.EventDescription, desc,
+	)
+}
+
+func talkCard(rng *rand.Rand) string {
+	title := datasets.EventTitleFor(rng)
+	speaker := datasets.PersonFor(rng)
+	time := datasets.EventTimeFor(rng)
+	return fmt.Sprintf(
+		`<div class="talk"><span class="%s">%s</span>, presented by <span class="%s">%s</span>, recorded <span class="%s">%s</span>.</div>`,
+		pattern.EventTitle, title,
+		pattern.EventOrganizer, speaker,
+		pattern.EventTime, time,
+	)
+}
+
+func listingCard(rng *rand.Rand) string {
+	c := datasets.FlyerContentFor(rng)
+	forms := []string{
+		`<div class="listing"><span class="%[1]s">%[2]s</span> at <span class="%[3]s">%[4]s</span>. <span class="%[5]s">%[6]s</span>. Contact <span class="%[7]s">%[8]s</span> at <span class="%[9]s">%[10]s</span> or <span class="%[11]s">%[12]s</span>.</div>`,
+		`<div class="listing">For sale by owner: <span class="%[5]s">%[6]s</span> near <span class="%[3]s">%[4]s</span> with <span class="%[1]s">%[2]s</span>. Call <span class="%[7]s">%[8]s</span>, <span class="%[9]s">%[10]s</span>, email <span class="%[11]s">%[12]s</span>.</div>`,
+	}
+	f := forms[rng.Intn(len(forms))]
+	return fmt.Sprintf(f,
+		pattern.PropertySize, c.Size,
+		pattern.PropertyAddr, c.Address,
+		pattern.PropertyDesc, c.Desc,
+		pattern.BrokerName, c.BrokerName,
+		pattern.BrokerPhone, c.Phone,
+		pattern.BrokerEmail, c.Email,
+	)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package nlp
+
+import "strings"
+
+// Chunk is a shallow-parse phrase: a labelled, contiguous token span.
+// Labels: NP (noun phrase), VP (verb phrase), PP (prepositional phrase),
+// O (everything else).
+type Chunk struct {
+	Label string
+	Start int // token index, inclusive
+	End   int // token index, exclusive
+}
+
+// ChunkSentence performs regular-expression-over-tags chunking of one
+// sentence:
+//
+//	NP: (DT)? (JJ|CD|VBN|PRP$)* (NN|NNS|NNP|NNPS|CD)+
+//	VP: (MD)? (RB)* (VB|VBD|VBG|VBN|VBP|VBZ)+
+//	PP: IN NP
+func ChunkSentence(tokens []Token) []Chunk {
+	var out []Chunk
+	i := 0
+	for i < len(tokens) {
+		if c, next := matchNP(tokens, i); c != nil {
+			out = append(out, *c)
+			i = next
+			continue
+		}
+		if c, next := matchVP(tokens, i); c != nil {
+			out = append(out, *c)
+			i = next
+			continue
+		}
+		if tokens[i].POS == "IN" {
+			if c, next := matchNP(tokens, i+1); c != nil {
+				out = append(out, Chunk{Label: "PP", Start: i, End: c.End})
+				i = next
+				continue
+			}
+		}
+		out = append(out, Chunk{Label: "O", Start: i, End: i + 1})
+		i++
+	}
+	return out
+}
+
+func matchNP(tokens []Token, i int) (*Chunk, int) {
+	j := i
+	if j < len(tokens) && tokens[j].POS == "DT" {
+		j++
+	}
+	for j < len(tokens) && (tokens[j].IsAdj() || tokens[j].POS == "CD" ||
+		tokens[j].POS == "VBN" || tokens[j].POS == "PRP$") {
+		j++
+	}
+	headStart := j
+	for j < len(tokens) && (tokens[j].IsNoun() || tokens[j].POS == "CD") {
+		j++
+	}
+	if j == headStart {
+		return nil, i
+	}
+	return &Chunk{Label: "NP", Start: i, End: j}, j
+}
+
+func matchVP(tokens []Token, i int) (*Chunk, int) {
+	j := i
+	if j < len(tokens) && tokens[j].POS == "MD" {
+		j++
+	}
+	for j < len(tokens) && tokens[j].POS == "RB" {
+		j++
+	}
+	verbStart := j
+	for j < len(tokens) && tokens[j].IsVerb() {
+		j++
+	}
+	if j == verbStart {
+		return nil, i
+	}
+	return &Chunk{Label: "VP", Start: i, End: j}, j
+}
+
+// Text joins the chunk's surface forms.
+func (c Chunk) Text(tokens []Token) string {
+	parts := make([]string, 0, c.End-c.Start)
+	for _, t := range tokens[c.Start:c.End] {
+		parts = append(parts, t.Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Tokens returns the chunk's token view.
+func (c Chunk) Tokens(tokens []Token) []Token { return tokens[c.Start:c.End] }
+
+// HasModifier reports whether the NP carries a numeric (CD) or textual (JJ)
+// modifier — the "noun phrase with numeric or textual modifiers" pattern of
+// Tables 3 and 4.
+func (c Chunk) HasModifier(tokens []Token) bool {
+	for _, t := range tokens[c.Start:c.End] {
+		if t.IsAdj() || t.POS == "CD" {
+			return true
+		}
+	}
+	return false
+}
+
+// SVO is a subject–verb–object triple of chunks within one sentence.
+type SVO struct {
+	Subject, Verb, Object Chunk
+}
+
+// FindSVO locates NP-VP-NP sequences (ignoring intervening O/PP chunks
+// between VP and object) — the "SVO" pattern of Table 3.
+func FindSVO(tokens []Token, chunks []Chunk) []SVO {
+	var out []SVO
+	for i := 0; i < len(chunks); i++ {
+		if chunks[i].Label != "NP" {
+			continue
+		}
+		j := i + 1
+		if j < len(chunks) && chunks[j].Label == "VP" {
+			for k := j + 1; k < len(chunks) && k <= j+2; k++ {
+				if chunks[k].Label == "NP" {
+					out = append(out, SVO{Subject: chunks[i], Verb: chunks[j], Object: chunks[k]})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ParseNode is a node of the shallow parse tree built for frequent-subtree
+// mining (Section 5.2.1): sentence → chunks → annotated tokens. Token
+// leaves are labelled with a normalised annotation symbol rather than the
+// surface form, so that mined subtrees generalise across documents.
+type ParseNode struct {
+	Label    string
+	Children []*ParseNode
+}
+
+// ParseTree builds the mining tree of one sentence. Leaf labels follow the
+// paper's feature set: POS tag, NER category when present, a GEO marker for
+// geocoded locations, hypernym senses for nouns and verb senses for verbs.
+func ParseTree(tokens []Token) *ParseNode {
+	root := &ParseNode{Label: "S"}
+	chunks := ChunkSentence(tokens)
+	geocoded := map[int]bool{}
+	for _, g := range FindAddresses(tokens) {
+		for i := g.Span.Start; i < g.Span.End; i++ {
+			geocoded[i] = true
+		}
+	}
+	for _, c := range chunks {
+		cn := &ParseNode{Label: c.Label}
+		for i := c.Start; i < c.End; i++ {
+			t := tokens[i]
+			leaf := &ParseNode{Label: t.POS}
+			if t.Entity != "" {
+				leaf.Children = append(leaf.Children, &ParseNode{Label: "NE:" + t.Entity})
+			}
+			if geocoded[i] {
+				leaf.Children = append(leaf.Children, &ParseNode{Label: "GEO"})
+			}
+			if t.IsNoun() {
+				for _, h := range HypernymSenses(t.Norm) {
+					leaf.Children = append(leaf.Children, &ParseNode{Label: "HYP:" + h})
+				}
+			}
+			if t.IsVerb() {
+				for _, v := range VerbSenses(t.Norm) {
+					leaf.Children = append(leaf.Children, &ParseNode{Label: "VS:" + v})
+				}
+			}
+			cn.Children = append(cn.Children, leaf)
+		}
+		root.Children = append(root.Children, cn)
+	}
+	return root
+}

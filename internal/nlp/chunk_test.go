@@ -1,0 +1,194 @@
+package nlp
+
+import "testing"
+
+func chunksOf(text string) ([]Token, []Chunk) {
+	toks := Tokenize(text)
+	TagPOS(toks)
+	TagEntities(toks)
+	return toks, ChunkSentence(toks)
+}
+
+func findChunk(toks []Token, chunks []Chunk, label, text string) *Chunk {
+	for i := range chunks {
+		if chunks[i].Label == label && chunks[i].Text(toks) == text {
+			return &chunks[i]
+		}
+	}
+	return nil
+}
+
+func TestNPChunking(t *testing.T) {
+	toks, chunks := chunksOf("the annual jazz festival")
+	if c := findChunk(toks, chunks, "NP", "the annual jazz festival"); c == nil {
+		t.Errorf("NP not found in %v", chunks)
+	}
+}
+
+func TestVPChunking(t *testing.T) {
+	toks, chunks := chunksOf("will be hosted")
+	if c := findChunk(toks, chunks, "VP", "will be hosted"); c == nil {
+		t.Errorf("VP not found: %v", chunks)
+	}
+}
+
+func TestPPChunking(t *testing.T) {
+	toks, chunks := chunksOf("at the hall")
+	if c := findChunk(toks, chunks, "PP", "at the hall"); c == nil {
+		t.Errorf("PP not found: %v", chunks)
+	}
+}
+
+func TestChunksPartitionSentence(t *testing.T) {
+	toks, chunks := chunksOf("The Riverside Jazz Society presents a special evening of live music")
+	covered := 0
+	prevEnd := 0
+	for _, c := range chunks {
+		if c.Start != prevEnd {
+			t.Errorf("gap/overlap at chunk %v", c)
+		}
+		covered += c.End - c.Start
+		prevEnd = c.End
+	}
+	if covered != len(toks) {
+		t.Errorf("chunks cover %d of %d tokens", covered, len(toks))
+	}
+}
+
+func TestHasModifier(t *testing.T) {
+	toks, chunks := chunksOf("4 beds")
+	np := findChunk(toks, chunks, "NP", "4 beds")
+	if np == nil || !np.HasModifier(toks) {
+		t.Error("numeric modifier not detected")
+	}
+	toks2, chunks2 := chunksOf("beds")
+	np2 := findChunk(toks2, chunks2, "NP", "beds")
+	if np2 == nil || np2.HasModifier(toks2) {
+		t.Error("bare noun should have no modifier")
+	}
+}
+
+func TestFindSVO(t *testing.T) {
+	toks, chunks := chunksOf("The Jazz Society presents a special evening")
+	svos := FindSVO(toks, chunks)
+	if len(svos) != 1 {
+		t.Fatalf("SVOs = %v", svos)
+	}
+	if svos[0].Verb.Text(toks) != "presents" {
+		t.Errorf("verb = %q", svos[0].Verb.Text(toks))
+	}
+	if svos[0].Object.Text(toks) != "a special evening" {
+		t.Errorf("object = %q", svos[0].Object.Text(toks))
+	}
+	// No SVO in a verbless fragment.
+	toksB, chunksB := chunksOf("Friday night live music")
+	if got := FindSVO(toksB, chunksB); len(got) != 0 {
+		t.Errorf("fragment SVOs = %v", got)
+	}
+}
+
+func TestParseTree(t *testing.T) {
+	toks := Tokenize("Kevin Walsh hosts the gala in Columbus")
+	TagPOS(toks)
+	TagEntities(toks)
+	tree := ParseTree(toks)
+	if tree.Label != "S" || len(tree.Children) == 0 {
+		t.Fatalf("tree = %+v", tree)
+	}
+	// The tree must contain NE:PERSON and VS:captain annotations.
+	var foundPerson, foundCaptain, foundHyp bool
+	var walk func(*ParseNode)
+	walk = func(n *ParseNode) {
+		switch n.Label {
+		case "NE:PERSON":
+			foundPerson = true
+		case "VS:captain":
+			foundCaptain = true
+		case "HYP:gathering":
+			foundHyp = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	if !foundPerson {
+		t.Error("NE:PERSON annotation missing from parse tree")
+	}
+	if !foundCaptain {
+		t.Error("VS:captain annotation missing")
+	}
+	if !foundHyp {
+		t.Error("HYP:gathering (gala) annotation missing")
+	}
+}
+
+func TestHypernyms(t *testing.T) {
+	if !HasHypernym("acres", "measure") {
+		t.Error("acres should reach measure")
+	}
+	if !HasHypernym("bedroom", "structure") {
+		t.Error("bedroom should reach structure")
+	}
+	if !HasHypernym("lot", "estate") {
+		t.Error("lot should reach estate")
+	}
+	if HasHypernym("jazz", "measure") {
+		t.Error("jazz has no measure sense")
+	}
+	chain := HypernymSenses("acre")
+	if len(chain) < 2 || chain[0] != "area_unit" {
+		t.Errorf("acre chain = %v", chain)
+	}
+	if HypernymSenses("zzzz") != nil {
+		t.Error("unknown noun should have nil chain")
+	}
+}
+
+func TestVerbSenses(t *testing.T) {
+	for _, v := range []string{"hosts", "hosted", "hosting", "host"} {
+		if !HasVerbSense(v, "captain") {
+			t.Errorf("%q lacks captain sense", v)
+		}
+	}
+	if !HasVerbSense("presents", "reflexive_appearance") {
+		t.Error("presents lacks reflexive_appearance")
+	}
+	if !HasVerbSense("organized", "create") {
+		t.Error("organized lacks create")
+	}
+	if !HasVerbSense("led", "captain") {
+		t.Error("irregular led lacks captain")
+	}
+	if HasVerbSense("eat", "captain") {
+		t.Error("eat should not be captain")
+	}
+	if !HasOrganizerSense("sponsored") {
+		t.Error("sponsored should satisfy organizer senses")
+	}
+	if HasOrganizerSense("rented") {
+		t.Error("rented should not satisfy organizer senses")
+	}
+}
+
+func TestLesk(t *testing.T) {
+	// Context mentioning musicians should match "concert" better than "tax".
+	ctx1 := []string{"musicians", "public", "performance"}
+	ctx2 := []string{"income", "deduction", "filing"}
+	if LeskScore("concert", ctx1) <= LeskScore("concert", ctx2) {
+		t.Error("concert gloss should prefer music context")
+	}
+	best := LeskBest("broker", [][]string{
+		{"music", "stage", "band"},
+		{"property", "sales", "negotiates"},
+	})
+	if best != 1 {
+		t.Errorf("LeskBest = %d, want 1", best)
+	}
+	if LeskBest("broker", nil) != -1 {
+		t.Error("LeskBest of nothing should be -1")
+	}
+	if LeskScore("nonexistentword", ctx1) != 0 {
+		t.Error("unknown concept should score 0")
+	}
+}

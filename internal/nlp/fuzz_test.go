@@ -1,0 +1,73 @@
+package nlp
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzAnnotate drives the whole NLP pipeline with arbitrary input: it must
+// never panic, token offsets must index the source text, and sentence
+// views must tile the token stream.
+func FuzzAnnotate(f *testing.F) {
+	seeds := []string{
+		"",
+		"Hello World",
+		"Dr. Maria Chen hosts Jazz Night at 7:30 PM!",
+		"450 Maple Ave, Columbus, OH 43210",
+		"call (614)555-0137 or rsvp@club.org",
+		"ALL CAPS HEADLINE 2019",
+		"weird  \t spacing\n\nand unicode — em-dash … ©",
+		"12/31/1999 11:59 PM $1,000,000.00",
+		"((((((", "....", "a.b.c.d.e",
+		"日本語テキスト mixed with English",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		if !utf8.ValidString(text) {
+			t.Skip()
+		}
+		a := Annotate(text)
+		total := 0
+		for _, sent := range a.Sentences {
+			total += len(sent)
+		}
+		if total != len(a.Tokens) {
+			t.Fatalf("sentences cover %d of %d tokens", total, len(a.Tokens))
+		}
+		for _, tok := range a.Tokens {
+			if tok.Start < 0 || tok.Start >= len(text)+1 {
+				t.Fatalf("token %q offset %d out of range (len %d)", tok.Text, tok.Start, len(text))
+			}
+			if tok.POS == "" {
+				t.Fatalf("token %q has no POS tag", tok.Text)
+			}
+		}
+		// The downstream consumers must survive any annotation.
+		for _, sent := range a.Sentences {
+			ChunkSentence(sent)
+			FindSVO(sent, ChunkSentence(sent))
+			FindAddresses(sent)
+			ParseTree(sent)
+		}
+	})
+}
+
+// FuzzStem checks the stemmer's basic contract on arbitrary strings.
+func FuzzStem(f *testing.F) {
+	for _, s := range []string{"", "a", "running", "cities", "glass", "sses", "ied"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, w string) {
+		s := Stem(w)
+		if len(s) > len(w)+1 { // "ies" -> "y" may shrink, never grow past +1
+			t.Fatalf("Stem(%q) = %q grew", w, s)
+		}
+		// Idempotence is not guaranteed by Porter-style stemmers, but
+		// stability under repetition within two iterations is.
+		if Stem(Stem(s)) != Stem(s) {
+			t.Fatalf("stem not stable: %q -> %q -> %q", w, s, Stem(s))
+		}
+	})
+}

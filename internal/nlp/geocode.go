@@ -1,0 +1,114 @@
+package nlp
+
+import (
+	"regexp"
+	"strings"
+)
+
+// The geocoder stands in for the Google Maps geocoding API the paper calls
+// to augment 'Location' entities with a geocode tag (Section 5.2.1). It
+// recognises postal street addresses of the shape
+//
+//	<number> <name...> <street-suffix> [, <unit>] [, <city>] [, <state> [zip]]
+//
+// and scores how complete the address is. A span "geocodes" when it at
+// least contains a street line or a city+state pair.
+
+var zipRe = regexp.MustCompile(`^\d{5}(-\d{4})?$`)
+
+// Geocode describes a recognised address span.
+type Geocode struct {
+	Span       Span
+	HasStreet  bool
+	HasCity    bool
+	HasState   bool
+	HasZip     bool
+	Confidence float64 // fraction of address components present
+}
+
+// FindAddresses scans a token stream for address-shaped spans.
+func FindAddresses(tokens []Token) []Geocode {
+	var out []Geocode
+	for i := 0; i < len(tokens); i++ {
+		g, next := matchAddress(tokens, i)
+		if g != nil {
+			out = append(out, *g)
+			i = next - 1
+		}
+	}
+	return out
+}
+
+func matchAddress(tokens []Token, i int) (*Geocode, int) {
+	g := Geocode{}
+	j := i
+
+	// Street line: CD (NNP|NN)+ streetSuffix
+	if j < len(tokens) && tokens[j].POS == "CD" && !strings.Contains(tokens[j].Text, "/") {
+		k := j + 1
+		words := 0
+		for k < len(tokens) && words < 4 &&
+			(isCapitalized(tokens[k].Text) || tokens[k].POS == "CD") &&
+			!IsStreetSuffix(tokens[k].Text) {
+			k++
+			words++
+		}
+		if k < len(tokens) && words >= 1 && IsStreetSuffix(tokens[k].Text) {
+			g.HasStreet = true
+			j = k + 1
+			// optional unit: ", Suite 210"
+			j = skipComma(tokens, j)
+			if j < len(tokens) && IsUnitWord(tokens[j].Text) {
+				j++
+				if j < len(tokens) && tokens[j].POS == "CD" {
+					j++
+				}
+			}
+		}
+	}
+
+	// City
+	j = skipComma(tokens, j)
+	if j < len(tokens) && IsCity(tokens[j].Text) && isCapitalized(tokens[j].Text) {
+		g.HasCity = true
+		j++
+	}
+
+	// State [zip]
+	j = skipComma(tokens, j)
+	if j < len(tokens) && isStateToken(tokens, j) {
+		g.HasState = true
+		j++
+		if j < len(tokens) && zipRe.MatchString(tokens[j].Text) {
+			g.HasZip = true
+			j++
+		}
+	}
+
+	if !g.HasStreet && !(g.HasCity && g.HasState) {
+		return nil, i + 1
+	}
+	n := 0.0
+	for _, has := range []bool{g.HasStreet, g.HasCity, g.HasState, g.HasZip} {
+		if has {
+			n++
+		}
+	}
+	g.Confidence = n / 4
+	g.Span = Span{Start: i, End: j, Label: "ADDRESS"}
+	return &g, j
+}
+
+func skipComma(tokens []Token, j int) int {
+	if j < len(tokens) && tokens[j].Text == "," {
+		return j + 1
+	}
+	return j
+}
+
+// HasGeocode reports whether the token span contains (or is contained in) a
+// geocodable address. It is the "noun phrase with valid geocode tags"
+// predicate of Tables 3 and 4.
+func HasGeocode(tokens []Token) bool {
+	return len(FindAddresses(tokens)) > 0
+}

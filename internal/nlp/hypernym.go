@@ -1,0 +1,125 @@
+package nlp
+
+import "strings"
+
+// The hypernym tree stands in for WordNet [42]: every known noun maps to a
+// chain of increasingly general senses. Table 4 of the paper uses the
+// senses "measure", "structure" and "estate" to define the Property Size
+// pattern; the holdout-corpus annotator attaches these senses to noun POS
+// tags.
+
+// hypernymParent maps a sense to its parent sense; chains terminate at
+// "entity".
+var hypernymParent = map[string]string{
+	"measure":       "abstraction",
+	"quantity":      "measure",
+	"area_unit":     "measure",
+	"linear_unit":   "measure",
+	"structure":     "artifact",
+	"building":      "structure",
+	"room":          "structure",
+	"housing":       "structure",
+	"estate":        "possession",
+	"property":      "estate",
+	"land":          "estate",
+	"possession":    "abstraction",
+	"artifact":      "entity",
+	"abstraction":   "entity",
+	"person":        "entity",
+	"organization":  "entity",
+	"location":      "entity",
+	"event":         "entity",
+	"gathering":     "event",
+	"performance":   "event",
+	"communication": "abstraction",
+	"document":      "communication",
+	"money":         "possession",
+	"time_period":   "abstraction",
+}
+
+// nounSense maps a noun stem to its most specific hypernym sense.
+var nounSense = map[string]string{
+	// measures
+	"acre": "area_unit", "sqft": "area_unit", "sf": "area_unit",
+	"foot": "linear_unit", "feet": "linear_unit", "ft": "linear_unit",
+	"mile": "linear_unit", "meter": "linear_unit",
+	"percent": "quantity", "dozen": "quantity", "amount": "quantity",
+	"total": "quantity", "number": "quantity", "sum": "quantity",
+
+	// structures
+	"building": "building", "house": "housing", "home": "housing",
+	"apartment": "housing", "condo": "housing", "office": "building",
+	"warehouse": "building", "garage": "building", "barn": "building",
+	"bedroom": "room", "bathroom": "room", "kitchen": "room",
+	"basement": "room", "room": "room", "suite": "room", "floor": "room",
+	"bed": "room", "bath": "room", "hall": "building", "storey": "room",
+	"story": "room", "unit": "housing",
+
+	// estate
+	"property": "property", "land": "land", "lot": "land",
+	"parcel": "land", "listing": "property", "premise": "property",
+	"realty": "property", "estate": "estate",
+
+	// people / orgs / places
+	"broker": "person", "agent": "person", "owner": "person",
+	"organizer": "person", "speaker": "person", "teacher": "person",
+	"professor": "person", "host": "person", "guest": "person",
+	"company": "organization", "university": "organization",
+	"club": "organization", "society": "organization",
+	"committee": "organization", "department": "organization",
+	"city": "location", "venue": "location", "park": "location",
+	"street": "location", "address": "location",
+
+	// events
+	"event": "gathering", "concert": "performance", "workshop": "gathering",
+	"seminar": "gathering", "lecture": "communication", "talk": "communication",
+	"class": "gathering", "festival": "gathering", "fair": "gathering",
+	"gala": "gathering", "party": "gathering", "show": "performance",
+	"recital": "performance", "screening": "performance",
+	"conference": "gathering", "meetup": "gathering",
+
+	// documents / money / time
+	"form": "document", "flyer": "document", "poster": "document",
+	"price": "money", "rent": "money", "fee": "money", "cost": "money",
+	"income": "money", "tax": "money", "wage": "money", "refund": "money",
+	"salary": "money", "deduction": "money",
+	"year": "time_period", "month": "time_period", "week": "time_period",
+	"day": "time_period", "hour": "time_period", "date": "time_period",
+}
+
+// HypernymSenses returns the full hypernym chain of a noun, most specific
+// first, or nil for unknown nouns. The input may be inflected; the lookup
+// falls back to the stem.
+func HypernymSenses(noun string) []string {
+	w := strings.ToLower(noun)
+	sense, ok := nounSense[w]
+	if !ok {
+		sense, ok = nounSense[Stem(w)]
+	}
+	if !ok {
+		return nil
+	}
+	chain := []string{sense}
+	for cur := sense; ; {
+		parent, ok := hypernymParent[cur]
+		if !ok || parent == "entity" {
+			break
+		}
+		chain = append(chain, parent)
+		cur = parent
+	}
+	return chain
+}
+
+// HasHypernym reports whether the noun's hypernym chain passes through the
+// given sense — e.g. HasHypernym("acres", "measure") is true. This is the
+// Table 4 predicate "noun POS tags with senses measure / structure / estate
+// in the hypernym tree".
+func HasHypernym(noun, sense string) bool {
+	for _, s := range HypernymSenses(noun) {
+		if s == sense {
+			return true
+		}
+	}
+	return false
+}

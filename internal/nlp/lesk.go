@@ -1,0 +1,44 @@
+package nlp
+
+// Lesk implements the simplified/adapted Lesk gloss-overlap disambiguator
+// [3] that the paper uses as the text-only conflict-resolution baseline
+// (Section 6.4): when a named-entity pattern matches several candidate
+// spans, the baseline ranks candidates by the overlap between each
+// candidate's textual context and the gloss of the entity's head concept.
+
+// LeskScore returns the bag-of-stems overlap between a candidate context
+// and the gloss of the given concept word. Stopwords are removed first.
+func LeskScore(concept string, context []string) int {
+	gloss := Gloss(concept)
+	if gloss == "" {
+		return 0
+	}
+	glossSet := map[string]bool{}
+	for _, s := range Normalize(gloss) {
+		glossSet[s] = true
+	}
+	seen := map[string]bool{}
+	score := 0
+	for _, w := range context {
+		s := Stem(w)
+		if glossSet[s] && !seen[s] {
+			score++
+			seen[s] = true
+		}
+	}
+	return score
+}
+
+// LeskBest picks the index of the candidate context with the highest
+// gloss overlap against the concept; ties resolve to the earliest
+// candidate (document order), mirroring a first-match text baseline.
+// Returns -1 for no candidates.
+func LeskBest(concept string, contexts [][]string) int {
+	best, bestScore := -1, -1
+	for i, ctx := range contexts {
+		if s := LeskScore(concept, ctx); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

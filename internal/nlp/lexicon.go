@@ -1,0 +1,330 @@
+// Package nlp provides the natural-language annotators VS2 depends on.
+// The paper uses "publicly available NLP tools" (Section 5.2) — Stanford
+// NER, SUTime, WordNet hypernyms, VerbNet senses, a POS tagger and a
+// chunker — none of which exist as pure-Go stdlib-only libraries, so this
+// package implements rule- and lexicon-based equivalents from scratch:
+//
+//   - tokenizer + normaliser + light stemmer
+//   - POS tagger (lexicon + suffix + context rules)
+//   - NP/VP chunker and shallow parse trees (input to frequent-subtree mining)
+//   - gazetteer NER (Person / Organization / Location)
+//   - TIMEX-style temporal expression recogniser (SUTime stand-in)
+//   - street-address geocoder (Google Maps API stand-in)
+//   - mini hypernym tree (WordNet stand-in) and verb-sense lexicon
+//     (VerbNet stand-in)
+//   - the Lesk gloss-overlap word-sense disambiguator used as the paper's
+//     text-only disambiguation baseline (Section 6.4, [3]).
+//
+// Like their real counterparts, these annotators are imperfect: NER
+// over-fires on capitalised non-names and the tagger mislabels rare words,
+// reproducing the qualitative failure modes shown in Fig. 3 of the paper.
+package nlp
+
+import "strings"
+
+// wordSet builds a membership set from a whitespace-separated word list.
+func wordSet(words string) map[string]bool {
+	set := map[string]bool{}
+	for _, w := range strings.Fields(words) {
+		set[strings.ToLower(w)] = true
+	}
+	return set
+}
+
+// Stopwords is the standard English stopword list used by the transcription
+// normalisation step of Section 5.2.
+var Stopwords = wordSet(`
+a an and are as at be but by for from had has have he her his i if in into is
+it its me my nor not of on or our out she so than that the their them then
+there these they this to until was we were what when where which while who
+whom why will with you your
+`)
+
+var firstNames = wordSet(`
+james john robert michael william david richard joseph thomas charles mary
+patricia jennifer linda elizabeth barbara susan jessica sarah karen nancy
+lisa margaret betty sandra ashley kimberly emily donna michelle carol amanda
+daniel paul mark donald george kenneth steven edward brian ronald anthony
+kevin jason matthew gary timothy jose larry jeffrey frank scott eric stephen
+andrew raymond gregory joshua jerry dennis walter patrick peter harold
+douglas henry carl arthur ryan roger joe juan jack albert jonathan justin
+terry gerald keith samuel willie ralph lawrence nicholas roy benjamin bruce
+brandon adam harry fred wayne billy steve louis jeremy aaron randy howard
+eugene carlos russell bobby victor martin ernest phillip todd jesse craig
+alan shawn clarence sean philip chris johnny earl jimmy antonio rita anita
+alice julia judith grace rose janice jean cheryl kathryn joan evelyn martha
+andrea frances hannah kathleen amy anna ruth brenda pamela nicole katherine
+samantha christine emma catherine debra virginia rachel janet maria heather
+diane julie joyce victoria kelly christina lauren joanne olivia priya wei
+ahmed chen yuki ingrid sofia marco aisha ravi dmitri elena hiroshi mei
+arnab ritesh
+`)
+
+var lastNames = wordSet(`
+smith johnson williams brown jones garcia miller davis rodriguez martinez
+hernandez lopez gonzalez wilson anderson thomas taylor moore jackson martin
+lee perez thompson white harris sanchez clark ramirez lewis robinson walker
+young allen king wright scott torres nguyen hill flores green adams nelson
+baker hall rivera campbell mitchell carter roberts gomez phillips evans
+turner diaz parker cruz edwards collins reyes stewart morris morales murphy
+cook rogers gutierrez ortiz morgan cooper peterson bailey reed kelly howard
+ramos kim cox ward richardson watson brooks chavez wood james bennett gray
+mendoza ruiz hughes price alvarez castillo sanders patel myers long ross
+foster jimenez sarkhel nandi tanaka suzuki ivanov petrov kowalski novak
+`)
+
+var honorifics = wordSet(`mr mrs ms dr prof professor rev sir madam miss`)
+
+// orgSuffixes terminate an Organization mention.
+var orgSuffixes = wordSet(`
+inc llc ltd corp corporation company co group society association club
+university college institute department dept school academy foundation
+center centre committee council lab laboratory bank realty properties
+partners holdings agency bureau ministry museum library church
+theatre theater orchestra ensemble chorus federation union league
+enterprises solutions systems technologies studios galleries brokerage
+`)
+
+var orgPrefixes = wordSet(`the national american international united royal first`)
+
+var cities = wordSet(`
+columbus cleveland cincinnati dayton toledo akron chicago seattle boston
+austin denver portland atlanta miami dallas houston phoenix philadelphia
+pittsburgh baltimore detroit minneapolis milwaukee kansas memphis nashville
+louisville charlotte raleigh richmond buffalo rochester syracuse albany
+newark trenton hartford providence worcester springfield sacramento oakland
+fresno tucson mesa omaha tulsa wichita madison amsterdam dublin westerville
+gahanna dublin hilliard grandview bexley whitehall reynoldsburg pickerington
+lancaster newark marion delaware
+`)
+
+var states = map[string]string{
+	"alabama": "AL", "alaska": "AK", "arizona": "AZ", "arkansas": "AR",
+	"california": "CA", "colorado": "CO", "connecticut": "CT", "delaware": "DE",
+	"florida": "FL", "georgia": "GA", "hawaii": "HI", "idaho": "ID",
+	"illinois": "IL", "indiana": "IN", "iowa": "IA", "kansas": "KS",
+	"kentucky": "KY", "louisiana": "LA", "maine": "ME", "maryland": "MD",
+	"massachusetts": "MA", "michigan": "MI", "minnesota": "MN", "mississippi": "MS",
+	"missouri": "MO", "montana": "MT", "nebraska": "NE", "nevada": "NV",
+	"ohio": "OH", "oklahoma": "OK", "oregon": "OR", "pennsylvania": "PA",
+	"texas": "TX", "utah": "UT", "vermont": "VT", "virginia": "VA",
+	"washington": "WA", "wisconsin": "WI", "wyoming": "WY", "york": "NY",
+}
+
+var stateAbbrevs = func() map[string]bool {
+	m := map[string]bool{"ny": true, "nj": true, "nh": true, "nm": true, "nc": true,
+		"nd": true, "ri": true, "sc": true, "sd": true, "tn": true, "wv": true}
+	for _, ab := range states {
+		m[strings.ToLower(ab)] = true
+	}
+	return m
+}()
+
+var streetSuffixes = wordSet(`
+st street ave avenue rd road blvd boulevard dr drive ln lane ct court pl
+place way pkwy parkway cir circle ter terrace hwy highway sq square trl
+trail aly alley plz plaza xing crossing run pike row walk
+`)
+
+var unitWords = wordSet(`suite ste apt unit floor fl bldg building room rm`)
+
+// months and weekday names feed the TIMEX recogniser.
+var monthNames = map[string]int{
+	"january": 1, "jan": 1, "february": 2, "feb": 2, "march": 3, "mar": 3,
+	"april": 4, "apr": 4, "may": 5, "june": 6, "jun": 6, "july": 7, "jul": 7,
+	"august": 8, "aug": 8, "september": 9, "sep": 9, "sept": 9,
+	"october": 10, "oct": 10, "november": 11, "nov": 11, "december": 12, "dec": 12,
+}
+
+var weekdays = wordSet(`monday tuesday wednesday thursday friday saturday sunday
+mon tue tues wed thu thur thurs fri sat sun`)
+
+var timeWords = wordSet(`noon midnight tonight today tomorrow morning afternoon
+evening daily weekly monthly annual`)
+
+// Core POS lexicon: word → Penn-Treebank-style tag. Words not listed fall
+// through to the suffix and context rules of the tagger.
+var posLexicon = map[string]string{
+	// determiners, prepositions, conjunctions, pronouns
+	"the": "DT", "a": "DT", "an": "DT", "this": "DT", "that": "DT",
+	"these": "DT", "those": "DT", "every": "DT", "each": "DT", "all": "DT",
+	"some": "DT", "any": "DT", "no": "DT",
+	"of": "IN", "in": "IN", "on": "IN", "at": "IN", "by": "IN", "for": "IN",
+	"with": "IN", "from": "IN", "into": "IN", "near": "IN", "about": "IN",
+	"per": "IN", "through": "IN", "during": "IN", "after": "IN", "before": "IN",
+	"and": "CC", "or": "CC", "but": "CC", "nor": "CC",
+	"to": "TO",
+	"he": "PRP", "she": "PRP", "it": "PRP", "they": "PRP", "we": "PRP",
+	"i": "PRP", "you": "PRP", "us": "PRP", "them": "PRP",
+	"his": "PRP$", "her": "PRP$", "its": "PRP$", "their": "PRP$", "our": "PRP$",
+	"your": "PRP$", "my": "PRP$",
+	"not": "RB", "very": "RB", "too": "RB", "also": "RB", "now": "RB",
+	"here": "RB", "there": "RB", "soon": "RB", "only": "RB", "just": "RB",
+	"will": "MD", "can": "MD", "may": "MD", "must": "MD", "shall": "MD",
+	"would": "MD", "could": "MD", "should": "MD",
+	"is": "VBZ", "are": "VBP", "was": "VBD", "were": "VBD", "be": "VB",
+	"been": "VBN", "being": "VBG", "am": "VBP",
+	"has": "VBZ", "have": "VBP", "had": "VBD",
+	"do": "VBP", "does": "VBZ", "did": "VBD",
+
+	// frequent event/real-estate verbs (base form)
+	"join": "VB", "attend": "VB", "visit": "VB", "call": "VB", "contact": "VB",
+	"email": "VB", "register": "VB", "rsvp": "VB", "learn": "VB", "meet": "VB",
+	"enjoy": "VB", "bring": "VB", "come": "VB", "explore": "VB", "discover": "VB",
+	"host": "VB", "hosts": "VBZ", "hosted": "VBN", "hosting": "VBG",
+	"present": "VB", "presents": "VBZ", "presented": "VBN", "presenting": "VBG",
+	"organize": "VB", "organizes": "VBZ", "organized": "VBN", "organizing": "VBG",
+	"sponsor": "VB", "sponsors": "VBZ", "sponsored": "VBN",
+	"feature": "VB", "features": "VBZ", "featured": "VBN", "featuring": "VBG",
+	"offer": "VB", "offers": "VBZ", "offered": "VBN", "offering": "VBG",
+	"include": "VB", "includes": "VBZ", "included": "VBN", "including": "VBG",
+	"list": "VB", "lists": "VBZ", "listed": "VBN", "listing": "NN",
+	"sell": "VB", "sells": "VBZ", "sold": "VBN", "selling": "VBG",
+	"buy": "VB", "buys": "VBZ", "bought": "VBD", "buying": "VBG",
+	"lease": "VB", "leased": "VBN", "rent": "VB", "rented": "VBN",
+	"locate": "VB", "located": "VBN", "situated": "VBN",
+	"invite": "VB", "invites": "VBZ", "invited": "VBN", "welcomes": "VBZ",
+	"welcome": "VB", "celebrate": "VB", "celebrates": "VBZ",
+	"perform": "VB", "performs": "VBZ", "performed": "VBN",
+	"speak": "VB", "speaks": "VBZ", "starts": "VBZ", "start": "VB",
+	"begins": "VBZ", "begin": "VB", "ends": "VBZ", "end": "VB",
+	"runs": "VBZ", "run": "VB", "opens": "VBZ", "open": "JJ",
+	"leads": "VBZ", "lead": "VB", "led": "VBD", "chairs": "VBZ",
+	"directs": "VBZ", "directed": "VBN", "teaches": "VBZ", "teach": "VB",
+	"appears": "VBZ", "appear": "VB", "appeared": "VBD",
+
+	// frequent adjectives
+	"free": "JJ", "new": "JJ", "live": "JJ", "local": "JJ", "annual": "JJ",
+	"great": "JJ", "grand": "JJ", "special": "JJ", "public": "JJ",
+	"private": "JJ", "available": "JJ", "spacious": "JJ", "beautiful": "JJ",
+	"modern": "JJ", "historic": "JJ", "commercial": "JJ", "residential": "JJ",
+	"prime": "JJ", "renovated": "JJ", "updated": "JJ", "charming": "JJ",
+	"stunning": "JJ", "convenient": "JJ", "famous": "JJ", "final": "JJ",
+	"first": "JJ", "second": "JJ", "third": "JJ", "last": "JJ", "next": "JJ",
+	"big": "JJ", "small": "JJ", "large": "JJ", "huge": "JJ", "cozy": "JJ",
+	"exciting": "JJ", "fun": "JJ", "amazing": "JJ", "international": "JJ",
+	"excellent": "JJ", "ample": "JJ", "easy": "JJ", "ideal": "JJ",
+	"flexible": "JJ", "high": "JJ", "abundant": "JJ", "natural": "JJ",
+	"heavy": "JJ", "close": "JJ", "nearby": "JJ", "good": "JJ",
+	"whole": "JJ", "several": "JJ", "many": "JJ", "few": "JJ",
+	"light": "JJ", "essential": "JJ", "corner": "JJ", "unforgettable": "JJ",
+
+	// frequent nouns in the three domains
+	"event": "NN", "events": "NNS", "concert": "NN", "workshop": "NN",
+	"seminar": "NN", "lecture": "NN", "talk": "NN", "class": "NN",
+	"festival": "NN", "fair": "NN", "gala": "NN", "meetup": "NN",
+	"conference": "NN", "exhibition": "NN", "show": "NN", "party": "NN",
+	"fundraiser": "NN", "auction": "NN", "recital": "NN", "screening": "NN",
+	"music": "NN", "art": "NN", "food": "NN", "dance": "NN", "poetry": "NN",
+	"jazz": "NN", "rock": "NN", "theatre": "NN", "theater": "NN",
+	"admission": "NN", "ticket": "NN", "tickets": "NNS", "entry": "NN",
+	"door": "NN", "doors": "NNS", "venue": "NN", "hall": "NN", "stage": "NN",
+	"speaker": "NN", "guest": "NN", "guests": "NNS", "audience": "NN",
+	"property": "NN", "properties": "NNS", "home": "NN", "house": "NN",
+	"building": "NN", "office": "NN", "retail": "NN", "warehouse": "NN",
+	"land": "NN", "lot": "NN", "acre": "NN", "acres": "NNS",
+	"bed": "NN", "beds": "NNS", "bedroom": "NN", "bedrooms": "NNS",
+	"bath": "NN", "baths": "NNS", "bathroom": "NN", "bathrooms": "NNS",
+	"sqft": "NN", "sf": "NN", "parking": "NN", "garage": "NN",
+	"price": "NN", "sale": "NN", "floor": "NN", "floors": "NNS",
+	"kitchen": "NN", "basement": "NN", "yard": "NN", "grocery": "NN",
+	"broker": "NN", "agent": "NN", "owner": "NN",
+	"phone": "NN", "fax": "NN", "info": "NN", "information": "NN",
+	"tax": "NN", "income": "NN", "wages": "NNS", "salary": "NN",
+	"deduction": "NN", "deductions": "NNS", "exemption": "NN",
+	"refund": "NN", "filing": "NN", "form": "NN", "line": "NN",
+	"name": "NN", "address": "NN", "city": "NN", "state": "NN", "zip": "NN",
+	"amount": "NN", "total": "NN", "number": "NN", "date": "NN",
+	"year": "NN", "month": "NN", "day": "NN", "time": "NN",
+	"evening": "NN", "morning": "NN", "afternoon": "NN", "night": "NN",
+	"weekend": "NN", "tonight": "NN", "noon": "NN",
+	"organizer": "NN", "organizers": "NNS",
+	"community": "NN", "family": "NN", "kids": "NNS", "children": "NNS",
+	"students": "NNS", "members": "NNS", "membership": "NN",
+}
+
+// glosses provide the dictionary definitions for the Lesk baseline.
+var glosses = map[string]string{
+	"event":     "a planned public or social occasion gathering happening",
+	"concert":   "a musical performance given in public by musicians",
+	"workshop":  "a meeting for concerted discussion training or activity",
+	"lecture":   "an educational talk to an audience by a speaker",
+	"organizer": "a person or organization that arranges an event",
+	"sponsor":   "a person or organization that pays for an event",
+	"venue":     "the place where an event happens",
+	"broker":    "an agent who negotiates sales of property for others",
+	"agent":     "a person who acts on behalf of another in business",
+	"property":  "a building or land owned by someone real estate",
+	"home":      "a house or apartment where a family lives",
+	"address":   "the place where a building is located street city",
+	"price":     "the amount of money expected in payment for something",
+	"acre":      "a unit of land area measure equal to 4840 square yards",
+	"form":      "a printed document with blank fields for information",
+	"tax":       "a compulsory contribution to state revenue income",
+	"time":      "the hour or date at which something happens clock",
+	"date":      "the day of the month or year when an event happens",
+	"name":      "the word or words a person or thing is known by",
+	"phone":     "a telephone number used to contact a person",
+	"bank":      "a financial institution that accepts deposits money",
+	"floor":     "the lower surface level of a room or building storey",
+	"show":      "a public performance spectacle or exhibition",
+	"fair":      "a gathering of stalls and amusements for entertainment",
+	"talk":      "an informal lecture speech or address to listeners",
+	"class":     "a course of instruction lessons for students",
+	"line":      "a row of written items on a tax form field entry",
+}
+
+// Gloss returns the dictionary gloss for a word (empty when unknown).
+func Gloss(word string) string { return glosses[strings.ToLower(word)] }
+
+// IsStopword reports whether w is a stopword.
+func IsStopword(w string) bool { return Stopwords[strings.ToLower(w)] }
+
+// IsFirstName reports whether w is a known given name.
+func IsFirstName(w string) bool { return firstNames[strings.ToLower(w)] }
+
+// IsLastName reports whether w is a known family name.
+func IsLastName(w string) bool { return lastNames[strings.ToLower(w)] }
+
+// IsHonorific reports whether w (sans trailing period) is an honorific.
+func IsHonorific(w string) bool {
+	return honorifics[strings.ToLower(strings.TrimSuffix(w, "."))]
+}
+
+// IsOrgSuffix reports whether w terminates an organisation name.
+func IsOrgSuffix(w string) bool {
+	return orgSuffixes[strings.ToLower(strings.TrimSuffix(w, "."))]
+}
+
+// IsCity reports whether w is a known city name.
+func IsCity(w string) bool { return cities[strings.ToLower(w)] }
+
+// IsState reports whether w is a US state name or abbreviation.
+func IsState(w string) bool {
+	lw := strings.ToLower(strings.TrimSuffix(w, "."))
+	_, full := states[lw]
+	return full || stateAbbrevs[lw]
+}
+
+// IsStreetSuffix reports whether w is a street-type suffix (St, Ave, ...).
+func IsStreetSuffix(w string) bool {
+	return streetSuffixes[strings.ToLower(strings.TrimSuffix(w, "."))]
+}
+
+// IsUnitWord reports whether w introduces a secondary address unit.
+func IsUnitWord(w string) bool {
+	return unitWords[strings.ToLower(strings.TrimSuffix(w, "."))]
+}
+
+// IsWeekday reports whether w names a day of the week.
+func IsWeekday(w string) bool {
+	return weekdays[strings.ToLower(strings.TrimSuffix(w, "."))]
+}
+
+// MonthNumber returns the 1-based month for a month name, or 0.
+func MonthNumber(w string) int {
+	return monthNames[strings.ToLower(strings.TrimSuffix(w, "."))]
+}
+
+// IsTimeWord reports whether w is a bare temporal noun ("noon", "tonight").
+func IsTimeWord(w string) bool { return timeWords[strings.ToLower(w)] }

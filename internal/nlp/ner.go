@@ -1,0 +1,168 @@
+package nlp
+
+import (
+	"strings"
+)
+
+// TagEntities runs the gazetteer-and-rule named-entity recogniser over a
+// tagged token stream, writing the Entity field in place. Categories follow
+// the paper's usage: PERSON, ORG, LOC, TIME, MONEY.
+//
+// Like the Stanford NER the paper uses, this recogniser fires on
+// capitalisation evidence and therefore produces false positives on
+// transcriptions whose context boundaries are broken — the failure mode
+// Fig. 3 of the paper illustrates. That imperfection is intentional.
+func TagEntities(tokens []Token) {
+	tagTimes(tokens)
+	tagMoney(tokens)
+	tagOrganizations(tokens)
+	tagPersons(tokens)
+	tagLocations(tokens)
+}
+
+func tagMoney(tokens []Token) {
+	for i := range tokens {
+		if tokens[i].Entity != "" {
+			continue
+		}
+		if strings.HasPrefix(tokens[i].Text, "$") && len(tokens[i].Text) > 1 {
+			tokens[i].Entity = "MONEY"
+		}
+	}
+}
+
+// tagOrganizations marks maximal capitalised runs that end in an
+// organisation suffix ("Riverside Jazz Society", "Acme Realty LLC") or that
+// start with a known org-prefix pattern ("The Columbus Museum").
+func tagOrganizations(tokens []Token) {
+	for i := 0; i < len(tokens); i++ {
+		if tokens[i].Entity != "" || !isCapitalized(tokens[i].Text) {
+			continue
+		}
+		j := i
+		for j < len(tokens) && tokens[j].Entity == "" &&
+			(isCapitalized(tokens[j].Text) || tokens[j].Norm == "of" || tokens[j].Norm == "&") {
+			j++
+		}
+		run := tokens[i:j]
+		if len(run) < 2 {
+			continue
+		}
+		if IsOrgSuffix(run[len(run)-1].Text) ||
+			(orgPrefixes[run[0].Norm] && len(run) >= 3 && IsOrgSuffix(run[len(run)-2].Text)) {
+			for k := i; k < j; k++ {
+				tokens[k].Entity = "ORG"
+			}
+			i = j - 1
+		}
+	}
+}
+
+// tagPersons marks runs of capitalised words supported by name-gazetteer or
+// honorific evidence: "Dr. Maria Chen", "Kevin Walsh".
+func tagPersons(tokens []Token) {
+	for i := 0; i < len(tokens); i++ {
+		if tokens[i].Entity != "" {
+			continue
+		}
+		if IsHonorific(tokens[i].Text) && i+1 < len(tokens) && isCapitalized(tokens[i+1].Text) {
+			j := i + 1
+			for j < len(tokens) && tokens[j].Entity == "" && isCapitalized(tokens[j].Text) && j-i <= 3 {
+				tokens[j].Entity = "PERSON"
+				j++
+			}
+			i = j - 1
+			continue
+		}
+		if !isCapitalized(tokens[i].Text) || !IsFirstName(tokens[i].Text) {
+			continue
+		}
+		// First name followed by at least one more capitalised word.
+		j := i + 1
+		for j < len(tokens) && tokens[j].Entity == "" && isCapitalized(tokens[j].Text) &&
+			!IsOrgSuffix(tokens[j].Text) && j-i <= 2 {
+			j++
+		}
+		if j > i+1 {
+			for k := i; k < j; k++ {
+				tokens[k].Entity = "PERSON"
+			}
+			i = j - 1
+		} else if IsLastName(tokens[i].Text) {
+			// A lone word that is both a first and last name: weak PERSON.
+			tokens[i].Entity = "PERSON"
+		}
+	}
+}
+
+// tagLocations marks cities, states and street-suffix-terminated runs.
+func tagLocations(tokens []Token) {
+	for i := 0; i < len(tokens); i++ {
+		if tokens[i].Entity != "" {
+			continue
+		}
+		if isCapitalized(tokens[i].Text) && (IsCity(tokens[i].Text) || isStateToken(tokens, i)) {
+			tokens[i].Entity = "LOC"
+			continue
+		}
+		// "NNP+ <StreetSuffix>" run: mark the whole run.
+		if isCapitalized(tokens[i].Text) && IsStreetSuffix(tokens[i].Text) && i > 0 {
+			k := i - 1
+			for k >= 0 && tokens[k].Entity == "" &&
+				(isCapitalized(tokens[k].Text) || tokens[k].POS == "CD") && i-k <= 4 {
+				k--
+			}
+			for m := k + 1; m <= i; m++ {
+				tokens[m].Entity = "LOC"
+			}
+		}
+	}
+}
+
+// isStateToken avoids tagging bare ambiguous two-letter words ("in", "or",
+// "me") that collide with state abbreviations: an abbreviation must be
+// upper-case to count.
+func isStateToken(tokens []Token, i int) bool {
+	w := tokens[i].Text
+	lw := strings.ToLower(strings.TrimSuffix(w, "."))
+	if _, full := states[lw]; full {
+		return isCapitalized(w)
+	}
+	if stateAbbrevs[lw] {
+		return strings.ToUpper(strings.TrimSuffix(w, ".")) == strings.TrimSuffix(w, ".")
+	}
+	return false
+}
+
+// Span is a contiguous annotated token range [Start, End) with a label.
+type Span struct {
+	Start, End int
+	Label      string
+}
+
+// Entities extracts maximal same-label entity spans from a token slice.
+func Entities(tokens []Token) []Span {
+	var out []Span
+	for i := 0; i < len(tokens); {
+		if tokens[i].Entity == "" {
+			i++
+			continue
+		}
+		j := i
+		for j < len(tokens) && tokens[j].Entity == tokens[i].Entity {
+			j++
+		}
+		out = append(out, Span{Start: i, End: j, Label: tokens[i].Entity})
+		i = j
+	}
+	return out
+}
+
+// SpanText joins the surface forms of a token span.
+func SpanText(tokens []Token, s Span) string {
+	parts := make([]string, 0, s.End-s.Start)
+	for _, t := range tokens[s.Start:s.End] {
+		parts = append(parts, t.Text)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,179 @@
+package nlp
+
+import "testing"
+
+func annotate(text string) []Token {
+	toks := Tokenize(text)
+	TagPOS(toks)
+	TagEntities(toks)
+	return toks
+}
+
+func entityOf(toks []Token, word string) string {
+	for _, t := range toks {
+		if t.Text == word {
+			return t.Entity
+		}
+	}
+	return "<absent>"
+}
+
+func TestPersonRecognition(t *testing.T) {
+	toks := annotate("Contact Kevin Walsh for tickets")
+	if entityOf(toks, "Kevin") != "PERSON" || entityOf(toks, "Walsh") != "PERSON" {
+		t.Errorf("Kevin Walsh not recognised: %v %v",
+			entityOf(toks, "Kevin"), entityOf(toks, "Walsh"))
+	}
+	toks2 := annotate("presented by Dr. Elena Petrov")
+	if entityOf(toks2, "Elena") != "PERSON" || entityOf(toks2, "Petrov") != "PERSON" {
+		t.Error("honorific-led person not recognised")
+	}
+}
+
+func TestOrganizationRecognition(t *testing.T) {
+	toks := annotate("hosted by the Riverside Jazz Society tonight")
+	if entityOf(toks, "Riverside") != "ORG" || entityOf(toks, "Society") != "ORG" {
+		t.Errorf("org not recognised: %v", toks)
+	}
+	toks2 := annotate("Acme Realty LLC lists this property")
+	if entityOf(toks2, "Acme") != "ORG" {
+		t.Error("LLC org not recognised")
+	}
+	// A single capitalised word must not become an ORG.
+	toks3 := annotate("the Amazing show")
+	if entityOf(toks3, "Amazing") == "ORG" {
+		t.Error("lone capitalised word tagged ORG")
+	}
+}
+
+func TestLocationRecognition(t *testing.T) {
+	toks := annotate("live music in Columbus this weekend")
+	if entityOf(toks, "Columbus") != "LOC" {
+		t.Error("city not recognised")
+	}
+	toks2 := annotate("located at 450 Maple Ave near downtown")
+	if entityOf(toks2, "Maple") != "LOC" || entityOf(toks2, "Ave") != "LOC" {
+		t.Errorf("street run not recognised: Maple=%v Ave=%v",
+			entityOf(toks2, "Maple"), entityOf(toks2, "Ave"))
+	}
+	// Ambiguous state abbreviations must require upper case.
+	toks3 := annotate("come in or stay out")
+	if entityOf(toks3, "in") == "LOC" || entityOf(toks3, "or") == "LOC" {
+		t.Error("lowercase words tagged as states")
+	}
+	toks4 := annotate("Columbus, OH 43210")
+	if entityOf(toks4, "OH") != "LOC" {
+		t.Error("state abbreviation not recognised")
+	}
+}
+
+func TestMoneyRecognition(t *testing.T) {
+	toks := annotate("tickets $15 at the door")
+	if entityOf(toks, "$15") != "MONEY" {
+		t.Error("money not recognised")
+	}
+}
+
+func TestEntitySpans(t *testing.T) {
+	toks := annotate("Kevin Walsh hosts Jazz Night in Columbus")
+	spans := Entities(toks)
+	if len(spans) < 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].Label != "PERSON" || SpanText(toks, spans[0]) != "Kevin Walsh" {
+		t.Errorf("first span = %v %q", spans[0].Label, SpanText(toks, spans[0]))
+	}
+	var loc bool
+	for _, s := range spans {
+		if s.Label == "LOC" && SpanText(toks, s) == "Columbus" {
+			loc = true
+		}
+	}
+	if !loc {
+		t.Error("Columbus span missing")
+	}
+}
+
+func TestNERFalsePositiveBehaviour(t *testing.T) {
+	// Broken OCR context: title-case words adjacent to names cause
+	// over-firing, as in the paper's Fig. 3. We assert the recogniser DOES
+	// produce a (wrong) PERSON here — the imperfection VS2 compensates for.
+	toks := annotate("Live Music Paul Hall Friday")
+	if entityOf(toks, "Paul") != "PERSON" {
+		t.Skip("recogniser did not over-fire; acceptable but unexpected")
+	}
+}
+
+func TestTimexRecognition(t *testing.T) {
+	cases := []struct {
+		text string
+		word string
+	}{
+		{"doors open at 7:30 tonight", "7:30"},
+		{"Saturday, June 14", "June"},
+		{"due by 4/15/2019", "4/15/2019"},
+		{"7 PM sharp", "PM"},
+		{"noon until late", "noon"},
+	}
+	for _, c := range cases {
+		toks := annotate(c.text)
+		if entityOf(toks, c.word) != "TIME" {
+			t.Errorf("%q: %q not tagged TIME (%v)", c.text, c.word, toks)
+		}
+	}
+	// Bridging: "June 14, 7:30 PM" should be one contiguous TIME span.
+	toks := annotate("June 14, 7:30 PM")
+	spans := Entities(toks)
+	if len(spans) != 1 || spans[0].Label != "TIME" {
+		t.Errorf("bridged time spans = %v", spans)
+	}
+	if !HasTimex(toks) {
+		t.Error("HasTimex false")
+	}
+	if HasTimex(annotate("no temporal content here")) {
+		t.Error("HasTimex over-fired")
+	}
+}
+
+func TestGeocode(t *testing.T) {
+	toks := annotate("450 Maple Ave, Columbus, OH 43210")
+	addrs := FindAddresses(toks)
+	if len(addrs) != 1 {
+		t.Fatalf("addresses = %v", addrs)
+	}
+	g := addrs[0]
+	if !g.HasStreet || !g.HasCity || !g.HasState || !g.HasZip {
+		t.Errorf("components = %+v", g)
+	}
+	if g.Confidence != 1 {
+		t.Errorf("confidence = %v", g.Confidence)
+	}
+	if !HasGeocode(toks) {
+		t.Error("HasGeocode false")
+	}
+	// City+state without street still geocodes (lower confidence).
+	toks2 := annotate("Columbus, Ohio")
+	addrs2 := FindAddresses(toks2)
+	if len(addrs2) != 1 || addrs2[0].HasStreet || addrs2[0].Confidence >= 1 {
+		t.Errorf("city-state geocode = %+v", addrs2)
+	}
+	// Non-addresses must not geocode.
+	if HasGeocode(annotate("4 beds and 2 baths")) {
+		t.Error("non-address geocoded")
+	}
+	// A date must not be mistaken for a street number.
+	if HasGeocode(annotate("4/15 Maple Ave")) {
+		t.Error("date fragment geocoded as street")
+	}
+}
+
+func TestGeocodeUnit(t *testing.T) {
+	toks := annotate("1200 Corporate Blvd, Suite 210, Columbus, OH")
+	addrs := FindAddresses(toks)
+	if len(addrs) != 1 {
+		t.Fatalf("addresses = %v", addrs)
+	}
+	if !addrs[0].HasStreet || !addrs[0].HasCity || !addrs[0].HasState {
+		t.Errorf("unit address components = %+v", addrs[0])
+	}
+}

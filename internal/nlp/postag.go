@@ -1,0 +1,184 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TagPOS assigns a Penn-Treebank-style part-of-speech tag to each token in
+// place. The tagger is a three-stage rule system in the spirit of a
+// transformation-based (Brill) tagger:
+//
+//  1. closed-class and frequent-word lexicon lookup;
+//  2. orthographic rules (numbers → CD, capitalised mid-phrase words → NNP,
+//     symbols → SYM);
+//  3. suffix heuristics and a default of NN, followed by a contextual
+//     repair pass (e.g. a VBN after a determiner is re-tagged JJ).
+func TagPOS(tokens []Token) {
+	for i := range tokens {
+		tokens[i].POS = tagOne(tokens, i)
+	}
+	repair(tokens)
+}
+
+func tagOne(tokens []Token, i int) string {
+	t := tokens[i]
+	if tag, ok := posLexicon[t.Norm]; ok {
+		// Capitalised lexicon words at non-initial positions are usually
+		// proper-noun usages ("May Gallery", "Bill Evans") — but only when
+		// the lexicon tag is an open-class one.
+		open := strings.HasPrefix(tag, "NN") || tag == "JJ" ||
+			(i > 0 && tokens[i-1].POS == "DT") // "the May Gallery"
+		if isCapitalized(t.Text) && i > 0 && !isSentenceStart(tokens, i) &&
+			open && looksNamey(tokens, i) {
+			return "NNP"
+		}
+		return tag
+	}
+	if isNumberLike(t.Text) {
+		return "CD"
+	}
+	if isPunct(t.Text) {
+		return punctTag(t.Text)
+	}
+	if strings.ContainsRune(t.Text, '@') {
+		return "NN" // email address
+	}
+	if isCapitalized(t.Text) {
+		return "NNP"
+	}
+	return suffixTag(t.Norm)
+}
+
+func isSentenceStart(tokens []Token, i int) bool {
+	if i == 0 {
+		return true
+	}
+	p := tokens[i-1].Text
+	return p == "." || p == "!" || p == "?" || p == ":"
+}
+
+// looksNamey reports whether the token at i sits in a run of capitalised
+// words (a likely proper-name context).
+func looksNamey(tokens []Token, i int) bool {
+	if i > 0 && isCapitalized(tokens[i-1].Text) {
+		return true
+	}
+	return i+1 < len(tokens) && isCapitalized(tokens[i+1].Text)
+}
+
+func isCapitalized(s string) bool {
+	for _, r := range s {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+// isNumberLike accepts integers, decimals, money, ordinals, phone-shaped
+// digit strings and mixed tokens that are mostly digits ("2,465", "$1200",
+// "3rd", "4/15", "614-555-0137").
+func isNumberLike(s string) bool {
+	digits, letters := 0, 0
+	for _, r := range s {
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case unicode.IsLetter(r):
+			letters++
+		}
+	}
+	if digits == 0 {
+		return false
+	}
+	if letters == 0 {
+		return true
+	}
+	// ordinals and unit-glued numbers: 3rd, 1st, 1200sf
+	return digits >= letters
+}
+
+func isPunct(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func punctTag(s string) string {
+	switch s {
+	case ".", "!", "?":
+		return "."
+	case ",":
+		return ","
+	case ":", ";":
+		return ":"
+	default:
+		return "SYM"
+	}
+}
+
+func suffixTag(w string) string {
+	switch {
+	case strings.HasSuffix(w, "ing"):
+		return "VBG"
+	case strings.HasSuffix(w, "ed"):
+		return "VBN"
+	case strings.HasSuffix(w, "ly"):
+		return "RB"
+	case strings.HasSuffix(w, "ous"), strings.HasSuffix(w, "ful"),
+		strings.HasSuffix(w, "ive"), strings.HasSuffix(w, "able"),
+		strings.HasSuffix(w, "al"), strings.HasSuffix(w, "ic"):
+		return "JJ"
+	case strings.HasSuffix(w, "tion"), strings.HasSuffix(w, "ment"),
+		strings.HasSuffix(w, "ness"), strings.HasSuffix(w, "ship"),
+		strings.HasSuffix(w, "ity"):
+		return "NN"
+	case strings.HasSuffix(w, "s"):
+		return "NNS"
+	default:
+		return "NN"
+	}
+}
+
+// repair applies contextual fix-up rules after the initial pass.
+func repair(tokens []Token) {
+	for i := range tokens {
+		switch {
+		// DT + VBN + NN: "the renovated kitchen" — participle as modifier.
+		case tokens[i].POS == "VBN" && i > 0 && tokens[i-1].POS == "DT":
+			tokens[i].POS = "JJ"
+		// TO + anything verb-ish: infinitive base form.
+		case i > 0 && tokens[i-1].POS == "TO" &&
+			(strings.HasPrefix(tokens[i].POS, "NN") && !isCapitalized(tokens[i].Text)):
+			if _, inLex := posLexicon[tokens[i].Norm]; !inLex {
+				tokens[i].POS = "VB"
+			}
+		// MD + NN (unknown word after modal is a verb): "will premiere".
+		case i > 0 && tokens[i-1].POS == "MD" && tokens[i].POS == "NN":
+			tokens[i].POS = "VB"
+		}
+	}
+}
+
+// Annotated bundles a text with its fully annotated token stream, split
+// into sentences, ready for chunking, NER and pattern matching.
+type Annotated struct {
+	Text      string
+	Tokens    []Token
+	Sentences [][]Token // views into Tokens
+}
+
+// Annotate runs the full pipeline: tokenise, tag, recognise entities
+// (NER + TIMEX), and split sentences.
+func Annotate(text string) *Annotated {
+	tokens := Tokenize(text)
+	TagPOS(tokens)
+	TagEntities(tokens)
+	return &Annotated{
+		Text:      text,
+		Tokens:    tokens,
+		Sentences: SplitSentences(tokens),
+	}
+}

@@ -1,0 +1,130 @@
+package nlp
+
+import "testing"
+
+func tagsOf(text string) ([]Token, []string) {
+	toks := Tokenize(text)
+	TagPOS(toks)
+	tags := make([]string, len(toks))
+	for i, t := range toks {
+		tags[i] = t.POS
+	}
+	return toks, tags
+}
+
+func TestTagClosedClass(t *testing.T) {
+	_, tags := tagsOf("The event is at the hall")
+	want := []string{"DT", "NN", "VBZ", "IN", "DT", "NN"}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Errorf("tag %d = %s, want %s (all: %v)", i, tags[i], want[i], tags)
+		}
+	}
+}
+
+func TestTagNumbers(t *testing.T) {
+	toks, _ := tagsOf("4 beds and 2,465 acres for $1,200 on 4/15")
+	for _, tok := range toks {
+		switch tok.Text {
+		case "4", "2,465", "4/15":
+			if tok.POS != "CD" {
+				t.Errorf("%q tagged %s, want CD", tok.Text, tok.POS)
+			}
+		case "$1,200":
+			if tok.POS != "CD" {
+				t.Errorf("%q tagged %s, want CD", tok.Text, tok.POS)
+			}
+		}
+	}
+}
+
+func TestTagProperNouns(t *testing.T) {
+	toks, _ := tagsOf("Contact Maria Chen for details")
+	if toks[1].POS != "NNP" || toks[2].POS != "NNP" {
+		t.Errorf("name tags = %s %s, want NNP NNP", toks[1].POS, toks[2].POS)
+	}
+}
+
+func TestCapitalizedLexiconWordInNameContext(t *testing.T) {
+	// "Bill" is not in our lexicon but "May" is (MD); inside a capitalised
+	// run it should become NNP.
+	toks, _ := tagsOf("the May Gallery opens")
+	if toks[1].POS != "NNP" {
+		t.Errorf("May tagged %s, want NNP", toks[1].POS)
+	}
+	// Sentence-initial "May" with lowercase continuation keeps its MD tag.
+	toks2, _ := tagsOf("May we join")
+	if toks2[0].POS != "MD" {
+		t.Errorf("sentence-initial May tagged %s, want MD", toks2[0].POS)
+	}
+}
+
+func TestSuffixRules(t *testing.T) {
+	toks, _ := tagsOf("a fabulous gathering promoting wellness")
+	byText := map[string]string{}
+	for _, tok := range toks {
+		byText[tok.Text] = tok.POS
+	}
+	if byText["fabulous"] != "JJ" {
+		t.Errorf("fabulous = %s", byText["fabulous"])
+	}
+	if byText["promoting"] != "VBG" {
+		t.Errorf("promoting = %s", byText["promoting"])
+	}
+}
+
+func TestRepairRules(t *testing.T) {
+	// DT + VBN -> JJ
+	toks, _ := tagsOf("the renovated kitchen")
+	if toks[1].POS != "JJ" {
+		t.Errorf("renovated = %s, want JJ", toks[1].POS)
+	}
+	// MD + unknown NN -> VB
+	toks2, _ := tagsOf("will premiere tonight")
+	if toks2[1].POS != "VB" {
+		t.Errorf("premiere = %s, want VB", toks2[1].POS)
+	}
+}
+
+func TestTokenPredicates(t *testing.T) {
+	cases := []struct {
+		pos                  string
+		noun, verb, adj, num bool
+	}{
+		{"NN", true, false, false, false},
+		{"NNS", true, false, false, false},
+		{"NNP", true, false, false, false},
+		{"VBZ", false, true, false, false},
+		{"JJ", false, false, true, false},
+		{"CD", false, false, false, true},
+	}
+	for _, c := range cases {
+		tok := Token{POS: c.pos}
+		if tok.IsNoun() != c.noun || tok.IsVerb() != c.verb ||
+			tok.IsAdj() != c.adj || tok.IsNum() != c.num {
+			t.Errorf("predicates wrong for %s", c.pos)
+		}
+	}
+}
+
+func TestAnnotatePipeline(t *testing.T) {
+	a := Annotate("Dr. Maria Chen hosts Jazz Night at 7:30 PM. RSVP today.")
+	if len(a.Sentences) != 2 {
+		t.Fatalf("sentences = %d", len(a.Sentences))
+	}
+	var persons, times int
+	for _, tok := range a.Tokens {
+		switch tok.Entity {
+		case "PERSON":
+			persons++
+		case "TIME":
+			times++
+		}
+	}
+	if persons < 2 {
+		t.Errorf("person tokens = %d, want >= 2", persons)
+	}
+	if times == 0 {
+		t.Error("no TIME tokens found")
+	}
+}

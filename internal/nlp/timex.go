@@ -1,0 +1,83 @@
+package nlp
+
+import (
+	"regexp"
+	"strings"
+)
+
+// The TIMEX recogniser stands in for SUTime [5]: it finds temporal
+// expressions (clock times, calendar dates, weekday phrases, ranges) in a
+// tagged token stream and labels them TIME. The paper's Event Time entity
+// is defined as "noun phrases with valid TIMEX3 tags" (Table 3).
+
+var (
+	clockRe = regexp.MustCompile(`^([01]?\d|2[0-3]):[0-5]\d$`)
+	// "7pm", "7:30pm", "11 AM"
+	amPmRe = regexp.MustCompile(`^(?i)([01]?\d)(:[0-5]\d)?(am|pm)\.?$`)
+	// "04/15", "4/15/2019", "2019-06-30"
+	slashDateRe = regexp.MustCompile(`^\d{1,4}[/-]\d{1,2}([/-]\d{2,4})?$`)
+	yearRe      = regexp.MustCompile(`^(19|20)\d\d$`)
+	dayNumRe    = regexp.MustCompile(`^([0-2]?\d|3[01])(st|nd|rd|th)?,?$`)
+	bareAmPm    = regexp.MustCompile(`^(?i)(am|pm)\.?$`)
+)
+
+// tagTimes labels temporal tokens and glues adjacent temporal tokens (and
+// connective words between them) into one TIME span: "Saturday, June 14,
+// 7:30 PM" becomes a single expression.
+func tagTimes(tokens []Token) {
+	isTemporal := make([]bool, len(tokens))
+	for i, t := range tokens {
+		w := strings.TrimSuffix(t.Text, ",")
+		switch {
+		case clockRe.MatchString(w), amPmRe.MatchString(w), slashDateRe.MatchString(w):
+			isTemporal[i] = true
+		case IsWeekday(w), MonthNumber(w) > 0 && isCapitalized(t.Text), IsTimeWord(t.Norm):
+			isTemporal[i] = true
+		case yearRe.MatchString(w) && adjacentTemporal(tokens, i, isTemporal):
+			isTemporal[i] = true
+		case bareAmPm.MatchString(w) && i > 0 && tokens[i-1].POS == "CD":
+			isTemporal[i] = true
+			isTemporal[i-1] = true // "7 PM"
+		case dayNumRe.MatchString(w) && i > 0 && MonthNumber(strings.TrimSuffix(tokens[i-1].Text, ",")) > 0:
+			isTemporal[i] = true // "June 14"
+		}
+	}
+	// Bridge single connective tokens between two temporal tokens:
+	// "7 to 9 PM", "June 14 , 2026", "Saturday at 3pm".
+	for i := 1; i < len(tokens)-1; i++ {
+		if isTemporal[i-1] && isTemporal[i+1] && !isTemporal[i] {
+			switch tokens[i].Norm {
+			case "to", "-", "–", ",", "at", "through", "until":
+				isTemporal[i] = true
+			}
+		}
+	}
+	for i := range tokens {
+		if isTemporal[i] && tokens[i].Entity == "" {
+			tokens[i].Entity = "TIME"
+		}
+	}
+}
+
+func adjacentTemporal(tokens []Token, i int, isTemporal []bool) bool {
+	if i > 0 && isTemporal[i-1] {
+		return true
+	}
+	if i > 0 {
+		w := strings.TrimSuffix(tokens[i-1].Text, ",")
+		if MonthNumber(w) > 0 || dayNumRe.MatchString(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasTimex reports whether any token in the span carries a TIME label.
+func HasTimex(tokens []Token) bool {
+	for _, t := range tokens {
+		if t.Entity == "TIME" {
+			return true
+		}
+	}
+	return false
+}

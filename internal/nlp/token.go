@@ -1,0 +1,203 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one tokenised word with its annotations. Fields are filled in
+// progressively by the pipeline: Tokenize sets Text/Norm/Start, the tagger
+// sets POS, the NER pass sets Entity.
+type Token struct {
+	Text   string // surface form
+	Norm   string // lowercased surface form
+	Stem   string // light stem of Norm
+	POS    string // Penn-Treebank-style tag
+	Entity string // "", "PERSON", "ORG", "LOC", "TIME", "MONEY"
+	Start  int    // byte offset into the source text
+}
+
+// IsNoun reports whether the token carries a noun tag.
+func (t Token) IsNoun() bool { return strings.HasPrefix(t.POS, "NN") }
+
+// IsVerb reports whether the token carries a verb tag.
+func (t Token) IsVerb() bool { return strings.HasPrefix(t.POS, "VB") }
+
+// IsAdj reports whether the token is an adjective (JJ*).
+func (t Token) IsAdj() bool { return strings.HasPrefix(t.POS, "JJ") }
+
+// IsNum reports whether the token is a cardinal number (CD).
+func (t Token) IsNum() bool { return t.POS == "CD" }
+
+// Tokenize splits text into word tokens. Punctuation becomes its own token
+// except for intra-word characters that carry meaning in our domains:
+// '@' and '.' inside email addresses, '-' '(' ')' inside phone numbers,
+// '$' ',' '.' inside money and decimal amounts, ':' inside clock times and
+// '/' inside dates.
+func Tokenize(text string) []Token {
+	var out []Token
+	runes := []rune(text)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case isWordRune(r) || (r == '(' && i+1 < len(runes) && unicode.IsDigit(runes[i+1])):
+			j := i + 1
+			for j < len(runes) && (isWordRune(runes[j]) || isInnerRune(runes, j)) {
+				j++
+			}
+			add(&out, string(runes[i:j]), byteOffset(runes, i))
+			i = j
+		default:
+			// standalone punctuation
+			add(&out, string(r), byteOffset(runes, i))
+			i++
+		}
+	}
+	return out
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '$' || r == '#' || r == '&'
+}
+
+// isInnerRune allows certain punctuation inside a token when flanked by
+// word runes (so "rsvp@club.org", "614-555-0137", "3:30", "1,200", "4/15"
+// stay whole but a sentence-final period does not glue to the word).
+func isInnerRune(runes []rune, j int) bool {
+	r := runes[j]
+	switch r {
+	case '@', '.', '-', ':', ',', '/', '\'', '(', ')', '+':
+	default:
+		return false
+	}
+	if j+1 >= len(runes) || !isWordRune(runes[j+1]) {
+		// '(' may open a phone area code: "(614)" — allow when followed by digit
+		return false
+	}
+	if j == 0 {
+		return r == '(' || r == '+' || r == '$'
+	}
+	prev := runes[j-1]
+	if r == '(' {
+		return unicode.IsDigit(runes[j+1])
+	}
+	if r == ')' {
+		return unicode.IsDigit(prev) || prev == '('
+	}
+	return isWordRune(prev) || prev == ')' // e.g. "(614)555-0137"
+}
+
+func byteOffset(runes []rune, i int) int {
+	n := 0
+	for _, r := range runes[:i] {
+		n += len(string(r))
+	}
+	return n
+}
+
+func add(out *[]Token, text string, start int) {
+	*out = append(*out, Token{
+		Text:  text,
+		Norm:  strings.ToLower(text),
+		Stem:  Stem(strings.ToLower(text)),
+		Start: start,
+	})
+}
+
+// SplitSentences partitions tokens at sentence-final punctuation and
+// newline-derived breaks. Visually rich documents rarely contain full
+// sentences, so a conservative splitter suffices: '.', '!' and '?' end a
+// sentence unless the period belongs to an abbreviation/initial.
+func SplitSentences(tokens []Token) [][]Token {
+	var out [][]Token
+	var cur []Token
+	for i, tok := range tokens {
+		cur = append(cur, tok)
+		if tok.Text == "!" || tok.Text == "?" {
+			out = append(out, cur)
+			cur = nil
+			continue
+		}
+		if tok.Text == "." {
+			// Abbreviation periods ("Dr.", "J.") do not end a sentence.
+			if i > 0 && (IsHonorific(tokens[i-1].Text) || len(tokens[i-1].Text) == 1) {
+				continue
+			}
+			out = append(out, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Stem applies a light suffix-stripping stemmer (a compact Porter subset):
+// plural -s/-es, -ing, -ed, -ly, -ness, -tion families. It is intentionally
+// conservative — stems are used only to group inflections for embeddings
+// and Lesk overlap, not to recover lemmas.
+func Stem(w string) string {
+	if len(w) <= 3 {
+		return w
+	}
+	switch {
+	case strings.HasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ness"):
+		return w[:len(w)-4]
+	case strings.HasSuffix(w, "ment") && len(w) > 6:
+		return w[:len(w)-4]
+	case strings.HasSuffix(w, "tions"):
+		return w[:len(w)-1]
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		stem := w[:len(w)-3]
+		if len(stem) >= 3 && stem[len(stem)-1] == stem[len(stem)-2] { // hosting->host, planning->plan
+			stem = stem[:len(stem)-1]
+		}
+		return stem
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		stem := w[:len(w)-2]
+		if len(stem) >= 3 && stem[len(stem)-1] == stem[len(stem)-2] {
+			stem = stem[:len(stem)-1]
+		}
+		return stem
+	case strings.HasSuffix(w, "ly") && len(w) > 4:
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "xes"), strings.HasSuffix(w, "ches"),
+		strings.HasSuffix(w, "shes"), strings.HasSuffix(w, "zzes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && !strings.HasSuffix(w, "us"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// Normalize lowercases text, strips stopwords and punctuation-only tokens,
+// and returns the remaining stems — the normalised bag-of-words view used
+// before semantic comparison (Section 5.2: "the transcribed text ... is
+// normalized, its stopwords are removed").
+func Normalize(text string) []string {
+	var out []string
+	for _, t := range Tokenize(text) {
+		if IsStopword(t.Norm) || !hasLetterOrDigit(t.Norm) {
+			continue
+		}
+		out = append(out, t.Stem)
+	}
+	return out
+}
+
+func hasLetterOrDigit(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}

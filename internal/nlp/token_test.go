@@ -1,0 +1,135 @@
+package nlp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func texts(tokens []Token) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	got := texts(Tokenize("Join us for Jazz Night!"))
+	want := []string{"Join", "us", "for", "Jazz", "Night", "!"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeKeepsDomainTokensWhole(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // the token that must appear whole
+	}{
+		{"email rsvp@jazzclub.org now", "rsvp@jazzclub.org"},
+		{"call 614-555-0137 today", "614-555-0137"},
+		{"call (614)555-0137 today", "(614)555-0137"},
+		{"doors at 7:30 pm", "7:30"},
+		{"only $1,200 monthly", "$1,200"},
+		{"due 4/15/2019 sharp", "4/15/2019"},
+		{"it's fine", "it's"},
+	}
+	for _, c := range cases {
+		toks := texts(Tokenize(c.in))
+		found := false
+		for _, tok := range toks {
+			if tok == c.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Tokenize(%q) = %v, missing %q", c.in, toks, c.want)
+		}
+	}
+}
+
+func TestTokenizeSentencePeriodSplits(t *testing.T) {
+	toks := texts(Tokenize("See you there. Bring friends."))
+	// Final periods must be separate tokens, not glued to words.
+	wantDots := 0
+	for _, tok := range toks {
+		if tok == "." {
+			wantDots++
+		}
+		if tok == "there." || tok == "friends." {
+			t.Errorf("period glued to word: %q", tok)
+		}
+	}
+	if wantDots != 2 {
+		t.Errorf("expected 2 period tokens, got %d in %v", wantDots, toks)
+	}
+}
+
+func TestTokenOffsets(t *testing.T) {
+	src := "Hello  world"
+	toks := Tokenize(src)
+	if toks[0].Start != 0 || toks[1].Start != 7 {
+		t.Errorf("offsets = %d, %d", toks[0].Start, toks[1].Start)
+	}
+	if src[toks[1].Start:toks[1].Start+5] != "world" {
+		t.Error("offset does not index source")
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	toks := Tokenize("First one. Second one! Third")
+	sents := SplitSentences(toks)
+	if len(sents) != 3 {
+		t.Fatalf("sentences = %d", len(sents))
+	}
+	if sents[0][len(sents[0])-1].Text != "." || sents[1][len(sents[1])-1].Text != "!" {
+		t.Error("sentence boundaries wrong")
+	}
+	if len(sents[2]) != 1 || sents[2][0].Text != "Third" {
+		t.Errorf("trailing sentence = %v", texts(sents[2]))
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"events":     "event",
+		"properties": "property",
+		"hosting":    "host",
+		"planned":    "plan",
+		"hosted":     "host",
+		"quickly":    "quick",
+		"darkness":   "dark",
+		"classes":    "class",
+		"buses":      "buse",
+		"acres":      "acre",
+		"bed":        "bed",
+		"is":         "is",
+		"glass":      "glass",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize("The events are hosted by the club!")
+	// stopwords ("the", "are", "by") and punctuation dropped, stems applied
+	want := []string{"event", "host", "club"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Normalize = %v, want %v", got, want)
+	}
+	if Normalize("the of and") != nil {
+		t.Error("all-stopword input should normalise to nil")
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("The") || !IsStopword("and") {
+		t.Error("stopwords not recognised")
+	}
+	if IsStopword("jazz") {
+		t.Error("jazz is not a stopword")
+	}
+}

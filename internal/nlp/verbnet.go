@@ -1,0 +1,134 @@
+package nlp
+
+import "strings"
+
+// The verb-sense lexicon stands in for VerbNet [38]. Table 3 of the paper
+// defines the Event Organizer pattern as "verb phrase with captain /
+// create / reflexive_appearance verb-senses": verbs of leading an
+// undertaking (captain), of bringing something into existence (create), and
+// of presenting oneself or one's work to an audience
+// (reflexive_appearance).
+
+var verbSenses = map[string][]string{
+	// captain-29.8: lead / direct an undertaking
+	"host":       {"captain"},
+	"chair":      {"captain"},
+	"lead":       {"captain"},
+	"direct":     {"captain"},
+	"head":       {"captain"},
+	"organize":   {"captain", "create"},
+	"coordinate": {"captain"},
+	"manage":     {"captain"},
+	"run":        {"captain"},
+	"moderate":   {"captain"},
+	"sponsor":    {"captain"},
+	"captain":    {"captain"},
+
+	// create-26.4: bring into existence
+	"create":    {"create"},
+	"produce":   {"create"},
+	"found":     {"create"},
+	"establish": {"create"},
+	"arrange":   {"create"},
+	"develop":   {"create"},
+	"curate":    {"create"},
+	"design":    {"create"},
+
+	// reflexive_appearance-48.1.2: present (oneself / one's work)
+	"present":  {"reflexive_appearance"},
+	"feature":  {"reflexive_appearance"},
+	"appear":   {"reflexive_appearance"},
+	"perform":  {"reflexive_appearance"},
+	"showcase": {"reflexive_appearance"},
+	"premiere": {"reflexive_appearance"},
+	"exhibit":  {"reflexive_appearance"},
+	"display":  {"reflexive_appearance"},
+	"bring":    {"reflexive_appearance"},
+	"welcome":  {"reflexive_appearance"},
+	"invite":   {"reflexive_appearance"},
+
+	// other senses used by the description patterns
+	"include": {"inclusion"},
+	"offer":   {"transfer"},
+	"give":    {"transfer"},
+	"provide": {"transfer"},
+	"sell":    {"transfer"},
+	"lease":   {"transfer"},
+	"rent":    {"transfer"},
+	"expect":  {"cognition"},
+	"learn":   {"cognition"},
+	"enjoy":   {"experience"},
+	"attend":  {"attendance"},
+	"join":    {"attendance"},
+	"meet":    {"attendance"},
+	"visit":   {"attendance"},
+	"start":   {"begin"},
+	"begin":   {"begin"},
+	"open":    {"begin"},
+	"end":     {"finish"},
+	"close":   {"finish"},
+	"locate":  {"placement"},
+	"situate": {"placement"},
+}
+
+// lemmaOf reduces a verb surface form to a lexicon lemma: strips -s, -ed,
+// -ing with doubling repair, plus a few irregulars.
+func lemmaOf(verb string) string {
+	w := strings.ToLower(verb)
+	irregular := map[string]string{
+		"ran": "run", "led": "lead", "brought": "bring", "gave": "give",
+		"met": "meet", "began": "begin", "sold": "sell", "held": "hold",
+		"found": "found", "featured": "feature", "presented": "present",
+	}
+	if l, ok := irregular[w]; ok {
+		return l
+	}
+	if _, ok := verbSenses[w]; ok {
+		return w
+	}
+	s := Stem(w)
+	if _, ok := verbSenses[s]; ok {
+		return s
+	}
+	// "-es"/"-e" mismatch repair: "premieres" -> "premiere".
+	if strings.HasSuffix(w, "es") {
+		if _, ok := verbSenses[w[:len(w)-1]]; ok {
+			return w[:len(w)-1]
+		}
+	}
+	if _, ok := verbSenses[s+"e"]; ok { // "organiz" -> "organize"
+		return s + "e"
+	}
+	return s
+}
+
+// VerbSenses returns the VerbNet-style classes of a verb in any inflection,
+// or nil when unknown.
+func VerbSenses(verb string) []string {
+	return verbSenses[lemmaOf(verb)]
+}
+
+// HasVerbSense reports whether the verb (any inflection) belongs to the
+// given class.
+func HasVerbSense(verb, sense string) bool {
+	for _, s := range VerbSenses(verb) {
+		if s == sense {
+			return true
+		}
+	}
+	return false
+}
+
+// OrganizerSenses is the Table 3 sense set for the Event Organizer pattern.
+var OrganizerSenses = []string{"captain", "create", "reflexive_appearance"}
+
+// HasOrganizerSense reports whether the verb carries any of the Table 3
+// organizer senses.
+func HasOrganizerSense(verb string) bool {
+	for _, s := range OrganizerSenses {
+		if HasVerbSense(verb, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,344 @@
+// Package ocr simulates the document-processing front end the paper builds
+// on: Tesseract [41] transcription plus its hierarchical layout analysis.
+// Two roles:
+//
+//  1. Noise channel. Real pipelines see OCR errors — the paper's error
+//     analysis attributes most segmentation failures to "low-quality
+//     transcription inhibiting semantic merging" and Fig. 3 shows the
+//     resulting NER false positives. The channel injects calibrated
+//     character substitutions, case errors, word merges/splits/drops and
+//     bounding-box jitter, with severity set by the document's capture
+//     mode (born-digital PDFs are nearly clean; mobile captures are not).
+//
+//  2. Layout analysis (baseline A5 of Table 5). Tesseract groups words
+//     into lines by vertical overlap and lines into paragraphs by leading;
+//     ocr.LayoutBlocks reproduces that behaviour for the baseline
+//     comparison.
+package ocr
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+)
+
+// NoiseLevel calibrates the channel.
+type NoiseLevel struct {
+	// CharSub is the probability of substituting each character.
+	CharSub float64
+	// CharDrop is the probability of deleting each character.
+	CharDrop float64
+	// CaseFlip is the probability of flipping a letter's case.
+	CaseFlip float64
+	// WordDrop is the probability of losing a word entirely.
+	WordDrop float64
+	// WordMerge is the probability of merging a word with its successor on
+	// the same line (losing the whitespace between them).
+	WordMerge float64
+	// WordSplit is the probability of splitting a word in two.
+	WordSplit float64
+	// BoxJitter is the maximum bounding-box displacement in fractions of
+	// the element height.
+	BoxJitter float64
+	// Rotation is the maximum page rotation in radians applied to mobile
+	// captures (the paper claims robustness up to 45°).
+	Rotation float64
+}
+
+// Calibrated noise levels per capture mode.
+var (
+	// Clean is a perfect transcription (born-digital documents).
+	Clean = NoiseLevel{}
+	// Scan matches flatbed scans of printed forms (dataset D1).
+	Scan = NoiseLevel{
+		CharSub: 0.001, CharDrop: 0.0005, CaseFlip: 0.003,
+		WordDrop: 0.0005, WordMerge: 0.001, WordSplit: 0.001,
+		BoxJitter: 0.03,
+	}
+	// Mobile matches hand-held captures of posters and flyers (the 1375
+	// mobile captures of dataset D2).
+	Mobile = NoiseLevel{
+		CharSub: 0.02, CharDrop: 0.01, CaseFlip: 0.02,
+		WordDrop: 0.01, WordMerge: 0.02, WordSplit: 0.015,
+		BoxJitter: 0.15, Rotation: 0.1,
+	}
+	// Harsh models the worst mobile captures; used by noise-sensitivity
+	// ablations.
+	Harsh = NoiseLevel{
+		CharSub: 0.06, CharDrop: 0.03, CaseFlip: 0.05,
+		WordDrop: 0.04, WordMerge: 0.05, WordSplit: 0.04,
+		BoxJitter: 0.3, Rotation: 0.12,
+	}
+)
+
+// ForCapture returns the calibrated noise for a capture mode.
+func ForCapture(c doc.Capture) NoiseLevel {
+	switch c {
+	case doc.CaptureMobile:
+		return Mobile
+	case doc.CaptureScan:
+		return Scan
+	default:
+		return Clean
+	}
+}
+
+// confusions lists visually plausible OCR character confusions.
+var confusions = map[rune][]rune{
+	'o': {'0', 'c', 'e'}, '0': {'o', 'O', 'D'},
+	'l': {'1', 'i', '|'}, '1': {'l', 'i', '7'},
+	'i': {'l', '1', 'j'}, 'e': {'c', 'o', 'a'},
+	'a': {'o', 'e', 's'}, 's': {'5', 'a', 'z'},
+	'5': {'s', 'S', '6'}, 'g': {'9', 'q', 'y'},
+	'9': {'g', 'q', '4'}, 'b': {'6', 'h', 'd'},
+	'6': {'b', 'G', '8'}, 'm': {'n', 'w', 'M'},
+	'n': {'m', 'h', 'r'}, 'u': {'v', 'n', 'w'},
+	'v': {'u', 'y', 'w'}, 't': {'f', '7', 'r'},
+	'f': {'t', 'r', 'l'}, 'c': {'e', 'o', 'G'},
+	'd': {'b', 'o', 'a'}, 'h': {'b', 'n', 'k'},
+	'B': {'8', 'R', 'E'}, 'O': {'0', 'Q', 'D'},
+	'S': {'5', '8', 'Z'}, 'I': {'l', '1', 'T'},
+	'Z': {'2', 'S', '7'}, 'G': {'6', 'C', 'O'},
+	'8': {'B', '3', '0'}, '2': {'Z', 'z', '7'},
+}
+
+// Transcribe passes the document through the OCR channel, returning a new
+// document whose textual elements carry transcription noise. Image
+// elements pass through unchanged. The RNG makes runs reproducible.
+func Transcribe(d *doc.Document, noise NoiseLevel, rng *rand.Rand) *doc.Document {
+	out, _ := TranscribeLabeled(doc.Labeled{Doc: d}, noise, rng)
+	return out
+}
+
+// TranscribeLabeled is Transcribe for a labelled document: the page
+// rotation of a mobile capture is applied to the ground-truth boxes too,
+// because annotators labelled the captured image, not the original
+// artwork (Section 6.2). The returned truth is nil when the input truth
+// is nil.
+func TranscribeLabeled(l doc.Labeled, noise NoiseLevel, rng *rand.Rand) (*doc.Document, *doc.GroundTruth) {
+	d := l.Doc
+	out := d.Clone()
+	var truth *doc.GroundTruth
+	if l.Truth != nil {
+		t := *l.Truth
+		t.Annotations = append([]doc.Annotation(nil), l.Truth.Annotations...)
+		truth = &t
+	}
+	// Page rotation (mobile capture misalignment): rotate every box about
+	// the page centre, then take axis-aligned hulls.
+	if noise.Rotation > 0 {
+		theta := (rng.Float64()*2 - 1) * noise.Rotation
+		c := geom.Point{X: d.Width / 2, Y: d.Height / 2}
+		for i := range out.Elements {
+			out.Elements[i].Box = geom.Rotate(out.Elements[i].Box, theta, c)
+		}
+		if truth != nil {
+			for i := range truth.Annotations {
+				truth.Annotations[i].Box = geom.Rotate(truth.Annotations[i].Box, theta, c)
+			}
+		}
+	}
+
+	var elems []doc.Element
+	nextID := 0
+	i := 0
+	for i < len(out.Elements) {
+		e := out.Elements[i]
+		if e.Kind != doc.TextElement {
+			e.ID = nextID
+			nextID++
+			elems = append(elems, e)
+			i++
+			continue
+		}
+		if rng.Float64() < noise.WordDrop {
+			i++
+			continue
+		}
+		// Merge with next text element on the same line.
+		if rng.Float64() < noise.WordMerge && i+1 < len(out.Elements) {
+			next := out.Elements[i+1]
+			if next.Kind == doc.TextElement && next.Line == e.Line {
+				e.Text += next.Text
+				e.Box = e.Box.Union(next.Box)
+				i++ // consume the neighbour
+			}
+		}
+		e.Text = corruptText(e.Text, noise, rng)
+		if e.Text == "" {
+			i++
+			continue
+		}
+		e.Box = jitter(e.Box, noise.BoxJitter, rng)
+
+		// Split the word in two elements.
+		if rng.Float64() < noise.WordSplit && len(e.Text) >= 4 {
+			cut := 1 + rng.Intn(len(e.Text)-2)
+			frac := float64(cut) / float64(len(e.Text))
+			left := e
+			left.ID = nextID
+			nextID++
+			left.Text = e.Text[:cut]
+			left.Box = geom.Rect{X: e.Box.X, Y: e.Box.Y, W: e.Box.W * frac, H: e.Box.H}
+			elems = append(elems, left)
+			right := e
+			right.ID = nextID
+			nextID++
+			right.Text = e.Text[cut:]
+			right.Box = geom.Rect{X: e.Box.X + e.Box.W*frac, Y: e.Box.Y, W: e.Box.W * (1 - frac), H: e.Box.H}
+			elems = append(elems, right)
+			i++
+			continue
+		}
+
+		e.ID = nextID
+		nextID++
+		elems = append(elems, e)
+		i++
+	}
+	out.Elements = elems
+	return out, truth
+}
+
+func corruptText(text string, noise NoiseLevel, rng *rand.Rand) string {
+	var sb strings.Builder
+	for _, r := range text {
+		if rng.Float64() < noise.CharDrop {
+			continue
+		}
+		if rng.Float64() < noise.CharSub {
+			if alts, ok := confusions[r]; ok {
+				sb.WriteRune(alts[rng.Intn(len(alts))])
+				continue
+			}
+		}
+		if rng.Float64() < noise.CaseFlip {
+			s := string(r)
+			if up := strings.ToUpper(s); up != s {
+				sb.WriteString(up)
+				continue
+			}
+			if lo := strings.ToLower(s); lo != s {
+				sb.WriteString(lo)
+				continue
+			}
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+func jitter(b geom.Rect, amount float64, rng *rand.Rand) geom.Rect {
+	if amount <= 0 {
+		return b
+	}
+	dx := (rng.Float64()*2 - 1) * amount * b.H
+	dy := (rng.Float64()*2 - 1) * amount * b.H
+	dw := rng.Float64() * amount * b.H
+	return geom.Rect{X: b.X + dx, Y: b.Y + dy, W: b.W + dw, H: b.H}
+}
+
+// LayoutBlocks is the Tesseract-style hierarchical layout analysis used as
+// baseline A5 in Table 5: words are grouped into lines by vertical overlap,
+// lines into paragraphs when the leading between them is below 0.8× line
+// height and their left edges roughly align.
+func LayoutBlocks(d *doc.Document) []*doc.Node {
+	ids := d.TextElements()
+	if len(ids) == 0 {
+		return []*doc.Node{doc.NewTree(d)}
+	}
+	lines := groupLines(d, ids)
+
+	// Sort lines top to bottom.
+	sort.Slice(lines, func(i, j int) bool {
+		return d.BoundingBoxOf(lines[i]).Y < d.BoundingBoxOf(lines[j]).Y
+	})
+	var blocks []*doc.Node
+	var cur []int
+	var curBox geom.Rect
+	flush := func() {
+		if len(cur) > 0 {
+			blocks = append(blocks, &doc.Node{Box: curBox, Elements: cur, Depth: 1})
+			cur, curBox = nil, geom.Rect{}
+		}
+	}
+	for _, line := range lines {
+		lb := d.BoundingBoxOf(line)
+		if len(cur) == 0 {
+			cur, curBox = append(cur, line...), lb
+			continue
+		}
+		leading := lb.Y - curBox.MaxY()
+		alignOK := abs(lb.X-curBox.X) < lb.H*2
+		if leading <= 0.8*lb.H && alignOK {
+			cur = append(cur, line...)
+			curBox = curBox.Union(lb)
+			continue
+		}
+		flush()
+		cur, curBox = append(cur, line...), lb
+	}
+	flush()
+	// Image elements each form their own block, as Tesseract reports
+	// non-text regions separately.
+	for _, id := range d.ImageElements() {
+		blocks = append(blocks, &doc.Node{Box: d.Elements[id].Box, Elements: []int{id}, Depth: 1})
+	}
+	return blocks
+}
+
+// groupLines clusters words into text lines by vertical-overlap chaining.
+func groupLines(d *doc.Document, ids []int) [][]int {
+	ordered := d.ReadingOrder(ids)
+	var lines [][]int
+	for _, id := range ordered {
+		b := d.Elements[id].Box
+		placed := false
+		for li := range lines {
+			lb := d.BoundingBoxOf(lines[li])
+			if vOverlap(b, lb) > 0.5 && b.X-lb.MaxX() < b.H*3 {
+				lines[li] = append(lines[li], id)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lines = append(lines, []int{id})
+		}
+	}
+	return lines
+}
+
+// vOverlap returns the vertical overlap of two boxes as a fraction of the
+// smaller height.
+func vOverlap(a, b geom.Rect) float64 {
+	top := a.Y
+	if b.Y > top {
+		top = b.Y
+	}
+	bot := a.MaxY()
+	if b.MaxY() < bot {
+		bot = b.MaxY()
+	}
+	if bot <= top {
+		return 0
+	}
+	minH := a.H
+	if b.H < minH {
+		minH = b.H
+	}
+	if minH == 0 {
+		return 0
+	}
+	return (bot - top) / minH
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,239 @@
+package ocr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+)
+
+func sampleDoc() *doc.Document {
+	d := &doc.Document{ID: "s", Width: 300, Height: 200, Background: colorlab.White}
+	words := []struct {
+		text string
+		x, y float64
+	}{
+		{"Grand", 20, 20}, {"Opening", 70, 20}, {"Gala", 140, 20},
+		{"join", 20, 60}, {"us", 55, 60}, {"tonight", 75, 60},
+		{"free", 20, 90}, {"admission", 55, 90},
+	}
+	for i, w := range words {
+		d.Elements = append(d.Elements, doc.Element{
+			ID: i, Kind: doc.TextElement, Text: w.text,
+			Box:  geom.Rect{X: w.x, Y: w.y, W: float64(len(w.text)) * 7, H: 12},
+			Line: int(w.y),
+		})
+	}
+	d.Elements = append(d.Elements, doc.Element{
+		ID: len(words), Kind: doc.ImageElement, ImageData: "logo",
+		Box: geom.Rect{X: 200, Y: 120, W: 60, H: 60}, Line: -1,
+	})
+	return d
+}
+
+func TestCleanTranscriptionIsIdentity(t *testing.T) {
+	d := sampleDoc()
+	out := Transcribe(d, Clean, rand.New(rand.NewSource(1)))
+	if len(out.Elements) != len(d.Elements) {
+		t.Fatalf("element count changed: %d -> %d", len(d.Elements), len(out.Elements))
+	}
+	for i := range d.Elements {
+		if out.Elements[i].Text != d.Elements[i].Text {
+			t.Errorf("text changed under clean channel: %q -> %q",
+				d.Elements[i].Text, out.Elements[i].Text)
+		}
+		if out.Elements[i].Box != d.Elements[i].Box {
+			t.Errorf("box changed under clean channel")
+		}
+	}
+	// The input must never be mutated.
+	if d.Elements[0].Text != "Grand" {
+		t.Error("input document mutated")
+	}
+}
+
+func TestNoiseIntroducesErrors(t *testing.T) {
+	d := sampleDoc()
+	rng := rand.New(rand.NewSource(7))
+	diffs := 0
+	for trial := 0; trial < 30; trial++ {
+		out := Transcribe(d, Harsh, rng)
+		orig := d.Transcript(nil)
+		got := out.Transcript(nil)
+		if got != orig {
+			diffs++
+		}
+	}
+	if diffs < 20 {
+		t.Errorf("harsh channel produced only %d/30 noisy transcripts", diffs)
+	}
+}
+
+func TestNoiseSeverityOrdering(t *testing.T) {
+	// Mobile noise must corrupt more than scan noise on average.
+	d := sampleDoc()
+	charErrors := func(level NoiseLevel, seed int64) int {
+		rng := rand.New(rand.NewSource(seed))
+		total := 0
+		for trial := 0; trial < 50; trial++ {
+			out := Transcribe(d, level, rng)
+			total += editDistanceApprox(d.Transcript(nil), out.Transcript(nil))
+		}
+		return total
+	}
+	scan := charErrors(Scan, 3)
+	mobile := charErrors(Mobile, 3)
+	if mobile <= scan {
+		t.Errorf("mobile errors (%d) should exceed scan errors (%d)", mobile, scan)
+	}
+}
+
+// editDistanceApprox counts positionwise mismatches plus length delta — a
+// cheap proxy adequate for ordering tests.
+func editDistanceApprox(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	dist := len(a) + len(b) - 2*n
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			dist++
+		}
+	}
+	return dist
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	d := sampleDoc()
+	a := Transcribe(d, Mobile, rand.New(rand.NewSource(42))).Transcript(nil)
+	b := Transcribe(d, Mobile, rand.New(rand.NewSource(42))).Transcript(nil)
+	if a != b {
+		t.Error("transcription not reproducible for a fixed seed")
+	}
+}
+
+func TestElementIDsStayUnique(t *testing.T) {
+	d := sampleDoc()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		out := Transcribe(d, Harsh, rng)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRotationBoundsBoxes(t *testing.T) {
+	d := sampleDoc()
+	noise := Mobile
+	noise.Rotation = 0.5
+	out := Transcribe(d, noise, rand.New(rand.NewSource(5)))
+	for _, e := range out.Elements {
+		if e.Box.W <= 0 || e.Box.H <= 0 {
+			t.Errorf("degenerate box after rotation: %v", e.Box)
+		}
+	}
+}
+
+func TestForCapture(t *testing.T) {
+	if ForCapture(doc.CaptureDigital) != Clean {
+		t.Error("digital should be clean")
+	}
+	if ForCapture(doc.CaptureMobile) != Mobile {
+		t.Error("mobile level wrong")
+	}
+	if ForCapture(doc.CaptureScan) != Scan {
+		t.Error("scan level wrong")
+	}
+}
+
+func TestLayoutBlocksGroupsLinesAndParagraphs(t *testing.T) {
+	d := sampleDoc()
+	blocks := LayoutBlocks(d)
+	// Headline (y=20), body (y=60 and y=90 — leading 18 > 0.8*12 = 9.6, so
+	// they stay separate paragraphs), plus the image block.
+	if len(blocks) < 3 {
+		for _, b := range blocks {
+			t.Logf("block %v: %q", b.Box, b.Text(d))
+		}
+		t.Fatalf("blocks = %d, want >= 3", len(blocks))
+	}
+	// Words on one line must share a block.
+	var headline *doc.Node
+	for _, b := range blocks {
+		if strings.Contains(b.Text(d), "Grand") {
+			headline = b
+		}
+	}
+	if headline == nil || !strings.Contains(headline.Text(d), "Gala") {
+		t.Error("headline words split across blocks")
+	}
+	// The image is its own block.
+	foundImage := false
+	for _, b := range blocks {
+		if len(b.Elements) == 1 && d.Elements[b.Elements[0]].Kind == doc.ImageElement {
+			foundImage = true
+		}
+	}
+	if !foundImage {
+		t.Error("image block missing")
+	}
+}
+
+func TestLayoutBlocksTightLeadingMerges(t *testing.T) {
+	d := &doc.Document{ID: "p", Width: 300, Height: 200}
+	// Three lines with tight leading (gap 6 < 0.8*12): one paragraph.
+	for i := 0; i < 3; i++ {
+		d.Elements = append(d.Elements, doc.Element{
+			ID: i, Kind: doc.TextElement, Text: "linewords",
+			Box:  geom.Rect{X: 20, Y: 20 + float64(i)*18, W: 80, H: 12},
+			Line: i,
+		})
+	}
+	blocks := LayoutBlocks(d)
+	if len(blocks) != 1 {
+		t.Errorf("tight-leading paragraph split into %d blocks", len(blocks))
+	}
+}
+
+func TestLayoutBlocksEmptyDoc(t *testing.T) {
+	d := &doc.Document{ID: "e", Width: 10, Height: 10}
+	blocks := LayoutBlocks(d)
+	if len(blocks) != 1 {
+		t.Errorf("empty doc blocks = %d", len(blocks))
+	}
+}
+
+func TestTranscribeLabeledRotatesTruth(t *testing.T) {
+	d := sampleDoc()
+	truth := &doc.GroundTruth{DocID: d.ID, Annotations: []doc.Annotation{
+		{Entity: "X", Box: d.Elements[0].Box, Text: d.Elements[0].Text},
+	}}
+	noise := NoiseLevel{Rotation: 0.3}
+	out, outTruth := TranscribeLabeled(doc.Labeled{Doc: d, Truth: truth}, noise, rand.New(rand.NewSource(3)))
+	if outTruth == nil {
+		t.Fatal("truth dropped")
+	}
+	// The annotation must track its element: IoU between the rotated
+	// element box and the rotated annotation stays high.
+	var elem geom.Rect
+	for _, e := range out.Elements {
+		if e.Text == "Grand" {
+			elem = e.Box
+		}
+	}
+	if elem.Empty() {
+		t.Skip("element dropped by noise")
+	}
+	if iou := elem.IoU(outTruth.Annotations[0].Box); iou < 0.9 {
+		t.Errorf("truth decoupled from element after rotation: IoU %v", iou)
+	}
+	// Input truth untouched.
+	if truth.Annotations[0].Box != d.Elements[0].Box {
+		t.Error("input truth mutated")
+	}
+}

@@ -1,0 +1,46 @@
+package pattern
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"vs2/internal/nlp"
+)
+
+// FuzzPatternSets runs every built-in pattern set over arbitrary text: no
+// panics, and every match must reference valid token/byte ranges of the
+// annotated input.
+func FuzzPatternSets(f *testing.F) {
+	seeds := []string{
+		"",
+		"Summer Jazz Night presented by Riverside Jazz Society",
+		"450 Maple Ave, Columbus, OH 43210 — Saturday 7:30 PM",
+		"Contact Kevin Walsh 614-555-0137 kevin@acme.com",
+		"4,500 sqft retail space for lease",
+		"(((((", "1040 1040 1040", "ALL CAPS EVERYWHERE",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	sets := append(EventPatterns(), RealEstatePatterns()...)
+	sets = append(sets, TaxPatterns(map[string][]string{"f": {"Wages, salaries, tips"}})...)
+	f.Fuzz(func(t *testing.T, text string) {
+		if !utf8.ValidString(text) || len(text) > 2000 {
+			t.Skip()
+		}
+		a := nlp.Annotate(text)
+		for _, set := range sets {
+			for _, m := range set.Find(a) {
+				if m.Start < 0 || m.End > len(a.Tokens) || m.Start >= m.End {
+					t.Fatalf("set %s: bad token span [%d,%d) of %d", set.Entity, m.Start, m.End, len(a.Tokens))
+				}
+				if m.CharStart < 0 || m.CharStart >= len(text)+1 {
+					t.Fatalf("set %s: bad char offset %d", set.Entity, m.CharStart)
+				}
+				if m.Text == "" {
+					t.Fatalf("set %s: empty match text", set.Entity)
+				}
+			}
+		}
+	})
+}

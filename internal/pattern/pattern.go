@@ -1,0 +1,714 @@
+// Package pattern implements the lexico-syntactic pattern language of
+// VS2-Select (Section 5.2). For every named entity, a set of patterns —
+// regular expressions, constrained noun/verb phrases, SVO triples, exact
+// field descriptors, or subtrees mined from the holdout corpus — is
+// searched within the text transcribed from each logical block. Tables 3
+// and 4 of the paper define the concrete pattern sets for the event-poster
+// and real-estate tasks; this package both hosts those definitions
+// (tasks.go) and the matching machinery.
+package pattern
+
+import (
+	"regexp"
+	"strings"
+
+	"vs2/internal/nlp"
+	"vs2/internal/treemine"
+)
+
+// Match is one occurrence of a pattern inside an annotated text.
+type Match struct {
+	// Text is the extracted surface string for the named entity.
+	Text string
+	// Start/End delimit the matched tokens in the Annotated token stream.
+	Start, End int
+	// CharStart is the byte offset of the match in the source text.
+	CharStart int
+	// Score reflects pattern specificity in [0,1]; exact regexes score
+	// highest, loose phrase patterns lowest. Used only to break ties.
+	Score float64
+}
+
+// Pattern locates candidate named-entity mentions in annotated text.
+type Pattern interface {
+	// Name identifies the pattern for diagnostics.
+	Name() string
+	// Find returns every match in the annotated text.
+	Find(a *nlp.Annotated) []Match
+}
+
+// Set is an ordered disjunction of alternative patterns for one entity.
+type Set struct {
+	Entity   string
+	Patterns []Pattern
+	// BlockLevel marks entities whose extraction unit is the whole logical
+	// block rather than the matched tokens — descriptions, whose annotated
+	// ground truth is the full paragraph while patterns match individual
+	// clauses inside it.
+	BlockLevel bool
+}
+
+// Find returns the matches of every alternative, de-duplicated by token
+// span (first alternative wins).
+func (s *Set) Find(a *nlp.Annotated) []Match {
+	var out []Match
+	seen := map[[2]int]bool{}
+	for _, p := range s.Patterns {
+		for _, m := range p.Find(a) {
+			key := [2]int{m.Start, m.End}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// tokenSpanMatch assembles a Match from a token range.
+func tokenSpanMatch(a *nlp.Annotated, start, end int, score float64) Match {
+	parts := make([]string, 0, end-start)
+	for _, t := range a.Tokens[start:end] {
+		parts = append(parts, t.Text)
+	}
+	return Match{
+		Text:      strings.Join(parts, " "),
+		Start:     start,
+		End:       end,
+		CharStart: a.Tokens[start].Start,
+		Score:     score,
+	}
+}
+
+// sentenceOffset returns the index of the sentence's first token within the
+// full token stream. Sentences are views into Tokens, so offsets can be
+// recovered by pointer arithmetic on the backing array; instead we track
+// them explicitly by scanning.
+func sentenceOffsets(a *nlp.Annotated) []int {
+	offs := make([]int, len(a.Sentences))
+	pos := 0
+	for i, s := range a.Sentences {
+		offs[i] = pos
+		pos += len(s)
+	}
+	return offs
+}
+
+// Regex matches a compiled regular expression against the raw text. The
+// paper's Broker Phone and Broker Email patterns are regular expressions
+// (Table 4).
+type Regex struct {
+	PatternName string
+	RE          *regexp.Regexp
+	ScoreVal    float64
+}
+
+// Name implements Pattern.
+func (r *Regex) Name() string { return r.PatternName }
+
+// Find implements Pattern.
+func (r *Regex) Find(a *nlp.Annotated) []Match {
+	var out []Match
+	for _, loc := range r.RE.FindAllStringIndex(a.Text, -1) {
+		start, end := tokensCovering(a, loc[0], loc[1])
+		if start < 0 {
+			continue
+		}
+		out = append(out, Match{
+			Text:      a.Text[loc[0]:loc[1]],
+			Start:     start,
+			End:       end,
+			CharStart: loc[0],
+			Score:     r.ScoreVal,
+		})
+	}
+	return out
+}
+
+// tokensCovering maps a byte range back to the covering token range.
+func tokensCovering(a *nlp.Annotated, lo, hi int) (int, int) {
+	start, end := -1, -1
+	for i, t := range a.Tokens {
+		tEnd := t.Start + len(t.Text)
+		if t.Start < hi && tEnd > lo {
+			if start < 0 {
+				start = i
+			}
+			end = i + 1
+		}
+	}
+	return start, end
+}
+
+// NP matches noun phrases subject to constraints — the workhorse of
+// Tables 3 and 4 ("noun phrase with numeric or textual modifiers", "noun
+// phrase with valid geocode tags", "noun phrases with valid TIMEX3 tags",
+// "noun phrase with Person/Organization as named entities", "noun POS tags
+// with senses measure/structure/estate in the hypernym tree").
+type NP struct {
+	PatternName string
+	// RequireModifier demands a CD or JJ modifier inside the phrase;
+	// RequireNumeric demands specifically a cardinal (CD) token.
+	RequireModifier bool
+	RequireNumeric  bool
+	// RequireTimex demands a TIME-tagged token; ExcludeTimex rejects
+	// phrases that are mostly temporal (a date line is not a title).
+	RequireTimex bool
+	ExcludeTimex bool
+	// ExcludeGeocode rejects phrases inside a street address (an address
+	// line is neither a title nor a description).
+	ExcludeGeocode bool
+	// RequireGeocode demands the phrase (with neighbouring tokens) geocode.
+	RequireGeocode bool
+	// RequireNER lists acceptable entity labels; non-empty means at least
+	// one token must carry one of them. ExcludeNER rejects phrases whose
+	// tokens are predominantly tagged with one of the listed labels (an
+	// organization name is not a description).
+	RequireNER []string
+	ExcludeNER []string
+	// RequireHypernym lists hypernym senses; non-empty means some noun in
+	// the phrase must reach one of them.
+	RequireHypernym []string
+	// RequireTitleCase demands that every alphabetic token be capitalised —
+	// the typographic signature of a headline phrase.
+	RequireTitleCase bool
+	// MinTokens/MaxTokens bound the phrase length (0 = unbounded).
+	MinTokens, MaxTokens int
+	ScoreVal             float64
+}
+
+// Name implements Pattern.
+func (p *NP) Name() string { return p.PatternName }
+
+// Find implements Pattern.
+func (p *NP) Find(a *nlp.Annotated) []Match {
+	var out []Match
+	offs := sentenceOffsets(a)
+	for si, sent := range a.Sentences {
+		chunks := nlp.ChunkSentence(sent)
+		for _, c := range chunks {
+			if c.Label != "NP" {
+				continue
+			}
+			if !p.accepts(sent, c) {
+				continue
+			}
+			start, end := p.extend(sent, c)
+			out = append(out, tokenSpanMatch(a, offs[si]+start, offs[si]+end, p.ScoreVal))
+		}
+	}
+	return out
+}
+
+// extend widens the matched span to the full annotated expression: for a
+// geocode NP the extraction is the whole address ("450 Maple Ave, Columbus,
+// OH 43210", which spans chunk boundaries at the commas), and for a TIMEX
+// NP the whole contiguous TIME span ("Saturday, June 14, 7:30 PM") — the
+// paper's Tables 3/4 name the full expressions as the extraction targets.
+func (p *NP) extend(sent []nlp.Token, c nlp.Chunk) (int, int) {
+	start, end := c.Start, c.End
+	if p.RequireGeocode {
+		for _, g := range nlp.FindAddresses(sent) {
+			if g.Span.Start < end && g.Span.End > start {
+				if g.Span.Start < start {
+					start = g.Span.Start
+				}
+				if g.Span.End > end {
+					end = g.Span.End
+				}
+			}
+		}
+	}
+	if p.RequireTimex {
+		// Grow over adjacent TIME-tagged tokens and single bridging commas.
+		for start > 0 {
+			prev := start - 1
+			if sent[prev].Entity == "TIME" {
+				start = prev
+				continue
+			}
+			if sent[prev].Text == "," && prev > 0 && sent[prev-1].Entity == "TIME" {
+				start = prev - 1
+				continue
+			}
+			break
+		}
+		for end < len(sent) {
+			if sent[end].Entity == "TIME" {
+				end++
+				continue
+			}
+			if sent[end].Text == "," && end+1 < len(sent) && sent[end+1].Entity == "TIME" {
+				end += 2
+				continue
+			}
+			break
+		}
+	}
+	return start, end
+}
+
+func (p *NP) accepts(sent []nlp.Token, c nlp.Chunk) bool {
+	toks := c.Tokens(sent)
+	n := len(toks)
+	if p.MinTokens > 0 && n < p.MinTokens {
+		return false
+	}
+	if p.MaxTokens > 0 && n > p.MaxTokens {
+		return false
+	}
+	if p.RequireModifier && !c.HasModifier(sent) {
+		return false
+	}
+	if p.RequireNumeric {
+		hasCD := false
+		for _, t := range toks {
+			if t.POS == "CD" {
+				hasCD = true
+				break
+			}
+		}
+		if !hasCD {
+			return false
+		}
+	}
+	if p.RequireTitleCase {
+		allUpper := true
+		for _, t := range toks {
+			if t.Text == "" {
+				return false
+			}
+			r := rune(t.Text[0])
+			if r >= 'a' && r <= 'z' {
+				return false
+			}
+			if strings.ToUpper(t.Text) != t.Text {
+				allUpper = false
+			}
+		}
+		// ALL-CAPS shouts ("SOLD OUT", "FREE") are badges, not headline
+		// noun phrases.
+		if allUpper {
+			return false
+		}
+	}
+	if p.RequireTimex && !nlp.HasTimex(toks) {
+		return false
+	}
+	if p.ExcludeTimex {
+		temporal := 0
+		for _, t := range toks {
+			if t.Entity == "TIME" {
+				temporal++
+			}
+		}
+		if temporal*2 >= len(toks) {
+			return false
+		}
+	}
+	if p.ExcludeGeocode && nlp.HasGeocode(sent) {
+		for _, g := range nlp.FindAddresses(sent) {
+			if g.Span.Start < c.End && g.Span.End > c.Start {
+				return false
+			}
+		}
+	}
+	if p.ExcludeGeocode {
+		for _, g := range nlp.FindAddresses(sent) {
+			if g.Span.Start < c.End && g.Span.End > c.Start {
+				return false
+			}
+		}
+	}
+	if p.RequireGeocode {
+		// Geocoding may span beyond the NP (city/state follow in sibling
+		// chunks); extend the window to the sentence tail.
+		window := sent[c.Start:]
+		if len(window) > c.End-c.Start+8 {
+			window = window[:c.End-c.Start+8]
+		}
+		if !nlp.HasGeocode(window) {
+			return false
+		}
+	}
+	if len(p.ExcludeNER) > 0 {
+		tagged := 0
+		for _, t := range toks {
+			for _, lbl := range p.ExcludeNER {
+				if t.Entity == lbl {
+					tagged++
+					break
+				}
+			}
+		}
+		if tagged*2 >= len(toks) {
+			return false
+		}
+	}
+	if len(p.RequireNER) > 0 {
+		ok := false
+		for _, t := range toks {
+			for _, lbl := range p.RequireNER {
+				if t.Entity == lbl {
+					ok = true
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(p.RequireHypernym) > 0 {
+		ok := false
+		for _, t := range toks {
+			if !t.IsNoun() {
+				continue
+			}
+			for _, sense := range p.RequireHypernym {
+				if nlp.HasHypernym(t.Norm, sense) {
+					ok = true
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// VP matches verb phrases carrying one of the given verb senses; per
+// Table 3's Event Organizer pattern the extracted text is the agent — the
+// subject NP when the verb heads an SVO ("The Jazz Society presents …"),
+// or the trailing NP for agentless passives ("hosted by Kevin Walsh").
+type VP struct {
+	PatternName string
+	Senses      []string
+	ScoreVal    float64
+}
+
+// Name implements Pattern.
+func (p *VP) Name() string { return p.PatternName }
+
+// Find implements Pattern.
+func (p *VP) Find(a *nlp.Annotated) []Match {
+	var out []Match
+	offs := sentenceOffsets(a)
+	for si, sent := range a.Sentences {
+		chunks := nlp.ChunkSentence(sent)
+		for ci, c := range chunks {
+			if c.Label != "VP" || !p.hasSense(sent, c) {
+				continue
+			}
+			if m, ok := p.agentOf(a, offs[si], sent, chunks, ci); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+func (p *VP) hasSense(sent []nlp.Token, c nlp.Chunk) bool {
+	for _, t := range c.Tokens(sent) {
+		if !t.IsVerb() {
+			continue
+		}
+		for _, s := range p.Senses {
+			if nlp.HasVerbSense(t.Norm, s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// agentOf extracts the agent phrase around the matched VP. For a passive
+// participle with a by-phrase ("presented by X", "hosted by X") the agent
+// is the PP object, even when a noun phrase precedes the verb — poster
+// headlines routinely precede the credit line in the same transcription
+// ("Summer Jazz Night presented by …"). For finite verbs the subject NP is
+// the agent.
+func (p *VP) agentOf(a *nlp.Annotated, off int, sent []nlp.Token, chunks []nlp.Chunk, vi int) (Match, bool) {
+	if m, ok := p.byAgent(a, off, sent, chunks, vi); ok {
+		return m, true
+	}
+	// Subject NP immediately before the VP.
+	for i := vi - 1; i >= 0 && i >= vi-2; i-- {
+		if chunks[i].Label == "NP" {
+			c := chunks[i]
+			return tokenSpanMatch(a, off+c.Start, off+c.End, p.ScoreVal), true
+		}
+	}
+	// Agentless fallback: NP right after the verb.
+	for i := vi + 1; i < len(chunks) && i <= vi+2; i++ {
+		if chunks[i].Label == "NP" {
+			c := chunks[i]
+			return tokenSpanMatch(a, off+c.Start, off+c.End, p.ScoreVal), true
+		}
+	}
+	return Match{}, false
+}
+
+// byAgent matches the "<VBN> by <NP>" passive-agent construction.
+func (p *VP) byAgent(a *nlp.Annotated, off int, sent []nlp.Token, chunks []nlp.Chunk, vi int) (Match, bool) {
+	c := chunks[vi]
+	lastVerb := sent[c.End-1]
+	if lastVerb.POS != "VBN" && lastVerb.POS != "VBD" {
+		return Match{}, false
+	}
+	for i := vi + 1; i < len(chunks) && i <= vi+2; i++ {
+		if chunks[i].Label != "PP" {
+			continue
+		}
+		pp := chunks[i]
+		if sent[pp.Start].Norm == "by" && pp.End-pp.Start > 1 {
+			return tokenSpanMatch(a, off+pp.Start+1, off+pp.End, p.ScoreVal), true
+		}
+	}
+	return Match{}, false
+}
+
+// VPClause matches any sentence containing a verb phrase and extracts the
+// clause (the sentence span) — the bare "Verb phrase" alternative of
+// Table 3's Event Description pattern. Description paragraphs are
+// imperative and verb-rich ("join us…", "bring the family…"), so this
+// pattern fires densely inside them and almost nowhere else.
+type VPClause struct {
+	PatternName string
+	// MinTokens drops trivially short clauses (default 0 = no bound).
+	MinTokens int
+	// ExcludeTimex rejects clauses containing temporal expressions —
+	// schedule lines and print-date footers are verb-bearing but are not
+	// descriptions.
+	ExcludeTimex bool
+	ScoreVal     float64
+}
+
+// Name implements Pattern.
+func (p *VPClause) Name() string { return p.PatternName }
+
+// Find implements Pattern.
+func (p *VPClause) Find(a *nlp.Annotated) []Match {
+	var out []Match
+	offs := sentenceOffsets(a)
+	for si, sent := range a.Sentences {
+		if p.MinTokens > 0 && len(sent) < p.MinTokens {
+			continue
+		}
+		if p.ExcludeTimex && nlp.HasTimex(sent) {
+			continue
+		}
+		chunks := nlp.ChunkSentence(sent)
+		for _, c := range chunks {
+			if c.Label == "VP" {
+				out = append(out, tokenSpanMatch(a, offs[si], offs[si]+len(sent), p.ScoreVal))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SVOPattern matches full subject–verb–object clauses; Table 3 uses SVO for
+// Event Title and Event Description. The whole clause is the match.
+type SVOPattern struct {
+	PatternName string
+	ScoreVal    float64
+}
+
+// Name implements Pattern.
+func (p *SVOPattern) Name() string { return p.PatternName }
+
+// Find implements Pattern.
+func (p *SVOPattern) Find(a *nlp.Annotated) []Match {
+	var out []Match
+	offs := sentenceOffsets(a)
+	for si, sent := range a.Sentences {
+		chunks := nlp.ChunkSentence(sent)
+		for _, svo := range nlp.FindSVO(sent, chunks) {
+			start := offs[si] + svo.Subject.Start
+			end := offs[si] + svo.Object.End
+			out = append(out, tokenSpanMatch(a, start, end, p.ScoreVal))
+		}
+	}
+	return out
+}
+
+// NESeq matches runs of named entities of the given labels with a bounded
+// token length — Table 4's "bigram/trigram of NEs with Person/Organization
+// tags" (Broker Name).
+type NESeq struct {
+	PatternName string
+	Labels      []string
+	MinLen      int
+	MaxLen      int
+	ScoreVal    float64
+}
+
+// Name implements Pattern.
+func (p *NESeq) Name() string { return p.PatternName }
+
+// Find implements Pattern.
+func (p *NESeq) Find(a *nlp.Annotated) []Match {
+	var out []Match
+	for _, span := range nlp.Entities(a.Tokens) {
+		if !contains(p.Labels, span.Label) {
+			continue
+		}
+		n := span.End - span.Start
+		if p.MinLen > 0 && n < p.MinLen {
+			continue
+		}
+		if p.MaxLen > 0 && n > p.MaxLen {
+			continue
+		}
+		out = append(out, tokenSpanMatch(a, span.Start, span.End, p.ScoreVal))
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Exact matches any of a set of field descriptors verbatim (after
+// normalisation). Dataset D1's 1369 form fields are extracted by "exact
+// string match against the field descriptors in the holdout corpus"
+// (Section 5.2.1).
+type Exact struct {
+	PatternName string
+	// Descriptors maps normalised descriptor text to itself (set).
+	Descriptors map[string]bool
+	ScoreVal    float64
+}
+
+// NewExact builds an Exact pattern from raw descriptor strings.
+func NewExact(name string, descriptors []string, score float64) *Exact {
+	set := make(map[string]bool, len(descriptors))
+	for _, d := range descriptors {
+		set[normalizeDescriptor(d)] = true
+	}
+	return &Exact{PatternName: name, Descriptors: set, ScoreVal: score}
+}
+
+func normalizeDescriptor(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// Name implements Pattern.
+func (e *Exact) Name() string { return e.PatternName }
+
+// Find implements Pattern: a line of the text must equal a descriptor or
+// start with one. On a prefix match — the filled form field case, where the
+// printed line is "<descriptor> <value>" — the match covers the whole line
+// and the extracted text is the remainder after the descriptor (the field's
+// value); on a full-line match the descriptor itself is extracted.
+func (e *Exact) Find(a *nlp.Annotated) []Match {
+	if len(a.Tokens) == 0 {
+		return nil
+	}
+	var out []Match
+	pos := 0
+	for _, line := range strings.Split(a.Text, "\n") {
+		if desc, rest, ok := e.matchLine(line); ok {
+			lo, hi := pos, pos+len(line)
+			text := rest
+			start := lo
+			if rest != "" {
+				// Anchor the match at the extracted value, not the line
+				// head, so the visual grounding covers the filled-in field.
+				if at := strings.LastIndex(line, rest); at >= 0 {
+					start = lo + at
+				}
+			} else {
+				text = desc
+			}
+			if s, t := tokensCovering(a, start, hi); s >= 0 {
+				out = append(out, Match{
+					Text:      text,
+					Start:     s,
+					End:       t,
+					CharStart: start,
+					Score:     e.ScoreVal,
+				})
+			}
+		}
+		pos += len(line) + 1
+	}
+	return out
+}
+
+// matchLine tests the line against the descriptor set, returning the
+// matched descriptor portion and the remainder of the line.
+func (e *Exact) matchLine(line string) (desc, rest string, ok bool) {
+	if e.Descriptors[normalizeDescriptor(line)] {
+		return strings.TrimSpace(line), "", true
+	}
+	// Prefix match at word-boundary granularity, longest prefix first.
+	words := strings.Fields(line)
+	for cut := len(words) - 1; cut >= 1; cut-- {
+		prefix := strings.Join(words[:cut], " ")
+		if e.Descriptors[normalizeDescriptor(prefix)] {
+			return prefix, strings.Join(words[cut:], " "), true
+		}
+	}
+	return "", "", false
+}
+
+// Mined wraps a frequent subtree learned from the holdout corpus: a
+// sentence matches when the mined tree embeds into the sentence's parse
+// tree (Section 5.2.1). The extracted text is the narrowest chunk whose
+// subtree still contains the pattern, falling back to the sentence.
+type Mined struct {
+	PatternName string
+	Tree        *treemine.Tree
+	ScoreVal    float64
+}
+
+// Name implements Pattern.
+func (p *Mined) Name() string { return p.PatternName }
+
+// Find implements Pattern.
+func (p *Mined) Find(a *nlp.Annotated) []Match {
+	var out []Match
+	offs := sentenceOffsets(a)
+	for si, sent := range a.Sentences {
+		tree := toMineTree(nlp.ParseTree(sent))
+		if !treemine.MatchEmbedded(p.Tree, tree) {
+			continue
+		}
+		// Narrow to a chunk when possible.
+		chunks := nlp.ChunkSentence(sent)
+		matched := false
+		for _, c := range chunks {
+			sub := toMineTree(nlp.ParseTree(sent[c.Start:c.End]))
+			if treemine.MatchEmbedded(p.Tree, sub) {
+				out = append(out, tokenSpanMatch(a, offs[si]+c.Start, offs[si]+c.End, p.ScoreVal))
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out = append(out, tokenSpanMatch(a, offs[si], offs[si]+len(sent), p.ScoreVal*0.8))
+		}
+	}
+	return out
+}
+
+// toMineTree converts an nlp parse tree into the treemine representation.
+func toMineTree(n *nlp.ParseNode) *treemine.Tree {
+	if n == nil {
+		return nil
+	}
+	out := &treemine.Tree{Label: n.Label}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toMineTree(c))
+	}
+	return out
+}

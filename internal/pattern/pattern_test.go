@@ -1,0 +1,382 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"vs2/internal/nlp"
+	"vs2/internal/treemine"
+)
+
+func find(p Pattern, text string) []Match {
+	return p.Find(nlp.Annotate(text))
+}
+
+func hasMatch(ms []Match, substr string) bool {
+	for _, m := range ms {
+		if strings.Contains(m.Text, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPhoneRegex(t *testing.T) {
+	p := &Regex{PatternName: "phone", RE: phoneRE, ScoreVal: 1}
+	for _, s := range []string{
+		"call 614-555-0137 today",
+		"call (614) 555-0137 today",
+		"call 614.555.0137 today",
+		"+1 614-555-0137",
+	} {
+		if ms := find(p, s); len(ms) != 1 {
+			t.Errorf("%q matches = %v", s, ms)
+		}
+	}
+	if ms := find(p, "the year 2019 was great"); len(ms) != 0 {
+		t.Errorf("false phone matches: %v", ms)
+	}
+	// Token span recovery.
+	ms := find(p, "call 614-555-0137 now")
+	if ms[0].Text != "614-555-0137" || ms[0].Start != 1 || ms[0].End != 2 {
+		t.Errorf("phone match span = %+v", ms[0])
+	}
+}
+
+func TestEmailRegex(t *testing.T) {
+	p := &Regex{PatternName: "email", RE: emailRE, ScoreVal: 1}
+	ms := find(p, "contact kevin.walsh@acmerealty.com for info")
+	if len(ms) != 1 || ms[0].Text != "kevin.walsh@acmerealty.com" {
+		t.Errorf("email matches = %v", ms)
+	}
+	if ms := find(p, "no emails here at all"); len(ms) != 0 {
+		t.Errorf("false email matches: %v", ms)
+	}
+}
+
+func TestNPWithModifier(t *testing.T) {
+	p := &NP{PatternName: "np-mod", RequireModifier: true, MinTokens: 2, ScoreVal: 0.7}
+	ms := find(p, "the annual jazz festival returns")
+	if !hasMatch(ms, "annual jazz festival") {
+		t.Errorf("modified NP not found: %v", ms)
+	}
+	// Unmodified NPs must not match.
+	if ms := find(p, "festival returns"); len(ms) != 0 {
+		t.Errorf("unmodified NP matched: %v", ms)
+	}
+}
+
+func TestNPWithTimex(t *testing.T) {
+	p := &NP{PatternName: "np-time", RequireTimex: true, ScoreVal: 0.9}
+	ms := find(p, "doors open Saturday 7:30 PM at the hall")
+	if len(ms) == 0 {
+		t.Fatalf("timex NP not found")
+	}
+	if ms := find(p, "the spacious kitchen"); len(ms) != 0 {
+		t.Errorf("non-temporal NP matched: %v", ms)
+	}
+}
+
+func TestNPWithGeocode(t *testing.T) {
+	p := &NP{PatternName: "np-geo", RequireGeocode: true, ScoreVal: 0.9}
+	ms := find(p, "located at 450 Maple Ave, Columbus, OH 43210")
+	if len(ms) == 0 {
+		t.Fatal("geocoded NP not found")
+	}
+	if ms := find(p, "4 beds and 2 baths with parking"); len(ms) != 0 {
+		t.Errorf("non-address matched geocode: %v", ms)
+	}
+}
+
+func TestNPWithNER(t *testing.T) {
+	p := &NP{PatternName: "np-ne", RequireNER: []string{"PERSON", "ORG"}, ScoreVal: 0.75}
+	ms := find(p, "contact Kevin Walsh about tickets")
+	if !hasMatch(ms, "Kevin Walsh") {
+		t.Errorf("person NP not found: %v", ms)
+	}
+}
+
+func TestNPWithHypernym(t *testing.T) {
+	p := &NP{PatternName: "np-hyp", RequireModifier: true,
+		RequireHypernym: []string{"measure", "structure", "estate"}, ScoreVal: 0.85}
+	ms := find(p, "4 beds and 2,465 acres available")
+	if !hasMatch(ms, "beds") || !hasMatch(ms, "acres") {
+		t.Errorf("size NPs not found: %v", ms)
+	}
+	if ms := find(p, "3 amazing concerts"); len(ms) != 0 {
+		t.Errorf("non-size NP matched hypernym: %v", ms)
+	}
+}
+
+func TestVPOrganizerSubject(t *testing.T) {
+	p := &VP{PatternName: "org-vp", Senses: []string{"captain", "create", "reflexive_appearance"}, ScoreVal: 0.85}
+	ms := find(p, "The Riverside Jazz Society presents a special evening")
+	if !hasMatch(ms, "Riverside Jazz Society") {
+		t.Errorf("subject agent not extracted: %v", ms)
+	}
+}
+
+func TestVPOrganizerPassive(t *testing.T) {
+	p := &VP{PatternName: "org-vp", Senses: []string{"captain", "create", "reflexive_appearance"}, ScoreVal: 0.85}
+	ms := find(p, "hosted by Kevin Walsh")
+	if !hasMatch(ms, "Kevin Walsh") {
+		t.Errorf("passive agent not extracted: %v", ms)
+	}
+	// A verb without organizer sense must not fire.
+	if ms := find(p, "rented by Kevin Walsh"); len(ms) != 0 {
+		t.Errorf("non-organizer verb matched: %v", ms)
+	}
+}
+
+func TestSVOPattern(t *testing.T) {
+	p := &SVOPattern{PatternName: "svo", ScoreVal: 0.6}
+	ms := find(p, "The Jazz Society presents a special evening")
+	if len(ms) != 1 || !strings.Contains(ms[0].Text, "presents") {
+		t.Errorf("SVO matches = %v", ms)
+	}
+	if ms := find(p, "Friday night live music"); len(ms) != 0 {
+		t.Errorf("fragment matched SVO: %v", ms)
+	}
+}
+
+func TestNESeq(t *testing.T) {
+	p := &NESeq{PatternName: "ne-seq", Labels: []string{"PERSON", "ORG"},
+		MinLen: 2, MaxLen: 5, ScoreVal: 0.85}
+	ms := find(p, "Kevin Walsh Acme Realty LLC 614-555-0137")
+	if !hasMatch(ms, "Kevin Walsh") {
+		t.Errorf("person seq not found: %v", ms)
+	}
+	// Single-token entities are excluded by MinLen.
+	ms2 := find(p, "visit Columbus today")
+	if len(ms2) != 0 {
+		t.Errorf("short/LOC seq matched: %v", ms2)
+	}
+}
+
+func TestExactDescriptors(t *testing.T) {
+	e := NewExact("f1", []string{"Wages, salaries, tips", "Taxable interest income"}, 1)
+	ms := find(e, "Wages, salaries, tips")
+	if len(ms) != 1 {
+		t.Fatalf("exact match failed: %v", ms)
+	}
+	// Case/whitespace-insensitive.
+	ms = find(e, "wages,  salaries, tips")
+	if len(ms) != 1 {
+		t.Errorf("normalised exact match failed: %v", ms)
+	}
+	// Line-wise matching inside a multi-line block.
+	ms = find(e, "Form 1040\nTaxable interest income\nLine 8a")
+	if len(ms) != 1 || !strings.Contains(ms[0].Text, "Taxable interest") {
+		t.Errorf("line match failed: %v", ms)
+	}
+	if ms := find(e, "Unrelated text"); len(ms) != 0 {
+		t.Errorf("false exact match: %v", ms)
+	}
+}
+
+func TestMinedPattern(t *testing.T) {
+	// Pattern: an NP containing a PERSON named entity (as mined subtrees
+	// would express it).
+	p := &Mined{
+		PatternName: "mined-person-np",
+		Tree:        treemine.T("NP", treemine.T("NE:PERSON")),
+		ScoreVal:    0.8,
+	}
+	ms := find(p, "Kevin Walsh hosts the gala")
+	if len(ms) == 0 {
+		t.Fatal("mined pattern found nothing")
+	}
+	if !hasMatch(ms, "Kevin") {
+		t.Errorf("mined match text = %v", ms)
+	}
+	if ms := find(p, "the gala starts at noon"); len(ms) != 0 {
+		t.Errorf("mined pattern over-fired: %v", ms)
+	}
+}
+
+func TestSetDeduplicates(t *testing.T) {
+	s := &Set{Entity: "X", Patterns: []Pattern{
+		&NP{PatternName: "a", RequireModifier: true, ScoreVal: 0.9},
+		&NP{PatternName: "b", RequireModifier: true, ScoreVal: 0.1}, // same spans
+	}}
+	ms := s.Find(nlp.Annotate("the annual festival"))
+	if len(ms) != 1 {
+		t.Errorf("Set did not deduplicate: %v", ms)
+	}
+	if ms[0].Score != 0.9 {
+		t.Errorf("first alternative should win: %+v", ms[0])
+	}
+}
+
+func TestEventPatternsEndToEnd(t *testing.T) {
+	text := "The Riverside Jazz Society presents Summer Jazz Night. " +
+		"Saturday June 14, 7:30 PM. " +
+		"450 Maple Ave, Columbus, OH. " +
+		"Hosted by Kevin Walsh. Free admission and live music all night."
+	a := nlp.Annotate(text)
+	byEntity := map[string][]Match{}
+	for _, set := range EventPatterns() {
+		byEntity[set.Entity] = set.Find(a)
+	}
+	if !hasMatch(byEntity[EventTime], "7:30") {
+		t.Errorf("EventTime = %v", byEntity[EventTime])
+	}
+	if !hasMatch(byEntity[EventPlace], "Maple") {
+		t.Errorf("EventPlace = %v", byEntity[EventPlace])
+	}
+	if !hasMatch(byEntity[EventOrganizer], "Jazz Society") &&
+		!hasMatch(byEntity[EventOrganizer], "Kevin Walsh") {
+		t.Errorf("EventOrganizer = %v", byEntity[EventOrganizer])
+	}
+	if len(byEntity[EventTitle]) == 0 {
+		t.Error("EventTitle found nothing")
+	}
+}
+
+func TestRealEstatePatternsEndToEnd(t *testing.T) {
+	text := "Prime retail space for lease. 1200 Corporate Blvd, Columbus, OH 43210. " +
+		"4,500 sqft open floor with parking. " +
+		"Contact Kevin Walsh, Acme Realty LLC. " +
+		"Phone 614-555-0137. kevin@acmerealty.com"
+	a := nlp.Annotate(text)
+	byEntity := map[string][]Match{}
+	for _, set := range RealEstatePatterns() {
+		byEntity[set.Entity] = set.Find(a)
+	}
+	if !hasMatch(byEntity[BrokerPhone], "614-555-0137") {
+		t.Errorf("BrokerPhone = %v", byEntity[BrokerPhone])
+	}
+	if !hasMatch(byEntity[BrokerEmail], "kevin@acmerealty.com") {
+		t.Errorf("BrokerEmail = %v", byEntity[BrokerEmail])
+	}
+	if !hasMatch(byEntity[BrokerName], "Kevin Walsh") &&
+		!hasMatch(byEntity[BrokerName], "Acme Realty") {
+		t.Errorf("BrokerName = %v", byEntity[BrokerName])
+	}
+	if !hasMatch(byEntity[PropertyAddr], "Corporate Blvd") {
+		t.Errorf("PropertyAddress = %v", byEntity[PropertyAddr])
+	}
+	if !hasMatch(byEntity[PropertySize], "sqft") && !hasMatch(byEntity[PropertySize], "floor") {
+		t.Errorf("PropertySize = %v", byEntity[PropertySize])
+	}
+}
+
+func TestTaxPatterns(t *testing.T) {
+	sets := TaxPatterns(map[string][]string{
+		"f1_wages":    {"Wages, salaries, tips"},
+		"f1_interest": {"Taxable interest income"},
+	})
+	if len(sets) != 2 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	for _, s := range sets {
+		if s.Entity == "f1_wages" {
+			ms := s.Find(nlp.Annotate("Wages, salaries, tips"))
+			if len(ms) != 1 {
+				t.Errorf("wages descriptor not matched: %v", ms)
+			}
+		}
+	}
+}
+
+func TestNPTitleCase(t *testing.T) {
+	p := &NP{PatternName: "tc", RequireTitleCase: true, MinTokens: 2, MaxTokens: 6, ScoreVal: 0.5}
+	if ms := find(p, "Book Fair opens soon"); !hasMatch(ms, "Book Fair") {
+		t.Errorf("title-case NP not found: %v", ms)
+	}
+	if ms := find(p, "the quiet fair"); len(ms) != 0 {
+		t.Errorf("lowercase NP matched title case: %v", ms)
+	}
+	// ALL-CAPS badges are rejected.
+	if ms := find(p, "SOLD OUT"); len(ms) != 0 {
+		t.Errorf("all-caps badge matched: %v", ms)
+	}
+}
+
+func TestNPRequireNumeric(t *testing.T) {
+	p := &NP{PatternName: "num", RequireModifier: true, RequireNumeric: true,
+		RequireHypernym: []string{"measure", "structure"}, ScoreVal: 0.8}
+	if ms := find(p, "4,500 sqft available"); len(ms) == 0 {
+		t.Error("numeric size NP not found")
+	}
+	if ms := find(p, "spacious open floor plan"); len(ms) != 0 {
+		t.Errorf("non-numeric NP matched: %v", ms)
+	}
+}
+
+func TestNPExcludeNER(t *testing.T) {
+	p := &NP{PatternName: "x", RequireHypernym: []string{"estate"},
+		ExcludeNER: []string{"ORG"}, MinTokens: 2, ScoreVal: 0.5}
+	// An organization name containing an estate-sense word must not match.
+	if ms := find(p, "Harbor Land Company manages it"); hasMatch(ms, "Harbor Land Company") {
+		t.Errorf("ORG phrase matched: %v", ms)
+	}
+	if ms := find(p, "a corner lot with trees"); len(ms) == 0 {
+		t.Error("plain estate NP should match")
+	}
+}
+
+func TestNPExcludeTimexAndGeocode(t *testing.T) {
+	p := &NP{PatternName: "x", RequireTitleCase: true, ExcludeTimex: true,
+		ExcludeGeocode: true, MinTokens: 2, ScoreVal: 0.5}
+	if ms := find(p, "Saturday 7:30 PM"); len(ms) != 0 {
+		t.Errorf("temporal phrase matched: %v", ms)
+	}
+	if ms := find(p, "450 Maple Ave, Columbus, OH"); len(ms) != 0 {
+		t.Errorf("address matched: %v", ms)
+	}
+}
+
+func TestVPClause(t *testing.T) {
+	p := &VPClause{PatternName: "vp", MinTokens: 4, ExcludeTimex: true, ScoreVal: 0.5}
+	ms := find(p, "bring the whole family and enjoy free snacks")
+	if len(ms) != 1 || !strings.Contains(ms[0].Text, "bring") {
+		t.Errorf("imperative clause not matched: %v", ms)
+	}
+	// Temporal clauses are excluded.
+	if ms := find(p, "doors open Saturday at 7:30 PM"); len(ms) != 0 {
+		t.Errorf("temporal clause matched: %v", ms)
+	}
+	// Verbless fragments do not match.
+	if ms := find(p, "fresh local organic produce"); len(ms) != 0 {
+		t.Errorf("verbless fragment matched: %v", ms)
+	}
+}
+
+func TestExactPrefixExtractsValue(t *testing.T) {
+	e := NewExact("f", []string{"Wages, salaries, tips"}, 1)
+	ms := find(e, "Wages, salaries, tips 28,689.50")
+	if len(ms) != 1 {
+		t.Fatalf("prefix match failed: %v", ms)
+	}
+	if ms[0].Text != "28,689.50" {
+		t.Errorf("extracted value = %q, want the remainder", ms[0].Text)
+	}
+}
+
+func TestBrokerNamePrefersPerson(t *testing.T) {
+	sets := RealEstatePatterns()
+	var brokerSet *Set
+	for _, s := range sets {
+		if s.Entity == BrokerName {
+			brokerSet = s
+		}
+	}
+	ms := brokerSet.Find(nlp.Annotate("Contact Kevin Walsh. Acme Realty LLC."))
+	if len(ms) < 2 {
+		t.Fatalf("matches = %v", ms)
+	}
+	// The person alternative carries the higher score.
+	var personScore, orgScore float64
+	for _, m := range ms {
+		if strings.Contains(m.Text, "Kevin") {
+			personScore = m.Score
+		}
+		if strings.Contains(m.Text, "Acme") {
+			orgScore = m.Score
+		}
+	}
+	if personScore <= orgScore {
+		t.Errorf("person score %v should exceed org score %v", personScore, orgScore)
+	}
+}

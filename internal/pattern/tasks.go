@@ -1,0 +1,188 @@
+package pattern
+
+import "regexp"
+
+// This file hosts the concrete pattern sets of the paper's three IE tasks.
+//
+// Table 3 (dataset D2, event posters): Event Title, Event Place, Event
+// Time, Event Organizer, Event Description.
+//
+// Table 4 (dataset D3, real-estate flyers): Broker Name, Broker Phone,
+// Broker Email, Property Address, Property Size, Property Description.
+//
+// Dataset D1 (NIST tax forms) uses exact string match against the field
+// descriptors of the holdout corpus (Section 5.2.1); build its Sets with
+// TaxPatterns and the descriptor list of the form face.
+
+// Entity keys for the D2 task.
+const (
+	EventTitle       = "EventTitle"
+	EventPlace       = "EventPlace"
+	EventTime        = "EventTime"
+	EventOrganizer   = "EventOrganizer"
+	EventDescription = "EventDescription"
+)
+
+// Entity keys for the D3 task.
+const (
+	BrokerName   = "BrokerName"
+	BrokerPhone  = "BrokerPhone"
+	BrokerEmail  = "BrokerEmail"
+	PropertyAddr = "PropertyAddress"
+	PropertySize = "PropertySize"
+	PropertyDesc = "PropertyDescription"
+)
+
+var (
+	// Phone: digits, characters and separators '-', '(', ')', '.' (Table 4).
+	phoneRE = regexp.MustCompile(`(\+?1[-. ]?)?(\(\d{3}\)[-. ]?|\d{3}[-. ])\d{3}[-. ]\d{4}`)
+	// Email: an RFC-5322-compliant-in-spirit expression with '@' and '.'
+	// separators (Table 4).
+	emailRE = regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`)
+)
+
+// EventPatterns returns the Table 3 pattern sets for the five D2 entities.
+func EventPatterns() []*Set {
+	return []*Set{
+		{
+			Entity: EventTitle,
+			Patterns: []Pattern{
+				// (1) Verb phrase, (2) NP with CD/JJ modifiers, (3) SVO;
+				// headline-case NPs cover modifier-less titles ("Book Fair").
+				&NP{PatternName: "title-np-modified", RequireModifier: true,
+					ExcludeTimex: true, ExcludeGeocode: true,
+					ExcludeNER: []string{"PERSON"},
+					MinTokens:  2, MaxTokens: 8, ScoreVal: 0.7},
+				&SVOPattern{PatternName: "title-svo", ScoreVal: 0.6},
+				&NP{PatternName: "title-np-titlecase", RequireTitleCase: true,
+					ExcludeTimex: true, ExcludeGeocode: true,
+					ExcludeNER: []string{"PERSON", "ORG"},
+					MinTokens:  2, MaxTokens: 6, ScoreVal: 0.5},
+			},
+		},
+		{
+			Entity: EventPlace,
+			Patterns: []Pattern{
+				// Noun phrases with valid geocode tags.
+				&NP{PatternName: "place-np-geocode", RequireGeocode: true, ScoreVal: 0.9},
+			},
+		},
+		{
+			Entity: EventTime,
+			Patterns: []Pattern{
+				// Noun phrases with valid TIMEX3 tags.
+				&NP{PatternName: "time-np-timex", RequireTimex: true, ScoreVal: 0.95},
+			},
+		},
+		{
+			Entity: EventOrganizer,
+			Patterns: []Pattern{
+				// (1) VP with captain/create/reflexive_appearance senses,
+				// (2) NP with Person/Organization named entities.
+				&VP{PatternName: "organizer-vp-senses",
+					Senses:   []string{"captain", "create", "reflexive_appearance"},
+					ScoreVal: 0.85},
+				&NP{PatternName: "organizer-np-ne",
+					RequireNER: []string{"PERSON", "ORG"}, ScoreVal: 0.75},
+			},
+		},
+		{
+			Entity:     EventDescription,
+			BlockLevel: true,
+			Patterns: []Pattern{
+				// SVO or Verb phrase or NP with CD/JJ modifiers (Table 3).
+				&SVOPattern{PatternName: "desc-svo", ScoreVal: 0.6},
+				&VPClause{PatternName: "desc-vp", MinTokens: 4, ExcludeTimex: true, ScoreVal: 0.55},
+				&NP{PatternName: "desc-np-modified", RequireModifier: true,
+					ExcludeTimex: true, ExcludeGeocode: true,
+					MinTokens: 3, ScoreVal: 0.5},
+			},
+		},
+	}
+}
+
+// RealEstatePatterns returns the Table 4 pattern sets for the six D3
+// entities.
+func RealEstatePatterns() []*Set {
+	return []*Set{
+		{
+			Entity: BrokerName,
+			Patterns: []Pattern{
+				// Bigram/trigram of NEs with Person/Organization tags. The
+				// person reading scores higher: "full name of the listing
+				// broker" is a person when one is printed, with the agency
+				// name as fallback.
+				&NESeq{PatternName: "broker-person-seq",
+					Labels: []string{"PERSON"},
+					MinLen: 2, MaxLen: 4, ScoreVal: 0.9},
+				&NESeq{PatternName: "broker-org-seq",
+					Labels: []string{"ORG"},
+					MinLen: 2, MaxLen: 5, ScoreVal: 0.6},
+			},
+		},
+		{
+			Entity: BrokerPhone,
+			Patterns: []Pattern{
+				&Regex{PatternName: "broker-phone-re", RE: phoneRE, ScoreVal: 1.0},
+			},
+		},
+		{
+			Entity: BrokerEmail,
+			Patterns: []Pattern{
+				&Regex{PatternName: "broker-email-re", RE: emailRE, ScoreVal: 1.0},
+			},
+		},
+		{
+			Entity: PropertyAddr,
+			Patterns: []Pattern{
+				// Noun phrase with valid geocode tags.
+				&NP{PatternName: "addr-np-geocode", RequireGeocode: true, ScoreVal: 0.9},
+			},
+		},
+		{
+			Entity: PropertySize,
+			Patterns: []Pattern{
+				// (1) NP with CD/JJ modifiers and (2) noun POS tags with
+				// senses measure/structure/estate in the hypernym tree.
+				&NP{PatternName: "size-np-hypernym",
+					RequireModifier: true, RequireNumeric: true,
+					RequireHypernym: []string{"measure", "structure", "estate"},
+					MaxTokens:       6, ScoreVal: 0.85},
+			},
+		},
+		{
+			Entity:     PropertyDesc,
+			BlockLevel: true,
+			Patterns: []Pattern{
+				// Mentions of property type plus essential details: NPs with
+				// estate/structure senses or modified NPs; SVO/VP clauses.
+				&NP{PatternName: "desc-np-estate",
+					RequireHypernym: []string{"estate", "structure"},
+					ExcludeGeocode:  true,
+					ExcludeNER:      []string{"ORG", "PERSON"},
+					MinTokens:       2, ScoreVal: 0.6},
+				&SVOPattern{PatternName: "desc-svo", ScoreVal: 0.5},
+				&VPClause{PatternName: "desc-vp", MinTokens: 4, ExcludeTimex: true, ScoreVal: 0.45},
+				&NP{PatternName: "desc-np-modified", RequireModifier: true,
+					ExcludeTimex: true, ExcludeGeocode: true,
+					MinTokens: 3, ScoreVal: 0.4},
+			},
+		},
+	}
+}
+
+// TaxPatterns returns the D1 pattern set: exact string matching against the
+// field descriptors harvested into the holdout corpus. One Set per named
+// entity (form field), keyed by the descriptor itself.
+func TaxPatterns(fields map[string][]string) []*Set {
+	out := make([]*Set, 0, len(fields))
+	for entity, descriptors := range fields {
+		out = append(out, &Set{
+			Entity: entity,
+			Patterns: []Pattern{
+				NewExact("field-"+entity, descriptors, 1.0),
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/datasets"
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+	"vs2/internal/segment"
+)
+
+func sample() *doc.Document {
+	d := &doc.Document{ID: "r", Width: 200, Height: 100, Background: colorlab.White}
+	d.Elements = []doc.Element{
+		{ID: 0, Kind: doc.TextElement, Text: "Hello <World> & \"Co\"",
+			Box: geom.Rect{X: 10, Y: 10, W: 100, H: 14}, Color: colorlab.Black, Bold: true},
+		{ID: 1, Kind: doc.ImageElement, ImageData: "pic",
+			Box: geom.Rect{X: 10, Y: 40, W: 50, H: 40}},
+	}
+	return d
+}
+
+func TestSVGBasics(t *testing.T) {
+	d := sample()
+	svg := SVG(d, Options{})
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`,
+		`font-weight="bold"`,
+		"Hello &lt;World&gt; &amp; &quot;Co&quot;", // escaped text
+		"</svg>",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// The image placeholder draws a crossed rect.
+	if strings.Count(svg, "<line") < 2 {
+		t.Error("image cross missing")
+	}
+}
+
+func TestSVGOverlays(t *testing.T) {
+	d := sample()
+	blocks := []*doc.Node{{Box: geom.Rect{X: 5, Y: 5, W: 110, H: 24}, Elements: []int{0}}}
+	truth := &doc.GroundTruth{DocID: "r", Annotations: []doc.Annotation{
+		{Entity: "Title", Box: geom.Rect{X: 10, Y: 10, W: 100, H: 14}, Text: "x"},
+	}}
+	svg := SVG(d, Options{Blocks: blocks, Interest: blocks, Truth: truth, HideText: true})
+	if strings.Contains(svg, "Hello") {
+		t.Error("HideText did not hide text")
+	}
+	if !strings.Contains(svg, "#2060c0") {
+		t.Error("block outline missing")
+	}
+	if !strings.Contains(svg, "#d02020") {
+		t.Error("interest outline missing")
+	}
+	if !strings.Contains(svg, ">Title<") {
+		t.Error("annotation label missing")
+	}
+}
+
+func TestSVGTreeOverlay(t *testing.T) {
+	d := sample()
+	root := doc.NewTree(d)
+	root.AddChild(geom.Rect{X: 10, Y: 10, W: 100, H: 14}, []int{0})
+	root.AddChild(geom.Rect{X: 10, Y: 40, W: 50, H: 40}, []int{1})
+	svg := SVG(d, Options{Tree: root})
+	if strings.Count(svg, "#208040") < 3 { // root + 2 children
+		t.Error("tree outlines missing")
+	}
+}
+
+func TestSVGOnGeneratedPoster(t *testing.T) {
+	l := datasets.GenerateD2(datasets.Options{N: 1, Seed: 5})[0]
+	blocks := segment.New(segment.Options{}).Blocks(l.Doc)
+	svg := SVG(l.Doc, Options{Blocks: blocks, Truth: l.Truth})
+	if len(svg) < 1000 {
+		t.Errorf("suspiciously small SVG: %d bytes", len(svg))
+	}
+	// Well-formedness smoke: every rect/text self-closes or closes.
+	if strings.Count(svg, "<svg") != 1 || strings.Count(svg, "</svg>") != 1 {
+		t.Error("svg envelope malformed")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	d := sample()
+	blocks := []*doc.Node{
+		{Box: geom.Rect{X: 10, Y: 10, W: 100, H: 14}},
+		{Box: geom.Rect{X: 10, Y: 40, W: 50, H: 40}},
+	}
+	art := ASCII(d, blocks, 60)
+	if !strings.Contains(art, "┌") || !strings.Contains(art, "┘") {
+		t.Errorf("box drawing missing:\n%s", art)
+	}
+	if !strings.Contains(art, "0") || !strings.Contains(art, "1") {
+		t.Error("block indices missing")
+	}
+	// Default width.
+	if ASCII(d, blocks, 0) == "" {
+		t.Error("default-width ASCII empty")
+	}
+}

@@ -1,0 +1,184 @@
+// Package render draws visually rich documents, their layout trees, logical
+// blocks, interest points and ground-truth annotations as SVG — the
+// analogues of the paper's Figures 1, 4, 6 and 8 — using only the standard
+// library. The output is deliberately simple (rect + text primitives) so it
+// renders identically in any viewer and diffs cleanly in tests.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+)
+
+// Options selects which overlays to draw.
+type Options struct {
+	// Blocks outlines the given block set (logical blocks, Fig. 6 style).
+	Blocks []*doc.Node
+	// Interest outlines interest points in a heavier stroke (the red boxes
+	// of Fig. 6).
+	Interest []*doc.Node
+	// Truth draws ground-truth annotation boxes with entity labels
+	// (Fig. 8 style).
+	Truth *doc.GroundTruth
+	// Tree draws every node of the layout tree, nesting depth encoded in
+	// stroke opacity (Fig. 4 style).
+	Tree *doc.Node
+	// HideText suppresses the document text (overlay-only rendering).
+	HideText bool
+}
+
+// SVG renders the document with the requested overlays.
+func SVG(d *doc.Document, opts Options) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		d.Width, d.Height, d.Width, d.Height)
+	fmt.Fprintf(&sb, `<rect x="0" y="0" width="%g" height="%g" fill="%s"/>`+"\n",
+		d.Width, d.Height, rgb(d.Background))
+
+	if !opts.HideText {
+		renderElements(&sb, d)
+	}
+	if opts.Tree != nil {
+		renderTree(&sb, opts.Tree)
+	}
+	for _, b := range opts.Blocks {
+		rect(&sb, b.Box, "none", "#2060c0", 1.2, 0.9)
+	}
+	for _, b := range opts.Interest {
+		rect(&sb, b.Box.Inset(-2), "none", "#d02020", 2.2, 1)
+	}
+	if opts.Truth != nil {
+		renderTruth(&sb, opts.Truth)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func renderElements(sb *strings.Builder, d *doc.Document) {
+	for i := range d.Elements {
+		e := &d.Elements[i]
+		switch e.Kind {
+		case doc.ImageElement:
+			rect(sb, e.Box, "#e8e8e8", "#b0b0b0", 1, 1)
+			// A diagonal cross marks the image placeholder.
+			fmt.Fprintf(sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#b0b0b0"/>`+"\n",
+				e.Box.X, e.Box.Y, e.Box.MaxX(), e.Box.MaxY())
+			fmt.Fprintf(sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#b0b0b0"/>`+"\n",
+				e.Box.MaxX(), e.Box.Y, e.Box.X, e.Box.MaxY())
+		case doc.TextElement:
+			weight := "normal"
+			if e.Bold {
+				weight = "bold"
+			}
+			fmt.Fprintf(sb,
+				`<text x="%g" y="%g" font-size="%g" font-family="Helvetica,sans-serif" font-weight="%s" fill="%s" textLength="%g" lengthAdjust="spacingAndGlyphs">%s</text>`+"\n",
+				e.Box.X, e.Box.MaxY()-0.18*e.Box.H, e.Box.H, weight, rgb(e.Color),
+				e.Box.W, escape(e.Text))
+		}
+	}
+}
+
+func renderTree(sb *strings.Builder, root *doc.Node) {
+	maxDepth := 1
+	root.Walk(func(n *doc.Node) {
+		if n.Depth > maxDepth {
+			maxDepth = n.Depth
+		}
+	})
+	root.Walk(func(n *doc.Node) {
+		opacity := 0.25 + 0.75*float64(n.Depth)/float64(maxDepth)
+		rect(sb, n.Box, "none", "#208040", 1, opacity)
+	})
+}
+
+func renderTruth(sb *strings.Builder, truth *doc.GroundTruth) {
+	// Stable colour per entity, drawn in annotation order.
+	entities := truth.Entities()
+	colorOf := map[string]string{}
+	palette := []string{"#c02020", "#2020c0", "#108010", "#b06000", "#801080", "#006080"}
+	for i, e := range entities {
+		colorOf[e] = palette[i%len(palette)]
+	}
+	sort.SliceStable(truth.Annotations, func(i, j int) bool {
+		return truth.Annotations[i].Entity < truth.Annotations[j].Entity
+	})
+	for _, a := range truth.Annotations {
+		c := colorOf[a.Entity]
+		rect(sb, a.Box.Inset(-1), "none", c, 1.4, 1)
+		fmt.Fprintf(sb, `<text x="%g" y="%g" font-size="7" fill="%s">%s</text>`+"\n",
+			a.Box.X, a.Box.Y-2, c, escape(a.Entity))
+	}
+}
+
+func rect(sb *strings.Builder, r geom.Rect, fill, stroke string, width, opacity float64) {
+	fmt.Fprintf(sb,
+		`<rect x="%g" y="%g" width="%g" height="%g" fill="%s" stroke="%s" stroke-width="%g" stroke-opacity="%g"/>`+"\n",
+		r.X, r.Y, r.W, r.H, fill, stroke, width, opacity)
+}
+
+func rgb(c colorlab.RGB) string {
+	return fmt.Sprintf("#%02x%02x%02x", c.R, c.G, c.B)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// ASCII renders the document's block structure as a character grid —
+// terminal-friendly layout inspection for environments without an SVG
+// viewer. Each block is outlined with box-drawing characters and tagged
+// with an index.
+func ASCII(d *doc.Document, blocks []*doc.Node, cols int) string {
+	if cols <= 0 {
+		cols = 80
+	}
+	scale := float64(cols) / d.Width
+	rows := int(d.Height*scale/2) + 1 // terminal cells are ~2:1
+	grid := make([][]rune, rows)
+	for i := range grid {
+		grid[i] = make([]rune, cols)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	set := func(x, y int, r rune) {
+		if y >= 0 && y < rows && x >= 0 && x < cols {
+			grid[y][x] = r
+		}
+	}
+	for idx, b := range blocks {
+		x0 := int(b.Box.X * scale)
+		x1 := int(b.Box.MaxX() * scale)
+		y0 := int(b.Box.Y * scale / 2)
+		y1 := int(b.Box.MaxY() * scale / 2)
+		for x := x0; x <= x1; x++ {
+			set(x, y0, '─')
+			set(x, y1, '─')
+		}
+		for y := y0; y <= y1; y++ {
+			set(x0, y, '│')
+			set(x1, y, '│')
+		}
+		set(x0, y0, '┌')
+		set(x1, y0, '┐')
+		set(x0, y1, '└')
+		set(x1, y1, '┘')
+		label := []rune(fmt.Sprintf("%d", idx))
+		for i, r := range label {
+			set(x0+1+i, y0, r)
+		}
+	}
+	var sb strings.Builder
+	for _, row := range grid {
+		sb.WriteString(strings.TrimRight(string(row), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package segment
+
+import (
+	"sort"
+
+	"vs2/internal/stats"
+)
+
+// identifyDelimiters is Algorithm 1 of the paper: given the candidate
+// separators found in a visual area (sets of consecutive valid cuts,
+// represented here by the element partition each induces and the minimum
+// whitespace clearance along a representative seam), decide which are true
+// visual delimiters.
+//
+// The algorithm rests on two stated assumptions: (a) the distribution of
+// inter-area distances differs from the distribution of intra-area
+// separations (word and line gaps), and (b) font size is uniform within a
+// semantically coherent area. Each separator is scored by its clearance
+// relative to the height of its nearest bounding box — under (b),
+// intra-area gaps are a small, roughly constant fraction of the adjacent
+// font height (word spacing ≈ 0.5×, leading ≈ 0.2–0.5×), while true
+// inter-area delimiters approach or exceed a full line height. Scores are
+// sorted in decreasing order (Algorithm 1 line 12) and the first inflection
+// point of the score-vs-rank distribution (footnote 3: solve d²f/di² = 0)
+// separates prominent delimiters from ordinary spacing; an absolute floor
+// keeps the rule stable when the distribution is too short for a reliable
+// inflection.
+func identifyDelimiters(seps []separator) []separator {
+	if len(seps) == 0 {
+		return nil
+	}
+	rels := make([]float64, len(seps))
+	for i, s := range seps {
+		if s.nbH <= 0 {
+			rels[i] = 0
+			continue
+		}
+		rels[i] = s.width / s.nbH
+	}
+
+	// Assumption (a) as a guard: when every gap is similar and small, the
+	// separators are intra-area spacing and nothing is a delimiter.
+	if len(seps) >= 3 && spread(rels) < 1.4 && maxOf(rels) < 1.2 {
+		return nil
+	}
+
+	idx := make([]int, len(seps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rels[idx[a]] > rels[idx[b]] })
+	sorted := make([]float64, len(idx))
+	for i, k := range idx {
+		sorted[i] = rels[k]
+	}
+	keep := len(idx)
+	if t := stats.InflectionPoint(sorted); t > 0 {
+		keep = t
+	}
+
+	// Absolute floor: a delimiter gap must approach a full adjacent line
+	// height; word spacing (≈0.5×) and leading (≈0.2–0.5×) stay below it.
+	const minRel = 0.8
+	var out []separator
+	for _, k := range idx[:keep] {
+		if rels[k] >= minRel {
+			out = append(out, seps[k])
+		}
+	}
+	// Cap the number of simultaneous delimiters: 2^k combinations explode
+	// and the recursion will find the rest. Keep the strongest few.
+	const maxDelims = 4
+	if len(out) > maxDelims {
+		out = out[:maxDelims]
+	}
+	return out
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// spread returns max/min of the values (Inf-safe).
+func spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo <= 0 {
+		return 1e9
+	}
+	return hi / lo
+}

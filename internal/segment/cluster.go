@@ -1,0 +1,279 @@
+package segment
+
+import (
+	"math"
+	"sort"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+)
+
+// clusterElements is the implicit-visual-modifier step of VS2-Segment
+// (Section 5.1.2): when no explicit whitespace delimiter exists, atomic
+// elements are grouped by pairwise similarity over the low-level features
+// of Table 1 — centroid position, bounding-box height, average LAB colour,
+// angular distance of the centroid from the page origin, and sums of
+// angular distances. Clustering is seeded with one medoid per cell of a
+// 2×2 equal-partition grid over the area (the element at minimum average
+// distance from the rest of its cell), then elements are iteratively
+// reassigned to their nearest-medoid cluster until stable, with the
+// constraint that merging pairs must not be visually separated by another
+// element lying between them.
+//
+// Returns nil when clustering yields fewer than two groups.
+func clusterElements(d *doc.Document, n *doc.Node) [][]int {
+	ids := n.Elements
+	if len(ids) < 4 {
+		return nil
+	}
+	feats := make([][]float64, len(ids))
+	for i, id := range ids {
+		feats[i] = elementFeatures(d, n.Box, id)
+	}
+
+	centers := seedMedoids(d, n, ids, feats)
+	if len(centers) < 2 {
+		return nil
+	}
+
+	assign := make([]int, len(ids))
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for i := range ids {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if dist := featureDist(feats[i], feats[ctr]); dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute medoids.
+		for c := range centers {
+			centers[c] = medoid(feats, assign, c, centers[c])
+		}
+		if !changed {
+			break
+		}
+	}
+
+	groups := make([][]int, len(centers))
+	for i, a := range assign {
+		groups[a] = append(groups[a], ids[i])
+	}
+	var out [][]int
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	out = mergeOverlappingGroups(d, out)
+	out = mergeTypographicTwins(d, out)
+	if len(out) < 2 {
+		return nil
+	}
+	return out
+}
+
+// mergeTypographicTwins fuses clusters that carry no distinct implicit
+// visual modifier. The clustering step exists to capture emphasis that
+// whitespace analysis cannot see — font-size jumps, colour changes,
+// isolation by negative space. Two clusters with the same typography and
+// no meaningful spatial gap are an artefact of the spatial seed grid, not
+// two logical blocks; splitting a homogeneous paragraph into quadrants
+// would be pure over-segmentation.
+func mergeTypographicTwins(d *doc.Document, groups [][]int) [][]int {
+	for {
+		merged := false
+		for i := 0; i < len(groups) && !merged; i++ {
+			for j := i + 1; j < len(groups); j++ {
+				if typographicallyDistinct(d, groups[i], groups[j]) {
+					continue
+				}
+				groups[i] = append(groups[i], groups[j]...)
+				groups = append(groups[:j], groups[j+1:]...)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return groups
+		}
+	}
+}
+
+// typographicallyDistinct reports whether the two element groups differ in
+// an implicit visual modifier: a font-height ratio of at least 1.25, a
+// perceptible colour difference (ΔE ≥ 20), or spatial isolation by a gap
+// larger than the dominant line height.
+func typographicallyDistinct(d *doc.Document, a, b []int) bool {
+	ha, ca := groupStyle(d, a)
+	hb, cb := groupStyle(d, b)
+	ratio := ha / hb
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if ratio >= 1.25 {
+		return true
+	}
+	if colorlab.DeltaE(ca, cb) >= 20 {
+		return true
+	}
+	gap := d.BoundingBoxOf(a).Gap(d.BoundingBoxOf(b))
+	return gap >= math.Max(ha, hb)
+}
+
+// groupStyle returns the mean font height and mean LAB colour of a group.
+func groupStyle(d *doc.Document, ids []int) (float64, colorlab.LAB) {
+	var h, l, a, bb float64
+	n := 0
+	for _, id := range ids {
+		e := &d.Elements[id]
+		lab := colorlab.ToLAB(e.Color)
+		h += e.Box.H
+		l += lab.L
+		a += lab.A
+		bb += lab.B
+		n++
+	}
+	if n == 0 {
+		return 1, colorlab.LAB{}
+	}
+	f := float64(n)
+	return h / f, colorlab.LAB{L: l / f, A: a / f, B: bb / f}
+}
+
+// elementFeatures encodes one atomic element per Table 1, normalised so
+// that each feature contributes on a comparable scale:
+//
+//	[0] centroid x / area width
+//	[1] centroid y / area height
+//	[2] bbox height / max plausible height (area height)
+//	[3] L* / 100, [4] a* / 128, [5] b* / 128
+//	[6] angular distance of centroid from area origin / (π/2)
+func elementFeatures(d *doc.Document, area geom.Rect, id int) []float64 {
+	e := &d.Elements[id]
+	c := e.Box.Centroid()
+	lab := colorlab.ToLAB(e.Color)
+	w, h := area.W, area.H
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	rel := geom.Point{X: c.X - area.X, Y: c.Y - area.Y}
+	return []float64{
+		rel.X / w,
+		rel.Y / h,
+		e.Box.H / h * 4, // font size differences matter; amplify
+		lab.L / 100,
+		lab.A / 128,
+		lab.B / 128,
+		rel.Angle() / (math.Pi / 2),
+	}
+}
+
+// featureWeights balances spatial proximity (dominant, per the paper's
+// emphasis on proximity and alignment) against typographic and colour
+// evidence.
+var featureWeights = []float64{2.0, 2.0, 1.5, 0.8, 0.8, 0.8, 1.0}
+
+func featureDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := (a[i] - b[i]) * featureWeights[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// seedMedoids partitions the area with a 2×2 grid and picks the medoid of
+// each non-empty cell as the initial cluster centre. Returns indices into
+// the ids/feats slices.
+func seedMedoids(d *doc.Document, n *doc.Node, ids []int, feats [][]float64) []int {
+	cells := make([][]int, 4) // member indices per cell
+	midX := n.Box.X + n.Box.W/2
+	midY := n.Box.Y + n.Box.H/2
+	for i, id := range ids {
+		c := d.Elements[id].Box.Centroid()
+		cell := 0
+		if c.X >= midX {
+			cell |= 1
+		}
+		if c.Y >= midY {
+			cell |= 2
+		}
+		cells[cell] = append(cells[cell], i)
+	}
+	var centers []int
+	for _, members := range cells {
+		if len(members) == 0 {
+			continue
+		}
+		centers = append(centers, medoidOf(feats, members))
+	}
+	sort.Ints(centers)
+	return centers
+}
+
+// medoidOf returns the member at minimum average feature distance from the
+// other members.
+func medoidOf(feats [][]float64, members []int) int {
+	best, bestSum := members[0], math.Inf(1)
+	for _, i := range members {
+		var sum float64
+		for _, j := range members {
+			sum += featureDist(feats[i], feats[j])
+		}
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return best
+}
+
+// medoid recomputes the medoid of cluster c under the given assignment,
+// falling back to the previous centre when the cluster emptied.
+func medoid(feats [][]float64, assign []int, c, prev int) int {
+	var members []int
+	for i, a := range assign {
+		if a == c {
+			members = append(members, i)
+		}
+	}
+	if len(members) == 0 {
+		return prev
+	}
+	return medoidOf(feats, members)
+}
+
+// mergeOverlappingGroups fuses groups whose bounding boxes overlap — the
+// "not visually separated" constraint: clusters that interpenetrate
+// spatially cannot be distinct logical blocks.
+func mergeOverlappingGroups(d *doc.Document, groups [][]int) [][]int {
+	for {
+		merged := false
+		for i := 0; i < len(groups) && !merged; i++ {
+			bi := d.BoundingBoxOf(groups[i])
+			for j := i + 1; j < len(groups); j++ {
+				bj := d.BoundingBoxOf(groups[j])
+				inter := bi.Intersect(bj).Area()
+				minA := math.Min(bi.Area(), bj.Area())
+				if minA > 0 && inter/minA > 0.25 {
+					groups[i] = append(groups[i], groups[j]...)
+					groups = append(groups[:j], groups[j+1:]...)
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			return groups
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package segment
+
+import (
+	"vs2/internal/doc"
+	"vs2/internal/embed"
+	"vs2/internal/geom"
+)
+
+// mergeTree is the semantic-merging step of Section 5.1.2: recursive
+// segmentation over-segments (the paper attributes ~80% of its errors to
+// this), so sibling areas that are semantically coherent are merged back.
+//
+// For a node n_i with siblings n_j and same-level non-siblings n_k, the
+// semantic contribution (Eq. 1) is
+//
+//	SC(n_i) = Σ_j cos(n_i, n_j) − Σ_k cos(n_i, n_k)
+//
+// using embedding centroids of each node's text. When SC exceeds the
+// depth-dependent threshold θ_h = θ_min + (θ_max−θ_min)/10 × h (with
+// θ_min = 0, θ_max = 1, i.e. θ_h = h/10), n_i merges with its most similar
+// sibling n_p, provided the two are not visually separated. Merging
+// repeats until the tree stops changing.
+func mergeTree(d *doc.Document, root *doc.Node, e embed.Embedder) {
+	for iter := 0; iter < 8; iter++ {
+		if !mergePass(d, root, e) {
+			break
+		}
+	}
+}
+
+// mergePass performs one bottom-up sweep; reports whether anything merged.
+func mergePass(d *doc.Document, root *doc.Node, e embed.Embedder) bool {
+	// Group nodes by level for the non-sibling term of Eq. 1.
+	levels := map[int][]*doc.Node{}
+	root.Walk(func(n *doc.Node) {
+		levels[n.Depth] = append(levels[n.Depth], n)
+	})
+
+	changed := false
+	var walk func(n *doc.Node)
+	walk = func(n *doc.Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		if len(n.Children) < 2 {
+			return
+		}
+		if mergeSiblings(d, root.Box, n, levels[n.Depth+1], e) {
+			changed = true
+		}
+	}
+	walk(root)
+	return changed
+}
+
+// mergeSiblings evaluates Eq. 1 for the children of parent and merges the
+// best-qualifying pair. Only one merge per parent per pass keeps the
+// computation simple and convergent.
+func mergeSiblings(d *doc.Document, page geom.Rect, parent *doc.Node, level []*doc.Node, e embed.Embedder) bool {
+	kids := parent.Children
+	vecs := make([][]float64, len(kids))
+	for i, k := range kids {
+		vecs[i] = embed.TextVec(e, k.Text(d))
+	}
+	// Same-level non-sibling vectors.
+	var otherVecs [][]float64
+	for _, n := range level {
+		isKid := false
+		for _, k := range kids {
+			if n == k {
+				isKid = true
+				break
+			}
+		}
+		if !isKid {
+			otherVecs = append(otherVecs, embed.TextVec(e, n.Text(d)))
+		}
+	}
+
+	// A merge additionally requires genuine pairwise similarity: with few
+	// siblings the Σ-difference of Eq. 1 is weak evidence on its own, and a
+	// low θ_h at shallow depths would otherwise glue unrelated areas.
+	// When there are several siblings, the winning pair must also stand
+	// out against the background similarity of the sibling set — in a form
+	// whose rows are all mutually similar (every field talks about tax),
+	// flat similarity is no evidence that two particular rows belong
+	// together.
+	// Deep areas get a softer floor: a node at depth ≥ 2 is a fragment of
+	// an already-isolated section, where over-segmentation (a paragraph
+	// split into its lines) is the dominant failure and a false merge is
+	// bounded by the parent's extent.
+	simFloor := 0.5
+	if parent.Depth >= 1 {
+		simFloor = 0.4
+	}
+	if len(kids) >= 3 {
+		var sum float64
+		n := 0
+		for i := range kids {
+			for j := i + 1; j < len(kids); j++ {
+				sum += embed.Cosine(vecs[i], vecs[j])
+				n++
+			}
+		}
+		if contrast := sum/float64(n) + 0.15; contrast > simFloor {
+			simFloor = contrast
+		}
+	}
+	bestI, bestP, bestSim := -1, -1, simFloor
+	for i := range kids {
+		// Only leaf areas are merge candidates: merging exists to undo
+		// over-segmentation of atomic areas; an internal node already
+		// carries structure the merge would destroy.
+		if !kids[i].IsLeaf() {
+			continue
+		}
+		sc := 0.0
+		for j := range kids {
+			if j != i {
+				sc += embed.Cosine(vecs[i], vecs[j])
+			}
+		}
+		for _, ov := range otherVecs {
+			sc -= embed.Cosine(vecs[i], ov)
+		}
+		theta := float64(kids[i].Depth) / 10
+		if theta > 1 {
+			theta = 1
+		}
+		if sc <= theta {
+			continue
+		}
+		// Most similar sibling not visually separated from kids[i]. Two
+		// areas count as visually separated when an intervening element
+		// lies between them, or when the whitespace gap between them is
+		// large at the scale of the page — a page-scale gutter is itself
+		// a visual separator even with nothing inside it.
+		maxGap := 0.16 * maxDim(page)
+		for p := range kids {
+			if p == i || !kids[p].IsLeaf() {
+				continue
+			}
+			sim := embed.Cosine(vecs[i], vecs[p])
+			if sim > bestSim &&
+				kids[i].Box.Gap(kids[p].Box) <= maxGap &&
+				!typographyDiffers(d, kids[i], kids[p]) &&
+				!visuallySeparated(d, kids[i], kids[p]) {
+				bestI, bestP, bestSim = i, p, sim
+			}
+		}
+	}
+	if bestI < 0 {
+		return false
+	}
+
+	a, b := kids[bestI], kids[bestP]
+	merged := &doc.Node{
+		Box:      a.Box.Union(b.Box),
+		Elements: append(append([]int(nil), a.Elements...), b.Elements...),
+		Depth:    a.Depth,
+	}
+	var next []*doc.Node
+	for _, k := range kids {
+		if k == a || k == b {
+			continue
+		}
+		next = append(next, k)
+	}
+	parent.Children = append(next, merged)
+	if len(parent.Children) == 1 {
+		// The parent collapsed to a single area: absorb it.
+		parent.Elements = merged.Elements
+		parent.Box = merged.Box
+		parent.Children = nil
+	}
+	return true
+}
+
+// visuallySeparated reports whether another element of the document lies
+// between the two areas — the Eq. 1 side condition "provided that n_i and
+// n_p are not visually separated". The corridor between the two boxes is
+// checked for intervening atomic elements not belonging to either node.
+func visuallySeparated(d *doc.Document, a, b *doc.Node) bool {
+	corridor := a.Box.Union(b.Box)
+	member := map[int]bool{}
+	for _, id := range a.Elements {
+		member[id] = true
+	}
+	for _, id := range b.Elements {
+		member[id] = true
+	}
+	for i := range d.Elements {
+		if member[i] {
+			continue
+		}
+		box := d.Elements[i].Box
+		inter := corridor.Intersect(box).Area()
+		if box.Area() > 0 && inter/box.Area() > 0.5 {
+			return true
+		}
+	}
+	return false
+}
+
+// typographyDiffers blocks merges across strong typographic boundaries: a
+// headline should not be glued to body text however similar their topics —
+// the font-size jump IS the visual separator.
+func typographyDiffers(d *doc.Document, a, b *doc.Node) bool {
+	ha := meanElemHeight(d, a.Elements)
+	hb := meanElemHeight(d, b.Elements)
+	if ha == 0 || hb == 0 {
+		return false
+	}
+	ratio := ha / hb
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	return ratio >= 1.3
+}
+
+func meanElemHeight(d *doc.Document, ids []int) float64 {
+	var sum float64
+	n := 0
+	for _, id := range ids {
+		if d.Elements[id].Kind == doc.TextElement {
+			sum += d.Elements[id].Box.H
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func maxDim(r geom.Rect) float64 {
+	if r.W > r.H {
+		return r.W
+	}
+	return r.H
+}

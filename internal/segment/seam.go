@@ -1,0 +1,371 @@
+package segment
+
+import (
+	"sort"
+
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+	"vs2/internal/grid"
+)
+
+// A Separator is the meaningful unit Algorithm 1 scores: an equivalence
+// class of valid cuts that induce the same partition of the area's
+// elements. Banding raw cut origins is not enough — in sparse documents
+// every origin connects to every gap through open whitespace, so origin
+// bands fuse separators that cut in different places (and spill into the
+// page margins). Grouping seams by the element partition they induce, and
+// measuring each separator by the minimum whitespace clearance along a
+// representative seam path, recovers the quantity Algorithm 1 actually
+// needs: how wide the gap between the two element groups really is.
+type separator struct {
+	horizontal bool
+	// above[i] is true when element i (index into the node's element list)
+	// lies before the seam (above for horizontal, left of for vertical).
+	above []bool
+	// width is the minimum whitespace clearance along the seam, page units.
+	width float64
+	// nbH is the height of the element nearest the seam, page units.
+	nbH float64
+	// count of elements on the smaller side (≥1 by construction).
+	minSide int
+}
+
+// findSeparators enumerates the distinct separators of a direction within
+// the node's area. boxes are the node's element boxes translated to the
+// area-local frame used to build g.
+func findSeparators(g *grid.Grid, boxes []geom.Rect, horizontal bool) []separator {
+	region := g.Bounds()
+	var origins []int
+	if horizontal {
+		origins = g.HorizontalCutRows(region)
+	} else {
+		origins = g.VerticalCutCols(region)
+	}
+	if len(origins) == 0 {
+		return nil
+	}
+	reach := reachTable(g, horizontal)
+
+	type agg struct {
+		sep   separator
+		width float64
+	}
+	bySig := map[string]*agg{}
+	for _, o := range origins {
+		path := tracePath(g, reach, o, horizontal)
+		if path == nil {
+			continue
+		}
+		above := classify(g, boxes, path, horizontal)
+		nAbove := 0
+		for _, a := range above {
+			if a {
+				nAbove++
+			}
+		}
+		if nAbove == 0 || nAbove == len(boxes) {
+			continue // margin seam: everything on one side
+		}
+		width, bottleneckAt := minClearance(g, path, horizontal)
+		width /= g.Scale
+		sig := sigOf(above)
+		if cur, ok := bySig[sig]; !ok || width > cur.width {
+			minSide := nAbove
+			if len(boxes)-nAbove < minSide {
+				minSide = len(boxes) - nAbove
+			}
+			bySig[sig] = &agg{
+				sep: separator{
+					horizontal: horizontal,
+					above:      above,
+					width:      width,
+					nbH:        heightAtBottleneck(g, boxes, path, bottleneckAt, horizontal),
+					minSide:    minSide,
+				},
+				width: width,
+			}
+		}
+	}
+	out := make([]separator, 0, len(bySig))
+	keys := make([]string, 0, len(bySig))
+	for k := range bySig {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, bySig[k].sep)
+	}
+	return out
+}
+
+// reachTable computes, for every cell, whether a seam can continue from it
+// to the far edge (right edge for horizontal seams, bottom for vertical).
+func reachTable(g *grid.Grid, horizontal bool) [][]bool {
+	w, h := g.W, g.H
+	if horizontal {
+		table := make([][]bool, w)
+		for x := range table {
+			table[x] = make([]bool, h)
+		}
+		for y := 0; y < h; y++ {
+			table[w-1][y] = g.Whitespace(w-1, y)
+		}
+		for x := w - 2; x >= 0; x-- {
+			for y := 0; y < h; y++ {
+				if !g.Whitespace(x, y) {
+					continue
+				}
+				for dy := -1; dy <= 1; dy++ {
+					ny := y + dy
+					if ny >= 0 && ny < h && table[x+1][ny] {
+						table[x][y] = true
+						break
+					}
+				}
+			}
+		}
+		return table
+	}
+	table := make([][]bool, h)
+	for y := range table {
+		table[y] = make([]bool, w)
+	}
+	for x := 0; x < w; x++ {
+		table[h-1][x] = g.Whitespace(x, h-1)
+	}
+	for y := h - 2; y >= 0; y-- {
+		for x := 0; x < w; x++ {
+			if !g.Whitespace(x, y) {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				nx := x + dx
+				if nx >= 0 && nx < w && table[y+1][nx] {
+					table[y][x] = true
+					break
+				}
+			}
+		}
+	}
+	return table
+}
+
+// tracePath walks one seam from the origin, preferring to stay level and
+// otherwise drifting toward the larger clearance. Returns the per-column
+// row (or per-row column) of the seam.
+func tracePath(g *grid.Grid, reach [][]bool, origin int, horizontal bool) []int {
+	if horizontal {
+		if origin < 0 || origin >= g.H || !reach[0][origin] {
+			return nil
+		}
+		path := make([]int, g.W)
+		r := origin
+		path[0] = r
+		for x := 1; x < g.W; x++ {
+			moved := false
+			for _, dy := range []int{0, -1, 1} {
+				ny := r + dy
+				if ny >= 0 && ny < g.H && reach[x][ny] {
+					r = ny
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				return nil
+			}
+			path[x] = r
+		}
+		return path
+	}
+	if origin < 0 || origin >= g.W || !reach[0][origin] {
+		return nil
+	}
+	path := make([]int, g.H)
+	c := origin
+	path[0] = c
+	for y := 1; y < g.H; y++ {
+		moved := false
+		for _, dx := range []int{0, -1, 1} {
+			nx := c + dx
+			if nx >= 0 && nx < g.W && reach[y][nx] {
+				c = nx
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return nil
+		}
+		path[y] = c
+	}
+	return path
+}
+
+// classify assigns each element to the side of the seam its centroid lies
+// on: true = before (above / left of) the seam.
+func classify(g *grid.Grid, boxes []geom.Rect, path []int, horizontal bool) []bool {
+	out := make([]bool, len(boxes))
+	for i, b := range boxes {
+		c := b.Centroid()
+		if horizontal {
+			x := int(c.X * g.Scale)
+			if x < 0 {
+				x = 0
+			}
+			if x >= len(path) {
+				x = len(path) - 1
+			}
+			out[i] = c.Y*g.Scale < float64(path[x])
+		} else {
+			y := int(c.Y * g.Scale)
+			if y < 0 {
+				y = 0
+			}
+			if y >= len(path) {
+				y = len(path) - 1
+			}
+			out[i] = c.X*g.Scale < float64(path[y])
+		}
+	}
+	return out
+}
+
+// minClearance returns the smallest whitespace run (in cells) crossed by
+// the seam — the true local width of the separator — and the path index
+// the bottleneck occurs at.
+func minClearance(g *grid.Grid, path []int, horizontal bool) (float64, int) {
+	best, at := -1, 0
+	for i, p := range path {
+		var run int
+		if horizontal {
+			run = verticalRun(g, i, p)
+		} else {
+			run = horizontalRun(g, p, i)
+		}
+		if best < 0 || run < best {
+			best, at = run, i
+		}
+		if best == 0 {
+			break
+		}
+	}
+	if best < 0 {
+		return 0, 0
+	}
+	return float64(best), at
+}
+
+func verticalRun(g *grid.Grid, x, y int) int {
+	if !g.Whitespace(x, y) {
+		return 0
+	}
+	n := 1
+	for dy := 1; g.Whitespace(x, y-dy); dy++ {
+		n++
+	}
+	for dy := 1; g.Whitespace(x, y+dy); dy++ {
+		n++
+	}
+	return n
+}
+
+func horizontalRun(g *grid.Grid, x, y int) int {
+	if !g.Whitespace(x, y) {
+		return 0
+	}
+	n := 1
+	for dx := 1; g.Whitespace(x-dx, y); dx++ {
+		n++
+	}
+	for dx := 1; g.Whitespace(x+dx, y); dx++ {
+		n++
+	}
+	return n
+}
+
+// heightAtBottleneck returns the height of the element box nearest to the
+// seam's bottleneck cell. Algorithm 1 normalises a separator's width by
+// the "neighboring bounding box": the box adjacent to the narrow part of
+// the gap, whose font height the gap must be compared against. Measuring
+// against the globally nearest element instead would let a headline's
+// word gap be normalised by distant small body text, promoting it to a
+// delimiter.
+func heightAtBottleneck(g *grid.Grid, boxes []geom.Rect, path []int, at int, horizontal bool) float64 {
+	if len(path) == 0 {
+		return 0
+	}
+	at = clampIdx(at, len(path))
+	var px, py float64
+	if horizontal {
+		px, py = float64(at)/g.Scale, float64(path[at])/g.Scale
+	} else {
+		px, py = float64(path[at])/g.Scale, float64(at)/g.Scale
+	}
+	cell := geom.Rect{X: px, Y: py, W: 1 / g.Scale, H: 1 / g.Scale}
+	bestH, bestD := 0.0, -1.0
+	for _, b := range boxes {
+		d := cell.Gap(b)
+		if bestD < 0 || d < bestD {
+			bestD, bestH = d, b.H
+		}
+	}
+	return bestH
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sigOf(above []bool) string {
+	b := make([]byte, (len(above)+7)/8)
+	for i, a := range above {
+		if a {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(b)
+}
+
+// partitionBySeparators splits the node's elements into groups defined by
+// the combination of chosen separators: elements sharing the same side of
+// every separator form one group, ordered by their first occurrence in the
+// node's element list.
+func partitionBySeparators(n *doc.Node, seps []separator) [][]int {
+	if len(seps) == 0 {
+		return nil
+	}
+	groupOf := map[string][]int{}
+	var order []string
+	for i, id := range n.Elements {
+		key := make([]byte, len(seps))
+		for s, sep := range seps {
+			if sep.above[i] {
+				key[s] = 1
+			}
+		}
+		k := string(key)
+		if _, ok := groupOf[k]; !ok {
+			order = append(order, k)
+		}
+		groupOf[k] = append(groupOf[k], id)
+	}
+	out := make([][]int, 0, len(order))
+	for _, k := range order {
+		out = append(out, groupOf[k])
+	}
+	return out
+}

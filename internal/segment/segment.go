@@ -1,0 +1,235 @@
+// Package segment implements VS2-Segment, the hierarchical page-segmentation
+// algorithm of Section 5.1: the paper's first technical contribution. A
+// visually rich document is recursively decomposed into visually isolated
+// but semantically coherent areas — logical blocks — recorded as the leaves
+// of the layout tree of Section 4.2.
+//
+// Each iteration of the recursion, applied to one visual area:
+//
+//  1. Explicit visual delimiters: the area is rasterised (package grid) and
+//     scanned for maximal bands of consecutive valid horizontal/vertical
+//     cuts; Algorithm 1 (algorithm1.go) decides which bands are true
+//     delimiters. The area splits along them.
+//  2. Implicit visual modifiers: when no delimiter exists, the atomic
+//     elements are clustered on the low-level visual features of Table 1
+//     (cluster.go) — proximity, alignment, colour, font size and angular
+//     position — seeded from a 2×2 grid of medoids.
+//  3. Semantic merging: because steps 1–2 over-segment (the paper's main
+//     reported failure mode), sibling areas whose semantic contribution
+//     (Eq. 1) exceeds the depth-dependent threshold θ_h are merged back
+//     together (merge.go).
+//
+// The resulting leaves are the logical blocks consumed by VS2-Select.
+package segment
+
+import (
+	"vs2/internal/doc"
+	"vs2/internal/embed"
+	"vs2/internal/geom"
+	"vs2/internal/grid"
+)
+
+// Options configures the segmenter; zero values select paper defaults.
+// The boolean switches exist for the Table 9 ablation study.
+type Options struct {
+	// GridScale is the rasterisation resolution in cells per page unit.
+	GridScale float64
+	// MaxDepth bounds the recursion (default 10).
+	MaxDepth int
+	// MinElements is the smallest element count worth splitting (default 2).
+	MinElements int
+	// DisableClustering turns off the visual-feature clustering step
+	// (ablation row A2 of Table 9 removes visual features).
+	DisableClustering bool
+	// DisableMerging turns off semantic merging (ablation row A1).
+	DisableMerging bool
+	// StraightCutsOnly restricts cuts to straight projection lines (no ±1
+	// drift), degrading the cut model to XY-cut behaviour; a DESIGN.md
+	// ablation, not part of the paper's Table 9.
+	StraightCutsOnly bool
+	// Embedder supplies word vectors for semantic merging; nil selects the
+	// built-in lexicon embedder.
+	Embedder embed.Embedder
+}
+
+func (o Options) withDefaults() Options {
+	if o.GridScale <= 0 {
+		o.GridScale = 1
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 10
+	}
+	if o.MinElements <= 0 {
+		o.MinElements = 2
+	}
+	if o.Embedder == nil {
+		o.Embedder = sharedLexicon
+	}
+	return o
+}
+
+var sharedLexicon = embed.NewLexicon()
+
+// Segmenter decomposes documents into logical blocks.
+type Segmenter struct {
+	opts Options
+}
+
+// New returns a Segmenter with the given options.
+func New(opts Options) *Segmenter {
+	return &Segmenter{opts: opts.withDefaults()}
+}
+
+// Segment builds the layout tree of d. The returned tree's leaves are the
+// logical blocks.
+func (s *Segmenter) Segment(d *doc.Document) *doc.Node {
+	root := doc.NewTree(d)
+	s.split(d, root, 0)
+	if !s.opts.DisableMerging {
+		mergeTree(d, root, s.opts.Embedder)
+	}
+	return root
+}
+
+// Blocks segments d and returns the leaf nodes directly.
+func (s *Segmenter) Blocks(d *doc.Document) []*doc.Node {
+	return s.Segment(d).Leaves()
+}
+
+// split recursively decomposes the visual area represented by n.
+func (s *Segmenter) split(d *doc.Document, n *doc.Node, depth int) {
+	if depth >= s.opts.MaxDepth || len(n.Elements) <= s.opts.MinElements {
+		return
+	}
+	groups := s.splitByDelimiters(d, n)
+	if groups == nil && !s.opts.DisableClustering {
+		groups = clusterElements(d, n)
+	}
+	if len(groups) < 2 {
+		return
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		child := n.AddChild(d.BoundingBoxOf(g), g)
+		if len(g) < len(n.Elements) { // guaranteed progress
+			s.split(d, child, depth+1)
+		}
+	}
+	// A single non-empty group means no real split happened; undo.
+	if len(n.Children) < 2 {
+		n.Children = nil
+	}
+}
+
+// splitByDelimiters searches for explicit whitespace delimiters within n
+// and partitions n's elements along them. Both directions contribute:
+// separators are enumerated as element partitions (seam.go), Algorithm 1
+// keeps the true delimiters, and elements sharing a side of every kept
+// delimiter form one group. Returns nil when nothing passes Algorithm 1.
+func (s *Segmenter) splitByDelimiters(d *doc.Document, n *doc.Node) [][]int {
+	boxes := make([]geom.Rect, 0, len(n.Elements))
+	local := n.Box
+	for _, id := range n.Elements {
+		b := d.Elements[id].Box
+		boxes = append(boxes, b.Translate(-local.X, -local.Y))
+	}
+	g := grid.FromRects(geom.Rect{W: local.W, H: local.H}, boxes, s.opts.GridScale)
+
+	var seps []separator
+	if s.opts.StraightCutsOnly {
+		seps = append(findStraightSeparators(g, boxes, true),
+			findStraightSeparators(g, boxes, false)...)
+	} else {
+		seps = append(findSeparators(g, boxes, true),
+			findSeparators(g, boxes, false)...)
+	}
+	delims := identifyDelimiters(seps)
+	if len(delims) == 0 {
+		return nil
+	}
+	return partitionBySeparators(n, delims)
+}
+
+// findStraightSeparators is the StraightCutsOnly ablation: only projection
+// cuts (fully clear rows/columns) count, as in XY-cut.
+func findStraightSeparators(g *grid.Grid, boxes []geom.Rect, horizontal bool) []separator {
+	var origins []int
+	if horizontal {
+		for y := 0; y < g.H; y++ {
+			clear := true
+			for x := 0; x < g.W; x++ {
+				if g.Occupied(x, y) {
+					clear = false
+					break
+				}
+			}
+			if clear {
+				origins = append(origins, y)
+			}
+		}
+	} else {
+		for x := 0; x < g.W; x++ {
+			clear := true
+			for y := 0; y < g.H; y++ {
+				if g.Occupied(x, y) {
+					clear = false
+					break
+				}
+			}
+			if clear {
+				origins = append(origins, x)
+			}
+		}
+	}
+	// A straight cut is a constant path; reuse the separator grouping by
+	// synthesising constant paths.
+	bySig := map[string]*separator{}
+	var order []string
+	for _, o := range origins {
+		var path []int
+		if horizontal {
+			path = make([]int, g.W)
+		} else {
+			path = make([]int, g.H)
+		}
+		for i := range path {
+			path[i] = o
+		}
+		above := classify(g, boxes, path, horizontal)
+		nAbove := 0
+		for _, a := range above {
+			if a {
+				nAbove++
+			}
+		}
+		if nAbove == 0 || nAbove == len(boxes) {
+			continue
+		}
+		width, bottleneckAt := minClearance(g, path, horizontal)
+		width /= g.Scale
+		sig := sigOf(above)
+		if cur, ok := bySig[sig]; !ok || width > cur.width {
+			minSide := nAbove
+			if len(boxes)-nAbove < minSide {
+				minSide = len(boxes) - nAbove
+			}
+			if !ok {
+				order = append(order, sig)
+			}
+			bySig[sig] = &separator{
+				horizontal: horizontal,
+				above:      above,
+				width:      width,
+				nbH:        heightAtBottleneck(g, boxes, path, bottleneckAt, horizontal),
+				minSide:    minSide,
+			}
+		}
+	}
+	out := make([]separator, 0, len(bySig))
+	for _, k := range order {
+		out = append(out, *bySig[k])
+	}
+	return out
+}

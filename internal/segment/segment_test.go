@@ -1,0 +1,326 @@
+package segment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vs2/internal/colorlab"
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+)
+
+// builder assembles synthetic documents for segmentation tests.
+type builder struct {
+	d    *doc.Document
+	next int
+}
+
+func newBuilder(w, h float64) *builder {
+	return &builder{d: &doc.Document{ID: "test", Width: w, Height: h, Background: colorlab.White}}
+}
+
+// row lays the words out left to right starting at (x, y) with the given
+// glyph height; returns the builder for chaining.
+func (b *builder) row(x, y, fontH float64, color colorlab.RGB, words ...string) *builder {
+	cx := x
+	for _, w := range words {
+		width := float64(len(w)) * fontH * 0.55
+		b.d.Elements = append(b.d.Elements, doc.Element{
+			ID:       b.next,
+			Kind:     doc.TextElement,
+			Text:     w,
+			Box:      geom.Rect{X: cx, Y: y, W: width, H: fontH},
+			Color:    color,
+			FontSize: fontH,
+			Line:     int(y),
+		})
+		b.next++
+		cx += width + fontH*0.5
+	}
+	return b
+}
+
+// para lays out several rows of words with line spacing 1.4×font.
+func (b *builder) para(x, y, fontH float64, color colorlab.RGB, lines ...[]string) *builder {
+	for i, words := range lines {
+		b.row(x, y+float64(i)*fontH*1.4, fontH, color, words...)
+	}
+	return b
+}
+
+var (
+	musicLine1 = []string{"live", "jazz", "concert", "tonight"}
+	musicLine2 = []string{"band", "plays", "blues", "music"}
+	taxLine1   = []string{"income", "tax", "filing", "deadline"}
+	taxLine2   = []string{"deduction", "refund", "form", "amount"}
+)
+
+func TestSplitsTwoParagraphsWithGutter(t *testing.T) {
+	b := newBuilder(400, 300)
+	b.para(20, 20, 12, colorlab.Black, musicLine1, musicLine2)
+	b.para(20, 200, 12, colorlab.Black, taxLine1, taxLine2)
+	s := New(Options{DisableMerging: true})
+	blocks := s.Blocks(b.d)
+	if len(blocks) != 2 {
+		for _, bl := range blocks {
+			t.Logf("block %v: %q", bl.Box, bl.Text(b.d))
+		}
+		t.Fatalf("blocks = %d, want 2", len(blocks))
+	}
+	// Top block holds the music lines, bottom the tax lines.
+	top, bottom := blocks[0], blocks[1]
+	if top.Box.Y > bottom.Box.Y {
+		top, bottom = bottom, top
+	}
+	if !strings.Contains(top.Text(b.d), "jazz") || !strings.Contains(bottom.Text(b.d), "tax") {
+		t.Errorf("content misassigned: top=%q bottom=%q", top.Text(b.d), bottom.Text(b.d))
+	}
+}
+
+func TestSplitsTwoColumns(t *testing.T) {
+	b := newBuilder(500, 200)
+	b.para(20, 20, 12, colorlab.Black, musicLine1[:2], musicLine2[:2])
+	b.para(300, 20, 12, colorlab.Black, taxLine1[:2], taxLine2[:2])
+	s := New(Options{DisableMerging: true})
+	blocks := s.Blocks(b.d)
+	if len(blocks) != 2 {
+		for _, bl := range blocks {
+			t.Logf("block %v: %q", bl.Box, bl.Text(b.d))
+		}
+		t.Fatalf("blocks = %d, want 2", len(blocks))
+	}
+}
+
+func TestUniformParagraphStaysWhole(t *testing.T) {
+	b := newBuilder(400, 200)
+	b.para(20, 20, 12, colorlab.Black, musicLine1, musicLine2, musicLine1, musicLine2)
+	s := New(Options{})
+	blocks := s.Blocks(b.d)
+	if len(blocks) != 1 {
+		for _, bl := range blocks {
+			t.Logf("block %v: %q", bl.Box, bl.Text(b.d))
+		}
+		t.Fatalf("uniform paragraph split into %d blocks", len(blocks))
+	}
+}
+
+func TestThreeSectionsSplit(t *testing.T) {
+	b := newBuilder(400, 500)
+	b.row(20, 20, 28, colorlab.DarkNavy, "Jazz", "Night")       // headline
+	b.para(20, 150, 12, colorlab.Black, musicLine1, musicLine2) // body
+	b.para(20, 380, 12, colorlab.Black, taxLine1, taxLine2)     // unrelated section
+	s := New(Options{DisableMerging: true})
+	blocks := s.Blocks(b.d)
+	if len(blocks) != 3 {
+		for _, bl := range blocks {
+			t.Logf("block %v: %q", bl.Box, bl.Text(b.d))
+		}
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+}
+
+func TestSemanticMergingReunitesTopicalNeighbors(t *testing.T) {
+	b := newBuilder(400, 420)
+	// Two music paragraphs separated by a moderate gap, plus a distant tax
+	// paragraph. Without merging: 3 blocks. With merging the music pair
+	// (semantically coherent, no intervening element) should reunite.
+	b.para(20, 20, 12, colorlab.Black, musicLine1, musicLine2)
+	b.para(20, 110, 12, colorlab.Black, musicLine2, musicLine1)
+	b.para(20, 330, 12, colorlab.Black, taxLine1, taxLine2)
+
+	noMerge := New(Options{DisableMerging: true}).Blocks(b.d)
+	withMerge := New(Options{}).Blocks(b.d)
+	if len(noMerge) < 3 {
+		t.Skipf("layout did not over-segment (got %d blocks); merging untestable here", len(noMerge))
+	}
+	if len(withMerge) >= len(noMerge) {
+		for _, bl := range withMerge {
+			t.Logf("merged block %v: %q", bl.Box, bl.Text(b.d))
+		}
+		t.Errorf("merging did not reduce blocks: %d -> %d", len(noMerge), len(withMerge))
+	}
+	// The tax paragraph must survive as its own block.
+	taxAlone := false
+	for _, bl := range withMerge {
+		txt := bl.Text(b.d)
+		if strings.Contains(txt, "tax") && !strings.Contains(txt, "jazz") {
+			taxAlone = true
+		}
+	}
+	if !taxAlone {
+		t.Error("tax block was wrongly merged with music content")
+	}
+}
+
+func TestClusteringSplitsBicolorHeader(t *testing.T) {
+	// A headline in huge navy type directly above body text in small black
+	// type with no clean whitespace band (tight leading). Clustering on
+	// font size + colour should separate them.
+	b := newBuilder(400, 200)
+	b.row(20, 20, 30, colorlab.DarkNavy, "Grand", "Opening", "Gala")
+	// Body starts immediately below the headline (tiny gap ~2 units).
+	b.para(20, 52, 11, colorlab.Black, musicLine1, musicLine2, taxLine1)
+	s := New(Options{DisableMerging: true})
+	blocks := s.Blocks(b.d)
+	if len(blocks) < 2 {
+		t.Fatalf("bicolor header not separated: %d block(s)", len(blocks))
+	}
+	// With clustering disabled the area must stay whole (assuming no seam).
+	s2 := New(Options{DisableMerging: true, DisableClustering: true, GridScale: 0.5})
+	blocks2 := s2.Blocks(b.d)
+	if len(blocks2) > len(blocks) {
+		t.Errorf("disabling clustering increased segmentation: %d > %d", len(blocks2), len(blocks))
+	}
+}
+
+func TestStraightCutsAblation(t *testing.T) {
+	// Staggered layout: a drifting seam separates the groups, a straight
+	// line cannot. Build two element groups interlocked diagonally.
+	b := newBuilder(300, 120)
+	b.row(10, 10, 20, colorlab.Black, "aaaaaa", "bbbbbb") // y 10-30, x 10..~250
+	b.row(80, 44, 20, colorlab.Black, "cccccc", "dddddd") // y 44-64, offset right
+	seam := New(Options{DisableMerging: true, DisableClustering: true})
+	straight := New(Options{DisableMerging: true, DisableClustering: true, StraightCutsOnly: true})
+	nSeam := len(seam.Blocks(b.d))
+	nStraight := len(straight.Blocks(b.d))
+	if nSeam < nStraight {
+		t.Errorf("seam model should segment at least as finely: seam=%d straight=%d", nSeam, nStraight)
+	}
+}
+
+func TestLayoutTreeInvariants(t *testing.T) {
+	b := newBuilder(500, 600)
+	b.row(30, 20, 30, colorlab.Burgundy, "Summer", "Music", "Festival")
+	b.para(30, 120, 12, colorlab.Black, musicLine1, musicLine2)
+	b.para(30, 300, 12, colorlab.Black, taxLine1, taxLine2)
+	b.para(280, 120, 12, colorlab.Blue, []string{"call", "614-555-0000"}, []string{"rsvp", "today"})
+	tree := New(Options{}).Segment(b.d)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("layout tree invalid: %v", err)
+	}
+	// Every element appears in exactly one leaf.
+	seen := map[int]int{}
+	for _, leaf := range tree.Leaves() {
+		for _, id := range leaf.Elements {
+			seen[id]++
+		}
+	}
+	for i := range b.d.Elements {
+		if seen[i] != 1 {
+			t.Errorf("element %d appears in %d leaves", i, seen[i])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	b := newBuilder(500, 600)
+	b.row(30, 20, 30, colorlab.Burgundy, "Summer", "Music", "Festival")
+	b.para(30, 120, 12, colorlab.Black, musicLine1, musicLine2)
+	b.para(30, 300, 12, colorlab.Black, taxLine1, taxLine2)
+	s := New(Options{})
+	a := s.Segment(b.d).Dump(b.d)
+	bDump := s.Segment(b.d).Dump(b.d)
+	if a != bDump {
+		t.Errorf("segmentation is not deterministic:\n%s\nvs\n%s", a, bDump)
+	}
+}
+
+func TestEmptyAndTinyDocuments(t *testing.T) {
+	empty := &doc.Document{ID: "e", Width: 100, Height: 100}
+	blocks := New(Options{}).Blocks(empty)
+	if len(blocks) != 1 {
+		t.Errorf("empty doc blocks = %d", len(blocks))
+	}
+	single := newBuilder(100, 100)
+	single.row(10, 10, 12, colorlab.Black, "alone")
+	blocks = New(Options{}).Blocks(single.d)
+	if len(blocks) != 1 {
+		t.Errorf("single-word doc blocks = %d", len(blocks))
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	b := newBuilder(400, 800)
+	for i := 0; i < 8; i++ {
+		b.para(20, 20+float64(i)*100, 10, colorlab.Black, musicLine1)
+	}
+	tree := New(Options{MaxDepth: 2, DisableMerging: true}).Segment(b.d)
+	if h := tree.Height(); h > 2 {
+		t.Errorf("tree height %d exceeds MaxDepth 2", h)
+	}
+}
+
+// Property test: on random non-overlapping layouts, segmentation must
+// always produce a valid tree whose leaves partition the elements exactly,
+// with deterministic output.
+func TestSegmentationInvariantsOnRandomLayouts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := newBuilder(300+float64(rng.Intn(300)), 300+float64(rng.Intn(400)))
+		// Random rows of random word counts, fonts, colors and gaps.
+		y := 10.0 + float64(rng.Intn(40))
+		colors := []colorlab.RGB{colorlab.Black, colorlab.DarkNavy, colorlab.Burgundy, colorlab.Gray}
+		wordsPool := append(append([]string{}, musicLine1...), taxLine1...)
+		for y < b.d.Height-40 && len(b.d.Elements) < 120 {
+			font := 8 + float64(rng.Intn(24))
+			n := 1 + rng.Intn(5)
+			var line []string
+			for i := 0; i < n; i++ {
+				line = append(line, wordsPool[rng.Intn(len(wordsPool))])
+			}
+			b.row(10+float64(rng.Intn(60)), y, font, colors[rng.Intn(len(colors))], line...)
+			y += font + float64(rng.Intn(70))
+		}
+		if len(b.d.Elements) == 0 {
+			return true
+		}
+		s := New(Options{})
+		tree := s.Segment(b.d)
+		if err := tree.Validate(); err != nil {
+			t.Logf("seed %d: invalid tree: %v", seed, err)
+			return false
+		}
+		seen := map[int]int{}
+		for _, leaf := range tree.Leaves() {
+			for _, id := range leaf.Elements {
+				seen[id]++
+			}
+		}
+		for i := range b.d.Elements {
+			if seen[i] != 1 {
+				t.Logf("seed %d: element %d in %d leaves", seed, i, seen[i])
+				return false
+			}
+		}
+		// Determinism.
+		if s.Segment(b.d).Dump(b.d) != tree.Dump(b.d) {
+			t.Logf("seed %d: nondeterministic", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The ablation switches must never panic or corrupt the partition.
+func TestAblationSwitchesOnRandomLayouts(t *testing.T) {
+	for _, opts := range []Options{
+		{DisableClustering: true},
+		{DisableMerging: true},
+		{StraightCutsOnly: true},
+		{DisableClustering: true, DisableMerging: true, StraightCutsOnly: true},
+	} {
+		b := newBuilder(400, 500)
+		b.row(20, 20, 28, colorlab.DarkNavy, "Grand", "Gala")
+		b.para(20, 120, 12, colorlab.Black, musicLine1, musicLine2)
+		b.para(20, 330, 12, colorlab.Black, taxLine1, taxLine2)
+		tree := New(opts).Segment(b.d)
+		if err := tree.Validate(); err != nil {
+			t.Errorf("opts %+v: %v", opts, err)
+		}
+	}
+}

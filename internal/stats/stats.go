@@ -1,0 +1,459 @@
+// Package stats implements the statistical machinery VS2 relies on:
+//
+//   - descriptive statistics and Pearson correlation (Algorithm 1 computes a
+//     running correlation between separator widths and neighbouring
+//     bounding-box heights);
+//   - inflection-point detection on discrete distributions (Algorithm 1,
+//     footnote 3: solve for d²f/di² = 0);
+//   - Welch's and the paired Student t-test (the significance claim of
+//     Section 6.4: p < 0.05 on all datasets);
+//   - the Shapiro–Wilk normality test (Section 5.2.1 fills the holdout
+//     corpus until the distribution of distinct syntactic patterns is
+//     approximately normal, citing Shapiro & Wilk 1965);
+//   - non-dominated (Pareto) sorting for the interest-point subset
+//     selection of Section 5.3.1.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 when fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient ρ(x, y) in [-1, 1].
+// Degenerate inputs (length < 2, zero variance) yield 0.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(x[:n]), Mean(y[:n])
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// InflectionPoint returns the index of the first inflection of the discrete
+// series f: the first interior index where the second difference changes
+// sign (the discrete analogue of d²f/di² = 0, per footnote 3 of the paper).
+// The series is lightly smoothed with a 3-point moving average first to
+// suppress sampling noise. Returns -1 when the series is too short or has no
+// sign change.
+func InflectionPoint(f []float64) int {
+	if len(f) < 4 {
+		return -1
+	}
+	sm := smooth3(f) // sm[k] averages f[k..k+2], so sm index k maps to f index k+1
+	prev := 0.0
+	first := true
+	for i := 1; i < len(sm)-1; i++ {
+		d2 := sm[i+1] - 2*sm[i] + sm[i-1]
+		if !first && signChanged(prev, d2) {
+			return i + 1 // translate back to an index of f
+		}
+		if d2 != 0 {
+			prev = d2
+			first = false
+		}
+	}
+	return -1
+}
+
+// smooth3 returns the 3-point moving average restricted to full windows;
+// the result has len(f)-2 entries, entry k covering f[k..k+2].
+func smooth3(f []float64) []float64 {
+	if len(f) < 3 {
+		return nil
+	}
+	out := make([]float64, len(f)-2)
+	for i := range out {
+		out[i] = (f[i] + f[i+1] + f[i+2]) / 3
+	}
+	return out
+}
+
+func signChanged(a, b float64) bool {
+	return (a > 0 && b < 0) || (a < 0 && b > 0)
+}
+
+// TTestResult reports a t statistic, its degrees of freedom and the
+// two-sided p-value.
+type TTestResult struct {
+	T  float64
+	DF float64
+	P  float64
+}
+
+// ErrInsufficientData is returned when a test is given too few samples.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// WelchTTest performs Welch's unequal-variance two-sample t-test.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se := math.Sqrt(va/na + vb/nb)
+	if se == 0 {
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}, nil
+	}
+	t := (ma - mb) / se
+	num := math.Pow(va/na+vb/nb, 2)
+	den := math.Pow(va/na, 2)/(na-1) + math.Pow(vb/nb, 2)/(nb-1)
+	df := num / den
+	return TTestResult{T: t, DF: df, P: tTwoSidedP(t, df)}, nil
+}
+
+// PairedTTest performs the paired Student t-test on equal-length samples;
+// this is the test Section 6.4 applies to per-document F1 pairs of VS2 vs.
+// the text-only baseline.
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) || len(a) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	md := Mean(d)
+	sd := StdDev(d)
+	n := float64(len(d))
+	if sd == 0 {
+		if md == 0 {
+			return TTestResult{T: 0, DF: n - 1, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(md)), DF: n - 1, P: 0}, nil
+	}
+	t := md / (sd / math.Sqrt(n))
+	return TTestResult{T: t, DF: n - 1, P: tTwoSidedP(t, n-1)}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// tTwoSidedP returns the two-sided p-value of a t statistic with df degrees
+// of freedom, via the regularised incomplete beta function.
+func tTwoSidedP(t, df float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularised incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// NormalCDF returns Φ(x) for the standard normal distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// NormalQuantile returns Φ⁻¹(p) using the Acklam rational approximation,
+// accurate to ~1e-9 over (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var q, r float64
+	switch {
+	case p < plow:
+		q = math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q = p - 0.5
+		r = q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q = math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// ShapiroWilk performs the Shapiro–Wilk W test for normality using
+// Royston's AS R94 approximation, valid for 3 ≤ n ≤ 5000. It returns the W
+// statistic and an approximate p-value.
+func ShapiroWilk(xs []float64) (w, p float64, err error) {
+	n := len(xs)
+	if n < 3 {
+		return 0, 0, ErrInsufficientData
+	}
+	x := append([]float64(nil), xs...)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		return 0, 0, errors.New("stats: all values identical")
+	}
+
+	// Expected values of normal order statistics (Blom approximation) and
+	// the Shapiro-Wilk coefficients per Royston (1992).
+	m := make([]float64, n)
+	var ssm float64
+	for i := 0; i < n; i++ {
+		m[i] = NormalQuantile((float64(i+1) - 0.375) / (float64(n) + 0.25))
+		ssm += m[i] * m[i]
+	}
+	a := make([]float64, n)
+	rsn := 1 / math.Sqrt(float64(n))
+	a[n-1] = -2.706056*math.Pow(rsn, 5) + 4.434685*math.Pow(rsn, 4) -
+		2.071190*math.Pow(rsn, 3) - 0.147981*math.Pow(rsn, 2) +
+		0.221157*rsn + m[n-1]/math.Sqrt(ssm)
+	if n > 5 {
+		a[n-2] = -3.582633*math.Pow(rsn, 5) + 5.682633*math.Pow(rsn, 4) -
+			1.752461*math.Pow(rsn, 3) - 0.293762*math.Pow(rsn, 2) +
+			0.042981*rsn + m[n-2]/math.Sqrt(ssm)
+	}
+	var phi float64
+	switch {
+	case n > 5:
+		phi = (ssm - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) /
+			(1 - 2*a[n-1]*a[n-1] - 2*a[n-2]*a[n-2])
+	default:
+		phi = (ssm - 2*m[n-1]*m[n-1]) / (1 - 2*a[n-1]*a[n-1])
+	}
+	lim := n - 1
+	if n > 5 {
+		lim = n - 2
+	}
+	for i := 0; i < lim; i++ {
+		a[i] = m[i] / math.Sqrt(phi)
+	}
+	// Enforce the antisymmetry a_i = -a_{n+1-i} at the corrected edges.
+	a[n-1] = abs(a[n-1])
+	a[0] = -a[n-1]
+	if n > 5 {
+		a[n-2] = abs(a[n-2])
+		a[1] = -a[n-2]
+	}
+
+	mean := Mean(x)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		num += a[i] * x[i]
+		den += (x[i] - mean) * (x[i] - mean)
+	}
+	w = num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// p-value per Royston's normalising transformation.
+	lw := math.Log(1 - w)
+	ln := math.Log(float64(n))
+	var mu, sigma float64
+	if n <= 11 {
+		g := -2.273 + 0.459*float64(n)
+		mu = 0.5440 - 0.39978*float64(n) + 0.025054*float64(n)*float64(n) - 0.0006714*math.Pow(float64(n), 3)
+		sigma = math.Exp(1.3822 - 0.77857*float64(n) + 0.062767*float64(n)*float64(n) - 0.0020322*math.Pow(float64(n), 3))
+		if g-lw <= 0 {
+			return w, 0, nil
+		}
+		z := (math.Log(g-lw) - mu) / sigma
+		return w, 1 - NormalCDF(z), nil
+	}
+	mu = -1.5861 - 0.31082*ln - 0.083751*ln*ln + 0.0038915*ln*ln*ln
+	sigma = math.Exp(-0.4803 - 0.082676*ln + 0.0030302*ln*ln)
+	z := (lw - mu) / sigma
+	return w, 1 - NormalCDF(z), nil
+}
+
+func abs(x float64) float64 { return math.Abs(x) }
+
+// ParetoFront returns the indices of the non-dominated points among the
+// given objective vectors, where every objective is minimised. A point p
+// dominates q when p is no worse than q in every objective and strictly
+// better in at least one (Section 5.3.1 selects the first-order Pareto
+// front of logical blocks as the document's interest points).
+func ParetoFront(points [][]float64) []int {
+	var front []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// NonDominatedSort performs full non-dominated sorting, returning successive
+// Pareto fronts (front 0 first) covering every point.
+func NonDominatedSort(points [][]float64) [][]int {
+	remaining := make([]int, len(points))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var fronts [][]int
+	for len(remaining) > 0 {
+		var front, rest []int
+		for _, i := range remaining {
+			dominated := false
+			for _, j := range remaining {
+				if i != j && dominates(points[j], points[i]) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				rest = append(rest, i)
+			} else {
+				front = append(front, i)
+			}
+		}
+		if len(front) == 0 { // all mutually dominated: numerically impossible, but terminate
+			front = rest
+			rest = nil
+		}
+		fronts = append(fronts, front)
+		remaining = rest
+	}
+	return fronts
+}
+
+func dominates(p, q []float64) bool {
+	better := false
+	for k := range p {
+		if p[k] > q[k] {
+			return false
+		}
+		if p[k] < q[k] {
+			better = true
+		}
+	}
+	return better
+}

@@ -1,0 +1,285 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := Pearson(x, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("zero-variance correlation = %v", got)
+	}
+	if got := Pearson([]float64{1}, []float64{2}); got != 0 {
+		t.Errorf("short correlation = %v", got)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		rho := Pearson(x, y)
+		return rho >= -1-1e-9 && rho <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInflectionPoint(t *testing.T) {
+	// A sigmoid-like curve: convex then concave, inflection near the middle.
+	var f []float64
+	for i := -10; i <= 10; i++ {
+		f = append(f, 1/(1+math.Exp(-float64(i))))
+	}
+	ip := InflectionPoint(f)
+	if ip < 7 || ip > 13 {
+		t.Errorf("sigmoid inflection at %d, want near 10", ip)
+	}
+	// Monotone convex series (no sign change).
+	var conv []float64
+	for i := 0; i < 10; i++ {
+		conv = append(conv, float64(i*i))
+	}
+	if got := InflectionPoint(conv); got != -1 {
+		t.Errorf("convex inflection = %d, want -1", got)
+	}
+	if got := InflectionPoint([]float64{1, 2}); got != -1 {
+		t.Errorf("short series inflection = %d", got)
+	}
+}
+
+func TestWelchTTest(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64() + 2 // clearly shifted
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("shifted samples p = %v, want tiny", res.P)
+	}
+	if res.T >= 0 {
+		t.Errorf("t should be negative for a < b: %v", res.T)
+	}
+	// Same distribution: p should usually be large.
+	same, err := WelchTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(same.T) > 1e-9 || same.P < 0.99 {
+		t.Errorf("identical samples: t=%v p=%v", same.T, same.P)
+	}
+	if _, err := WelchTTest([]float64{1}, a); err == nil {
+		t.Error("insufficient data not reported")
+	}
+}
+
+func TestPairedTTest(t *testing.T) {
+	a := []float64{0.8, 0.9, 0.85, 0.95, 0.88, 0.91, 0.87, 0.9}
+	b := make([]float64, len(a))
+	for i := range a {
+		b[i] = a[i] - 0.05 // consistent improvement
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 || res.T <= 0 {
+		t.Errorf("consistent improvement: t=%v p=%v", res.T, res.P)
+	}
+	if _, err := PairedTTest(a, a[:3]); err == nil {
+		t.Error("length mismatch not reported")
+	}
+	eq, _ := PairedTTest(a, a)
+	if eq.P != 1 {
+		t.Errorf("identical pairs p = %v", eq.P)
+	}
+}
+
+func TestTDistributionPValues(t *testing.T) {
+	// Known critical values: t=2.045, df=29 -> two-sided p ≈ 0.05.
+	p := tTwoSidedP(2.045, 29)
+	if math.Abs(p-0.05) > 0.002 {
+		t.Errorf("t=2.045 df=29 p = %v, want ≈0.05", p)
+	}
+	// t=0 -> p=1.
+	if p := tTwoSidedP(0, 10); math.Abs(p-1) > 1e-9 {
+		t.Errorf("t=0 p = %v", p)
+	}
+}
+
+func TestNormalCDFQuantile(t *testing.T) {
+	if got := NormalCDF(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Φ(0) = %v", got)
+	}
+	if got := NormalCDF(1.959964); math.Abs(got-0.975) > 1e-5 {
+		t.Errorf("Φ(1.96) = %v", got)
+	}
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999} {
+		x := NormalQuantile(p)
+		if back := NormalCDF(x); math.Abs(back-p) > 1e-6 {
+			t.Errorf("quantile round trip p=%v -> x=%v -> %v", p, x, back)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile boundaries")
+	}
+}
+
+func TestShapiroWilk(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	normal := make([]float64, 100)
+	for i := range normal {
+		normal[i] = r.NormFloat64()*3 + 10
+	}
+	w, p, err := ShapiroWilk(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 0.95 {
+		t.Errorf("normal sample W = %v, want > 0.95", w)
+	}
+	if p < 0.01 {
+		t.Errorf("normal sample rejected: p = %v", p)
+	}
+
+	// Strongly non-normal (exponential-ish, heavy right tail).
+	skewed := make([]float64, 100)
+	for i := range skewed {
+		skewed[i] = math.Exp(r.NormFloat64() * 1.5)
+	}
+	ws, ps, err := ShapiroWilk(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws >= w {
+		t.Errorf("skewed W=%v should be below normal W=%v", ws, w)
+	}
+	if ps > 0.01 {
+		t.Errorf("skewed sample not rejected: p = %v", ps)
+	}
+
+	if _, _, err := ShapiroWilk([]float64{1, 2}); err == nil {
+		t.Error("too-small sample not reported")
+	}
+	if _, _, err := ShapiroWilk([]float64{5, 5, 5, 5}); err == nil {
+		t.Error("constant sample not reported")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	// Minimise both coordinates. Points: (0,3) (1,1) (3,0) are the front;
+	// (2,2) is dominated by (1,1); (4,4) dominated by everything.
+	points := [][]float64{{0, 3}, {1, 1}, {3, 0}, {2, 2}, {4, 4}}
+	front := ParetoFront(points)
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(front) != 3 {
+		t.Fatalf("front = %v", front)
+	}
+	for _, i := range front {
+		if !want[i] {
+			t.Errorf("unexpected front member %d", i)
+		}
+	}
+}
+
+func TestNonDominatedSort(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 1}, {2, 2}, {0, 2}, {2, 0}}
+	fronts := NonDominatedSort(points)
+	if len(fronts) < 2 {
+		t.Fatalf("fronts = %v", fronts)
+	}
+	if len(fronts[0]) != 1 || fronts[0][0] != 0 {
+		t.Errorf("first front = %v, want [0]", fronts[0])
+	}
+	total := 0
+	for _, f := range fronts {
+		total += len(f)
+	}
+	if total != len(points) {
+		t.Errorf("fronts cover %d of %d points", total, len(points))
+	}
+}
+
+// Property: every point in the Pareto front is non-dominated, and every
+// point outside it is dominated by some front member or another point.
+func TestParetoFrontProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{float64(r.Intn(10)), float64(r.Intn(10)), float64(r.Intn(10))}
+		}
+		front := ParetoFront(pts)
+		inFront := map[int]bool{}
+		for _, i := range front {
+			inFront[i] = true
+		}
+		for _, i := range front {
+			for j := range pts {
+				if i != j && dominates(pts[j], pts[i]) {
+					return false
+				}
+			}
+		}
+		for i := range pts {
+			if inFront[i] {
+				continue
+			}
+			dominatedByAny := false
+			for j := range pts {
+				if i != j && dominates(pts[j], pts[i]) {
+					dominatedByAny = true
+					break
+				}
+			}
+			if !dominatedByAny {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

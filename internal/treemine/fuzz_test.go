@@ -1,0 +1,31 @@
+package treemine
+
+import "testing"
+
+// FuzzDecode checks that Decode never panics and that every successfully
+// decoded tree re-encodes to a decodable string (round-trip stability).
+func FuzzDecode(f *testing.F) {
+	for _, s := range []string{
+		"a", "a(b)", "a(b,c)", "a(b(c),d)", `x\(y`, `a\\`, "a(b", "", ",", ")",
+		"S(NP(NNP,NE:PERSON),VP(VBZ))",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := Decode(s)
+		if err != nil {
+			return
+		}
+		enc := tr.Encode()
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %q failed: %v", enc, err)
+		}
+		if back.Encode() != enc {
+			t.Fatalf("unstable round trip: %q -> %q", enc, back.Encode())
+		}
+		// Matching must not panic on decoded trees.
+		MatchInduced(tr, tr)
+		MatchEmbedded(tr, tr)
+	})
+}

@@ -1,0 +1,179 @@
+package treemine
+
+import "sort"
+
+// Pattern is a mined frequent subtree with its transaction support.
+type Pattern struct {
+	Tree    *Tree
+	Support int     // number of database trees containing the pattern
+	Ratio   float64 // Support / |DB|
+}
+
+// Options tunes the miner.
+type Options struct {
+	// MinSupport is the minimum fraction of database trees a subtree must
+	// occur in (transaction support). Default 0.3.
+	MinSupport float64
+	// MaxNodes bounds enumerated subtree size. Default 6.
+	MaxNodes int
+	// MaxPerNode caps the number of candidate subtrees enumerated per
+	// anchor node, guarding against pathological branching. Default 400.
+	MaxPerNode int
+	// MinNodes drops trivially small patterns (single labels carry no
+	// syntax). Default 2.
+	MinNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport <= 0 {
+		o.MinSupport = 0.3
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 6
+	}
+	if o.MaxPerNode <= 0 {
+		o.MaxPerNode = 400
+	}
+	if o.MinNodes <= 0 {
+		o.MinNodes = 2
+	}
+	return o
+}
+
+// Mine returns the frequent subtrees of the database under opts, sorted by
+// descending support then descending size.
+func Mine(db []*Tree, opts Options) []Pattern {
+	opts = opts.withDefaults()
+	if len(db) == 0 {
+		return nil
+	}
+	minCount := int(opts.MinSupport*float64(len(db)) + 0.999)
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	counts := map[string]int{}
+	reps := map[string]*Tree{}
+	for _, tree := range db {
+		seen := map[string]bool{} // transaction support: count once per tree
+		tree.Walk(func(n *Tree) {
+			budget := opts.MaxPerNode
+			for _, sub := range enumerate(n, opts.MaxNodes, &budget) {
+				if sub.Size() < opts.MinNodes {
+					continue
+				}
+				enc := sub.Encode()
+				if !seen[enc] {
+					seen[enc] = true
+					counts[enc]++
+					if _, ok := reps[enc]; !ok {
+						reps[enc] = sub
+					}
+				}
+			}
+		})
+	}
+
+	var out []Pattern
+	for enc, c := range counts {
+		if c >= minCount {
+			out = append(out, Pattern{
+				Tree:    reps[enc],
+				Support: c,
+				Ratio:   float64(c) / float64(len(db)),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		si, sj := out[i].Tree.Size(), out[j].Tree.Size()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Tree.Encode() < out[j].Tree.Encode()
+	})
+	return out
+}
+
+// MineMaximal mines frequent subtrees and keeps only the maximal ones:
+// patterns with no other frequent pattern properly containing them
+// (induced containment). These are the paper's "maximal frequent subtrees".
+func MineMaximal(db []*Tree, opts Options) []Pattern {
+	all := Mine(db, opts)
+	var out []Pattern
+	for i, p := range all {
+		maximal := true
+		for j, q := range all {
+			if i == j || q.Tree.Size() <= p.Tree.Size() {
+				continue
+			}
+			// q strictly larger; if p occurs inside q, p is not maximal —
+			// but only discard when q is at least as frequent in spirit:
+			// any frequent supertree suffices per the standard definition.
+			if MatchInduced(p.Tree, q.Tree) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// enumerate returns the induced subtrees rooted at n with at most maxNodes
+// nodes, decrementing *budget per produced subtree and stopping at zero.
+func enumerate(n *Tree, maxNodes int, budget *int) []*Tree {
+	if maxNodes < 1 || *budget <= 0 {
+		return nil
+	}
+	// Subtrees rooted at n: the bare root plus combinations of child
+	// subtrees in order.
+	base := &Tree{Label: n.Label}
+	results := []*Tree{base}
+	*budget--
+	// For each child, the options are: skip it, or attach one of its
+	// enumerated subtrees. Walk children left to right, extending partial
+	// combinations.
+	partials := []*Tree{base}
+	for _, c := range n.Children {
+		if *budget <= 0 {
+			break
+		}
+		childSubs := enumerate(c, maxNodes-1, budget)
+		var next []*Tree
+		for _, p := range partials {
+			next = append(next, p) // skip child
+			for _, cs := range childSubs {
+				if p.Size()+cs.Size() > maxNodes {
+					continue
+				}
+				ext := p.Clone()
+				ext.Children = append(ext.Children, cs)
+				next = append(next, ext)
+				*budget--
+				if *budget <= 0 {
+					break
+				}
+			}
+			if *budget <= 0 {
+				break
+			}
+		}
+		partials = next
+	}
+	// partials includes base; dedupe against results head.
+	out := make([]*Tree, 0, len(partials))
+	seen := map[string]bool{}
+	for _, p := range append(results[:0:0], partials...) {
+		enc := p.Encode()
+		if !seen[enc] {
+			seen[enc] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package treemine implements frequent-subtree mining over labelled ordered
+// trees. Section 5.2.1 of the VS2 paper mines the "maximal frequent
+// subtrees" of the dependency/chunk trees built from holdout-corpus entries
+// (citing TreeMiner [47]); the mined subtrees become the lexico-syntactic
+// patterns VS2-Select searches for.
+//
+// The miner enumerates induced, rooted, ordered subtrees up to a bounded
+// size from every database tree, counts transaction support by canonical
+// encoding, keeps subtrees meeting the minimum support, and finally filters
+// to the maximal ones (no frequent proper supertree). Parse trees in this
+// system are small (a sentence yields tens of nodes), so bounded
+// enumeration is both exact and fast where TreeMiner's scope lists would be
+// needed for web-scale forests.
+package treemine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree is a labelled ordered tree.
+type Tree struct {
+	Label    string
+	Children []*Tree
+}
+
+// T is a convenience constructor: T("NP", T("NN"), T("NE:PERSON")).
+func T(label string, children ...*Tree) *Tree {
+	return &Tree{Label: label, Children: children}
+}
+
+// Size returns the number of nodes in t.
+func (t *Tree) Size() int {
+	if t == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Encode returns the canonical string encoding of t:
+// label(child1,child2,...). Two trees are identical iff encodings match.
+func (t *Tree) Encode() string {
+	if t == nil {
+		return ""
+	}
+	if len(t.Children) == 0 {
+		return escape(t.Label)
+	}
+	parts := make([]string, len(t.Children))
+	for i, c := range t.Children {
+		parts[i] = c.Encode()
+	}
+	return escape(t.Label) + "(" + strings.Join(parts, ",") + ")"
+}
+
+func escape(label string) string {
+	r := strings.NewReplacer("(", "\\(", ")", "\\)", ",", "\\,", "\\", "\\\\")
+	return r.Replace(label)
+}
+
+// Decode parses a canonical encoding back into a tree.
+func Decode(s string) (*Tree, error) {
+	t, rest, err := decode(s)
+	if err != nil {
+		return nil, err
+	}
+	if rest != "" {
+		return nil, fmt.Errorf("treemine: trailing input %q", rest)
+	}
+	return t, nil
+}
+
+func decode(s string) (*Tree, string, error) {
+	var label strings.Builder
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) {
+			label.WriteByte(s[i+1])
+			i += 2
+			continue
+		}
+		if c == '(' || c == ')' || c == ',' {
+			break
+		}
+		label.WriteByte(c)
+		i++
+	}
+	if label.Len() == 0 {
+		return nil, s, fmt.Errorf("treemine: empty label at %q", s)
+	}
+	t := &Tree{Label: label.String()}
+	if i < len(s) && s[i] == '(' {
+		i++
+		for {
+			child, rest, err := decode(s[i:])
+			if err != nil {
+				return nil, s, err
+			}
+			t.Children = append(t.Children, child)
+			i = len(s) - len(rest)
+			if i < len(s) && s[i] == ',' {
+				i++
+				continue
+			}
+			if i < len(s) && s[i] == ')' {
+				i++
+				break
+			}
+			return nil, s, fmt.Errorf("treemine: unterminated child list")
+		}
+	}
+	return t, s[i:], nil
+}
+
+// Clone deep-copies the tree.
+func (t *Tree) Clone() *Tree {
+	if t == nil {
+		return nil
+	}
+	out := &Tree{Label: t.Label, Children: make([]*Tree, len(t.Children))}
+	for i, c := range t.Children {
+		out.Children[i] = c.Clone()
+	}
+	return out
+}
+
+// Walk visits every node in pre-order.
+func (t *Tree) Walk(f func(*Tree)) {
+	if t == nil {
+		return
+	}
+	f(t)
+	for _, c := range t.Children {
+		c.Walk(f)
+	}
+}
+
+// MatchInduced reports whether pattern occurs in target as an induced
+// rooted-ordered subtree anchored anywhere: some node v of target has
+// label(pattern) and pattern's children match, in order, a subsequence of
+// v's children (recursively induced).
+func MatchInduced(pattern, target *Tree) bool {
+	if pattern == nil {
+		return true
+	}
+	if target == nil {
+		return false
+	}
+	found := false
+	target.Walk(func(n *Tree) {
+		if !found && matchAt(pattern, n) {
+			found = true
+		}
+	})
+	return found
+}
+
+// matchAt checks induced match with pattern root pinned to node n.
+func matchAt(pattern, n *Tree) bool {
+	if pattern.Label != n.Label {
+		return false
+	}
+	i := 0 // index into pattern children
+	for _, c := range n.Children {
+		if i >= len(pattern.Children) {
+			break
+		}
+		if matchAt(pattern.Children[i], c) {
+			i++
+		}
+	}
+	return i == len(pattern.Children)
+}
+
+// MatchEmbedded reports whether pattern occurs in target as an embedded
+// rooted-ordered subtree: pattern edges may map to ancestor-descendant
+// paths, preserving left-to-right order. This is the weaker containment
+// TreeMiner mines; VS2-Select uses it when searching blocks so that mined
+// patterns tolerate interleaving annotations.
+func MatchEmbedded(pattern, target *Tree) bool {
+	if pattern == nil {
+		return true
+	}
+	if target == nil {
+		return false
+	}
+	found := false
+	target.Walk(func(n *Tree) {
+		if !found && embeddedAt(pattern, n) {
+			found = true
+		}
+	})
+	return found
+}
+
+// embeddedAt checks embedded match with pattern root pinned at n: the
+// pattern children must embed, in order, into disjoint subtrees drawn from
+// the pre-order sequence of n's descendants.
+func embeddedAt(pattern, n *Tree) bool {
+	if pattern.Label != n.Label {
+		return false
+	}
+	return embedSeq(pattern.Children, n.Children)
+}
+
+// embedSeq greedily embeds the pattern-child sequence into the forest,
+// where each pattern child may match inside any forest tree, and order is
+// preserved across forest trees. Uses backtracking; forests are tiny.
+func embedSeq(patterns []*Tree, forest []*Tree) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	if len(forest) == 0 {
+		return false
+	}
+	// Option 1: embed first pattern somewhere within forest[0] (pinned or
+	// deeper), then the rest must embed in the remaining forest allowing
+	// reuse of forest[0]'s remainder — to keep the matcher simple and sound
+	// we treat subtree granularity: pattern children embedding into the
+	// same forest tree must nest under distinct child branches or chain
+	// down one path.
+	// Case A: match patterns[0] rooted at forest[0] (descending allowed).
+	if embedsWithin(patterns[0], forest[0]) && embedSeq(patterns[1:], forest[1:]) {
+		return true
+	}
+	// Case B: split patterns between forest[0]'s children and the rest.
+	for k := len(patterns); k >= 1; k-- {
+		if embedSeq(patterns[:k], forest[0].Children) && embedSeq(patterns[k:], forest[1:]) {
+			return true
+		}
+	}
+	// Case C: skip forest[0].
+	return embedSeq(patterns, forest[1:])
+}
+
+// embedsWithin reports whether pattern embeds with its root mapped to t or
+// any descendant of t.
+func embedsWithin(pattern, t *Tree) bool {
+	if t == nil {
+		return false
+	}
+	if embeddedAt(pattern, t) {
+		return true
+	}
+	for _, c := range t.Children {
+		if embedsWithin(pattern, c) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+package treemine
+
+import (
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	trees := []*Tree{
+		T("S"),
+		T("S", T("NP", T("NN")), T("VP", T("VBZ"))),
+		T("NP", T("NE:PERSON"), T("weird,label"), T("par(en")),
+	}
+	for _, tr := range trees {
+		enc := tr.Encode()
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", enc, err)
+		}
+		if back.Encode() != enc {
+			t.Errorf("round trip mismatch: %q -> %q", enc, back.Encode())
+		}
+	}
+	if _, err := Decode("a(b"); err == nil {
+		t.Error("unterminated encoding accepted")
+	}
+	if _, err := Decode(""); err == nil {
+		t.Error("empty encoding accepted")
+	}
+}
+
+func TestSizeCloneWalk(t *testing.T) {
+	tr := T("S", T("NP", T("NN")), T("VP"))
+	if tr.Size() != 4 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+	c := tr.Clone()
+	c.Children[0].Label = "changed"
+	if tr.Children[0].Label != "NP" {
+		t.Error("Clone not deep")
+	}
+	count := 0
+	tr.Walk(func(*Tree) { count++ })
+	if count != 4 {
+		t.Errorf("Walk visited %d", count)
+	}
+	if (*Tree)(nil).Size() != 0 {
+		t.Error("nil size")
+	}
+}
+
+func TestMatchInduced(t *testing.T) {
+	target := T("S",
+		T("NP", T("DT"), T("NN")),
+		T("VP", T("VBZ")),
+		T("NP", T("NNP"), T("NNP")),
+	)
+	cases := []struct {
+		pattern *Tree
+		want    bool
+	}{
+		{T("S"), true},
+		{T("NP", T("NN")), true},           // subsequence of children
+		{T("NP", T("DT"), T("NN")), true},  // exact child list
+		{T("NP", T("NN"), T("DT")), false}, // order violated
+		{T("S", T("NP"), T("NP")), true},   // skip middle VP
+		{T("S", T("VP"), T("NP")), true},   // ordered subsequence
+		{T("S", T("NP", T("NNP"), T("NNP"))), true},
+		{T("VP", T("NN")), false},
+		{T("X"), false},
+		{T("S", T("NP", T("DT"), T("NNP"))), false}, // mixed children from different NPs
+	}
+	for _, c := range cases {
+		if got := MatchInduced(c.pattern, target); got != c.want {
+			t.Errorf("MatchInduced(%s) = %v, want %v", c.pattern.Encode(), got, c.want)
+		}
+	}
+	if !MatchInduced(nil, target) {
+		t.Error("nil pattern should match")
+	}
+	if MatchInduced(T("S"), nil) {
+		t.Error("nil target should not match")
+	}
+}
+
+func TestMatchEmbedded(t *testing.T) {
+	target := T("S",
+		T("NP", T("DT"), T("ADJP", T("JJ")), T("NN")),
+		T("VP", T("VBZ", T("VS:captain"))),
+	)
+	cases := []struct {
+		pattern *Tree
+		want    bool
+	}{
+		// Embedded: NP -> JJ skips the intermediate ADJP level.
+		{T("NP", T("JJ")), true},
+		{T("NP", T("JJ"), T("NN")), true},
+		{T("S", T("JJ"), T("VS:captain")), true}, // deep descendants, order kept
+		{T("S", T("VS:captain"), T("JJ")), false},
+		{T("VP", T("VS:captain")), true},
+		{T("NN", T("JJ")), false},
+	}
+	for _, c := range cases {
+		if got := MatchEmbedded(c.pattern, target); got != c.want {
+			t.Errorf("MatchEmbedded(%s) = %v, want %v", c.pattern.Encode(), got, c.want)
+		}
+	}
+	// Induced would reject the level-skipping pattern.
+	if MatchInduced(T("NP", T("JJ")), target) {
+		t.Error("induced match should not skip levels")
+	}
+}
+
+func TestMineFindsSharedPattern(t *testing.T) {
+	// Five trees sharing NP(NE:PERSON) + VP(VS:captain); two noise trees.
+	db := []*Tree{}
+	for i := 0; i < 5; i++ {
+		db = append(db, T("S",
+			T("NP", T("NNP", T("NE:PERSON"))),
+			T("VP", T("VBZ", T("VS:captain"))),
+			T("NP", T("NN")),
+		))
+	}
+	db = append(db,
+		T("S", T("NP", T("CD"), T("NNS"))),
+		T("S", T("PP", T("IN"), T("NP", T("NN")))),
+	)
+	patterns := Mine(db, Options{MinSupport: 0.5})
+	if len(patterns) == 0 {
+		t.Fatal("no patterns mined")
+	}
+	// The person-verb pattern must be among them.
+	found := false
+	for _, p := range patterns {
+		if MatchInduced(T("VP", T("VBZ", T("VS:captain"))), p.Tree) &&
+			p.Support == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected captain VP pattern with support 5")
+	}
+	// All returned patterns meet support.
+	for _, p := range patterns {
+		if p.Support < 4 { // 0.5 * 7 = 3.5 -> 4
+			t.Errorf("pattern %s support %d below threshold", p.Tree.Encode(), p.Support)
+		}
+		if p.Tree.Size() < 2 {
+			t.Errorf("trivial pattern %s returned", p.Tree.Encode())
+		}
+	}
+}
+
+func TestMineMaximal(t *testing.T) {
+	db := []*Tree{}
+	for i := 0; i < 4; i++ {
+		db = append(db, T("S", T("NP", T("DT"), T("NN"))))
+	}
+	max := MineMaximal(db, Options{MinSupport: 0.9})
+	// The full tree S(NP(DT,NN)) is frequent; every sub-pattern of it is
+	// too, but only the full tree is maximal.
+	if len(max) != 1 {
+		for _, p := range max {
+			t.Logf("maximal: %s (support %d)", p.Tree.Encode(), p.Support)
+		}
+		t.Fatalf("maximal patterns = %d, want 1", len(max))
+	}
+	if max[0].Tree.Encode() != T("S", T("NP", T("DT"), T("NN"))).Encode() {
+		t.Errorf("maximal = %s", max[0].Tree.Encode())
+	}
+}
+
+func TestMineTransactionSupport(t *testing.T) {
+	// A pattern occurring 10 times inside ONE tree counts support 1.
+	big := T("S")
+	for i := 0; i < 10; i++ {
+		big.Children = append(big.Children, T("NP", T("NN")))
+	}
+	db := []*Tree{big, T("S", T("VP"))}
+	patterns := Mine(db, Options{MinSupport: 0.9})
+	for _, p := range patterns {
+		if p.Support > 1 && p.Tree.Encode() == T("NP", T("NN")).Encode() {
+			t.Errorf("transaction support violated: %d", p.Support)
+		}
+	}
+}
+
+func TestMineEmptyAndBudget(t *testing.T) {
+	if got := Mine(nil, Options{}); got != nil {
+		t.Errorf("empty DB mined %v", got)
+	}
+	// A very wide tree should not explode thanks to MaxPerNode.
+	wide := T("S")
+	for i := 0; i < 40; i++ {
+		wide.Children = append(wide.Children, T("NP", T("NN"), T("JJ")))
+	}
+	patterns := Mine([]*Tree{wide, wide.Clone()}, Options{MinSupport: 0.9, MaxPerNode: 100})
+	if len(patterns) == 0 {
+		t.Error("budgeted mining found nothing")
+	}
+}
+
+func TestPatternRatio(t *testing.T) {
+	db := []*Tree{
+		T("S", T("NP", T("NN"))),
+		T("S", T("NP", T("NN"))),
+		T("S", T("VP", T("VB"))),
+		T("S", T("VP", T("VB"))),
+	}
+	patterns := Mine(db, Options{MinSupport: 0.4})
+	for _, p := range patterns {
+		if p.Ratio != float64(p.Support)/4 {
+			t.Errorf("ratio %v inconsistent with support %d", p.Ratio, p.Support)
+		}
+	}
+}

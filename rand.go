@@ -1,0 +1,6 @@
+package vs2
+
+import "math/rand"
+
+// newRand builds the deterministic RNG used by the public noise helpers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,312 @@
+// Package vs2 is a from-scratch Go implementation of VS2, the generalized
+// information-extraction system for heterogeneous visually rich documents
+// of Sarkhel & Nandi, "Visual Segmentation for Information Extraction from
+// Heterogeneous Visually Rich Documents", SIGMOD 2019.
+//
+// VS2 extracts named entities from documents whose meaning depends on
+// layout as much as on text — posters, flyers, forms — without any prior
+// knowledge of the document's template or format. It operates in two
+// phases:
+//
+//  1. VS2-Segment decomposes the page into logical blocks: visually
+//     isolated, semantically coherent areas found by whitespace-seam
+//     analysis, visual-feature clustering and semantic merging.
+//  2. VS2-Select searches lexico-syntactic patterns for each entity within
+//     the blocks and resolves multi-match conflicts by minimising a
+//     multimodal distance to the document's visually salient interest
+//     points.
+//
+// # Quick start
+//
+//	d := ...                       // *vs2.Document (build one or decode JSON)
+//	p := vs2.NewPipeline(vs2.Config{Task: vs2.EventPosterTask()})
+//	result := p.Extract(d)
+//	for _, e := range result.Entities {
+//	    fmt.Printf("%s = %q\n", e.Entity, e.Text)
+//	}
+//
+// The packages under internal/ implement every substrate (document model,
+// rasteriser, NLP annotators, embeddings, subtree mining, OCR simulation,
+// dataset generators, baselines, evaluation harness); this package is the
+// stable public surface.
+package vs2
+
+import (
+	"vs2/internal/baselines"
+	"vs2/internal/colorlab"
+	"vs2/internal/datasets"
+	"vs2/internal/doc"
+	"vs2/internal/embed"
+	"vs2/internal/extract"
+	"vs2/internal/geom"
+	"vs2/internal/holdout"
+	"vs2/internal/ocr"
+	"vs2/internal/pattern"
+	"vs2/internal/segment"
+)
+
+// Re-exported document-model types: the JSON document format is the
+// interchange unit of the whole system.
+type (
+	// Document is a visually rich document: a page of positioned atomic
+	// text/image elements.
+	Document = doc.Document
+	// Element is one atomic element (Section 4.1 of the paper).
+	Element = doc.Element
+	// Node is a layout-tree node; leaves are logical blocks.
+	Node = doc.Node
+	// Labeled couples a document with ground-truth annotations.
+	Labeled = doc.Labeled
+	// GroundTruth carries the annotated entities of a document.
+	GroundTruth = doc.GroundTruth
+	// Annotation is one labelled entity occurrence.
+	Annotation = doc.Annotation
+	// Rect is an axis-aligned rectangle in page coordinates.
+	Rect = geom.Rect
+
+	// PatternSet is the disjunction of patterns defined for one entity.
+	PatternSet = pattern.Set
+	// Extraction is one extracted named entity with its visual grounding.
+	Extraction = extract.Extraction
+	// Weights are the Eq. 2 multimodal-distance coefficients.
+	Weights = extract.Weights
+)
+
+// Element kinds and capture modes.
+const (
+	TextElement  = doc.TextElement
+	ImageElement = doc.ImageElement
+
+	CaptureDigital = doc.CaptureDigital
+	CaptureMobile  = doc.CaptureMobile
+	CaptureScan    = doc.CaptureScan
+)
+
+// Eq. 2 weight profiles per Section 5.3.2 of the paper.
+var (
+	// BalancedWeights suits corpora that are neither extremely ornate nor
+	// extremely verbose.
+	BalancedWeights = extract.Balanced
+	// VisuallyOrnateWeights suits sparse, decorated documents (posters).
+	VisuallyOrnateWeights = extract.VisuallyOrnate
+	// VerboseWeights suits text-heavy documents.
+	VerboseWeights = extract.Verbose
+)
+
+// DecodeDocument parses a document from its JSON encoding.
+func DecodeDocument(data []byte) (*Document, error) { return doc.Decode(data) }
+
+// EncodeDocument serialises a document to indented JSON.
+func EncodeDocument(d *Document) ([]byte, error) { return doc.Encode(d) }
+
+// Task describes one information-extraction task: the named entities to
+// extract (with their lexico-syntactic patterns) and the weight profile of
+// the corpus.
+type Task struct {
+	// Name identifies the task.
+	Name string
+	// Sets are the per-entity pattern sets.
+	Sets []*PatternSet
+	// Weights is the Eq. 2 profile; zero value selects Balanced.
+	Weights Weights
+}
+
+// EventPosterTask returns the Table 3 task: Event Title, Place, Time,
+// Organizer and Description from event posters.
+func EventPosterTask() Task {
+	return Task{Name: "event-posters", Sets: pattern.EventPatterns(), Weights: extract.VisuallyOrnate}
+}
+
+// RealEstateTask returns the Table 4 task: Broker Name/Phone/Email and
+// Property Address/Size/Description from real-estate flyers.
+func RealEstateTask() Task {
+	return Task{Name: "real-estate", Sets: pattern.RealEstatePatterns(), Weights: extract.Balanced}
+}
+
+// FormFieldTask returns a D1-style task: exact-match extraction of form
+// fields. fields maps each entity key to its printed descriptor strings.
+func FormFieldTask(fields map[string][]string) Task {
+	return Task{Name: "form-fields", Sets: pattern.TaxPatterns(fields), Weights: extract.Balanced}
+}
+
+// NISTTaxTask returns the built-in synthetic NIST-SD6-style form-field
+// inventory (20 form faces, ~1360 fields).
+func NISTTaxTask() Task { return FormFieldTask(datasets.D1Fields()) }
+
+// Entity keys of the built-in tasks.
+const (
+	EventTitle       = pattern.EventTitle
+	EventPlace       = pattern.EventPlace
+	EventTime        = pattern.EventTime
+	EventOrganizer   = pattern.EventOrganizer
+	EventDescription = pattern.EventDescription
+
+	BrokerName          = pattern.BrokerName
+	BrokerPhone         = pattern.BrokerPhone
+	BrokerEmail         = pattern.BrokerEmail
+	PropertyAddress     = pattern.PropertyAddr
+	PropertySize        = pattern.PropertySize
+	PropertyDescription = pattern.PropertyDesc
+)
+
+// Config tunes a Pipeline.
+type Config struct {
+	// Task selects the entities and patterns; required.
+	Task Task
+	// Segment tunes VS2-Segment (zero value = paper defaults).
+	Segment segment.Options
+	// DisableDisambiguation replaces Eq. 2 conflict resolution with
+	// first-match (ablation A3).
+	DisableDisambiguation bool
+	// LeskDisambiguation replaces Eq. 2 with the text-only Lesk strategy
+	// (ablation A4).
+	LeskDisambiguation bool
+}
+
+// Pipeline is the end-to-end VS2 system: segmentation plus extraction.
+type Pipeline struct {
+	cfg       Config
+	segmenter *segment.Segmenter
+	extractor *extract.Extractor
+}
+
+// NewPipeline builds a Pipeline from the configuration.
+func NewPipeline(cfg Config) *Pipeline {
+	opts := extract.Options{Weights: cfg.Task.Weights}
+	switch {
+	case cfg.DisableDisambiguation:
+		opts.Disambiguation = extract.None
+	case cfg.LeskDisambiguation:
+		opts.Disambiguation = extract.Lesk
+	}
+	return &Pipeline{
+		cfg:       cfg,
+		segmenter: segment.New(cfg.Segment),
+		extractor: extract.New(opts),
+	}
+}
+
+// Result is the output of one extraction run.
+type Result struct {
+	// Entities holds one extraction per entity that matched.
+	Entities []Extraction
+	// Blocks are the logical blocks the document was decomposed into.
+	Blocks []*Node
+	// Tree is the full layout tree (Blocks are its leaves).
+	Tree *Node
+}
+
+// Segment decomposes the document into its layout tree without running
+// extraction.
+func (p *Pipeline) Segment(d *Document) *Node { return p.segmenter.Segment(d) }
+
+// Extract runs the full two-phase pipeline on a document.
+func (p *Pipeline) Extract(d *Document) *Result {
+	tree := p.segmenter.Segment(d)
+	blocks := tree.Leaves()
+	return &Result{
+		Entities: p.extractor.Extract(d, blocks, p.cfg.Task.Sets),
+		Blocks:   blocks,
+		Tree:     tree,
+	}
+}
+
+// InterestPoints returns the document's interest points — the logical
+// blocks on the first Pareto front of the Section 5.3.1 objectives, which
+// anchor the multimodal disambiguation (the red boxes of the paper's
+// Fig. 6).
+func (p *Pipeline) InterestPoints(d *Document) []*Node {
+	blocks := p.segmenter.Blocks(d)
+	var out []*Node
+	for _, ip := range extract.InterestPoints(d, blocks, NewLexiconEmbedder()) {
+		out = append(out, ip.Block)
+	}
+	return out
+}
+
+// Candidates returns every pattern match per entity, ranked best-first —
+// the raw search phase, before the final per-entity selection.
+func (p *Pipeline) Candidates(d *Document) map[string][]Extraction {
+	blocks := p.segmenter.Blocks(d)
+	return p.extractor.ExtractAll(d, blocks, p.cfg.Task.Sets)
+}
+
+// Generators: the synthetic corpora of the evaluation, exposed so examples
+// and downstream users can produce workloads.
+
+// GenerateTaxForms produces n D1-style scanned tax forms with ground truth.
+func GenerateTaxForms(n int, seed int64) []Labeled {
+	return datasets.GenerateD1(datasets.Options{N: n, Seed: seed})
+}
+
+// GenerateEventPosters produces n D2-style event posters with ground truth.
+func GenerateEventPosters(n int, seed int64) []Labeled {
+	return datasets.GenerateD2(datasets.Options{N: n, Seed: seed})
+}
+
+// GenerateRealEstateFlyers produces n D3-style flyers with ground truth.
+func GenerateRealEstateFlyers(n int, seed int64) []Labeled {
+	return datasets.GenerateD3(datasets.Options{N: n, Seed: seed})
+}
+
+// OCRNoise passes a labelled document through the OCR channel appropriate
+// to its capture mode, returning the observed (noisy) document; the ground
+// truth is transformed consistently (rotation applies to both).
+func OCRNoise(l Labeled, seed int64) Labeled {
+	noise := ocr.ForCapture(l.Doc.Capture)
+	rng := newRand(seed)
+	d, truth := ocr.TranscribeLabeled(l, noise, rng)
+	return Labeled{Doc: d, Truth: truth}
+}
+
+// LearnPatterns builds a holdout corpus from the given simulated sites and
+// mines per-entity pattern sets from it — the fully distantly-supervised
+// configuration of Section 5.2.1. Use holdout sites appropriate to the
+// task (the paper's Table 2 recipe is exposed through the internal holdout
+// package for the built-in tasks).
+func LearnPatterns(task string, seed int64) []*PatternSet {
+	var sites []holdout.Site
+	switch task {
+	case "event-posters":
+		sites = holdout.D2Sites()
+	case "real-estate":
+		sites = holdout.D3Sites()
+	default:
+		return nil
+	}
+	c := holdout.Build(sites, holdout.BuildOptions{Seed: seed})
+	return holdout.LearnedSets(c, holdout.LearnOptions{})
+}
+
+// Embedder is the word-embedding interface of the semantic components.
+type Embedder = embed.Embedder
+
+// NewLexiconEmbedder returns the built-in deterministic topic+n-gram
+// embedder (the offline Word2Vec substitute).
+func NewLexiconEmbedder() Embedder { return embed.NewLexicon() }
+
+// TrainEmbedder trains PPMI-SVD embeddings on a corpus of plain texts.
+func TrainEmbedder(corpus []string, dim int) Embedder {
+	return embed.TrainPPMI(corpus, dim, 4, 30)
+}
+
+// TextOnlyBaseline runs the paper's text-only comparison pipeline
+// (Tesseract-style layout, pattern search, Lesk disambiguation) for ΔF1
+// comparisons against the full system.
+func TextOnlyBaseline(task Task, d *Document) []Extraction {
+	bt := baselines.Task{Dataset: task.Name, Sets: task.Sets, Weights: task.Weights}
+	return baselines.TextOnly{}.Extract(bt, d)
+}
+
+// RGB is an 8-bit sRGB colour, the colour type of document elements.
+type RGB = colorlab.RGB
+
+// Common document colours for building documents by hand.
+var (
+	Black = colorlab.Black
+	White = colorlab.White
+	Gray  = colorlab.Gray
+	Red   = colorlab.Red
+	Blue  = colorlab.Blue
+	Green = colorlab.Green
+)

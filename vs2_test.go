@@ -1,0 +1,137 @@
+package vs2
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipelineEventPosters(t *testing.T) {
+	docs := GenerateEventPosters(5, 42)
+	p := NewPipeline(Config{Task: EventPosterTask()})
+	for _, l := range docs {
+		res := p.Extract(l.Doc)
+		if len(res.Blocks) < 3 {
+			t.Errorf("%s: only %d blocks", l.Doc.ID, len(res.Blocks))
+		}
+		if res.Tree == nil || len(res.Tree.Leaves()) != len(res.Blocks) {
+			t.Error("tree/blocks mismatch")
+		}
+		if len(res.Entities) < 3 {
+			t.Errorf("%s: only %d entities extracted", l.Doc.ID, len(res.Entities))
+		}
+	}
+}
+
+func TestPipelineRealEstate(t *testing.T) {
+	l := GenerateRealEstateFlyers(1, 7)[0]
+	p := NewPipeline(Config{Task: RealEstateTask()})
+	res := p.Extract(l.Doc)
+	found := map[string]string{}
+	for _, e := range res.Entities {
+		found[e.Entity] = e.Text
+	}
+	if phone, ok := found[BrokerPhone]; !ok || !strings.ContainsAny(phone, "0123456789") {
+		t.Errorf("BrokerPhone = %q", phone)
+	}
+	if email, ok := found[BrokerEmail]; !ok || !strings.Contains(email, "@") {
+		t.Errorf("BrokerEmail = %q", email)
+	}
+}
+
+func TestPipelineTaxForms(t *testing.T) {
+	l := GenerateTaxForms(1, 7)[0]
+	p := NewPipeline(Config{Task: NISTTaxTask()})
+	res := p.Extract(l.Doc)
+	if len(res.Entities) < 20 {
+		t.Errorf("extracted only %d form fields", len(res.Entities))
+	}
+}
+
+func TestDocumentJSONRoundTrip(t *testing.T) {
+	l := GenerateEventPosters(1, 3)[0]
+	data, err := EncodeDocument(l.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDocument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != l.Doc.ID || len(back.Elements) != len(l.Doc.Elements) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestOCRNoisePreservesTruth(t *testing.T) {
+	l := GenerateEventPosters(3, 9)[1]
+	obs := OCRNoise(l, 5)
+	if err := obs.Doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Truth.Annotations) != len(l.Truth.Annotations) {
+		t.Error("annotations lost")
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	l := GenerateEventPosters(1, 11)[0]
+	p := NewPipeline(Config{Task: EventPosterTask()})
+	cands := p.Candidates(l.Doc)
+	if len(cands) == 0 {
+		t.Fatal("no candidates at all")
+	}
+	for entity, list := range cands {
+		if len(list) == 0 {
+			t.Errorf("empty candidate list for %s", entity)
+		}
+	}
+}
+
+func TestAblationConfigs(t *testing.T) {
+	l := GenerateEventPosters(1, 13)[0]
+	for _, cfg := range []Config{
+		{Task: EventPosterTask(), DisableDisambiguation: true},
+		{Task: EventPosterTask(), LeskDisambiguation: true},
+	} {
+		res := NewPipeline(cfg).Extract(l.Doc)
+		if len(res.Entities) == 0 {
+			t.Errorf("ablation config extracted nothing: %+v", cfg)
+		}
+	}
+}
+
+func TestLearnPatterns(t *testing.T) {
+	sets := LearnPatterns("real-estate", 3)
+	if len(sets) < 4 {
+		t.Errorf("learned %d sets", len(sets))
+	}
+	if LearnPatterns("unknown-task", 3) != nil {
+		t.Error("unknown task should learn nothing")
+	}
+}
+
+func TestEmbedders(t *testing.T) {
+	lex := NewLexiconEmbedder()
+	if lex.Dim() == 0 {
+		t.Error("lexicon embedder has zero dim")
+	}
+	trained := TrainEmbedder([]string{"alpha beta gamma alpha beta", "beta gamma delta beta"}, 4)
+	if trained.Dim() == 0 {
+		t.Error("trained embedder has zero dim")
+	}
+}
+
+func TestTextOnlyBaseline(t *testing.T) {
+	l := GenerateRealEstateFlyers(1, 17)[0]
+	got := TextOnlyBaseline(RealEstateTask(), l.Doc)
+	if len(got) == 0 {
+		t.Error("text-only baseline extracted nothing")
+	}
+}
+
+func TestFormFieldTaskCustomFields(t *testing.T) {
+	task := FormFieldTask(map[string][]string{"total": {"Total amount due"}})
+	if len(task.Sets) != 1 || task.Sets[0].Entity != "total" {
+		t.Errorf("task sets = %+v", task.Sets)
+	}
+}
