@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+# check is the tier-1 verification gate: static analysis, a full build,
+# the full test suite, and the race-detector pass (the chaos suite asserts
+# its no-panic/no-hang containment contract there).
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The statistical sweeps in internal/eval and the integration floors are
+# ~20x slower under the race detector and carry testing.Short() guards;
+# -short keeps the race pass focused on concurrency (chaos suite, fault
+# harness, unit tests) and inside go test's default timeout.
+race:
+	$(GO) test -race -short ./...
+
+# fuzz smoke-runs the two fuzz targets (decoder, full pipeline).
+fuzz:
+	$(GO) test -run FuzzDecode -fuzz FuzzDecode -fuzztime 30s ./internal/doc
+	$(GO) test -run FuzzExtract -fuzz FuzzExtract -fuzztime 30s .

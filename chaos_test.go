@@ -1,0 +1,413 @@
+package vs2
+
+// Chaos suite: drives ExtractContext through the internal/faults harness
+// and proves the containment contract — every injected fault (stall,
+// panic, error, corrupted or truncated backend output) yields either a
+// degraded *Result or a structured *Error. Never a panic escaping the
+// pipeline, never a hang past the watchdog.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"vs2/internal/extract"
+	"vs2/internal/faults"
+	"vs2/internal/segment"
+)
+
+// chaosDoc is a small hand-built event poster: big headline, organizer
+// line, time/place block, fine print. Small enough that an uninjected
+// pipeline run finishes in milliseconds even under -race, so the phase
+// budgets below only trip on injected stalls.
+func chaosDoc() *Document {
+	d := &Document{ID: "chaos-poster", Width: 400, Height: 600, Background: White}
+	id := 0
+	add := func(x, y, fontH float64, color RGB, words ...string) {
+		cx := x
+		for _, w := range words {
+			width := float64(len(w)) * fontH * 0.55
+			d.Elements = append(d.Elements, Element{
+				ID: id, Kind: TextElement, Text: w,
+				Box:      Rect{X: cx, Y: y, W: width, H: fontH},
+				Color:    color,
+				FontSize: fontH, Line: int(y),
+			})
+			id++
+			cx += width + fontH*0.5
+		}
+	}
+	add(30, 30, 30, Black, "Harvest", "Moon", "Festival")
+	add(30, 80, 16, Red, "presented", "by", "Elm", "Street", "Arts", "Council")
+	add(30, 220, 14, Black, "Friday", "October", "3,", "6:00", "PM")
+	add(30, 250, 14, Black, "12", "Orchard", "Lane,", "Dayton,", "OH")
+	add(30, 520, 9, Gray, "printing", "donated", "by", "Sam", "Lee")
+	return d
+}
+
+// budgetsFor bounds only the site carrying a Delay injection: the stall
+// happens before any real work, so a tight budget trips fast without ever
+// racing legitimate computation. Every other phase stays unbounded —
+// under -race even this small poster takes whole seconds to segment, and
+// a uniform budget would degrade uninjected runs spuriously.
+func budgetsFor(site string, kind faults.Kind) Budgets {
+	if kind != faults.Delay {
+		return Budgets{}
+	}
+	switch site {
+	case "segment":
+		return Budgets{Segment: 250 * time.Millisecond}
+	case "search":
+		return Budgets{Search: 250 * time.Millisecond}
+	default:
+		return Budgets{Disambiguate: 250 * time.Millisecond}
+	}
+}
+
+// chaosPipeline wires the fault harness around the default backends.
+func chaosPipeline(seg, search, sel faults.Injection, budgets Budgets) *Pipeline {
+	task := EventPosterTask()
+	return NewPipeline(Config{
+		Task:    task,
+		Budgets: budgets,
+		Segmenter: &faults.Segmenter{
+			Inner:  segment.New(segment.Options{}),
+			Inject: seg,
+		},
+		Extractor: &faults.Extractor{
+			Inner:  extract.New(extract.Options{Weights: task.Weights}),
+			Search: search,
+			Select: sel,
+		},
+	})
+}
+
+// runChaos executes one extraction under a watchdog: a hang past the
+// deadline is a containment failure, not a slow test.
+func runChaos(t *testing.T, ctx context.Context, p *Pipeline, d *Document) (*Result, error) {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := p.ExtractContext(ctx, d)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline hung past the 30s watchdog")
+		return nil, nil
+	}
+}
+
+func hasDegradation(res *Result, phase Phase, fallback string) bool {
+	for _, g := range res.Degraded {
+		if g.Phase == phase && g.Fallback == fallback {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosMatrix crosses every injection site with every fault kind and
+// asserts the containment contract for each cell. Site-specific outcome
+// guarantees get their own targeted tests below; the matrix only demands
+// "degraded result or structured error".
+func TestChaosMatrix(t *testing.T) {
+	d := chaosDoc()
+	kinds := []faults.Kind{faults.None, faults.Delay, faults.Panic, faults.Error, faults.Corrupt, faults.Truncate}
+	sites := []string{"segment", "search", "select"}
+	for _, site := range sites {
+		for _, kind := range kinds {
+			t.Run(fmt.Sprintf("%s/%s", site, kind), func(t *testing.T) {
+				inj := faults.Injection{Kind: kind, Sleep: 5 * time.Second, Seed: 11}
+				var seg, search, sel faults.Injection
+				switch site {
+				case "segment":
+					seg = inj
+				case "search":
+					search = inj
+				default:
+					sel = inj
+				}
+				p := chaosPipeline(seg, search, sel, budgetsFor(site, kind))
+				res, err := runChaos(t, context.Background(), p, d)
+				if err != nil {
+					var pe *Error
+					if !errors.As(err, &pe) {
+						t.Fatalf("error is not a *vs2.Error: %T %v", err, err)
+					}
+					return
+				}
+				if res == nil {
+					t.Fatal("nil result with nil error")
+				}
+				if kind == faults.None && res.IsDegraded() {
+					t.Fatalf("uninjected run degraded: %+v", res.Degraded)
+				}
+			})
+		}
+	}
+}
+
+// Segmentation faults of every kind must degrade to the linear baseline —
+// extraction still runs and still finds the headline entities.
+func TestSegmentationFaultsDegradeToLinear(t *testing.T) {
+	d := chaosDoc()
+	for _, kind := range []faults.Kind{faults.Delay, faults.Panic, faults.Error} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := chaosPipeline(faults.Injection{Kind: kind, Sleep: 5 * time.Second}, faults.Injection{}, faults.Injection{}, budgetsFor("segment", kind))
+			res, err := runChaos(t, context.Background(), p, d)
+			if err != nil {
+				t.Fatalf("ExtractContext: %v", err)
+			}
+			if !hasDegradation(res, PhaseSegment, "linear-segmentation") {
+				t.Fatalf("degradations = %+v, want linear-segmentation", res.Degraded)
+			}
+			if res.Tree == nil || len(res.Blocks) == 0 {
+				t.Fatal("degraded run returned no layout")
+			}
+			if len(res.Entities) == 0 {
+				t.Fatal("degraded run extracted nothing from a matchable poster")
+			}
+		})
+	}
+}
+
+// A segmenter that returns damaged trees (NaN geometry, dangling indices,
+// dropped elements) must be sanitized: the reported blocks are all valid
+// and every element is covered.
+func TestCorruptSegmenterOutputSanitized(t *testing.T) {
+	d := chaosDoc()
+	for _, kind := range []faults.Kind{faults.Corrupt, faults.Truncate} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := chaosPipeline(faults.Injection{Kind: kind, Seed: 23}, faults.Injection{}, faults.Injection{}, Budgets{})
+			res, err := runChaos(t, context.Background(), p, d)
+			if err != nil {
+				t.Fatalf("ExtractContext: %v", err)
+			}
+			if !hasDegradation(res, PhaseSegment, "sanitized-blocks") {
+				t.Fatalf("degradations = %+v, want sanitized-blocks", res.Degraded)
+			}
+			covered := make([]bool, len(d.Elements))
+			for _, b := range res.Blocks {
+				if math.IsNaN(b.Box.X) || math.IsInf(b.Box.W, 0) {
+					t.Fatalf("sanitized block kept non-finite box %+v", b.Box)
+				}
+				for _, id := range b.Elements {
+					if id < 0 || id >= len(d.Elements) {
+						t.Fatalf("sanitized block kept out-of-range element %d", id)
+					}
+					covered[id] = true
+				}
+			}
+			for i, c := range covered {
+				if !c {
+					t.Fatalf("element %d lost during sanitation", i)
+				}
+			}
+		})
+	}
+}
+
+// A search stall must keep the partial candidates found before the budget
+// expired rather than discarding the phase.
+func TestSearchTimeoutKeepsPartialResults(t *testing.T) {
+	d := chaosDoc()
+	p := chaosPipeline(faults.Injection{}, faults.Injection{Kind: faults.Delay, Sleep: 5 * time.Second}, faults.Injection{}, budgetsFor("search", faults.Delay))
+	res, err := runChaos(t, context.Background(), p, d)
+	if err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	if !hasDegradation(res, PhaseSearch, "partial-search") {
+		t.Fatalf("degradations = %+v, want partial-search", res.Degraded)
+	}
+}
+
+// Search panics and hard errors have no safe fallback — the contract is a
+// structured error naming the phase and cause.
+func TestSearchFailureReturnsStructuredError(t *testing.T) {
+	d := chaosDoc()
+	cases := []struct {
+		kind faults.Kind
+		want error
+	}{
+		{faults.Panic, ErrPanic},
+		{faults.Error, faults.ErrInjected},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			p := chaosPipeline(faults.Injection{}, faults.Injection{Kind: tc.kind}, faults.Injection{}, Budgets{})
+			_, err := runChaos(t, context.Background(), p, d)
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *vs2.Error", err)
+			}
+			if pe.Phase != PhaseSearch {
+				t.Fatalf("phase = %s, want %s", pe.Phase, PhaseSearch)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want cause %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// Disambiguation faults of every kind fall back to first-match selection,
+// which must agree with the DisableDisambiguation (ablation A3) pipeline
+// on the same document.
+func TestDisambiguationFaultsFallBackToFirstMatch(t *testing.T) {
+	d := chaosDoc()
+	want := map[string]string{}
+	for _, e := range NewPipeline(Config{Task: EventPosterTask(), DisableDisambiguation: true}).Extract(d).Entities {
+		want[e.Entity] = e.Text
+	}
+	if len(want) == 0 {
+		t.Fatal("reference pipeline extracted nothing; test document too weak")
+	}
+	for _, kind := range []faults.Kind{faults.Delay, faults.Panic, faults.Error} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := chaosPipeline(faults.Injection{}, faults.Injection{}, faults.Injection{Kind: kind, Sleep: 5 * time.Second}, budgetsFor("select", kind))
+			res, err := runChaos(t, context.Background(), p, d)
+			if err != nil {
+				t.Fatalf("ExtractContext: %v", err)
+			}
+			if !hasDegradation(res, PhaseDisambiguate, "first-match") {
+				t.Fatalf("degradations = %+v, want first-match", res.Degraded)
+			}
+			got := map[string]string{}
+			for _, e := range res.Entities {
+				got[e.Entity] = e.Text
+			}
+			for entity, text := range want {
+				if got[entity] != text {
+					t.Errorf("%s = %q, want first-match %q", entity, got[entity], text)
+				}
+			}
+		})
+	}
+}
+
+// Candidates corrupted after the search phase sabotage first-match too
+// (their block grounding is gone); the pipeline must surface a structured
+// error rather than crash in the fallback.
+func TestCorruptCandidatesContained(t *testing.T) {
+	d := chaosDoc()
+	p := chaosPipeline(faults.Injection{}, faults.Injection{Kind: faults.Corrupt, Seed: 5}, faults.Injection{}, Budgets{})
+	res, err := runChaos(t, context.Background(), p, d)
+	if err == nil {
+		// Acceptable only if selection somehow survived the damage.
+		if res == nil {
+			t.Fatal("nil result with nil error")
+		}
+		return
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *vs2.Error", err)
+	}
+	if pe.Phase != PhaseDisambiguate {
+		t.Fatalf("phase = %s, want %s", pe.Phase, PhaseDisambiguate)
+	}
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic cause", err)
+	}
+}
+
+// Cancellation of the caller's own context always aborts with a
+// structured error — degradation is for phase budgets, not for a caller
+// that walked away.
+func TestParentCancellationAborts(t *testing.T) {
+	d := chaosDoc()
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		p := chaosPipeline(faults.Injection{}, faults.Injection{}, faults.Injection{}, Budgets{})
+		_, err := p.ExtractContext(ctx, d)
+		var pe *Error
+		if !errors.As(err, &pe) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want *vs2.Error wrapping context.Canceled", err)
+		}
+	})
+
+	t.Run("mid-segmentation-deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		p := chaosPipeline(faults.Injection{Kind: faults.Delay, Sleep: 10 * time.Second}, faults.Injection{}, faults.Injection{}, Budgets{})
+		_, err := runChaos(t, ctx, p, d)
+		var pe *Error
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *vs2.Error", err)
+		}
+		if pe.Phase != PhaseSegment {
+			t.Fatalf("phase = %s, want %s", pe.Phase, PhaseSegment)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) || !pe.Timeout() {
+			t.Fatalf("err = %v, want deadline-exceeded timeout", err)
+		}
+		if errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("caller deadline misreported as phase budget: %v", err)
+		}
+	})
+}
+
+// Input guards: rejected documents name the validation phase and the
+// specific sentinel cause.
+func TestValidationRejectsStructured(t *testing.T) {
+	base := chaosDoc()
+	cases := []struct {
+		name string
+		doc  *Document
+		want error
+	}{
+		{"nil", nil, ErrInvalidDocument},
+		{"empty", &Document{ID: "e", Width: 100, Height: 100}, ErrEmptyDocument},
+		{"nan-width", func() *Document { d := *base; d.Width = math.NaN(); return &d }(), ErrNonFinite},
+		{"huge-page", func() *Document { d := *base; d.Width = 1e9; return &d }(), ErrPageTooLarge},
+	}
+	p := chaosPipeline(faults.Injection{}, faults.Injection{}, faults.Injection{}, Budgets{})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := p.ExtractContext(context.Background(), tc.doc)
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *vs2.Error", err)
+			}
+			if pe.Phase != PhaseValidate {
+				t.Fatalf("phase = %s, want %s", pe.Phase, PhaseValidate)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want cause %v", err, tc.want)
+			}
+			if tc.doc != nil && !errors.Is(err, ErrInvalidDocument) {
+				t.Fatalf("err = %v, want ErrInvalidDocument in chain", err)
+			}
+		})
+	}
+}
+
+// The uninjected ExtractContext must agree with the historical Extract
+// path — the robustness layer is a wrapper, not a different pipeline.
+func TestExtractContextMatchesExtract(t *testing.T) {
+	d := chaosDoc()
+	p := NewPipeline(Config{Task: EventPosterTask()})
+	res, err := p.ExtractContext(context.Background(), d)
+	if err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	if res.IsDegraded() {
+		t.Fatalf("clean run degraded: %+v", res.Degraded)
+	}
+	legacy := p.Extract(d)
+	if fmt.Sprint(res.Entities) != fmt.Sprint(legacy.Entities) {
+		t.Fatalf("ExtractContext entities %v != Extract entities %v", res.Entities, legacy.Entities)
+	}
+}

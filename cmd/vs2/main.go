@@ -7,15 +7,23 @@
 //	vs2 -in poster.json -task events            # segment + extract
 //	vs2 -in poster.json -dump                   # print the layout tree
 //	vs2 -in form.json -task tax -json           # machine-readable output
+//	vs2 -in huge.json -timeout 5s               # bounded extraction
 //
 // Tasks: events (Table 3), realestate (Table 4), tax (NIST form fields).
+// Extraction runs under -timeout (default 30s); on failure the exit code
+// is non-zero and stderr names the pipeline phase that failed. Degraded
+// runs (segmentation or disambiguation fell back to a cheaper strategy)
+// are reported as warnings on stderr.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"vs2"
 	"vs2/internal/render"
@@ -31,6 +39,7 @@ func main() {
 		ascii    = flag.Bool("ascii", false, "print the block layout as ASCII art")
 		asJSON   = flag.Bool("json", false, "emit extractions as JSON")
 		ablation = flag.String("disambiguation", "multimodal", "multimodal | none | lesk")
+		timeout  = flag.Duration("timeout", 30*time.Second, "overall extraction deadline (0 = none)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -85,7 +94,25 @@ func main() {
 		return
 	}
 
-	res := p.Extract(d)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := p.ExtractContext(ctx, d)
+	if err != nil {
+		var pe *vs2.Error
+		if errors.As(err, &pe) {
+			fmt.Fprintf(os.Stderr, "vs2: %s phase failed: %v\n", pe.Phase, pe.Err)
+		} else {
+			fmt.Fprintln(os.Stderr, "vs2:", err)
+		}
+		os.Exit(1)
+	}
+	for _, g := range res.Degraded {
+		fmt.Fprintf(os.Stderr, "vs2: warning: %s degraded to %s (%s)\n", g.Phase, g.Fallback, g.Cause)
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -1,0 +1,50 @@
+package vs2
+
+// FuzzExtract drives the full hardened pipeline on arbitrary JSON: any
+// input that decodes must extract without a panic or hang, and any failure
+// must surface as a structured *Error.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func FuzzExtract(f *testing.F) {
+	if data, err := EncodeDocument(chaosDoc()); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"id":"x","width":10,"height":10}`))
+	f.Add([]byte(`{"id":"x","width":10,"height":10,"elements":[{"id":0,"kind":"text","text":"hi","box":{"x":1,"y":1,"w":5,"h":2}}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"id":"x","width":1e999,"height":10}`))
+	p := NewPipeline(Config{
+		Task: EventPosterTask(),
+		Budgets: Budgets{
+			Segment:      2 * time.Second,
+			Search:       2 * time.Second,
+			Disambiguate: 2 * time.Second,
+		},
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDocument(data)
+		if err != nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		res, err := p.ExtractContext(ctx, d)
+		if err != nil {
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("unstructured pipeline error: %T %v", err, err)
+			}
+			return
+		}
+		if res == nil {
+			t.Fatal("nil result with nil error")
+		}
+	})
+}

@@ -42,6 +42,33 @@ func TestTextClusterSegmenter(t *testing.T) {
 	}
 }
 
+func TestLinearSegmenter(t *testing.T) {
+	d := sampleD2(t, 1)[0].Doc
+	blocks := (Linear{}).Segment(d)
+	if len(blocks) < 2 {
+		t.Fatalf("linear sweep produced %d blocks on a poster", len(blocks))
+	}
+	// Exact partition: every element in exactly one block.
+	seen := map[int]int{}
+	for _, b := range blocks {
+		if len(b.Elements) == 0 {
+			t.Fatal("empty block")
+		}
+		for _, id := range b.Elements {
+			seen[id]++
+		}
+	}
+	for id := range d.Elements {
+		if seen[id] != 1 {
+			t.Errorf("element %d in %d blocks", id, seen[id])
+		}
+	}
+	// Degenerate inputs must not panic or loop.
+	if got := (Linear{}).Segment(&doc.Document{ID: "empty", Width: 10, Height: 10}); got != nil {
+		t.Errorf("empty document produced %d blocks", len(got))
+	}
+}
+
 func TestXYCutSegmentsPoster(t *testing.T) {
 	d := sampleD2(t, 1)[0].Doc
 	blocks := (&XYCut{}).Segment(d)

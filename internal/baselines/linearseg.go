@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"sort"
+
+	"vs2/internal/doc"
+)
+
+// Linear is the degraded-mode segmenter of the robustness layer: a single
+// linear sweep over the elements in reading order that opens a new block
+// whenever the vertical gap to the previous line band exceeds 1.5× the
+// median line height — paragraph segmentation with no recursion, no
+// rasterisation and no feature math. It is strictly weaker than
+// VS2-Segment (it cannot see columns or implicit visual modifiers) but it
+// is O(n log n) on any input doc.Validate accepts, cannot loop, and never
+// panics; Pipeline.ExtractContext falls back to it when VS2-Segment
+// exceeds its budget or fails.
+type Linear struct{}
+
+// Name implements PageSegmenter.
+func (Linear) Name() string { return "Linear" }
+
+// Segment implements PageSegmenter. Image elements join the paragraph
+// whose vertical span they fall into, like any other element in reading
+// order.
+func (Linear) Segment(d *doc.Document) []*doc.Node {
+	if len(d.Elements) == 0 {
+		return nil
+	}
+	all := make([]int, len(d.Elements))
+	for i := range all {
+		all[i] = i
+	}
+	ordered := d.ReadingOrder(all)
+
+	// Median element height sets the paragraph-break threshold.
+	hs := make([]float64, 0, len(ordered))
+	for _, id := range ordered {
+		if h := d.Elements[id].Box.H; h > 0 {
+			hs = append(hs, h)
+		}
+	}
+	gap := 1.0 // degenerate zero-height documents: any positive gap breaks
+	if len(hs) > 0 {
+		sort.Float64s(hs)
+		gap = 1.5 * hs[len(hs)/2]
+	}
+
+	var out []*doc.Node
+	var cur []int
+	curMaxY := 0.0
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, &doc.Node{Box: d.BoundingBoxOf(cur), Elements: cur, Depth: 1})
+			cur = nil
+		}
+	}
+	for _, id := range ordered {
+		b := d.Elements[id].Box
+		if len(cur) > 0 && b.Y-curMaxY > gap {
+			flush()
+		}
+		cur = append(cur, id)
+		if b.MaxY() > curMaxY || len(cur) == 1 {
+			curMaxY = b.MaxY()
+		}
+	}
+	flush()
+	return out
+}

@@ -13,7 +13,9 @@ package doc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -250,28 +252,79 @@ func (d *Document) BoundingBoxOf(ids []int) geom.Rect {
 	return out
 }
 
-// Validate reports structural problems: elements outside the page, negative
-// sizes, duplicate IDs. Generators and decoders call it defensively.
+// Input guards: hard limits a document must respect before the pipeline
+// will touch it. They bound the work an adversarial or corrupt input can
+// demand (the rasteriser allocates O(W·H) cells, the extractor O(n²)
+// pairs) without constraining any realistic page.
+const (
+	// MaxElements caps the atomic element count of a document.
+	MaxElements = 200_000
+	// MaxPageDim caps each page dimension, in page units (points).
+	MaxPageDim = 1e6
+)
+
+// Sentinel causes reported by Validate, for errors.Is dispatch.
+var (
+	// ErrEmptyDocument marks documents with no atomic elements.
+	ErrEmptyDocument = errors.New("document has no elements")
+	// ErrNonFinite marks NaN or infinite geometry.
+	ErrNonFinite = errors.New("non-finite geometry")
+	// ErrTooManyElements marks documents above MaxElements.
+	ErrTooManyElements = errors.New("element count exceeds cap")
+	// ErrPageTooLarge marks page extents above MaxPageDim.
+	ErrPageTooLarge = errors.New("page size exceeds cap")
+)
+
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate reports structural problems: non-finite or non-positive page
+// extents, oversized pages, empty documents, adversarial element counts,
+// elements outside the page, NaN/Inf or negative element geometry,
+// duplicate IDs. Errors carry the offending element's ID and index and wrap
+// the sentinel causes above. Generators and decoders call it defensively;
+// Pipeline.ExtractContext refuses documents that fail it.
 func (d *Document) Validate() error {
+	if !finite(d.Width, d.Height) {
+		return fmt.Errorf("doc %s: page size %gx%g: %w", d.ID, d.Width, d.Height, ErrNonFinite)
+	}
 	if d.Width <= 0 || d.Height <= 0 {
 		return fmt.Errorf("doc %s: non-positive page size %gx%g", d.ID, d.Width, d.Height)
+	}
+	if d.Width > MaxPageDim || d.Height > MaxPageDim {
+		return fmt.Errorf("doc %s: page size %gx%g: %w (max %g)", d.ID, d.Width, d.Height, ErrPageTooLarge, float64(MaxPageDim))
+	}
+	if len(d.Elements) == 0 {
+		return fmt.Errorf("doc %s: %w", d.ID, ErrEmptyDocument)
+	}
+	if len(d.Elements) > MaxElements {
+		return fmt.Errorf("doc %s: %d elements: %w (max %d)", d.ID, len(d.Elements), ErrTooManyElements, MaxElements)
 	}
 	seen := make(map[int]bool, len(d.Elements))
 	page := d.Bounds().Inset(-d.Width) // allow rotated/jittered boxes to spill one page width
 	for i := range d.Elements {
 		e := &d.Elements[i]
+		if !finite(e.Box.X, e.Box.Y, e.Box.W, e.Box.H, e.FontSize) {
+			return fmt.Errorf("doc %s: element %d (index %d) box %v: %w", d.ID, e.ID, i, e.Box, ErrNonFinite)
+		}
 		if e.Box.W < 0 || e.Box.H < 0 {
-			return fmt.Errorf("doc %s: element %d has negative size %v", d.ID, e.ID, e.Box)
+			return fmt.Errorf("doc %s: element %d (index %d) has negative size %v", d.ID, e.ID, i, e.Box)
 		}
 		if !page.ContainsRect(e.Box) {
-			return fmt.Errorf("doc %s: element %d far outside page: %v", d.ID, e.ID, e.Box)
+			return fmt.Errorf("doc %s: element %d (index %d) far outside page: %v", d.ID, e.ID, i, e.Box)
 		}
 		if seen[e.ID] {
-			return fmt.Errorf("doc %s: duplicate element id %d", d.ID, e.ID)
+			return fmt.Errorf("doc %s: duplicate element id %d (index %d)", d.ID, e.ID, i)
 		}
 		seen[e.ID] = true
 		if e.Kind == TextElement && e.Text == "" {
-			return fmt.Errorf("doc %s: empty text element %d", d.ID, e.ID)
+			return fmt.Errorf("doc %s: empty text element %d (index %d)", d.ID, e.ID, i)
 		}
 	}
 	return nil

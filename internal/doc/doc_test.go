@@ -1,6 +1,8 @@
 package doc
 
 import (
+	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -102,6 +104,45 @@ func TestValidate(t *testing.T) {
 	bad.Width = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("zero width not caught")
+	}
+}
+
+func TestValidateGuards(t *testing.T) {
+	check := func(name string, mutate func(*Document), want error) {
+		t.Helper()
+		d := testDoc()
+		mutate(d)
+		err := d.Validate()
+		if err == nil {
+			t.Errorf("%s not caught", name)
+			return
+		}
+		if want != nil && !errors.Is(err, want) {
+			t.Errorf("%s: err = %v, want sentinel %v", name, err, want)
+		}
+	}
+	check("NaN width", func(d *Document) { d.Width = math.NaN() }, ErrNonFinite)
+	check("Inf height", func(d *Document) { d.Height = math.Inf(1) }, ErrNonFinite)
+	check("oversized page", func(d *Document) { d.Width = MaxPageDim * 2 }, ErrPageTooLarge)
+	check("empty document", func(d *Document) { d.Elements = nil }, ErrEmptyDocument)
+	check("NaN element box", func(d *Document) { d.Elements[1].Box.X = math.NaN() }, ErrNonFinite)
+	check("Inf font size", func(d *Document) { d.Elements[2].FontSize = math.Inf(-1) }, ErrNonFinite)
+	check("negative element size", func(d *Document) { d.Elements[0].Box.W = -5 }, nil)
+
+	big := testDoc()
+	big.Elements = make([]Element, MaxElements+1)
+	for i := range big.Elements {
+		big.Elements[i] = Element{ID: i, Kind: TextElement, Text: "w", Box: geom.Rect{X: 1, Y: 1, W: 2, H: 2}}
+	}
+	if err := big.Validate(); !errors.Is(err, ErrTooManyElements) {
+		t.Errorf("element cap: err = %v, want ErrTooManyElements", err)
+	}
+
+	// Errors must name the offending element.
+	d := testDoc()
+	d.Elements[2].Box.Y = math.NaN()
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "index 2") {
+		t.Errorf("error does not name the element index: %v", d.Validate())
 	}
 }
 

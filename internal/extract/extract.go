@@ -16,6 +16,7 @@
 package extract
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -143,13 +144,23 @@ func New(opts Options) *Extractor {
 // Search runs the pattern sets over every block, returning all candidates
 // grouped by entity. This is the "search" half of search-and-select.
 func (e *Extractor) Search(d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) map[string][]Candidate {
-	texts := make([]*BlockText, 0, len(blocks))
-	for _, b := range blocks {
-		texts = append(texts, NewBlockText(d, b))
-	}
+	out, _ := e.SearchContext(context.Background(), d, blocks, sets)
+	return out
+}
+
+// SearchContext is Search under cooperative cancellation: ctx is checked
+// before each block is transcribed and searched. On cancellation the
+// candidates gathered so far are returned alongside ctx's error, so a
+// caller running against a budget can degrade to partial results instead
+// of discarding completed work.
+func (e *Extractor) SearchContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) (map[string][]Candidate, error) {
 	out := map[string][]Candidate{}
 	order := 0
-	for _, bt := range texts {
+	for _, b := range blocks {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		bt := NewBlockText(d, b)
 		if bt.Text == "" {
 			continue
 		}
@@ -170,19 +181,36 @@ func (e *Extractor) Search(d *doc.Document, blocks []*doc.Node, sets []*pattern.
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Extract runs the full search-and-select: one extraction per entity that
 // matched anywhere (entities with no match are absent from the result).
 func (e *Extractor) Extract(d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) []Extraction {
 	candidates := e.Search(d, blocks, sets)
+	out, _ := e.SelectContext(context.Background(), d, blocks, candidates, sets)
+	return out
+}
+
+// SelectContext is the "select" half under cooperative cancellation: the
+// interest-point computation checks ctx per block and the per-entity
+// conflict resolution checks it per pattern set. On cancellation it
+// returns ctx's error; the caller can re-select the same candidates with
+// SelectFirstMatch, which needs no interest points and cannot time out.
+func (e *Extractor) SelectContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, candidates map[string][]Candidate, sets []*pattern.Set) ([]Extraction, error) {
 	var points []InterestPoint
 	if e.opts.Disambiguation == Multimodal {
-		points = interestPoints(d, blocks, e.opts.Embedder)
+		var err error
+		points, err = interestPointsCtx(ctx, d, blocks, e.opts.Embedder)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var out []Extraction
 	for _, set := range sets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cands := candidates[set.Entity]
 		if len(cands) == 0 {
 			continue
@@ -197,6 +225,40 @@ func (e *Extractor) Extract(d *doc.Document, blocks []*doc.Node, sets []*pattern
 			Box:      best.Box,
 			BlockBox: best.BT.Block.Box,
 			Distance: dist,
+			Score:    best.Match.Score,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Entity < out[j].Entity })
+	return out, nil
+}
+
+// SelectFirstMatch resolves each entity to its first candidate in reading
+// order — the degraded-mode selection used when the Eq. 2 disambiguation
+// exceeds its budget or fails. It mirrors the None strategy: block-level
+// entities still restrict to the densest block (a cheap O(n) count), then
+// reading order decides. It performs no embedding or interest-point work
+// and is safe on any candidate set SearchContext can produce.
+func (e *Extractor) SelectFirstMatch(d *doc.Document, candidates map[string][]Candidate, sets []*pattern.Set) []Extraction {
+	var out []Extraction
+	for _, set := range sets {
+		cands := candidates[set.Entity]
+		if len(cands) == 0 {
+			continue
+		}
+		if set.BlockLevel {
+			cands = densestBlock(d, cands)
+		}
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.order < best.order {
+				best = c
+			}
+		}
+		out = append(out, Extraction{
+			Entity:   set.Entity,
+			Text:     best.Match.Text,
+			Box:      best.Box,
+			BlockBox: best.BT.Block.Box,
 			Score:    best.Match.Score,
 		})
 	}

@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"sort"
 
 	"vs2/internal/doc"
@@ -35,8 +36,16 @@ func InterestPoints(d *doc.Document, blocks []*doc.Node, e embed.Embedder) []Int
 //  3. minimise the average word density (sparse, large blocks highlight
 //     important content).
 func interestPoints(d *doc.Document, blocks []*doc.Node, e embed.Embedder) []InterestPoint {
+	out, _ := interestPointsCtx(context.Background(), d, blocks, e)
+	return out
+}
+
+// interestPointsCtx is interestPoints under cooperative cancellation; ctx
+// is checked before each block's embedding centroid and coherence are
+// computed (the O(blocks·words²) part of selection).
+func interestPointsCtx(ctx context.Context, d *doc.Document, blocks []*doc.Node, e embed.Embedder) ([]InterestPoint, error) {
 	if len(blocks) == 0 {
-		return nil
+		return nil, nil
 	}
 	// Only textual areas qualify: a photo block is tall and word-sparse by
 	// construction and would Pareto-dominate every headline, yet carries no
@@ -49,11 +58,14 @@ func interestPoints(d *doc.Document, blocks []*doc.Node, e embed.Embedder) []Int
 	}
 	blocks = textBlocks
 	if len(blocks) == 0 {
-		return nil
+		return nil, nil
 	}
 	objectives := make([][]float64, len(blocks))
 	vecs := make([][]float64, len(blocks))
 	for i, b := range blocks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		vecs[i] = embed.TextVec(e, b.Text(d))
 		objectives[i] = []float64{
 			-b.Box.H,                    // maximise height
@@ -88,7 +100,7 @@ func interestPoints(d *doc.Document, blocks []*doc.Node, e embed.Embedder) []Int
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 func hasTextElements(d *doc.Document, b *doc.Node) bool {

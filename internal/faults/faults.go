@@ -1,0 +1,260 @@
+// Package faults is a deterministic fault-injection harness for the VS2
+// robustness layer. It wraps the segmentation and extraction backends the
+// pipeline runs on and injects the failure modes a production document
+// feed produces: stalls (seeded delays that outrun phase budgets), panics,
+// hard errors, corrupted layout trees (NaN geometry, dangling element
+// indices) and truncated element lists. All mutation is driven by a seed,
+// so every chaos run is reproducible bit for bit.
+//
+// The chaos suite at the repository root uses these wrappers to prove the
+// ExtractContext containment contract: every injected fault yields either
+// a degraded *vs2.Result or a structured *vs2.Error — never a panic and
+// never a hang.
+package faults
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"vs2/internal/doc"
+	"vs2/internal/extract"
+	"vs2/internal/pattern"
+)
+
+// Kind selects the failure mode an Injection produces.
+type Kind int
+
+const (
+	// None delegates untouched.
+	None Kind = iota
+	// Delay stalls for Sleep (or until ctx expires) before delegating.
+	Delay
+	// Panic panics instead of delegating.
+	Panic
+	// Error returns ErrInjected instead of delegating.
+	Error
+	// Corrupt delegates, then damages the output: NaN boxes, element
+	// indices outside the document (segmenter) or candidates with no
+	// block grounding (extractor).
+	Corrupt
+	// Truncate delegates, then drops part of the output: halved element
+	// lists and dropped blocks (segmenter), halved candidate lists
+	// (extractor).
+	Truncate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	default:
+		return "Kind(?)"
+	}
+}
+
+// ErrInjected is the cause returned by the Error kind.
+var ErrInjected = errors.New("faults: injected failure")
+
+// PanicMessage is the payload of the Panic kind, for tests asserting the
+// recovered cause.
+const PanicMessage = "faults: injected panic"
+
+// Injection configures one fault site.
+type Injection struct {
+	// Kind is the failure mode; the zero value injects nothing.
+	Kind Kind
+	// Sleep is the Delay stall; 50ms when zero.
+	Sleep time.Duration
+	// Seed drives the Corrupt and Truncate mutations.
+	Seed int64
+}
+
+// arm runs the pre-delegation faults. Delay waits for the stall or for
+// ctx, whichever ends first — delegation then proceeds under the (likely
+// expired) ctx, exercising the wrapped backend's cooperative
+// cancellation.
+func (f Injection) arm(ctx context.Context) error {
+	switch f.Kind {
+	case Delay:
+		d := f.Sleep
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	case Panic:
+		panic(PanicMessage)
+	case Error:
+		return ErrInjected
+	}
+	return nil
+}
+
+// SegmentBackend is the segmentation interface the harness wraps — the
+// method set vs2.Pipeline drives.
+type SegmentBackend interface {
+	SegmentContext(ctx context.Context, d *doc.Document) (*doc.Node, error)
+}
+
+// Segmenter injects faults around an inner segmentation backend.
+type Segmenter struct {
+	Inner  SegmentBackend
+	Inject Injection
+}
+
+// SegmentContext implements SegmentBackend with the configured fault.
+func (s *Segmenter) SegmentContext(ctx context.Context, d *doc.Document) (*doc.Node, error) {
+	if err := s.Inject.arm(ctx); err != nil {
+		return nil, err
+	}
+	tree, err := s.Inner.SegmentContext(ctx, d)
+	if err != nil || tree == nil {
+		return tree, err
+	}
+	switch s.Inject.Kind {
+	case Corrupt:
+		CorruptTree(tree, s.Inject.Seed)
+	case Truncate:
+		TruncateTree(tree, s.Inject.Seed)
+	}
+	return tree, nil
+}
+
+// CorruptTree damages every leaf of a layout tree the way buggy or
+// hostile segmenter output would: non-finite boxes, element indices
+// beyond the document, negative indices. Deterministic in seed.
+func CorruptTree(root *doc.Node, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, b := range root.Leaves() {
+		switch rng.Intn(3) {
+		case 0:
+			b.Box.X = math.NaN()
+			b.Box.W = math.Inf(1)
+		case 1:
+			if len(b.Elements) > 0 {
+				b.Elements[rng.Intn(len(b.Elements))] = 1 << 30
+			} else {
+				b.Elements = []int{1 << 30}
+			}
+		default:
+			if len(b.Elements) > 0 {
+				b.Elements[0] = -1
+			} else {
+				b.Elements = []int{-1}
+			}
+		}
+	}
+}
+
+// TruncateTree drops part of the segmentation output: when the root has
+// several children a seeded suffix is removed, and every remaining leaf
+// keeps only the first half of its element list.
+func TruncateTree(root *doc.Node, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	if n := len(root.Children); n > 1 {
+		root.Children = root.Children[:1+rng.Intn(n-1)]
+	}
+	for _, b := range root.Leaves() {
+		if len(b.Elements) > 1 {
+			b.Elements = b.Elements[:(len(b.Elements)+1)/2]
+		}
+	}
+}
+
+// ExtractBackend is the extraction interface the harness wraps — the
+// method set vs2.Pipeline drives.
+type ExtractBackend interface {
+	SearchContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) (map[string][]extract.Candidate, error)
+	SelectContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, candidates map[string][]extract.Candidate, sets []*pattern.Set) ([]extract.Extraction, error)
+	SelectFirstMatch(d *doc.Document, candidates map[string][]extract.Candidate, sets []*pattern.Set) []extract.Extraction
+}
+
+// Extractor injects faults around an inner extraction backend, at the
+// search and select phases independently.
+type Extractor struct {
+	Inner  ExtractBackend
+	Search Injection
+	Select Injection
+}
+
+// SearchContext implements ExtractBackend with the configured search
+// fault.
+func (e *Extractor) SearchContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) (map[string][]extract.Candidate, error) {
+	if err := e.Search.arm(ctx); err != nil {
+		return nil, err
+	}
+	cands, err := e.Inner.SearchContext(ctx, d, blocks, sets)
+	if err != nil {
+		return cands, err
+	}
+	switch e.Search.Kind {
+	case Corrupt:
+		CorruptCandidates(cands, e.Search.Seed)
+	case Truncate:
+		TruncateCandidates(cands)
+	}
+	return cands, nil
+}
+
+// SelectContext implements ExtractBackend with the configured select
+// fault.
+func (e *Extractor) SelectContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, candidates map[string][]extract.Candidate, sets []*pattern.Set) ([]extract.Extraction, error) {
+	if err := e.Select.arm(ctx); err != nil {
+		return nil, err
+	}
+	return e.Inner.SelectContext(ctx, d, blocks, candidates, sets)
+}
+
+// SelectFirstMatch delegates untouched: it is the pipeline's last-resort
+// fallback, and the chaos suite probes what happens when the primary path
+// fails. Candidates corrupted at the search phase sabotage the fallback
+// too, which the suite covers separately (the contract there is a
+// structured error, not a crash).
+func (e *Extractor) SelectFirstMatch(d *doc.Document, candidates map[string][]extract.Candidate, sets []*pattern.Set) []extract.Extraction {
+	return e.Inner.SelectFirstMatch(d, candidates, sets)
+}
+
+// CorruptCandidates strips the block grounding (BT) from a seeded subset
+// of candidates — at least one per entity — the shape of a search phase
+// that raced a mutation. Selection over such candidates panics, which the
+// pipeline must contain.
+func CorruptCandidates(cands map[string][]extract.Candidate, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for entity, list := range cands {
+		for i := range list {
+			if i == 0 || rng.Intn(2) == 0 {
+				list[i].BT = nil
+				list[i].Box.X = math.NaN()
+			}
+		}
+		cands[entity] = list
+	}
+}
+
+// TruncateCandidates keeps only the first half of every entity's
+// candidate list — a search cut short that still returned valid partial
+// state.
+func TruncateCandidates(cands map[string][]extract.Candidate) {
+	for entity, list := range cands {
+		if len(list) > 1 {
+			cands[entity] = list[:(len(list)+1)/2]
+		}
+	}
+}

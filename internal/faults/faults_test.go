@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"vs2/internal/doc"
+	"vs2/internal/extract"
+	"vs2/internal/geom"
+)
+
+func grid(n int) *doc.Document {
+	d := &doc.Document{ID: "grid", Width: 400, Height: 400}
+	for i := 0; i < n; i++ {
+		d.Elements = append(d.Elements, doc.Element{
+			ID: i, Kind: doc.TextElement, Text: fmt.Sprintf("w%d", i),
+			Box:      geom.Rect{X: float64(20 * (i % 10)), Y: float64(30 * (i / 10)), W: 18, H: 12},
+			FontSize: 12,
+		})
+	}
+	return d
+}
+
+func tree(d *doc.Document) *doc.Node {
+	root := doc.NewTree(d)
+	half := len(d.Elements) / 2
+	var a, b []int
+	for i := range d.Elements {
+		if i < half {
+			a = append(a, i)
+		} else {
+			b = append(b, i)
+		}
+	}
+	root.Children = []*doc.Node{
+		{Box: d.BoundingBoxOf(a), Elements: a, Depth: 1},
+		{Box: d.BoundingBoxOf(b), Elements: b, Depth: 1},
+	}
+	return root
+}
+
+func damage(root *doc.Node, n int) []string {
+	var out []string
+	for _, b := range root.Leaves() {
+		bad := "ok"
+		switch {
+		case math.IsNaN(b.Box.X) || math.IsInf(b.Box.W, 0):
+			bad = "nan-box"
+		default:
+			for _, id := range b.Elements {
+				if id < 0 {
+					bad = "neg-index"
+				} else if id >= n {
+					bad = "oob-index"
+				}
+			}
+		}
+		out = append(out, fmt.Sprintf("%s/%d", bad, len(b.Elements)))
+	}
+	return out
+}
+
+func TestCorruptTreeDeterministic(t *testing.T) {
+	d := grid(20)
+	t1, t2 := tree(d), tree(d)
+	CorruptTree(t1, 7)
+	CorruptTree(t2, 7)
+	d1, d2 := damage(t1, len(d.Elements)), damage(t2, len(d.Elements))
+	if fmt.Sprint(d1) != fmt.Sprint(d2) {
+		t.Fatalf("same seed produced different corruption: %v vs %v", d1, d2)
+	}
+	for _, s := range d1 {
+		if s[:2] == "ok" {
+			t.Fatalf("leaf left undamaged: %v", d1)
+		}
+	}
+}
+
+func TestTruncateTreeDropsElements(t *testing.T) {
+	d := grid(20)
+	tr := tree(d)
+	TruncateTree(tr, 3)
+	total := 0
+	for _, b := range tr.Leaves() {
+		total += len(b.Elements)
+	}
+	if total >= len(d.Elements) {
+		t.Fatalf("truncation kept all %d elements", total)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	inj := Injection{Kind: Delay, Sleep: 10 * time.Second}
+	if err := inj.arm(ctx); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("delay ignored cancelled ctx: slept %v", el)
+	}
+}
+
+func TestErrorKindReturnsErrInjected(t *testing.T) {
+	s := &Segmenter{Inject: Injection{Kind: Error}}
+	if _, err := s.SegmentContext(context.Background(), grid(4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicKindPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != PanicMessage {
+			t.Fatalf("recover = %v, want %q", r, PanicMessage)
+		}
+	}()
+	s := &Segmenter{Inject: Injection{Kind: Panic}}
+	s.SegmentContext(context.Background(), grid(4)) //nolint:errcheck
+	t.Fatal("unreachable")
+}
+
+func TestCorruptCandidatesStripsGrounding(t *testing.T) {
+	cands := map[string][]extract.Candidate{
+		"title": {{Entity: "title"}, {Entity: "title"}},
+	}
+	CorruptCandidates(cands, 1)
+	if bt := cands["title"][0].BT; bt != nil {
+		t.Fatalf("first candidate kept its block grounding")
+	}
+}

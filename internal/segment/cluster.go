@@ -1,6 +1,7 @@
 package segment
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -21,8 +22,9 @@ import (
 // constraint that merging pairs must not be visually separated by another
 // element lying between them.
 //
-// Returns nil when clustering yields fewer than two groups.
-func clusterElements(d *doc.Document, n *doc.Node) [][]int {
+// Returns nil when clustering yields fewer than two groups, or when ctx is
+// cancelled mid-sweep (the caller's own ctx check surfaces the error).
+func clusterElements(ctx context.Context, d *doc.Document, n *doc.Node) [][]int {
 	ids := n.Elements
 	if len(ids) < 4 {
 		return nil
@@ -39,6 +41,9 @@ func clusterElements(d *doc.Document, n *doc.Node) [][]int {
 
 	assign := make([]int, len(ids))
 	for iter := 0; iter < 20; iter++ {
+		if ctx.Err() != nil {
+			return nil
+		}
 		changed := false
 		for i := range ids {
 			best, bestD := 0, math.Inf(1)

@@ -1,6 +1,8 @@
 package segment
 
 import (
+	"context"
+
 	"vs2/internal/doc"
 	"vs2/internal/embed"
 	"vs2/internal/geom"
@@ -20,16 +22,22 @@ import (
 // θ_min = 0, θ_max = 1, i.e. θ_h = h/10), n_i merges with its most similar
 // sibling n_p, provided the two are not visually separated. Merging
 // repeats until the tree stops changing.
-func mergeTree(d *doc.Document, root *doc.Node, e embed.Embedder) {
+// Cancellation (mergeTree's ctx) is checked once per pass and once per
+// parent evaluated, so a deadline unwinds before the next Eq. 1 evaluation.
+func mergeTree(ctx context.Context, d *doc.Document, root *doc.Node, e embed.Embedder) error {
 	for iter := 0; iter < 8; iter++ {
-		if !mergePass(d, root, e) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !mergePass(ctx, d, root, e) {
 			break
 		}
 	}
+	return ctx.Err()
 }
 
 // mergePass performs one bottom-up sweep; reports whether anything merged.
-func mergePass(d *doc.Document, root *doc.Node, e embed.Embedder) bool {
+func mergePass(ctx context.Context, d *doc.Document, root *doc.Node, e embed.Embedder) bool {
 	// Group nodes by level for the non-sibling term of Eq. 1.
 	levels := map[int][]*doc.Node{}
 	root.Walk(func(n *doc.Node) {
@@ -42,7 +50,7 @@ func mergePass(d *doc.Document, root *doc.Node, e embed.Embedder) bool {
 		for _, c := range n.Children {
 			walk(c)
 		}
-		if len(n.Children) < 2 {
+		if len(n.Children) < 2 || ctx.Err() != nil {
 			return
 		}
 		if mergeSiblings(d, root.Box, n, levels[n.Depth+1], e) {

@@ -23,6 +23,8 @@
 package segment
 
 import (
+	"context"
+
 	"vs2/internal/doc"
 	"vs2/internal/embed"
 	"vs2/internal/geom"
@@ -83,12 +85,26 @@ func New(opts Options) *Segmenter {
 // Segment builds the layout tree of d. The returned tree's leaves are the
 // logical blocks.
 func (s *Segmenter) Segment(d *doc.Document) *doc.Node {
-	root := doc.NewTree(d)
-	s.split(d, root, 0)
-	if !s.opts.DisableMerging {
-		mergeTree(d, root, s.opts.Embedder)
-	}
+	root, _ := s.SegmentContext(context.Background(), d)
 	return root
+}
+
+// SegmentContext is Segment under cooperative cancellation: the recursion
+// checks ctx at every area it decomposes, the clustering step at every
+// reassignment sweep, and the semantic merger at every pass, so a deadline
+// or cancellation unwinds within one unit of work. On cancellation the
+// partial tree is discarded and ctx's error is returned.
+func (s *Segmenter) SegmentContext(ctx context.Context, d *doc.Document) (*doc.Node, error) {
+	root := doc.NewTree(d)
+	if err := s.split(ctx, d, root, 0); err != nil {
+		return nil, err
+	}
+	if !s.opts.DisableMerging {
+		if err := mergeTree(ctx, d, root, s.opts.Embedder); err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
 }
 
 // Blocks segments d and returns the leaf nodes directly.
@@ -97,16 +113,19 @@ func (s *Segmenter) Blocks(d *doc.Document) []*doc.Node {
 }
 
 // split recursively decomposes the visual area represented by n.
-func (s *Segmenter) split(d *doc.Document, n *doc.Node, depth int) {
+func (s *Segmenter) split(ctx context.Context, d *doc.Document, n *doc.Node, depth int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if depth >= s.opts.MaxDepth || len(n.Elements) <= s.opts.MinElements {
-		return
+		return nil
 	}
 	groups := s.splitByDelimiters(d, n)
 	if groups == nil && !s.opts.DisableClustering {
-		groups = clusterElements(d, n)
+		groups = clusterElements(ctx, d, n)
 	}
 	if len(groups) < 2 {
-		return
+		return ctx.Err()
 	}
 	for _, g := range groups {
 		if len(g) == 0 {
@@ -114,13 +133,16 @@ func (s *Segmenter) split(d *doc.Document, n *doc.Node, depth int) {
 		}
 		child := n.AddChild(d.BoundingBoxOf(g), g)
 		if len(g) < len(n.Elements) { // guaranteed progress
-			s.split(d, child, depth+1)
+			if err := s.split(ctx, d, child, depth+1); err != nil {
+				return err
+			}
 		}
 	}
 	// A single non-empty group means no real split happened; undo.
 	if len(n.Children) < 2 {
 		n.Children = nil
 	}
+	return nil
 }
 
 // splitByDelimiters searches for explicit whitespace delimiters within n

@@ -1,0 +1,365 @@
+// robust.go is the hardened service layer around the two-phase pipeline:
+// context-aware extraction with per-phase budgets, structured errors,
+// panic containment at phase boundaries, and graceful degradation to
+// cheaper strategies (linear segmentation, first-match selection) that is
+// always reported to the caller through Result.Degraded.
+package vs2
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"vs2/internal/baselines"
+	"vs2/internal/doc"
+)
+
+// Phase identifies one stage of the pipeline in errors and degradation
+// records.
+type Phase string
+
+const (
+	// PhaseValidate is input admission (Document.Validate plus guards).
+	PhaseValidate Phase = "validate"
+	// PhaseSegment is VS2-Segment, the layout-tree decomposition.
+	PhaseSegment Phase = "segment"
+	// PhaseSearch is the pattern-search half of VS2-Select.
+	PhaseSearch Phase = "search"
+	// PhaseDisambiguate is the Eq. 2 conflict-resolution half of VS2-Select.
+	PhaseDisambiguate Phase = "disambiguate"
+)
+
+// Sentinel causes carried inside Error, for errors.Is dispatch. Budget
+// overruns additionally wrap context.DeadlineExceeded, and input problems
+// wrap the doc-package sentinels (re-exported below).
+var (
+	// ErrInvalidDocument marks inputs rejected before the pipeline ran.
+	ErrInvalidDocument = errors.New("invalid document")
+	// ErrPanic marks a panic recovered at a phase boundary.
+	ErrPanic = errors.New("panic recovered")
+	// ErrBudgetExceeded marks a phase that outran its Budgets allowance.
+	ErrBudgetExceeded = errors.New("phase budget exceeded")
+)
+
+// Input-guard sentinels of the document validator, re-exported so callers
+// can dispatch on the rejection cause without importing internal packages.
+var (
+	ErrEmptyDocument   = doc.ErrEmptyDocument
+	ErrNonFinite       = doc.ErrNonFinite
+	ErrTooManyElements = doc.ErrTooManyElements
+	ErrPageTooLarge    = doc.ErrPageTooLarge
+)
+
+// Error is the structured pipeline error: which phase failed, an optional
+// finer-grained stage, and the cause. It participates in errors.Is/As
+// chains through Unwrap.
+type Error struct {
+	// Phase is the pipeline stage that failed.
+	Phase Phase
+	// Stage optionally narrows the failure inside the phase.
+	Stage string
+	// Err is the cause; never nil.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	s := "vs2: " + string(e.Phase)
+	if e.Stage != "" {
+		s += " (" + e.Stage + ")"
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Timeout reports whether the failure was a deadline (the caller's or a
+// phase budget).
+func (e *Error) Timeout() bool { return errors.Is(e.Err, context.DeadlineExceeded) }
+
+// Budgets bounds each pipeline phase with a wall-clock allowance. A zero
+// field leaves that phase unbounded (beyond the caller's ctx). When a
+// phase overruns its budget the pipeline degrades rather than fails:
+// segmentation falls back to the linear baseline, search keeps the
+// candidates found so far, disambiguation falls back to first-match.
+type Budgets struct {
+	// Segment bounds VS2-Segment.
+	Segment time.Duration
+	// Search bounds the pattern search over the logical blocks.
+	Search time.Duration
+	// Disambiguate bounds interest-point selection plus Eq. 2 ranking.
+	Disambiguate time.Duration
+}
+
+// Degradation records one fallback the pipeline took instead of failing.
+type Degradation struct {
+	// Phase is where the primary strategy was abandoned.
+	Phase Phase
+	// Fallback names the strategy used instead: "linear-segmentation",
+	// "sanitized-blocks", "partial-search" or "first-match".
+	Fallback string
+	// Cause describes why, in one line.
+	Cause string
+}
+
+// SegmentBackend produces the layout tree of a document. The default is
+// the built-in VS2-Segment; Config.Segmenter overrides it (the
+// internal/faults harness wraps it to inject failures).
+type SegmentBackend interface {
+	SegmentContext(ctx context.Context, d *Document) (*Node, error)
+}
+
+// ExtractBackend runs the search and select halves of VS2-Select. The
+// default is the built-in extractor; Config.Extractor overrides it.
+// SelectFirstMatch is the degraded-mode selection and must not depend on
+// budgets or embeddings.
+type ExtractBackend interface {
+	SearchContext(ctx context.Context, d *Document, blocks []*Node, sets []*PatternSet) (map[string][]Candidate, error)
+	SelectContext(ctx context.Context, d *Document, blocks []*Node, candidates map[string][]Candidate, sets []*PatternSet) ([]Extraction, error)
+	SelectFirstMatch(d *Document, candidates map[string][]Candidate, sets []*PatternSet) []Extraction
+}
+
+// ExtractContext runs the full two-phase pipeline under ctx with the
+// configured per-phase budgets. Its failure containment:
+//
+//   - The document is validated first; rejects return a *Error with
+//     PhaseValidate wrapping ErrInvalidDocument.
+//   - Panics inside a phase are recovered at the phase boundary and
+//     converted to errors wrapping ErrPanic.
+//   - Segmentation failure of any kind (budget, panic, error, corrupt
+//     output) degrades to the linear baseline segmentation.
+//   - Search that overruns its budget degrades to the candidates already
+//     found; other search failures are returned as *Error.
+//   - Disambiguation failure of any kind degrades to first-match
+//     selection.
+//   - Cancellation of ctx itself always aborts with a *Error.
+//
+// Every fallback taken is recorded in Result.Degraded. The returned error,
+// when non-nil, is always a *Error.
+func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &Error{Phase: PhaseValidate, Err: err}
+	}
+	if d == nil {
+		return nil, &Error{Phase: PhaseValidate, Err: fmt.Errorf("%w: nil document", ErrInvalidDocument)}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, &Error{Phase: PhaseValidate, Err: fmt.Errorf("%w: %w", ErrInvalidDocument, err)}
+	}
+	res := &Result{}
+
+	// Phase 1: segmentation. Any failure degrades to the linear baseline.
+	tree, err := p.segmentPhase(ctx, d)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, &Error{Phase: PhaseSegment, Err: err}
+		}
+		res.degrade(PhaseSegment, "linear-segmentation", err)
+		tree = p.linearTree(d)
+	}
+	blocks, note := sanitizeBlocks(d, tree)
+	if note != "" {
+		// The segmenter returned blocks a correct implementation cannot
+		// produce (corrupt geometry, dangling element indices, dropped
+		// elements); the cleaned set is used and the damage reported.
+		res.degrade(PhaseSegment, "sanitized-blocks", errors.New(note))
+		tree = wrapBlocks(d, blocks)
+	}
+
+	// Phase 2: pattern search. A budget overrun keeps partial candidates.
+	cands, err := p.searchPhase(ctx, d, blocks)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, &Error{Phase: PhaseSearch, Err: err}
+		}
+		if cands == nil || !errors.Is(err, ErrBudgetExceeded) {
+			return nil, &Error{Phase: PhaseSearch, Err: err}
+		}
+		res.degrade(PhaseSearch, "partial-search", err)
+	}
+
+	// Phase 3: disambiguation. Any failure degrades to first-match.
+	entities, err := p.selectPhase(ctx, d, blocks, cands)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, &Error{Phase: PhaseDisambiguate, Err: err}
+		}
+		fallback, ferr := p.firstMatchPhase(d, cands)
+		if ferr != nil {
+			return nil, &Error{Phase: PhaseDisambiguate, Stage: "first-match fallback", Err: ferr}
+		}
+		res.degrade(PhaseDisambiguate, "first-match", err)
+		entities = fallback
+	}
+
+	res.Entities, res.Blocks, res.Tree = entities, blocks, tree
+	return res, nil
+}
+
+// segmentPhase runs the segmenter under its budget with panic recovery.
+func (p *Pipeline) segmentPhase(ctx context.Context, d *Document) (tree *Node, err error) {
+	defer recoverPhase(&err)
+	pctx, cancel := phaseContext(ctx, p.cfg.Budgets.Segment)
+	defer cancel()
+	tree, err = p.segmenter.SegmentContext(pctx, d)
+	if err == nil && tree == nil {
+		err = errors.New("segmenter returned no tree")
+	}
+	return tree, budgetize(ctx, pctx, err)
+}
+
+// searchPhase runs the pattern search under its budget with panic
+// recovery; on a budget overrun the partial candidate map is returned
+// alongside the error.
+func (p *Pipeline) searchPhase(ctx context.Context, d *Document, blocks []*Node) (cands map[string][]Candidate, err error) {
+	defer recoverPhase(&err)
+	pctx, cancel := phaseContext(ctx, p.cfg.Budgets.Search)
+	defer cancel()
+	cands, err = p.extractor.SearchContext(pctx, d, blocks, p.cfg.Task.Sets)
+	return cands, budgetize(ctx, pctx, err)
+}
+
+// selectPhase runs conflict resolution under its budget with panic
+// recovery.
+func (p *Pipeline) selectPhase(ctx context.Context, d *Document, blocks []*Node, cands map[string][]Candidate) (out []Extraction, err error) {
+	defer recoverPhase(&err)
+	pctx, cancel := phaseContext(ctx, p.cfg.Budgets.Disambiguate)
+	defer cancel()
+	out, err = p.extractor.SelectContext(pctx, d, blocks, cands, p.cfg.Task.Sets)
+	return out, budgetize(ctx, pctx, err)
+}
+
+// firstMatchPhase is the last-resort selection; recovery matters because
+// the candidates may come from a search over corrupted blocks.
+func (p *Pipeline) firstMatchPhase(d *Document, cands map[string][]Candidate) (out []Extraction, err error) {
+	defer recoverPhase(&err)
+	return p.extractor.SelectFirstMatch(d, cands, p.cfg.Task.Sets), nil
+}
+
+// linearTree builds the fallback layout tree: the linear baseline
+// segmentation under the document root, or a single whole-page block if
+// even that fails.
+func (p *Pipeline) linearTree(d *Document) (tree *Node) {
+	defer func() {
+		if recover() != nil || tree == nil {
+			tree = doc.NewTree(d)
+		}
+	}()
+	root := doc.NewTree(d)
+	if blocks := (baselines.Linear{}).Segment(d); len(blocks) > 1 {
+		for _, b := range blocks {
+			b.Depth = 1
+		}
+		root.Children = blocks
+	}
+	return root
+}
+
+// sanitizeBlocks guards the extraction phases against a segmenter that
+// returned damaged output: leaves with non-finite boxes, element indices
+// outside the document, or missing elements (a truncated tree). Invalid
+// leaves are dropped and uncovered elements are regrouped into a residual
+// block, so the search phase always sees a usable, in-bounds block set. A
+// correct segmenter's output passes through untouched with note == "".
+func sanitizeBlocks(d *Document, tree *Node) (blocks []*Node, note string) {
+	leaves := tree.Leaves()
+	covered := make([]bool, len(d.Elements))
+	dropped := 0
+	for _, b := range leaves {
+		if !validBlock(d, b) {
+			dropped++
+			continue
+		}
+		for _, id := range b.Elements {
+			covered[id] = true
+		}
+		blocks = append(blocks, b)
+	}
+	var uncovered []int
+	for i, c := range covered {
+		if !c {
+			uncovered = append(uncovered, i)
+		}
+	}
+	switch {
+	case dropped == 0 && len(uncovered) == 0:
+		return blocks, ""
+	case len(uncovered) > 0:
+		blocks = append(blocks, &Node{Box: d.BoundingBoxOf(uncovered), Elements: uncovered, Depth: 1})
+	}
+	return blocks, fmt.Sprintf("%d invalid blocks dropped, %d uncovered elements regrouped", dropped, len(uncovered))
+}
+
+func validBlock(d *Document, b *Node) bool {
+	if b == nil || len(b.Elements) == 0 {
+		return false
+	}
+	if math.IsNaN(b.Box.X) || math.IsNaN(b.Box.Y) || math.IsNaN(b.Box.W) || math.IsNaN(b.Box.H) ||
+		math.IsInf(b.Box.X, 0) || math.IsInf(b.Box.Y, 0) || math.IsInf(b.Box.W, 0) || math.IsInf(b.Box.H, 0) {
+		return false
+	}
+	for _, id := range b.Elements {
+		if id < 0 || id >= len(d.Elements) {
+			return false
+		}
+	}
+	return true
+}
+
+// wrapBlocks rebuilds a two-level layout tree over a sanitized block set,
+// discarding whatever internal structure the damaged tree carried.
+func wrapBlocks(d *Document, blocks []*Node) *Node {
+	root := doc.NewTree(d)
+	if len(blocks) > 1 {
+		for _, b := range blocks {
+			b.Depth = 1
+			b.Children = nil
+		}
+		root.Children = blocks
+	}
+	return root
+}
+
+// phaseContext derives the phase's deadline context; a non-positive budget
+// leaves the caller's context in charge.
+func phaseContext(ctx context.Context, budget time.Duration) (context.Context, context.CancelFunc) {
+	if budget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, budget)
+}
+
+// budgetize marks an error caused by the phase's own deadline — rather
+// than the caller's — as a budget overrun.
+func budgetize(ctx, pctx context.Context, err error) error {
+	if err != nil && pctx.Err() != nil && ctx.Err() == nil {
+		return fmt.Errorf("%w: %w", ErrBudgetExceeded, err)
+	}
+	return err
+}
+
+// recoverPhase converts a panic inside a phase into an error wrapping
+// ErrPanic, so a pathological document (or an injected fault) cannot take
+// down the process.
+func recoverPhase(errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("%w: %v", ErrPanic, r)
+	}
+}
+
+func (r *Result) degrade(phase Phase, fallback string, cause error) {
+	c := ""
+	if cause != nil {
+		c = cause.Error()
+	}
+	r.Degraded = append(r.Degraded, Degradation{Phase: phase, Fallback: fallback, Cause: c})
+}
+
+// IsDegraded reports whether any phase fell back to a cheaper strategy.
+func (r *Result) IsDegraded() bool { return len(r.Degraded) > 0 }

@@ -32,6 +32,8 @@
 package vs2
 
 import (
+	"context"
+
 	"vs2/internal/baselines"
 	"vs2/internal/colorlab"
 	"vs2/internal/datasets"
@@ -68,6 +70,9 @@ type (
 	PatternSet = pattern.Set
 	// Extraction is one extracted named entity with its visual grounding.
 	Extraction = extract.Extraction
+	// Candidate is one pattern match with its visual grounding, the unit
+	// the search phase hands to the selection phase.
+	Candidate = extract.Candidate
 	// Weights are the Eq. 2 multimodal-distance coefficients.
 	Weights = extract.Weights
 )
@@ -155,19 +160,29 @@ type Config struct {
 	Task Task
 	// Segment tunes VS2-Segment (zero value = paper defaults).
 	Segment segment.Options
+	// Budgets bounds each phase of ExtractContext with a wall-clock
+	// allowance; zero fields are unbounded. See Budgets for the fallback
+	// taken when a phase overruns.
+	Budgets Budgets
 	// DisableDisambiguation replaces Eq. 2 conflict resolution with
 	// first-match (ablation A3).
 	DisableDisambiguation bool
 	// LeskDisambiguation replaces Eq. 2 with the text-only Lesk strategy
 	// (ablation A4).
 	LeskDisambiguation bool
+	// Segmenter overrides the built-in VS2-Segment backend (nil = default).
+	// Primarily for the internal fault-injection harness and for callers
+	// bringing their own layout analysis.
+	Segmenter SegmentBackend
+	// Extractor overrides the built-in VS2-Select backend (nil = default).
+	Extractor ExtractBackend
 }
 
 // Pipeline is the end-to-end VS2 system: segmentation plus extraction.
 type Pipeline struct {
 	cfg       Config
-	segmenter *segment.Segmenter
-	extractor *extract.Extractor
+	segmenter SegmentBackend
+	extractor ExtractBackend
 }
 
 // NewPipeline builds a Pipeline from the configuration.
@@ -179,11 +194,14 @@ func NewPipeline(cfg Config) *Pipeline {
 	case cfg.LeskDisambiguation:
 		opts.Disambiguation = extract.Lesk
 	}
-	return &Pipeline{
-		cfg:       cfg,
-		segmenter: segment.New(cfg.Segment),
-		extractor: extract.New(opts),
+	p := &Pipeline{cfg: cfg, segmenter: cfg.Segmenter, extractor: cfg.Extractor}
+	if p.segmenter == nil {
+		p.segmenter = segment.New(cfg.Segment)
 	}
+	if p.extractor == nil {
+		p.extractor = extract.New(opts)
+	}
+	return p
 }
 
 // Result is the output of one extraction run.
@@ -194,21 +212,35 @@ type Result struct {
 	Blocks []*Node
 	// Tree is the full layout tree (Blocks are its leaves).
 	Tree *Node
+	// Degraded records every fallback ExtractContext took instead of
+	// failing; empty for a run that completed on the primary strategies.
+	Degraded []Degradation
 }
 
 // Segment decomposes the document into its layout tree without running
 // extraction.
-func (p *Pipeline) Segment(d *Document) *Node { return p.segmenter.Segment(d) }
-
-// Extract runs the full two-phase pipeline on a document.
-func (p *Pipeline) Extract(d *Document) *Result {
-	tree := p.segmenter.Segment(d)
-	blocks := tree.Leaves()
-	return &Result{
-		Entities: p.extractor.Extract(d, blocks, p.cfg.Task.Sets),
-		Blocks:   blocks,
-		Tree:     tree,
+func (p *Pipeline) Segment(d *Document) *Node {
+	tree, err := p.segmenter.SegmentContext(context.Background(), d)
+	if err != nil || tree == nil {
+		return p.linearTree(d)
 	}
+	return tree
+}
+
+// Extract runs the full two-phase pipeline on a document. It wraps
+// ExtractContext with no deadline; use ExtractContext directly for
+// cancellation, budgets and structured errors. Extract keeps its
+// historical never-fails contract: documents the robustness layer rejects
+// run the raw unguarded path exactly as before.
+func (p *Pipeline) Extract(d *Document) *Result {
+	if res, err := p.ExtractContext(context.Background(), d); err == nil {
+		return res
+	}
+	tree := p.Segment(d)
+	blocks := tree.Leaves()
+	cands, _ := p.extractor.SearchContext(context.Background(), d, blocks, p.cfg.Task.Sets)
+	entities, _ := p.extractor.SelectContext(context.Background(), d, blocks, cands, p.cfg.Task.Sets)
+	return &Result{Entities: entities, Blocks: blocks, Tree: tree}
 }
 
 // InterestPoints returns the document's interest points — the logical
@@ -216,7 +248,7 @@ func (p *Pipeline) Extract(d *Document) *Result {
 // anchor the multimodal disambiguation (the red boxes of the paper's
 // Fig. 6).
 func (p *Pipeline) InterestPoints(d *Document) []*Node {
-	blocks := p.segmenter.Blocks(d)
+	blocks := p.Segment(d).Leaves()
 	var out []*Node
 	for _, ip := range extract.InterestPoints(d, blocks, NewLexiconEmbedder()) {
 		out = append(out, ip.Block)
@@ -227,8 +259,12 @@ func (p *Pipeline) InterestPoints(d *Document) []*Node {
 // Candidates returns every pattern match per entity, ranked best-first —
 // the raw search phase, before the final per-entity selection.
 func (p *Pipeline) Candidates(d *Document) map[string][]Extraction {
-	blocks := p.segmenter.Blocks(d)
-	return p.extractor.ExtractAll(d, blocks, p.cfg.Task.Sets)
+	blocks := p.Segment(d).Leaves()
+	ex, ok := p.extractor.(*extract.Extractor)
+	if !ok {
+		ex = extract.New(extract.Options{Weights: p.cfg.Task.Weights})
+	}
+	return ex.ExtractAll(d, blocks, p.cfg.Task.Sets)
 }
 
 // Generators: the synthetic corpora of the evaluation, exposed so examples
