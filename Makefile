@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz
+.PHONY: check vet build test race obs fuzz trace-demo
 
 # check is the tier-1 verification gate: static analysis, a full build,
-# the full test suite, and the race-detector pass (the chaos suite asserts
-# its no-panic/no-hang containment contract there).
-check: vet build test race
+# the full test suite, the race-detector pass (the chaos suite asserts
+# its no-panic/no-hang containment contract there), and a focused
+# race-detector pass over the observability primitives.
+check: vet build test race obs
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +23,21 @@ test:
 # harness, unit tests) and inside go test's default timeout.
 race:
 	$(GO) test -race -short ./...
+
+# obs race-checks the tracing and metrics primitives specifically: every
+# counter, gauge, histogram and span is hit from concurrent goroutines.
+obs:
+	$(GO) test -run TestObs -race ./internal/obs
+
+# trace-demo runs the full observability path end to end: generate one
+# tax form, extract with tracing + metrics + explanation on, then
+# validate the span tree (structure, phase coverage, 10% wall-clock
+# accounting) with vs2trace.
+trace-demo:
+	$(GO) run ./cmd/vs2gen -dataset d1 -n 1 -seed 7 -out - > /tmp/vs2-demo-form.json
+	$(GO) run ./cmd/vs2 -in /tmp/vs2-demo-form.json -task tax \
+		-trace /tmp/vs2-demo-trace.json -metrics -explain > /dev/null
+	$(GO) run ./cmd/vs2trace -in /tmp/vs2-demo-trace.json
 
 # fuzz smoke-runs the two fuzz targets (decoder, full pipeline).
 fuzz:

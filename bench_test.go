@@ -14,16 +14,51 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"unicode"
 
 	"vs2/internal/eval"
 	"vs2/internal/segment"
 )
 
 // metricKey builds a ReportMetric unit name; units must not contain
-// whitespace ("Apostolova et al." would panic the testing package).
+// whitespace ("Apostolova et al." would panic the testing package) or
+// colons (the benchmark output format uses ":" as a field separator).
+// All Unicode whitespace counts, not just ASCII spaces — method names
+// sourced from paper citations have carried NBSPs.
 func metricKey(parts ...string) string {
 	k := strings.Join(parts, "/")
-	return strings.ReplaceAll(k, " ", "_")
+	return strings.Map(func(r rune) rune {
+		if unicode.IsSpace(r) || r == ':' {
+			return '_'
+		}
+		return r
+	}, k)
+}
+
+// TestMetricKey pins the sanitization contract: no whitespace of any
+// kind and no colons survive into a ReportMetric unit name.
+func TestMetricKey(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Apostolova et al.", "Apostolova_et_al."},
+		{"tab\tsep", "tab_sep"},
+		{"line\nbreak", "line_break"},
+		{"nbsp\u00a0gap", "nbsp_gap"},
+		{"ratio:1", "ratio_1"},
+		{"clean-name", "clean-name"},
+	}
+	for _, c := range cases {
+		if got := metricKey(c.in); got != c.want {
+			t.Errorf("metricKey(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := metricKey("D2", "VS2: full"); got != "D2/VS2__full" {
+		t.Errorf("metricKey join = %q, want D2/VS2__full", got)
+	}
+	for _, r := range metricKey("a b\tc d:e") {
+		if unicode.IsSpace(r) || r == ':' {
+			t.Errorf("sanitized key still contains %q", r)
+		}
+	}
 }
 
 const (

@@ -8,12 +8,20 @@
 //	vs2 -in poster.json -dump                   # print the layout tree
 //	vs2 -in form.json -task tax -json           # machine-readable output
 //	vs2 -in huge.json -timeout 5s               # bounded extraction
+//	vs2 -in form.json -task tax -trace t.json   # span tree of the run
+//	vs2 -in form.json -task tax -explain        # Eq. 2 candidate scoring
 //
 // Tasks: events (Table 3), realestate (Table 4), tax (NIST form fields).
 // Extraction runs under -timeout (default 30s); on failure the exit code
 // is non-zero and stderr names the pipeline phase that failed. Degraded
 // runs (segmentation or disambiguation fell back to a cheaper strategy)
 // are reported as warnings on stderr.
+//
+// Observability: -trace FILE writes the run's span tree (one span per
+// pipeline phase and per segmentation split) as JSON; -metrics prints the
+// aggregated counter/histogram snapshot to stderr; -explain prints the
+// extraction report — every candidate per entity with its Eq. 2 cost
+// terms — or, with -json, embeds it in the output object.
 package main
 
 import (
@@ -40,6 +48,9 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit extractions as JSON")
 		ablation = flag.String("disambiguation", "multimodal", "multimodal | none | lesk")
 		timeout  = flag.Duration("timeout", 30*time.Second, "overall extraction deadline (0 = none)")
+		traceOut = flag.String("trace", "", "write the run's span tree as JSON to this file")
+		metrics  = flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
+		explain  = flag.Bool("explain", false, "print the extraction report (candidates + Eq. 2 terms)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -53,7 +64,10 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := vs2.Config{Task: taskByName(*task)}
+	cfg := vs2.Config{Task: taskByName(*task), Explain: *explain}
+	if *metrics {
+		cfg.Metrics = vs2.NewMetrics()
+	}
 	switch *ablation {
 	case "none":
 		cfg.DisableDisambiguation = true
@@ -100,8 +114,28 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var tr *vs2.Trace
+	if *traceOut != "" {
+		tr = vs2.NewTrace("vs2 " + d.ID)
+		ctx = vs2.WithTrace(ctx, tr)
+	}
 	res, err := p.ExtractContext(ctx, d)
+	if tr != nil {
+		tr.Finish()
+		if werr := writeTrace(*traceOut, tr); werr != nil {
+			fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "vs2: trace written to %s\n", *traceOut)
+	}
+	if cfg.Metrics != nil {
+		// os.Exit in the error branch below skips defers, so the failed
+		// runs that most need metrics must dump them eagerly.
+		defer dumpMetrics(cfg.Metrics)
+	}
 	if err != nil {
+		if cfg.Metrics != nil {
+			dumpMetrics(cfg.Metrics)
+		}
 		var pe *vs2.Error
 		if errors.As(err, &pe) {
 			fmt.Fprintf(os.Stderr, "vs2: %s phase failed: %v\n", pe.Phase, pe.Err)
@@ -111,12 +145,19 @@ func main() {
 		os.Exit(1)
 	}
 	for _, g := range res.Degraded {
-		fmt.Fprintf(os.Stderr, "vs2: warning: %s degraded to %s (%s)\n", g.Phase, g.Fallback, g.Cause)
+		fmt.Fprintf(os.Stderr, "vs2: warning: %s\n", g)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res.Entities); err != nil {
+		var out any = res.Entities
+		if *explain {
+			out = struct {
+				Entities []vs2.Extraction `json:"entities"`
+				Report   *vs2.Report      `json:"report,omitempty"`
+			}{res.Entities, res.Report}
+		}
+		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
 		return
@@ -125,6 +166,28 @@ func main() {
 	for _, e := range res.Entities {
 		fmt.Printf("%-22s %q\n", e.Entity, e.Text)
 		fmt.Printf("%22s at (%.0f,%.0f) %0.fx%.0f\n", "", e.Box.X, e.Box.Y, e.Box.W, e.Box.H)
+	}
+	if *explain && res.Report != nil {
+		fmt.Printf("\n--- extraction report ---\n%s", res.Report)
+	}
+}
+
+// writeTrace serialises a finished trace's span tree as indented JSON.
+func writeTrace(path string, tr *vs2.Trace) error {
+	data, err := json.MarshalIndent(tr.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// dumpMetrics prints the registry snapshot to stderr as indented JSON.
+func dumpMetrics(m *vs2.Metrics) {
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	fmt.Fprintln(os.Stderr, "vs2: metrics:")
+	if err := enc.Encode(m.Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, "vs2: metrics snapshot failed:", err)
 	}
 }
 

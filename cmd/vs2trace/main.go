@@ -1,0 +1,180 @@
+// Command vs2trace validates and summarises a trace file written by
+// `vs2 -trace`. It checks the structural invariants of the span tree —
+// every child fits inside its parent's duration, the extract span is
+// present, and the per-phase durations account for the run's wall-clock
+// to within 10% — then prints a flame-style summary. A violated
+// invariant exits non-zero, so the `make trace-demo` target doubles as
+// an end-to-end check of the tracing layer.
+//
+// Usage:
+//
+//	vs2trace -in trace.json
+//	vs2trace -in trace.json -depth 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vs2"
+)
+
+// phases are the direct children the extract span must carry, in
+// pipeline order.
+var phases = []string{"validate", "segment", "search", "disambiguate"}
+
+func main() {
+	var (
+		in    = flag.String("in", "", "trace JSON written by vs2 -trace")
+		depth = flag.Int("depth", 2, "span tree depth to print (0 = no tree)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "vs2trace: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var root vs2.SpanSnapshot
+	if err := json.Unmarshal(data, &root); err != nil {
+		fatal(fmt.Errorf("%s: not a trace: %w", *in, err))
+	}
+
+	var problems []string
+	checkNesting(&root, &problems)
+
+	run := find(&root, "extract")
+	if run == nil {
+		problems = append(problems, "no extract span in trace")
+	} else {
+		var phaseSum int64
+		for _, name := range phases {
+			ps := find(run, name)
+			if ps == nil {
+				problems = append(problems, fmt.Sprintf("extract span missing %q phase", name))
+				continue
+			}
+			phaseSum += ps.DurationNS
+		}
+		if run.DurationNS <= 0 {
+			problems = append(problems, "extract span has no duration")
+		} else if gap := run.DurationNS - phaseSum; gap < 0 || float64(gap) > 0.10*float64(run.DurationNS) {
+			problems = append(problems, fmt.Sprintf(
+				"phase durations (%.2fms) do not account for the run (%.2fms) within 10%%",
+				float64(phaseSum)/1e6, float64(run.DurationNS)/1e6))
+		}
+	}
+
+	spans, events := count(&root)
+	fmt.Printf("%s: %d spans, %d events, %.2fms total\n", root.Name, spans, events, float64(root.DurationNS)/1e6)
+	if run != nil {
+		printPhases(run)
+	}
+	if *depth > 0 {
+		printTree(&root, 0, *depth)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "vs2trace: INVALID:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("trace OK")
+}
+
+// checkNesting verifies every child span's duration fits inside its
+// parent's.
+func checkNesting(s *vs2.SpanSnapshot, problems *[]string) {
+	for i := range s.Children {
+		c := &s.Children[i]
+		if c.DurationNS > s.DurationNS {
+			*problems = append(*problems, fmt.Sprintf(
+				"span %q (%.2fms) exceeds parent %q (%.2fms)",
+				c.Name, float64(c.DurationNS)/1e6, s.Name, float64(s.DurationNS)/1e6))
+		}
+		checkNesting(c, problems)
+	}
+}
+
+func find(s *vs2.SpanSnapshot, name string) *vs2.SpanSnapshot {
+	for i := range s.Children {
+		if s.Children[i].Name == name {
+			return &s.Children[i]
+		}
+	}
+	return nil
+}
+
+func count(s *vs2.SpanSnapshot) (spans, events int) {
+	spans, events = 1, len(s.Events)
+	for i := range s.Children {
+		cs, ce := count(&s.Children[i])
+		spans += cs
+		events += ce
+	}
+	return spans, events
+}
+
+// printPhases renders the extract span's phase breakdown with share of
+// the run's wall-clock.
+func printPhases(run *vs2.SpanSnapshot) {
+	for _, name := range phases {
+		ps := find(run, name)
+		if ps == nil {
+			continue
+		}
+		share := 0.0
+		if run.DurationNS > 0 {
+			share = 100 * float64(ps.DurationNS) / float64(run.DurationNS)
+		}
+		fmt.Printf("  %-14s %8.2fms  %5.1f%%\n", name, float64(ps.DurationNS)/1e6, share)
+	}
+}
+
+// printTree renders the span tree to maxDepth, widest spans first,
+// collapsing same-named siblings past the first three.
+func printTree(s *vs2.SpanSnapshot, depth, maxDepth int) {
+	attrs := ""
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, s.Attrs[k]))
+		}
+		attrs = "  {" + strings.Join(parts, " ") + "}"
+	}
+	fmt.Printf("%s%-*s %8.2fms%s\n", strings.Repeat("  ", depth), 20-2*depth, s.Name, float64(s.DurationNS)/1e6, attrs)
+	if depth+1 > maxDepth {
+		return
+	}
+	seen := map[string]int{}
+	for i := range s.Children {
+		c := &s.Children[i]
+		seen[c.Name]++
+		if n := seen[c.Name]; n == 4 {
+			fmt.Printf("%s… more %q spans\n", strings.Repeat("  ", depth+1), c.Name)
+		}
+		if seen[c.Name] >= 4 {
+			continue
+		}
+		printTree(c, depth+1, maxDepth)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vs2trace:", err)
+	os.Exit(1)
+}

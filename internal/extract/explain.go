@@ -1,0 +1,145 @@
+package extract
+
+import (
+	"context"
+	"sync"
+
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+)
+
+// Terms is the per-term breakdown of one Eq. 2 evaluation against the
+// candidate's nearest interest point — the raw ΔD, ΔH, ΔSim and ΔWd
+// values before weighting. Operators read these to see which modality
+// decided a disambiguation.
+type Terms struct {
+	DD   float64 `json:"delta_d"`
+	DH   float64 `json:"delta_h"`
+	DSim float64 `json:"delta_sim"`
+	DWd  float64 `json:"delta_wd"`
+}
+
+// Weighted returns the Eq. 2 mix α·ΔD + β·ΔH + γ·ΔSim + ν·ΔWd under w.
+func (t Terms) Weighted(w Weights) float64 {
+	return w.Alpha*t.DD + w.Beta*t.DH + w.Gamma*t.DSim + w.Nu*t.DWd
+}
+
+// CandidateExplain is the disambiguation record of one candidate: where
+// it matched, which pattern produced it, and the Eq. 2 cost that ranked
+// it.
+type CandidateExplain struct {
+	Entity       string    `json:"entity"`
+	Text         string    `json:"text"`
+	Pattern      string    `json:"pattern,omitempty"`
+	PatternScore float64   `json:"pattern_score"`
+	Order        int       `json:"order"`
+	Box          geom.Rect `json:"box"`
+	Distance     float64   `json:"distance"`
+	Terms        Terms     `json:"terms"`
+	Won          bool      `json:"won"`
+	// Block is the logical block the candidate matched in; callers with
+	// the layout tree in hand resolve it to a tree path.
+	Block *doc.Node `json:"-"`
+}
+
+// Explanation records why one entity's winning candidate won: the
+// strategy used, the interest points in play, and every candidate ranked
+// best-first with its cost breakdown.
+type Explanation struct {
+	Entity         string             `json:"entity"`
+	Strategy       string             `json:"strategy"`
+	InterestPoints int                `json:"interest_points"`
+	Candidates     []CandidateExplain `json:"candidates"`
+}
+
+// ExplainSink collects per-entity explanations across a selection run.
+// Attach one to the context with WithExplain; the built-in Extractor
+// fills it during SelectContext. Safe for concurrent writers.
+type ExplainSink struct {
+	mu  sync.Mutex
+	exs []Explanation
+}
+
+// Explanations returns a copy of everything collected so far.
+func (s *ExplainSink) Explanations() []Explanation {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Explanation(nil), s.exs...)
+}
+
+func (s *ExplainSink) add(e Explanation) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.exs = append(s.exs, e)
+	s.mu.Unlock()
+}
+
+type explainKey struct{}
+
+// WithExplain attaches a fresh explanation sink to the context and
+// returns both. Selection phases that see the sink record their
+// disambiguation reasoning into it; absent a sink they skip the work
+// entirely.
+func WithExplain(ctx context.Context) (context.Context, *ExplainSink) {
+	sink := &ExplainSink{}
+	return context.WithValue(ctx, explainKey{}, sink), sink
+}
+
+func explainFrom(ctx context.Context) *ExplainSink {
+	s, _ := ctx.Value(explainKey{}).(*ExplainSink)
+	return s
+}
+
+// strategyName reports the configured disambiguation strategy for
+// explanation records.
+func (e *Extractor) strategyName() string {
+	switch e.opts.Disambiguation {
+	case None:
+		return "first-match"
+	case Lesk:
+		return "lesk"
+	default:
+		return "multimodal"
+	}
+}
+
+// explain builds the full ranked explanation for one entity. The ranked
+// candidate order is recomputed with the same comparator the selection
+// used, so the record reflects the actual decision.
+func (e *Extractor) explain(d *doc.Document, entity string, cands []Candidate, points []InterestPoint, winnerOrder int) Explanation {
+	ranked := cands
+	if len(cands) > 1 {
+		ranked = e.rank(d, entity, cands, points)
+	}
+	ex := Explanation{
+		Entity:         entity,
+		Strategy:       e.strategyName(),
+		InterestPoints: len(points),
+		Candidates:     make([]CandidateExplain, 0, len(ranked)),
+	}
+	for _, c := range ranked {
+		var dist float64
+		var terms Terms
+		if e.opts.Disambiguation == Multimodal && len(points) > 0 && len(cands) > 1 {
+			dist, terms = e.distanceTerms(d, c, points)
+		}
+		ex.Candidates = append(ex.Candidates, CandidateExplain{
+			Entity:       entity,
+			Text:         c.Match.Text,
+			Pattern:      c.Match.Pattern,
+			PatternScore: c.Match.Score,
+			Order:        c.order,
+			Box:          c.Box,
+			Distance:     dist,
+			Terms:        terms,
+			Won:          c.order == winnerOrder,
+			Block:        c.BT.Block,
+		})
+	}
+	return ex
+}

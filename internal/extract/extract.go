@@ -24,6 +24,7 @@ import (
 	"vs2/internal/embed"
 	"vs2/internal/geom"
 	"vs2/internal/nlp"
+	"vs2/internal/obs"
 	"vs2/internal/pattern"
 )
 
@@ -154,16 +155,20 @@ func (e *Extractor) Search(d *doc.Document, blocks []*doc.Node, sets []*pattern.
 // caller running against a budget can degrade to partial results instead
 // of discarding completed work.
 func (e *Extractor) SearchContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) (map[string][]Candidate, error) {
+	sp := obs.SpanFrom(ctx)
 	out := map[string][]Candidate{}
 	order := 0
+	searched := 0
 	for _, b := range blocks {
 		if err := ctx.Err(); err != nil {
+			annotateSearch(sp, d, blocks, sets, out, searched)
 			return out, err
 		}
 		bt := NewBlockText(d, b)
 		if bt.Text == "" {
 			continue
 		}
+		searched++
 		for _, set := range sets {
 			for _, m := range set.Find(bt.Ann) {
 				box := bt.BoxFor(d, m.CharStart, m.CharStart+len(m.Text))
@@ -181,7 +186,37 @@ func (e *Extractor) SearchContext(ctx context.Context, d *doc.Document, blocks [
 			}
 		}
 	}
+	annotateSearch(sp, d, blocks, sets, out, searched)
 	return out, nil
+}
+
+// annotateSearch records the search phase's footprint on its span: blocks
+// seen vs searched, patterns tried (every alternative of every set runs
+// against every non-empty block), and per-entity candidate counts in
+// deterministic entity order.
+func annotateSearch(sp *obs.Span, d *doc.Document, blocks []*doc.Node, sets []*pattern.Set, out map[string][]Candidate, searched int) {
+	if sp == nil {
+		return
+	}
+	alternatives := 0
+	for _, set := range sets {
+		alternatives += len(set.Patterns)
+	}
+	total := 0
+	entities := make([]string, 0, len(out))
+	for entity, cs := range out {
+		total += len(cs)
+		entities = append(entities, entity)
+	}
+	sort.Strings(entities)
+	sp.SetAttr("blocks", len(blocks))
+	sp.SetAttr("blocks_searched", searched)
+	sp.SetAttr("entity_sets", len(sets))
+	sp.SetAttr("patterns_tried", alternatives*searched)
+	sp.SetAttr("candidates", total)
+	for _, entity := range entities {
+		sp.AddEvent("candidates", obs.Str("entity", entity), obs.Int("count", len(out[entity])))
+	}
 }
 
 // Extract runs the full search-and-select: one extraction per entity that
@@ -198,6 +233,8 @@ func (e *Extractor) Extract(d *doc.Document, blocks []*doc.Node, sets []*pattern
 // returns ctx's error; the caller can re-select the same candidates with
 // SelectFirstMatch, which needs no interest points and cannot time out.
 func (e *Extractor) SelectContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, candidates map[string][]Candidate, sets []*pattern.Set) ([]Extraction, error) {
+	sp := obs.SpanFrom(ctx)
+	sink := explainFrom(ctx)
 	var points []InterestPoint
 	if e.opts.Disambiguation == Multimodal {
 		var err error
@@ -205,7 +242,9 @@ func (e *Extractor) SelectContext(ctx context.Context, d *doc.Document, blocks [
 		if err != nil {
 			return nil, err
 		}
+		sp.SetAttr("interest_points", len(points))
 	}
+	sp.SetAttr("strategy", e.strategyName())
 	var out []Extraction
 	for _, set := range sets {
 		if err := ctx.Err(); err != nil {
@@ -219,6 +258,23 @@ func (e *Extractor) SelectContext(ctx context.Context, d *doc.Document, blocks [
 			cands = densestBlock(d, cands)
 		}
 		best, dist := e.selectCandidate(d, set.Entity, cands, points)
+		if sp != nil || sink != nil {
+			ex := e.explain(d, set.Entity, cands, points, best.order)
+			sink.add(ex)
+			if sp != nil && len(ex.Candidates) > 0 {
+				win := ex.Candidates[0]
+				sp.AddEvent("select",
+					obs.Str("entity", set.Entity),
+					obs.Int("candidates", len(cands)),
+					obs.Str("winner", win.Text),
+					obs.Str("pattern", win.Pattern),
+					obs.F64("distance", dist),
+					obs.F64("delta_d", win.Terms.DD),
+					obs.F64("delta_h", win.Terms.DH),
+					obs.F64("delta_sim", win.Terms.DSim),
+					obs.F64("delta_wd", win.Terms.DWd))
+			}
+		}
 		out = append(out, Extraction{
 			Entity:   set.Entity,
 			Text:     best.Match.Text,
@@ -366,8 +422,15 @@ func (e *Extractor) rank(d *doc.Document, entity string, cands []Candidate, poin
 // distanceToNearest evaluates Eq. 2 between the candidate's visual area and
 // every interest point, returning the minimum.
 func (e *Extractor) distanceToNearest(d *doc.Document, c Candidate, points []InterestPoint) float64 {
+	f, _ := e.distanceTerms(d, c, points)
+	return f
+}
+
+// distanceTerms is distanceToNearest with the per-term breakdown of the
+// winning (minimum) evaluation, for explanation reports and trace spans.
+func (e *Extractor) distanceTerms(d *doc.Document, c Candidate, points []InterestPoint) (float64, Terms) {
 	if len(points) == 0 {
-		return 0
+		return 0, Terms{}
 	}
 	w := e.opts.Weights
 	pageDiag := d.Width + d.Height
@@ -376,12 +439,13 @@ func (e *Extractor) distanceToNearest(d *doc.Document, c Candidate, points []Int
 	// penalise the match for resembling its own block.
 	for _, p := range points {
 		if p.Block == c.BT.Block {
-			return 0
+			return 0, Terms{}
 		}
 	}
 	matchVec := embed.TextVec(e.opts.Embedder, c.Match.Text)
 	matchWd := wordDensity(c.Box, countWords(d, c.Box))
 	best := math.Inf(1)
+	var bestTerms Terms
 	for _, p := range points {
 		dD := c.Box.Centroid().L1Dist(p.Block.Box.Centroid()) / pageDiag
 		dH := math.Abs(c.Box.H-p.Block.Box.H) / d.Height
@@ -398,9 +462,10 @@ func (e *Extractor) distanceToNearest(d *doc.Document, c Candidate, points []Int
 		f := w.Alpha*dD + w.Beta*dH + w.Gamma*dSim + w.Nu*dWd
 		if f < best {
 			best = f
+			bestTerms = Terms{DD: dD, DH: dH, DSim: dSim, DWd: dWd}
 		}
 	}
-	return best
+	return best, bestTerms
 }
 
 // medianTextHeight returns the median height of the document's text

@@ -21,6 +21,7 @@ import (
 
 	"vs2/internal/doc"
 	"vs2/internal/extract"
+	"vs2/internal/obs"
 	"vs2/internal/pattern"
 )
 
@@ -85,8 +86,12 @@ type Injection struct {
 // arm runs the pre-delegation faults. Delay waits for the stall or for
 // ctx, whichever ends first — delegation then proceeds under the (likely
 // expired) ctx, exercising the wrapped backend's cooperative
-// cancellation.
+// cancellation. When the run is traced, the injection is recorded as an
+// event on the phase span, so chaos runs are self-describing.
 func (f Injection) arm(ctx context.Context) error {
+	if f.Kind != None {
+		obs.SpanFrom(ctx).AddEvent("fault.injected", obs.Str("kind", f.Kind.String()))
+	}
 	switch f.Kind {
 	case Delay:
 		d := f.Sleep

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stepClock returns a deterministic time source advancing step per call,
+// starting at base. New, Child, End and AddEvent each consume exactly one
+// tick, so span durations under this clock are a function of the API call
+// sequence alone.
+func stepClock(base time.Time, step time.Duration) func() time.Time {
+	var mu sync.Mutex
+	t := base
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		cur := t
+		t = t.Add(step)
+		return cur
+	}
+}
+
+var testBase = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+// TestObsCounterConcurrent hammers one counter and one gauge from many
+// goroutines; run under -race this is the data-race proof for the atomic
+// implementation.
+func TestObsCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("hits").Inc()
+				r.Counter("bytes").Add(3)
+				r.Gauge("last").Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*perWorker {
+		t.Errorf("hits = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("bytes").Value(); got != 3*workers*perWorker {
+		t.Errorf("bytes = %d, want %d", got, 3*workers*perWorker)
+	}
+	if g := r.Gauge("last").Value(); g < 0 || g >= workers {
+		t.Errorf("gauge = %v, want one of the written worker ids", g)
+	}
+}
+
+// TestObsHistogramConcurrent checks bucketing and the atomic sum under
+// concurrent observation.
+func TestObsHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(0.5) // bucket 0
+				h.Observe(5)   // bucket 1
+				h.Observe(50)  // bucket 2
+				h.Observe(500) // overflow
+			}
+		}()
+	}
+	wg.Wait()
+	n := int64(workers * perWorker)
+	if h.Count() != 4*n {
+		t.Fatalf("count = %d, want %d", h.Count(), 4*n)
+	}
+	wantSum := float64(n) * (0.5 + 5 + 50 + 500)
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	for i, want := range []int64{n, n, n, n} {
+		if snap.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], want)
+		}
+	}
+}
+
+// TestObsSpanTree builds a trace shaped like a pipeline run and asserts
+// the snapshot mirrors the call structure.
+func TestObsSpanTree(t *testing.T) {
+	tr := New("extract", WithClock(stepClock(testBase, time.Millisecond)))
+	seg := tr.Root().Child("segment")
+	split := seg.Child("split")
+	split.SetAttr("depth", 0)
+	split.SetAttr("elements", 12)
+	split.End()
+	seg.End()
+	sel := tr.Root().Child("disambiguate")
+	sel.AddEvent("select", Str("entity", "EventTitle"), F64("distance", 0.25))
+	sel.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.Name != "extract" || len(snap.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want extract with 2", snap.Name, len(snap.Children))
+	}
+	segSnap := snap.Children[0]
+	if segSnap.Name != "segment" || len(segSnap.Children) != 1 {
+		t.Fatalf("child 0 = %q with %d children, want segment with 1", segSnap.Name, len(segSnap.Children))
+	}
+	sp := segSnap.Children[0]
+	if sp.Name != "split" || sp.Attrs["depth"] != 0 || sp.Attrs["elements"] != 12 {
+		t.Errorf("split snapshot = %+v, want depth=0 elements=12", sp)
+	}
+	selSnap := snap.Children[1]
+	if len(selSnap.Events) != 1 || selSnap.Events[0].Name != "select" {
+		t.Fatalf("disambiguate events = %+v, want one select event", selSnap.Events)
+	}
+	if got := selSnap.Events[0].Attrs["entity"]; got != "EventTitle" {
+		t.Errorf("event entity = %v, want EventTitle", got)
+	}
+	// Every span was ended, so durations are positive and children nest
+	// inside their parents.
+	var check func(s SpanSnapshot)
+	check = func(s SpanSnapshot) {
+		if s.DurationNS <= 0 {
+			t.Errorf("span %q duration = %d, want > 0", s.Name, s.DurationNS)
+		}
+		for _, c := range s.Children {
+			if c.Start.Before(s.Start) {
+				t.Errorf("child %q starts before parent %q", c.Name, s.Name)
+			}
+			check(c)
+		}
+	}
+	check(snap)
+}
+
+// TestObsSnapshotGolden locks the JSON wire format: the stepped clock
+// makes every timestamp and duration a pure function of the call
+// sequence, so the serialisation must match byte for byte.
+func TestObsSnapshotGolden(t *testing.T) {
+	tr := New("run", WithClock(stepClock(testBase, time.Second)))
+	seg := tr.Root().Child("segment") // t+1
+	seg.SetAttr("blocks", 3)
+	seg.AddEvent("fault.injected", Str("kind", "delay")) // t+2
+	seg.End()                                            // t+3
+	tr.Finish()                                          // t+4
+
+	data, err := json.MarshalIndent(tr.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "name": "run",
+  "start": "2026-01-02T03:04:05Z",
+  "duration_ns": 4000000000,
+  "children": [
+    {
+      "name": "segment",
+      "start": "2026-01-02T03:04:06Z",
+      "duration_ns": 2000000000,
+      "attrs": {
+        "blocks": 3
+      },
+      "events": [
+        {
+          "time": "2026-01-02T03:04:07Z",
+          "name": "fault.injected",
+          "attrs": {
+            "kind": "delay"
+          }
+        }
+      ]
+    }
+  ]
+}`
+	if string(data) != golden {
+		t.Errorf("snapshot JSON drifted from golden.\ngot:\n%s\nwant:\n%s", data, golden)
+	}
+}
+
+// TestObsMetricsSnapshotJSON checks the registry snapshot is valid,
+// round-trippable JSON with finite bounds.
+func TestObsMetricsSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("extract.runs").Inc()
+	r.Gauge("blocks.last").Set(7)
+	r.Histogram("phase.segment.ms", nil).Observe(3.5)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.Counters["extract.runs"] != 1 {
+		t.Errorf("counters = %+v, want extract.runs=1", back.Counters)
+	}
+	if back.Gauges["blocks.last"] != 7 {
+		t.Errorf("gauges = %+v, want blocks.last=7", back.Gauges)
+	}
+	h := back.Histograms["phase.segment.ms"]
+	if h.Count != 1 || h.Sum != 3.5 {
+		t.Errorf("histogram = %+v, want count=1 sum=3.5", h)
+	}
+	if len(h.Counts) != len(h.Bounds)+1 {
+		t.Errorf("counts/bounds = %d/%d, want counts = bounds+1", len(h.Counts), len(h.Bounds))
+	}
+}
+
+// TestObsNilSafety proves the disabled fast path: every operation on nil
+// trace, span and registry values is a no-op, and context lookups on a
+// bare context return nil.
+func TestObsNilSafety(t *testing.T) {
+	var tr *Trace
+	var sp *Span
+	var r *Registry
+
+	tr.Finish()
+	if tr.Root() != nil {
+		t.Error("nil trace Root() != nil")
+	}
+	if got := tr.Snapshot(); got.Name != "" {
+		t.Errorf("nil trace snapshot = %+v", got)
+	}
+	if sp.Child("x") != nil {
+		t.Error("nil span Child() != nil")
+	}
+	sp.End()
+	sp.SetAttr("k", 1)
+	sp.AddEvent("e")
+	if sp.Duration() != 0 || sp.Name() != "" {
+		t.Error("nil span has non-zero duration or name")
+	}
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", nil).Observe(1)
+	if r.Counter("c").Value() != 0 {
+		t.Error("nil registry counter has a value")
+	}
+	r.Expvar("nil-registry")
+
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil || SpanFrom(ctx) != nil {
+		t.Error("bare context carries a trace or span")
+	}
+	if WithTrace(ctx, nil) != ctx || WithSpan(ctx, nil) != ctx {
+		t.Error("attaching nil should return ctx unchanged")
+	}
+}
+
+// TestObsContextCarriage checks the two-key carriage: trace and current
+// span travel independently and SpanFrom picks up the innermost span.
+func TestObsContextCarriage(t *testing.T) {
+	tr := New("root")
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace not recovered from context")
+	}
+	phase := tr.Root().Child("segment")
+	pctx := WithSpan(ctx, phase)
+	if SpanFrom(pctx) != phase {
+		t.Fatal("span not recovered from context")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("outer context must not see the phase span")
+	}
+	if TraceFrom(pctx) != tr {
+		t.Fatal("phase context lost the trace")
+	}
+}
+
+// TestObsConcurrentSpans annotates one span tree from many goroutines;
+// meaningful under -race.
+func TestObsConcurrentSpans(t *testing.T) {
+	tr := New("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp := tr.Root().Child("worker")
+			for i := 0; i < 200; i++ {
+				sp.SetAttr("i", i)
+				sp.AddEvent("tick", Int("n", i))
+			}
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if len(snap.Children) != 8 {
+		t.Fatalf("children = %d, want 8", len(snap.Children))
+	}
+	for _, c := range snap.Children {
+		if len(c.Events) != 200 {
+			t.Errorf("worker events = %d, want 200", len(c.Events))
+		}
+	}
+}
+
+// TestObsExpvar publishes a registry and checks idempotence.
+func TestObsExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Expvar("obs-test-registry")
+	r.Expvar("obs-test-registry") // second publish must not panic
+}

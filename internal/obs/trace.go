@@ -1,0 +1,293 @@
+// Package obs is the zero-dependency observability substrate of the VS2
+// pipeline: a span-tree Trace that mirrors the pipeline's phase structure
+// and segmentation recursion, and a Metrics registry of atomic counters,
+// gauges and histograms.
+//
+// Both halves share one design rule: disabled observability must cost
+// nothing on the hot path. Every method of Trace, Span and the metric
+// types is safe on a nil receiver and returns immediately, so call sites
+// instrument unconditionally —
+//
+//	sp := obs.SpanFrom(ctx)      // nil when tracing is off
+//	child := sp.Child("split")   // nil in, nil out; no allocation
+//	child.SetAttr("depth", d)    // no-op on nil
+//	defer child.End()
+//
+// — and a run without a Trace on its context executes only nil checks.
+//
+// A Trace is owned by one extraction run. Span mutation is mutex-guarded
+// so instrumented code may annotate spans from concurrent goroutines
+// (phase workers, the fault harness) without racing; the snapshot API
+// produces an immutable, JSON-marshalable copy of the whole tree.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event. Values must be
+// JSON-marshalable; the helpers Int, F64, Str and Bool cover the common
+// cases.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: v} }
+
+// F64 builds a float attribute.
+func F64(key string, v float64) Attr { return Attr{Key: key, Value: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Value: v} }
+
+// Event is a point-in-time occurrence inside a span: a merge decision, a
+// degradation, an injected fault.
+type Event struct {
+	Time  time.Time
+	Name  string
+	Attrs []Attr
+}
+
+// Span is one timed node of the trace tree. The zero of *Span (nil) is a
+// valid, disabled span: every method no-ops.
+type Span struct {
+	tr *Trace
+
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	events   []Event
+	children []*Span
+}
+
+// Trace is the span tree of one pipeline run. Create one with New, attach
+// it to the run's context with WithTrace, and Finish it when the run ends.
+type Trace struct {
+	root *Span
+	now  func() time.Time
+}
+
+// Option configures a Trace.
+type Option func(*Trace)
+
+// WithClock substitutes the time source, for deterministic tests.
+func WithClock(now func() time.Time) Option {
+	return func(t *Trace) { t.now = now }
+}
+
+// New starts a trace whose root span carries the given name.
+func New(name string, opts ...Option) *Trace {
+	t := &Trace{now: time.Now}
+	for _, o := range opts {
+		o(t)
+	}
+	t.root = &Span{tr: t, name: name, start: t.now()}
+	return t
+}
+
+// Root returns the root span; nil for a nil trace.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span. Idempotent.
+func (t *Trace) Finish() { t.Root().End() }
+
+// Child starts a sub-span under s and returns it. Nil-safe: a nil parent
+// yields a nil child, so an untraced run allocates nothing.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: s.tr.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stamps the span's end time; the first call wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = s.tr.now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span; a later value for the same key replaces the
+// earlier one.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// AddEvent records a point-in-time event inside the span.
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	ev := Event{Time: s.tr.now(), Name: name, Attrs: attrs}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Name returns the span's name; "" for nil.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration is end−start for a finished span, now−start for a live one.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return s.tr.now().Sub(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// SpanSnapshot is the immutable, JSON-marshalable form of one span. The
+// wire format is the contract of `vs2 -trace` and the vs2trace validator.
+type SpanSnapshot struct {
+	Name       string          `json:"name"`
+	Start      time.Time       `json:"start"`
+	DurationNS int64           `json:"duration_ns"`
+	Attrs      map[string]any  `json:"attrs,omitempty"`
+	Events     []EventSnapshot `json:"events,omitempty"`
+	Children   []SpanSnapshot  `json:"children,omitempty"`
+}
+
+// EventSnapshot is the immutable form of one event.
+type EventSnapshot struct {
+	Time  time.Time      `json:"time"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Snapshot copies the whole span tree. Live spans snapshot with their
+// duration so far.
+func (t *Trace) Snapshot() SpanSnapshot {
+	if t == nil {
+		return SpanSnapshot{}
+	}
+	return t.root.Snapshot()
+}
+
+// MarshalJSON encodes the trace as its snapshot.
+func (t *Trace) MarshalJSON() ([]byte, error) { return json.Marshal(t.Snapshot()) }
+
+// Snapshot copies the subtree rooted at s.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:       s.name,
+		Start:      s.start,
+		DurationNS: s.durationLocked().Nanoseconds(),
+		Attrs:      attrMap(s.attrs),
+	}
+	for _, ev := range s.events {
+		snap.Events = append(snap.Events, EventSnapshot{Time: ev.Time, Name: ev.Name, Attrs: attrMap(ev.Attrs)})
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+func (s *Span) durationLocked() time.Duration {
+	if s.end.IsZero() {
+		return s.tr.now().Sub(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// Context carriage. The trace and the current span travel on separate
+// keys: phase boundaries attach their own span so instrumented internals
+// (segmenter, extractor, fault harness) pick up the right parent with one
+// SpanFrom call at entry.
+
+type traceKey struct{}
+type spanKey struct{}
+
+// WithTrace attaches a trace to the context. A nil trace returns ctx
+// unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// WithSpan attaches the current span to the context. A nil span returns
+// ctx unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the context's current span, or nil. This is the single
+// lookup instrumented code performs at a phase boundary; everything below
+// passes *Span explicitly, so a disabled trace costs one failed context
+// lookup per phase.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

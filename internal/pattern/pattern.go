@@ -27,6 +27,9 @@ type Match struct {
 	// Score reflects pattern specificity in [0,1]; exact regexes score
 	// highest, loose phrase patterns lowest. Used only to break ties.
 	Score float64
+	// Pattern names the alternative that produced the match (Set.Find
+	// stamps it); explanation reports surface it to operators.
+	Pattern string
 }
 
 // Pattern locates candidate named-entity mentions in annotated text.
@@ -60,6 +63,7 @@ func (s *Set) Find(a *nlp.Annotated) []Match {
 				continue
 			}
 			seen[key] = true
+			m.Pattern = p.Name()
 			out = append(out, m)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"vs2/internal/colorlab"
 	"vs2/internal/doc"
 	"vs2/internal/geom"
+	"vs2/internal/obs"
 )
 
 // clusterElements is the implicit-visual-modifier step of VS2-Segment
@@ -24,7 +25,9 @@ import (
 //
 // Returns nil when clustering yields fewer than two groups, or when ctx is
 // cancelled mid-sweep (the caller's own ctx check surfaces the error).
-func clusterElements(ctx context.Context, d *doc.Document, n *doc.Node) [][]int {
+// Reassignment-sweep count and resulting group count are annotated on sp
+// (nil when untraced).
+func clusterElements(ctx context.Context, d *doc.Document, n *doc.Node, sp *obs.Span) [][]int {
 	ids := n.Elements
 	if len(ids) < 4 {
 		return nil
@@ -40,10 +43,12 @@ func clusterElements(ctx context.Context, d *doc.Document, n *doc.Node) [][]int 
 	}
 
 	assign := make([]int, len(ids))
+	sweeps := 0
 	for iter := 0; iter < 20; iter++ {
 		if ctx.Err() != nil {
 			return nil
 		}
+		sweeps++
 		changed := false
 		for i := range ids {
 			best, bestD := 0, math.Inf(1)
@@ -78,6 +83,11 @@ func clusterElements(ctx context.Context, d *doc.Document, n *doc.Node) [][]int 
 	}
 	out = mergeOverlappingGroups(d, out)
 	out = mergeTypographicTwins(d, out)
+	if sp != nil {
+		sp.SetAttr("cluster_iterations", sweeps)
+		sp.SetAttr("cluster_seeds", len(centers))
+		sp.SetAttr("cluster_groups", len(out))
+	}
 	if len(out) < 2 {
 		return nil
 	}

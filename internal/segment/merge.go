@@ -6,6 +6,7 @@ import (
 	"vs2/internal/doc"
 	"vs2/internal/embed"
 	"vs2/internal/geom"
+	"vs2/internal/obs"
 )
 
 // mergeTree is the semantic-merging step of Section 5.1.2: recursive
@@ -24,20 +25,26 @@ import (
 // repeats until the tree stops changing.
 // Cancellation (mergeTree's ctx) is checked once per pass and once per
 // parent evaluated, so a deadline unwinds before the next Eq. 1 evaluation.
-func mergeTree(ctx context.Context, d *doc.Document, root *doc.Node, e embed.Embedder) error {
+// Every executed merge lands on sp as an event carrying the Eq. 1 scores
+// that drove it (semantic contribution, threshold θ_h, winning pairwise
+// similarity); the pass count is an attribute.
+func mergeTree(ctx context.Context, sp *obs.Span, d *doc.Document, root *doc.Node, e embed.Embedder) error {
+	passes := 0
 	for iter := 0; iter < 8; iter++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if !mergePass(ctx, d, root, e) {
+		passes++
+		if !mergePass(ctx, sp, d, root, e) {
 			break
 		}
 	}
+	sp.SetAttr("passes", passes)
 	return ctx.Err()
 }
 
 // mergePass performs one bottom-up sweep; reports whether anything merged.
-func mergePass(ctx context.Context, d *doc.Document, root *doc.Node, e embed.Embedder) bool {
+func mergePass(ctx context.Context, sp *obs.Span, d *doc.Document, root *doc.Node, e embed.Embedder) bool {
 	// Group nodes by level for the non-sibling term of Eq. 1.
 	levels := map[int][]*doc.Node{}
 	root.Walk(func(n *doc.Node) {
@@ -53,7 +60,7 @@ func mergePass(ctx context.Context, d *doc.Document, root *doc.Node, e embed.Emb
 		if len(n.Children) < 2 || ctx.Err() != nil {
 			return
 		}
-		if mergeSiblings(d, root.Box, n, levels[n.Depth+1], e) {
+		if mergeSiblings(sp, d, root.Box, n, levels[n.Depth+1], e) {
 			changed = true
 		}
 	}
@@ -64,7 +71,7 @@ func mergePass(ctx context.Context, d *doc.Document, root *doc.Node, e embed.Emb
 // mergeSiblings evaluates Eq. 1 for the children of parent and merges the
 // best-qualifying pair. Only one merge per parent per pass keeps the
 // computation simple and convergent.
-func mergeSiblings(d *doc.Document, page geom.Rect, parent *doc.Node, level []*doc.Node, e embed.Embedder) bool {
+func mergeSiblings(sp *obs.Span, d *doc.Document, page geom.Rect, parent *doc.Node, level []*doc.Node, e embed.Embedder) bool {
 	kids := parent.Children
 	vecs := make([][]float64, len(kids))
 	for i, k := range kids {
@@ -115,6 +122,7 @@ func mergeSiblings(d *doc.Document, page geom.Rect, parent *doc.Node, level []*d
 		}
 	}
 	bestI, bestP, bestSim := -1, -1, simFloor
+	bestSC, bestTheta := 0.0, 0.0
 	for i := range kids {
 		// Only leaf areas are merge candidates: merging exists to undo
 		// over-segmentation of atomic areas; an internal node already
@@ -154,6 +162,7 @@ func mergeSiblings(d *doc.Document, page geom.Rect, parent *doc.Node, level []*d
 				!typographyDiffers(d, kids[i], kids[p]) &&
 				!visuallySeparated(d, kids[i], kids[p]) {
 				bestI, bestP, bestSim = i, p, sim
+				bestSC, bestTheta = sc, theta
 			}
 		}
 	}
@@ -162,6 +171,12 @@ func mergeSiblings(d *doc.Document, page geom.Rect, parent *doc.Node, level []*d
 	}
 
 	a, b := kids[bestI], kids[bestP]
+	sp.AddEvent("merge",
+		obs.Int("depth", a.Depth),
+		obs.Int("elements", len(a.Elements)+len(b.Elements)),
+		obs.F64("sc", bestSC),
+		obs.F64("theta", bestTheta),
+		obs.F64("similarity", bestSim))
 	merged := &doc.Node{
 		Box:      a.Box.Union(b.Box),
 		Elements: append(append([]int(nil), a.Elements...), b.Elements...),

@@ -29,6 +29,7 @@ import (
 	"vs2/internal/embed"
 	"vs2/internal/geom"
 	"vs2/internal/grid"
+	"vs2/internal/obs"
 )
 
 // Options configures the segmenter; zero values select paper defaults.
@@ -95,14 +96,24 @@ func (s *Segmenter) Segment(d *doc.Document) *doc.Node {
 // or cancellation unwinds within one unit of work. On cancellation the
 // partial tree is discarded and ctx's error is returned.
 func (s *Segmenter) SegmentContext(ctx context.Context, d *doc.Document) (*doc.Node, error) {
+	// One SpanFrom lookup per run; the recursion below passes the span
+	// down explicitly, so untraced runs pay only nil checks.
+	sp := obs.SpanFrom(ctx)
 	root := doc.NewTree(d)
-	if err := s.split(ctx, d, root, 0); err != nil {
+	if err := s.split(ctx, sp, d, root, 0); err != nil {
 		return nil, err
 	}
 	if !s.opts.DisableMerging {
-		if err := mergeTree(ctx, d, root, s.opts.Embedder); err != nil {
+		msp := sp.Child("merge")
+		err := mergeTree(ctx, msp, d, root, s.opts.Embedder)
+		msp.End()
+		if err != nil {
 			return nil, err
 		}
+	}
+	if sp != nil {
+		sp.SetAttr("blocks", len(root.Leaves()))
+		sp.SetAttr("tree_height", root.Height())
 	}
 	return root, nil
 }
@@ -112,18 +123,25 @@ func (s *Segmenter) Blocks(d *doc.Document) []*doc.Node {
 	return s.Segment(d).Leaves()
 }
 
-// split recursively decomposes the visual area represented by n.
-func (s *Segmenter) split(ctx context.Context, d *doc.Document, n *doc.Node, depth int) error {
+// split recursively decomposes the visual area represented by n. sp is
+// the parent span (nil when untraced): each split attempt opens a child
+// span, so the span tree mirrors the segmentation recursion one-to-one.
+func (s *Segmenter) split(ctx context.Context, sp *obs.Span, d *doc.Document, n *doc.Node, depth int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if depth >= s.opts.MaxDepth || len(n.Elements) <= s.opts.MinElements {
 		return nil
 	}
-	groups := s.splitByDelimiters(d, n)
+	node := sp.Child("split")
+	defer node.End()
+	node.SetAttr("depth", depth)
+	node.SetAttr("elements", len(n.Elements))
+	groups := s.splitByDelimiters(d, n, node)
 	if groups == nil && !s.opts.DisableClustering {
-		groups = clusterElements(ctx, d, n)
+		groups = clusterElements(ctx, d, n, node)
 	}
+	node.SetAttr("groups", len(groups))
 	if len(groups) < 2 {
 		return ctx.Err()
 	}
@@ -133,7 +151,7 @@ func (s *Segmenter) split(ctx context.Context, d *doc.Document, n *doc.Node, dep
 		}
 		child := n.AddChild(d.BoundingBoxOf(g), g)
 		if len(g) < len(n.Elements) { // guaranteed progress
-			if err := s.split(ctx, d, child, depth+1); err != nil {
+			if err := s.split(ctx, node, d, child, depth+1); err != nil {
 				return err
 			}
 		}
@@ -150,7 +168,8 @@ func (s *Segmenter) split(ctx context.Context, d *doc.Document, n *doc.Node, dep
 // separators are enumerated as element partitions (seam.go), Algorithm 1
 // keeps the true delimiters, and elements sharing a side of every kept
 // delimiter form one group. Returns nil when nothing passes Algorithm 1.
-func (s *Segmenter) splitByDelimiters(d *doc.Document, n *doc.Node) [][]int {
+// The cut-band census and Algorithm 1's verdict are annotated on sp.
+func (s *Segmenter) splitByDelimiters(d *doc.Document, n *doc.Node, sp *obs.Span) [][]int {
 	boxes := make([]geom.Rect, 0, len(n.Elements))
 	local := n.Box
 	for _, id := range n.Elements {
@@ -168,6 +187,21 @@ func (s *Segmenter) splitByDelimiters(d *doc.Document, n *doc.Node) [][]int {
 			findSeparators(g, boxes, false)...)
 	}
 	delims := identifyDelimiters(seps)
+	if sp != nil {
+		sp.SetAttr("cut_bands", len(seps))
+		sp.SetAttr("delimiters", len(delims))
+		if len(delims) > 0 {
+			// The Algorithm 1 decision variable per kept delimiter:
+			// clearance relative to the neighbouring line height.
+			rels := make([]float64, len(delims))
+			for i, del := range delims {
+				if del.nbH > 0 {
+					rels[i] = del.width / del.nbH
+				}
+			}
+			sp.SetAttr("delimiter_rels", rels)
+		}
+	}
 	if len(delims) == 0 {
 		return nil
 	}

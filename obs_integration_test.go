@@ -1,0 +1,229 @@
+package vs2
+
+// End-to-end tests of the observability layer: a traced, metered,
+// explained run over a generated document must produce a span tree that
+// mirrors the pipeline (phase durations accounting for the run's
+// wall-clock), a populated metrics registry, and an extraction report
+// whose entries agree with the extractions.
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"vs2/internal/faults"
+)
+
+func findChild(s SpanSnapshot, name string) *SpanSnapshot {
+	for i := range s.Children {
+		if s.Children[i].Name == name {
+			return &s.Children[i]
+		}
+	}
+	return nil
+}
+
+// TestObservabilityEndToEnd drives the full pipeline with tracing,
+// metrics and explanation on a generated tax form — the acceptance
+// scenario of the `vs2 -trace -metrics -explain` CLI path.
+func TestObservabilityEndToEnd(t *testing.T) {
+	d := GenerateTaxForms(1, 7)[0].Doc
+	tr := NewTrace("vs2")
+	m := NewMetrics()
+	p := NewPipeline(Config{Task: NISTTaxTask(), Metrics: m, Explain: true})
+
+	res, err := p.ExtractContext(WithTrace(context.Background(), tr), d)
+	if err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	tr.Finish()
+	snap := tr.Snapshot()
+
+	// Span tree shape: root → extract → {validate, segment, search,
+	// disambiguate}, segmentation carrying split sub-spans.
+	run := findChild(snap, "extract")
+	if run == nil {
+		t.Fatalf("trace has no extract span; children: %+v", snap.Children)
+	}
+	var phaseSum int64
+	for _, phase := range []string{"validate", "segment", "search", "disambiguate"} {
+		ps := findChild(*run, phase)
+		if ps == nil {
+			t.Fatalf("extract span missing %q child", phase)
+		}
+		phaseSum += ps.DurationNS
+	}
+	// The per-phase durations must account for the run's wall-clock to
+	// within 10%: everything outside the phases is pointer plumbing.
+	if run.DurationNS <= 0 {
+		t.Fatal("extract span has no duration")
+	}
+	if gap := run.DurationNS - phaseSum; gap < 0 || float64(gap) > 0.10*float64(run.DurationNS) {
+		t.Errorf("phase durations sum to %d of %d ns (gap %d, >10%%)", phaseSum, run.DurationNS, gap)
+	}
+	seg := findChild(*run, "segment")
+	if findChild(*seg, "split") == nil {
+		t.Error("segment span has no split sub-spans")
+	}
+	if got := run.Attrs["blocks"]; got == nil {
+		t.Error("extract span missing blocks attribute")
+	}
+
+	// The snapshot must serialise to valid, round-trippable JSON — the
+	// -trace wire contract.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("trace does not marshal: %v", err)
+	}
+	var back SpanSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+
+	// Metrics: one run, one observation per phase histogram, block and
+	// entity counters consistent with the result.
+	ms := m.Snapshot()
+	if ms.Counters["extract.runs"] != 1 {
+		t.Errorf("extract.runs = %d, want 1", ms.Counters["extract.runs"])
+	}
+	for _, h := range []string{"phase.validate.ms", "phase.segment.ms", "phase.search.ms", "phase.disambiguate.ms"} {
+		if ms.Histograms[h].Count != 1 {
+			t.Errorf("%s count = %d, want 1", h, ms.Histograms[h].Count)
+		}
+	}
+	if got, want := ms.Counters["blocks.produced"], int64(len(res.Blocks)); got != want {
+		t.Errorf("blocks.produced = %d, want %d", got, want)
+	}
+	if got, want := ms.Counters["entities.extracted"], int64(len(res.Entities)); got != want {
+		t.Errorf("entities.extracted = %d, want %d", got, want)
+	}
+
+	// Report: one entry per entity with candidates; the winner of each
+	// entry matches the extraction, and its block path resolves in the
+	// layout tree.
+	if res.Report == nil {
+		t.Fatal("Explain set but Result.Report is nil")
+	}
+	if len(res.Entities) == 0 {
+		t.Fatal("no entities extracted from the tax form")
+	}
+	if len(res.Report.Entities) < len(res.Entities) {
+		t.Errorf("report explains %d entities, extracted %d", len(res.Report.Entities), len(res.Entities))
+	}
+	byEntity := map[string]EntityReport{}
+	for _, er := range res.Report.Entities {
+		byEntity[er.Entity] = er
+	}
+	for _, e := range res.Entities {
+		er, ok := byEntity[e.Entity]
+		if !ok {
+			t.Errorf("entity %s has no report entry", e.Entity)
+			continue
+		}
+		if len(er.Candidates) == 0 || !er.Candidates[0].Won {
+			t.Errorf("entity %s: report winner not first (%+v)", e.Entity, er.Candidates)
+			continue
+		}
+		if er.Candidates[0].Text != e.Text {
+			t.Errorf("entity %s: report winner %q, extraction %q", e.Entity, er.Candidates[0].Text, e.Text)
+		}
+		if er.Candidates[0].BlockPath == "?" {
+			t.Errorf("entity %s: winner block not found in layout tree", e.Entity)
+		}
+	}
+}
+
+// TestObservabilityUntraced checks the disabled path: no trace, no
+// metrics, no explain — the result must be bit-identical in behaviour
+// (entities, blocks) to a traced run and carry no report.
+func TestObservabilityUntraced(t *testing.T) {
+	d := GenerateEventPosters(1, 11)[0].Doc
+	plain := NewPipeline(Config{Task: EventPosterTask()})
+	res, err := plain.ExtractContext(context.Background(), d)
+	if err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	if res.Report != nil {
+		t.Error("untraced run has a report")
+	}
+
+	traced := NewPipeline(Config{Task: EventPosterTask(), Metrics: NewMetrics(), Explain: true})
+	tr := NewTrace("vs2")
+	res2, err := traced.ExtractContext(WithTrace(context.Background(), tr), d)
+	if err != nil {
+		t.Fatalf("traced ExtractContext: %v", err)
+	}
+	if len(res.Entities) != len(res2.Entities) {
+		t.Fatalf("tracing changed the result: %d vs %d entities", len(res.Entities), len(res2.Entities))
+	}
+	for i := range res.Entities {
+		if res.Entities[i] != res2.Entities[i] {
+			t.Errorf("entity %d differs under tracing: %+v vs %+v", i, res.Entities[i], res2.Entities[i])
+		}
+	}
+}
+
+// TestObservabilityFaultEvents checks that injected faults surface as
+// span events on the phase they hit, and that degradations carry
+// timestamps and render via String.
+func TestObservabilityFaultEvents(t *testing.T) {
+	d := GenerateEventPosters(1, 3)[0].Doc
+	base := NewPipeline(Config{Task: EventPosterTask()})
+	cfg := Config{
+		Task:      EventPosterTask(),
+		Segmenter: &faults.Segmenter{Inner: segBackend{base}, Inject: faults.Injection{Kind: faults.Panic}},
+	}
+	p := NewPipeline(cfg)
+	tr := NewTrace("vs2")
+	before := time.Now()
+	res, err := p.ExtractContext(WithTrace(context.Background(), tr), d)
+	if err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	if !res.IsDegraded() {
+		t.Fatal("panic injection did not degrade")
+	}
+	g := res.Degraded[0]
+	if g.Time.Before(before) || g.Time.After(time.Now()) {
+		t.Errorf("degradation time %v outside run window", g.Time)
+	}
+	if s := g.String(); s == "" || g.Fallback == "" {
+		t.Errorf("degradation renders empty: %q", s)
+	}
+	tr.Finish()
+	snap := tr.Snapshot()
+	run := findChild(snap, "extract")
+	if run == nil {
+		t.Fatal("no extract span")
+	}
+	seg := findChild(*run, "segment")
+	if seg == nil {
+		t.Fatal("no segment span")
+	}
+	foundFault := false
+	for _, ev := range seg.Events {
+		if ev.Name == "fault.injected" {
+			foundFault = true
+		}
+	}
+	if !foundFault {
+		t.Errorf("segment span events %+v lack fault.injected", seg.Events)
+	}
+	foundDeg := false
+	for _, ev := range run.Events {
+		if ev.Name == "degraded" {
+			foundDeg = true
+		}
+	}
+	if !foundDeg {
+		t.Errorf("extract span events %+v lack degraded", run.Events)
+	}
+}
+
+// segBackend adapts a Pipeline's built-in segmenter for fault wrapping.
+type segBackend struct{ p *Pipeline }
+
+func (s segBackend) SegmentContext(ctx context.Context, d *Document) (*Node, error) {
+	return s.p.segmenter.SegmentContext(ctx, d)
+}

@@ -1,0 +1,160 @@
+// report.go is the explainable-extraction surface: when Config.Explain is
+// set, ExtractContext attaches a Report to the Result that says, for every
+// extracted entity, where in the layout tree the winning match lived,
+// which lexico-syntactic pattern produced it, and how the Eq. 2 multimodal
+// disambiguation scored it against the losing candidates — the paper's
+// Algorithm 1 / Eq. 1 / Eq. 2 decision points, rendered for an operator.
+package vs2
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vs2/internal/doc"
+	"vs2/internal/extract"
+)
+
+// CostTerms is the per-term breakdown of one Eq. 2 evaluation (ΔD, ΔH,
+// ΔSim, ΔWd before weighting).
+type CostTerms = extract.Terms
+
+// CandidateReport describes one candidate considered for an entity.
+type CandidateReport struct {
+	// Text is the candidate's surface string.
+	Text string `json:"text"`
+	// Pattern names the lexico-syntactic alternative that matched.
+	Pattern string `json:"pattern,omitempty"`
+	// PatternScore is the pattern-specificity tie-breaker in [0,1].
+	PatternScore float64 `json:"pattern_score"`
+	// BlockPath locates the candidate's logical block in the layout tree
+	// as a slash-separated child-index path from the root ("/" is the
+	// root; "/1/0" is the first child of the second child).
+	BlockPath string `json:"block_path"`
+	// Box is the candidate's visual grounding in page coordinates.
+	Box Rect `json:"box"`
+	// Distance is the Eq. 2 distance to the nearest interest point.
+	Distance float64 `json:"distance"`
+	// Terms is the breakdown of Distance.
+	Terms CostTerms `json:"terms"`
+	// Won marks the selected candidate.
+	Won bool `json:"won"`
+}
+
+// EntityReport explains one entity's disambiguation: every candidate
+// ranked best-first, the winner flagged.
+type EntityReport struct {
+	// Entity is the entity key.
+	Entity string `json:"entity"`
+	// Strategy names the conflict resolution used: "multimodal", "lesk"
+	// or "first-match".
+	Strategy string `json:"strategy"`
+	// InterestPoints is how many interest points anchored the Eq. 2
+	// ranking (0 for non-multimodal strategies).
+	InterestPoints int `json:"interest_points"`
+	// Candidates are the considered matches, winner first.
+	Candidates []CandidateReport `json:"candidates"`
+}
+
+// Report explains one extraction run. It is attached to Result when
+// Config.Explain is set and the built-in extractor ran (custom
+// ExtractBackends that don't know the explanation protocol leave it
+// sparse).
+type Report struct {
+	// Entities holds one explanation per entity that had candidates.
+	Entities []EntityReport `json:"entities"`
+	// Degraded echoes the run's degradations, timestamped.
+	Degraded []Degradation `json:"degraded,omitempty"`
+}
+
+// buildReport converts the extractor's explanation records into the
+// public report, resolving block pointers to layout-tree paths.
+func buildReport(tree *Node, exps []extract.Explanation, degraded []Degradation) *Report {
+	r := &Report{Degraded: degraded}
+	for _, ex := range exps {
+		er := EntityReport{
+			Entity:         ex.Entity,
+			Strategy:       ex.Strategy,
+			InterestPoints: ex.InterestPoints,
+			Candidates:     make([]CandidateReport, 0, len(ex.Candidates)),
+		}
+		for _, c := range ex.Candidates {
+			er.Candidates = append(er.Candidates, CandidateReport{
+				Text:         c.Text,
+				Pattern:      c.Pattern,
+				PatternScore: c.PatternScore,
+				BlockPath:    blockPath(tree, c.Block),
+				Box:          c.Box,
+				Distance:     c.Distance,
+				Terms:        c.Terms,
+				Won:          c.Won,
+			})
+		}
+		r.Entities = append(r.Entities, er)
+	}
+	return r
+}
+
+// blockPath returns the child-index path from the tree root to target,
+// "/" for the root itself and "?" when the node is not in the tree (a
+// candidate that survived from a pre-sanitation block set).
+func blockPath(tree, target *doc.Node) string {
+	if tree == nil || target == nil {
+		return "?"
+	}
+	if tree == target {
+		return "/"
+	}
+	var walk func(n *doc.Node, prefix string) (string, bool)
+	walk = func(n *doc.Node, prefix string) (string, bool) {
+		for i, c := range n.Children {
+			p := prefix + "/" + strconv.Itoa(i)
+			if c == target {
+				return p, true
+			}
+			if found, ok := walk(c, p); ok {
+				return found, true
+			}
+		}
+		return "", false
+	}
+	if p, ok := walk(tree, ""); ok {
+		return p
+	}
+	return "?"
+}
+
+// String renders the report as operator-readable text.
+func (r *Report) String() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, e := range r.Entities {
+		fmt.Fprintf(&sb, "%s  (%s, %d interest points, %d candidates)\n",
+			e.Entity, e.Strategy, e.InterestPoints, len(e.Candidates))
+		for _, c := range e.Candidates {
+			mark := " "
+			if c.Won {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, "  %s %-30q block %-8s F=%.4f", mark, truncate(c.Text, 28), c.BlockPath, c.Distance)
+			if c.Pattern != "" {
+				fmt.Fprintf(&sb, "  pattern=%s", c.Pattern)
+			}
+			fmt.Fprintf(&sb, "\n      ΔD=%.4f ΔH=%.4f ΔSim=%.4f ΔWd=%.4f\n",
+				c.Terms.DD, c.Terms.DH, c.Terms.DSim, c.Terms.DWd)
+		}
+	}
+	for _, g := range r.Degraded {
+		fmt.Fprintf(&sb, "degraded: %s\n", g)
+	}
+	return sb.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -10,10 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"time"
 
 	"vs2/internal/baselines"
 	"vs2/internal/doc"
+	"vs2/internal/extract"
+	"vs2/internal/obs"
 )
 
 // Phase identifies one stage of the pipeline in errors and degradation
@@ -106,6 +109,23 @@ type Degradation struct {
 	Fallback string
 	// Cause describes why, in one line.
 	Cause string
+	// Time is when the fallback was taken, for correlating degradations
+	// with traces and logs.
+	Time time.Time
+}
+
+// String renders the degradation for warnings and trace output, e.g.
+//
+//	[12:04:05.231] segment degraded to linear-segmentation: phase budget exceeded
+func (g Degradation) String() string {
+	s := fmt.Sprintf("%s degraded to %s", g.Phase, g.Fallback)
+	if g.Cause != "" {
+		s += ": " + g.Cause
+	}
+	if !g.Time.IsZero() {
+		s = "[" + g.Time.Format("15:04:05.000") + "] " + s
+	}
+	return s
 }
 
 // SegmentBackend produces the layout tree of a document. The default is
@@ -142,25 +162,71 @@ type ExtractBackend interface {
 //
 // Every fallback taken is recorded in Result.Degraded. The returned error,
 // when non-nil, is always a *Error.
+//
+// Observability: when the context carries an obs.Trace (vs2.WithTrace) the
+// run records a span per phase — the segmenter and extractor add their own
+// sub-spans beneath them — and degradations become span events. When
+// Config.Metrics is set, per-phase latency histograms and the run/block/
+// candidate/degradation counters are updated. Both are nil-guarded fast
+// paths: an untraced, unmetered run pays a few nil checks.
 func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, &Error{Phase: PhaseValidate, Err: err}
+	m := p.cfg.Metrics
+	parent := obs.SpanFrom(ctx)
+	if parent == nil {
+		parent = obs.TraceFrom(ctx).Root()
 	}
-	if d == nil {
-		return nil, &Error{Phase: PhaseValidate, Err: fmt.Errorf("%w: nil document", ErrInvalidDocument)}
+	run := parent.Child("extract")
+	defer run.End()
+	m.Counter("extract.runs").Inc()
+
+	fail := func(phase Phase, stage string, err error) (*Result, error) {
+		e := &Error{Phase: phase, Stage: stage, Err: err}
+		run.SetAttr("error", e.Error())
+		m.Counter("extract.errors." + string(phase)).Inc()
+		return nil, e
 	}
-	if err := d.Validate(); err != nil {
-		return nil, &Error{Phase: PhaseValidate, Err: fmt.Errorf("%w: %w", ErrInvalidDocument, err)}
+
+	// Phase 0: validation.
+	vstart := time.Now()
+	vspan := run.Child("validate")
+	verr := func() error {
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case d == nil:
+			return fmt.Errorf("%w: nil document", ErrInvalidDocument)
+		default:
+			if err := d.Validate(); err != nil {
+				return fmt.Errorf("%w: %w", ErrInvalidDocument, err)
+			}
+			return nil
+		}
+	}()
+	vspan.End()
+	m.Histogram("phase.validate.ms", nil).Observe(msSince(vstart))
+	if verr != nil {
+		return fail(PhaseValidate, "", verr)
 	}
+	vspan.SetAttr("elements", len(d.Elements))
+
 	res := &Result{}
+	degrade := func(phase Phase, fallback string, cause error) {
+		res.degrade(phase, fallback, cause)
+		g := res.Degraded[len(res.Degraded)-1]
+		run.AddEvent("degraded",
+			obs.Str("phase", string(phase)),
+			obs.Str("fallback", fallback),
+			obs.Str("cause", g.Cause))
+		m.Counter("degraded." + fallback).Inc()
+	}
 
 	// Phase 1: segmentation. Any failure degrades to the linear baseline.
-	tree, err := p.segmentPhase(ctx, d)
+	tree, err := p.segmentPhase(ctx, run, d)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, &Error{Phase: PhaseSegment, Err: err}
+			return fail(PhaseSegment, "", err)
 		}
-		res.degrade(PhaseSegment, "linear-segmentation", err)
+		degrade(PhaseSegment, "linear-segmentation", err)
 		tree = p.linearTree(d)
 	}
 	blocks, note := sanitizeBlocks(d, tree)
@@ -168,71 +234,134 @@ func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, er
 		// The segmenter returned blocks a correct implementation cannot
 		// produce (corrupt geometry, dangling element indices, dropped
 		// elements); the cleaned set is used and the damage reported.
-		res.degrade(PhaseSegment, "sanitized-blocks", errors.New(note))
+		degrade(PhaseSegment, "sanitized-blocks", errors.New(note))
 		tree = wrapBlocks(d, blocks)
 	}
 
 	// Phase 2: pattern search. A budget overrun keeps partial candidates.
-	cands, err := p.searchPhase(ctx, d, blocks)
+	cands, err := p.searchPhase(ctx, run, d, blocks)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, &Error{Phase: PhaseSearch, Err: err}
+			return fail(PhaseSearch, "", err)
 		}
 		if cands == nil || !errors.Is(err, ErrBudgetExceeded) {
-			return nil, &Error{Phase: PhaseSearch, Err: err}
+			return fail(PhaseSearch, "", err)
 		}
-		res.degrade(PhaseSearch, "partial-search", err)
+		degrade(PhaseSearch, "partial-search", err)
 	}
 
-	// Phase 3: disambiguation. Any failure degrades to first-match.
-	entities, err := p.selectPhase(ctx, d, blocks, cands)
+	// Phase 3: disambiguation. Any failure degrades to first-match. When
+	// an explanation was requested, a sink rides the phase context and the
+	// extractor fills it with the Eq. 2 reasoning per entity.
+	ectx := ctx
+	var sink *extract.ExplainSink
+	if p.cfg.Explain {
+		ectx, sink = extract.WithExplain(ctx)
+	}
+	entities, err := p.selectPhase(ectx, run, d, blocks, cands)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, &Error{Phase: PhaseDisambiguate, Err: err}
+			return fail(PhaseDisambiguate, "", err)
 		}
 		fallback, ferr := p.firstMatchPhase(d, cands)
 		if ferr != nil {
-			return nil, &Error{Phase: PhaseDisambiguate, Stage: "first-match fallback", Err: ferr}
+			return fail(PhaseDisambiguate, "first-match fallback", ferr)
 		}
-		res.degrade(PhaseDisambiguate, "first-match", err)
+		degrade(PhaseDisambiguate, "first-match", err)
 		entities = fallback
 	}
 
 	res.Entities, res.Blocks, res.Tree = entities, blocks, tree
+	if sink != nil {
+		res.Report = buildReport(tree, sink.Explanations(), res.Degraded)
+	}
+	if run != nil || m != nil {
+		total := 0
+		for _, cs := range cands {
+			total += len(cs)
+		}
+		m.Counter("blocks.produced").Add(int64(len(blocks)))
+		m.Counter("entities.extracted").Add(int64(len(entities)))
+		m.Counter("candidates.found").Add(int64(total))
+		m.Counter("candidates.rejected").Add(int64(total - len(entities)))
+		m.Gauge("last.blocks").Set(float64(len(blocks)))
+		run.SetAttr("blocks", len(blocks))
+		run.SetAttr("entities", len(entities))
+		run.SetAttr("candidates", total)
+		run.SetAttr("degradations", len(res.Degraded))
+	}
 	return res, nil
 }
 
+// phaseSpan opens the span for one phase and attaches it to the phase
+// context, so the backend below picks it up as its parent.
+func phaseSpan(pctx context.Context, run *obs.Span, name string) (context.Context, *obs.Span) {
+	sp := run.Child(name)
+	return obs.WithSpan(pctx, sp), sp
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
 // segmentPhase runs the segmenter under its budget with panic recovery.
-func (p *Pipeline) segmentPhase(ctx context.Context, d *Document) (tree *Node, err error) {
+func (p *Pipeline) segmentPhase(ctx context.Context, run *obs.Span, d *Document) (tree *Node, err error) {
 	defer recoverPhase(&err)
+	start := time.Now()
+	defer func() { p.cfg.Metrics.Histogram("phase.segment.ms", nil).Observe(msSince(start)) }()
 	pctx, cancel := phaseContext(ctx, p.cfg.Budgets.Segment)
 	defer cancel()
-	tree, err = p.segmenter.SegmentContext(pctx, d)
+	pctx, sp := phaseSpan(pctx, run, "segment")
+	defer sp.End()
+	pprof.Do(pctx, pprof.Labels("vs2_phase", "segment"), func(c context.Context) {
+		tree, err = p.segmenter.SegmentContext(c, d)
+	})
 	if err == nil && tree == nil {
 		err = errors.New("segmenter returned no tree")
 	}
-	return tree, budgetize(ctx, pctx, err)
+	if err = budgetize(ctx, pctx, err); err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	return tree, err
 }
 
 // searchPhase runs the pattern search under its budget with panic
 // recovery; on a budget overrun the partial candidate map is returned
 // alongside the error.
-func (p *Pipeline) searchPhase(ctx context.Context, d *Document, blocks []*Node) (cands map[string][]Candidate, err error) {
+func (p *Pipeline) searchPhase(ctx context.Context, run *obs.Span, d *Document, blocks []*Node) (cands map[string][]Candidate, err error) {
 	defer recoverPhase(&err)
+	start := time.Now()
+	defer func() { p.cfg.Metrics.Histogram("phase.search.ms", nil).Observe(msSince(start)) }()
 	pctx, cancel := phaseContext(ctx, p.cfg.Budgets.Search)
 	defer cancel()
-	cands, err = p.extractor.SearchContext(pctx, d, blocks, p.cfg.Task.Sets)
-	return cands, budgetize(ctx, pctx, err)
+	pctx, sp := phaseSpan(pctx, run, "search")
+	defer sp.End()
+	pprof.Do(pctx, pprof.Labels("vs2_phase", "search"), func(c context.Context) {
+		cands, err = p.extractor.SearchContext(c, d, blocks, p.cfg.Task.Sets)
+	})
+	if err = budgetize(ctx, pctx, err); err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	return cands, err
 }
 
 // selectPhase runs conflict resolution under its budget with panic
 // recovery.
-func (p *Pipeline) selectPhase(ctx context.Context, d *Document, blocks []*Node, cands map[string][]Candidate) (out []Extraction, err error) {
+func (p *Pipeline) selectPhase(ctx context.Context, run *obs.Span, d *Document, blocks []*Node, cands map[string][]Candidate) (out []Extraction, err error) {
 	defer recoverPhase(&err)
+	start := time.Now()
+	defer func() { p.cfg.Metrics.Histogram("phase.disambiguate.ms", nil).Observe(msSince(start)) }()
 	pctx, cancel := phaseContext(ctx, p.cfg.Budgets.Disambiguate)
 	defer cancel()
-	out, err = p.extractor.SelectContext(pctx, d, blocks, cands, p.cfg.Task.Sets)
-	return out, budgetize(ctx, pctx, err)
+	pctx, sp := phaseSpan(pctx, run, "disambiguate")
+	defer sp.End()
+	pprof.Do(pctx, pprof.Labels("vs2_phase", "disambiguate"), func(c context.Context) {
+		out, err = p.extractor.SelectContext(c, d, blocks, cands, p.cfg.Task.Sets)
+	})
+	if err = budgetize(ctx, pctx, err); err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	return out, err
 }
 
 // firstMatchPhase is the last-resort selection; recovery matters because
@@ -358,7 +487,7 @@ func (r *Result) degrade(phase Phase, fallback string, cause error) {
 	if cause != nil {
 		c = cause.Error()
 	}
-	r.Degraded = append(r.Degraded, Degradation{Phase: phase, Fallback: fallback, Cause: c})
+	r.Degraded = append(r.Degraded, Degradation{Phase: phase, Fallback: fallback, Cause: c, Time: time.Now()})
 }
 
 // IsDegraded reports whether any phase fell back to a cheaper strategy.

@@ -42,6 +42,7 @@ import (
 	"vs2/internal/extract"
 	"vs2/internal/geom"
 	"vs2/internal/holdout"
+	"vs2/internal/obs"
 	"vs2/internal/ocr"
 	"vs2/internal/pattern"
 	"vs2/internal/segment"
@@ -154,6 +155,35 @@ const (
 	PropertyDescription = pattern.PropertyDesc
 )
 
+// Observability surface: a Trace records the span tree of one run (attach
+// it to the context with WithTrace), a Metrics registry aggregates
+// counters/gauges/histograms across runs (set Config.Metrics). Both are
+// implemented by internal/obs; nil values disable them at near-zero cost.
+type (
+	// Trace is the span tree of one pipeline run.
+	Trace = obs.Trace
+	// Span is one timed node of a trace.
+	Span = obs.Span
+	// SpanSnapshot is the immutable JSON form of a span tree, the wire
+	// format of `vs2 -trace`.
+	SpanSnapshot = obs.SpanSnapshot
+	// Metrics aggregates pipeline counters, gauges and histograms; safe
+	// for concurrent use across pipelines and goroutines.
+	Metrics = obs.Registry
+	// MetricsSnapshot is the immutable JSON form of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewTrace starts a trace whose root span carries the given name.
+func NewTrace(name string) *Trace { return obs.New(name) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WithTrace attaches a trace to a context; ExtractContext records its
+// span tree beneath the trace root.
+func WithTrace(ctx context.Context, t *Trace) context.Context { return obs.WithTrace(ctx, t) }
+
 // Config tunes a Pipeline.
 type Config struct {
 	// Task selects the entities and patterns; required.
@@ -164,6 +194,14 @@ type Config struct {
 	// allowance; zero fields are unbounded. See Budgets for the fallback
 	// taken when a phase overruns.
 	Budgets Budgets
+	// Metrics, when non-nil, receives per-phase latencies and run/block/
+	// candidate/degradation counters from every ExtractContext call. One
+	// registry may serve many pipelines.
+	Metrics *Metrics
+	// Explain attaches a Report to each Result explaining every
+	// extraction: block path in the layout tree, pattern matched, and the
+	// Eq. 2 disambiguation cost breakdown per candidate.
+	Explain bool
 	// DisableDisambiguation replaces Eq. 2 conflict resolution with
 	// first-match (ablation A3).
 	DisableDisambiguation bool
@@ -215,6 +253,9 @@ type Result struct {
 	// Degraded records every fallback ExtractContext took instead of
 	// failing; empty for a run that completed on the primary strategies.
 	Degraded []Degradation
+	// Report explains each extraction when Config.Explain is set; nil
+	// otherwise.
+	Report *Report
 }
 
 // Segment decomposes the document into its layout tree without running
