@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race obs fuzz trace-demo
+.PHONY: check vet build test race obs serve-chaos fuzz trace-demo
 
 # check is the tier-1 verification gate: static analysis, a full build,
 # the full test suite, the race-detector pass (the chaos suite asserts
-# its no-panic/no-hang containment contract there), and a focused
-# race-detector pass over the observability primitives.
-check: vet build test race obs
+# its no-panic/no-hang containment contract there), a focused
+# race-detector pass over the observability primitives, and the
+# serving-layer soak.
+check: vet build test race obs serve-chaos
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +29,19 @@ race:
 # counter, gauge, histogram and span is hit from concurrent goroutines.
 obs:
 	$(GO) test -run TestObs -race ./internal/obs
+
+# serve-chaos soaks the serving layer under the race detector: 200+
+# documents through a 4-worker pool with per-document fault injection
+# (invalid documents, transient and persistent search failures, panics,
+# slow segmenters), a deterministic circuit-breaker trip/recovery
+# sequence, and a saturation burst against a full queue. Asserted
+# invariants: no panics, no deadlocks, zero leaked goroutines
+# (before/after goroutine counts with a settle loop), every shed or
+# failed document carries a structured error, and breaker transitions
+# are visible in the metrics snapshot. (The `race` target skips it via
+# -short so the soak runs exactly once per check.)
+serve-chaos:
+	$(GO) test -race -run TestServeChaosSoak -count=1 -timeout 15m .
 
 # trace-demo runs the full observability path end to end: generate one
 # tax form, extract with tracing + metrics + explanation on, then

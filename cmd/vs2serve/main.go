@@ -1,0 +1,263 @@
+// Command vs2serve runs a document stream through the resilient serving
+// layer: a bounded worker pool with admission control, per-document
+// retries and per-phase circuit breakers over the hardened extraction
+// pipeline. It is the corpus-scale counterpart of the one-shot `vs2`
+// command.
+//
+// Input is a stream of documents — JSONL or concatenated JSON, bare
+// documents or labelled ones — from -in or stdin. Every document
+// produces exactly one JSON line on stdout:
+//
+//	{"id":"poster-17","entities":[...],"degraded":["segment: ..."],"error":""}
+//
+// Documents the server sheds or that fail every retry keep their line,
+// with the structured error in the "error" field; the exit code is then
+// non-zero. A summary (completed / degraded / failed / shed) lands on
+// stderr, -metrics dumps the full telemetry snapshot, and -trace writes
+// one compact span tree per document as JSONL — the stream format
+// vs2trace validates.
+//
+// Usage:
+//
+//	vs2gen -n 100 -out - | vs2serve -task events
+//	vs2serve -in corpus.jsonl -task tax -workers 8 -queue 32 -retries 3
+//	vs2serve -in corpus.jsonl -trace traces.jsonl -metrics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"vs2"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// docOutput is the per-document stdout line.
+type docOutput struct {
+	ID       string           `json:"id"`
+	Entities []vs2.Extraction `json:"entities,omitempty"`
+	Degraded []string         `json:"degraded,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vs2serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in        = fs.String("in", "", "document stream (JSONL or concatenated JSON); default stdin")
+		task      = fs.String("task", "events", "extraction task: events | realestate | tax")
+		workers   = fs.Int("workers", 0, "worker-pool size (0 = min(GOMAXPROCS, 8))")
+		queue     = fs.Int("queue", 0, "admission-queue depth (0 = 4x workers)")
+		queueWait = fs.Duration("queue-wait", 0, "queue-wait budget before shedding (0 = the -timeout deadline: a batch run does not shed its own tail)")
+		retries   = fs.Int("retries", 0, "attempts per document, first try included (0 = 3)")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "overall batch deadline (0 = none)")
+		metrics   = fs.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
+		traceOut  = fs.String("trace", "", "write one compact span tree per document (JSONL) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	taskCfg, err := taskByName(*task)
+	if err != nil {
+		fmt.Fprintln(stderr, "vs2serve:", err)
+		return 2
+	}
+
+	docs, err := loadDocuments(*in, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "vs2serve:", err)
+		return 1
+	}
+	if len(docs) == 0 {
+		fmt.Fprintln(stderr, "vs2serve: no documents in input")
+		return 1
+	}
+
+	// The server's 1s default queue-wait suits an online service; a batch
+	// CLI run over a finite corpus must not shed its own tail, so the
+	// budget defaults to the whole batch deadline.
+	if *queueWait == 0 {
+		*queueWait = *timeout
+		if *queueWait == 0 {
+			*queueWait = 24 * time.Hour
+		}
+	}
+
+	m := vs2.NewMetrics()
+	p := vs2.NewPipeline(vs2.Config{Task: taskCfg, Metrics: m})
+	s := vs2.NewServer(p, vs2.ServerConfig{
+		Workers:   *workers,
+		Queue:     *queue,
+		QueueWait: *queueWait,
+		Retry:     vs2.RetryPolicy{MaxAttempts: *retries},
+		Metrics:   m,
+	})
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var traceW *json.Encoder
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "vs2serve:", err)
+			return 1
+		}
+		defer traceFile.Close()
+		traceW = json.NewEncoder(traceFile)
+	}
+
+	results := extractAll(ctx, s, docs, traceW)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "vs2serve:", err)
+	}
+
+	enc := json.NewEncoder(stdout)
+	var completed, degraded, failed, shed int
+	for _, r := range results {
+		out := docOutput{ID: r.Doc.ID}
+		switch {
+		case r.Err != nil:
+			out.Error = r.Err.Error()
+			failed++
+			if errors.Is(r.Err, vs2.ErrOverloaded) {
+				shed++
+			}
+		default:
+			out.Entities = r.Result.Entities
+			completed++
+			for _, g := range r.Result.Degraded {
+				out.Degraded = append(out.Degraded, g.String())
+			}
+			if r.Result.IsDegraded() {
+				degraded++
+			}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "vs2serve:", err)
+			return 1
+		}
+	}
+
+	fmt.Fprintf(stderr, "vs2serve: %d documents: %d completed (%d degraded), %d failed (%d shed)\n",
+		len(docs), completed, degraded, failed, shed)
+	if *metrics {
+		fmt.Fprintln(stderr, "vs2serve: metrics:")
+		menc := json.NewEncoder(stderr)
+		menc.SetIndent("", "  ")
+		if err := menc.Encode(m.Snapshot()); err != nil {
+			fmt.Fprintln(stderr, "vs2serve: metrics snapshot failed:", err)
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// extractAll runs the documents through the server. Without tracing it
+// is exactly Server.ExtractBatch; with tracing each document runs under
+// its own span tree, written as one JSONL line when it finishes.
+func extractAll(ctx context.Context, s *vs2.Server, docs []*vs2.Document, traceW *json.Encoder) []vs2.BatchResult {
+	if traceW == nil {
+		return s.ExtractBatch(ctx, docs)
+	}
+	out := make([]vs2.BatchResult, len(docs))
+	var mu sync.Mutex // serialises trace lines
+	var wg sync.WaitGroup
+	for i, d := range docs {
+		wg.Add(1)
+		go func(i int, d *vs2.Document) {
+			defer wg.Done()
+			tr := vs2.NewTrace("vs2 " + d.ID)
+			res, err := s.Extract(vs2.WithTrace(ctx, tr), d)
+			tr.Finish()
+			out[i] = vs2.BatchResult{Index: i, Doc: d, Result: res, Err: err}
+			mu.Lock()
+			defer mu.Unlock()
+			traceW.Encode(tr.Snapshot()) //nolint:errcheck
+		}(i, d)
+	}
+	wg.Wait()
+	return out
+}
+
+// loadDocuments reads a document stream: JSONL, concatenated JSON, bare
+// documents or labelled ones, from the named file or stdin when path is
+// empty or "-".
+func loadDocuments(path string, stdin io.Reader) ([]*vs2.Document, error) {
+	r := stdin
+	name := "stdin"
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+		name = path
+	}
+	dec := json.NewDecoder(r)
+	var docs []*vs2.Document
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%s: document %d: %w", name, len(docs)+1, err)
+		}
+		d, err := decodeDocument(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: document %d: %w", name, len(docs)+1, err)
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+// decodeDocument accepts a labelled document or a bare one, matching
+// the vs2 command's loader.
+func decodeDocument(raw json.RawMessage) (*vs2.Document, error) {
+	var l vs2.Labeled
+	if err := json.Unmarshal(raw, &l); err == nil && l.Doc != nil {
+		return l.Doc, nil
+	}
+	var d vs2.Document
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+func taskByName(name string) (vs2.Task, error) {
+	switch name {
+	case "events":
+		return vs2.EventPosterTask(), nil
+	case "realestate":
+		return vs2.RealEstateTask(), nil
+	case "tax":
+		return vs2.NISTTaxTask(), nil
+	default:
+		return vs2.Task{}, fmt.Errorf("unknown task %q (want events | realestate | tax)", name)
+	}
+}

@@ -1,0 +1,167 @@
+package main
+
+// End-to-end tests of the vs2serve CLI over in-process generated
+// corpora: clean streams, streams with invalid documents, trace output,
+// and flag validation.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"vs2"
+	"vs2/internal/doc"
+)
+
+// posterStream encodes n generated event posters as a JSONL stream.
+func posterStream(t *testing.T, n int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, l := range vs2.GenerateEventPosters(n, 7) {
+		data, err := doc.EncodeLabeled(&l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	return &buf
+}
+
+func parseLines(t *testing.T, stdout string) []docOutput {
+	t.Helper()
+	var out []docOutput
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		var d docOutput
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("bad output line %q: %v", line, err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestServeCleanStream(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-task", "events", "-workers", "2", "-queue-wait", "10m"},
+		posterStream(t, 8), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := parseLines(t, stdout.String())
+	if len(lines) != 8 {
+		t.Fatalf("%d output lines, want 8", len(lines))
+	}
+	for _, l := range lines {
+		if l.Error != "" {
+			t.Fatalf("doc %s failed: %s", l.ID, l.Error)
+		}
+		if len(l.Entities) == 0 {
+			t.Fatalf("doc %s extracted no entities", l.ID)
+		}
+	}
+	if !strings.Contains(stderr.String(), "8 documents: 8 completed") {
+		t.Fatalf("summary missing:\n%s", stderr.String())
+	}
+}
+
+func TestServeInvalidDocumentKeepsStreamAlive(t *testing.T) {
+	stream := posterStream(t, 2)
+	bad, err := json.Marshal(&vs2.Document{ID: "empty-doc", Width: 100, Height: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Write(bad)
+	stream.WriteByte('\n')
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-task", "events", "-workers", "2", "-queue-wait", "10m"},
+		stream, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (one document failed); stderr: %s", code, stderr.String())
+	}
+	lines := parseLines(t, stdout.String())
+	if len(lines) != 3 {
+		t.Fatalf("%d output lines, want 3 (failed documents keep their line)", len(lines))
+	}
+	var failed, ok int
+	for _, l := range lines {
+		if l.ID == "empty-doc" {
+			if !strings.Contains(l.Error, "invalid document") {
+				t.Fatalf("empty doc error = %q, want a structured invalid-document error", l.Error)
+			}
+			failed++
+			continue
+		}
+		if l.Error != "" {
+			t.Fatalf("doc %s failed: %s", l.ID, l.Error)
+		}
+		ok++
+	}
+	if failed != 1 || ok != 2 {
+		t.Fatalf("failed=%d ok=%d, want 1/2", failed, ok)
+	}
+	if !strings.Contains(stderr.String(), "2 completed") || !strings.Contains(stderr.String(), "1 failed") {
+		t.Fatalf("summary missing:\n%s", stderr.String())
+	}
+}
+
+func TestServeTraceStream(t *testing.T) {
+	tracePath := t.TempDir() + "/traces.jsonl"
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-task", "events", "-workers", "2", "-queue-wait", "10m", "-trace", tracePath},
+		posterStream(t, 3), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceLines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(traceLines) != 3 {
+		t.Fatalf("%d trace lines, want 3", len(traceLines))
+	}
+	for i, line := range traceLines {
+		var span vs2.SpanSnapshot
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("trace line %d: %v", i+1, err)
+		}
+		if !strings.HasPrefix(span.Name, "vs2 ") || span.DurationNS <= 0 {
+			t.Fatalf("trace line %d: implausible root span %+v", i+1, span)
+		}
+	}
+}
+
+func TestServeMetricsSnapshot(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-task", "events", "-workers", "2", "-queue-wait", "10m", "-metrics"},
+		posterStream(t, 2), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, key := range []string{"serve.completed", "serve.enqueued", "serve.queue.wait.ms"} {
+		if !strings.Contains(stderr.String(), key) {
+			t.Fatalf("metrics snapshot missing %s:\n%s", key, stderr.String())
+		}
+	}
+}
+
+func TestServeUnknownTask(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-task", "nope"}, &bytes.Buffer{}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestServeEmptyInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-task", "events"}, &bytes.Buffer{}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no documents") {
+		t.Fatalf("stderr = %s, want no-documents diagnostic", stderr.String())
+	}
+}

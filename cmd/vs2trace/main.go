@@ -1,21 +1,31 @@
-// Command vs2trace validates and summarises a trace file written by
-// `vs2 -trace`. It checks the structural invariants of the span tree —
-// every child fits inside its parent's duration, the extract span is
-// present, and the per-phase durations account for the run's wall-clock
-// to within 10% — then prints a flame-style summary. A violated
-// invariant exits non-zero, so the `make trace-demo` target doubles as
-// an end-to-end check of the tracing layer.
+// Command vs2trace validates and summarises trace files written by
+// `vs2 -trace` (one indented JSON span tree) or `vs2serve -trace` (a
+// JSONL stream, one compact span tree per line). It checks the
+// structural invariants of each span tree — every child fits inside its
+// parent's duration, the extract span is present, and the per-phase
+// durations account for the run's wall-clock to within 10% — then
+// prints a flame-style summary. A violated invariant or a malformed
+// line exits non-zero, so the `make trace-demo` target doubles as an
+// end-to-end check of the tracing layer.
+//
+// Malformed or truncated lines in a stream do not abort the run: each
+// gets a line-numbered diagnostic on stderr, the remaining lines are
+// still validated, and the exit code reports the failure at the end.
 //
 // Usage:
 //
 //	vs2trace -in trace.json
+//	vs2trace -in traces.jsonl -depth 0
 //	vs2trace -in trace.json -depth 3
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -28,30 +38,127 @@ import (
 var phases = []string{"validate", "segment", "search", "disambiguate"}
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vs2trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in    = flag.String("in", "", "trace JSON written by vs2 -trace")
-		depth = flag.Int("depth", 2, "span tree depth to print (0 = no tree)")
+		in    = fs.String("in", "", "trace JSON (or JSONL stream) written by vs2 -trace / vs2serve -trace")
+		depth = fs.Int("depth", 2, "span tree depth to print (0 = no tree)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "vs2trace: -in is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vs2trace: -in is required")
+		fs.Usage()
+		return 2
 	}
 
 	data, err := os.ReadFile(*in)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "vs2trace:", err)
+		return 1
 	}
+
+	// A file from `vs2 -trace` is one (indented) JSON document; try that
+	// first. Anything else is treated as a JSONL stream with per-line
+	// recovery.
 	var root vs2.SpanSnapshot
-	if err := json.Unmarshal(data, &root); err != nil {
-		fatal(fmt.Errorf("%s: not a trace: %w", *in, err))
+	if err := json.Unmarshal(data, &root); err == nil {
+		if bad := checkTrace(&root, *depth, stdout, stderr); bad {
+			return 1
+		}
+		fmt.Fprintln(stdout, "trace OK")
+		return 0
 	}
 
-	var problems []string
-	checkNesting(&root, &problems)
+	return runStream(*in, data, *depth, stdout, stderr)
+}
 
-	run := find(&root, "extract")
+// runStream validates a JSONL trace stream line by line. A line that is
+// not a complete, well-formed span tree produces a line-numbered
+// diagnostic and a non-zero exit, but never stops the scan: every
+// remaining line is still checked.
+func runStream(name string, data []byte, depth int, stdout, stderr io.Writer) int {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var (
+		line   int
+		traces int
+		bad    int
+	)
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		var root vs2.SpanSnapshot
+		if err := json.Unmarshal(text, &root); err != nil {
+			bad++
+			fmt.Fprintf(stderr, "vs2trace: %s:%d: malformed span line: %v\n", name, line, diagnose(text, err))
+			continue
+		}
+		traces++
+		if checkTrace(&root, depth, stdout, stderr) {
+			bad++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(stderr, "vs2trace: %s:%d: %v\n", name, line+1, err)
+		return 1
+	}
+	if traces == 0 && bad == 0 {
+		fmt.Fprintf(stderr, "vs2trace: %s: no traces found\n", name)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d traces checked, %d bad\n", traces, bad)
+	if bad > 0 {
+		return 1
+	}
+	fmt.Fprintln(stdout, "trace OK")
+	return 0
+}
+
+// diagnose augments a JSON error with what makes it actionable in a
+// stream: truncation is named as such, and syntax errors carry the
+// in-line byte offset.
+func diagnose(line []byte, err error) string {
+	var syn *json.SyntaxError
+	switch {
+	case err == io.ErrUnexpectedEOF:
+		return "truncated JSON"
+	case json.Valid(line):
+		return err.Error()
+	case errorsAsSyntax(err, &syn):
+		if syn.Offset >= int64(len(line)) {
+			return fmt.Sprintf("truncated JSON (ends at byte %d)", syn.Offset)
+		}
+		return fmt.Sprintf("%v (at byte %d)", syn, syn.Offset)
+	default:
+		return err.Error()
+	}
+}
+
+func errorsAsSyntax(err error, target **json.SyntaxError) bool {
+	if s, ok := err.(*json.SyntaxError); ok {
+		*target = s
+		return true
+	}
+	return false
+}
+
+// checkTrace validates one span tree and prints its summary. It reports
+// whether any invariant was violated.
+func checkTrace(root *vs2.SpanSnapshot, depth int, stdout, stderr io.Writer) bool {
+	var problems []string
+	checkNesting(root, &problems)
+
+	run := find(root, "extract")
 	if run == nil {
 		problems = append(problems, "no extract span in trace")
 	} else {
@@ -73,22 +180,19 @@ func main() {
 		}
 	}
 
-	spans, events := count(&root)
-	fmt.Printf("%s: %d spans, %d events, %.2fms total\n", root.Name, spans, events, float64(root.DurationNS)/1e6)
+	spans, events := count(root)
+	fmt.Fprintf(stdout, "%s: %d spans, %d events, %.2fms total\n", root.Name, spans, events, float64(root.DurationNS)/1e6)
 	if run != nil {
-		printPhases(run)
+		printPhases(stdout, run)
 	}
-	if *depth > 0 {
-		printTree(&root, 0, *depth)
+	if depth > 0 {
+		printTree(stdout, root, 0, depth)
 	}
 
-	if len(problems) > 0 {
-		for _, p := range problems {
-			fmt.Fprintln(os.Stderr, "vs2trace: INVALID:", p)
-		}
-		os.Exit(1)
+	for _, p := range problems {
+		fmt.Fprintln(stderr, "vs2trace: INVALID:", p)
 	}
-	fmt.Println("trace OK")
+	return len(problems) > 0
 }
 
 // checkNesting verifies every child span's duration fits inside its
@@ -126,7 +230,7 @@ func count(s *vs2.SpanSnapshot) (spans, events int) {
 
 // printPhases renders the extract span's phase breakdown with share of
 // the run's wall-clock.
-func printPhases(run *vs2.SpanSnapshot) {
+func printPhases(w io.Writer, run *vs2.SpanSnapshot) {
 	for _, name := range phases {
 		ps := find(run, name)
 		if ps == nil {
@@ -136,13 +240,13 @@ func printPhases(run *vs2.SpanSnapshot) {
 		if run.DurationNS > 0 {
 			share = 100 * float64(ps.DurationNS) / float64(run.DurationNS)
 		}
-		fmt.Printf("  %-14s %8.2fms  %5.1f%%\n", name, float64(ps.DurationNS)/1e6, share)
+		fmt.Fprintf(w, "  %-14s %8.2fms  %5.1f%%\n", name, float64(ps.DurationNS)/1e6, share)
 	}
 }
 
 // printTree renders the span tree to maxDepth, widest spans first,
 // collapsing same-named siblings past the first three.
-func printTree(s *vs2.SpanSnapshot, depth, maxDepth int) {
+func printTree(w io.Writer, s *vs2.SpanSnapshot, depth, maxDepth int) {
 	attrs := ""
 	if len(s.Attrs) > 0 {
 		keys := make([]string, 0, len(s.Attrs))
@@ -156,7 +260,7 @@ func printTree(s *vs2.SpanSnapshot, depth, maxDepth int) {
 		}
 		attrs = "  {" + strings.Join(parts, " ") + "}"
 	}
-	fmt.Printf("%s%-*s %8.2fms%s\n", strings.Repeat("  ", depth), 20-2*depth, s.Name, float64(s.DurationNS)/1e6, attrs)
+	fmt.Fprintf(w, "%s%-*s %8.2fms%s\n", strings.Repeat("  ", depth), 20-2*depth, s.Name, float64(s.DurationNS)/1e6, attrs)
 	if depth+1 > maxDepth {
 		return
 	}
@@ -165,16 +269,11 @@ func printTree(s *vs2.SpanSnapshot, depth, maxDepth int) {
 		c := &s.Children[i]
 		seen[c.Name]++
 		if n := seen[c.Name]; n == 4 {
-			fmt.Printf("%s… more %q spans\n", strings.Repeat("  ", depth+1), c.Name)
+			fmt.Fprintf(w, "%s… more %q spans\n", strings.Repeat("  ", depth+1), c.Name)
 		}
 		if seen[c.Name] >= 4 {
 			continue
 		}
-		printTree(c, depth+1, maxDepth)
+		printTree(w, c, depth+1, maxDepth)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vs2trace:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,102 @@
+package main
+
+// Regression tests of the vs2trace validator: the single-document mode
+// used by `vs2 -trace`, the JSONL stream mode used by `vs2serve -trace`,
+// and — the satellite contract — line-numbered diagnostics with a
+// non-zero exit on corrupted lines, without aborting the rest of the
+// stream.
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func runTrace(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSingleTraceOK(t *testing.T) {
+	code, stdout, stderr := runTrace(t, "-in", "testdata/good.json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "trace OK") {
+		t.Fatalf("stdout missing trace OK:\n%s", stdout)
+	}
+	for _, phase := range []string{"validate", "segment", "search", "disambiguate"} {
+		if !strings.Contains(stdout, phase) {
+			t.Fatalf("stdout missing phase %q:\n%s", phase, stdout)
+		}
+	}
+}
+
+func TestStreamOK(t *testing.T) {
+	code, stdout, stderr := runTrace(t, "-in", "testdata/stream.jsonl", "-depth", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "3 traces checked, 0 bad") {
+		t.Fatalf("stdout = %s, want 3 traces checked", stdout)
+	}
+	if !strings.Contains(stdout, "trace OK") {
+		t.Fatalf("stdout missing trace OK:\n%s", stdout)
+	}
+}
+
+// TestCorruptStreamContinues is the satellite regression: a stream with
+// a truncated line and a garbage line exits non-zero with line-numbered
+// diagnostics, and still validates every well-formed line around them.
+func TestCorruptStreamContinues(t *testing.T) {
+	code, stdout, stderr := runTrace(t, "-in", "testdata/corrupt.jsonl", "-depth", "0")
+	if code == 0 {
+		t.Fatal("corrupted stream exited 0")
+	}
+	// The two bad lines are called out by number.
+	if !strings.Contains(stderr, "corrupt.jsonl:2:") {
+		t.Fatalf("stderr missing diagnostic for truncated line 2:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "corrupt.jsonl:4:") {
+		t.Fatalf("stderr missing diagnostic for garbage line 4:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "truncated") {
+		t.Fatalf("stderr does not name the truncation:\n%s", stderr)
+	}
+	// The scan did not abort: the valid traces on lines 1, 3 and 5 were
+	// all checked.
+	if !strings.Contains(stdout, "3 traces checked, 2 bad") {
+		t.Fatalf("stdout = %s, want 3 traces checked, 2 bad", stdout)
+	}
+	for _, doc := range []string{"doc-1", "doc-3", "doc-4"} {
+		if !strings.Contains(stdout, doc) {
+			t.Fatalf("valid trace %s not summarised after corrupt line:\n%s", doc, stdout)
+		}
+	}
+}
+
+func TestInvalidTraceStructureFails(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.json"
+	// Child exceeds parent and the extract span is missing entirely.
+	if err := os.WriteFile(path, []byte(`{"name":"vs2 x","start":"2026-08-06T10:00:00Z","duration_ns":100,"children":[{"name":"mystery","start":"2026-08-06T10:00:00Z","duration_ns":200}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runTrace(t, "-in", path)
+	if code == 0 {
+		t.Fatal("structurally invalid trace exited 0")
+	}
+	if !strings.Contains(stderr, "exceeds parent") || !strings.Contains(stderr, "no extract span") {
+		t.Fatalf("stderr missing invariant diagnostics:\n%s", stderr)
+	}
+}
+
+func TestMissingFlagExits2(t *testing.T) {
+	code, _, stderr := runTrace(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"vs2/internal/doc"
@@ -81,6 +82,16 @@ type Injection struct {
 	Sleep time.Duration
 	// Seed drives the Corrupt and Truncate mutations.
 	Seed int64
+	// Times bounds the injection to the first Times calls through the
+	// wrapper, after which it delegates cleanly — the shape of a
+	// transient backend flake, and what the serving layer's retry and
+	// circuit-recovery tests are built on. Zero injects on every call.
+	Times int
+}
+
+// active reports whether the injection fires on the given 1-based call.
+func (f Injection) active(call int64) bool {
+	return f.Kind != None && (f.Times <= 0 || call <= int64(f.Times))
 }
 
 // arm runs the pre-delegation faults. Delay waits for the stall or for
@@ -122,22 +133,28 @@ type SegmentBackend interface {
 type Segmenter struct {
 	Inner  SegmentBackend
 	Inject Injection
+
+	calls atomic.Int64
 }
 
 // SegmentContext implements SegmentBackend with the configured fault.
 func (s *Segmenter) SegmentContext(ctx context.Context, d *doc.Document) (*doc.Node, error) {
-	if err := s.Inject.arm(ctx); err != nil {
+	inj := s.Inject
+	if !inj.active(s.calls.Add(1)) {
+		inj = Injection{}
+	}
+	if err := inj.arm(ctx); err != nil {
 		return nil, err
 	}
 	tree, err := s.Inner.SegmentContext(ctx, d)
 	if err != nil || tree == nil {
 		return tree, err
 	}
-	switch s.Inject.Kind {
+	switch inj.Kind {
 	case Corrupt:
-		CorruptTree(tree, s.Inject.Seed)
+		CorruptTree(tree, inj.Seed)
 	case Truncate:
-		TruncateTree(tree, s.Inject.Seed)
+		TruncateTree(tree, inj.Seed)
 	}
 	return tree, nil
 }
@@ -197,21 +214,28 @@ type Extractor struct {
 	Inner  ExtractBackend
 	Search Injection
 	Select Injection
+
+	searchCalls atomic.Int64
+	selectCalls atomic.Int64
 }
 
 // SearchContext implements ExtractBackend with the configured search
 // fault.
 func (e *Extractor) SearchContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, sets []*pattern.Set) (map[string][]extract.Candidate, error) {
-	if err := e.Search.arm(ctx); err != nil {
+	inj := e.Search
+	if !inj.active(e.searchCalls.Add(1)) {
+		inj = Injection{}
+	}
+	if err := inj.arm(ctx); err != nil {
 		return nil, err
 	}
 	cands, err := e.Inner.SearchContext(ctx, d, blocks, sets)
 	if err != nil {
 		return cands, err
 	}
-	switch e.Search.Kind {
+	switch inj.Kind {
 	case Corrupt:
-		CorruptCandidates(cands, e.Search.Seed)
+		CorruptCandidates(cands, inj.Seed)
 	case Truncate:
 		TruncateCandidates(cands)
 	}
@@ -221,7 +245,11 @@ func (e *Extractor) SearchContext(ctx context.Context, d *doc.Document, blocks [
 // SelectContext implements ExtractBackend with the configured select
 // fault.
 func (e *Extractor) SelectContext(ctx context.Context, d *doc.Document, blocks []*doc.Node, candidates map[string][]extract.Candidate, sets []*pattern.Set) ([]extract.Extraction, error) {
-	if err := e.Select.arm(ctx); err != nil {
+	inj := e.Select
+	if !inj.active(e.selectCalls.Add(1)) {
+		inj = Injection{}
+	}
+	if err := inj.arm(ctx); err != nil {
 		return nil, err
 	}
 	return e.Inner.SelectContext(ctx, d, blocks, candidates, sets)

@@ -124,6 +124,46 @@ func TestPanicKindPanics(t *testing.T) {
 	t.Fatal("unreachable")
 }
 
+// stubSegmenter returns a fresh two-block tree on every call.
+type stubSegmenter struct{}
+
+func (stubSegmenter) SegmentContext(_ context.Context, d *doc.Document) (*doc.Node, error) {
+	return tree(d), nil
+}
+
+// TestTimesBoundsInjection: a Times-bounded fault fires on exactly the
+// first Times calls, then the wrapper delegates cleanly — the transient
+// flake the serving layer's retry tests depend on.
+func TestTimesBoundsInjection(t *testing.T) {
+	d := grid(8)
+	s := &Segmenter{Inner: stubSegmenter{}, Inject: Injection{Kind: Error, Times: 2}}
+	for call := 1; call <= 4; call++ {
+		tr, err := s.SegmentContext(context.Background(), d)
+		if call <= 2 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("call %d: err = %v, want ErrInjected", call, err)
+			}
+			continue
+		}
+		if err != nil || tr == nil {
+			t.Fatalf("call %d after Times exhausted: tree=%v err=%v, want clean delegation", call, tr, err)
+		}
+	}
+
+	// Post-delegation mutations honour Times too.
+	c := &Segmenter{Inner: stubSegmenter{}, Inject: Injection{Kind: Corrupt, Seed: 9, Times: 1}}
+	t1, _ := c.SegmentContext(context.Background(), d)
+	t2, _ := c.SegmentContext(context.Background(), d)
+	if fmt.Sprint(damage(t1, len(d.Elements))) == fmt.Sprint(damage(t2, len(d.Elements))) {
+		t.Fatal("corruption did not stop after Times calls")
+	}
+	for _, s := range damage(t2, len(d.Elements)) {
+		if s[:2] != "ok" {
+			t.Fatalf("second call still corrupted: %v", damage(t2, len(d.Elements)))
+		}
+	}
+}
+
 func TestCorruptCandidatesStripsGrounding(t *testing.T) {
 	cands := map[string][]extract.Candidate{
 		"title": {{Entity: "title"}, {Entity: "title"}},

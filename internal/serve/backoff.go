@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a seeded, jittered exponential backoff schedule:
+//
+//	delay(n) = cap(base·factor^n, max) · (1−jitter + jitter·U[0,1))
+//
+// The jitter draws come from a rand.Rand owned by the schedule, so one
+// seed reproduces the whole delay sequence bit for bit — the golden
+// tests pin it. Safe for concurrent use; concurrent callers interleave
+// draws from the single stream.
+type Backoff struct {
+	base   time.Duration
+	max    time.Duration
+	factor float64
+	jitter float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff builds the default schedule: factor 2, jitter 0.5, seeded
+// with seed. Non-positive base and max select 50ms and 2s.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{
+		base:   base,
+		max:    max,
+		factor: 2,
+		jitter: 0.5,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Delay returns the wait before retry attempt n (0-based: Delay(0) is
+// the wait before the first retry). Each call consumes one jitter draw.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	exp := float64(b.base) * math.Pow(b.factor, float64(attempt))
+	if m := float64(b.max); exp > m {
+		exp = m
+	}
+	b.mu.Lock()
+	u := b.rng.Float64()
+	b.mu.Unlock()
+	return time.Duration(exp * (1 - b.jitter + b.jitter*u))
+}

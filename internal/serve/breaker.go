@@ -1,0 +1,177 @@
+// Package serve holds the resilience primitives of the concurrent
+// serving layer: a three-state circuit breaker and a seeded, jittered
+// exponential backoff schedule. Both are deliberately free of vs2
+// types — the top-level serve.go wires them to the pipeline's phases —
+// and both are deterministic under injected clocks and seeds, so the
+// trip/recovery and retry schedules are testable bit for bit.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the circuit breaker's position.
+type State int
+
+const (
+	// Closed passes traffic and counts consecutive failures.
+	Closed State = iota
+	// Open fails fast until the cooldown elapses.
+	Open
+	// HalfOpen admits a bounded number of probes; success closes the
+	// breaker, failure reopens it.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "State(?)"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value selects the defaults
+// noted on each field.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that trips the
+	// breaker; default 5.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting
+	// half-open probes; default 5s.
+	Cooldown time.Duration
+	// Probes is both the number of concurrent half-open probes admitted
+	// and the consecutive successes required to close; default 1.
+	Probes int
+	// Now substitutes the clock, for deterministic tests; default
+	// time.Now.
+	Now func() time.Time
+	// OnTransition, when non-nil, observes every state change. It is
+	// called with the breaker's lock held and must not call back into
+	// the breaker.
+	OnTransition func(from, to State)
+}
+
+// Breaker is a consecutive-failure circuit breaker, safe for concurrent
+// use. Callers gate work on Allow and report the outcome with Success
+// or Failure; the breaker never constructs errors itself.
+type Breaker struct {
+	mu        sync.Mutex
+	cfg       BreakerConfig
+	state     State
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	inFlight  int // outstanding half-open probes
+	openedAt  time.Time
+}
+
+// NewBreaker builds a breaker from the configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// until the cooldown elapses, then transitions to half-open and admits
+// up to Probes concurrent probes.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.transition(HalfOpen)
+		b.successes, b.inFlight = 0, 0
+		fallthrough
+	default: // HalfOpen
+		if b.inFlight >= b.cfg.Probes {
+			return false
+		}
+		b.inFlight++
+		return true
+	}
+}
+
+// Success reports a completed call. Closed: resets the failure streak.
+// Half-open: counts toward the Probes successes that close the breaker.
+// Open: ignored (a late result from before the trip).
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		if b.inFlight > 0 {
+			b.inFlight--
+		}
+		b.successes++
+		if b.successes >= b.cfg.Probes {
+			b.transition(Closed)
+			b.failures = 0
+		}
+	}
+}
+
+// Failure reports a failed call. Closed: extends the streak and trips at
+// Threshold. Half-open: reopens immediately. Open: ignored.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.trip()
+	}
+}
+
+// State returns the breaker's current position (open is reported as
+// open even once the cooldown has elapsed; the transition to half-open
+// happens on the next Allow).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *Breaker) trip() {
+	b.transition(Open)
+	b.openedAt = b.cfg.Now()
+	b.failures, b.inFlight = 0, 0
+}
+
+func (b *Breaker) transition(to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBackoffGolden pins the delay sequence for one seed: the schedule
+// is part of the serving layer's deterministic-replay contract, so a
+// change here is a breaking change to chaos reproducibility.
+func TestBackoffGolden(t *testing.T) {
+	b := NewBackoff(50*time.Millisecond, 2*time.Second, 42)
+	want := []time.Duration{
+		34325709 * time.Nanosecond,
+		53300024 * time.Nanosecond,
+		160409385 * time.Nanosecond,
+		241763740 * time.Nanosecond,
+		417527383 * time.Nanosecond,
+		1106554639 * time.Nanosecond,
+		1812877135 * time.Nanosecond,
+		1384445849 * time.Nanosecond, // capped window: exp clamps to max
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestBackoffSameSeedSameSchedule proves two schedules with one seed
+// agree, and a different seed diverges.
+func TestBackoffSameSeedSameSchedule(t *testing.T) {
+	a := NewBackoff(50*time.Millisecond, 2*time.Second, 7)
+	b := NewBackoff(50*time.Millisecond, 2*time.Second, 7)
+	c := NewBackoff(50*time.Millisecond, 2*time.Second, 8)
+	same, diff := true, true
+	for i := 0; i < 16; i++ {
+		da, db, dc := a.Delay(i), b.Delay(i), c.Delay(i)
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diff = false
+		}
+	}
+	if !same {
+		t.Error("same seed produced different schedules")
+	}
+	if diff {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestBackoffBounds checks every delay stays inside the jitter envelope
+// [exp/2, exp] with exp capped at max.
+func TestBackoffBounds(t *testing.T) {
+	base, max := 10*time.Millisecond, 500*time.Millisecond
+	b := NewBackoff(base, max, 3)
+	for i := 0; i < 20; i++ {
+		exp := float64(base) * pow2(i)
+		if m := float64(max); exp > m {
+			exp = m
+		}
+		d := b.Delay(i)
+		if float64(d) < exp/2 || float64(d) > exp {
+			t.Errorf("Delay(%d) = %v outside [%v, %v]", i, d, time.Duration(exp/2), time.Duration(exp))
+		}
+	}
+	if d := b.Delay(-1); d <= 0 || d > base {
+		t.Errorf("Delay(-1) = %v, want clamped to attempt 0", d)
+	}
+}
+
+func pow2(n int) float64 {
+	f := 1.0
+	for i := 0; i < n; i++ {
+		f *= 2
+	}
+	return f
+}
+
+// TestBreakerLifecycle walks the full closed→open→half-open→closed loop
+// and records every transition.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var hops []string
+	b := NewBreaker(BreakerConfig{
+		Threshold: 3,
+		Cooldown:  100 * time.Millisecond,
+		Probes:    1,
+		Now:       clk.now,
+		OnTransition: func(from, to State) {
+			hops = append(hops, fmt.Sprintf("%s->%s", from, to))
+		},
+	})
+
+	// Closed: failures below threshold keep passing; a success resets.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused traffic")
+		}
+		b.Failure()
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after reset, want closed", b.State())
+	}
+
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic inside cooldown")
+	}
+
+	// Cooldown elapses: exactly Probes probes are admitted.
+	clk.advance(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after probe admitted, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe (Probes=1)")
+	}
+
+	// Probe success closes it.
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker refused traffic")
+	}
+
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if fmt.Sprint(hops) != fmt.Sprint(want) {
+		t.Fatalf("transitions = %v, want %v", hops, want)
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens proves a failed probe restarts the
+// cooldown from the failure.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 100 * time.Millisecond, Now: clk.now})
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	clk.advance(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	// The fresh cooldown starts at the probe failure, not the original trip.
+	clk.advance(50 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted traffic before the new cooldown elapsed")
+	}
+	clk.advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("reopened breaker refused the second probe")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+// TestBreakerMultiProbe requires Probes successes to close and admits
+// at most Probes concurrent probes.
+func TestBreakerMultiProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Millisecond, Probes: 2, Now: clk.now})
+	b.Failure()
+	clk.advance(2 * time.Millisecond)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open refused its two probes")
+	}
+	if b.Allow() {
+		t.Fatal("half-open admitted a third concurrent probe")
+	}
+	b.Success()
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after 1/2 successes, want half-open", b.State())
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after 2/2 successes, want closed", b.State())
+	}
+}
+
+// TestBreakerLateResultsIgnored: outcomes reported while open (from
+// calls admitted before the trip) neither close nor re-trip it.
+func TestBreakerLateResultsIgnored(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Hour, Now: clk.now})
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open (late results must be ignored)", b.State())
+	}
+}
+
+// TestBreakerConcurrentUse hammers one breaker from many goroutines;
+// run under -race this is the data-race check.
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 10, Cooldown: time.Microsecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() {
+					if (g+i)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				b.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

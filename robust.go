@@ -238,13 +238,16 @@ func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, er
 		tree = wrapBlocks(d, blocks)
 	}
 
-	// Phase 2: pattern search. A budget overrun keeps partial candidates.
+	// Phase 2: pattern search. A budget overrun keeps partial candidates,
+	// and a search short-circuited by its tripped circuit breaker (the
+	// serving layer wraps the backend) keeps the empty set it returned —
+	// both continue as degraded partial-search runs.
 	cands, err := p.searchPhase(ctx, run, d, blocks)
 	if err != nil {
 		if ctx.Err() != nil {
 			return fail(PhaseSearch, "", err)
 		}
-		if cands == nil || !errors.Is(err, ErrBudgetExceeded) {
+		if cands == nil || !(errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrBreakerOpen)) {
 			return fail(PhaseSearch, "", err)
 		}
 		degrade(PhaseSearch, "partial-search", err)

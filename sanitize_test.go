@@ -1,0 +1,96 @@
+package vs2
+
+// Focused unit tests of the block-sanitization fallback: a segmenter
+// returning damaged output must surface as a proper Degradation entry
+// in Result.Degraded (phase segment), not as a silent repair or a bare
+// note string.
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"vs2/internal/doc"
+)
+
+// damagedSegmenter returns a tree whose leaves a correct segmenter
+// cannot produce: one valid block over the first half of the elements,
+// one NaN-box block, and one block pointing outside the document. The
+// second half of the elements is left uncovered.
+type damagedSegmenter struct{}
+
+func (damagedSegmenter) SegmentContext(_ context.Context, d *Document) (*Node, error) {
+	n := len(d.Elements)
+	var valid []int
+	for i := 0; i < n/2; i++ {
+		valid = append(valid, i)
+	}
+	root := doc.NewTree(d)
+	nanBox := root.Box
+	nanBox.X = math.NaN()
+	root.Children = []*Node{
+		{Box: d.BoundingBoxOf(valid), Elements: valid, Depth: 1},
+		{Box: nanBox, Elements: []int{0}, Depth: 1},
+		{Box: root.Box, Elements: []int{n + 5}, Depth: 1},
+	}
+	return root, nil
+}
+
+func TestSanitizeBlocksReturnsNote(t *testing.T) {
+	d := chaosDoc()
+	tree, err := damagedSegmenter{}.SegmentContext(context.Background(), d)
+	if err != nil {
+		t.Fatalf("stub segmenter: %v", err)
+	}
+	blocks, note := sanitizeBlocks(d, tree)
+	if note == "" {
+		t.Fatal("damaged tree sanitized with no note")
+	}
+	if !strings.Contains(note, "invalid blocks dropped") {
+		t.Fatalf("note = %q, want dropped-block accounting", note)
+	}
+	covered := make([]bool, len(d.Elements))
+	for _, b := range blocks {
+		if !validBlock(d, b) {
+			t.Fatalf("sanitized set kept invalid block %+v", b)
+		}
+		for _, id := range b.Elements {
+			covered[id] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("element %d lost during sanitization", i)
+		}
+	}
+}
+
+// TestSanitizeDegradationRecorded is the satellite contract: the
+// dropped-block note appears in Result.Degraded as a structured entry,
+// with phase, fallback name, cause, and timestamp all populated.
+func TestSanitizeDegradationRecorded(t *testing.T) {
+	p := NewPipeline(Config{Task: EventPosterTask(), Segmenter: damagedSegmenter{}})
+	res, err := p.ExtractContext(context.Background(), chaosDoc())
+	if err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	var entry *Degradation
+	for i := range res.Degraded {
+		if res.Degraded[i].Phase == PhaseSegment && res.Degraded[i].Fallback == "sanitized-blocks" {
+			entry = &res.Degraded[i]
+		}
+	}
+	if entry == nil {
+		t.Fatalf("degradations = %+v, want a sanitized-blocks entry for phase segment", res.Degraded)
+	}
+	if entry.Cause == "" {
+		t.Fatal("sanitized-blocks degradation has no cause")
+	}
+	if entry.Time.IsZero() {
+		t.Fatal("sanitized-blocks degradation has no timestamp")
+	}
+	if !res.IsDegraded() {
+		t.Fatal("IsDegraded() false despite recorded degradation")
+	}
+}

@@ -1,0 +1,363 @@
+package vs2
+
+// Chaos-under-load soak of the serving layer: 200+ documents through a
+// 4-worker pool with per-document fault injection — invalid documents,
+// transient and persistent search failures, panics, slow segmenters —
+// plus a deterministic breaker trip/recovery phase and a saturation
+// phase, all under -race via the `make serve-chaos` target. The
+// containment contract at this scale: no panics, no deadlocks, zero
+// leaked goroutines, every shed or failed document carries a structured
+// error, and breaker trips are visible in the metrics snapshot.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"vs2/internal/extract"
+	"vs2/internal/faults"
+	"vs2/internal/segment"
+)
+
+// soakDoc is a cut-down event poster: enough structure to extract
+// entities, small enough that a 200-document soak stays minutes, not
+// tens of minutes, under the race detector.
+func soakDoc(id string) *Document {
+	d := &Document{ID: id, Width: 400, Height: 600, Background: White}
+	eid := 0
+	add := func(x, y, fontH float64, color RGB, words ...string) {
+		cx := x
+		for _, w := range words {
+			width := float64(len(w)) * fontH * 0.55
+			d.Elements = append(d.Elements, Element{
+				ID: eid, Kind: TextElement, Text: w,
+				Box:      Rect{X: cx, Y: y, W: width, H: fontH},
+				Color:    color,
+				FontSize: fontH, Line: int(y),
+			})
+			eid++
+			cx += width + fontH*0.5
+		}
+	}
+	add(30, 30, 30, Black, "Harvest", "Festival")
+	add(30, 220, 14, Black, "Friday", "October", "3,", "6:00", "PM")
+	add(30, 250, 14, Black, "12", "Orchard", "Lane")
+	return d
+}
+
+// routedSegmenter dispatches per document ID, so each soak document can
+// carry its own (stateful, Times-bounded) fault wrapper.
+type routedSegmenter struct {
+	def  SegmentBackend
+	byID map[string]SegmentBackend
+}
+
+func (r *routedSegmenter) SegmentContext(ctx context.Context, d *Document) (*Node, error) {
+	if b, ok := r.byID[d.ID]; ok {
+		return b.SegmentContext(ctx, d)
+	}
+	return r.def.SegmentContext(ctx, d)
+}
+
+type routedExtractor struct {
+	def  ExtractBackend
+	byID map[string]ExtractBackend
+}
+
+func (r *routedExtractor) pick(id string) ExtractBackend {
+	if b, ok := r.byID[id]; ok {
+		return b
+	}
+	return r.def
+}
+
+func (r *routedExtractor) SearchContext(ctx context.Context, d *Document, blocks []*Node, sets []*PatternSet) (map[string][]Candidate, error) {
+	return r.pick(d.ID).SearchContext(ctx, d, blocks, sets)
+}
+
+func (r *routedExtractor) SelectContext(ctx context.Context, d *Document, blocks []*Node, cands map[string][]Candidate, sets []*PatternSet) ([]Extraction, error) {
+	return r.pick(d.ID).SelectContext(ctx, d, blocks, cands, sets)
+}
+
+func (r *routedExtractor) SelectFirstMatch(d *Document, cands map[string][]Candidate, sets []*PatternSet) []Extraction {
+	return r.pick(d.ID).SelectFirstMatch(d, cands, sets)
+}
+
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d now vs %d baseline\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Soak document classes, decided by index within the concurrent batch.
+const (
+	classClean = iota
+	classInvalid
+	classFlakySearch      // one injected search error, then clean: normal retry
+	classPanicOnceSearch  // one injected search panic, then clean: degraded retry
+	classPanicAlwaysSearc // every search panics: fails with a structured error
+	classSlowSegment      // 5ms segmenter stall: slow but clean
+)
+
+func classOf(i int) int {
+	switch {
+	case i%10 == 9:
+		return classInvalid
+	case i == 50 || i == 111:
+		return classPanicAlwaysSearc
+	case i%7 == 3:
+		return classFlakySearch
+	case i%13 == 5:
+		return classPanicOnceSearch
+	case i%17 == 2:
+		return classSlowSegment
+	default:
+		return classClean
+	}
+}
+
+func TestServeChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	task := EventPosterTask()
+	baseSeg := segment.New(segment.Options{})
+	baseExt := extract.New(extract.Options{Weights: task.Weights})
+	segRoutes := map[string]SegmentBackend{}
+	searchRoutes := map[string]ExtractBackend{}
+
+	const batchN = 200
+	docs := make([]*Document, batchN)
+	for i := range docs {
+		id := fmt.Sprintf("soak-%03d", i)
+		switch classOf(i) {
+		case classInvalid:
+			docs[i] = invalidDoc(id)
+			continue
+		case classFlakySearch:
+			searchRoutes[id] = &faults.Extractor{Inner: baseExt,
+				Search: faults.Injection{Kind: faults.Error, Times: 1}}
+		case classPanicOnceSearch:
+			searchRoutes[id] = &faults.Extractor{Inner: baseExt,
+				Search: faults.Injection{Kind: faults.Panic, Times: 1}}
+		case classPanicAlwaysSearc:
+			searchRoutes[id] = &faults.Extractor{Inner: baseExt,
+				Search: faults.Injection{Kind: faults.Panic}}
+		case classSlowSegment:
+			segRoutes[id] = &faults.Segmenter{Inner: baseSeg,
+				Inject: faults.Injection{Kind: faults.Delay, Sleep: 5 * time.Millisecond}}
+		}
+		docs[i] = soakDoc(id)
+	}
+	// The deterministic breaker phase: persistent segment failures,
+	// extracted sequentially after the batch so the failures are
+	// guaranteed consecutive on the shared breaker.
+	const tripN = 12 // breaker threshold 10 + 2 short-circuited documents
+	tripDocs := make([]*Document, tripN)
+	for i := range tripDocs {
+		id := fmt.Sprintf("soak-trip-%02d", i)
+		segRoutes[id] = &faults.Segmenter{Inner: baseSeg, Inject: faults.Injection{Kind: faults.Error}}
+		tripDocs[i] = soakDoc(id)
+	}
+
+	m := NewMetrics()
+	p := NewPipeline(Config{
+		Task:      task,
+		Segmenter: &routedSegmenter{def: baseSeg, byID: segRoutes},
+		Extractor: &routedExtractor{def: baseExt, byID: searchRoutes},
+	})
+	s := NewServer(p, ServerConfig{
+		Workers:   4,
+		Queue:     16,
+		QueueWait: 10 * time.Minute, // the saturation phase below tests shedding
+		Metrics:   m,
+		Retry:     fastRetry(3),
+		// Threshold 10 keeps the scattered batch failures from tripping
+		// breakers nondeterministically; the sequential trip phase
+		// crosses it on purpose.
+		Breaker: BreakerPolicy{Threshold: 10, Cooldown: 100 * time.Millisecond},
+	})
+
+	// Phase 1: the concurrent fault-injected batch.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	results := s.ExtractBatch(ctx, docs)
+
+	var completed, failed int
+	for i, r := range results {
+		class := classOf(i)
+		if r.Err != nil {
+			failed++
+			var pe *Error
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("doc %d (class %d): unstructured error %v", i, class, r.Err)
+			}
+			switch class {
+			case classInvalid:
+				if !errors.Is(r.Err, ErrInvalidDocument) {
+					t.Fatalf("invalid doc %d failed with %v, want ErrInvalidDocument", i, r.Err)
+				}
+			case classPanicAlwaysSearc:
+				if !errors.Is(r.Err, ErrPanic) {
+					t.Fatalf("persistent-panic doc %d failed with %v, want ErrPanic", i, r.Err)
+				}
+			default:
+				t.Fatalf("doc %d (class %d) failed unexpectedly: %v", i, class, r.Err)
+			}
+			continue
+		}
+		completed++
+		switch class {
+		case classInvalid, classPanicAlwaysSearc:
+			t.Fatalf("doc %d (class %d) succeeded, expected failure", i, class)
+		case classPanicOnceSearch:
+			if !hasDegradation(r.Result, PhaseSegment, "linear-segmentation") ||
+				!hasDegradation(r.Result, PhaseDisambiguate, "first-match") {
+				t.Fatalf("panic-once doc %d: degradations = %+v, want degraded-mode retry markers", i, r.Result.Degraded)
+			}
+		case classClean, classSlowSegment:
+			if r.Result.IsDegraded() {
+				t.Fatalf("doc %d (class %d) degraded: %+v", i, class, r.Result.Degraded)
+			}
+			if len(r.Result.Entities) == 0 {
+				t.Fatalf("doc %d (class %d) extracted nothing", i, class)
+			}
+		}
+	}
+	t.Logf("batch: %d completed, %d failed", completed, failed)
+
+	snap := m.Snapshot()
+	if snap.Counters["serve.retries"] == 0 {
+		t.Fatal("no retries recorded despite transient faults")
+	}
+	if snap.Counters["serve.retries.degraded"] == 0 {
+		t.Fatal("no degraded-mode retries recorded despite injected panics")
+	}
+	if got := snap.Counters["serve.breaker.segment.to_open"]; got != 0 {
+		t.Fatalf("segment breaker tripped during the batch (%d); soak classes are miswired", got)
+	}
+
+	// Phase 2: deterministic breaker trip — consecutive segment failures
+	// cross the threshold, then the open breaker routes documents to the
+	// linear fallback with the trip recorded in Result.Degraded.
+	sawBreakerCause := false
+	for i, d := range tripDocs {
+		res, err := s.Extract(ctx, d)
+		if err != nil {
+			t.Fatalf("trip doc %d: %v", i, err)
+		}
+		if !hasDegradation(res, PhaseSegment, "linear-segmentation") {
+			t.Fatalf("trip doc %d: degradations = %+v, want linear-segmentation", i, res.Degraded)
+		}
+		if len(res.Entities) == 0 {
+			t.Fatalf("trip doc %d: linear fallback extracted nothing", i)
+		}
+		for _, g := range res.Degraded {
+			if g.Phase == PhaseSegment && errorsContains(g.Cause, ErrBreakerOpen.Error()) {
+				sawBreakerCause = true
+			}
+		}
+	}
+	if !sawBreakerCause {
+		t.Fatal("no trip document recorded the open breaker as its degradation cause")
+	}
+	if got := m.Snapshot().Counters["serve.breaker.segment.to_open"]; got < 1 {
+		t.Fatalf("serve.breaker.segment.to_open = %d, want >= 1", got)
+	}
+
+	// Phase 3: recovery — after the cooldown a clean document closes the
+	// breaker again via a successful half-open probe.
+	time.Sleep(200 * time.Millisecond)
+	res, err := s.Extract(ctx, soakDoc("soak-recovery"))
+	if err != nil {
+		t.Fatalf("recovery doc: %v", err)
+	}
+	if res.IsDegraded() {
+		t.Fatalf("recovery doc degraded: %+v", res.Degraded)
+	}
+	if got := m.Snapshot().Counters["serve.breaker.segment.to_closed"]; got < 1 {
+		t.Fatalf("serve.breaker.segment.to_closed = %d, want >= 1", got)
+	}
+
+	// Accounting: every document handled got exactly one recorded fate.
+	snap = m.Snapshot()
+	handled := snap.Counters["serve.completed"] + snap.Counters["serve.failed"]
+	if want := int64(batchN + tripN + 1); handled != want {
+		t.Fatalf("completed+failed = %d, want %d", handled, want)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Phase 4: saturation — a 1-worker, 1-slot server with a stalled
+	// backend and no queue-wait budget sheds its overflow, every shed
+	// carrying a structured ErrOverloaded.
+	slowP := NewPipeline(Config{
+		Task: task,
+		Segmenter: &faults.Segmenter{Inner: baseSeg,
+			Inject: faults.Injection{Kind: faults.Delay, Sleep: 100 * time.Millisecond}},
+	})
+	m2 := NewMetrics()
+	s2 := NewServer(slowP, ServerConfig{Workers: 1, Queue: 1, QueueWait: -1, Metrics: m2, Retry: fastRetry(1)})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var shed, served int
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s2.Extract(context.Background(), soakDoc(fmt.Sprintf("burst-%02d", i)))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				served++
+			case errors.Is(err, ErrOverloaded):
+				var pe *Error
+				if !errors.As(err, &pe) || pe.Phase != PhaseAdmit {
+					t.Errorf("burst doc %d: shed without structured admit error: %v", i, err)
+				}
+				shed++
+			default:
+				t.Errorf("burst doc %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shed == 0 {
+		t.Fatal("saturation burst shed nothing")
+	}
+	if served+shed != 12 {
+		t.Fatalf("served %d + shed %d != 12", served, shed)
+	}
+	if got := m2.Snapshot().Counters["serve.shed"]; got < int64(shed) {
+		t.Fatalf("serve.shed = %d, want >= %d", got, shed)
+	}
+	t.Logf("burst: %d served, %d shed", served, shed)
+
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown (burst server): %v", err)
+	}
+
+	// No goroutine may outlive the drained servers.
+	settleGoroutines(t, baseline)
+}

@@ -1,0 +1,437 @@
+package vs2
+
+// Unit tests of the serving layer: transient-error classification,
+// admission control and shedding, retry semantics (normal and degraded
+// mode), circuit-breaker trip/recovery, and graceful drain. The soak
+// test that crosses all of them under load lives in serve_chaos_test.go.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vs2/internal/extract"
+	"vs2/internal/faults"
+	"vs2/internal/segment"
+)
+
+// namedDoc clones the chaos poster under a new ID so per-document
+// routing and batches stay distinguishable.
+func namedDoc(id string) *Document {
+	d := chaosDoc()
+	d.ID = id
+	return d
+}
+
+func invalidDoc(id string) *Document {
+	return &Document{ID: id, Width: 100, Height: 100} // no elements
+}
+
+type countingSegmenter struct {
+	inner SegmentBackend
+	n     atomic.Int64
+}
+
+func (c *countingSegmenter) SegmentContext(ctx context.Context, d *Document) (*Node, error) {
+	c.n.Add(1)
+	return c.inner.SegmentContext(ctx, d)
+}
+
+// fastRetry keeps test backoffs in the microsecond range.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Seed: 1}
+}
+
+func shutdownServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestIsTransient is the satellite classification table: every sentinel
+// of the PR 1 error taxonomy plus the serving-layer sentinels.
+func TestIsTransient(t *testing.T) {
+	wrap := func(phase Phase, cause error) error {
+		return &Error{Phase: phase, Err: cause}
+	}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"invalid-document", wrap(PhaseValidate, fmt.Errorf("%w: nil document", ErrInvalidDocument)), false},
+		{"empty-document", wrap(PhaseValidate, fmt.Errorf("%w: %w", ErrInvalidDocument, ErrEmptyDocument)), false},
+		{"bare-empty-document", ErrEmptyDocument, false},
+		{"non-finite", fmt.Errorf("doc x: %w", ErrNonFinite), false},
+		{"too-many-elements", ErrTooManyElements, false},
+		{"page-too-large", ErrPageTooLarge, false},
+		{"caller-cancelled", wrap(PhaseSegment, context.Canceled), false},
+		{"bare-cancelled", context.Canceled, false},
+		{"server-closed", wrap(PhaseAdmit, ErrServerClosed), false},
+		{"panic", wrap(PhaseSearch, fmt.Errorf("%w: boom", ErrPanic)), true},
+		{"budget-exceeded", wrap(PhaseSegment, fmt.Errorf("%w: %w", ErrBudgetExceeded, context.DeadlineExceeded)), true},
+		{"caller-deadline", wrap(PhaseSearch, context.DeadlineExceeded), true},
+		{"overloaded", wrap(PhaseAdmit, fmt.Errorf("%w: queue full", ErrOverloaded)), true},
+		{"breaker-open", wrap(PhaseSegment, fmt.Errorf("%w: short-circuited", ErrBreakerOpen)), true},
+		{"injected-backend-error", wrap(PhaseSearch, faults.ErrInjected), true},
+		{"unclassified", errors.New("mystery"), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsTransient(tc.err); got != tc.want {
+				t.Fatalf("IsTransient(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+			var pe *Error
+			if errors.As(tc.err, &pe) {
+				if got := pe.Transient(); got != tc.want {
+					t.Fatalf("Error.Transient() = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestServerBatchMatchesPipeline: a clean server is a concurrency
+// wrapper, not a different pipeline — batch results agree with direct
+// ExtractContext calls, and shutdown is clean and idempotent.
+func TestServerBatchMatchesPipeline(t *testing.T) {
+	p := NewPipeline(Config{Task: EventPosterTask()})
+	want, err := p.ExtractContext(context.Background(), chaosDoc())
+	if err != nil {
+		t.Fatalf("direct ExtractContext: %v", err)
+	}
+
+	m := NewMetrics()
+	s := NewServer(p, ServerConfig{Workers: 4, QueueWait: 10 * time.Minute, Metrics: m, Retry: fastRetry(3)})
+	docs := make([]*Document, 12)
+	for i := range docs {
+		docs[i] = namedDoc(fmt.Sprintf("batch-%d", i))
+	}
+	out := s.ExtractBatch(context.Background(), docs)
+	if len(out) != len(docs) {
+		t.Fatalf("batch returned %d results for %d docs", len(out), len(docs))
+	}
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("doc %d: %v", i, r.Err)
+		}
+		if r.Index != i || r.Doc != docs[i] {
+			t.Fatalf("doc %d: result misaligned (index %d)", i, r.Index)
+		}
+		if r.Result.IsDegraded() {
+			t.Fatalf("doc %d: clean run degraded: %+v", i, r.Result.Degraded)
+		}
+		if fmt.Sprint(r.Result.Entities) != fmt.Sprint(want.Entities) {
+			t.Fatalf("doc %d: entities diverge from direct pipeline run", i)
+		}
+	}
+	shutdownServer(t, s)
+
+	snap := m.Snapshot()
+	if got := snap.Counters["serve.completed"]; got != int64(len(docs)) {
+		t.Fatalf("serve.completed = %d, want %d", got, len(docs))
+	}
+	if got := snap.Histograms["serve.queue.wait.ms"].Count; got != int64(len(docs)) {
+		t.Fatalf("queue-wait histogram count = %d, want %d", got, len(docs))
+	}
+
+	if _, err := s.Extract(context.Background(), namedDoc("late")); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("post-shutdown Extract err = %v, want ErrServerClosed", err)
+	}
+	var pe *Error
+	_, err = s.Extract(context.Background(), namedDoc("late2"))
+	if !errors.As(err, &pe) || pe.Phase != PhaseAdmit {
+		t.Fatalf("post-shutdown err = %v, want *Error with PhaseAdmit", err)
+	}
+	shutdownServer(t, s) // idempotent
+}
+
+// TestServerShedsWhenSaturated: a full queue with no queue-wait budget
+// sheds immediately with a structured ErrOverloaded.
+func TestServerShedsWhenSaturated(t *testing.T) {
+	task := EventPosterTask()
+	p := NewPipeline(Config{
+		Task: task,
+		Segmenter: &faults.Segmenter{
+			Inner:  segment.New(segment.Options{}),
+			Inject: faults.Injection{Kind: faults.Delay, Sleep: 400 * time.Millisecond},
+		},
+	})
+	m := NewMetrics()
+	s := NewServer(p, ServerConfig{Workers: 1, Queue: 1, QueueWait: -1, Metrics: m, Retry: fastRetry(1)})
+	defer shutdownServer(t, s)
+
+	var wg sync.WaitGroup
+	launch := func(id string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Extract(context.Background(), namedDoc(id)) //nolint:errcheck
+		}()
+	}
+	launch("slow-1") // occupies the worker
+	waitFor(t, func() bool { return m.Snapshot().Gauges["serve.inflight"] >= 1 })
+	launch("slow-2") // occupies the single queue slot
+	waitFor(t, func() bool { return m.Snapshot().Counters["serve.enqueued"] >= 2 })
+
+	_, err := s.Extract(context.Background(), namedDoc("shed-me"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Phase != PhaseAdmit {
+		t.Fatalf("err = %v, want *Error with PhaseAdmit", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("ErrOverloaded must classify as transient (caller may retry later)")
+	}
+	if got := m.Snapshot().Counters["serve.shed"]; got < 1 {
+		t.Fatalf("serve.shed = %d, want >= 1", got)
+	}
+	wg.Wait()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServerNeverRetriesInvalidDocuments: the acceptance guarantee that
+// retries never fire for ErrInvalidDocument — the backends are not even
+// consulted.
+func TestServerNeverRetriesInvalidDocuments(t *testing.T) {
+	cs := &countingSegmenter{inner: segment.New(segment.Options{})}
+	p := NewPipeline(Config{Task: EventPosterTask(), Segmenter: cs})
+	m := NewMetrics()
+	s := NewServer(p, ServerConfig{Workers: 2, Metrics: m, Retry: fastRetry(3)})
+	defer shutdownServer(t, s)
+
+	_, err := s.Extract(context.Background(), invalidDoc("empty"))
+	if !errors.Is(err, ErrInvalidDocument) || !errors.Is(err, ErrEmptyDocument) {
+		t.Fatalf("err = %v, want ErrInvalidDocument wrapping ErrEmptyDocument", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("invalid document classified transient")
+	}
+	if got := m.Snapshot().Counters["serve.retries"]; got != 0 {
+		t.Fatalf("serve.retries = %d, want 0", got)
+	}
+	if got := cs.n.Load(); got != 0 {
+		t.Fatalf("segmenter invoked %d times for an invalid document", got)
+	}
+}
+
+// TestServerRetriesTransientSearchError: a search backend that fails
+// exactly once is retried and succeeds on the second attempt.
+func TestServerRetriesTransientSearchError(t *testing.T) {
+	task := EventPosterTask()
+	p := NewPipeline(Config{
+		Task: task,
+		Extractor: &faults.Extractor{
+			Inner:  extract.New(extract.Options{Weights: task.Weights}),
+			Search: faults.Injection{Kind: faults.Error, Times: 1},
+		},
+	})
+	m := NewMetrics()
+	s := NewServer(p, ServerConfig{Workers: 1, Metrics: m, Retry: fastRetry(3)})
+	defer shutdownServer(t, s)
+
+	res, err := s.Extract(context.Background(), namedDoc("flaky-search"))
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if len(res.Entities) == 0 {
+		t.Fatal("retried run extracted nothing from a matchable poster")
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["serve.retries"]; got != 1 {
+		t.Fatalf("serve.retries = %d, want 1", got)
+	}
+	if got := snap.Counters["serve.retries.degraded"]; got != 0 {
+		t.Fatalf("serve.retries.degraded = %d, want 0 (hard error retries on the primary path)", got)
+	}
+}
+
+// TestServerDegradedRetryAfterPanic: a panic inside search sends the
+// retry down the degraded path — linear segmentation + first-match —
+// which succeeds once the fault has passed, with both bypasses recorded.
+func TestServerDegradedRetryAfterPanic(t *testing.T) {
+	task := EventPosterTask()
+	p := NewPipeline(Config{
+		Task: task,
+		Extractor: &faults.Extractor{
+			Inner:  extract.New(extract.Options{Weights: task.Weights}),
+			Search: faults.Injection{Kind: faults.Panic, Times: 1},
+		},
+	})
+	m := NewMetrics()
+	s := NewServer(p, ServerConfig{Workers: 1, Metrics: m, Retry: fastRetry(3)})
+	defer shutdownServer(t, s)
+
+	res, err := s.Extract(context.Background(), namedDoc("panicky-search"))
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if !hasDegradation(res, PhaseSegment, "linear-segmentation") {
+		t.Fatalf("degradations = %+v, want linear-segmentation", res.Degraded)
+	}
+	if !hasDegradation(res, PhaseDisambiguate, "first-match") {
+		t.Fatalf("degradations = %+v, want first-match", res.Degraded)
+	}
+	for _, g := range res.Degraded {
+		if g.Fallback == "linear-segmentation" && g.Cause == "" {
+			t.Fatal("degraded-mode retry recorded no cause")
+		}
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["serve.retries.degraded"]; got != 1 {
+		t.Fatalf("serve.retries.degraded = %d, want 1", got)
+	}
+	if len(res.Entities) == 0 {
+		t.Fatal("degraded retry extracted nothing from a matchable poster")
+	}
+}
+
+// TestSegmentBreakerTripsAndRecovers drives the acceptance scenario
+// deterministically: consecutive segment failures trip the breaker, a
+// tripped breaker serves via the linear fallback with the trip recorded
+// in Result.Degraded, and after the cooldown a successful probe closes
+// it again.
+func TestSegmentBreakerTripsAndRecovers(t *testing.T) {
+	task := EventPosterTask()
+	p := NewPipeline(Config{
+		Task: task,
+		Segmenter: &faults.Segmenter{
+			Inner:  segment.New(segment.Options{}),
+			Inject: faults.Injection{Kind: faults.Error, Times: 3},
+		},
+	})
+	m := NewMetrics()
+	s := NewServer(p, ServerConfig{
+		Workers: 1,
+		Metrics: m,
+		Retry:   fastRetry(1),
+		Breaker: BreakerPolicy{Threshold: 3, Cooldown: 50 * time.Millisecond},
+	})
+	defer shutdownServer(t, s)
+
+	// Three consecutive backend failures: each degrades to linear and
+	// counts against the breaker.
+	for i := 0; i < 3; i++ {
+		res, err := s.Extract(context.Background(), namedDoc(fmt.Sprintf("seg-fail-%d", i)))
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if !hasDegradation(res, PhaseSegment, "linear-segmentation") {
+			t.Fatalf("doc %d: degradations = %+v, want linear-segmentation", i, res.Degraded)
+		}
+	}
+	if got := m.Snapshot().Counters["serve.breaker.segment.to_open"]; got != 1 {
+		t.Fatalf("serve.breaker.segment.to_open = %d, want 1", got)
+	}
+
+	// Tripped: the segmenter is short-circuited — still served, via the
+	// linear fallback, with the trip in Result.Degraded.
+	res, err := s.Extract(context.Background(), namedDoc("while-open"))
+	if err != nil {
+		t.Fatalf("while open: %v", err)
+	}
+	tripped := false
+	for _, g := range res.Degraded {
+		if g.Phase == PhaseSegment && g.Fallback == "linear-segmentation" &&
+			errorsContains(g.Cause, ErrBreakerOpen.Error()) {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatalf("degradations = %+v, want linear-segmentation caused by the open breaker", res.Degraded)
+	}
+	if len(res.Entities) == 0 {
+		t.Fatal("breaker-routed run extracted nothing from a matchable poster")
+	}
+
+	// Cooldown elapses; the fault is exhausted, so the probe succeeds
+	// and the breaker closes: a clean, undegraded run.
+	time.Sleep(80 * time.Millisecond)
+	res, err = s.Extract(context.Background(), namedDoc("after-cooldown"))
+	if err != nil {
+		t.Fatalf("after cooldown: %v", err)
+	}
+	if res.IsDegraded() {
+		t.Fatalf("post-recovery run degraded: %+v", res.Degraded)
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["serve.breaker.segment.to_closed"]; got != 1 {
+		t.Fatalf("serve.breaker.segment.to_closed = %d, want 1", got)
+	}
+	if got := snap.Counters["serve.breaker.segment.to_half-open"]; got != 1 {
+		t.Fatalf("serve.breaker.segment.to_half-open = %d, want 1", got)
+	}
+}
+
+func errorsContains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestServerDrainFinishesInFlight: Shutdown stops admission but every
+// admitted document still gets its real result.
+func TestServerDrainFinishesInFlight(t *testing.T) {
+	task := EventPosterTask()
+	p := NewPipeline(Config{
+		Task: task,
+		Segmenter: &faults.Segmenter{
+			Inner:  segment.New(segment.Options{}),
+			Inject: faults.Injection{Kind: faults.Delay, Sleep: 50 * time.Millisecond},
+		},
+	})
+	m := NewMetrics()
+	// QueueWait is effectively unlimited: this test is about the drain
+	// contract, and the race detector makes per-document latency unpredictable.
+	s := NewServer(p, ServerConfig{Workers: 2, Queue: 8, QueueWait: 10 * time.Minute, Metrics: m, Retry: fastRetry(1)})
+
+	docs := make([]*Document, 6)
+	for i := range docs {
+		docs[i] = namedDoc(fmt.Sprintf("drain-%d", i))
+	}
+	results := make(chan error, len(docs))
+	for _, d := range docs {
+		go func(d *Document) {
+			_, err := s.Extract(context.Background(), d)
+			results <- err
+		}(d)
+	}
+	waitFor(t, func() bool { return m.Snapshot().Counters["serve.enqueued"] >= int64(len(docs)) })
+
+	shutdownServer(t, s)
+	for range docs {
+		if err := <-results; err != nil {
+			t.Fatalf("admitted document failed during drain: %v", err)
+		}
+	}
+	if got := m.Snapshot().Counters["serve.completed"]; got != int64(len(docs)) {
+		t.Fatalf("serve.completed = %d, want %d", got, len(docs))
+	}
+}
