@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race obs serve-chaos fuzz trace-demo
+.PHONY: check vet build test race obs serve-chaos fuzz trace-demo bench-gate bench-baseline
 
 # check is the tier-1 verification gate: static analysis, a full build,
 # the full test suite, the race-detector pass (the chaos suite asserts
 # its no-panic/no-hang containment contract there), a focused
-# race-detector pass over the observability primitives, and the
-# serving-layer soak.
-check: vet build test race obs serve-chaos
+# race-detector pass over the observability primitives, the
+# serving-layer soak, and the segmentation benchmark-regression gate.
+check: vet build test race obs serve-chaos bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -53,7 +53,22 @@ trace-demo:
 		-trace /tmp/vs2-demo-trace.json -metrics -explain > /dev/null
 	$(GO) run ./cmd/vs2trace -in /tmp/vs2-demo-trace.json
 
-# fuzz smoke-runs the two fuzz targets (decoder, full pipeline).
+# bench-gate re-measures the segmentation benchmark matrix (reference /
+# sequential / parallel at GOMAXPROCS 1, 4, 8) and fails on a >10%
+# ns/op regression against the committed BENCH_segment.json baseline.
+# The comparison uses within-run ratios against the reference
+# implementation, so it holds across machines of different speeds.
+bench-gate:
+	$(GO) run ./cmd/vs2bench -benchgate
+
+# bench-baseline regenerates BENCH_segment.json after an intentional
+# performance change. Commit the result.
+bench-baseline:
+	$(GO) run ./cmd/vs2bench -segbench
+
+# fuzz smoke-runs the three fuzz targets (decoder, full pipeline,
+# parallel segmenter determinism).
 fuzz:
 	$(GO) test -run FuzzDecode -fuzz FuzzDecode -fuzztime 30s ./internal/doc
 	$(GO) test -run FuzzExtract -fuzz FuzzExtract -fuzztime 30s .
+	$(GO) test -run FuzzParallelSegment -fuzz FuzzParallelSegment -fuzztime 30s .

@@ -183,6 +183,38 @@ func BenchmarkSegmentTaxForm(b *testing.B) {
 	}
 }
 
+// BenchmarkSegmentConfigs measures the three segmentation paths — the
+// preserved seed implementation, the optimised sequential recursion and
+// the branch-parallel recursion — on the same tax-form corpus
+// cmd/vs2bench -segbench uses for the committed regression baseline.
+// Run with -benchmem to see the allocation reduction from the pooled
+// reach tables, feature buffers and the centroid cache.
+func BenchmarkSegmentConfigs(b *testing.B) {
+	labeled := GenerateTaxForms(2, 5)
+	docs := make([]*Document, len(labeled))
+	for i, l := range labeled {
+		docs[i] = l.Doc
+	}
+	configs := []struct {
+		name string
+		s    *segment.Segmenter
+	}{
+		{"reference", segment.NewReference(segment.Options{})},
+		{"sequential", segment.New(segment.Options{Parallel: 1})},
+		{"parallel", segment.New(segment.Options{Parallel: 8})},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, d := range docs {
+					c.s.Blocks(d)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkExtractPoster measures the full pipeline (segment + select) on
 // one poster.
 func BenchmarkExtractPoster(b *testing.B) {

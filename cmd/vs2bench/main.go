@@ -10,6 +10,8 @@
 //	vs2bench -ttest                # significance tests only
 //	vs2bench -holdout              # holdout corpus construction summary
 //	vs2bench -patterns             # print the Table 3/4 pattern inventory
+//	vs2bench -segbench             # segmentation benchmark matrix -> BENCH_segment.json
+//	vs2bench -benchgate            # gate current segmentation perf against the baseline
 package main
 
 import (
@@ -33,11 +35,20 @@ func main() {
 		patterns = flag.Bool("patterns", false, "print the Table 3/4 pattern inventory")
 		ext      = flag.String("ext", "", "extension experiment: cutmodel | weights | noise | rotation | fit")
 		csvOut   = flag.String("csv", "", "also write table results as CSV files with this prefix")
+		segbench = flag.Bool("segbench", false, "run the segmentation benchmark matrix and write the baseline JSON")
+		gate     = flag.Bool("benchgate", false, "re-run the segmentation benchmarks and gate against the committed baseline")
+		benchOut = flag.String("benchout", segBenchFile, "baseline path for -segbench / -benchgate")
 	)
 	flag.Parse()
 	opts := eval.Options{N: *n, Seed: *seed}
 
 	switch {
+	case *segbench:
+		runSegBench(*benchOut)
+		return
+	case *gate:
+		runBenchGate(*benchOut)
+		return
 	case *ext != "":
 		runExtension(*ext, opts)
 		return

@@ -1,0 +1,259 @@
+package main
+
+// Segmentation benchmark matrix and regression gate.
+//
+// -segbench measures VS2-Segment in three configurations — the preserved
+// seed implementation (segment.NewReference), the optimised sequential
+// path (Parallel: 1) and the branch-parallel path (Parallel: 8) — at
+// GOMAXPROCS 1, 4 and 8 over a small tax-form corpus, and writes the
+// matrix to BENCH_segment.json.
+//
+// -benchgate re-measures the same matrix and compares it against the
+// committed baseline. Absolute ns/op are machine-dependent, so the gate
+// compares *within-run ratios*: each configuration's ns/op divided by
+// the reference ns/op measured in the same run on the same machine.
+// Per-GOMAXPROCS ratios are printed for inspection but carry ~15%
+// scheduler noise on loaded hosts, so the pass/fail decision uses the
+// geometric mean of a configuration's ratios across the GOMAXPROCS
+// matrix (per-cell noise is uncorrelated and averages out): a
+// configuration whose mean ratio grew more than 10% over the committed
+// baseline fails the gate, as does a parallel configuration at
+// GOMAXPROCS >= 4 whose speedup over the reference drops below 2x. A
+// failing gate re-measures once before reporting a regression, so a
+// single anomalous run cannot fail the build on its own.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	vs2 "vs2"
+	"vs2/internal/segment"
+)
+
+const segBenchFile = "BENCH_segment.json"
+
+// segBenchProcs is the GOMAXPROCS matrix. On hosts with fewer CPUs the
+// higher settings still exercise the scheduling path (goroutines
+// multiplex onto the available cores); the committed speedups are
+// therefore quoted against the reference implementation, not against
+// ideal linear scaling.
+var segBenchProcs = []int{1, 4, 8}
+
+type segConfigResult struct {
+	GoMaxProcs          int     `json:"gomaxprocs"`
+	ReferenceNsOp       int64   `json:"reference_ns_op"`
+	ReferenceAllocsOp   int64   `json:"reference_allocs_op"`
+	SequentialNsOp      int64   `json:"sequential_ns_op"`
+	SequentialAllocsOp  int64   `json:"sequential_allocs_op"`
+	ParallelNsOp        int64   `json:"parallel_ns_op"`
+	ParallelAllocsOp    int64   `json:"parallel_allocs_op"`
+	SpeedupVsReference  float64 `json:"speedup_vs_reference"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+}
+
+type segBenchReport struct {
+	Corpus   string            `json:"corpus"`
+	HostCPUs int               `json:"host_cpus"`
+	Results  []segConfigResult `json:"results"`
+}
+
+func segBenchCorpus() []*vs2.Document {
+	labeled := vs2.GenerateTaxForms(2, 5)
+	docs := make([]*vs2.Document, len(labeled))
+	for i, l := range labeled {
+		docs[i] = l.Doc
+	}
+	return docs
+}
+
+// benchOnce runs one segmentation benchmark. The benchtime is raised
+// from the 1s default so that even the slow reference implementation
+// (~1s/op on the tax-form corpus) gets enough iterations per run for a
+// stable ns/op — at 1s benchtime it ran 1-2 iterations and the
+// quantization noise alone exceeded the gate tolerance.
+func benchOnce(s *segment.Segmenter, docs []*vs2.Document) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, d := range docs {
+				s.Blocks(d)
+			}
+		}
+	})
+}
+
+// measureConfigs benchmarks all three segmenter configurations
+// interleaved over several rounds — reference, sequential, parallel,
+// then again — so machine-load drift during the run lands on every
+// configuration rather than biasing whichever ran last. Each
+// configuration keeps its fastest round (minimum ns/op filters the
+// slow-outlier rounds that background load produces).
+func measureConfigs(docs []*vs2.Document) (ref, seq, par testing.BenchmarkResult) {
+	const rounds = 3
+	segmenters := []*segment.Segmenter{
+		segment.NewReference(segment.Options{}),
+		segment.New(segment.Options{Parallel: 1}),
+		segment.New(segment.Options{Parallel: 8}),
+	}
+	best := make([]testing.BenchmarkResult, len(segmenters))
+	for round := 0; round < rounds; round++ {
+		for i, s := range segmenters {
+			r := benchOnce(s, docs)
+			if round == 0 || r.NsPerOp() < best[i].NsPerOp() {
+				best[i] = r
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+func runSegBenchMatrix() segBenchReport {
+	testing.Init()
+	flag.Set("test.benchtime", "5s")
+	docs := segBenchCorpus()
+	rep := segBenchReport{
+		Corpus:   "GenerateTaxForms(2, 5)",
+		HostCPUs: runtime.NumCPU(),
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range segBenchProcs {
+		runtime.GOMAXPROCS(procs)
+		refR, seqR, parR := measureConfigs(docs)
+		r := segConfigResult{
+			GoMaxProcs:         procs,
+			ReferenceNsOp:      refR.NsPerOp(),
+			ReferenceAllocsOp:  refR.AllocsPerOp(),
+			SequentialNsOp:     seqR.NsPerOp(),
+			SequentialAllocsOp: seqR.AllocsPerOp(),
+			ParallelNsOp:       parR.NsPerOp(),
+			ParallelAllocsOp:   parR.AllocsPerOp(),
+		}
+		r.SpeedupVsReference = round2(float64(r.ReferenceNsOp) / float64(r.ParallelNsOp))
+		r.SpeedupVsSequential = round2(float64(r.SequentialNsOp) / float64(r.ParallelNsOp))
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("GOMAXPROCS=%d  reference %s  sequential %s  parallel %s  speedup vs reference %.2fx (vs sequential %.2fx)\n",
+			procs, fmtNs(r.ReferenceNsOp), fmtNs(r.SequentialNsOp), fmtNs(r.ParallelNsOp),
+			r.SpeedupVsReference, r.SpeedupVsSequential)
+	}
+	return rep
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+func fmtNs(ns int64) string {
+	return fmt.Sprintf("%.2fms/op", float64(ns)/1e6)
+}
+
+func runSegBench(out string) {
+	fmt.Printf("Segmentation benchmark matrix (corpus: tax forms, best of 3 runs per cell)\n")
+	rep := runSegBenchMatrix()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vs2bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vs2bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runBenchGate re-measures the matrix and fails (exit 1) on regression
+// against the committed baseline.
+func runBenchGate(baselinePath string) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vs2bench: no benchmark baseline: %v\n(run vs2bench -segbench to create one)\n", err)
+		os.Exit(1)
+	}
+	var base segBenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "vs2bench: corrupt baseline %s: %v\n", baselinePath, err)
+		os.Exit(1)
+	}
+	baseByProcs := map[int]segConfigResult{}
+	for _, r := range base.Results {
+		baseByProcs[r.GoMaxProcs] = r
+	}
+
+	fmt.Printf("Benchmark regression gate (baseline: %s, tolerance: 10%% on mean within-run ns/op ratios)\n", baselinePath)
+	failures := gateOnce(baseByProcs)
+	if failures > 0 {
+		fmt.Printf("regression on first measurement; re-measuring to rule out a noisy run\n")
+		failures = gateOnce(baseByProcs)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "vs2bench: bench gate FAILED (%d regressions, confirmed by re-measurement)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("bench gate passed")
+}
+
+// gateOnce runs one benchmark matrix and returns the number of
+// regressions against the baseline.
+func gateOnce(baseByProcs map[int]segConfigResult) int {
+	cur := runSegBenchMatrix()
+
+	const tolerance = 1.10
+	failures := 0
+	// Per-cell ratios, informational.
+	curSeq, curPar := map[int]float64{}, map[int]float64{}
+	baseSeq, basePar := map[int]float64{}, map[int]float64{}
+	for _, r := range cur.Results {
+		b, ok := baseByProcs[r.GoMaxProcs]
+		if !ok {
+			continue
+		}
+		curSeq[r.GoMaxProcs] = float64(r.SequentialNsOp) / float64(r.ReferenceNsOp)
+		curPar[r.GoMaxProcs] = float64(r.ParallelNsOp) / float64(r.ReferenceNsOp)
+		baseSeq[r.GoMaxProcs] = float64(b.SequentialNsOp) / float64(b.ReferenceNsOp)
+		basePar[r.GoMaxProcs] = float64(b.ParallelNsOp) / float64(b.ReferenceNsOp)
+		fmt.Printf("  GOMAXPROCS=%d sequential ns/op ratio vs reference: %.3f (baseline %.3f)\n",
+			r.GoMaxProcs, curSeq[r.GoMaxProcs], baseSeq[r.GoMaxProcs])
+		fmt.Printf("  GOMAXPROCS=%d parallel   ns/op ratio vs reference: %.3f (baseline %.3f)\n",
+			r.GoMaxProcs, curPar[r.GoMaxProcs], basePar[r.GoMaxProcs])
+		if r.GoMaxProcs >= 4 && r.SpeedupVsReference < 2.0 {
+			fmt.Printf("  GOMAXPROCS=%d parallel speedup vs reference %.2fx < 2.0x REGRESSION\n",
+				r.GoMaxProcs, r.SpeedupVsReference)
+			failures++
+		}
+	}
+	// The pass/fail ratio check pools the matrix per configuration.
+	check := func(what string, cur, base map[int]float64) {
+		cg, bg := geomean(cur), geomean(base)
+		if bg <= 0 || cg <= 0 {
+			return
+		}
+		status := "ok"
+		if cg > bg*tolerance {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("  %-10s mean ns/op ratio vs reference: %.3f (baseline %.3f) %s\n", what, cg, bg, status)
+	}
+	check("sequential", curSeq, baseSeq)
+	check("parallel", curPar, basePar)
+	return failures
+}
+
+func geomean(m map[int]float64) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, v := range m {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(m)))
+}

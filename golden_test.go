@@ -1,0 +1,94 @@
+package vs2
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vs2/internal/segment"
+)
+
+// The golden layout-tree corpus pins the exact segmentation of the
+// example corpora, so any ordering or geometry regression — a seam
+// found in a different place, children emitted in a different order, a
+// parallel-scheduling leak into the output — diffs loudly instead of
+// silently shifting downstream extractions. Regenerate after an
+// intentional algorithm change with:
+//
+//	go test -run TestGoldenLayoutTrees -update .
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden layout trees")
+
+// goldenNode is the serialised layout-tree shape: box, ordered element
+// IDs, children. Depth is implied by nesting.
+type goldenNode struct {
+	Box      Rect         `json:"box"`
+	Elements []int        `json:"elements,omitempty"`
+	Children []goldenNode `json:"children,omitempty"`
+}
+
+func toGolden(n *Node) goldenNode {
+	out := goldenNode{Box: n.Box, Elements: n.Elements}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toGolden(c))
+	}
+	return out
+}
+
+// goldenCorpora mirrors the examples/ corpora: same generators, fixed
+// seeds, a few documents each (taxforms includes an OCR-noised scan,
+// like examples/taxforms).
+func goldenCorpora() map[string][]*Document {
+	tax := GenerateTaxForms(2, 1988)
+	noisy := OCRNoise(tax[1], 3)
+	return map[string][]*Document{
+		"taxforms":     {tax[0].Doc, noisy.Doc},
+		"eventposters": {GenerateEventPosters(3, 7)[0].Doc, GenerateEventPosters(3, 7)[2].Doc},
+		"realestate":   {GenerateRealEstateFlyers(2, 11)[0].Doc, GenerateRealEstateFlyers(2, 11)[1].Doc},
+	}
+}
+
+func TestGoldenLayoutTrees(t *testing.T) {
+	// Segment with the parallel configuration: the goldens then also
+	// guard the determinism contract on the exact corpora the examples
+	// ship (the differential suite covers randomized inputs).
+	s := segment.New(segment.Options{Parallel: 8})
+	for name, docs := range goldenCorpora() {
+		t.Run(name, func(t *testing.T) {
+			trees := make([]goldenNode, 0, len(docs))
+			for _, d := range docs {
+				root, err := s.SegmentContext(context.Background(), d)
+				if err != nil {
+					t.Fatalf("%s: %v", d.ID, err)
+				}
+				trees = append(trees, toGolden(root))
+			}
+			got, err := json.MarshalIndent(trees, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run TestGoldenLayoutTrees -update .` to create goldens)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("layout trees for %s diverge from %s\nregenerate with -update if the change is intentional", name, path)
+			}
+		})
+	}
+}

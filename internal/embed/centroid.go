@@ -1,0 +1,69 @@
+package embed
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Centroids caches TextVec results keyed by the ordered identity of the
+// text's source — for the segmenter, the element-ID sequence of a
+// layout-tree node. The Eq. 1 merge loop re-embeds every sibling on
+// every pass even though a pass merges at most one pair per parent, so
+// across the ≤8 passes almost all nodes are unchanged; the cache turns
+// those re-embeddings into map hits. Keys are the ordered ID sequence
+// (not a sorted set) because node text is transcribed in element order
+// and two orderings may embed differently. Safe for concurrent use.
+type Centroids struct {
+	e Embedder
+
+	mu     sync.Mutex
+	vecs   map[string][]float64
+	hits   int64
+	misses int64
+}
+
+// NewCentroids builds an empty cache over e.
+func NewCentroids(e Embedder) *Centroids {
+	return &Centroids{e: e, vecs: make(map[string][]float64)}
+}
+
+// Key encodes an ordered element-ID sequence as a compact cache key.
+func Key(ids []int) string {
+	buf := make([]byte, 0, 2*len(ids)+binary.MaxVarintLen64)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, id := range ids {
+		n := binary.PutVarint(tmp[:], int64(id))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// TextVec returns the cached centroid for key, computing it from
+// text() on the first lookup. The returned slice is shared — callers
+// must not mutate it. text is only invoked on a miss, so callers can
+// defer the (allocating) transcription of node text behind it.
+func (c *Centroids) TextVec(key string, text func() string) []float64 {
+	c.mu.Lock()
+	if v, ok := c.vecs[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.misses++
+	c.mu.Unlock()
+	// Embed outside the lock: Lexicon lookups are themselves guarded,
+	// and a duplicate computation under contention is deterministic, so
+	// last-writer-wins is harmless.
+	v := TextVec(c.e, text())
+	c.mu.Lock()
+	c.vecs[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Stats reports cache hits and misses so far.
+func (c *Centroids) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,60 @@
+package embed
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCentroidsCachesByOrderedKey(t *testing.T) {
+	e := NewLexicon()
+	c := NewCentroids(e)
+
+	calls := 0
+	text := func() string { calls++; return "total amount due" }
+
+	k := Key([]int{3, 1, 2})
+	v1 := c.TextVec(k, text)
+	v2 := c.TextVec(k, text)
+	if calls != 1 {
+		t.Fatalf("text() called %d times, want 1 (second lookup must hit)", calls)
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatal("cache returned different vectors for the same key")
+	}
+	if want := TextVec(e, "total amount due"); !reflect.DeepEqual(v1, want) {
+		t.Fatal("cached vector differs from direct TextVec")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("Stats = (%d, %d), want (1, 1)", hits, misses)
+	}
+
+	// Order matters: [1 2 3] and [3 1 2] are distinct nodes.
+	if Key([]int{1, 2, 3}) == Key([]int{3, 1, 2}) {
+		t.Fatal("Key must distinguish orderings")
+	}
+	// Concatenation boundaries matter: [12] vs [1, 2].
+	if Key([]int{12}) == Key([]int{1, 2}) {
+		t.Fatal("Key must distinguish [12] from [1,2]")
+	}
+}
+
+func TestCentroidsConcurrent(t *testing.T) {
+	c := NewCentroids(NewLexicon())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				k := Key([]int{j % 5})
+				got := c.TextVec(k, func() string { return "invoice date" })
+				if want := TextVec(NewLexicon(), "invoice date"); !reflect.DeepEqual(got, want) {
+					t.Errorf("worker %d: wrong vector from cache", i)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

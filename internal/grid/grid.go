@@ -17,6 +17,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"vs2/internal/geom"
 )
@@ -44,6 +45,14 @@ type Grid struct {
 	W, H  int
 	Scale float64 // cells per page unit
 	occ   []bool
+
+	// Lazily-derived acceleration tables. Built at most once per
+	// mutation epoch (Set drops them); concurrent builders race
+	// benignly — the arrays are pure functions of occ, so whichever
+	// pointer wins the CAS is identical to the loser's.
+	vruns    atomic.Pointer[[]int32]
+	hruns    atomic.Pointer[[]int32]
+	integral atomic.Pointer[[]int32]
 }
 
 // New returns an empty (all-whitespace) grid of w×h cells.
@@ -99,12 +108,16 @@ func (g *Grid) mark(bounds, r geom.Rect, scale float64) {
 	}
 }
 
-// Set marks the cell (x, y) occupied (no-op out of range).
+// Set marks the cell (x, y) occupied (no-op out of range) and drops
+// any derived tables so later queries see the new occupancy.
 func (g *Grid) Set(x, y int) {
 	if x < 0 || y < 0 || x >= g.W || y >= g.H {
 		return
 	}
 	g.occ[y*g.W+x] = true
+	g.vruns.Store(nil)
+	g.hruns.Store(nil)
+	g.integral.Store(nil)
 }
 
 // Occupied reports whether the cell (x, y) is covered by some bounding box.
@@ -369,19 +382,158 @@ func count(bs []bool) int {
 	return n
 }
 
+// VRun returns the length of the maximal vertical whitespace run
+// through (x, y): the number of consecutive whitespace cells in column
+// x whose run contains row y. Occupied or out-of-range cells yield 0.
+// The per-column run table is built lazily in one O(W·H) sweep and
+// answers every subsequent query in O(1) — this replaces the O(H)
+// column scan the seam-clearance pass used to repeat per seam cell.
+func (g *Grid) VRun(x, y int) int {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 0
+	}
+	return int((*g.loadVRuns())[y*g.W+x])
+}
+
+// HRun returns the length of the maximal horizontal whitespace run
+// through (x, y) (the transpose of VRun).
+func (g *Grid) HRun(x, y int) int {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 0
+	}
+	return int((*g.loadHRuns())[y*g.W+x])
+}
+
+func (g *Grid) loadVRuns() *[]int32 {
+	if t := g.vruns.Load(); t != nil {
+		return t
+	}
+	t := g.buildRuns(true)
+	if g.vruns.CompareAndSwap(nil, t) {
+		return t
+	}
+	return g.vruns.Load()
+}
+
+func (g *Grid) loadHRuns() *[]int32 {
+	if t := g.hruns.Load(); t != nil {
+		return t
+	}
+	t := g.buildRuns(false)
+	if g.hruns.CompareAndSwap(nil, t) {
+		return t
+	}
+	return g.hruns.Load()
+}
+
+// buildRuns computes, for every cell, the length of the maximal
+// contiguous whitespace run containing it along one axis: a prefix
+// sweep measures each run, a suffix sweep stamps the total back onto
+// every cell of the run.
+func (g *Grid) buildRuns(vertical bool) *[]int32 {
+	runs := make([]int32, len(g.occ))
+	if vertical {
+		for x := 0; x < g.W; x++ {
+			for y0 := 0; y0 < g.H; {
+				if g.occ[y0*g.W+x] {
+					y0++
+					continue
+				}
+				y1 := y0
+				for y1 < g.H && !g.occ[y1*g.W+x] {
+					y1++
+				}
+				n := int32(y1 - y0)
+				for y := y0; y < y1; y++ {
+					runs[y*g.W+x] = n
+				}
+				y0 = y1
+			}
+		}
+	} else {
+		for y := 0; y < g.H; y++ {
+			row := g.occ[y*g.W : (y+1)*g.W]
+			out := runs[y*g.W : (y+1)*g.W]
+			for x0 := 0; x0 < g.W; {
+				if row[x0] {
+					x0++
+					continue
+				}
+				x1 := x0
+				for x1 < g.W && !row[x1] {
+					x1++
+				}
+				n := int32(x1 - x0)
+				for x := x0; x < x1; x++ {
+					out[x] = n
+				}
+				x0 = x1
+			}
+		}
+	}
+	return &runs
+}
+
+// loadIntegral returns the (W+1)×(H+1) summed-area table of occupancy,
+// building it lazily: integral[y][x] counts occupied cells in
+// [0,x)×[0,y).
+func (g *Grid) loadIntegral() *[]int32 {
+	if t := g.integral.Load(); t != nil {
+		return t
+	}
+	stride := g.W + 1
+	sums := make([]int32, stride*(g.H+1))
+	for y := 0; y < g.H; y++ {
+		var rowSum int32
+		for x := 0; x < g.W; x++ {
+			if g.occ[y*g.W+x] {
+				rowSum++
+			}
+			sums[(y+1)*stride+x+1] = sums[y*stride+x+1] + rowSum
+		}
+	}
+	if g.integral.CompareAndSwap(nil, &sums) {
+		return &sums
+	}
+	return g.integral.Load()
+}
+
+// OccupiedCount returns the number of occupied cells within region in
+// O(1) via the integral image. Out-of-range cells count as occupied,
+// matching Occupied.
+func (g *Grid) OccupiedCount(region IntRect) int {
+	if region.Empty() {
+		return 0
+	}
+	in := region
+	if in.X0 < 0 {
+		in.X0 = 0
+	}
+	if in.Y0 < 0 {
+		in.Y0 = 0
+	}
+	if in.X1 > g.W {
+		in.X1 = g.W
+	}
+	if in.Y1 > g.H {
+		in.Y1 = g.H
+	}
+	inside := 0
+	if !in.Empty() {
+		s := *g.loadIntegral()
+		stride := g.W + 1
+		inside = int(s[in.Y1*stride+in.X1] - s[in.Y0*stride+in.X1] -
+			s[in.Y1*stride+in.X0] + s[in.Y0*stride+in.X0])
+		return inside + region.W()*region.H() - in.W()*in.H()
+	}
+	return region.W() * region.H()
+}
+
 // Coverage returns the fraction of cells occupied within region.
 func (g *Grid) Coverage(region IntRect) float64 {
 	total := region.W() * region.H()
 	if total <= 0 {
 		return 0
 	}
-	n := 0
-	for y := region.Y0; y < region.Y1; y++ {
-		for x := region.X0; x < region.X1; x++ {
-			if g.Occupied(x, y) {
-				n++
-			}
-		}
-	}
-	return float64(n) / float64(total)
+	return float64(g.OccupiedCount(region)) / float64(total)
 }

@@ -1,0 +1,120 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveVRun is the reference O(H) column scan the run table replaced:
+// 1 + whitespace cells above + whitespace cells below.
+func naiveVRun(g *Grid, x, y int) int {
+	if !g.Whitespace(x, y) {
+		return 0
+	}
+	n := 1
+	for yy := y - 1; g.Whitespace(x, yy); yy-- {
+		n++
+	}
+	for yy := y + 1; g.Whitespace(x, yy); yy++ {
+		n++
+	}
+	return n
+}
+
+func naiveHRun(g *Grid, x, y int) int {
+	if !g.Whitespace(x, y) {
+		return 0
+	}
+	n := 1
+	for xx := x - 1; g.Whitespace(xx, y); xx-- {
+		n++
+	}
+	for xx := x + 1; g.Whitespace(xx, y); xx++ {
+		n++
+	}
+	return n
+}
+
+func naiveOccupiedCount(g *Grid, region IntRect) int {
+	n := 0
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			if g.Occupied(x, y) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func randomGrid(rng *rand.Rand, w, h int) *Grid {
+	g := New(w, h)
+	for i := range g.occ {
+		g.occ[i] = rng.Intn(3) == 0
+	}
+	return g
+}
+
+func TestRunTablesMatchNaiveScans(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][2]int{{1, 1}, {1, 7}, {7, 1}, {5, 5}, {17, 9}, {40, 23}}
+	for _, sh := range shapes {
+		for trial := 0; trial < 8; trial++ {
+			g := randomGrid(rng, sh[0], sh[1])
+			for y := -1; y <= g.H; y++ {
+				for x := -1; x <= g.W; x++ {
+					if got, want := g.VRun(x, y), naiveVRun(g, x, y); got != want {
+						t.Fatalf("%dx%d trial %d: VRun(%d,%d) = %d, want %d", sh[0], sh[1], trial, x, y, got, want)
+					}
+					if got, want := g.HRun(x, y), naiveHRun(g, x, y); got != want {
+						t.Fatalf("%dx%d trial %d: HRun(%d,%d) = %d, want %d", sh[0], sh[1], trial, x, y, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunTablesDroppedOnSet(t *testing.T) {
+	g := New(4, 4)
+	if got := g.VRun(1, 1); got != 4 {
+		t.Fatalf("VRun on empty 4x4 = %d, want 4", got)
+	}
+	g.Set(1, 2)
+	if got := g.VRun(1, 1); got != 2 {
+		t.Fatalf("VRun after Set(1,2) = %d, want 2 (stale table?)", got)
+	}
+	if got := g.HRun(2, 2); got != 2 {
+		t.Fatalf("HRun after Set(1,2) = %d, want 2", got)
+	}
+	if got := g.OccupiedCount(g.Bounds()); got != 1 {
+		t.Fatalf("OccupiedCount after Set = %d, want 1", got)
+	}
+}
+
+func TestOccupiedCountMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGrid(rng, 1+rng.Intn(25), 1+rng.Intn(25))
+		regions := []IntRect{
+			g.Bounds(),
+			{},
+			{X0: -3, Y0: -2, X1: g.W + 4, Y1: g.H + 1}, // spills off-grid: out-of-range counts occupied
+			{X0: -5, Y0: -5, X1: -1, Y1: -1},           // fully off-grid
+			{X0: g.W / 2, Y0: g.H / 2, X1: g.W, Y1: g.H},
+			{X0: 1, Y0: 1, X1: 1 + rng.Intn(g.W), Y1: 1 + rng.Intn(g.H)},
+		}
+		for _, r := range regions {
+			if got, want := g.OccupiedCount(r), naiveOccupiedCount(g, r); got != want {
+				t.Fatalf("trial %d: OccupiedCount(%v) = %d, want %d", trial, r, got, want)
+			}
+			wantCov := 0.0
+			if total := r.W() * r.H(); total > 0 {
+				wantCov = float64(naiveOccupiedCount(g, r)) / float64(total)
+			}
+			if got := g.Coverage(r); got != wantCov {
+				t.Fatalf("trial %d: Coverage(%v) = %v, want %v", trial, r, got, wantCov)
+			}
+		}
+	}
+}

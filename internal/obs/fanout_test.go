@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestObsSpanFanoutNesting models the parallel segmenter's span shape:
+// one "split" parent whose children are opened and ended from many
+// goroutines at once (with events, attrs, and a concurrent snapshot in
+// flight), asserting the nesting invariant vs2trace enforces — every
+// child's duration fits inside its parent's — survives the fan-out.
+// Runs under -race via the `make obs` target.
+func TestObsSpanFanoutNesting(t *testing.T) {
+	tr := New("segment")
+	root := tr.Root().Child("split")
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			child := root.Child("split")
+			child.SetAttr("depth", 1)
+			child.AddEvent("merge", Int("elements", i), Int64("embed_cache_hits", int64(i)))
+			grand := child.Child("split")
+			grand.SetAttr("depth", 2)
+			grand.End()
+			child.End()
+		}(i)
+	}
+	// Snapshot concurrently with the fan-out: readers must never block
+	// or race writers.
+	_ = root.Snapshot()
+	wg.Wait()
+	root.End()
+	tr.Root().End()
+
+	snap := tr.Root().Snapshot()
+	var walk func(s SpanSnapshot)
+	var spans int
+	walk = func(s SpanSnapshot) {
+		spans++
+		for _, c := range s.Children {
+			if c.DurationNS > s.DurationNS {
+				t.Errorf("child %q (%dns) exceeds parent %q (%dns)", c.Name, c.DurationNS, s.Name, s.DurationNS)
+			}
+			walk(c)
+		}
+	}
+	walk(snap)
+	if want := 2 + 2*workers; spans != want {
+		t.Fatalf("snapshot has %d spans, want %d", spans, want)
+	}
+}

@@ -39,6 +39,10 @@ type Attr struct {
 // Int builds an integer attribute.
 func Int(key string, v int) Attr { return Attr{Key: key, Value: v} }
 
+// Int64 builds a 64-bit integer attribute (atomic counters and cache
+// statistics arrive as int64).
+func Int64(key string, v int64) Attr { return Attr{Key: key, Value: v} }
+
 // F64 builds a float attribute.
 func F64(key string, v float64) Attr { return Attr{Key: key, Value: v} }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 
 	"vs2/internal/colorlab"
 	"vs2/internal/doc"
@@ -32,9 +33,17 @@ func clusterElements(ctx context.Context, d *doc.Document, n *doc.Node, sp *obs.
 	if len(ids) < 4 {
 		return nil
 	}
+	// All feature vectors live in one pooled flat buffer: one Get per
+	// clustering call instead of one allocation per element. Every lane
+	// is fully overwritten before use and nothing below retains a
+	// sub-slice past the return, so the buffer is safe to recycle.
+	flat := getFeatBuf(featDim * len(ids))
+	defer featBufPool.Put(flat)
 	feats := make([][]float64, len(ids))
 	for i, id := range ids {
-		feats[i] = elementFeatures(d, n.Box, id)
+		fs := (*flat)[i*featDim : (i+1)*featDim : (i+1)*featDim]
+		elementFeaturesInto(d, n.Box, id, fs)
+		feats[i] = fs
 	}
 
 	centers := seedMedoids(d, n, ids, feats)
@@ -162,15 +171,33 @@ func groupStyle(d *doc.Document, ids []int) (float64, colorlab.LAB) {
 	return h / f, colorlab.LAB{L: l / f, A: a / f, B: bb / f}
 }
 
-// elementFeatures encodes one atomic element per Table 1, normalised so
-// that each feature contributes on a comparable scale:
+// featDim is the Table 1 feature-vector dimensionality.
+const featDim = 7
+
+// featBufPool recycles the flat feature buffers across clustering
+// calls; the slices are sized (and fully overwritten) per call.
+var featBufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getFeatBuf(n int) *[]float64 {
+	p := featBufPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+// elementFeaturesInto encodes one atomic element per Table 1 into out
+// (length featDim), normalised so that each feature contributes on a
+// comparable scale:
 //
 //	[0] centroid x / area width
 //	[1] centroid y / area height
 //	[2] bbox height / max plausible height (area height)
 //	[3] L* / 100, [4] a* / 128, [5] b* / 128
 //	[6] angular distance of centroid from area origin / (π/2)
-func elementFeatures(d *doc.Document, area geom.Rect, id int) []float64 {
+func elementFeaturesInto(d *doc.Document, area geom.Rect, id int, out []float64) {
 	e := &d.Elements[id]
 	c := e.Box.Centroid()
 	lab := colorlab.ToLAB(e.Color)
@@ -182,15 +209,13 @@ func elementFeatures(d *doc.Document, area geom.Rect, id int) []float64 {
 		h = 1
 	}
 	rel := geom.Point{X: c.X - area.X, Y: c.Y - area.Y}
-	return []float64{
-		rel.X / w,
-		rel.Y / h,
-		e.Box.H / h * 4, // font size differences matter; amplify
-		lab.L / 100,
-		lab.A / 128,
-		lab.B / 128,
-		rel.Angle() / (math.Pi / 2),
-	}
+	out[0] = rel.X / w
+	out[1] = rel.Y / h
+	out[2] = e.Box.H / h * 4 // font size differences matter; amplify
+	out[3] = lab.L / 100
+	out[4] = lab.A / 128
+	out[5] = lab.B / 128
+	out[6] = rel.Angle() / (math.Pi / 2)
 }
 
 // featureWeights balances spatial proximity (dominant, per the paper's

@@ -28,14 +28,20 @@ import (
 // Every executed merge lands on sp as an event carrying the Eq. 1 scores
 // that drove it (semantic contribution, threshold θ_h, winning pairwise
 // similarity); the pass count is an attribute.
-func mergeTree(ctx context.Context, sp *obs.Span, d *doc.Document, root *doc.Node, e embed.Embedder) error {
+//
+// cache (optional) memoises text centroids across passes, keyed by each
+// node's ordered element-ID sequence: a pass merges at most one pair per
+// parent, so nearly every node re-evaluated on the next pass is
+// unchanged and its embedding is a map hit. A merged node's
+// concatenated ID sequence is a new key, so it re-embeds exactly once.
+func mergeTree(ctx context.Context, sp *obs.Span, d *doc.Document, root *doc.Node, e embed.Embedder, cache *embed.Centroids) error {
 	passes := 0
 	for iter := 0; iter < 8; iter++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		passes++
-		if !mergePass(ctx, sp, d, root, e) {
+		if !mergePass(ctx, sp, d, root, e, cache) {
 			break
 		}
 	}
@@ -43,8 +49,18 @@ func mergeTree(ctx context.Context, sp *obs.Span, d *doc.Document, root *doc.Nod
 	return ctx.Err()
 }
 
+// nodeVec embeds a node's transcription, through the cache when one is
+// supplied. Node text is a pure function of the document and the node's
+// ordered element list, which is exactly what the cache keys on.
+func nodeVec(d *doc.Document, n *doc.Node, e embed.Embedder, cache *embed.Centroids) []float64 {
+	if cache == nil {
+		return embed.TextVec(e, n.Text(d))
+	}
+	return cache.TextVec(embed.Key(n.Elements), func() string { return n.Text(d) })
+}
+
 // mergePass performs one bottom-up sweep; reports whether anything merged.
-func mergePass(ctx context.Context, sp *obs.Span, d *doc.Document, root *doc.Node, e embed.Embedder) bool {
+func mergePass(ctx context.Context, sp *obs.Span, d *doc.Document, root *doc.Node, e embed.Embedder, cache *embed.Centroids) bool {
 	// Group nodes by level for the non-sibling term of Eq. 1.
 	levels := map[int][]*doc.Node{}
 	root.Walk(func(n *doc.Node) {
@@ -60,7 +76,7 @@ func mergePass(ctx context.Context, sp *obs.Span, d *doc.Document, root *doc.Nod
 		if len(n.Children) < 2 || ctx.Err() != nil {
 			return
 		}
-		if mergeSiblings(sp, d, root.Box, n, levels[n.Depth+1], e) {
+		if mergeSiblings(sp, d, root.Box, n, levels[n.Depth+1], e, cache) {
 			changed = true
 		}
 	}
@@ -71,11 +87,11 @@ func mergePass(ctx context.Context, sp *obs.Span, d *doc.Document, root *doc.Nod
 // mergeSiblings evaluates Eq. 1 for the children of parent and merges the
 // best-qualifying pair. Only one merge per parent per pass keeps the
 // computation simple and convergent.
-func mergeSiblings(sp *obs.Span, d *doc.Document, page geom.Rect, parent *doc.Node, level []*doc.Node, e embed.Embedder) bool {
+func mergeSiblings(sp *obs.Span, d *doc.Document, page geom.Rect, parent *doc.Node, level []*doc.Node, e embed.Embedder, cache *embed.Centroids) bool {
 	kids := parent.Children
 	vecs := make([][]float64, len(kids))
 	for i, k := range kids {
-		vecs[i] = embed.TextVec(e, k.Text(d))
+		vecs[i] = nodeVec(d, k, e, cache)
 	}
 	// Same-level non-sibling vectors.
 	var otherVecs [][]float64
@@ -88,7 +104,7 @@ func mergeSiblings(sp *obs.Span, d *doc.Document, page geom.Rect, parent *doc.No
 			}
 		}
 		if !isKid {
-			otherVecs = append(otherVecs, embed.TextVec(e, n.Text(d)))
+			otherVecs = append(otherVecs, nodeVec(d, n, e, cache))
 		}
 	}
 

@@ -2,6 +2,7 @@ package segment
 
 import (
 	"sort"
+	"sync"
 
 	"vs2/internal/doc"
 	"vs2/internal/geom"
@@ -30,30 +31,77 @@ type separator struct {
 	minSide int
 }
 
+// Pooled scratch buffers for the per-node seam search. A segmentation
+// run builds one reach table and traces one path buffer per (node,
+// direction); pooling them removes the dominant per-recursion-level
+// allocations. Buffers are cleared/fully overwritten on reuse.
+var (
+	boolBufPool = sync.Pool{New: func() any { return new([]bool) }}
+	intBufPool  = sync.Pool{New: func() any { return new([]int) }}
+)
+
+func getBoolBuf(n int) *[]bool {
+	p := boolBufPool.Get().(*[]bool)
+	if cap(*p) < n {
+		*p = make([]bool, n)
+	} else {
+		*p = (*p)[:n]
+		clear(*p)
+	}
+	return p
+}
+
+func getIntBuf(n int) *[]int {
+	p := intBufPool.Get().(*[]int)
+	if cap(*p) < n {
+		*p = make([]int, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
 // findSeparators enumerates the distinct separators of a direction within
 // the node's area. boxes are the node's element boxes translated to the
 // area-local frame used to build g.
+//
+// This is the optimised hot path. The drift-±1 reachability recurrence
+// is swept once into a flat pooled table whose first layer doubles as
+// the origin list (the seed implementation swept the same recurrence
+// twice: once in grid.HorizontalCutRows for the origins and again for
+// its own reach table); seam clearances come from the grid's O(1)
+// whitespace run tables instead of an O(H) column scan per seam cell;
+// and every origin reuses one pooled path buffer. Value equivalence
+// with the seed implementation (reference.go) is enforced by the
+// differential suite and the fuzz target.
 func findSeparators(g *grid.Grid, boxes []geom.Rect, horizontal bool) []separator {
-	region := g.Bounds()
-	var origins []int
-	if horizontal {
-		origins = g.HorizontalCutRows(region)
-	} else {
-		origins = g.VerticalCutCols(region)
-	}
-	if len(origins) == 0 {
+	w, h := g.W, g.H
+	if w <= 0 || h <= 0 {
 		return nil
 	}
-	reach := reachTable(g, horizontal)
+	reachBuf := getBoolBuf(w * h)
+	defer boolBufPool.Put(reachBuf)
+	reach := *reachBuf
+	buildReach(g, horizontal, reach)
+
+	span, lanes := w, h // seam length, origin-axis extent
+	if !horizontal {
+		span, lanes = h, w
+	}
+	pathBuf := getIntBuf(span)
+	defer intBufPool.Put(pathBuf)
+	path := *pathBuf
 
 	type agg struct {
 		sep   separator
 		width float64
 	}
 	bySig := map[string]*agg{}
-	for _, o := range origins {
-		path := tracePath(g, reach, o, horizontal)
-		if path == nil {
+	for o := 0; o < lanes; o++ {
+		if !reach[o] { // first layer: origins that reach the far edge
+			continue
+		}
+		if !traceInto(reach, w, h, o, horizontal, path) {
 			continue
 		}
 		above := classify(g, boxes, path, horizontal)
@@ -98,114 +146,108 @@ func findSeparators(g *grid.Grid, boxes []geom.Rect, horizontal bool) []separato
 	return out
 }
 
-// reachTable computes, for every cell, whether a seam can continue from it
-// to the far edge (right edge for horizontal seams, bottom for vertical).
-func reachTable(g *grid.Grid, horizontal bool) [][]bool {
+// buildReach fills reach with the seam-reachability table: whether a
+// seam can continue from a cell to the far edge (right edge for
+// horizontal seams, bottom for vertical) under drift-±1 movement.
+// Layout is layer-major along the seam axis: horizontal seams index
+// reach[x*h+y], vertical seams reach[y*w+x], so layer 0 holds exactly
+// the cut origins grid.HorizontalCutRows / VerticalCutCols would
+// report. reach must be zeroed on entry.
+func buildReach(g *grid.Grid, horizontal bool, reach []bool) {
 	w, h := g.W, g.H
 	if horizontal {
-		table := make([][]bool, w)
-		for x := range table {
-			table[x] = make([]bool, h)
-		}
+		last := reach[(w-1)*h : w*h]
 		for y := 0; y < h; y++ {
-			table[w-1][y] = g.Whitespace(w-1, y)
+			last[y] = g.Whitespace(w-1, y)
 		}
 		for x := w - 2; x >= 0; x-- {
+			cur := reach[x*h : (x+1)*h]
+			next := reach[(x+1)*h : (x+2)*h]
 			for y := 0; y < h; y++ {
 				if !g.Whitespace(x, y) {
 					continue
 				}
-				for dy := -1; dy <= 1; dy++ {
-					ny := y + dy
-					if ny >= 0 && ny < h && table[x+1][ny] {
-						table[x][y] = true
-						break
-					}
+				if next[y] || (y > 0 && next[y-1]) || (y+1 < h && next[y+1]) {
+					cur[y] = true
 				}
 			}
 		}
-		return table
+		return
 	}
-	table := make([][]bool, h)
-	for y := range table {
-		table[y] = make([]bool, w)
-	}
+	last := reach[(h-1)*w : h*w]
 	for x := 0; x < w; x++ {
-		table[h-1][x] = g.Whitespace(x, h-1)
+		last[x] = g.Whitespace(x, h-1)
 	}
 	for y := h - 2; y >= 0; y-- {
+		cur := reach[y*w : (y+1)*w]
+		next := reach[(y+1)*w : (y+2)*w]
 		for x := 0; x < w; x++ {
 			if !g.Whitespace(x, y) {
 				continue
 			}
-			for dx := -1; dx <= 1; dx++ {
-				nx := x + dx
-				if nx >= 0 && nx < w && table[y+1][nx] {
-					table[y][x] = true
-					break
-				}
+			if next[x] || (x > 0 && next[x-1]) || (x+1 < w && next[x+1]) {
+				cur[x] = true
 			}
 		}
 	}
-	return table
 }
 
-// tracePath walks one seam from the origin, preferring to stay level and
-// otherwise drifting toward the larger clearance. Returns the per-column
-// row (or per-row column) of the seam.
-func tracePath(g *grid.Grid, reach [][]bool, origin int, horizontal bool) []int {
+// traceInto walks one seam from the origin into path, preferring to
+// stay level and otherwise drifting ±1, exactly like the seed
+// refTracePath but without per-origin allocations. Reports whether a
+// complete seam exists (it always does when the origin is reachable).
+func traceInto(reach []bool, w, h, origin int, horizontal bool, path []int) bool {
 	if horizontal {
-		if origin < 0 || origin >= g.H || !reach[0][origin] {
-			return nil
+		if origin < 0 || origin >= h || !reach[origin] {
+			return false
 		}
-		path := make([]int, g.W)
 		r := origin
 		path[0] = r
-		for x := 1; x < g.W; x++ {
-			moved := false
-			for _, dy := range []int{0, -1, 1} {
-				ny := r + dy
-				if ny >= 0 && ny < g.H && reach[x][ny] {
-					r = ny
-					moved = true
-					break
-				}
-			}
-			if !moved {
-				return nil
+		for x := 1; x < w; x++ {
+			layer := reach[x*h : (x+1)*h]
+			switch {
+			case layer[r]:
+			case r > 0 && layer[r-1]:
+				r--
+			case r+1 < h && layer[r+1]:
+				r++
+			default:
+				return false
 			}
 			path[x] = r
 		}
-		return path
+		return true
 	}
-	if origin < 0 || origin >= g.W || !reach[0][origin] {
-		return nil
+	if origin < 0 || origin >= w || !reach[origin] {
+		return false
 	}
-	path := make([]int, g.H)
 	c := origin
 	path[0] = c
-	for y := 1; y < g.H; y++ {
-		moved := false
-		for _, dx := range []int{0, -1, 1} {
-			nx := c + dx
-			if nx >= 0 && nx < g.W && reach[y][nx] {
-				c = nx
-				moved = true
-				break
-			}
-		}
-		if !moved {
-			return nil
+	for y := 1; y < h; y++ {
+		layer := reach[y*w : (y+1)*w]
+		switch {
+		case layer[c]:
+		case c > 0 && layer[c-1]:
+			c--
+		case c+1 < w && layer[c+1]:
+			c++
+		default:
+			return false
 		}
 		path[y] = c
 	}
-	return path
+	return true
 }
 
 // classify assigns each element to the side of the seam its centroid lies
-// on: true = before (above / left of) the seam.
+// on: true = before (above / left of) the seam. An empty path (a
+// degenerate zero-extent grid) classifies nothing: all elements land on
+// one side and the caller discards the seam.
 func classify(g *grid.Grid, boxes []geom.Rect, path []int, horizontal bool) []bool {
 	out := make([]bool, len(boxes))
+	if len(path) == 0 {
+		return out
+	}
 	for i, b := range boxes {
 		c := b.Centroid()
 		if horizontal {
@@ -233,15 +275,16 @@ func classify(g *grid.Grid, boxes []geom.Rect, path []int, horizontal bool) []bo
 
 // minClearance returns the smallest whitespace run (in cells) crossed by
 // the seam — the true local width of the separator — and the path index
-// the bottleneck occurs at.
+// the bottleneck occurs at. Runs come from the grid's memoised run
+// tables: O(1) per cell instead of the seed's O(H) scan.
 func minClearance(g *grid.Grid, path []int, horizontal bool) (float64, int) {
 	best, at := -1, 0
 	for i, p := range path {
 		var run int
 		if horizontal {
-			run = verticalRun(g, i, p)
+			run = g.VRun(i, p)
 		} else {
-			run = horizontalRun(g, p, i)
+			run = g.HRun(p, i)
 		}
 		if best < 0 || run < best {
 			best, at = run, i
@@ -254,34 +297,6 @@ func minClearance(g *grid.Grid, path []int, horizontal bool) (float64, int) {
 		return 0, 0
 	}
 	return float64(best), at
-}
-
-func verticalRun(g *grid.Grid, x, y int) int {
-	if !g.Whitespace(x, y) {
-		return 0
-	}
-	n := 1
-	for dy := 1; g.Whitespace(x, y-dy); dy++ {
-		n++
-	}
-	for dy := 1; g.Whitespace(x, y+dy); dy++ {
-		n++
-	}
-	return n
-}
-
-func horizontalRun(g *grid.Grid, x, y int) int {
-	if !g.Whitespace(x, y) {
-		return 0
-	}
-	n := 1
-	for dx := 1; g.Whitespace(x-dx, y); dx++ {
-		n++
-	}
-	for dx := 1; g.Whitespace(x+dx, y); dx++ {
-		n++
-	}
-	return n
 }
 
 // heightAtBottleneck returns the height of the element box nearest to the

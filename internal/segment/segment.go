@@ -20,16 +20,23 @@
 //     together (merge.go).
 //
 // The resulting leaves are the logical blocks consumed by VS2-Select.
+//
+// Because sibling areas partition their parent's atomic elements, the
+// recursion's subproblems are independent; the segmenter exploits this
+// by forking child subtrees onto a bounded worker pool (Options.Parallel)
+// while guaranteeing output identical to the sequential recursion.
 package segment
 
 import (
 	"context"
+	"sync"
 
 	"vs2/internal/doc"
 	"vs2/internal/embed"
 	"vs2/internal/geom"
 	"vs2/internal/grid"
 	"vs2/internal/obs"
+	"vs2/internal/serve"
 )
 
 // Options configures the segmenter; zero values select paper defaults.
@@ -53,6 +60,14 @@ type Options struct {
 	// Embedder supplies word vectors for semantic merging; nil selects the
 	// built-in lexicon embedder.
 	Embedder embed.Embedder
+	// Parallel bounds the branch-parallel recursion: the maximum number
+	// of goroutines one Segmenter dedicates to subtree splits and seam
+	// searches, shared across concurrent Segment calls through a single
+	// gate. 0 selects the serving layer's pool size, min(GOMAXPROCS, 8);
+	// 1 or below runs strictly sequentially. The output is
+	// element-for-element identical at every width — determinism is a
+	// contract, enforced by the differential suite.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +83,12 @@ func (o Options) withDefaults() Options {
 	if o.Embedder == nil {
 		o.Embedder = sharedLexicon
 	}
+	if o.Parallel == 0 {
+		o.Parallel = serve.PoolSize(0)
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
 	return o
 }
 
@@ -76,11 +97,38 @@ var sharedLexicon = embed.NewLexicon()
 // Segmenter decomposes documents into logical blocks.
 type Segmenter struct {
 	opts Options
+	// gate bounds extra worker goroutines (nil when sequential). It is
+	// per-Segmenter so a server's concurrent extractions share one
+	// budget instead of multiplying it.
+	gate *serve.Gate
+	// ref selects the preserved seed implementation (reference.go):
+	// sequential recursion, per-origin whitespace scans, no caches.
+	ref bool
+	// stolen tracks gate slots held by StealGateForTest.
+	stolen int
 }
 
 // New returns a Segmenter with the given options.
 func New(opts Options) *Segmenter {
-	return &Segmenter{opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	s := &Segmenter{opts: opts}
+	if opts.Parallel > 1 {
+		// Capacity Parallel-1: the calling goroutine is the pool's
+		// implicit first worker.
+		s.gate = serve.NewGate(opts.Parallel - 1)
+	}
+	return s
+}
+
+// NewReference returns a Segmenter running the seed implementation:
+// strictly sequential recursion with per-call reach tables, per-cell
+// clearance scans and no embedding cache. It is the oracle the
+// differential suite checks the optimised path against, and the
+// baseline the benchmark gate measures speedups from.
+func NewReference(opts Options) *Segmenter {
+	opts = opts.withDefaults()
+	opts.Parallel = 1
+	return &Segmenter{opts: opts, ref: true}
 }
 
 // Segment builds the layout tree of d. The returned tree's leaves are the
@@ -99,13 +147,32 @@ func (s *Segmenter) SegmentContext(ctx context.Context, d *doc.Document) (*doc.N
 	// One SpanFrom lookup per run; the recursion below passes the span
 	// down explicitly, so untraced runs pay only nil checks.
 	sp := obs.SpanFrom(ctx)
+	st := statsFrom(ctx)
+	if st != nil {
+		st.Width = s.opts.Parallel
+	}
 	root := doc.NewTree(d)
-	if err := s.split(ctx, sp, d, root, 0); err != nil {
+	if err := s.split(ctx, sp, d, root, 0, st); err != nil {
 		return nil, err
 	}
 	if !s.opts.DisableMerging {
 		msp := sp.Child("merge")
-		err := mergeTree(ctx, msp, d, root, s.opts.Embedder)
+		var cache *embed.Centroids
+		if !s.ref {
+			cache = embed.NewCentroids(s.opts.Embedder)
+		}
+		err := mergeTree(ctx, msp, d, root, s.opts.Embedder, cache)
+		if cache != nil {
+			hits, misses := cache.Stats()
+			if st != nil {
+				st.EmbedHits.Add(hits)
+				st.EmbedMisses.Add(misses)
+			}
+			if msp != nil {
+				msp.SetAttr("embed_cache_hits", hits)
+				msp.SetAttr("embed_cache_misses", misses)
+			}
+		}
 		msp.End()
 		if err != nil {
 			return nil, err
@@ -114,6 +181,7 @@ func (s *Segmenter) SegmentContext(ctx context.Context, d *doc.Document) (*doc.N
 	if sp != nil {
 		sp.SetAttr("blocks", len(root.Leaves()))
 		sp.SetAttr("tree_height", root.Height())
+		sp.SetAttr("parallel", s.opts.Parallel)
 	}
 	return root, nil
 }
@@ -126,7 +194,16 @@ func (s *Segmenter) Blocks(d *doc.Document) []*doc.Node {
 // split recursively decomposes the visual area represented by n. sp is
 // the parent span (nil when untraced): each split attempt opens a child
 // span, so the span tree mirrors the segmentation recursion one-to-one.
-func (s *Segmenter) split(ctx context.Context, sp *obs.Span, d *doc.Document, n *doc.Node, depth int) error {
+//
+// Child subtrees are independent by construction (siblings partition
+// the parent's elements), so after the children are created — in the
+// deterministic order the partition yields them — each subtree may
+// recurse on its own goroutine. The gate never blocks: a denied fork
+// runs inline on the requesting goroutine, so progress is guaranteed
+// and saturation degrades to plain recursion instead of deadlock. The
+// caller always descends into the last child itself rather than asking
+// the pool for it.
+func (s *Segmenter) split(ctx context.Context, sp *obs.Span, d *doc.Document, n *doc.Node, depth int, st *Stats) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -137,7 +214,7 @@ func (s *Segmenter) split(ctx context.Context, sp *obs.Span, d *doc.Document, n 
 	defer node.End()
 	node.SetAttr("depth", depth)
 	node.SetAttr("elements", len(n.Elements))
-	groups := s.splitByDelimiters(d, n, node)
+	groups := s.splitByDelimiters(d, n, node, st)
 	if groups == nil && !s.opts.DisableClustering {
 		groups = clusterElements(ctx, d, n, node)
 	}
@@ -145,20 +222,63 @@ func (s *Segmenter) split(ctx context.Context, sp *obs.Span, d *doc.Document, n 
 	if len(groups) < 2 {
 		return ctx.Err()
 	}
+	recurse := make([]*doc.Node, 0, len(groups))
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
 		child := n.AddChild(d.BoundingBoxOf(g), g)
 		if len(g) < len(n.Elements) { // guaranteed progress
-			if err := s.split(ctx, node, d, child, depth+1); err != nil {
-				return err
-			}
+			recurse = append(recurse, child)
 		}
+	}
+	if err := s.splitChildren(ctx, node, d, recurse, depth+1, st); err != nil {
+		return err
 	}
 	// A single non-empty group means no real split happened; undo.
 	if len(n.Children) < 2 {
 		n.Children = nil
+	}
+	return ctx.Err()
+}
+
+// splitChildren recurses into each child subtree, forking all but the
+// last onto the pool when a slot is free. Each goroutine mutates only
+// its own subtree and its own error slot; the parent's span collects
+// child spans under a lock. Errors surface in child order, so the
+// reported error is the same one the sequential recursion would return.
+func (s *Segmenter) splitChildren(ctx context.Context, sp *obs.Span, d *doc.Document, children []*doc.Node, depth int, st *Stats) error {
+	if s.gate == nil || len(children) < 2 {
+		for _, c := range children {
+			if err := s.split(ctx, sp, d, c, depth, st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(children))
+	var wg sync.WaitGroup
+	for i := 0; i < len(children)-1; i++ {
+		if s.gate.TryAcquire() {
+			st.addSpawned()
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer s.gate.Release()
+				errs[i] = s.split(ctx, sp, d, children[i], depth, st)
+			}(i)
+		} else {
+			st.addInline()
+			errs[i] = s.split(ctx, sp, d, children[i], depth, st)
+		}
+	}
+	last := len(children) - 1
+	errs[last] = s.split(ctx, sp, d, children[last], depth, st)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -169,7 +289,11 @@ func (s *Segmenter) split(ctx context.Context, sp *obs.Span, d *doc.Document, n 
 // keeps the true delimiters, and elements sharing a side of every kept
 // delimiter form one group. Returns nil when nothing passes Algorithm 1.
 // The cut-band census and Algorithm 1's verdict are annotated on sp.
-func (s *Segmenter) splitByDelimiters(d *doc.Document, n *doc.Node, sp *obs.Span) [][]int {
+// The two direction searches are independent reads of the same grid, so
+// the horizontal search may ride the pool while the caller runs the
+// vertical one; appending horizontal-then-vertical keeps the separator
+// order identical to the sequential search.
+func (s *Segmenter) splitByDelimiters(d *doc.Document, n *doc.Node, sp *obs.Span, st *Stats) [][]int {
 	boxes := make([]geom.Rect, 0, len(n.Elements))
 	local := n.Box
 	for _, id := range n.Elements {
@@ -178,14 +302,30 @@ func (s *Segmenter) splitByDelimiters(d *doc.Document, n *doc.Node, sp *obs.Span
 	}
 	g := grid.FromRects(geom.Rect{W: local.W, H: local.H}, boxes, s.opts.GridScale)
 
-	var seps []separator
-	if s.opts.StraightCutsOnly {
-		seps = append(findStraightSeparators(g, boxes, true),
-			findStraightSeparators(g, boxes, false)...)
-	} else {
-		seps = append(findSeparators(g, boxes, true),
-			findSeparators(g, boxes, false)...)
+	find := findSeparators
+	switch {
+	case s.opts.StraightCutsOnly:
+		find = findStraightSeparators
+	case s.ref:
+		find = refFindSeparators
 	}
+	var hseps, vseps []separator
+	if s.gate != nil && s.gate.TryAcquire() {
+		st.addSpawned()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.gate.Release()
+			hseps = find(g, boxes, true)
+		}()
+		vseps = find(g, boxes, false)
+		wg.Wait()
+	} else {
+		hseps = find(g, boxes, true)
+		vseps = find(g, boxes, false)
+	}
+	seps := append(hseps, vseps...)
 	delims := identifyDelimiters(seps)
 	if sp != nil {
 		sp.SetAttr("cut_bands", len(seps))
@@ -211,6 +351,9 @@ func (s *Segmenter) splitByDelimiters(d *doc.Document, n *doc.Node, sp *obs.Span
 // findStraightSeparators is the StraightCutsOnly ablation: only projection
 // cuts (fully clear rows/columns) count, as in XY-cut.
 func findStraightSeparators(g *grid.Grid, boxes []geom.Rect, horizontal bool) []separator {
+	if g.W <= 0 || g.H <= 0 {
+		return nil
+	}
 	var origins []int
 	if horizontal {
 		for y := 0; y < g.H; y++ {

@@ -1,0 +1,65 @@
+package serve
+
+import "runtime"
+
+// PoolSize resolves a requested worker count to an effective pool
+// width. It is the single sizing rule shared by the serving layer's
+// worker pool and the segmenter's branch-parallel recursion, so both
+// scale with the same hardware policy: a positive request is taken as
+// is; zero or negative selects min(GOMAXPROCS, 8).
+func PoolSize(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Gate is a non-blocking counting semaphore bounding how many extra
+// goroutines a recursive fan-out may hold at once. TryAcquire never
+// blocks: when the gate is full the caller is expected to do the work
+// inline on its own goroutine, which guarantees progress (and rules
+// out deadlock) no matter how deep the recursion nests.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate builds a gate with n slots; n < 1 is clamped to 1.
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot if one is free and reports whether it did.
+// Every successful acquire must be paired with exactly one Release.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a previously acquired slot.
+func (g *Gate) Release() {
+	select {
+	case <-g.slots:
+	default:
+		panic("serve: Gate.Release without matching TryAcquire")
+	}
+}
+
+// Cap reports the gate's slot count.
+func (g *Gate) Cap() int { return cap(g.slots) }
+
+// InUse reports how many slots are currently held.
+func (g *Gate) InUse() int { return len(g.slots) }

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPoolSize(t *testing.T) {
+	if got := PoolSize(3); got != 3 {
+		t.Errorf("PoolSize(3) = %d, want 3", got)
+	}
+	if got := PoolSize(32); got != 32 {
+		t.Errorf("PoolSize(32) = %d, want 32 (explicit requests are not capped)", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if want > 8 {
+		want = 8
+	}
+	if got := PoolSize(0); got != want {
+		t.Errorf("PoolSize(0) = %d, want min(GOMAXPROCS, 8) = %d", got, want)
+	}
+	if got := PoolSize(-5); got != want {
+		t.Errorf("PoolSize(-5) = %d, want %d", got, want)
+	}
+}
+
+func TestGateBounds(t *testing.T) {
+	g := NewGate(2)
+	if g.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", g.Cap())
+	}
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("first two TryAcquire calls must succeed")
+	}
+	if g.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past capacity")
+	}
+	if g.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", g.InUse())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("TryAcquire must succeed after Release")
+	}
+}
+
+func TestGateClampsToOne(t *testing.T) {
+	g := NewGate(0)
+	if g.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", g.Cap())
+	}
+}
+
+func TestGateReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on an empty gate must panic")
+		}
+	}()
+	NewGate(1).Release()
+}
+
+// TestGateConcurrentHolders hammers the gate from many goroutines and
+// asserts the concurrent-holder count never exceeds capacity.
+func TestGateConcurrentHolders(t *testing.T) {
+	const gateCap = 4
+	g := NewGate(gateCap)
+	var (
+		mu      sync.Mutex
+		holding int
+		peak    int
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if !g.TryAcquire() {
+					continue
+				}
+				mu.Lock()
+				holding++
+				if holding > peak {
+					peak = holding
+				}
+				mu.Unlock()
+				runtime.Gosched()
+				mu.Lock()
+				holding--
+				mu.Unlock()
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > gateCap {
+		t.Fatalf("peak concurrent holders = %d, exceeds capacity %d", peak, gateCap)
+	}
+	if g.InUse() != 0 {
+		t.Fatalf("InUse = %d after all releases, want 0", g.InUse())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"vs2/internal/doc"
 	"vs2/internal/extract"
 	"vs2/internal/obs"
+	"vs2/internal/segment"
 )
 
 // Phase identifies one stage of the pipeline in errors and degradation
@@ -105,7 +106,8 @@ type Degradation struct {
 	// Phase is where the primary strategy was abandoned.
 	Phase Phase
 	// Fallback names the strategy used instead: "linear-segmentation",
-	// "sanitized-blocks", "partial-search" or "first-match".
+	// "sanitized-blocks", "sequential-recursion", "partial-search" or
+	// "first-match".
 	Fallback string
 	// Cause describes why, in one line.
 	Cause string
@@ -221,13 +223,23 @@ func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, er
 	}
 
 	// Phase 1: segmentation. Any failure degrades to the linear baseline.
-	tree, err := p.segmentPhase(ctx, run, d)
+	// A stats sink rides the phase context so a parallel-capable segmenter
+	// can report whether the branch pool ever admitted a fork.
+	sctx, segStats := segment.WithStats(ctx)
+	tree, err := p.segmentPhase(sctx, run, d)
 	if err != nil {
 		if ctx.Err() != nil {
 			return fail(PhaseSegment, "", err)
 		}
 		degrade(PhaseSegment, "linear-segmentation", err)
 		tree = p.linearTree(d)
+	} else if segStats.SequentialFallback() {
+		// The tree is still correct — sequential recursion is the designed
+		// pressure valve, and it produces identical output — but the run
+		// did not get the parallelism it was configured for, which callers
+		// watching latency SLOs need to see.
+		degrade(PhaseSegment, "sequential-recursion",
+			errors.New("branch pool exhausted; subtrees recursed inline"))
 	}
 	blocks, note := sanitizeBlocks(d, tree)
 	if note != "" {

@@ -14,7 +14,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -189,7 +188,7 @@ func NewServer(p *Pipeline, cfg ServerConfig) *Server {
 		panic("vs2: NewServer requires a pipeline")
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = min(runtime.GOMAXPROCS(0), 8)
+		cfg.Workers = serve.PoolSize(0)
 	}
 	if cfg.Queue <= 0 {
 		cfg.Queue = 4 * cfg.Workers
