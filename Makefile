@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race obs serve-chaos fuzz trace-demo bench-gate bench-baseline
+.PHONY: check vet build test race obs serve-chaos crash-chaos fuzz trace-demo bench-gate bench-baseline
 
 # check is the tier-1 verification gate: static analysis, a full build,
 # the full test suite, the race-detector pass (the chaos suite asserts
 # its no-panic/no-hang containment contract there), a focused
 # race-detector pass over the observability primitives, the
-# serving-layer soak, and the segmentation benchmark-regression gate.
-check: vet build test race obs serve-chaos bench-gate
+# serving-layer soak, the journal kill -9 crash-recovery harness, and
+# the segmentation benchmark-regression gate.
+check: vet build test race obs serve-chaos crash-chaos bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +44,15 @@ obs:
 serve-chaos:
 	$(GO) test -race -run TestServeChaosSoak -count=1 -timeout 15m .
 
+# crash-chaos exercises the durability layer's crash-recovery contract
+# end to end: a real vs2serve child process is SIGKILLed at 20+
+# randomized write-ahead-journal offsets and resumed with -resume; the
+# resumed stdout must be byte-identical to an uninterrupted run's, and a
+# journal with a garbage tail must recover by dropping only the torn
+# frame. (The `race` target skips it via -short, like serve-chaos.)
+crash-chaos:
+	$(GO) test -race -run TestCrashChaos -count=1 -timeout 10m .
+
 # trace-demo runs the full observability path end to end: generate one
 # tax form, extract with tracing + metrics + explanation on, then
 # validate the span tree (structure, phase coverage, 10% wall-clock
@@ -66,9 +76,10 @@ bench-gate:
 bench-baseline:
 	$(GO) run ./cmd/vs2bench -segbench
 
-# fuzz smoke-runs the three fuzz targets (decoder, full pipeline,
-# parallel segmenter determinism).
+# fuzz smoke-runs the four fuzz targets (decoder, full pipeline,
+# parallel segmenter determinism, journal replay).
 fuzz:
 	$(GO) test -run FuzzDecode -fuzz FuzzDecode -fuzztime 30s ./internal/doc
 	$(GO) test -run FuzzExtract -fuzz FuzzExtract -fuzztime 30s .
 	$(GO) test -run FuzzParallelSegment -fuzz FuzzParallelSegment -fuzztime 30s .
+	$(GO) test -run FuzzJournalReplay -fuzz FuzzJournalReplay -fuzztime 30s ./internal/journal

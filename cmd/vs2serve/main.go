@@ -1,30 +1,43 @@
 // Command vs2serve runs a document stream through the resilient serving
 // layer: a bounded worker pool with admission control, per-document
 // retries and per-phase circuit breakers over the hardened extraction
-// pipeline. It is the corpus-scale counterpart of the one-shot `vs2`
-// command.
+// pipeline, with optional write-ahead journaling so a run killed at any
+// instant resumes without losing, duplicating or reordering a result.
+// It is the corpus-scale counterpart of the one-shot `vs2` command.
 //
-// Input is a stream of documents — JSONL or concatenated JSON, bare
-// documents or labelled ones — from -in or stdin. Every document
-// produces exactly one JSON line on stdout:
+// Input is a JSONL document stream — one bare or labelled document per
+// line — from -in or stdin, read incrementally: corpora far larger than
+// memory stream through, with -max-line bounding a single document.
+// Every document produces exactly one JSON line on stdout, emitted in
+// input order as results become available:
 //
 //	{"id":"poster-17","entities":[...],"degraded":["segment: ..."],"error":""}
 //
 // Documents the server sheds or that fail every retry keep their line,
 // with the structured error in the "error" field; the exit code is then
-// non-zero. A summary (completed / degraded / failed / shed) lands on
-// stderr, -metrics dumps the full telemetry snapshot, and -trace writes
-// one compact span tree per document as JSONL — the stream format
-// vs2trace validates.
+// non-zero. A summary (completed / degraded / replayed / failed / shed)
+// lands on stderr, -metrics dumps the full telemetry snapshot, and
+// -trace writes one compact span tree per document as JSONL — the
+// stream format vs2trace validates.
+//
+// Durability: -journal names a CRC-framed write-ahead journal in which
+// every completion is recorded (with its exact output line) before it is
+// emitted; -resume replays that journal, re-emits completed documents'
+// lines byte for byte without re-running them, and continues with the
+// rest — `kill -9` at any instant then -resume reproduces the output of
+// an uninterrupted run. -checkpoint compacts the journal into an atomic
+// snapshot every N completions.
 //
 // Usage:
 //
 //	vs2gen -n 100 -out - | vs2serve -task events
 //	vs2serve -in corpus.jsonl -task tax -workers 8 -queue 32 -retries 3
-//	vs2serve -in corpus.jsonl -trace traces.jsonl -metrics
+//	vs2serve -in corpus.jsonl -journal run.wal
+//	vs2serve -in corpus.jsonl -journal run.wal -resume   # after a crash
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -32,6 +45,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,28 +58,26 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-// docOutput is the per-document stdout line.
-type docOutput struct {
-	ID       string           `json:"id"`
-	Entities []vs2.Extraction `json:"entities,omitempty"`
-	Degraded []string         `json:"degraded,omitempty"`
-	Error    string           `json:"error,omitempty"`
-}
-
 // run is the testable entry point; it returns the process exit code.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vs2serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in        = fs.String("in", "", "document stream (JSONL or concatenated JSON); default stdin")
-		task      = fs.String("task", "events", "extraction task: events | realestate | tax")
+		in        = fs.String("in", "", "JSONL document stream (one document per line); default stdin")
+		task      = fs.String("task", "events", "extraction task: "+strings.Join(taskNames(), " | "))
 		workers   = fs.Int("workers", 0, "worker-pool size (0 = min(GOMAXPROCS, 8))")
 		queue     = fs.Int("queue", 0, "admission-queue depth (0 = 4x workers)")
 		queueWait = fs.Duration("queue-wait", 0, "queue-wait budget before shedding (0 = the -timeout deadline: a batch run does not shed its own tail)")
 		retries   = fs.Int("retries", 0, "attempts per document, first try included (0 = 3)")
 		timeout   = fs.Duration("timeout", 5*time.Minute, "overall batch deadline (0 = none)")
+		maxLine   = fs.Int("max-line", 16<<20, "largest input line accepted, in bytes")
 		metrics   = fs.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
 		traceOut  = fs.String("trace", "", "write one compact span tree per document (JSONL) to this file")
+
+		journalPath = fs.String("journal", "", "write-ahead journal path; completions are journaled before they are emitted")
+		resume      = fs.Bool("resume", false, "replay the journal: skip completed documents, re-emit their cached lines, continue the tail")
+		jsync       = fs.String("journal-sync", "always", "journal fsync policy: always | interval | never")
+		checkpoint  = fs.Int("checkpoint", 256, "compact the journal into a checkpoint every N completions (0 = only at exit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,15 +88,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vs2serve:", err)
 		return 2
 	}
-
-	docs, err := loadDocuments(*in, stdin)
-	if err != nil {
-		fmt.Fprintln(stderr, "vs2serve:", err)
-		return 1
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(stderr, "vs2serve: -resume requires -journal")
+		return 2
 	}
-	if len(docs) == 0 {
-		fmt.Fprintln(stderr, "vs2serve: no documents in input")
-		return 1
+	if *maxLine <= 0 {
+		fmt.Fprintln(stderr, "vs2serve: -max-line must be positive")
+		return 2
+	}
+
+	m := vs2.NewMetrics()
+	var jrn *vs2.Journal
+	if *journalPath != "" {
+		jrn, err = vs2.OpenJournal(*journalPath, vs2.JournalOptions{
+			Resume:       *resume,
+			Sync:         *jsync,
+			CompactEvery: *checkpoint,
+			Metrics:      m,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "vs2serve:", err)
+			return 2
+		}
+		if comp, inflight := jrn.Replayed(); *resume && (comp > 0 || inflight > 0) {
+			fmt.Fprintf(stderr, "vs2serve: journal %s: recovered %d completed documents, %d were in flight at the crash\n",
+				*journalPath, comp, inflight)
+		}
 	}
 
 	// The server's 1s default queue-wait suits an online service; a batch
@@ -95,7 +126,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
-	m := vs2.NewMetrics()
 	p := vs2.NewPipeline(vs2.Config{Task: taskCfg, Metrics: m})
 	s := vs2.NewServer(p, vs2.ServerConfig{
 		Workers:   *workers,
@@ -113,9 +143,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	var traceW *json.Encoder
-	var traceFile *os.File
 	if *traceOut != "" {
-		traceFile, err = os.Create(*traceOut)
+		traceFile, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(stderr, "vs2serve:", err)
 			return 1
@@ -124,43 +153,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		traceW = json.NewEncoder(traceFile)
 	}
 
-	results := extractAll(ctx, s, docs, traceW)
+	st := streamExtract(ctx, s, jrn, streamConfig{
+		in:      *in,
+		stdin:   stdin,
+		maxLine: *maxLine,
+		window:  inflightWindow(*workers, *queue),
+		stdout:  stdout,
+		stderr:  stderr,
+		traceW:  traceW,
+	})
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := s.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(stderr, "vs2serve:", err)
 	}
-
-	enc := json.NewEncoder(stdout)
-	var completed, degraded, failed, shed int
-	for _, r := range results {
-		out := docOutput{ID: r.Doc.ID}
-		switch {
-		case r.Err != nil:
-			out.Error = r.Err.Error()
-			failed++
-			if errors.Is(r.Err, vs2.ErrOverloaded) {
-				shed++
-			}
-		default:
-			out.Entities = r.Result.Entities
-			completed++
-			for _, g := range r.Result.Degraded {
-				out.Degraded = append(out.Degraded, g.String())
-			}
-			if r.Result.IsDegraded() {
-				degraded++
-			}
-		}
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(stderr, "vs2serve:", err)
-			return 1
-		}
+	if err := jrn.Close(); err != nil {
+		fmt.Fprintln(stderr, "vs2serve:", err)
+		st.runErr = true
 	}
 
-	fmt.Fprintf(stderr, "vs2serve: %d documents: %d completed (%d degraded), %d failed (%d shed)\n",
-		len(docs), completed, degraded, failed, shed)
+	fmt.Fprintf(stderr, "vs2serve: %d documents: %d completed (%d degraded, %d replayed), %d failed (%d shed)\n",
+		st.docs, st.completed, st.degraded, st.replayed, st.failed, st.shed)
 	if *metrics {
 		fmt.Fprintln(stderr, "vs2serve: metrics:")
 		menc := json.NewEncoder(stderr)
@@ -169,75 +183,254 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "vs2serve: metrics snapshot failed:", err)
 		}
 	}
-	if failed > 0 {
+	switch {
+	case st.docs == 0 && !st.runErr:
+		fmt.Fprintln(stderr, "vs2serve: no documents in input")
+		return 1
+	case st.failed > 0 || st.runErr:
 		return 1
 	}
 	return 0
 }
 
-// extractAll runs the documents through the server. Without tracing it
-// is exactly Server.ExtractBatch; with tracing each document runs under
-// its own span tree, written as one JSONL line when it finishes.
-func extractAll(ctx context.Context, s *vs2.Server, docs []*vs2.Document, traceW *json.Encoder) []vs2.BatchResult {
-	if traceW == nil {
-		return s.ExtractBatch(ctx, docs)
+// inflightWindow bounds concurrently submitted documents: enough to keep
+// the pool and queue saturated, small enough that a multi-GB corpus
+// never materialises in memory.
+func inflightWindow(workers, queue int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
 	}
-	out := make([]vs2.BatchResult, len(docs))
-	var mu sync.Mutex // serialises trace lines
-	var wg sync.WaitGroup
-	for i, d := range docs {
-		wg.Add(1)
-		go func(i int, d *vs2.Document) {
-			defer wg.Done()
-			tr := vs2.NewTrace("vs2 " + d.ID)
-			res, err := s.Extract(vs2.WithTrace(ctx, tr), d)
-			tr.Finish()
-			out[i] = vs2.BatchResult{Index: i, Doc: d, Result: res, Err: err}
-			mu.Lock()
-			defer mu.Unlock()
-			traceW.Encode(tr.Snapshot()) //nolint:errcheck
-		}(i, d)
+	if queue <= 0 {
+		queue = 4 * workers
 	}
-	wg.Wait()
-	return out
+	return workers + queue
 }
 
-// loadDocuments reads a document stream: JSONL, concatenated JSON, bare
-// documents or labelled ones, from the named file or stdin when path is
-// empty or "-".
-func loadDocuments(path string, stdin io.Reader) ([]*vs2.Document, error) {
+// streamConfig carries the plumbing of one streaming run.
+type streamConfig struct {
+	in      string
+	stdin   io.Reader
+	maxLine int
+	window  int
+	stdout  io.Writer
+	stderr  io.Writer
+	traceW  *json.Encoder
+}
+
+// streamStats aggregates the run for the summary line and exit code.
+type streamStats struct {
+	docs, completed, degraded, replayed, failed, shed int
+	runErr                                            bool
+}
+
+// emitted is one document's outcome on its way to ordered emission.
+type emitted struct {
+	index int
+	line  []byte
+	stats func(*streamStats)
+}
+
+// streamExtract reads the corpus incrementally, runs each document
+// through the server (skipping journal-completed ones), and emits one
+// line per document on stdout in input order. Memory stays bounded by
+// the in-flight window plus the reorder buffer it implies.
+func streamExtract(ctx context.Context, s *vs2.Server, jrn *vs2.Journal, cfg streamConfig) streamStats {
+	var st streamStats
+
+	out := bufio.NewWriterSize(cfg.stdout, 1<<16)
+	results := make(chan emitted, cfg.window)
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		pending := map[int][]byte{}
+		updates := map[int]func(*streamStats){}
+		next := 0
+		for e := range results {
+			pending[e.index] = e.line
+			updates[e.index] = e.stats
+			for line, ok := pending[next]; ok; line, ok = pending[next] {
+				out.Write(line)     //nolint:errcheck
+				out.WriteByte('\n') //nolint:errcheck
+				updates[next](&st)  // counters applied in emission order
+				delete(pending, next)
+				delete(updates, next)
+				next++
+			}
+		}
+	}()
+
+	sem := make(chan struct{}, cfg.window)
+	var wg sync.WaitGroup
+	var traceMu sync.Mutex
+	index := 0
+	scanErr := scanDocuments(cfg.in, cfg.stdin, cfg.maxLine, func(d *vs2.Document) {
+		i := index
+		index++
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			br := extractOne(ctx, s, jrn, i, d, cfg.traceW, &traceMu)
+			results <- emitted{index: i, line: br.Line, stats: statsFor(br)}
+		}()
+	})
+	wg.Wait()
+	close(results)
+	<-collectDone
+	out.Flush() //nolint:errcheck
+
+	st.docs = index
+	if scanErr != nil {
+		fmt.Fprintln(cfg.stderr, "vs2serve:", scanErr)
+		st.runErr = true
+	}
+	return st
+}
+
+// extractOne runs (or replays) one document, tracing it when asked.
+// Replayed documents never re-run, so they produce no trace line.
+func extractOne(ctx context.Context, s *vs2.Server, jrn *vs2.Journal, i int, d *vs2.Document, traceW *json.Encoder, traceMu *sync.Mutex) vs2.BatchResult {
+	if traceW == nil {
+		return s.ExtractRecorded(ctx, i, d, jrn)
+	}
+	if _, done := jrn.Completed(d.ID); done {
+		return s.ExtractRecorded(ctx, i, d, jrn) // replay fast path
+	}
+	tr := vs2.NewTrace("vs2 " + d.ID)
+	br := s.ExtractRecorded(vs2.WithTrace(ctx, tr), i, d, jrn)
+	tr.Finish()
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	traceW.Encode(tr.Snapshot()) //nolint:errcheck
+	return br
+}
+
+// statsFor classifies one outcome for the summary counters. Replayed
+// lines are re-parsed: a cached permanent failure must count (and exit)
+// exactly as it did in the run that recorded it.
+func statsFor(br vs2.BatchResult) func(*streamStats) {
+	replayed := br.Replayed
+	var failed, shed, degraded bool
+	switch {
+	case br.Replayed:
+		var l vs2.DocLine
+		if err := json.Unmarshal(br.Line, &l); err == nil {
+			failed = l.Error != ""
+			degraded = len(l.Degraded) > 0
+		}
+	case br.Err != nil:
+		failed = true
+		shed = errors.Is(br.Err, vs2.ErrOverloaded)
+	default:
+		degraded = br.Result.IsDegraded()
+	}
+	return func(st *streamStats) {
+		switch {
+		case failed:
+			st.failed++
+			if shed {
+				st.shed++
+			}
+		default:
+			st.completed++
+			if degraded {
+				st.degraded++
+			}
+		}
+		if replayed {
+			st.replayed++
+		}
+	}
+}
+
+// scanDocuments streams the JSONL corpus line by line, invoking fn for
+// each document as it is parsed — nothing is buffered beyond one line.
+// Errors carry the input name and 1-based line number. A line longer
+// than maxLine aborts the scan rather than silently truncating.
+func scanDocuments(path string, stdin io.Reader, maxLine int, fn func(*vs2.Document)) error {
 	r := stdin
 	name := "stdin"
 	if path != "" && path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		defer f.Close()
 		r = f
 		name = path
 	}
-	dec := json.NewDecoder(r)
-	var docs []*vs2.Document
-	for {
-		var raw json.RawMessage
-		if err := dec.Decode(&raw); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("%s: document %d: %w", name, len(docs)+1, err)
+	br := bufio.NewReaderSize(r, 64<<10)
+	for lineNo := 1; ; lineNo++ {
+		line, err := readLimitedLine(br, maxLine)
+		if err == errLineTooLong {
+			return fmt.Errorf("%s:%d: line exceeds -max-line %d bytes", name, lineNo, maxLine)
 		}
-		d, err := decodeDocument(raw)
-		if err != nil {
-			return nil, fmt.Errorf("%s: document %d: %w", name, len(docs)+1, err)
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("%s:%d: %w", name, lineNo, err)
 		}
-		docs = append(docs, d)
+		trimmed := trimSpace(line)
+		if len(trimmed) > 0 {
+			d, derr := decodeDocument(trimmed)
+			if derr != nil {
+				return fmt.Errorf("%s:%d: %w", name, lineNo, derr)
+			}
+			fn(d)
+		}
+		if err == io.EOF {
+			return nil
+		}
 	}
-	return docs, nil
+}
+
+var errLineTooLong = errors.New("line too long")
+
+// readLimitedLine reads one '\n'-terminated line (newline stripped),
+// failing with errLineTooLong once the line outruns max instead of
+// buffering it.
+func readLimitedLine(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		switch {
+		case err == nil:
+			line = line[:len(line)-1]
+			if len(line) > max {
+				return nil, errLineTooLong
+			}
+			return line, nil
+		case err == bufio.ErrBufferFull:
+			if len(line) > max {
+				return nil, errLineTooLong
+			}
+		default:
+			if len(line) > max {
+				return nil, errLineTooLong
+			}
+			return line, err
+		}
+	}
+}
+
+func trimSpace(b []byte) []byte {
+	start := 0
+	for start < len(b) && (b[start] == ' ' || b[start] == '\t' || b[start] == '\r') {
+		start++
+	}
+	end := len(b)
+	for end > start && (b[end-1] == ' ' || b[end-1] == '\t' || b[end-1] == '\r') {
+		end--
+	}
+	return b[start:end]
 }
 
 // decodeDocument accepts a labelled document or a bare one, matching
 // the vs2 command's loader.
-func decodeDocument(raw json.RawMessage) (*vs2.Document, error) {
+func decodeDocument(raw []byte) (*vs2.Document, error) {
 	var l vs2.Labeled
 	if err := json.Unmarshal(raw, &l); err == nil && l.Doc != nil {
 		return l.Doc, nil
@@ -249,15 +442,27 @@ func decodeDocument(raw json.RawMessage) (*vs2.Document, error) {
 	return &d, nil
 }
 
-func taskByName(name string) (vs2.Task, error) {
-	switch name {
-	case "events":
-		return vs2.EventPosterTask(), nil
-	case "realestate":
-		return vs2.RealEstateTask(), nil
-	case "tax":
-		return vs2.NISTTaxTask(), nil
-	default:
-		return vs2.Task{}, fmt.Errorf("unknown task %q (want events | realestate | tax)", name)
+// tasks maps every task name to its constructor; taskNames and
+// taskByName both derive from it so the error message can never drift
+// out of sync with the real set.
+var tasks = map[string]func() vs2.Task{
+	"events":     vs2.EventPosterTask,
+	"realestate": vs2.RealEstateTask,
+	"tax":        vs2.NISTTaxTask,
+}
+
+func taskNames() []string {
+	names := make([]string, 0, len(tasks))
+	for n := range tasks {
+		names = append(names, n)
 	}
+	sort.Strings(names)
+	return names
+}
+
+func taskByName(name string) (vs2.Task, error) {
+	if mk, ok := tasks[name]; ok {
+		return mk(), nil
+	}
+	return vs2.Task{}, fmt.Errorf("unknown task %q (available: %s)", name, strings.Join(taskNames(), ", "))
 }

@@ -2,25 +2,26 @@ package main
 
 // End-to-end tests of the vs2serve CLI over in-process generated
 // corpora: clean streams, streams with invalid documents, trace output,
-// and flag validation.
+// flag validation, streaming-input guards, and journal/resume cycles.
 
 import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"vs2"
-	"vs2/internal/doc"
 )
 
-// posterStream encodes n generated event posters as a JSONL stream.
+// posterStream encodes n generated event posters as a JSONL stream —
+// one compact line per labelled document.
 func posterStream(t *testing.T, n int) *bytes.Buffer {
 	t.Helper()
 	var buf bytes.Buffer
 	for _, l := range vs2.GenerateEventPosters(n, 7) {
-		data, err := doc.EncodeLabeled(&l)
+		data, err := json.Marshal(&l)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -30,11 +31,11 @@ func posterStream(t *testing.T, n int) *bytes.Buffer {
 	return &buf
 }
 
-func parseLines(t *testing.T, stdout string) []docOutput {
+func parseLines(t *testing.T, stdout string) []vs2.DocLine {
 	t.Helper()
-	var out []docOutput
+	var out []vs2.DocLine
 	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
-		var d docOutput
+		var d vs2.DocLine
 		if err := json.Unmarshal([]byte(line), &d); err != nil {
 			t.Fatalf("bad output line %q: %v", line, err)
 		}
@@ -64,6 +65,31 @@ func TestServeCleanStream(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "8 documents: 8 completed") {
 		t.Fatalf("summary missing:\n%s", stderr.String())
+	}
+}
+
+// TestServeOutputOrderMatchesInput: results are emitted in input order
+// even though extraction completes out of order across the pool.
+func TestServeOutputOrderMatchesInput(t *testing.T) {
+	stream := posterStream(t, 12)
+	var wantIDs []string
+	for _, line := range strings.Split(strings.TrimSpace(stream.String()), "\n") {
+		var l vs2.Labeled
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			t.Fatal(err)
+		}
+		wantIDs = append(wantIDs, l.Doc.ID)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-task", "events", "-workers", "4", "-queue-wait", "10m"},
+		stream, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := parseLines(t, stdout.String())
+	for i, l := range lines {
+		if l.ID != wantIDs[i] {
+			t.Fatalf("output line %d is %s, want %s (input order must be preserved)", i, l.ID, wantIDs[i])
+		}
 	}
 }
 
@@ -108,6 +134,42 @@ func TestServeInvalidDocumentKeepsStreamAlive(t *testing.T) {
 	}
 }
 
+// TestServeMalformedLineIsLineNumbered: a broken line aborts the scan
+// with its 1-based line number, while already-submitted documents still
+// drain and keep their output lines.
+func TestServeMalformedLineIsLineNumbered(t *testing.T) {
+	stream := posterStream(t, 2)
+	stream.WriteString("{not json at all\n")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-task", "events", "-workers", "2", "-queue-wait", "10m"},
+		stream, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stdin:3:") {
+		t.Fatalf("stderr lacks the line-numbered diagnostic:\n%s", stderr.String())
+	}
+	if lines := parseLines(t, stdout.String()); len(lines) != 2 {
+		t.Fatalf("%d output lines, want the 2 documents before the bad line", len(lines))
+	}
+}
+
+// TestServeMaxLineGuard: an input line over -max-line aborts with a
+// line-numbered error instead of buffering it into memory.
+func TestServeMaxLineGuard(t *testing.T) {
+	var stream bytes.Buffer
+	stream.WriteString(`{"id":"huge","padding":"` + strings.Repeat("x", 8192) + `"}` + "\n")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-task", "events", "-workers", "2", "-queue-wait", "10m", "-max-line", "4096"},
+		&stream, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stdin:1: line exceeds -max-line 4096") {
+		t.Fatalf("stderr lacks the max-line diagnostic:\n%s", stderr.String())
+	}
+}
+
 func TestServeTraceStream(t *testing.T) {
 	tracePath := t.TempDir() + "/traces.jsonl"
 	var stdout, stderr bytes.Buffer
@@ -149,10 +211,17 @@ func TestServeMetricsSnapshot(t *testing.T) {
 	}
 }
 
-func TestServeUnknownTask(t *testing.T) {
+// TestServeUnknownTaskListsAvailable: the error must enumerate the valid
+// task names, not just echo the bad one.
+func TestServeUnknownTaskListsAvailable(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-task", "nope"}, &bytes.Buffer{}, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+	for _, name := range []string{"events", "realestate", "tax"} {
+		if !strings.Contains(stderr.String(), name) {
+			t.Fatalf("unknown-task error does not list %q:\n%s", name, stderr.String())
+		}
 	}
 }
 
@@ -163,5 +232,73 @@ func TestServeEmptyInput(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "no documents") {
 		t.Fatalf("stderr = %s, want no-documents diagnostic", stderr.String())
+	}
+}
+
+func TestServeResumeRequiresJournal(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-task", "events", "-resume"}, &bytes.Buffer{}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-resume requires -journal") {
+		t.Fatalf("stderr = %s", stderr.String())
+	}
+}
+
+// TestServeJournalResumeByteIdentical is the in-process half of the
+// crash-recovery contract (the subprocess kill -9 half lives in the root
+// crash_chaos_test.go): a journaled run, resumed over the same corpus,
+// replays every completion without re-extracting and reproduces the
+// uninterrupted output byte for byte.
+func TestServeJournalResumeByteIdentical(t *testing.T) {
+	corpus := posterStream(t, 6).Bytes()
+	jdir := t.TempDir()
+
+	var golden, stderr bytes.Buffer
+	code := run([]string{"-task", "events", "-workers", "2", "-queue-wait", "10m",
+		"-journal", filepath.Join(jdir, "run.wal")},
+		bytes.NewReader(corpus), &golden, &stderr)
+	if code != 0 {
+		t.Fatalf("journaled run exit %d, stderr: %s", code, stderr.String())
+	}
+
+	// Resume over the completed journal: everything replays, nothing
+	// re-runs, output is identical.
+	var resumed, rerr bytes.Buffer
+	code = run([]string{"-task", "events", "-workers", "2", "-queue-wait", "10m",
+		"-journal", filepath.Join(jdir, "run.wal"), "-resume"},
+		bytes.NewReader(corpus), &resumed, &rerr)
+	if code != 0 {
+		t.Fatalf("resume exit %d, stderr: %s", code, rerr.String())
+	}
+	if !bytes.Equal(golden.Bytes(), resumed.Bytes()) {
+		t.Fatalf("resumed output differs from the original run:\n-- run --\n%s\n-- resume --\n%s",
+			golden.String(), resumed.String())
+	}
+	if !strings.Contains(rerr.String(), "6 replayed") {
+		t.Fatalf("resume summary does not report replays:\n%s", rerr.String())
+	}
+	if !strings.Contains(rerr.String(), "recovered 6 completed documents") {
+		t.Fatalf("resume did not announce recovery:\n%s", rerr.String())
+	}
+}
+
+// TestServeJournalFreshRunDiscardsState: without -resume an existing
+// journal is reset, so documents re-extract instead of replaying.
+func TestServeJournalFreshRunDiscardsState(t *testing.T) {
+	corpus := posterStream(t, 2).Bytes()
+	jpath := filepath.Join(t.TempDir(), "run.wal")
+	args := []string{"-task", "events", "-workers", "2", "-queue-wait", "10m", "-journal", jpath}
+
+	var out1, err1 bytes.Buffer
+	if code := run(args, bytes.NewReader(corpus), &out1, &err1); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, err1.String())
+	}
+	var out2, err2 bytes.Buffer
+	if code := run(args, bytes.NewReader(corpus), &out2, &err2); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, err2.String())
+	}
+	if strings.Contains(err2.String(), "replayed") && !strings.Contains(err2.String(), "0 replayed") {
+		t.Fatalf("fresh (non-resume) run replayed journal state:\n%s", err2.String())
 	}
 }

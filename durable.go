@@ -1,0 +1,240 @@
+// durable.go is the durability layer over the serving layer: a
+// write-ahead journal of corpus progress (admissions, degradations,
+// completions with their rendered result lines) plus checkpoint
+// compaction, so a long batch run killed at any instant resumes without
+// losing, duplicating or reordering a single result. The framing,
+// replay and checkpoint mechanics live in internal/journal; this file
+// binds them to the Server's per-document lifecycle and the PR 3 retry
+// classifier: completed documents and permanent rejections are safe to
+// replay from the journal verbatim, transient failures are not recorded
+// and re-extract on resume.
+package vs2
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"vs2/internal/journal"
+)
+
+// PhaseJournal marks errors from the durability layer itself: the
+// document's extraction finished, but recording it durably did not. Such
+// documents are reported failed — an exactly-once pipeline must not emit
+// results it cannot prove it persisted — and re-extract on resume.
+const PhaseJournal Phase = "journal"
+
+// JournalOptions tunes OpenJournal.
+type JournalOptions struct {
+	// Resume loads the existing journal and checkpoint instead of
+	// starting fresh. Resuming a path with no journal is legal (empty
+	// state), so the first run and a resumed run can share a command
+	// line.
+	Resume bool
+	// Sync is the fsync policy: "always" (default — a completion
+	// acknowledged is a completion that survives kill -9), "interval"
+	// (fsync every SyncEvery appends; a crash re-extracts at most the
+	// unsynced suffix), or "never" (the OS decides).
+	Sync string
+	// SyncEvery is the "interval" cadence; 0 selects 64.
+	SyncEvery int
+	// CompactEvery checkpoints and truncates the journal after that many
+	// new completions; 0 compacts only on Close.
+	CompactEvery int
+	// MaxRecord bounds one journal record; 0 selects 16 MiB.
+	MaxRecord int
+	// Metrics, when non-nil, receives the journal.* counters and gauges
+	// (records appended, fsyncs, replayed records, truncated-tail bytes
+	// dropped, compactions).
+	Metrics *Metrics
+}
+
+// Journal is durable corpus-processing state: which documents have
+// completed and with exactly which output lines. A nil *Journal is a
+// valid disabled journal, mirroring the nil *Metrics idiom, so call
+// sites thread it unconditionally.
+type Journal struct {
+	st   *journal.State
+	path string
+}
+
+// OpenJournal opens (or, with Resume, recovers) the journal at path. The
+// checkpoint lives at path+".ckpt". Recovery replays checkpoint then
+// journal, drops a torn tail (counting the bytes in the metrics), and
+// truncates the tear so new records append cleanly.
+func OpenJournal(path string, o JournalOptions) (*Journal, error) {
+	pol, err := journal.ParseSync(o.Sync)
+	if err != nil {
+		return nil, err
+	}
+	st, err := journal.OpenState(path, journal.StateOptions{
+		Options: journal.Options{
+			Sync:      pol,
+			SyncEvery: o.SyncEvery,
+			MaxRecord: o.MaxRecord,
+			Metrics:   o.Metrics,
+		},
+		Resume:       o.Resume,
+		CompactEvery: o.CompactEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{st: st, path: path}, nil
+}
+
+// Completed returns the journaled result line of a document that already
+// finished, in this run or a recovered one.
+func (j *Journal) Completed(id string) ([]byte, bool) {
+	if j == nil {
+		return nil, false
+	}
+	return j.st.Completed(id)
+}
+
+// Replayed reports what recovery found: completions restored and
+// documents the crashed run had admitted but never finished (these
+// re-extract).
+func (j *Journal) Replayed() (completions, inflight int) {
+	if j == nil {
+		return 0, 0
+	}
+	return j.st.Replayed()
+}
+
+// Compact checkpoints the completed set and truncates the journal.
+func (j *Journal) Compact() error {
+	if j == nil {
+		return nil
+	}
+	return j.st.Compact()
+}
+
+// Close compacts (bounding the next resume's replay work) and closes.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.st.Compact(); err != nil {
+		j.st.Close() //nolint:errcheck
+		return err
+	}
+	return j.st.Close()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// DocLine is the canonical per-document output line of a batch run — the
+// unit the journal caches and a resumed run re-emits byte for byte. Its
+// rendering must stay deterministic: no timestamps, no map iteration.
+type DocLine struct {
+	ID       string       `json:"id"`
+	Entities []Extraction `json:"entities,omitempty"`
+	Degraded []string     `json:"degraded,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+// RenderLine renders one batch outcome as its canonical output line
+// (JSON, no trailing newline). Degradations are rendered without their
+// wall-clock timestamps — the line must be reproducible across runs for
+// the crash-recovery byte-identity contract.
+func RenderLine(r BatchResult) []byte {
+	out := DocLine{}
+	if r.Doc != nil {
+		out.ID = r.Doc.ID
+	}
+	switch {
+	case r.Err != nil:
+		out.Error = r.Err.Error()
+	case r.Result != nil:
+		out.Entities = r.Result.Entities
+		for _, g := range r.Result.Degraded {
+			s := fmt.Sprintf("%s degraded to %s", g.Phase, g.Fallback)
+			if g.Cause != "" {
+				s += ": " + g.Cause
+			}
+			out.Degraded = append(out.Degraded, s)
+		}
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		// Extraction and error strings always marshal; reaching this
+		// means a programming error, and the line still must exist.
+		data, _ = json.Marshal(DocLine{ID: out.ID, Error: "render: " + err.Error()})
+	}
+	return data
+}
+
+// recordKey is the journal key for a document: its ID, or a positional
+// key when the corpus has anonymous documents. Resume correctness
+// requires keys to be stable and unique across runs over the same
+// corpus.
+func recordKey(d *Document, index int) string {
+	if d != nil && d.ID != "" {
+		return d.ID
+	}
+	return fmt.Sprintf("#%d", index)
+}
+
+// ExtractRecorded runs one document through the server with durable
+// record-keeping:
+//
+//   - A document the journal already holds is skipped idempotently; its
+//     cached line returns with Replayed set and the pipeline never runs.
+//   - Otherwise the admission is journaled, the document extracted, its
+//     degradations journaled, and — for completions and permanent
+//     rejections (see IsTransient) — its rendered line journaled as a
+//     completion *before* the caller sees it: the write-ahead contract
+//     that makes a crash between journal and output emission safe.
+//   - Transient failures (sheds, breaker trips, budget overruns, panics
+//     that exhausted retries) are not recorded as completions: a resumed
+//     run re-extracts them rather than replaying a flake forever.
+//
+// With a nil journal it degrades to Extract plus line rendering.
+func (s *Server) ExtractRecorded(ctx context.Context, index int, d *Document, j *Journal) BatchResult {
+	br := BatchResult{Index: index, Doc: d}
+	key := recordKey(d, index)
+	if line, ok := j.Completed(key); ok {
+		br.Replayed = true
+		br.Line = line
+		s.m.Counter("serve.replayed").Inc()
+		return br
+	}
+	if j != nil {
+		if err := j.st.Admit(key, index); err != nil {
+			br.Err = &Error{Phase: PhaseJournal, Stage: "admit", Err: err}
+			br.Line = RenderLine(br)
+			return br
+		}
+	}
+	br.Result, br.Err = s.Extract(ctx, d)
+	br.Line = RenderLine(br)
+	if j != nil && (br.Err == nil || !IsTransient(br.Err)) {
+		if br.Result != nil {
+			for _, g := range br.Result.Degraded {
+				if err := j.st.Degrade(key, string(g.Phase), g.Fallback); err != nil {
+					return journalFailed(br, "degrade", err)
+				}
+			}
+		}
+		if err := j.st.Complete(key, br.Line); err != nil {
+			return journalFailed(br, "complete", err)
+		}
+	}
+	return br
+}
+
+// journalFailed downgrades a finished document to a journal failure: the
+// result cannot be acknowledged because it was never made durable.
+func journalFailed(br BatchResult, stage string, err error) BatchResult {
+	br.Result = nil
+	br.Err = &Error{Phase: PhaseJournal, Stage: stage, Err: err}
+	br.Line = RenderLine(br)
+	return br
+}

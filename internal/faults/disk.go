@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrInjectedDisk is the cause of every injected disk failure.
+var ErrInjectedDisk = errors.New("faults: injected disk failure")
+
+// DiskFault configures the disk failure modes a journal must survive:
+// short writes (ENOSPC mid-frame), fsync errors (the kernel refusing
+// durability), and crash points (a kill -9 freezing the on-disk image
+// mid-byte: later writes report success but never land, exactly what an
+// unflushed page cache loses). All sites are 1-based call/byte counts;
+// zero disables that site.
+type DiskFault struct {
+	// ShortWriteAt tears the Nth write: half the buffer lands, the call
+	// errors. Zero disables.
+	ShortWriteAt int
+	// FailSyncAt fails the Nth Sync with ErrInjectedDisk. Zero disables.
+	FailSyncAt int
+	// CrashAfterBytes freezes the file image once that many bytes have
+	// landed: the byte that would cross the boundary and everything after
+	// it is silently dropped while writes keep reporting success — the
+	// shape of a process killed with dirty pages. Zero disables.
+	CrashAfterBytes int64
+}
+
+// DiskFile is the fault-injecting journal handle: it satisfies the
+// journal package's File interface over any inner handle.
+type DiskFile struct {
+	mu    sync.Mutex
+	inner interface {
+		io.Writer
+		Sync() error
+		Close() error
+	}
+	fault   DiskFault
+	writes  int
+	syncs   int
+	written int64 // bytes actually landed on inner
+	crashed bool
+}
+
+// NewDiskFile wraps inner with the configured faults.
+func NewDiskFile(inner interface {
+	io.Writer
+	Sync() error
+	Close() error
+}, fault DiskFault) *DiskFile {
+	return &DiskFile{inner: inner, fault: fault}
+}
+
+// Write implements io.Writer with the configured tear and crash point.
+func (d *DiskFile) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writes++
+	if d.crashed {
+		// Post-crash: pretend success, persist nothing.
+		return len(p), nil
+	}
+	if c := d.fault.CrashAfterBytes; c > 0 && d.written+int64(len(p)) > c {
+		// The write straddles the crash point: the prefix up to it lands,
+		// the rest is lost, and the caller is told everything succeeded.
+		keep := c - d.written
+		if keep > 0 {
+			d.inner.Write(p[:keep]) //nolint:errcheck
+			d.written += keep
+		}
+		d.crashed = true
+		return len(p), nil
+	}
+	if d.fault.ShortWriteAt > 0 && d.writes == d.fault.ShortWriteAt {
+		n, _ := d.inner.Write(p[:len(p)/2])
+		d.written += int64(n)
+		return n, ErrInjectedDisk
+	}
+	n, err := d.inner.Write(p)
+	d.written += int64(n)
+	return n, err
+}
+
+// Sync implements the journal File's fsync with the configured failure.
+// After the crash point it reports success without syncing — a dead
+// process cannot observe its own lie.
+func (d *DiskFile) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncs++
+	if d.crashed {
+		return nil
+	}
+	if d.fault.FailSyncAt > 0 && d.syncs == d.fault.FailSyncAt {
+		return ErrInjectedDisk
+	}
+	return d.inner.Sync()
+}
+
+// Close closes the inner handle (even "crashed" files hold a real fd).
+func (d *DiskFile) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Close()
+}
+
+// Crashed reports whether the crash point has been reached.
+func (d *DiskFile) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// Written returns the bytes that actually landed on the inner file.
+func (d *DiskFile) Written() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.written
+}

@@ -1,0 +1,100 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Entry is one completed document in a checkpoint: the digest of its
+// result line plus the line itself, so a resumed run can both skip the
+// document and re-emit its output byte for byte.
+type Entry struct {
+	// Digest is the CRC32 (IEEE, hex8) of Line.
+	Digest string `json:"digest"`
+	// Line is the cached result line, without its trailing newline.
+	Line string `json:"line"`
+}
+
+// Digest computes the checkpoint digest of a result line.
+func Digest(line []byte) string {
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(line))
+}
+
+// Checkpoint is the compacted snapshot of corpus-processing state: every
+// document completed so far, keyed by document ID. Seq increments per
+// compaction so stale temp files are recognisable in the journal's
+// directory listing.
+type Checkpoint struct {
+	Seq     int64            `json:"seq"`
+	Entries map[string]Entry `json:"entries"`
+}
+
+// WriteCheckpoint atomically replaces the checkpoint at path: the
+// snapshot is written to a temp file in the same directory, fsynced,
+// renamed over path, and the directory entry fsynced. A crash at any
+// instant leaves either the previous checkpoint or the new one — never
+// a torn hybrid. (True O_TMPFILE+linkat is Linux-only; same-directory
+// CreateTemp+rename gives the same visible atomicity portably.)
+func WriteCheckpoint(path string, ck *Checkpoint) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("journal: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("journal: checkpoint temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: checkpoint fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("journal: checkpoint rename: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		return fmt.Errorf("journal: checkpoint dir fsync: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads the checkpoint at path. A missing file is an
+// empty checkpoint. Entries whose digest does not match their line are
+// dropped (the document will simply be re-processed); a checkpoint that
+// does not parse at all is an error, because rename atomicity means it
+// cannot be a crash artifact — something else damaged it.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	ck := &Checkpoint{Entries: map[string]Entry{}}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: read checkpoint: %w", err)
+	}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("journal: parse checkpoint %s: %w", path, err)
+	}
+	if ck.Entries == nil {
+		ck.Entries = map[string]Entry{}
+	}
+	for id, e := range ck.Entries {
+		if Digest([]byte(e.Line)) != e.Digest {
+			delete(ck.Entries, id)
+		}
+	}
+	return ck, nil
+}

@@ -1,0 +1,438 @@
+// Package journal is the durability substrate of the VS2 serving layer:
+// a CRC32-framed, length-prefixed, append-only JSONL write-ahead journal
+// with a configurable fsync policy, torn-tail-tolerant replay, and
+// atomic checkpoint compaction (temp-file + rename snapshots).
+//
+// The framing is line-oriented so a journal stays greppable and
+// JSONL-shaped while remaining verifiable byte for byte:
+//
+//	J1 <len> <crc32-ieee-hex8> <payload>\n
+//
+// where <len> is the decimal byte length of <payload> and the CRC covers
+// exactly the payload bytes. A frame whose header does not parse, whose
+// length disagrees with the line, or whose CRC does not match marks the
+// torn tail: replay stops there, reports how many bytes it dropped, and
+// never delivers a fabricated record. Appending to a journal with a torn
+// tail first truncates the tail so the new frames stay reachable.
+//
+// Durability is layered:
+//
+//   - Writer frames and appends records under one of three fsync
+//     policies (always / every-N / never).
+//   - Checkpoint atomically snapshots the set of completed documents
+//     (IDs, result digests and cached result lines) via a same-directory
+//     temp file renamed into place.
+//   - State composes the two into corpus-processing state with replay,
+//     idempotent completion lookup, and checkpoint compaction that
+//     truncates the journal once its records are safely in the
+//     checkpoint.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"vs2/internal/obs"
+)
+
+// Frame layout constants.
+const (
+	// magic opens every frame; bumping it versions the format.
+	magic = "J1"
+	// DefaultMaxRecord bounds a single payload (and a single replayed
+	// line) at 16 MiB unless overridden.
+	DefaultMaxRecord = 16 << 20
+	// DefaultSyncEvery is the SyncInterval cadence when unset.
+	DefaultSyncEvery = 64
+)
+
+// Sync selects when the journal reaches stable storage.
+type Sync int
+
+const (
+	// SyncAlways fsyncs after every append — the write-ahead contract a
+	// kill -9 cannot break. The zero value, because a journal that lies
+	// about durability is worse than none.
+	SyncAlways Sync = iota
+	// SyncInterval fsyncs every SyncEvery appends and on Close. A crash
+	// loses at most the unsynced suffix; replay drops it as a torn tail
+	// and the affected documents are simply re-processed.
+	SyncInterval
+	// SyncNever leaves flushing to the OS (Close still syncs).
+	SyncNever
+)
+
+func (s Sync) String() string {
+	switch s {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return "Sync(?)"
+	}
+}
+
+// ParseSync maps the CLI spellings onto a policy.
+func ParseSync(s string) (Sync, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown sync policy %q (want always | interval | never)", s)
+	}
+}
+
+// File is the handle a Writer appends to. *os.File satisfies it; the
+// fault harness substitutes one that tears writes, fails fsync, or
+// freezes the on-disk image to simulate kill -9.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options tunes a Writer (and, through it, State).
+type Options struct {
+	// Sync is the fsync policy; the zero value is SyncAlways.
+	Sync Sync
+	// SyncEvery is the SyncInterval cadence; 0 selects DefaultSyncEvery.
+	SyncEvery int
+	// MaxRecord bounds one payload; 0 selects DefaultMaxRecord.
+	MaxRecord int
+	// Metrics, when non-nil, receives journal.appended / journal.fsyncs /
+	// journal.append.errors counters and the journal.bytes gauge.
+	Metrics *obs.Registry
+	// OpenFile overrides how the append handle is opened — the fault
+	// harness's hook. nil opens the path O_CREATE|O_APPEND|O_WRONLY.
+	OpenFile func(path string) (File, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
+	if o.MaxRecord <= 0 {
+		o.MaxRecord = DefaultMaxRecord
+	}
+	return o
+}
+
+// ErrRecordTooLarge rejects a payload over Options.MaxRecord.
+var ErrRecordTooLarge = errors.New("journal: record exceeds max size")
+
+// ErrWriterFailed is the sticky state after a failed append: a partial
+// frame may be on disk, so further appends would be unreachable garbage
+// behind a torn tail. The journal must be reopened (replay truncates the
+// tear) before appending again.
+var ErrWriterFailed = errors.New("journal: writer failed; reopen to recover")
+
+// Frame renders one payload as its on-disk frame, newline included.
+// Replay(Frame(p)) yields exactly p — the fuzz harness pins this
+// round-trip and its inverse (no fabricated records).
+func Frame(payload []byte) []byte {
+	var b bytes.Buffer
+	b.Grow(len(payload) + 24)
+	fmt.Fprintf(&b, "%s %d %08x ", magic, len(payload), crc32.ChecksumIEEE(payload))
+	b.Write(payload)
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+// Writer appends CRC-framed records to a journal file.
+type Writer struct {
+	mu      sync.Mutex
+	f       File
+	opts    Options
+	path    string
+	offset  int64 // bytes appended through this handle
+	pending int   // appends since the last fsync
+	failed  error // sticky append failure
+}
+
+// OpenWriter opens (creating if needed) the journal at path for
+// appending. It does not inspect existing contents — callers resuming a
+// journal replay it first (which truncates any torn tail) and then open
+// the writer; State does exactly that.
+func OpenWriter(path string, opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	open := opts.OpenFile
+	if open == nil {
+		open = func(p string) (File, error) {
+			return os.OpenFile(p, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		}
+	}
+	f, err := open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	return &Writer{f: f, opts: opts, path: path}, nil
+}
+
+// Append frames the payload and writes it under the fsync policy. The
+// payload must be a single line (no '\n'); JSON-encoded records are. A
+// failed or short write leaves the writer in the sticky ErrWriterFailed
+// state: the on-disk tail is torn and only a reopen-with-replay may
+// append after it.
+func (w *Writer) Append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
+	if len(payload) > w.opts.MaxRecord {
+		return fmt.Errorf("%w: %d > %d bytes", ErrRecordTooLarge, len(payload), w.opts.MaxRecord)
+	}
+	if i := bytes.IndexByte(payload, '\n'); i >= 0 {
+		return fmt.Errorf("journal: payload contains newline at byte %d", i)
+	}
+	frame := Frame(payload)
+	n, err := w.f.Write(frame)
+	w.offset += int64(n)
+	m := w.opts.Metrics
+	if err != nil || n != len(frame) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		w.failed = fmt.Errorf("%w: append at offset %d: %w", ErrWriterFailed, w.offset, err)
+		m.Counter("journal.append.errors").Inc()
+		return w.failed
+	}
+	m.Counter("journal.appended").Inc()
+	m.Gauge("journal.bytes").Set(float64(w.offset))
+	w.pending++
+	switch w.opts.Sync {
+	case SyncAlways:
+		return w.syncLocked()
+	case SyncInterval:
+		if w.pending >= w.opts.SyncEvery {
+			return w.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Sync forces the appended frames to stable storage.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		// The data may or may not be durable; appends can continue (the
+		// frames themselves are intact) but the caller is told.
+		w.opts.Metrics.Counter("journal.fsync.errors").Inc()
+		return fmt.Errorf("journal: fsync %s: %w", w.path, err)
+	}
+	w.pending = 0
+	w.opts.Metrics.Counter("journal.fsyncs").Inc()
+	return nil
+}
+
+// Offset returns the bytes appended through this writer.
+func (w *Writer) Offset() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.offset
+}
+
+// Close syncs (unless already failed) and closes the handle.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var serr error
+	if w.failed == nil && w.pending > 0 {
+		serr = w.syncLocked()
+	}
+	cerr := w.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ReplayStats describes what a replay recovered and what it dropped.
+type ReplayStats struct {
+	// Records is the count of valid frames delivered.
+	Records int
+	// Bytes is the length of the valid prefix — the offset a resuming
+	// writer truncates the journal to before appending.
+	Bytes int64
+	// TruncatedBytes is the torn tail: trailing bytes after the valid
+	// prefix that did not form a verifiable frame.
+	TruncatedBytes int64
+	// TornReason says why the tail was dropped; empty when the journal
+	// ended cleanly on a frame boundary.
+	TornReason string
+}
+
+// Replay scans the journal, delivering each verified payload to fn in
+// append order. It stops at the first frame that fails verification —
+// torn tail, garbage, CRC mismatch, oversized length — and reports the
+// dropped suffix in the stats rather than erroring: a crash can tear at
+// any byte and recovery must shrug. A non-nil error comes only from the
+// reader or from fn (which aborts the replay).
+//
+// The invariant the fuzz harness pins: concatenating Frame(p) over the
+// delivered payloads reproduces exactly the first Bytes bytes of the
+// input. Replay never invents a record that was not durably framed.
+func Replay(r io.Reader, maxRecord int, fn func(payload []byte) error) (ReplayStats, error) {
+	if maxRecord <= 0 {
+		maxRecord = DefaultMaxRecord
+	}
+	var st ReplayStats
+	br := bufio.NewReaderSize(r, 64<<10)
+	// A full frame line: magic + space + len digits + space + 8 hex + space
+	// + payload + newline. Bound the line read just past that.
+	maxLine := maxRecord + 64
+	for {
+		line, err := readLine(br, maxLine)
+		if len(line) == 0 && err == io.EOF {
+			return st, nil
+		}
+		if err != nil && err != io.EOF && !errors.Is(err, errLineTooLong) {
+			return st, fmt.Errorf("journal: replay read: %w", err)
+		}
+		payload, reason := verifyFrame(line, err == io.EOF || errors.Is(err, errLineTooLong), maxRecord)
+		if reason != "" {
+			st.TornReason = reason
+			st.TruncatedBytes = int64(len(line)) + remaining(br)
+			return st, nil
+		}
+		if ferr := fn(payload); ferr != nil {
+			return st, ferr
+		}
+		st.Records++
+		st.Bytes += int64(len(line))
+		if err == io.EOF {
+			return st, nil
+		}
+	}
+}
+
+var errLineTooLong = errors.New("line exceeds frame bound")
+
+// readLine reads one '\n'-terminated line (newline included), erroring
+// with errLineTooLong once the line outruns max — at which point the
+// journal is torn or hostile and the replay stops.
+func readLine(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		switch {
+		case err == nil:
+			return line, nil
+		case err == bufio.ErrBufferFull:
+			if len(line) > max {
+				return line, errLineTooLong
+			}
+		default:
+			return line, err
+		}
+	}
+}
+
+// remaining drains the reader to count the torn tail's full extent.
+func remaining(br *bufio.Reader) int64 {
+	n, _ := io.Copy(io.Discard, br)
+	return n
+}
+
+// verifyFrame checks one line against the frame format. incomplete marks
+// a line with no terminating newline (EOF tear) — such a line can never
+// verify, because the newline is part of the frame.
+func verifyFrame(line []byte, incomplete bool, maxRecord int) (payload []byte, tornReason string) {
+	if incomplete {
+		return nil, "torn frame: no trailing newline"
+	}
+	body := line[:len(line)-1] // strip '\n'
+	rest, ok := bytes.CutPrefix(body, []byte(magic+" "))
+	if !ok {
+		return nil, "garbage frame: bad magic"
+	}
+	sp := bytes.IndexByte(rest, ' ')
+	if sp <= 0 {
+		return nil, "garbage frame: no length field"
+	}
+	lenField := string(rest[:sp])
+	n, err := strconv.Atoi(lenField)
+	// The writer only ever emits canonical headers (%d, lowercase %08x);
+	// anything else — leading zeros, signs, uppercase hex — is damage,
+	// and accepting it would let replay "recover" bytes never written.
+	if err != nil || n < 0 || n > maxRecord || strconv.Itoa(n) != lenField {
+		return nil, "garbage frame: bad length"
+	}
+	rest = rest[sp+1:]
+	if len(rest) < 9 || rest[8] != ' ' {
+		return nil, "garbage frame: no checksum field"
+	}
+	for _, c := range rest[:8] {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return nil, "garbage frame: bad checksum encoding"
+		}
+	}
+	want, err := strconv.ParseUint(string(rest[:8]), 16, 32)
+	if err != nil {
+		return nil, "garbage frame: bad checksum encoding"
+	}
+	payload = rest[9:]
+	if len(payload) != n {
+		return nil, fmt.Sprintf("torn frame: length %d, payload %d", n, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != uint32(want) {
+		return nil, "torn frame: checksum mismatch"
+	}
+	return payload, ""
+}
+
+// ReplayFile replays the journal at path. A missing file is an empty
+// journal: zero stats, nil error — resuming before the first run is
+// legal. When metrics is non-nil the replay outcome is exported as
+// journal.replay.records and journal.replay.truncated_bytes.
+func ReplayFile(path string, maxRecord int, m *obs.Registry, fn func(payload []byte) error) (ReplayStats, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ReplayStats{}, nil
+	}
+	if err != nil {
+		return ReplayStats{}, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	st, rerr := Replay(f, maxRecord, fn)
+	m.Counter("journal.replay.records").Add(int64(st.Records))
+	m.Counter("journal.replay.truncated_bytes").Add(st.TruncatedBytes)
+	return st, rerr
+}
+
+// syncDir best-effort fsyncs the directory containing path, making a
+// just-created or just-renamed entry durable. Errors are returned so
+// callers on filesystems that refuse directory fsync can decide; the
+// checkpoint writer treats them as fatal, journal creation does not.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

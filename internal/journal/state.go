@@ -1,0 +1,297 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"vs2/internal/obs"
+)
+
+// Record is one durable corpus-processing event. Admission records mark
+// a document handed to the pipeline (so an interrupted run knows it may
+// have partially executed); completion records carry the document's
+// final result line; degradation records note each fallback the
+// pipeline took, for post-hoc replay auditing.
+type Record struct {
+	// T is the record type: "admit", "complete" or "degrade".
+	T string `json:"t"`
+	// ID is the document ID.
+	ID string `json:"id"`
+	// Index is the document's position in the corpus (admit records).
+	Index int `json:"i,omitempty"`
+	// Phase and Fallback describe a degradation (degrade records).
+	Phase    string `json:"phase,omitempty"`
+	Fallback string `json:"fallback,omitempty"`
+	// Digest and Line carry the result (complete records): Line is the
+	// exact output line (no trailing newline), Digest its CRC32 hex8.
+	Digest string `json:"digest,omitempty"`
+	Line   string `json:"line,omitempty"`
+}
+
+// Record types.
+const (
+	RecordAdmit    = "admit"
+	RecordComplete = "complete"
+	RecordDegrade  = "degrade"
+)
+
+// State is durable corpus-processing state: the union of the checkpoint
+// and the journal's completion records, plus the append handle the
+// current run writes through. Safe for concurrent use.
+type State struct {
+	mu        sync.Mutex
+	w         *Writer
+	path      string
+	ckptPath  string
+	opts      Options
+	seq       int64
+	completed map[string]Entry
+	// admitted counts admit records replayed for documents that never
+	// completed — the in-flight casualties of the previous crash.
+	admitted int
+	replayed int // completion records recovered (checkpoint + journal)
+	// CompactEvery triggers a checkpoint compaction after that many new
+	// completions; 0 compacts only on explicit Compact calls.
+	compactEvery int
+	sinceCompact int
+	m            *obs.Registry
+}
+
+// StateOptions extends Options with State-level tuning.
+type StateOptions struct {
+	Options
+	// Resume loads the existing checkpoint and journal instead of
+	// truncating them. Without it, OpenState starts a fresh journal,
+	// removing any previous state at the path.
+	Resume bool
+	// CompactEvery checkpoints after that many new completions;
+	// 0 disables automatic compaction.
+	CompactEvery int
+}
+
+// OpenState opens (or resumes) the durable state rooted at path. The
+// checkpoint lives beside the journal at path+".ckpt". Resuming replays
+// checkpoint then journal — later records win, torn tails are truncated
+// off the journal file so subsequent appends stay reachable — and then
+// reopens the journal for appending.
+func OpenState(path string, so StateOptions) (*State, error) {
+	s := &State{
+		path:         path,
+		ckptPath:     path + ".ckpt",
+		opts:         so.Options.withDefaults(),
+		completed:    map[string]Entry{},
+		compactEvery: so.CompactEvery,
+		m:            so.Options.Metrics,
+	}
+	if !so.Resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("journal: reset %s: %w", path, err)
+		}
+		if err := os.Remove(s.ckptPath); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("journal: reset %s: %w", s.ckptPath, err)
+		}
+	} else if err := s.recover(); err != nil {
+		return nil, err
+	}
+	w, err := OpenWriter(path, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	s.m.Gauge("journal.completed").Set(float64(len(s.completed)))
+	return s, nil
+}
+
+// recover loads the checkpoint, replays the journal over it, and
+// truncates the journal's torn tail (if any) so the writer can append.
+func (s *State) recover() error {
+	ck, err := ReadCheckpoint(s.ckptPath)
+	if err != nil {
+		return err
+	}
+	s.seq = ck.Seq
+	s.completed = ck.Entries
+	admits := map[string]bool{}
+	st, err := ReplayFile(s.path, s.opts.MaxRecord, s.m, func(payload []byte) error {
+		var rec Record
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			// A verified frame with an unparseable payload was written by
+			// something that is not this schema; skip rather than abort —
+			// the frame is durable but meaningless to us.
+			s.m.Counter("journal.replay.unknown").Inc()
+			return nil
+		}
+		switch rec.T {
+		case RecordAdmit:
+			admits[rec.ID] = true
+		case RecordComplete:
+			if Digest([]byte(rec.Line)) == rec.Digest {
+				s.completed[rec.ID] = Entry{Digest: rec.Digest, Line: rec.Line}
+			} else {
+				s.m.Counter("journal.replay.bad_digest").Inc()
+			}
+		case RecordDegrade:
+			// Informational; nothing to restore.
+		default:
+			s.m.Counter("journal.replay.unknown").Inc()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for id := range admits {
+		if _, done := s.completed[id]; !done {
+			s.admitted++
+		}
+	}
+	s.replayed = len(s.completed)
+	if st.TruncatedBytes > 0 {
+		// Drop the torn tail on disk, or frames appended by this run
+		// would sit unreachable behind it.
+		if terr := os.Truncate(s.path, st.Bytes); terr != nil {
+			return fmt.Errorf("journal: truncate torn tail of %s: %w", s.path, terr)
+		}
+	}
+	return nil
+}
+
+func (s *State) append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal record: %w", err)
+	}
+	return s.w.Append(payload)
+}
+
+// Admit journals that the document is about to run. Idempotent in
+// effect: duplicate admits are harmless on replay.
+func (s *State) Admit(id string, index int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(Record{T: RecordAdmit, ID: id, Index: index})
+}
+
+// Degrade journals one pipeline fallback for the document.
+func (s *State) Degrade(id, phase, fallback string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(Record{T: RecordDegrade, ID: id, Phase: phase, Fallback: fallback})
+}
+
+// Complete journals the document's final result line (no trailing
+// newline) and records it for Completed lookups. The write-ahead
+// contract: call Complete before emitting the line downstream, so a
+// crash between the two re-emits from the journal instead of losing the
+// document. Triggers a checkpoint compaction every CompactEvery
+// completions.
+func (s *State) Complete(id string, line []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := Entry{Digest: Digest(line), Line: string(line)}
+	if err := s.append(Record{T: RecordComplete, ID: id, Digest: e.Digest, Line: e.Line}); err != nil {
+		return err
+	}
+	s.completed[id] = e
+	s.m.Gauge("journal.completed").Set(float64(len(s.completed)))
+	s.sinceCompact++
+	if s.compactEvery > 0 && s.sinceCompact >= s.compactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Completed returns the cached result line for a document this state has
+// already seen complete (in this run or a replayed one).
+func (s *State) Completed(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.completed[id]
+	if !ok {
+		return nil, false
+	}
+	return []byte(e.Line), true
+}
+
+// CompletedIDs returns the sorted IDs of every completed document.
+func (s *State) CompletedIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.completed))
+	for id := range s.completed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Replayed returns how many completions were recovered at open, and how
+// many admitted-but-incomplete documents the previous run left behind.
+func (s *State) Replayed() (completions, inflight int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replayed, s.admitted
+}
+
+// Compact checkpoints the completed set and truncates the journal: an
+// atomic snapshot replaces the record tail. Crash windows are all safe —
+// before the rename the old checkpoint plus the full journal survive;
+// between rename and truncate the records are duplicated across
+// checkpoint and journal (replay is idempotent, keyed by ID); after the
+// truncate the new checkpoint alone carries the state.
+func (s *State) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *State) compactLocked() error {
+	// The journal must be durable before the checkpoint claims its
+	// records; with SyncNever/SyncInterval there may be unsynced frames.
+	if err := s.w.Sync(); err != nil {
+		return err
+	}
+	s.seq++
+	entries := make(map[string]Entry, len(s.completed))
+	for id, e := range s.completed {
+		entries[id] = e
+	}
+	if err := WriteCheckpoint(s.ckptPath, &Checkpoint{Seq: s.seq, Entries: entries}); err != nil {
+		return err
+	}
+	// Start a fresh journal generation: close, truncate, reopen append.
+	if err := s.w.Close(); err != nil {
+		return err
+	}
+	if err := os.Truncate(s.path, 0); err != nil {
+		return fmt.Errorf("journal: truncate after compaction: %w", err)
+	}
+	w, err := OpenWriter(s.path, s.opts)
+	if err != nil {
+		return err
+	}
+	s.w = w
+	s.sinceCompact = 0
+	s.m.Counter("journal.compactions").Inc()
+	s.m.Gauge("journal.checkpoint.entries").Set(float64(len(entries)))
+	return nil
+}
+
+// Sync forces pending journal frames to stable storage.
+func (s *State) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Sync()
+}
+
+// Close syncs and closes the journal handle. The checkpoint is left as
+// last compacted; a final Compact before Close minimises replay work for
+// the next resume.
+func (s *State) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Close()
+}

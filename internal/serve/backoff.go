@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -61,3 +63,26 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 	b.mu.Unlock()
 	return time.Duration(exp * (1 - b.jitter + b.jitter*u))
 }
+
+// Sleep waits Delay(attempt), aborting promptly when ctx is cancelled or
+// done closes — a shutting-down server must not hang for the remainder
+// of a backoff interval. It returns nil after a full sleep, ctx.Err()
+// on cancellation, and ErrSleepInterrupted when done closed first. A nil
+// done never interrupts. One jitter draw is consumed either way, so the
+// schedule stays reproducible whether or not sleeps complete.
+func (b *Backoff) Sleep(ctx context.Context, done <-chan struct{}, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return ErrSleepInterrupted
+	}
+}
+
+// ErrSleepInterrupted reports a backoff sleep cut short by the done
+// channel (server drain) rather than the caller's context.
+var ErrSleepInterrupted = errors.New("serve: backoff sleep interrupted by drain")

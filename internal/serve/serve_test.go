@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -88,6 +90,57 @@ func TestBackoffBounds(t *testing.T) {
 	}
 	if d := b.Delay(-1); d <= 0 || d > base {
 		t.Errorf("Delay(-1) = %v, want clamped to attempt 0", d)
+	}
+}
+
+// TestBackoffSleepAbortsOnCancel pins the shutdown-latency contract: a
+// backoff sleep scheduled for tens of seconds must end within
+// milliseconds of the caller's context dying, not at the end of the
+// interval.
+func TestBackoffSleepAbortsOnCancel(t *testing.T) {
+	b := NewBackoff(30*time.Second, time.Minute, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := b.Sleep(ctx, nil, 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep after cancel = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("Sleep held the goroutine %v after cancellation; a 30s interval must abort promptly", elapsed)
+	}
+}
+
+// TestBackoffSleepAbortsOnDone: the drain channel interrupts a sleep the
+// same way, with its own sentinel so callers can tell drain from a
+// caller walking away.
+func TestBackoffSleepAbortsOnDone(t *testing.T) {
+	b := NewBackoff(30*time.Second, time.Minute, 1)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(done)
+	}()
+	start := time.Now()
+	err := b.Sleep(context.Background(), done, 0)
+	if !errors.Is(err, ErrSleepInterrupted) {
+		t.Fatalf("Sleep after drain = %v, want ErrSleepInterrupted", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Sleep held the goroutine %v after drain", elapsed)
+	}
+}
+
+// TestBackoffSleepCompletes: an uninterrupted sleep runs the full delay
+// and returns nil.
+func TestBackoffSleepCompletes(t *testing.T) {
+	b := NewBackoff(time.Millisecond, 2*time.Millisecond, 1)
+	if err := b.Sleep(context.Background(), nil, 0); err != nil {
+		t.Fatalf("clean sleep = %v, want nil", err)
 	}
 }
 

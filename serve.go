@@ -278,25 +278,59 @@ type BatchResult struct {
 	Index int
 	// Doc is the submitted document.
 	Doc *Document
-	// Result is the extraction result; nil when Err is non-nil.
+	// Result is the extraction result; nil when Err is non-nil and for
+	// documents replayed from a journal.
 	Result *Result
 	// Err is the structured failure, when the document was rejected or
 	// every attempt failed.
 	Err error
+	// Line is the canonical rendered output line (see RenderLine); set
+	// when the batch ran durably (WithDurability) or through
+	// ExtractRecorded.
+	Line []byte
+	// Replayed marks a document skipped because the journal already held
+	// its completion: Line carries the cached output, the pipeline never
+	// ran.
+	Replayed bool
+}
+
+// BatchOption tunes one ExtractBatch call.
+type BatchOption func(*batchConfig)
+
+type batchConfig struct {
+	journal *Journal
+}
+
+// WithDurability journals the batch through j: admissions, degradations
+// and completions are written ahead of results being returned, documents
+// already completed in j (a resumed run) are skipped idempotently with
+// their cached lines, and transient failures stay unjournaled so a
+// resume re-extracts them. See ExtractRecorded for the exact contract.
+func WithDurability(j *Journal) BatchOption {
+	return func(c *batchConfig) { c.journal = j }
 }
 
 // ExtractBatch submits every document concurrently and returns their
 // outcomes in input order. The pool and admission queue bound actual
 // parallelism; with a finite QueueWait a batch far larger than the
 // queue sheds its overflow with ErrOverloaded rather than queueing
-// unboundedly.
-func (s *Server) ExtractBatch(ctx context.Context, docs []*Document) []BatchResult {
+// unboundedly. With WithDurability the batch is journaled and resumable
+// document by document.
+func (s *Server) ExtractBatch(ctx context.Context, docs []*Document, opts ...BatchOption) []BatchResult {
+	var cfg batchConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	out := make([]BatchResult, len(docs))
 	var wg sync.WaitGroup
 	for i, d := range docs {
 		wg.Add(1)
 		go func(i int, d *Document) {
 			defer wg.Done()
+			if cfg.journal != nil {
+				out[i] = s.ExtractRecorded(ctx, i, d, cfg.journal)
+				return
+			}
 			res, err := s.Extract(ctx, d)
 			out[i] = BatchResult{Index: i, Doc: d, Result: res, Err: err}
 		}(i, d)
@@ -425,16 +459,11 @@ func (s *Server) run(ctx context.Context, d *Document) (*Result, error) {
 	for attempt := 0; attempt < s.cfg.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			s.m.Counter("serve.retries").Inc()
-			t := time.NewTimer(s.backoff.Delay(attempt - 1))
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
-				return nil, lastErr
-			case <-s.done:
-				// Draining: finish the work already attempted, don't
-				// start new attempts.
-				t.Stop()
+			// The sleep aborts promptly on caller cancellation and on
+			// drain (finish the work already attempted, don't start new
+			// attempts); either way the document fails with its last
+			// error rather than hanging out the interval.
+			if err := s.backoff.Sleep(ctx, s.done, attempt-1); err != nil {
 				return nil, lastErr
 			}
 		}
