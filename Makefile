@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race obs serve-chaos crash-chaos fuzz trace-demo bench-gate bench-baseline
+.PHONY: check vet build test race obs serve-chaos crash-chaos shard-chaos fuzz trace-demo bench-gate bench-baseline
 
 # check is the tier-1 verification gate: static analysis, a full build,
 # the full test suite, the race-detector pass (the chaos suite asserts
 # its no-panic/no-hang containment contract there), a focused
 # race-detector pass over the observability primitives, the
-# serving-layer soak, the journal kill -9 crash-recovery harness, and
-# the segmentation benchmark-regression gate.
-check: vet build test race obs serve-chaos crash-chaos bench-gate
+# serving-layer soak, the journal kill -9 crash-recovery harness, the
+# sharded-fleet shard-kill harness, and the segmentation
+# benchmark-regression gate.
+check: vet build test race obs serve-chaos crash-chaos shard-chaos bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +53,15 @@ serve-chaos:
 # frame. (The `race` target skips it via -short, like serve-chaos.)
 crash-chaos:
 	$(GO) test -race -run TestCrashChaos -count=1 -timeout 10m .
+
+# shard-chaos generalizes crash-chaos to the sharded topology: a real
+# vs2d front end fans a batch across supervised worker shard child
+# processes, and the harness SIGKILLs a random shard at 20+ randomized
+# journal offsets (and, separately, the front end itself, resuming with
+# -resume). In every case the merged stdout must be byte-identical to an
+# uninterrupted run.
+shard-chaos:
+	$(GO) test -race -run TestShardChaos -count=1 -timeout 15m .
 
 # trace-demo runs the full observability path end to end: generate one
 # tax form, extract with tracing + metrics + explanation on, then

@@ -221,9 +221,18 @@ func gateOnce(baseByProcs map[int]segConfigResult) int {
 		fmt.Printf("  GOMAXPROCS=%d parallel   ns/op ratio vs reference: %.3f (baseline %.3f)\n",
 			r.GoMaxProcs, curPar[r.GoMaxProcs], basePar[r.GoMaxProcs])
 		if r.GoMaxProcs >= 4 && r.SpeedupVsReference < 2.0 {
-			fmt.Printf("  GOMAXPROCS=%d parallel speedup vs reference %.2fx < 2.0x REGRESSION\n",
-				r.GoMaxProcs, r.SpeedupVsReference)
-			failures++
+			if hostCPUs := runtime.NumCPU(); hostCPUs < 4 {
+				// GOMAXPROCS beyond the physical core count multiplexes
+				// goroutines without adding parallelism; the 2x floor is
+				// unreachable by construction, not by regression. The
+				// report's host_cpus field records the environment.
+				fmt.Printf("  GOMAXPROCS=%d parallel speedup vs reference %.2fx < 2.0x SKIPPED: host has only %d CPU(s), need >= 4 for the speedup floor\n",
+					r.GoMaxProcs, r.SpeedupVsReference, hostCPUs)
+			} else {
+				fmt.Printf("  GOMAXPROCS=%d parallel speedup vs reference %.2fx < 2.0x REGRESSION\n",
+					r.GoMaxProcs, r.SpeedupVsReference)
+				failures++
+			}
 		}
 	}
 	// The pass/fail ratio check pools the matrix per configuration.

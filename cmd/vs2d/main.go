@@ -1,0 +1,375 @@
+// Command vs2d is the fault-tolerant sharded front end of the vs2
+// serving stack: it consistent-hash-routes documents by ID across N
+// supervised worker shards, each a child process running the familiar
+// vs2serve-style loop — bounded worker pool, retries, breakers — with
+// its own write-ahead journal and checkpoint. The supervisor probes
+// every shard for liveness, restarts crashed shards with exponential
+// backoff (the restarted child resumes its own journal, replaying
+// completed documents instead of re-extracting them), and fails a
+// crash-looping shard's keyspace over to its ring successors.
+//
+// Two front-end modes share the scatter/merge engine:
+//
+//   - Batch (default): a JSONL corpus streams in from -in or stdin and
+//     one result line per document is emitted on stdout in input order —
+//     merged across shards, deduplicated, and byte-identical across any
+//     combination of shard crashes and front-end restarts (-resume).
+//   - Serve (-listen addr): a TCP listener; each connection is its own
+//     JSONL stream with the same per-connection ordering contract.
+//
+// Durability: -state names a directory holding one journal per shard
+// (shard-K.wal, plus its checkpoint and pidfile). A run without -resume
+// starts fresh; with -resume every shard replays its own journal — and
+// only its own: journals are owner-stamped, so a misrouted state
+// directory fails loudly instead of replaying another shard's results.
+//
+// Usage:
+//
+//	vs2gen -n 500 -out - | vs2d -task events -shards 4 -state run/
+//	vs2d -in corpus.jsonl -task tax -shards 4 -state run/ -resume
+//	vs2d -listen :7333 -task events -shards 8
+//
+// The -worker flag (first argument) selects the internal shard-worker
+// mode the supervisor spawns; it is not meant for direct use.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"vs2"
+	"vs2/internal/shard"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-worker" {
+		os.Exit(runWorker(args[1:], os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(run(args, os.Stdin, os.Stdout, os.Stderr))
+}
+
+// options carries the parsed and validated front-end configuration.
+type options struct {
+	shards    int
+	task      string
+	state     string
+	resume    bool
+	listen    string
+	in        string
+	workers   int
+	queue     int
+	retries   int
+	maxLine   int
+	jsync     string
+	ckptEvery int
+	timeout   time.Duration
+	metrics   bool
+
+	probeInterval  time.Duration
+	probeTimeout   time.Duration
+	restartBackoff time.Duration
+	restartMax     time.Duration
+	maxRestarts    int
+	drainGrace     time.Duration
+}
+
+// run is the testable front-end entry point; it returns the exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	// The front end's own messages, the supervisor's log lines and every
+	// child's stderr share this sink across goroutines; one lock for all.
+	stderr = shard.SyncWriter(stderr)
+	fs := flag.NewFlagSet("vs2d", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.IntVar(&o.shards, "shards", 2, "number of worker shards (child processes)")
+	fs.StringVar(&o.task, "task", "events", "extraction task: "+strings.Join(taskNames(), " | "))
+	fs.StringVar(&o.state, "state", "", "state directory: one write-ahead journal + checkpoint per shard; empty disables durability")
+	fs.BoolVar(&o.resume, "resume", false, "resume from -state: each shard replays its own journal, completed documents re-emit byte for byte")
+	fs.StringVar(&o.listen, "listen", "", "serve mode: accept JSONL document streams on this TCP address instead of running one batch")
+	fs.StringVar(&o.in, "in", "", "batch mode input (JSONL, one document per line); default stdin")
+	fs.IntVar(&o.workers, "workers", 0, "worker-pool size inside each shard (0 = min(GOMAXPROCS, 8))")
+	fs.IntVar(&o.queue, "queue", 0, "admission-queue depth inside each shard (0 = 4x workers)")
+	fs.IntVar(&o.retries, "retries", 0, "attempts per document inside a shard, first try included (0 = 3)")
+	fs.IntVar(&o.maxLine, "max-line", 16<<20, "largest input line accepted, in bytes")
+	fs.StringVar(&o.jsync, "journal-sync", "always", "shard journal fsync policy: always | interval | never")
+	fs.IntVar(&o.ckptEvery, "checkpoint", 256, "compact each shard's journal every N completions (0 = only at exit)")
+	fs.DurationVar(&o.timeout, "timeout", 10*time.Minute, "overall batch deadline (0 = none)")
+	fs.BoolVar(&o.metrics, "metrics", false, "print the supervisor metrics snapshot to stderr after the run")
+	fs.DurationVar(&o.probeInterval, "probe-interval", time.Second, "shard liveness-probe cadence (negative disables)")
+	fs.DurationVar(&o.probeTimeout, "probe-timeout", 5*time.Second, "kill a shard that answers no probe within this deadline")
+	fs.DurationVar(&o.restartBackoff, "restart-backoff", 100*time.Millisecond, "base backoff before restarting a crashed shard")
+	fs.DurationVar(&o.restartMax, "restart-backoff-max", 5*time.Second, "backoff cap for crash-looping shards")
+	fs.IntVar(&o.maxRestarts, "max-restarts", 8, "consecutive failed starts before a shard is abandoned and failed over")
+	fs.DurationVar(&o.drainGrace, "drain-grace", 10*time.Second, "how long shutdown waits for a shard to drain before killing it")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := validate(&o); err != nil {
+		fmt.Fprintln(stderr, "vs2d:", err)
+		return 2
+	}
+
+	sup, m, err := startSupervisor(&o, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "vs2d:", err)
+		return 2
+	}
+	code := 0
+	if o.listen != "" {
+		code = runListen(&o, sup, stderr)
+	} else {
+		code = runBatch(&o, sup, stdin, stdout, stderr)
+	}
+	closeCtx, cancel := context.WithTimeout(context.Background(), o.drainGrace+5*time.Second)
+	defer cancel()
+	if err := sup.Close(closeCtx); err != nil {
+		fmt.Fprintln(stderr, "vs2d:", err)
+		code = 1
+	}
+	if o.metrics {
+		fmt.Fprintln(stderr, "vs2d: metrics:")
+		writeMetrics(stderr, m)
+	}
+	return code
+}
+
+// validate applies the front end's flag invariants; its cases are pinned
+// by table-driven tests.
+func validate(o *options) error {
+	if o.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", o.shards)
+	}
+	if _, err := taskByName(o.task); err != nil {
+		return err
+	}
+	if o.resume && o.state == "" {
+		return fmt.Errorf("-resume requires -state")
+	}
+	if o.listen != "" && o.in != "" {
+		return fmt.Errorf("-listen and -in are mutually exclusive")
+	}
+	if o.maxLine <= 0 {
+		return fmt.Errorf("-max-line must be positive")
+	}
+	if o.ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint must be >= 0")
+	}
+	if o.state != "" {
+		if err := os.MkdirAll(o.state, 0o755); err != nil {
+			return fmt.Errorf("-state %s: %w", o.state, err)
+		}
+		if err := writableDir(o.state); err != nil {
+			return fmt.Errorf("-state %s: %w", o.state, err)
+		}
+	}
+	return nil
+}
+
+// writableDir proves a directory accepts new files, failing fast with a
+// usage error instead of dying mid-batch on the first journal append.
+func writableDir(dir string) error {
+	f, err := os.CreateTemp(dir, ".vs2d-probe-*")
+	if err != nil {
+		return fmt.Errorf("directory is not writable: %w", err)
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
+}
+
+// startSupervisor wipes or keeps the state directory per -resume, then
+// launches the shard fleet, each child an incarnation of this binary in
+// -worker mode.
+func startSupervisor(o *options, stderr io.Writer) (*shard.Supervisor, *vs2.Metrics, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, nil, fmt.Errorf("cannot locate own binary for worker mode: %w", err)
+	}
+	if o.state != "" && !o.resume {
+		if err := wipeState(o.state); err != nil {
+			return nil, nil, err
+		}
+	}
+	m := vs2.NewMetrics()
+	sup, err := shard.New(shard.Config{
+		Shards:         o.shards,
+		Start:          func(i int) (*exec.Cmd, error) { return exec.Command(self, workerArgs(o, i)...), nil },
+		OnStart:        pidfileWriter(o.state, stderr),
+		ProbeInterval:  o.probeInterval,
+		ProbeTimeout:   o.probeTimeout,
+		RestartBackoff: o.restartBackoff, RestartBackoffMax: o.restartMax,
+		MaxRestarts: o.maxRestarts,
+		DrainGrace:  o.drainGrace,
+		Metrics:     m,
+		Stderr:      stderr,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sup, m, nil
+}
+
+// workerArgs builds the command line of one shard worker. Workers always
+// open their journal in resume mode: an intra-run restart must replay,
+// and a fresh front-end run has already wiped the state directory.
+func workerArgs(o *options, i int) []string {
+	a := []string{
+		"-worker",
+		"-shard", strconv.Itoa(i),
+		"-task", o.task,
+		"-workers", strconv.Itoa(o.workers),
+		"-queue", strconv.Itoa(o.queue),
+		"-retries", strconv.Itoa(o.retries),
+		"-max-line", strconv.Itoa(o.maxLine),
+	}
+	if o.state != "" {
+		a = append(a,
+			"-journal", shardJournal(o.state, i),
+			"-journal-sync", o.jsync,
+			"-checkpoint", strconv.Itoa(o.ckptEvery),
+		)
+	}
+	return a
+}
+
+func shardJournal(state string, i int) string {
+	return filepath.Join(state, fmt.Sprintf("shard-%d.wal", i))
+}
+
+// pidfileWriter records each shard child's PID at state/shard-K.pid so
+// operators (and the chaos harness) can address individual shards.
+func pidfileWriter(state string, stderr io.Writer) func(shard, pid int) {
+	if state == "" {
+		return nil
+	}
+	return func(shard, pid int) {
+		path := filepath.Join(state, fmt.Sprintf("shard-%d.pid", shard))
+		if err := os.WriteFile(path, []byte(strconv.Itoa(pid)+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "vs2d: shard %d: pidfile: %v\n", shard, err)
+		}
+	}
+}
+
+// wipeState clears a previous run's shard state (journals, checkpoints,
+// pidfiles) for a fresh start. Only vs2d's own file patterns are
+// touched.
+func wipeState(dir string) error {
+	for _, pat := range []string{"shard-*.wal", "shard-*.wal.ckpt", "shard-*.pid"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return err
+		}
+		for _, f := range matches {
+			if err := os.Remove(f); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("reset state %s: %w", f, err)
+			}
+		}
+	}
+	return nil
+}
+
+// runBatch scatters one corpus and merges the result stream to stdout.
+func runBatch(o *options, sup *shard.Supervisor, stdin io.Reader, stdout, stderr io.Writer) int {
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	in := stdin
+	name := "stdin"
+	if o.in != "" && o.in != "-" {
+		f, err := os.Open(o.in)
+		if err != nil {
+			fmt.Fprintln(stderr, "vs2d:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+		name = o.in
+	}
+	st := scatter(ctx, sup, scatterConfig{
+		name:    name,
+		maxLine: o.maxLine,
+		window:  o.window(),
+	}, in, stdout, stderr)
+	fmt.Fprintf(stderr, "vs2d: %d documents across %d shards: %d completed (%d degraded), %d failed\n",
+		st.docs, o.shards, st.completed, st.degraded, st.failed)
+	if st.docs == 0 && !st.runErr {
+		fmt.Fprintln(stderr, "vs2d: no documents in input")
+		return 1
+	}
+	if st.failed > 0 || st.runErr {
+		return 1
+	}
+	return 0
+}
+
+// window bounds the documents in flight across the whole fleet: enough
+// to saturate every shard's pool and queue.
+func (o *options) window() int {
+	per := vs2.ServerConfig{Workers: o.workers, Queue: o.queue}.Window()
+	return per * o.shards
+}
+
+// runListen accepts JSONL connections and serves each as its own
+// scatter/merge stream until the listener dies.
+func runListen(o *options, sup *shard.Supervisor, stderr io.Writer) int {
+	l, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "vs2d:", err)
+		return 2
+	}
+	defer l.Close()
+	fmt.Fprintf(stderr, "vs2d: listening on %s\n", l.Addr())
+	if err := serveListener(context.Background(), l, sup, o, stderr); err != nil {
+		fmt.Fprintln(stderr, "vs2d:", err)
+		return 1
+	}
+	return 0
+}
+
+// writeMetrics dumps one indented metrics snapshot.
+func writeMetrics(w io.Writer, m *vs2.Metrics) {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		fmt.Fprintln(w, "vs2d: metrics snapshot failed:", err)
+		return
+	}
+	w.Write(data)           //nolint:errcheck
+	io.WriteString(w, "\n") //nolint:errcheck
+}
+
+// tasks maps every task name to its constructor, mirroring cmd/vs2serve.
+var tasks = map[string]func() vs2.Task{
+	"events":     vs2.EventPosterTask,
+	"realestate": vs2.RealEstateTask,
+	"tax":        vs2.NISTTaxTask,
+}
+
+func taskNames() []string {
+	names := make([]string, 0, len(tasks))
+	for n := range tasks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func taskByName(name string) (vs2.Task, error) {
+	if mk, ok := tasks[name]; ok {
+		return mk(), nil
+	}
+	return vs2.Task{}, fmt.Errorf("unknown task %q (available: %s)", name, strings.Join(taskNames(), ", "))
+}

@@ -1,0 +1,343 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vs2"
+	"vs2/internal/shard"
+)
+
+// TestMain lets the test binary serve as its own shard worker: the
+// supervisor re-execs os.Executable() with -worker as the first
+// argument, and in a test process that executable is this test binary.
+// Dispatching here (before the testing framework parses flags) makes
+// the full front end runnable in-process, child fleet and all.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "-worker" {
+		os.Exit(runWorker(os.Args[2:], os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// corpusJSONL renders n generated posters as a JSONL stream.
+func corpusJSONL(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, l := range vs2.GenerateEventPosters(n, 1234) {
+		data, err := json.Marshal(&l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestValidate is the table-driven pin on the front end's flag
+// invariants.
+func TestValidate(t *testing.T) {
+	writable := t.TempDir()
+	rodir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(rodir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	base := func() options {
+		return options{shards: 2, task: "events", maxLine: 1024, ckptEvery: 256}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string
+	}{
+		{"defaults", func(o *options) {}, ""},
+		{"zero shards", func(o *options) { o.shards = 0 }, "-shards"},
+		{"negative shards", func(o *options) { o.shards = -3 }, "-shards"},
+		{"unknown task", func(o *options) { o.task = "nope" }, "unknown task"},
+		{"resume without state", func(o *options) { o.resume = true }, "-resume requires -state"},
+		{"resume with state", func(o *options) { o.resume = true; o.state = writable }, ""},
+		{"listen and in", func(o *options) { o.listen = ":0"; o.in = "x.jsonl" }, "mutually exclusive"},
+		{"zero max-line", func(o *options) { o.maxLine = 0 }, "-max-line"},
+		{"negative checkpoint", func(o *options) { o.ckptEvery = -1 }, "-checkpoint"},
+		{"writable state", func(o *options) { o.state = writable }, ""},
+		{"state under unwritable parent", func(o *options) { o.state = filepath.Join(rodir, "sub") }, "sub"},
+		{"unwritable state", func(o *options) { o.state = rodir }, "not writable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if os.Getuid() == 0 && strings.Contains(tc.name, "writable") && tc.wantErr != "" {
+				t.Skip("root ignores directory permission bits")
+			}
+			o := base()
+			tc.mutate(&o)
+			err := validate(&o)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate: %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate: %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestWorkerPingPongAndEcho drives the -worker loop in-process: pings
+// pong, documents come back keyed with rendered result lines.
+func TestWorkerPingPongAndEcho(t *testing.T) {
+	corpus := bytes.Split(bytes.TrimSpace(corpusJSONL(t, 2)), []byte("\n"))
+	var stdin bytes.Buffer
+	writeReq := func(r shard.Request) {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stdin.Write(data)
+		stdin.WriteByte('\n')
+	}
+	writeReq(shard.Request{Ping: true})
+	writeReq(shard.Request{Key: "doc-a", Doc: corpus[0]})
+	writeReq(shard.Request{Key: "doc-b", Doc: corpus[1]})
+	writeReq(shard.Request{Ping: true})
+
+	var stdout, stderr bytes.Buffer
+	code := runWorker([]string{"-shard", "3", "-task", "events"}, &stdin, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("runWorker exit %d\nstderr: %s", code, stderr.String())
+	}
+
+	pongs, lines := 0, map[string]json.RawMessage{}
+	sc := bufio.NewScanner(&stdout)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var resp shard.Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response line %q: %v", sc.Text(), err)
+		}
+		if resp.Pong {
+			pongs++
+			continue
+		}
+		lines[resp.Key] = resp.Line
+	}
+	if pongs != 2 {
+		t.Errorf("pongs = %d, want 2", pongs)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("document responses = %d, want 2 (%v)", len(lines), lines)
+	}
+	for _, key := range []string{"doc-a", "doc-b"} {
+		var dl vs2.DocLine
+		if err := json.Unmarshal(lines[key], &dl); err != nil {
+			t.Fatalf("%s: line is not a DocLine: %v", key, err)
+		}
+		if dl.Error != "" {
+			t.Errorf("%s: unexpected error line: %s", key, dl.Error)
+		}
+	}
+}
+
+// TestWorkerSkipsMalformedRequests: garbage on the request stream is
+// logged and skipped, not fatal.
+func TestWorkerSkipsMalformedRequests(t *testing.T) {
+	stdin := strings.NewReader("{\"ping\":true}\nnot json at all\n{\"ping\":true}\n")
+	var stdout, stderr bytes.Buffer
+	if code := runWorker([]string{"-task", "events"}, stdin, &stdout, &stderr); code != 0 {
+		t.Fatalf("runWorker exit %d\nstderr: %s", code, stderr.String())
+	}
+	if got := bytes.Count(stdout.Bytes(), []byte("\n")); got != 2 {
+		t.Errorf("responses = %d, want 2 pongs\nstdout: %s", got, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "bad request skipped") {
+		t.Errorf("stderr does not mention the skipped request: %s", stderr.String())
+	}
+}
+
+// TestWorkerRejectsUnknownTask: a bad -task is a usage error.
+func TestWorkerRejectsUnknownTask(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runWorker([]string{"-task", "bogus"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("runWorker exit %d, want 2", code)
+	}
+}
+
+// TestBatchEndToEnd runs the whole front end in-process — supervisor,
+// child fleet (this test binary in -worker mode), scatter/merge — and
+// pins the output contract: one line per document, input order, and
+// byte identity between a fresh run and a -resume over its state.
+func TestBatchEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real child-process fleet; skipped in -short")
+	}
+	corpus := corpusJSONL(t, 30)
+	state := t.TempDir()
+	args := []string{
+		"-task", "events", "-shards", "3", "-state", state,
+		"-probe-interval", "100ms", "-restart-backoff", "20ms",
+	}
+
+	var out1, err1 bytes.Buffer
+	if code := run(args, bytes.NewReader(corpus), &out1, &err1); code != 0 {
+		t.Fatalf("fresh run exit %d\nstderr: %s", code, err1.String())
+	}
+	lines := bytes.Split(bytes.TrimSuffix(out1.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != 30 {
+		t.Fatalf("output lines = %d, want 30", len(lines))
+	}
+	for i, line := range lines {
+		var dl vs2.DocLine
+		if err := json.Unmarshal(line, &dl); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("d2-%05d", i); dl.ID != want {
+			t.Fatalf("line %d: id %q, want %q — merge broke input order", i, dl.ID, want)
+		}
+	}
+
+	var out2, err2 bytes.Buffer
+	if code := run(append(append([]string(nil), args...), "-resume"), bytes.NewReader(corpus), &out2, &err2); code != 0 {
+		t.Fatalf("resume run exit %d\nstderr: %s", code, err2.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatalf("resume output differs from fresh run\n-- fresh --\n%s\n-- resume --\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(err2.String(), "replayed") {
+		t.Errorf("resume run stderr never mentions replay: %s", err2.String())
+	}
+}
+
+// TestBatchFreshRunWipesState: without -resume an existing state
+// directory is cleared, not silently replayed.
+func TestBatchFreshRunWipesState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real child-process fleet; skipped in -short")
+	}
+	corpus := corpusJSONL(t, 6)
+	state := t.TempDir()
+	stale := filepath.Join(state, "shard-0.wal")
+	if err := os.WriteFile(stale, []byte("garbage that would poison a resume\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-task", "events", "-shards", "2", "-state", state}
+	if code := run(args, bytes.NewReader(corpus), &out, &errw); code != 0 {
+		t.Fatalf("run exit %d\nstderr: %s", code, errw.String())
+	}
+	if got := bytes.Count(out.Bytes(), []byte("\n")); got != 6 {
+		t.Fatalf("output lines = %d, want 6", got)
+	}
+}
+
+// TestListenMode serves one TCP connection through the scatter engine.
+func TestListenMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real child-process fleet; skipped in -short")
+	}
+	o := &options{
+		shards: 2, task: "events", maxLine: 16 << 20, ckptEvery: 256,
+		probeInterval: 100 * time.Millisecond, probeTimeout: 5 * time.Second,
+		restartBackoff: 20 * time.Millisecond, restartMax: time.Second,
+		maxRestarts: 3, drainGrace: 5 * time.Second,
+	}
+	sup, _, err := startSupervisor(o, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sup.Close(ctx) //nolint:errcheck
+	}()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serveListener(ctx, l, sup, o, io.Discard) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := corpusJSONL(t, 8)
+	if _, err := conn.Write(corpus); err != nil {
+		t.Fatal(err)
+	}
+	if cw, ok := conn.(*net.TCPConn); ok {
+		cw.CloseWrite() //nolint:errcheck
+	}
+	reply, err := io.ReadAll(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(reply, []byte("\n")), []byte("\n"))
+	if len(lines) != 8 {
+		t.Fatalf("reply lines = %d, want 8\n%s", len(lines), reply)
+	}
+	for i, line := range lines {
+		var dl vs2.DocLine
+		if err := json.Unmarshal(line, &dl); err != nil {
+			t.Fatalf("reply line %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("d2-%05d", i); dl.ID != want {
+			t.Fatalf("reply line %d: id %q, want %q", i, dl.ID, want)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveListener: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveListener did not stop on context cancel")
+	}
+}
+
+// TestScanLinesTooLong: an oversized line aborts with a line-numbered
+// error instead of being truncated.
+func TestScanLinesTooLong(t *testing.T) {
+	in := strings.NewReader("short\n" + strings.Repeat("x", 2048) + "\n")
+	var got []string
+	err := scanLines(in, "test-input", 1024, func(raw []byte) error {
+		got = append(got, string(raw))
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "test-input:2") {
+		t.Fatalf("scanLines err = %v, want line-2 overflow", err)
+	}
+	if len(got) != 1 || got[0] != "short" {
+		t.Fatalf("lines before overflow = %v, want [short]", got)
+	}
+}
+
+// TestRouteKeyStable: named documents route by ID, anonymous ones by
+// global position.
+func TestRouteKeyStable(t *testing.T) {
+	if got := routeKey(&vs2.Document{ID: "inv-7"}, 3); got != "inv-7" {
+		t.Errorf("routeKey named = %q, want inv-7", got)
+	}
+	if got := routeKey(&vs2.Document{}, 3); got != "#3" {
+		t.Errorf("routeKey anonymous = %q, want #3", got)
+	}
+	if got := routeKey(nil, 0); got != "#0" {
+		t.Errorf("routeKey nil = %q, want #0", got)
+	}
+}

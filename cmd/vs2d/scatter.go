@@ -1,0 +1,255 @@
+package main
+
+// The scatter/merge engine: documents stream in line by line, each is
+// routed to its shard through the supervisor, and exactly one result
+// line per document is emitted downstream in input order. The reorder
+// buffer is bounded by the in-flight window, each index is emitted at
+// most once (the supervisor deduplicates keyed responses, the collector
+// deduplicates indexes), and the raw input bytes travel to the worker
+// verbatim so no re-encoding can perturb a resumed run's byte identity.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"vs2"
+	"vs2/internal/shard"
+)
+
+// scatterConfig tunes one scatter/merge stream.
+type scatterConfig struct {
+	name    string // input name for line-numbered errors
+	maxLine int
+	window  int
+}
+
+// scatterStats aggregates one stream for the summary line and exit code.
+type scatterStats struct {
+	docs, completed, degraded, failed int
+	runErr                            bool
+}
+
+// emitted is one document's outcome on its way to ordered emission.
+type emitted struct {
+	index int
+	line  []byte
+}
+
+// scatter reads JSONL documents from in, routes each through the
+// supervisor, and writes one line per document to out in input order.
+func scatter(ctx context.Context, sup *shard.Supervisor, cfg scatterConfig, in io.Reader, out, errw io.Writer) scatterStats {
+	var st scatterStats
+
+	bw := bufio.NewWriterSize(out, 1<<16)
+	results := make(chan emitted, cfg.window)
+	collectDone := make(chan struct{})
+	var mu sync.Mutex // guards st counters from the collector
+	go func() {
+		defer close(collectDone)
+		pending := map[int][]byte{}
+		next := 0
+		for e := range results {
+			if _, dup := pending[e.index]; dup || e.index < next {
+				// Exactly-once emission: a duplicate outcome for an index is
+				// dropped, never written.
+				continue
+			}
+			pending[e.index] = e.line
+			for line, ok := pending[next]; ok; line, ok = pending[next] {
+				bw.Write(line)     //nolint:errcheck
+				bw.WriteByte('\n') //nolint:errcheck
+				mu.Lock()
+				tallyLine(line, &st)
+				mu.Unlock()
+				delete(pending, next)
+				next++
+			}
+		}
+	}()
+
+	sem := make(chan struct{}, cfg.window)
+	var wg sync.WaitGroup
+	index := 0
+	scanErr := scanLines(in, cfg.name, cfg.maxLine, func(raw []byte) error {
+		d, derr := decodeDocument(raw)
+		if derr != nil {
+			return derr
+		}
+		i := index
+		index++
+		key := routeKey(d, i)
+		doc := append([]byte(nil), raw...) // the scanner reuses its buffer
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			line, err := sup.Do(ctx, key, doc)
+			if err != nil {
+				line = vs2.RenderLine(vs2.BatchResult{Doc: d, Err: &vs2.Error{
+					Phase: vs2.PhaseShard, Stage: "route", Err: err,
+				}})
+			}
+			results <- emitted{index: i, line: line}
+		}()
+		return nil
+	})
+	wg.Wait()
+	close(results)
+	<-collectDone
+	bw.Flush() //nolint:errcheck
+
+	st.docs = index
+	if scanErr != nil {
+		fmt.Fprintln(errw, "vs2d:", scanErr)
+		st.runErr = true
+	}
+	return st
+}
+
+// tallyLine classifies one emitted result line for the summary counters.
+func tallyLine(line []byte, st *scatterStats) {
+	var l vs2.DocLine
+	if err := json.Unmarshal(line, &l); err != nil || l.Error != "" {
+		st.failed++
+		return
+	}
+	st.completed++
+	if len(l.Degraded) > 0 {
+		st.degraded++
+	}
+}
+
+// routeKey is the stable journal/routing key of a document: its ID, or a
+// positional key for anonymous documents. It must not change across
+// resumes — the corpus order is the contract for anonymous documents.
+func routeKey(d *vs2.Document, index int) string {
+	if d != nil && d.ID != "" {
+		return d.ID
+	}
+	return fmt.Sprintf("#%d", index)
+}
+
+// serveListener accepts JSONL connections and serves each with its own
+// scatter stream until the listener closes or ctx expires.
+func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o *options, errw io.Writer) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close() //nolint:errcheck
+		case <-done:
+		}
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			st := scatter(ctx, sup, scatterConfig{
+				name:    conn.RemoteAddr().String(),
+				maxLine: o.maxLine,
+				window:  o.window(),
+			}, conn, conn, errw)
+			fmt.Fprintf(errw, "vs2d: %s: %d documents: %d completed, %d failed\n",
+				conn.RemoteAddr(), st.docs, st.completed, st.failed)
+		}()
+	}
+}
+
+// scanLines streams the JSONL input line by line, invoking fn for each
+// non-blank line. Errors carry the input name and 1-based line number;
+// a line longer than maxLine aborts rather than silently truncating.
+func scanLines(r io.Reader, name string, maxLine int, fn func(raw []byte) error) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for lineNo := 1; ; lineNo++ {
+		line, err := readLimitedLine(br, maxLine)
+		if err == errLineTooLong {
+			return fmt.Errorf("%s:%d: line exceeds -max-line %d bytes", name, lineNo, maxLine)
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("%s:%d: %w", name, lineNo, err)
+		}
+		trimmed := trimSpace(line)
+		if len(trimmed) > 0 {
+			if ferr := fn(trimmed); ferr != nil {
+				return fmt.Errorf("%s:%d: %w", name, lineNo, ferr)
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+	}
+}
+
+var errLineTooLong = errors.New("line too long")
+
+// readLimitedLine reads one '\n'-terminated line (newline stripped),
+// failing with errLineTooLong once the line outruns max instead of
+// buffering it.
+func readLimitedLine(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		switch {
+		case err == nil:
+			line = line[:len(line)-1]
+			if len(line) > max {
+				return nil, errLineTooLong
+			}
+			return line, nil
+		case err == bufio.ErrBufferFull:
+			if len(line) > max {
+				return nil, errLineTooLong
+			}
+		default:
+			if len(line) > max {
+				return nil, errLineTooLong
+			}
+			return line, err
+		}
+	}
+}
+
+func trimSpace(b []byte) []byte {
+	start := 0
+	for start < len(b) && (b[start] == ' ' || b[start] == '\t' || b[start] == '\r') {
+		start++
+	}
+	end := len(b)
+	for end > start && (b[end-1] == ' ' || b[end-1] == '\t' || b[end-1] == '\r') {
+		end--
+	}
+	return b[start:end]
+}
+
+// decodeDocument accepts a labelled document or a bare one, matching the
+// vs2 and vs2serve loaders.
+func decodeDocument(raw []byte) (*vs2.Document, error) {
+	var l vs2.Labeled
+	if err := json.Unmarshal(raw, &l); err == nil && l.Doc != nil {
+		return l.Doc, nil
+	}
+	var d vs2.Document
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

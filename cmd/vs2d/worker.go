@@ -1,0 +1,160 @@
+package main
+
+// The shard-worker mode: the loop the supervisor runs in each child
+// process. One worker owns one slice of the keyspace and one journal;
+// it reads shard.Request lines from stdin, answers pings immediately,
+// extracts documents through a vs2.Server with the front-end-assigned
+// journal key, and writes keyed shard.Response lines on stdout. The
+// journal always opens in resume mode — an intra-run restart must
+// replay its completions (that is the whole point of restarting), and a
+// fresh front-end run has already wiped the state directory — and is
+// owner-stamped so shard K can never resume shard J's state.
+//
+// Stdin EOF is the shutdown signal: the parent closed the pipe (orderly
+// drain or front-end death); the worker finishes its in-flight
+// documents, journals, compacts and exits. Stdout write failures are
+// deliberately ignored — a dead front end cannot read responses, and
+// the matching EOF is already on its way.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vs2"
+	"vs2/internal/shard"
+)
+
+// runWorker is the -worker entry point; it returns the exit code.
+func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vs2d -worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	shardID := fs.Int("shard", 0, "this worker's shard index")
+	task := fs.String("task", "events", "extraction task")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = min(GOMAXPROCS, 8))")
+	queue := fs.Int("queue", 0, "admission-queue depth (0 = 4x workers)")
+	retries := fs.Int("retries", 0, "attempts per document (0 = 3)")
+	maxLine := fs.Int("max-line", 16<<20, "largest document line accepted, in bytes")
+	jpath := fs.String("journal", "", "write-ahead journal path (empty disables durability)")
+	jsync := fs.String("journal-sync", "always", "journal fsync policy: always | interval | never")
+	ckpt := fs.Int("checkpoint", 256, "compact the journal every N completions (0 = only at exit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "vs2d worker %d: %s\n", *shardID, fmt.Sprintf(format, a...))
+	}
+
+	taskCfg, err := taskByName(*task)
+	if err != nil {
+		logf("%v", err)
+		return 2
+	}
+	p := vs2.NewPipeline(vs2.Config{Task: taskCfg})
+	s := vs2.NewServer(p, vs2.ServerConfig{
+		Workers: *workers,
+		Queue:   *queue,
+		// The front end already bounds what it sends to this shard's
+		// window; shedding here would turn backpressure into visible
+		// (and run-dependent) error lines, breaking byte identity.
+		QueueWait: 24 * time.Hour,
+		Retry:     vs2.RetryPolicy{MaxAttempts: *retries},
+	})
+
+	var jrn *vs2.Journal
+	if *jpath != "" {
+		jrn, err = vs2.OpenJournal(*jpath, vs2.JournalOptions{
+			Resume:       true,
+			Sync:         *jsync,
+			CompactEvery: *ckpt,
+			Owner:        fmt.Sprintf("shard-%d", *shardID),
+		})
+		if err != nil {
+			logf("%v", err)
+			return 2
+		}
+		if comp, infl := jrn.Replayed(); comp > 0 || infl > 0 {
+			logf("resumed journal: %d completions replayed, %d in-flight re-extract", comp, infl)
+		}
+	}
+
+	// Responses interleave from many goroutines; each line is marshalled
+	// whole and written under one mutex so frames never tear.
+	var wmu sync.Mutex
+	respond := func(resp shard.Response) {
+		data, err := json.Marshal(resp)
+		if err != nil {
+			logf("marshal response: %v", err)
+			return
+		}
+		wmu.Lock()
+		stdout.Write(append(data, '\n')) //nolint:errcheck
+		wmu.Unlock()
+	}
+
+	window := vs2.ServerConfig{Workers: *workers, Queue: *queue}.Window()
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	var done, replayed atomic.Int64
+	ctx := context.Background()
+	index := 0
+	// Requests wrap the document line in a small key envelope; allow the
+	// envelope beyond the front end's own -max-line.
+	scanErr := scanLines(stdin, fmt.Sprintf("shard-%d stdin", *shardID), *maxLine+4096, func(raw []byte) error {
+		var req shard.Request
+		if err := json.Unmarshal(raw, &req); err != nil {
+			logf("bad request skipped: %v", err)
+			return nil
+		}
+		if req.Ping {
+			respond(shard.Response{Pong: true})
+			return nil
+		}
+		i := index
+		index++
+		d, derr := decodeDocument(req.Doc)
+		if derr != nil {
+			respond(shard.Response{Key: req.Key, Line: vs2.RenderLine(vs2.BatchResult{
+				Err: &vs2.Error{Phase: vs2.PhaseShard, Stage: "decode", Err: derr},
+			})})
+			return nil
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			br := s.ExtractRecordedKey(ctx, i, req.Key, d, jrn)
+			if br.Replayed {
+				replayed.Add(1)
+			}
+			done.Add(1)
+			respond(shard.Response{Key: req.Key, Line: br.Line})
+		}()
+		return nil
+	})
+	wg.Wait()
+
+	code := 0
+	if scanErr != nil {
+		logf("%v", scanErr)
+		code = 1
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shutCtx); err != nil {
+		logf("shutdown: %v", err)
+		code = 1
+	}
+	if err := jrn.Close(); err != nil {
+		logf("journal close: %v", err)
+		code = 1
+	}
+	logf("%d documents (%d replayed)", done.Load(), replayed.Load())
+	return code
+}

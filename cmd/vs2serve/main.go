@@ -45,7 +45,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -83,17 +83,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	taskCfg, err := taskByName(*task)
-	if err != nil {
+	if err := validateServeFlags(serveFlags{
+		task:       *task,
+		maxLine:    *maxLine,
+		checkpoint: *checkpoint,
+		journal:    *journalPath,
+		resume:     *resume,
+	}); err != nil {
 		fmt.Fprintln(stderr, "vs2serve:", err)
 		return 2
 	}
-	if *resume && *journalPath == "" {
-		fmt.Fprintln(stderr, "vs2serve: -resume requires -journal")
-		return 2
-	}
-	if *maxLine <= 0 {
-		fmt.Fprintln(stderr, "vs2serve: -max-line must be positive")
+	taskCfg, err := taskByName(*task)
+	if err != nil {
+		fmt.Fprintln(stderr, "vs2serve:", err)
 		return 2
 	}
 
@@ -157,7 +159,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		in:      *in,
 		stdin:   stdin,
 		maxLine: *maxLine,
-		window:  inflightWindow(*workers, *queue),
+		window:  vs2.ServerConfig{Workers: *workers, Queue: *queue}.Window(),
 		stdout:  stdout,
 		stderr:  stderr,
 		traceW:  traceW,
@@ -193,20 +195,51 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// inflightWindow bounds concurrently submitted documents: enough to keep
-// the pool and queue saturated, small enough that a multi-GB corpus
-// never materialises in memory.
-func inflightWindow(workers, queue int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > 8 {
-			workers = 8
+// serveFlags carries the flag values the CLI invariants constrain.
+type serveFlags struct {
+	task       string
+	maxLine    int
+	checkpoint int
+	journal    string
+	resume     bool
+}
+
+// validateServeFlags applies the CLI invariants before any state is
+// touched, so misconfiguration fails fast with a usage error instead of
+// dying mid-batch; its cases are pinned by table-driven tests.
+func validateServeFlags(f serveFlags) error {
+	if _, err := taskByName(f.task); err != nil {
+		return err
+	}
+	if f.resume && f.journal == "" {
+		return errors.New("-resume requires -journal")
+	}
+	if f.maxLine <= 0 {
+		return errors.New("-max-line must be positive")
+	}
+	if f.checkpoint < 0 {
+		return errors.New("-checkpoint must be >= 0")
+	}
+	if f.journal != "" {
+		if err := writableParent(f.journal); err != nil {
+			return fmt.Errorf("-journal %s: %w", f.journal, err)
 		}
 	}
-	if queue <= 0 {
-		queue = 4 * workers
+	return nil
+}
+
+// writableParent proves the path's directory exists and accepts new
+// files — the journal and its checkpoint both land there, and the
+// checkpoint's atomic-rename protocol creates temp files beside them.
+func writableParent(path string) error {
+	dir := filepath.Dir(path)
+	probe, err := os.CreateTemp(dir, ".vs2serve-probe-*")
+	if err != nil {
+		return fmt.Errorf("directory %s is not writable: %w", dir, err)
 	}
-	return workers + queue
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
 }
 
 // streamConfig carries the plumbing of one streaming run.

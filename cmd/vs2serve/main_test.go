@@ -302,3 +302,82 @@ func TestServeJournalFreshRunDiscardsState(t *testing.T) {
 		t.Fatalf("fresh (non-resume) run replayed journal state:\n%s", err2.String())
 	}
 }
+
+// TestServeFlagValidation is the table-driven pin on validateServeFlags:
+// every invariant fails fast as a usage error before any state is
+// touched.
+func TestServeFlagValidation(t *testing.T) {
+	writable := t.TempDir()
+	rodir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(rodir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	base := func() serveFlags {
+		return serveFlags{task: "events", maxLine: 1024, checkpoint: 256}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*serveFlags)
+		wantErr string
+	}{
+		{"defaults", func(f *serveFlags) {}, ""},
+		{"unknown task", func(f *serveFlags) { f.task = "nope" }, "unknown task"},
+		{"resume without journal", func(f *serveFlags) { f.resume = true }, "-resume requires -journal"},
+		{"resume with journal", func(f *serveFlags) { f.resume = true; f.journal = filepath.Join(writable, "r.wal") }, ""},
+		{"zero max-line", func(f *serveFlags) { f.maxLine = 0 }, "-max-line"},
+		{"negative max-line", func(f *serveFlags) { f.maxLine = -5 }, "-max-line"},
+		{"negative checkpoint", func(f *serveFlags) { f.checkpoint = -1 }, "-checkpoint"},
+		{"journal in writable dir", func(f *serveFlags) { f.journal = filepath.Join(writable, "run.wal") }, ""},
+		{"journal in missing dir", func(f *serveFlags) { f.journal = filepath.Join(writable, "no-such", "run.wal") }, "not writable"},
+		{"journal in unwritable dir", func(f *serveFlags) { f.journal = filepath.Join(rodir, "run.wal") }, "not writable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if os.Getuid() == 0 && tc.name == "journal in unwritable dir" {
+				t.Skip("root ignores directory permission bits")
+			}
+			f := base()
+			tc.mutate(&f)
+			err := validateServeFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateServeFlags: %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateServeFlags: %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestServeNegativeCheckpointExitsUsage: the new invariant reaches the
+// CLI surface with exit code 2.
+func TestServeNegativeCheckpointExitsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-task", "events", "-checkpoint", "-3"}, &bytes.Buffer{}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-checkpoint") {
+		t.Fatalf("stderr = %s, want -checkpoint diagnostic", stderr.String())
+	}
+}
+
+// TestServeUnwritableJournalDirExitsUsage: a journal pointed at a
+// missing directory dies before reading any input.
+func TestServeUnwritableJournalDirExitsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	jpath := filepath.Join(t.TempDir(), "missing", "run.wal")
+	code := run([]string{"-task", "events", "-journal", jpath}, posterStream(t, 1), &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "not writable") {
+		t.Fatalf("stderr = %s, want not-writable diagnostic", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("stdout = %q, want empty — validation must precede extraction", stdout.String())
+	}
+}

@@ -43,6 +43,11 @@ type JournalOptions struct {
 	CompactEvery int
 	// MaxRecord bounds one journal record; 0 selects 16 MiB.
 	MaxRecord int
+	// Owner, when non-empty, stamps the journal and checkpoint with this
+	// label and refuses to resume state stamped with a different one —
+	// the shard-aware resume guard: shard 2's journal cannot silently be
+	// replayed as shard 0's.
+	Owner string
 	// Metrics, when non-nil, receives the journal.* counters and gauges
 	// (records appended, fsyncs, replayed records, truncated-tail bytes
 	// dropped, compactions).
@@ -76,6 +81,7 @@ func OpenJournal(path string, o JournalOptions) (*Journal, error) {
 		},
 		Resume:       o.Resume,
 		CompactEvery: o.CompactEvery,
+		Owner:        o.Owner,
 	})
 	if err != nil {
 		return nil, err
@@ -198,8 +204,17 @@ func recordKey(d *Document, index int) string {
 //
 // With a nil journal it degrades to Extract plus line rendering.
 func (s *Server) ExtractRecorded(ctx context.Context, index int, d *Document, j *Journal) BatchResult {
+	return s.ExtractRecordedKey(ctx, index, recordKey(d, index), d, j)
+}
+
+// ExtractRecordedKey is ExtractRecorded with the journal key chosen by
+// the caller instead of derived from the document. A sharded front end
+// uses it to keep keys stable across restarts and resumes: the shard
+// worker journals under the key the router assigned, not under a
+// positional key that would shift when only part of the corpus is
+// re-sent to a restarted shard.
+func (s *Server) ExtractRecordedKey(ctx context.Context, index int, key string, d *Document, j *Journal) BatchResult {
 	br := BatchResult{Index: index, Doc: d}
-	key := recordKey(d, index)
 	if line, ok := j.Completed(key); ok {
 		br.Replayed = true
 		br.Line = line

@@ -29,7 +29,10 @@ func Digest(line []byte) string {
 // compaction so stale temp files are recognisable in the journal's
 // directory listing.
 type Checkpoint struct {
-	Seq     int64            `json:"seq"`
+	Seq int64 `json:"seq"`
+	// Owner is the optional owner label (see StateOptions.Owner);
+	// checkpoints written before owners existed simply lack it.
+	Owner   string           `json:"owner,omitempty"`
 	Entries map[string]Entry `json:"entries"`
 }
 

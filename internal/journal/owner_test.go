@@ -1,0 +1,134 @@
+package journal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestOwnerResumeMatch: a journal stamped by one owner resumes cleanly
+// under the same owner, completions intact.
+func TestOwnerResumeMatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "owned.wal")
+	s, err := OpenState(path, StateOptions{Owner: "shard-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete("doc-1", []byte(`{"id":"doc-1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenState(path, StateOptions{Resume: true, Owner: "shard-2"})
+	if err != nil {
+		t.Fatalf("same-owner resume: %v", err)
+	}
+	defer r.Close()
+	if line, ok := r.Completed("doc-1"); !ok || string(line) != `{"id":"doc-1"}` {
+		t.Fatalf("completion lost across owned resume: %q, %v", line, ok)
+	}
+}
+
+// TestOwnerResumeMismatchJournal: resuming another owner's journal fails
+// with ErrWrongOwner — shard 0 must never replay shard 2's results.
+func TestOwnerResumeMismatchJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "owned.wal")
+	s, err := OpenState(path, StateOptions{Owner: "shard-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete("doc-1", []byte(`{"id":"doc-1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.w.Close(); err != nil { // close WITHOUT compacting: stamp lives in the journal
+		t.Fatal(err)
+	}
+
+	_, err = OpenState(path, StateOptions{Resume: true, Owner: "shard-0"})
+	if !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("cross-owner journal resume: err = %v, want ErrWrongOwner", err)
+	}
+}
+
+// TestOwnerResumeMismatchCheckpoint: the owner stamp survives compaction
+// into the checkpoint and still guards the resume.
+func TestOwnerResumeMismatchCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "owned.wal")
+	s, err := OpenState(path, StateOptions{Owner: "shard-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete("doc-1", []byte(`{"id":"doc-1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil { // state now lives in the checkpoint
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenState(path, StateOptions{Resume: true, Owner: "shard-0"})
+	if !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("cross-owner checkpoint resume: err = %v, want ErrWrongOwner", err)
+	}
+}
+
+// TestOwnerAdoptsUnstampedState: ownerless journals predate the stamp;
+// resuming one with an Owner set is legal and adopts it.
+func TestOwnerAdoptsUnstampedState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.wal")
+	s, err := OpenState(path, StateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete("doc-1", []byte(`{"id":"doc-1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenState(path, StateOptions{Resume: true, Owner: "shard-1"})
+	if err != nil {
+		t.Fatalf("adopting unstamped state: %v", err)
+	}
+	if _, ok := r.Completed("doc-1"); !ok {
+		t.Fatal("completion lost adopting unstamped state")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The adoption stamped it: a different owner is now rejected.
+	if _, err := OpenState(path, StateOptions{Resume: true, Owner: "shard-9"}); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("resume after adoption: err = %v, want ErrWrongOwner", err)
+	}
+}
+
+// TestOwnerlessOpenIgnoresStamp: opening with no Owner never checks —
+// inspection tooling can read any journal.
+func TestOwnerlessOpenIgnoresStamp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "owned.wal")
+	s, err := OpenState(path, StateOptions{Owner: "shard-5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete("doc-1", []byte(`{"id":"doc-1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenState(path, StateOptions{Resume: true})
+	if err != nil {
+		t.Fatalf("ownerless resume of stamped journal: %v", err)
+	}
+	defer r.Close()
+	if _, ok := r.Completed("doc-1"); !ok {
+		t.Fatal("completion lost in ownerless resume")
+	}
+}

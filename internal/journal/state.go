@@ -2,6 +2,7 @@ package journal
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -36,7 +37,17 @@ const (
 	RecordAdmit    = "admit"
 	RecordComplete = "complete"
 	RecordDegrade  = "degrade"
+	// RecordOwner stamps the journal with its owner label (the ID field
+	// carries the label). A sharded deployment writes one per journal so
+	// that resuming shard 2's journal as shard 0 — a misconfigured state
+	// directory, a copy-paste in an ops runbook — fails loudly instead of
+	// silently serving another shard's completions.
+	RecordOwner = "owner"
 )
+
+// ErrWrongOwner reports a resume of a journal (or checkpoint) stamped
+// with a different owner label than the opener's.
+var ErrWrongOwner = errors.New("journal: owned by another writer")
 
 // State is durable corpus-processing state: the union of the checkpoint
 // and the journal's completion records, plus the append handle the
@@ -57,6 +68,7 @@ type State struct {
 	// completions; 0 compacts only on explicit Compact calls.
 	compactEvery int
 	sinceCompact int
+	owner        string
 	m            *obs.Registry
 }
 
@@ -70,6 +82,13 @@ type StateOptions struct {
 	// CompactEvery checkpoints after that many new completions;
 	// 0 disables automatic compaction.
 	CompactEvery int
+	// Owner, when non-empty, stamps fresh journals and checkpoints with
+	// this label and refuses (ErrWrongOwner) to resume state stamped with
+	// a different one — the guard that keeps one shard from replaying
+	// another shard's journal. Empty skips both stamping and checking,
+	// and resuming an unstamped journal with an Owner set is legal (the
+	// stamp is added going forward).
+	Owner string
 }
 
 // OpenState opens (or resumes) the durable state rooted at path. The
@@ -84,6 +103,7 @@ func OpenState(path string, so StateOptions) (*State, error) {
 		opts:         so.Options.withDefaults(),
 		completed:    map[string]Entry{},
 		compactEvery: so.CompactEvery,
+		owner:        so.Owner,
 		m:            so.Options.Metrics,
 	}
 	if !so.Resume {
@@ -101,6 +121,14 @@ func OpenState(path string, so StateOptions) (*State, error) {
 		return nil, err
 	}
 	s.w = w
+	if s.owner != "" {
+		// Stamp every fresh journal generation; resumed journals already
+		// carry the stamp (validated in recover) or predate owners.
+		if err := s.append(Record{T: RecordOwner, ID: s.owner}); err != nil {
+			s.w.Close() //nolint:errcheck
+			return nil, err
+		}
+	}
 	s.m.Gauge("journal.completed").Set(float64(len(s.completed)))
 	return s, nil
 }
@@ -111,6 +139,9 @@ func (s *State) recover() error {
 	ck, err := ReadCheckpoint(s.ckptPath)
 	if err != nil {
 		return err
+	}
+	if s.owner != "" && ck.Owner != "" && ck.Owner != s.owner {
+		return fmt.Errorf("%w: checkpoint %s is owned by %q, opened as %q", ErrWrongOwner, s.ckptPath, ck.Owner, s.owner)
 	}
 	s.seq = ck.Seq
 	s.completed = ck.Entries
@@ -135,6 +166,10 @@ func (s *State) recover() error {
 			}
 		case RecordDegrade:
 			// Informational; nothing to restore.
+		case RecordOwner:
+			if s.owner != "" && rec.ID != "" && rec.ID != s.owner {
+				return fmt.Errorf("%w: journal %s is owned by %q, opened as %q", ErrWrongOwner, s.path, rec.ID, s.owner)
+			}
 		default:
 			s.m.Counter("journal.replay.unknown").Inc()
 		}
@@ -259,7 +294,7 @@ func (s *State) compactLocked() error {
 	for id, e := range s.completed {
 		entries[id] = e
 	}
-	if err := WriteCheckpoint(s.ckptPath, &Checkpoint{Seq: s.seq, Entries: entries}); err != nil {
+	if err := WriteCheckpoint(s.ckptPath, &Checkpoint{Seq: s.seq, Owner: s.owner, Entries: entries}); err != nil {
 		return err
 	}
 	// Start a fresh journal generation: close, truncate, reopen append.

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGaugeAdd: Add shifts the last value, composes with Set, and
+// no-ops on the nil gauge like every other metric.
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("fleet.up")
+	g.Add(3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("after Add(3): %v, want 3", got)
+	}
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("after Add(-1): %v, want 2", got)
+	}
+	g.Set(10)
+	g.Add(0.5)
+	if got := g.Value(); got != 10.5 {
+		t.Fatalf("after Set(10)+Add(0.5): %v, want 10.5", got)
+	}
+	var nilG *Gauge
+	nilG.Add(7) // must not panic
+}
+
+// TestGaugeAddConcurrent: the CAS loop loses no updates under
+// contention — the up/down accounting a fleet of shard runners does.
+func TestGaugeAddConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("fleet.up")
+	const goroutines, rounds = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				g.Add(1)
+				g.Add(-1)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != goroutines*rounds {
+		t.Fatalf("concurrent Add lost updates: %v, want %d", got, goroutines*rounds)
+	}
+}

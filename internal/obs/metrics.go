@@ -70,6 +70,22 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Add shifts the gauge by delta atomically (CAS loop), for up/down
+// accounting — live-shard counts, membership sizes — where concurrent
+// Set calls would lose updates.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Histogram is a fixed-bucket distribution. Observations land in the
 // first bucket whose upper bound is ≥ the value; values beyond the last
 // bound land in an implicit overflow bucket. Updates are atomic and

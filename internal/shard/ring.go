@@ -1,0 +1,113 @@
+// Package shard is the multi-process serving substrate: a consistent-hash
+// ring that routes documents by key across N worker shards, and a
+// supervisor that keeps each shard's child process alive — liveness
+// probes with a deadline, exponential-backoff restarts of crashed
+// children, and breaker-gated failover that reroutes a crash-looping
+// shard's traffic to its ring successors. Like internal/serve it is
+// deliberately free of vs2 types: cmd/vs2d binds it to the extraction
+// pipeline, and the tests drive it with a plain echo worker.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over a fixed set of shards. Each shard
+// owns Replicas virtual points; a key hashes to a point on the circle
+// and belongs to the first virtual point clockwise from it. The ring is
+// immutable after construction — membership changes are expressed by the
+// caller skipping dead shards along Sequence, not by rehashing, so a
+// shard coming back keeps exactly the keyspace it had before it died.
+type Ring struct {
+	shards int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over shards shards with replicas virtual points
+// each. replicas < 1 selects 64, enough that the expected keyspace
+// imbalance between shards stays under a few percent.
+func NewRing(shards, replicas int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if replicas < 1 {
+		replicas = 64
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*replicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashKey(fmt.Sprintf("shard-%d/vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Shards returns the number of shards on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard that owns key: the shard of the first virtual
+// point clockwise from the key's hash.
+func (r *Ring) Owner(key string) int {
+	return r.points[r.search(key)].shard
+}
+
+// Sequence returns every shard in the order a key's traffic fails over:
+// the owner first, then each further shard in the order its first
+// virtual point appears clockwise. The slice always has length Shards()
+// and contains each shard exactly once, so walking it visits the whole
+// fleet deterministically.
+func (r *Ring) Sequence(key string) []int {
+	seq := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	start := r.search(key)
+	for i := 0; len(seq) < r.shards; i++ {
+		s := r.points[(start+i)%len(r.points)].shard
+		if !seen[s] {
+			seen[s] = true
+			seq = append(seq, s)
+		}
+	}
+	return seq
+}
+
+// search finds the index of the first virtual point clockwise from the
+// key's hash (wrapping past the top of the circle).
+func (r *Ring) search(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never errors
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-1a of near-identical keys
+// (sequential document IDs differ only in trailing digits) clusters in
+// a narrow arc of the circle, piling the whole corpus onto one shard;
+// the finalizer avalanches every input bit across the word so the ring
+// sees a uniform circle.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOwnerDeterministic: two rings with the same parameters place
+// every key identically — routing must be reproducible across the front
+// end's own restarts.
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing(5, 0)
+	b := NewRing(5, 0)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("doc-%d", i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner %d vs %d across identical rings", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingSequentialKeysSpread pins the mix64 finalizer: sequential
+// document IDs differ only in trailing digits, and raw FNV-1a clustered
+// them all onto one shard. Every shard must own a meaningful slice.
+func TestRingSequentialKeysSpread(t *testing.T) {
+	const n = 1000
+	for _, shards := range []int{2, 3, 4, 8} {
+		r := NewRing(shards, 0)
+		counts := make([]int, shards)
+		for i := 0; i < n; i++ {
+			counts[r.Owner(fmt.Sprintf("d2-%05d", i))]++
+		}
+		min := n / (shards * 4) // each shard gets at least a quarter of its fair share
+		for s, c := range counts {
+			if c < min {
+				t.Errorf("shards=%d: shard %d owns %d of %d sequential keys (want >= %d); dist=%v",
+					shards, s, c, n, min, counts)
+			}
+		}
+	}
+}
+
+// TestRingSequenceIsPermutation: Sequence visits every shard exactly
+// once, starting at the owner, identically across calls.
+func TestRingSequenceIsPermutation(t *testing.T) {
+	r := NewRing(6, 0)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		seq := r.Sequence(k)
+		if len(seq) != 6 {
+			t.Fatalf("key %s: sequence length %d, want 6", k, len(seq))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("key %s: sequence starts at %d, owner is %d", k, seq[0], r.Owner(k))
+		}
+		seen := make([]bool, 6)
+		for _, s := range seq {
+			if s < 0 || s >= 6 || seen[s] {
+				t.Fatalf("key %s: sequence %v is not a permutation", k, seq)
+			}
+			seen[s] = true
+		}
+		again := r.Sequence(k)
+		for j := range seq {
+			if seq[j] != again[j] {
+				t.Fatalf("key %s: sequence not deterministic: %v vs %v", k, seq, again)
+			}
+		}
+	}
+}
+
+// TestRingSingleShard: a one-shard ring owns everything and its
+// sequence is the trivial permutation.
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1, 0)
+	for _, k := range []string{"", "a", "d2-00000", "#17"} {
+		if got := r.Owner(k); got != 0 {
+			t.Fatalf("Owner(%q) = %d, want 0", k, got)
+		}
+		if seq := r.Sequence(k); len(seq) != 1 || seq[0] != 0 {
+			t.Fatalf("Sequence(%q) = %v, want [0]", k, seq)
+		}
+	}
+}
+
+// TestRingDefaults: invalid construction parameters clamp rather than
+// panic.
+func TestRingDefaults(t *testing.T) {
+	r := NewRing(0, -3)
+	if r.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1 after clamping", r.Shards())
+	}
+	if len(r.points) != 64 {
+		t.Fatalf("default replicas: %d points, want 64", len(r.points))
+	}
+}

@@ -1,0 +1,769 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vs2/internal/obs"
+	"vs2/internal/serve"
+)
+
+// Supervisor errors.
+var (
+	// ErrClosed marks work submitted to a supervisor that is shutting
+	// down.
+	ErrClosed = errors.New("shard: supervisor closed")
+	// ErrNoShards marks work that cannot be placed anywhere: every shard
+	// has permanently failed.
+	ErrNoShards = errors.New("shard: no live shards")
+)
+
+// RerouteBuckets is the bucket layout of the shard.reroute.distance
+// histogram: how many ring positions a rerouted key travelled past its
+// owner before landing on a live shard.
+var RerouteBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16}
+
+// Config tunes a Supervisor. The zero value of every optional field
+// selects the default noted on it.
+type Config struct {
+	// Shards is the number of worker shards; required, >= 1.
+	Shards int
+	// Replicas is the number of virtual ring points per shard; 0
+	// selects 64.
+	Replicas int
+	// Start builds the command for one (re)incarnation of a shard's
+	// child process; required. The supervisor wires stdin/stdout itself
+	// and starts the command, so Start must leave both unset. A fresh
+	// command is requested for every restart.
+	Start func(shard int) (*exec.Cmd, error)
+	// OnStart, when non-nil, observes every successful child start with
+	// the shard index and the child's PID (e.g. to write pidfiles for
+	// external tooling and chaos harnesses).
+	OnStart func(shard, pid int)
+	// ProbeInterval is the liveness-probe cadence; 0 selects 1s,
+	// negative disables probing (process exit remains detected).
+	ProbeInterval time.Duration
+	// ProbeTimeout is how long a child may go without answering a probe
+	// (or sending any response) before it is declared hung and killed;
+	// 0 selects 5s.
+	ProbeTimeout time.Duration
+	// RestartBackoff and RestartBackoffMax bound the jittered
+	// exponential backoff between a shard's crash and its restart; 0
+	// selects 100ms and 5s.
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
+	// MaxRestarts is the number of consecutive unproven (re)starts —
+	// children that died or failed to start without ever answering —
+	// after which the shard is abandoned as permanently failed and its
+	// keyspace fails over for good; 0 selects 8.
+	MaxRestarts int
+	// BreakerThreshold is the consecutive-crash count after which the
+	// shard's breaker opens and new traffic reroutes to its ring
+	// successors while restarts continue behind it; 0 selects 3,
+	// negative disables rerouting (traffic always queues on the owner).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open shard breaker waits before a
+	// recovered child may win traffic back; 0 selects 2s.
+	BreakerCooldown time.Duration
+	// DrainGrace is how long Close waits for a child to drain after its
+	// stdin closes before killing it; 0 selects 10s.
+	DrainGrace time.Duration
+	// Seed drives the restart-backoff jitter; shard i uses Seed+i so one
+	// seed reproduces the whole fleet's schedule.
+	Seed int64
+	// Metrics, when non-nil, receives the shard.* telemetry: per-shard
+	// up/down gauges, start/restart/crash/failover counters and the
+	// reroute-distance histogram.
+	Metrics *obs.Registry
+	// Stderr receives the children's stderr; nil selects os.Stderr.
+	Stderr io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 5 * time.Second
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 100 * time.Millisecond
+	}
+	if c.RestartBackoffMax <= 0 {
+		c.RestartBackoffMax = 5 * time.Second
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 8
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 10 * time.Second
+	}
+	if c.Stderr == nil {
+		c.Stderr = os.Stderr
+	}
+	// Supervisor log lines and every child's stderr funnel into this one
+	// writer from independent goroutines; serialize the writes so a plain
+	// bytes.Buffer (tests) or pipe is a legal sink.
+	c.Stderr = SyncWriter(c.Stderr)
+	return c
+}
+
+// SyncWriter wraps w so concurrent Write calls serialize, making any
+// io.Writer safe as a sink shared across goroutines and child-process
+// stderr copiers. Writers that are already SyncWriters pass through.
+func SyncWriter(w io.Writer) io.Writer {
+	if _, ok := w.(*lockedWriter); ok {
+		return w
+	}
+	return &lockedWriter{w: w}
+}
+
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// Supervisor owns a fleet of shard child processes and routes keyed work
+// across them: consistent-hash placement, liveness supervision with
+// probes and exponential-backoff restarts, and breaker-gated failover
+// for shards that crash-loop. Create one with New, submit work with Do
+// from any number of goroutines, and Close to drain. All methods are
+// safe for concurrent use.
+type Supervisor struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shardState
+	m      *obs.Registry
+
+	closed    atomic.Bool
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds a supervisor and starts one runner per shard; children
+// spawn immediately.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Shards < 1 {
+		return nil, errors.New("shard: Config.Shards must be >= 1")
+	}
+	if cfg.Start == nil {
+		return nil, errors.New("shard: Config.Start is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Supervisor{
+		cfg:  cfg,
+		ring: NewRing(cfg.Shards, cfg.Replicas),
+		m:    cfg.Metrics,
+		done: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		st := &shardState{
+			sup:     s,
+			id:      i,
+			sent:    map[string][]*call{},
+			kick:    make(chan struct{}, 1),
+			backoff: serve.NewBackoff(cfg.RestartBackoff, cfg.RestartBackoffMax, cfg.Seed+int64(i)),
+		}
+		st.breaker = serve.NewBreaker(serve.BreakerConfig{
+			Threshold: breakerThreshold(cfg.BreakerThreshold),
+			Cooldown:  cfg.BreakerCooldown,
+			OnTransition: func(_, to serve.State) {
+				s.m.Counter(fmt.Sprintf("shard.%d.breaker.to_%s", i, to)).Inc()
+			},
+		})
+		s.shards = append(s.shards, st)
+	}
+	for _, st := range s.shards {
+		s.wg.Add(1)
+		go st.run()
+	}
+	return s, nil
+}
+
+// breakerThreshold maps the config convention (negative disables) onto a
+// threshold the breaker can never reach.
+func breakerThreshold(t int) int {
+	if t < 0 {
+		return 1 << 30
+	}
+	return t
+}
+
+// Result of one call, delivered exactly once.
+type callResult struct {
+	line []byte
+	err  error
+}
+
+type call struct {
+	key  string
+	doc  json.RawMessage
+	done chan callResult // buffered(1)
+}
+
+// Do routes one document to its shard and blocks for the result line.
+// A crashed shard's outstanding work is re-sent to its restarted child
+// (which replays its journal rather than re-extracting completed
+// documents); a crash-looping shard's traffic fails over to the next
+// live shard on the ring. Do returns the worker's result line, or an
+// error when the caller's context expires, the supervisor closes, or
+// the whole fleet is permanently failed.
+func (s *Supervisor) Do(ctx context.Context, key string, doc json.RawMessage) ([]byte, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	target, ok := s.route(key)
+	if !ok {
+		return nil, ErrNoShards
+	}
+	c := &call{key: key, doc: doc, done: make(chan callResult, 1)}
+	s.shards[target].enqueue(c)
+	select {
+	case r := <-c.done:
+		return r.line, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.done:
+		return nil, ErrClosed
+	}
+}
+
+// route picks the shard for a key: the ring owner when it is routeable,
+// else the first routeable shard along the failover sequence (counted as
+// a failover), else the owner anyway when the fleet is merely degraded
+// (its queue drains on recovery). Only a fleet with every shard
+// permanently failed returns !ok.
+func (s *Supervisor) route(key string) (int, bool) {
+	seq := s.ring.Sequence(key)
+	for dist, id := range seq {
+		if s.shards[id].routeable() {
+			if dist > 0 {
+				s.m.Counter("shard.failovers").Inc()
+				s.m.Histogram("shard.reroute.distance", RerouteBuckets).Observe(float64(dist))
+			}
+			return id, true
+		}
+	}
+	for _, id := range seq {
+		if !s.shards[id].permanentlyFailed() {
+			s.m.Counter("shard.route.blind").Inc()
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Close stops the fleet: children's stdins close so they drain in-flight
+// work and exit; stragglers are killed after DrainGrace. Close returns
+// nil once every runner has finished, or ctx's error if that takes too
+// long (runners keep winding down in the background). Pending Do calls
+// fail with ErrClosed.
+func (s *Supervisor) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.done)
+	})
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("shard: close: %w", ctx.Err())
+	}
+}
+
+// Metrics returns the supervisor's registry (possibly nil).
+func (s *Supervisor) Metrics() *obs.Registry { return s.m }
+
+// shardState is one shard's supervision state: its dispatch queue, the
+// calls in flight on the current child, and the crash accounting that
+// drives restarts and failover.
+type shardState struct {
+	sup     *Supervisor
+	id      int
+	breaker *serve.Breaker
+	backoff *serve.Backoff
+
+	mu       sync.Mutex
+	queue    []*call            // accepted, not yet written to a live child
+	sent     map[string][]*call // written, awaiting responses (FIFO per key)
+	failed   bool               // permanent: MaxRestarts consecutive unproven starts
+	restarts int                // consecutive unproven (re)starts
+	kick     chan struct{}
+}
+
+// routeable reports whether new traffic should land on this shard: not
+// permanently failed and not crash-looping (breaker closed).
+func (st *shardState) routeable() bool {
+	st.mu.Lock()
+	failed := st.failed
+	st.mu.Unlock()
+	return !failed && st.breaker.State() == serve.Closed
+}
+
+func (st *shardState) permanentlyFailed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.failed
+}
+
+func (st *shardState) enqueue(c *call) {
+	st.mu.Lock()
+	if st.failed {
+		// The shard was abandoned between routing and enqueue; bounce the
+		// call along its failover sequence rather than stranding it on a
+		// runner that has already exited. Recursion terminates: failed
+		// shards are never returned as targets.
+		st.mu.Unlock()
+		switch {
+		case st.failoverEnqueue(c):
+		default:
+			c.done <- callResult{err: ErrNoShards}
+		}
+		return
+	}
+	st.queue = append(st.queue, c)
+	st.mu.Unlock()
+	st.wake()
+}
+
+// failoverEnqueue places the call on a live shard other than this one,
+// preferring the key's ring sequence; reports false when the rest of the
+// fleet is permanently failed too.
+func (st *shardState) failoverEnqueue(c *call) bool {
+	if to := st.failoverTarget(c.key); to >= 0 {
+		st.sup.m.Counter("shard.rerouted").Inc()
+		st.sup.shards[to].enqueue(c)
+		return true
+	}
+	if to := st.anyOtherAlive(); to >= 0 {
+		st.sup.m.Counter("shard.rerouted").Inc()
+		st.sup.shards[to].enqueue(c)
+		return true
+	}
+	return false
+}
+
+func (st *shardState) wake() {
+	select {
+	case st.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the shard's supervision loop: start a child, serve it until it
+// dies, account the crash, back off, repeat — until shutdown or the
+// shard is abandoned as permanently failed.
+func (st *shardState) run() {
+	defer st.sup.wg.Done()
+	for {
+		select {
+		case <-st.sup.done:
+			return
+		default:
+		}
+		st.mu.Lock()
+		attempt := st.restarts
+		st.mu.Unlock()
+		if attempt > 0 {
+			st.sup.m.Counter("shard.restarts").Inc()
+			if err := st.backoff.Sleep(context.Background(), st.sup.done, attempt-1); err != nil {
+				return
+			}
+		}
+		p, err := st.startChild()
+		if err != nil {
+			fmt.Fprintf(st.sup.cfg.Stderr, "vs2d: shard %d: start: %v\n", st.id, err)
+			if st.crashed() {
+				return
+			}
+			continue
+		}
+		shutdown := st.serveChild(p)
+		if shutdown {
+			return
+		}
+		fmt.Fprintf(st.sup.cfg.Stderr, "vs2d: shard %d: child exited unexpectedly; restarting\n", st.id)
+		if st.crashed() {
+			return
+		}
+	}
+}
+
+// crashed accounts one unproven child (failed start, or an exit before
+// shutdown): the crash trips toward the breaker and, at MaxRestarts
+// consecutive, abandons the shard. Outstanding work is requeued, and —
+// when the shard is no longer routeable — rerouted to live shards.
+// Reports whether the runner should stop (shard permanently failed).
+func (st *shardState) crashed() bool {
+	st.breaker.Failure()
+	st.mu.Lock()
+	st.restarts++
+	st.requeueSentLocked()
+	abandoned := st.restarts > st.sup.cfg.MaxRestarts
+	if abandoned {
+		st.failed = true
+	}
+	st.mu.Unlock()
+	st.sup.m.Counter("shard.crashes").Inc()
+	if abandoned {
+		st.sup.m.Counter("shard.abandoned").Inc()
+		fmt.Fprintf(st.sup.cfg.Stderr, "vs2d: shard %d: abandoned after %d consecutive failed starts; failing its keyspace over\n",
+			st.id, st.sup.cfg.MaxRestarts)
+	}
+	if !st.routeable() {
+		st.reroute()
+	}
+	return abandoned
+}
+
+// requeueSentLocked moves every unanswered in-flight call back to the
+// front of the queue, preserving send order, so the next child (which
+// resumes its journal) sees them again: completed-but-unacknowledged
+// documents replay their cached lines, the rest re-extract.
+func (st *shardState) requeueSentLocked() {
+	if len(st.sent) == 0 {
+		return
+	}
+	requeued := make([]*call, 0, len(st.sent))
+	for _, cs := range st.sent {
+		requeued = append(requeued, cs...)
+	}
+	// Send order is not recoverable from the map, but order across keys
+	// is immaterial: responses are keyed and the front end merges by
+	// global input order.
+	st.queue = append(requeued, st.queue...)
+	st.sent = map[string][]*call{}
+}
+
+// reroute drains this shard's queue onto live shards along each key's
+// failover sequence. Calls with nowhere to go stay queued here (the
+// fleet is merely degraded), unless this shard is permanently failed and
+// no shard can ever take them — those fail with ErrNoShards.
+func (st *shardState) reroute() {
+	st.mu.Lock()
+	work := st.queue
+	st.queue = nil
+	failed := st.failed
+	st.mu.Unlock()
+	var kept []*call
+	for _, c := range work {
+		switch {
+		case !failed:
+			if to := st.failoverTarget(c.key); to >= 0 {
+				st.sup.m.Counter("shard.rerouted").Inc()
+				st.sup.shards[to].enqueue(c)
+			} else {
+				kept = append(kept, c)
+			}
+		case st.failoverEnqueue(c):
+		default:
+			c.done <- callResult{err: ErrNoShards}
+		}
+	}
+	if len(kept) > 0 {
+		st.mu.Lock()
+		st.queue = append(st.queue, kept...)
+		st.mu.Unlock()
+		st.wake()
+	}
+}
+
+// failoverTarget finds the first routeable shard other than this one
+// along the key's ring sequence; -1 when none is routeable.
+func (st *shardState) failoverTarget(key string) int {
+	for dist, id := range st.sup.ring.Sequence(key) {
+		if id == st.id {
+			continue
+		}
+		if st.sup.shards[id].routeable() {
+			st.sup.m.Histogram("shard.reroute.distance", RerouteBuckets).Observe(float64(dist))
+			return id
+		}
+	}
+	return -1
+}
+
+// anyOtherAlive finds any non-permanently-failed shard other than this
+// one; -1 when the rest of the fleet is gone too.
+func (st *shardState) anyOtherAlive() int {
+	for _, other := range st.sup.shards {
+		if other.id != st.id && !other.permanentlyFailed() {
+			return other.id
+		}
+	}
+	return -1
+}
+
+// markLive records proof of life from the current child — a pong or a
+// response — resetting the consecutive-restart streak and walking the
+// breaker back toward closed (half-open probe then success) once its
+// cooldown has elapsed.
+func (st *shardState) markLive() {
+	st.mu.Lock()
+	st.restarts = 0
+	st.mu.Unlock()
+	if st.breaker.State() == serve.Closed {
+		st.breaker.Success()
+	} else if st.breaker.Allow() {
+		st.breaker.Success()
+	}
+}
+
+// proc is one live child process and its pipes. The supervisor wires
+// plain os.Pipes rather than exec's managed StdinPipe/StdoutPipe so that
+// cmd.Wait never races the reader goroutine for the pipe handles.
+type proc struct {
+	cmd    *exec.Cmd
+	stdin  *os.File
+	stdout *os.File
+
+	wmu      sync.Mutex
+	exited   chan struct{}
+	waitErr  error
+	killOnce sync.Once
+	lastSeen atomic.Int64 // unix nanos of the latest pong or response
+}
+
+func (p *proc) write(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	_, err = p.stdin.Write(data)
+	return err
+}
+
+func (p *proc) kill() {
+	p.killOnce.Do(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill() //nolint:errcheck
+		}
+	})
+}
+
+// startChild spawns one incarnation of the shard's worker.
+func (st *shardState) startChild() (*proc, error) {
+	cmd, err := st.sup.cfg.Start(st.id)
+	if err != nil {
+		return nil, err
+	}
+	if cmd.Stdin != nil || cmd.Stdout != nil {
+		return nil, errors.New("shard: Start must leave cmd.Stdin and cmd.Stdout unset")
+	}
+	inR, inW, err := os.Pipe()
+	if err != nil {
+		return nil, err
+	}
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		inR.Close()
+		inW.Close()
+		return nil, err
+	}
+	cmd.Stdin = inR
+	cmd.Stdout = outW
+	if cmd.Stderr == nil {
+		cmd.Stderr = st.sup.cfg.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		inR.Close()
+		inW.Close()
+		outR.Close()
+		outW.Close()
+		return nil, err
+	}
+	// The child owns its ends now; the parent keeps the other two.
+	inR.Close()
+	outW.Close()
+	p := &proc{cmd: cmd, stdin: inW, stdout: outR, exited: make(chan struct{})}
+	p.lastSeen.Store(time.Now().UnixNano())
+	go func() {
+		p.waitErr = cmd.Wait()
+		close(p.exited)
+	}()
+	st.sup.m.Counter("shard.starts").Inc()
+	st.sup.m.Gauge(fmt.Sprintf("shard.%d.up", st.id)).Set(1)
+	st.sup.m.Gauge("shard.up").Add(1)
+	if st.sup.cfg.OnStart != nil {
+		st.sup.cfg.OnStart(st.id, cmd.Process.Pid)
+	}
+	return p, nil
+}
+
+// serveChild pumps one child for its whole life: a reader goroutine
+// dispatches keyed responses, a prober enforces the liveness deadline,
+// and the loop body writes queued requests. It returns once the child
+// has exited and its output is fully drained — true when the exit was a
+// supervisor shutdown, false when it was a crash.
+func (st *shardState) serveChild(p *proc) (shutdown bool) {
+	defer func() {
+		st.sup.m.Gauge(fmt.Sprintf("shard.%d.up", st.id)).Set(0)
+		st.sup.m.Gauge("shard.up").Add(-1)
+	}()
+	readerDone := make(chan struct{})
+	go st.readResponses(p, readerDone)
+	proberDone := make(chan struct{})
+	go st.probe(p, proberDone)
+	// Work requeued from the previous incarnation (and anything enqueued
+	// while the shard was down) must flush even if the kick was already
+	// consumed.
+	st.wake()
+	defer func() {
+		p.stdin.Close() //nolint:errcheck
+		<-p.exited
+		<-readerDone
+		<-proberDone
+	}()
+	for {
+		select {
+		case <-p.exited:
+			return false
+		case <-st.sup.done:
+			// Graceful drain: EOF on stdin lets the child finish in-flight
+			// work, journal it and exit; a straggler is killed after the
+			// grace period.
+			p.stdin.Close() //nolint:errcheck
+			grace := time.NewTimer(st.sup.cfg.DrainGrace)
+			defer grace.Stop()
+			select {
+			case <-p.exited:
+			case <-grace.C:
+				p.kill()
+			}
+			return true
+		case <-st.kick:
+			if !st.flush(p) {
+				// A write failed: the child is dying. Kill it and let the
+				// exit path account the crash and requeue.
+				p.kill()
+			}
+		}
+	}
+}
+
+// flush writes every queued request to the child, moving each call to
+// the sent map before its bytes hit the pipe so a response can never
+// arrive for an untracked key. Reports false on the first write error.
+func (st *shardState) flush(p *proc) bool {
+	for {
+		st.mu.Lock()
+		if len(st.queue) == 0 {
+			st.mu.Unlock()
+			return true
+		}
+		c := st.queue[0]
+		st.queue = st.queue[1:]
+		st.sent[c.key] = append(st.sent[c.key], c)
+		st.mu.Unlock()
+		if err := p.write(Request{Key: c.key, Doc: c.doc}); err != nil {
+			return false
+		}
+	}
+}
+
+// readResponses drains the child's stdout until EOF, delivering each
+// keyed line to the oldest waiting call for that key.
+func (st *shardState) readResponses(p *proc, done chan<- struct{}) {
+	defer close(done)
+	defer p.stdout.Close() //nolint:errcheck
+	dec := json.NewDecoder(p.stdout)
+	for {
+		var r Response
+		if err := dec.Decode(&r); err != nil {
+			return // EOF or a torn line from a dying child
+		}
+		p.lastSeen.Store(time.Now().UnixNano())
+		st.markLive()
+		if r.Pong {
+			continue
+		}
+		st.deliver(r)
+	}
+}
+
+// deliver completes the oldest call waiting on the response's key.
+// Responses with no waiting call (a key answered twice, or a response
+// drained from a child whose work was already requeued) are dropped and
+// counted — the dedup half of exactly-once emission.
+func (st *shardState) deliver(r Response) {
+	st.mu.Lock()
+	cs := st.sent[r.Key]
+	var c *call
+	if len(cs) > 0 {
+		c = cs[0]
+		if len(cs) == 1 {
+			delete(st.sent, r.Key)
+		} else {
+			st.sent[r.Key] = cs[1:]
+		}
+	}
+	st.mu.Unlock()
+	if c == nil {
+		st.sup.m.Counter("shard.response.orphans").Inc()
+		return
+	}
+	c.done <- callResult{line: append([]byte(nil), r.Line...)}
+}
+
+// probe enforces the liveness deadline: a ping every ProbeInterval, and
+// a kill when the child has neither ponged nor responded within
+// ProbeTimeout. A negative interval disables active probing.
+func (st *shardState) probe(p *proc, done chan<- struct{}) {
+	defer close(done)
+	if st.sup.cfg.ProbeInterval < 0 {
+		return
+	}
+	t := time.NewTicker(st.sup.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.exited:
+			return
+		case <-st.sup.done:
+			return
+		case <-t.C:
+			if time.Since(time.Unix(0, p.lastSeen.Load())) > st.sup.cfg.ProbeTimeout {
+				st.sup.m.Counter("shard.probe.timeouts").Inc()
+				fmt.Fprintf(st.sup.cfg.Stderr, "vs2d: shard %d: liveness probe deadline exceeded; killing child\n", st.id)
+				p.kill()
+				return
+			}
+			if err := p.write(Request{Ping: true}); err != nil {
+				p.kill()
+				return
+			}
+		}
+	}
+}

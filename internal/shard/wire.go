@@ -1,0 +1,38 @@
+package shard
+
+import "encoding/json"
+
+// The front end and its worker children speak JSONL over the child's
+// stdin/stdout: one Request per line down, one Response per line up.
+// Responses are keyed, not ordered — a worker answers documents as they
+// complete and the front end reorders globally — so a restarted worker
+// can replay journal-cached completions in any order without disturbing
+// the merge.
+
+// Request is one unit sent to a shard worker: a document to extract, or
+// a liveness probe.
+type Request struct {
+	// Key identifies the document for journaling and response matching.
+	// The front end derives it once (document ID, or a positional key for
+	// anonymous documents) so it stays stable across restarts and resumes.
+	Key string `json:"key,omitempty"`
+	// Doc is the document's raw JSON, passed through verbatim — the
+	// worker decodes it with the same loader as the corpus scanner, and
+	// no re-encoding can perturb the bytes a resumed run depends on.
+	Doc json.RawMessage `json:"doc,omitempty"`
+	// Ping marks a liveness probe; the worker answers with Pong
+	// immediately, ahead of any queued extraction work.
+	Ping bool `json:"ping,omitempty"`
+}
+
+// Response is one line a shard worker sends back.
+type Response struct {
+	// Key echoes the request's key.
+	Key string `json:"key,omitempty"`
+	// Line is the document's canonical result line (vs2.RenderLine): the
+	// bytes the front end emits for this document, byte-identical whether
+	// extracted fresh or replayed from the shard's journal.
+	Line json.RawMessage `json:"line,omitempty"`
+	// Pong answers a Ping.
+	Pong bool `json:"pong,omitempty"`
+}

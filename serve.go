@@ -26,6 +26,11 @@ import (
 // exceeded, server closed, caller gone).
 const PhaseAdmit Phase = "admit"
 
+// PhaseShard is the sharded serving layer's routing stage: errors
+// carrying it mean the document could not be placed on (or answered by)
+// any worker shard — the fleet-level analogue of PhaseAdmit.
+const PhaseShard Phase = "shard"
+
 // Serving-layer sentinels, dispatchable with errors.Is through *Error.
 var (
 	// ErrOverloaded marks a document shed by admission control: the
@@ -142,6 +147,24 @@ type ServerConfig struct {
 	// serve.queue.wait.ms histogram. Independent of the pipeline's own
 	// Config.Metrics; the same registry may serve both.
 	Metrics *Metrics
+}
+
+// Window returns the number of documents a streaming caller should keep
+// in flight to saturate this configuration — effective workers plus
+// effective queue depth, after the same defaulting NewServer applies.
+// Submitting more than this buys no throughput, only memory; submitting
+// fewer starves the pool. cmd/vs2serve and the vs2d shard worker both
+// size their streaming windows with it.
+func (c ServerConfig) Window() int {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = serve.PoolSize(0)
+	}
+	queue := c.Queue
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	return workers + queue
 }
 
 // Server runs a Pipeline concurrently with admission control, retries

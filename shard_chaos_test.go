@@ -1,0 +1,298 @@
+package vs2
+
+// Shard-kill chaos harness for the sharded serving layer: a real vs2d
+// front end runs a batch across a fleet of worker shard child
+// processes, and the harness SIGKILLs a random shard — and, separately,
+// the front end itself — at randomized journal offsets. The merged
+// stdout must stay byte-identical to an uninterrupted run: the
+// supervisor requeues the dead shard's in-flight work to its restarted
+// child (which replays its own journal), and a killed front end resumes
+// with -resume, every shard replaying only its own state.
+//
+// Generalizes the PR 5 single-process crash harness (crash_chaos_test.go)
+// to the multi-process topology. Subprocess-heavy: runs only in the full
+// suite (`make shard-chaos`); -short skips it.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const chaosShards = 3
+
+// buildVS2DBinary compiles cmd/vs2d once per test.
+func buildVS2DBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vs2d")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/vs2d")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/vs2d: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// vs2dArgs is the fixed command line of every front end in the harness:
+// fast probes and restarts so a killed shard recovers in test time.
+func vs2dArgs(state string, extra ...string) []string {
+	args := []string{
+		"-task", "events", "-shards", strconv.Itoa(chaosShards), "-state", state,
+		"-probe-interval", "100ms", "-probe-timeout", "2s",
+		"-restart-backoff", "10ms", "-restart-backoff-max", "100ms",
+	}
+	return append(args, extra...)
+}
+
+// runVS2D runs the front end to completion and returns its stdout.
+func runVS2D(t *testing.T, bin string, stdin []byte, state string, extra ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(bin, vs2dArgs(state, extra...)...)
+	cmd.Stdin = bytes.NewReader(stdin)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("vs2d %v: %v\nstderr:\n%s", extra, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// shardPid reads the shard's pidfile; -1 when it is not written yet.
+func shardPid(state string, shard int) int {
+	data, err := os.ReadFile(filepath.Join(state, fmt.Sprintf("shard-%d.pid", shard)))
+	if err != nil {
+		return -1
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil {
+		return -1
+	}
+	return pid
+}
+
+// probeShardJournalWindow runs one throwaway batch and reports the
+// largest size any shard journal reached, so kill offsets spread across
+// the real write window instead of clustering at zero.
+func probeShardJournalWindow(t *testing.T, bin string, corpus []byte) int64 {
+	t.Helper()
+	state := t.TempDir()
+	cmd := exec.Command(bin, vs2dArgs(state)...)
+	cmd.Stdin = bytes.NewReader(corpus)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }() //nolint:errcheck
+	var maxSize int64
+probe:
+	for {
+		select {
+		case <-done:
+			break probe
+		default:
+			for s := 0; s < chaosShards; s++ {
+				if st, err := os.Stat(filepath.Join(state, fmt.Sprintf("shard-%d.wal", s))); err == nil && st.Size() > maxSize {
+					maxSize = st.Size()
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	if maxSize == 0 {
+		t.Fatal("probe run never grew a shard journal")
+	}
+	return maxSize
+}
+
+// killShardAt runs one batch and SIGKILLs the target shard's child once
+// that shard's journal reaches offset bytes. The front end must survive
+// the kill and finish; its stdout and a flag for whether the kill
+// landed mid-run are returned.
+func killShardAt(t *testing.T, bin string, corpus []byte, state string, target int, offset int64) ([]byte, bool) {
+	t.Helper()
+	cmd := exec.Command(bin, vs2dArgs(state)...)
+	cmd.Stdin = bytes.NewReader(corpus)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	jpath := filepath.Join(state, fmt.Sprintf("shard-%d.wal", target))
+	killed := false
+	deadline := time.Now().Add(2 * time.Minute)
+	for !killed {
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Fatalf("front end failed before the kill landed: %v\nstderr:\n%s", err, stderr.String())
+			}
+			return stdout.Bytes(), false
+		default:
+		}
+		if st, err := os.Stat(jpath); err == nil && st.Size() >= offset {
+			if pid := shardPid(state, target); pid > 0 {
+				syscall.Kill(pid, syscall.SIGKILL) //nolint:errcheck // the child may have just exited on its own
+				killed = true
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill() //nolint:errcheck
+			<-exited
+			t.Fatalf("shard %d never reached journal offset %d", target, offset)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := <-exited; err != nil {
+		t.Fatalf("front end died after shard %d was killed (must survive and fail over): %v\nstderr:\n%s",
+			target, err, stderr.String())
+	}
+	return stdout.Bytes(), true
+}
+
+// TestShardChaosKillShard is the acceptance test of the PR: SIGKILL a
+// random shard at >=20 randomized journal offsets; the front end must
+// restart it, requeue its work, and still emit output byte-identical to
+// an uninterrupted run.
+func TestShardChaosKillShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard chaos spawns real process fleets; skipped in -short")
+	}
+	bin := buildVS2DBinary(t)
+	corpus := chaosCorpus(t, 60)
+
+	golden := runVS2D(t, bin, corpus, t.TempDir())
+
+	// The sharded front end and the single-process server must agree
+	// before any chaos enters the picture: sharding is a topology change,
+	// not a different pipeline.
+	serveBin := buildServeBinary(t)
+	if single := runServe(t, serveBin, corpus); !bytes.Equal(golden, single) {
+		t.Fatalf("sharded output differs from single-process output:\n-- vs2serve --\n%s\n-- vs2d --\n%s", single, golden)
+	}
+
+	window := probeShardJournalWindow(t, bin, corpus)
+	rnd := rand.New(rand.NewSource(1907)) // seeded: a failure reproduces
+	const iterations = 22
+	landed := 0
+	for i := 0; i < iterations; i++ {
+		state := t.TempDir()
+		target := rnd.Intn(chaosShards)
+		offset := rnd.Int63n(window + 1)
+		out, hit := killShardAt(t, bin, corpus, state, target, offset)
+		if hit {
+			landed++
+		}
+		if !bytes.Equal(golden, out) {
+			t.Fatalf("iteration %d (SIGKILL shard %d at journal offset %d): merged output differs\n-- golden --\n%s\n-- chaos --\n%s",
+				i, target, offset, golden, out)
+		}
+	}
+	t.Logf("shard chaos: %d/%d kills landed mid-run (journal window %d bytes)", landed, iterations, window)
+	if landed == 0 {
+		t.Fatal("no kill ever landed before the batch finished; the harness is not exercising crashes")
+	}
+}
+
+// waitShardsGone blocks until every pidfiled shard child of a killed
+// front end has exited, so the resumed run never races a straggler for
+// the journals.
+func waitShardsGone(t *testing.T, state string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		alive := false
+		for s := 0; s < chaosShards; s++ {
+			if pid := shardPid(state, s); pid > 0 && syscall.Kill(pid, 0) == nil {
+				alive = true
+			}
+		}
+		if !alive {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("orphaned shard children never exited after the front-end kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardChaosKillFrontEnd: SIGKILL the front end itself mid-batch at
+// randomized offsets; the orphaned shards drain and exit on stdin EOF,
+// and a -resume rerun replays every shard's own journal to reproduce
+// the uninterrupted output byte for byte.
+func TestShardChaosKillFrontEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard chaos spawns real process fleets; skipped in -short")
+	}
+	bin := buildVS2DBinary(t)
+	corpus := chaosCorpus(t, 60)
+
+	golden := runVS2D(t, bin, corpus, t.TempDir())
+	window := probeShardJournalWindow(t, bin, corpus)
+
+	rnd := rand.New(rand.NewSource(4117))
+	const iterations = 8
+	landed := 0
+	for i := 0; i < iterations; i++ {
+		state := t.TempDir()
+		offset := rnd.Int63n(window + 1)
+
+		cmd := exec.Command(bin, vs2dArgs(state)...)
+		cmd.Stdin = bytes.NewReader(corpus)
+		cmd.Stdout, cmd.Stderr = nil, nil // a killed run's output is garbage by design
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		exited := make(chan struct{})
+		go func() { cmd.Wait(); close(exited) }() //nolint:errcheck
+		deadline := time.Now().Add(2 * time.Minute)
+	watch:
+		for {
+			select {
+			case <-exited:
+				break watch // finished before the kill: offset landed past this run's window
+			default:
+			}
+			grown := false
+			for s := 0; s < chaosShards; s++ {
+				if st, err := os.Stat(filepath.Join(state, fmt.Sprintf("shard-%d.wal", s))); err == nil && st.Size() >= offset {
+					grown = true
+					break
+				}
+			}
+			if grown {
+				cmd.Process.Kill() //nolint:errcheck
+				landed++
+				<-exited
+				break watch
+			}
+			if time.Now().After(deadline) {
+				cmd.Process.Kill() //nolint:errcheck
+				<-exited
+				t.Fatalf("no shard journal ever reached offset %d", offset)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		waitShardsGone(t, state)
+
+		resumed := runVS2D(t, bin, corpus, state, "-resume")
+		if !bytes.Equal(golden, resumed) {
+			t.Fatalf("iteration %d (front end SIGKILLed at offset %d): resumed output differs\n-- golden --\n%s\n-- resumed --\n%s",
+				i, offset, golden, resumed)
+		}
+	}
+	t.Logf("front-end chaos: %d/%d kills landed mid-run (journal window %d bytes)", landed, iterations, window)
+	if landed == 0 {
+		t.Fatal("no front-end kill ever landed mid-run")
+	}
+}
