@@ -78,13 +78,17 @@ trace-demo:
 # ns/op regression against the committed BENCH_segment.json baseline.
 # The comparison uses within-run ratios against the reference
 # implementation, so it holds across machines of different speeds.
+# It then re-measures the telemetry overhead (metrics + tracing vs
+# neither) and fails if observability costs more than 5% ns/op.
 bench-gate:
 	$(GO) run ./cmd/vs2bench -benchgate
+	$(GO) run ./cmd/vs2bench -obsgate
 
-# bench-baseline regenerates BENCH_segment.json after an intentional
-# performance change. Commit the result.
+# bench-baseline regenerates BENCH_segment.json and BENCH_obs.json
+# after an intentional performance change. Commit the results.
 bench-baseline:
 	$(GO) run ./cmd/vs2bench -segbench
+	$(GO) run ./cmd/vs2bench -obsbench
 
 # fuzz smoke-runs the four fuzz targets (decoder, full pipeline,
 # parallel segmenter determinism, journal replay).

@@ -12,6 +12,8 @@
 //	vs2bench -patterns             # print the Table 3/4 pattern inventory
 //	vs2bench -segbench             # segmentation benchmark matrix -> BENCH_segment.json
 //	vs2bench -benchgate            # gate current segmentation perf against the baseline
+//	vs2bench -obsbench             # telemetry-overhead benchmark -> BENCH_obs.json
+//	vs2bench -obsgate              # fail if metrics+tracing cost >5% ns/op
 package main
 
 import (
@@ -38,6 +40,9 @@ func main() {
 		segbench = flag.Bool("segbench", false, "run the segmentation benchmark matrix and write the baseline JSON")
 		gate     = flag.Bool("benchgate", false, "re-run the segmentation benchmarks and gate against the committed baseline")
 		benchOut = flag.String("benchout", segBenchFile, "baseline path for -segbench / -benchgate")
+		obsbench = flag.Bool("obsbench", false, "run the telemetry-overhead benchmark and write its baseline JSON")
+		obsgate  = flag.Bool("obsgate", false, "re-run the telemetry-overhead benchmark and fail if obs costs >5% ns/op")
+		obsOut   = flag.String("obsout", obsBenchFile, "baseline path for -obsbench")
 	)
 	flag.Parse()
 	opts := eval.Options{N: *n, Seed: *seed}
@@ -48,6 +53,12 @@ func main() {
 		return
 	case *gate:
 		runBenchGate(*benchOut)
+		return
+	case *obsbench:
+		runObsBench(*obsOut)
+		return
+	case *obsgate:
+		runObsGate()
 		return
 	case *ext != "":
 		runExtension(*ext, opts)

@@ -41,13 +41,17 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"vs2"
+	"vs2/internal/admin"
+	"vs2/internal/obs"
 	"vs2/internal/shard"
 )
 
@@ -75,6 +79,10 @@ type options struct {
 	ckptEvery int
 	timeout   time.Duration
 	metrics   bool
+
+	admin       string
+	trace       string
+	telInterval time.Duration
 
 	probeInterval  time.Duration
 	probeTimeout   time.Duration
@@ -106,6 +114,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.ckptEvery, "checkpoint", 256, "compact each shard's journal every N completions (0 = only at exit)")
 	fs.DurationVar(&o.timeout, "timeout", 10*time.Minute, "overall batch deadline (0 = none)")
 	fs.BoolVar(&o.metrics, "metrics", false, "print the supervisor metrics snapshot to stderr after the run")
+	fs.StringVar(&o.admin, "admin", "", "admin HTTP listener address (/metrics, /healthz, /readyz, /slo, /debug/pprof); empty disables")
+	fs.StringVar(&o.trace, "trace", "", "write one stitched cross-process span tree per document (JSONL) to this file")
+	fs.DurationVar(&o.telInterval, "telemetry-interval", 250*time.Millisecond, "how often each shard ships metric deltas and spans to the front end (0 disables)")
 	fs.DurationVar(&o.probeInterval, "probe-interval", time.Second, "shard liveness-probe cadence (negative disables)")
 	fs.DurationVar(&o.probeTimeout, "probe-timeout", 5*time.Second, "kill a shard that answers no probe within this deadline")
 	fs.DurationVar(&o.restartBackoff, "restart-backoff", 100*time.Millisecond, "base backoff before restarting a crashed shard")
@@ -120,16 +131,44 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	sup, m, err := startSupervisor(&o, stderr)
+	var stitch *stitcher
+	if o.trace != "" {
+		stitch = newStitcher()
+	}
+	sup, m, err := startSupervisor(&o, stitch, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "vs2d:", err)
 		return 2
 	}
+	// The end-to-end latency window behind /slo: admission to answer,
+	// per document, over the last minute.
+	win := obs.NewWindow(nil, time.Minute, 6)
+	if o.admin != "" {
+		adminSrv, err := admin.Start(o.admin, admin.Config{
+			Metrics: func() obs.Snapshot { return m.Snapshot() },
+			Health:  func() admin.HealthStatus { return fleetHealth(sup) },
+			SLO:     func() admin.SLOStatus { return fleetSLO(m, win) },
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "vs2d:", err)
+			return 2
+		}
+		defer adminSrv.Close()
+		fmt.Fprintf(stderr, "vs2d: admin listening on %s\n", adminSrv.Addr())
+		if o.state != "" {
+			// The bound address lands beside the journals so tooling (and the
+			// chaos harness) can scrape a front end started with -admin :0.
+			path := filepath.Join(o.state, "admin.addr")
+			if err := os.WriteFile(path, []byte(adminSrv.Addr()+"\n"), 0o644); err != nil {
+				fmt.Fprintf(stderr, "vs2d: admin.addr: %v\n", err)
+			}
+		}
+	}
 	code := 0
 	if o.listen != "" {
-		code = runListen(&o, sup, stderr)
+		code = runListen(&o, sup, win, stitch, stderr)
 	} else {
-		code = runBatch(&o, sup, stdin, stdout, stderr)
+		code = runBatch(&o, sup, win, stitch, stdin, stdout, stderr)
 	}
 	closeCtx, cancel := context.WithTimeout(context.Background(), o.drainGrace+5*time.Second)
 	defer cancel()
@@ -137,11 +176,63 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vs2d:", err)
 		code = 1
 	}
+	if stitch != nil {
+		// Written only now: the fleet has drained, so every worker's final
+		// telemetry flush (and its span trees) has been folded in.
+		if err := stitch.writeFile(o.trace); err != nil {
+			fmt.Fprintln(stderr, "vs2d: trace:", err)
+			code = 1
+		}
+		if n := stitch.unstitched(); n > 0 {
+			fmt.Fprintf(stderr, "vs2d: trace: %d worker span trees matched no front-end span\n", n)
+		}
+	}
 	if o.metrics {
 		fmt.Fprintln(stderr, "vs2d: metrics:")
 		writeMetrics(stderr, m)
 	}
 	return code
+}
+
+// fleetHealth maps the supervisor's fleet snapshot onto the admin
+// verdict: degraded keeps serving (liveness stays green), failed means
+// no shard can take work.
+func fleetHealth(sup *shard.Supervisor) admin.HealthStatus {
+	h := sup.Health()
+	status := "ok"
+	if h.Degraded {
+		status = "degraded"
+	}
+	if h.Failed {
+		status = "failed"
+	}
+	return admin.HealthStatus{Status: status, Detail: h}
+}
+
+// fleetSLO summarizes the front end's end-to-end latency window and
+// cumulative outcome counters for /slo.
+func fleetSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
+	count, _ := win.Totals()
+	completed := m.Counter("frontend.completed").Value()
+	failed := m.Counter("frontend.failed").Value()
+	degraded := m.Counter("frontend.degraded").Value()
+	shed := m.Counter("frontend.shed").Value()
+	slo := admin.SLOStatus{
+		WindowSeconds: 60,
+		Count:         count,
+		P50MS:         win.Quantile(0.50),
+		P95MS:         win.Quantile(0.95),
+		P99MS:         win.Quantile(0.99),
+		Completed:     completed,
+		Failed:        failed,
+		Shed:          shed,
+		Degraded:      degraded,
+	}
+	if total := completed + failed; total > 0 {
+		slo.ShedRate = float64(shed) / float64(total)
+		slo.DegradedRate = float64(degraded) / float64(total)
+	}
+	return slo
 }
 
 // validate applies the front end's flag invariants; its cases are pinned
@@ -190,8 +281,10 @@ func writableDir(dir string) error {
 
 // startSupervisor wipes or keeps the state directory per -resume, then
 // launches the shard fleet, each child an incarnation of this binary in
-// -worker mode.
-func startSupervisor(o *options, stderr io.Writer) (*shard.Supervisor, *vs2.Metrics, error) {
+// -worker mode. Worker telemetry shipments fold into the returned fleet
+// registry under a shard label, and their span trees (if stitching is
+// on) into the stitcher.
+func startSupervisor(o *options, stitch *stitcher, stderr io.Writer) (*shard.Supervisor, *vs2.Metrics, error) {
 	self, err := os.Executable()
 	if err != nil {
 		return nil, nil, fmt.Errorf("cannot locate own binary for worker mode: %w", err)
@@ -202,6 +295,14 @@ func startSupervisor(o *options, stderr io.Writer) (*shard.Supervisor, *vs2.Metr
 		}
 	}
 	m := vs2.NewMetrics()
+	onTelemetry := func(t shard.Telemetry) {
+		if t.Metrics != nil {
+			m.Merge(*t.Metrics, obs.L("shard", strconv.Itoa(t.Shard)))
+		}
+		if stitch != nil {
+			stitch.onTelemetry(t)
+		}
+	}
 	sup, err := shard.New(shard.Config{
 		Shards:         o.shards,
 		Start:          func(i int) (*exec.Cmd, error) { return exec.Command(self, workerArgs(o, i)...), nil },
@@ -212,6 +313,7 @@ func startSupervisor(o *options, stderr io.Writer) (*shard.Supervisor, *vs2.Metr
 		MaxRestarts: o.maxRestarts,
 		DrainGrace:  o.drainGrace,
 		Metrics:     m,
+		OnTelemetry: onTelemetry,
 		Stderr:      stderr,
 	})
 	if err != nil {
@@ -239,6 +341,12 @@ func workerArgs(o *options, i int) []string {
 			"-journal-sync", o.jsync,
 			"-checkpoint", strconv.Itoa(o.ckptEvery),
 		)
+	}
+	if o.telInterval > 0 {
+		a = append(a, "-telemetry-interval", o.telInterval.String())
+	}
+	if o.trace != "" {
+		a = append(a, "-trace-spans")
 	}
 	return a
 }
@@ -280,7 +388,7 @@ func wipeState(dir string) error {
 }
 
 // runBatch scatters one corpus and merges the result stream to stdout.
-func runBatch(o *options, sup *shard.Supervisor, stdin io.Reader, stdout, stderr io.Writer) int {
+func runBatch(o *options, sup *shard.Supervisor, win *obs.Window, stitch *stitcher, stdin io.Reader, stdout, stderr io.Writer) int {
 	ctx := context.Background()
 	if o.timeout > 0 {
 		var cancel context.CancelFunc
@@ -303,6 +411,9 @@ func runBatch(o *options, sup *shard.Supervisor, stdin io.Reader, stdout, stderr
 		name:    name,
 		maxLine: o.maxLine,
 		window:  o.window(),
+		metrics: sup.Metrics(),
+		latency: win,
+		stitch:  stitch,
 	}, in, stdout, stderr)
 	fmt.Fprintf(stderr, "vs2d: %d documents across %d shards: %d completed (%d degraded), %d failed\n",
 		st.docs, o.shards, st.completed, st.degraded, st.failed)
@@ -324,8 +435,11 @@ func (o *options) window() int {
 }
 
 // runListen accepts JSONL connections and serves each as its own
-// scatter/merge stream until the listener dies.
-func runListen(o *options, sup *shard.Supervisor, stderr io.Writer) int {
+// scatter/merge stream until the listener dies. SIGINT/SIGTERM stop the
+// accept loop and abort in-flight streams so the exit path still drains
+// the fleet — the final telemetry flushes and the stitched trace only
+// exist on an orderly shutdown.
+func runListen(o *options, sup *shard.Supervisor, win *obs.Window, stitch *stitcher, stderr io.Writer) int {
 	l, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		fmt.Fprintln(stderr, "vs2d:", err)
@@ -333,7 +447,9 @@ func runListen(o *options, sup *shard.Supervisor, stderr io.Writer) int {
 	}
 	defer l.Close()
 	fmt.Fprintf(stderr, "vs2d: listening on %s\n", l.Addr())
-	if err := serveListener(context.Background(), l, sup, o, stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serveListener(ctx, l, sup, o, win, stitch, stderr); err != nil {
 		fmt.Fprintln(stderr, "vs2d:", err)
 		return 1
 	}

@@ -219,6 +219,87 @@ func TestBatchEndToEnd(t *testing.T) {
 	}
 }
 
+// TestBatchTraceStitching runs the fleet with telemetry and tracing on
+// and pins the stitched-trace contract: one tree per document, each
+// front-end route span carrying a grafted worker tree whose parent_span
+// matches the route span's span_id, stamped with shard and epoch.
+func TestBatchTraceStitching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real child-process fleet; skipped in -short")
+	}
+	corpus := corpusJSONL(t, 10)
+	state := t.TempDir()
+	tracePath := filepath.Join(state, "trace.jsonl")
+	args := []string{
+		"-task", "events", "-shards", "2", "-state", state,
+		"-trace", tracePath, "-telemetry-interval", "50ms",
+		"-admin", "127.0.0.1:0",
+		"-probe-interval", "100ms", "-restart-backoff", "20ms",
+	}
+	var out, errw bytes.Buffer
+	if code := run(args, bytes.NewReader(corpus), &out, &errw); code != 0 {
+		t.Fatalf("run exit %d\nstderr: %s", code, errw.String())
+	}
+	if _, err := os.Stat(filepath.Join(state, "admin.addr")); err != nil {
+		t.Errorf("admin.addr not written: %v", err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	if len(lines) != 10 {
+		t.Fatalf("trace lines = %d, want 10 (orphans would add lines)\n%s", len(lines), data)
+	}
+	for i, line := range lines {
+		var root vs2.SpanSnapshot
+		if err := json.Unmarshal(line, &root); err != nil {
+			t.Fatalf("trace line %d: %v", i, err)
+		}
+		if !strings.HasPrefix(root.Name, "vs2d ") {
+			t.Fatalf("trace line %d: top-level span %q, want a front-end doc trace", i, root.Name)
+		}
+		if _, orphaned := root.Attrs["parent_span"]; orphaned {
+			t.Fatalf("trace line %d: top-level span carries parent_span — an orphan leaked", i)
+		}
+		var route *vs2.SpanSnapshot
+		for ci := range root.Children {
+			if root.Children[ci].Name == "route" {
+				route = &root.Children[ci]
+			}
+		}
+		if route == nil {
+			t.Fatalf("trace line %d: no route span in %s", i, line)
+		}
+		id, _ := route.Attrs["span_id"].(string)
+		if id == "" {
+			t.Fatalf("trace line %d: route span has no span_id", i)
+		}
+		var worker *vs2.SpanSnapshot
+		for ci := range route.Children {
+			if strings.HasPrefix(route.Children[ci].Name, "worker ") {
+				worker = &route.Children[ci]
+			}
+		}
+		if worker == nil {
+			t.Fatalf("trace line %d: no worker tree grafted under route:\n%s", i, line)
+		}
+		if got, _ := worker.Attrs["parent_span"].(string); got != id {
+			t.Errorf("trace line %d: worker parent_span %q != route span_id %q", i, got, id)
+		}
+		if _, ok := worker.Attrs["shard"]; !ok {
+			t.Errorf("trace line %d: worker root missing the supervisor's shard stamp", i)
+		}
+		if _, ok := worker.Attrs["epoch"]; !ok {
+			t.Errorf("trace line %d: worker root missing the supervisor's epoch stamp", i)
+		}
+		if len(worker.Children) == 0 {
+			t.Errorf("trace line %d: worker tree has no pipeline phases", i)
+		}
+	}
+}
+
 // TestBatchFreshRunWipesState: without -resume an existing state
 // directory is cleared, not silently replayed.
 func TestBatchFreshRunWipesState(t *testing.T) {
@@ -252,7 +333,7 @@ func TestListenMode(t *testing.T) {
 		restartBackoff: 20 * time.Millisecond, restartMax: time.Second,
 		maxRestarts: 3, drainGrace: 5 * time.Second,
 	}
-	sup, _, err := startSupervisor(o, io.Discard)
+	sup, _, err := startSupervisor(o, nil, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +349,7 @@ func TestListenMode(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
-	go func() { served <- serveListener(ctx, l, sup, o, io.Discard) }()
+	go func() { served <- serveListener(ctx, l, sup, o, nil, nil, io.Discard) }()
 
 	conn, err := net.Dial("tcp", l.Addr().String())
 	if err != nil {

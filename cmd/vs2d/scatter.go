@@ -17,8 +17,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"vs2"
+	"vs2/internal/obs"
 	"vs2/internal/shard"
 )
 
@@ -27,6 +29,10 @@ type scatterConfig struct {
 	name    string // input name for line-numbered errors
 	maxLine int
 	window  int
+
+	metrics *vs2.Metrics // frontend.* outcome counters (nil disables)
+	latency *obs.Window  // end-to-end latency, admission to answer (nil disables)
+	stitch  *stitcher    // per-document cross-process tracing (nil disables)
 }
 
 // scatterStats aggregates one stream for the summary line and exit code.
@@ -39,6 +45,7 @@ type scatterStats struct {
 type emitted struct {
 	index int
 	line  []byte
+	dt    *docTrace // nil when untraced
 }
 
 // scatter reads JSONL documents from in, routes each through the
@@ -54,6 +61,7 @@ func scatter(ctx context.Context, sup *shard.Supervisor, cfg scatterConfig, in i
 		defer close(collectDone)
 		pending := map[int][]byte{}
 		next := 0
+		pendingTrace := map[int]*docTrace{}
 		for e := range results {
 			if _, dup := pending[e.index]; dup || e.index < next {
 				// Exactly-once emission: a duplicate outcome for an index is
@@ -61,13 +69,16 @@ func scatter(ctx context.Context, sup *shard.Supervisor, cfg scatterConfig, in i
 				continue
 			}
 			pending[e.index] = e.line
+			pendingTrace[e.index] = e.dt
 			for line, ok := pending[next]; ok; line, ok = pending[next] {
 				bw.Write(line)     //nolint:errcheck
 				bw.WriteByte('\n') //nolint:errcheck
 				mu.Lock()
-				tallyLine(line, &st)
+				tallyLine(line, &st, cfg.metrics)
 				mu.Unlock()
+				pendingTrace[next].emitted() // nil-safe
 				delete(pending, next)
+				delete(pendingTrace, next)
 				next++
 			}
 		}
@@ -85,18 +96,28 @@ func scatter(ctx context.Context, sup *shard.Supervisor, cfg scatterConfig, in i
 		index++
 		key := routeKey(d, i)
 		doc := append([]byte(nil), raw...) // the scanner reuses its buffer
+		var dt *docTrace
+		var span string
+		if cfg.stitch != nil {
+			dt = cfg.stitch.begin(key)
+			span = dt.spanID
+		}
 		sem <- struct{}{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			line, err := sup.Do(ctx, key, doc)
+			start := time.Now()
+			dt.routed()
+			line, err := sup.DoSpan(ctx, key, doc, span)
+			dt.answered()
+			cfg.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 			if err != nil {
 				line = vs2.RenderLine(vs2.BatchResult{Doc: d, Err: &vs2.Error{
 					Phase: vs2.PhaseShard, Stage: "route", Err: err,
 				}})
 			}
-			results <- emitted{index: i, line: line}
+			results <- emitted{index: i, line: line, dt: dt}
 		}()
 		return nil
 	})
@@ -113,16 +134,20 @@ func scatter(ctx context.Context, sup *shard.Supervisor, cfg scatterConfig, in i
 	return st
 }
 
-// tallyLine classifies one emitted result line for the summary counters.
-func tallyLine(line []byte, st *scatterStats) {
+// tallyLine classifies one emitted result line for the summary counters
+// and the frontend.* registry series behind /slo (m nil-safe).
+func tallyLine(line []byte, st *scatterStats, m *vs2.Metrics) {
 	var l vs2.DocLine
 	if err := json.Unmarshal(line, &l); err != nil || l.Error != "" {
 		st.failed++
+		m.Counter("frontend.failed").Inc()
 		return
 	}
 	st.completed++
+	m.Counter("frontend.completed").Inc()
 	if len(l.Degraded) > 0 {
 		st.degraded++
+		m.Counter("frontend.degraded").Inc()
 	}
 }
 
@@ -138,7 +163,7 @@ func routeKey(d *vs2.Document, index int) string {
 
 // serveListener accepts JSONL connections and serves each with its own
 // scatter stream until the listener closes or ctx expires.
-func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o *options, errw io.Writer) error {
+func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o *options, win *obs.Window, stitch *stitcher, errw io.Writer) error {
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
@@ -166,6 +191,9 @@ func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o
 				name:    conn.RemoteAddr().String(),
 				maxLine: o.maxLine,
 				window:  o.window(),
+				metrics: sup.Metrics(),
+				latency: win,
+				stitch:  stitch,
 			}, conn, conn, errw)
 			fmt.Fprintf(errw, "vs2d: %s: %d documents: %d completed, %d failed\n",
 				conn.RemoteAddr(), st.docs, st.completed, st.failed)

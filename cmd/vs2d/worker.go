@@ -43,6 +43,8 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	jpath := fs.String("journal", "", "write-ahead journal path (empty disables durability)")
 	jsync := fs.String("journal-sync", "always", "journal fsync policy: always | interval | never")
 	ckpt := fs.Int("checkpoint", 256, "compact the journal every N completions (0 = only at exit)")
+	telInterval := fs.Duration("telemetry-interval", 0, "ship metric deltas and completed spans up the response pipe this often (0 disables)")
+	traceSpans := fs.Bool("trace-spans", false, "trace each extracted document and ship its span tree with the telemetry")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,7 +57,11 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		logf("%v", err)
 		return 2
 	}
-	p := vs2.NewPipeline(vs2.Config{Task: taskCfg})
+	// The worker keeps its own registry: the pipeline and server write
+	// into it locally, and the telemetry shipper sends deltas upstream so
+	// the front end can aggregate the fleet without shared memory.
+	wm := vs2.NewMetrics()
+	p := vs2.NewPipeline(vs2.Config{Task: taskCfg, Metrics: wm})
 	s := vs2.NewServer(p, vs2.ServerConfig{
 		Workers: *workers,
 		Queue:   *queue,
@@ -64,6 +70,7 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		// (and run-dependent) error lines, breaking byte identity.
 		QueueWait: 24 * time.Hour,
 		Retry:     vs2.RetryPolicy{MaxAttempts: *retries},
+		Metrics:   wm,
 	})
 
 	var jrn *vs2.Journal
@@ -95,6 +102,74 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		wmu.Lock()
 		stdout.Write(append(data, '\n')) //nolint:errcheck
 		wmu.Unlock()
+	}
+
+	// The telemetry shipper: metric deltas since the last shipment plus
+	// the span trees completed since then, riding the response pipe as
+	// keyless Telemetry lines. The supervisor stamps shard and epoch on
+	// receipt, so the worker sends neither.
+	var telMu sync.Mutex
+	var pendingSpans []vs2.SpanSnapshot
+	var lastShipped vs2.MetricsSnapshot
+	ship := func(final bool) {
+		telMu.Lock()
+		spans := pendingSpans
+		pendingSpans = nil
+		cur := wm.Snapshot()
+		delta := cur.DeltaSince(lastShipped)
+		lastShipped = cur
+		telMu.Unlock()
+		respond(shard.Response{Telemetry: &shard.Telemetry{Metrics: &delta, Spans: spans, Final: final}})
+	}
+	stopShip := make(chan struct{})
+	shipDone := make(chan struct{})
+	if *telInterval > 0 {
+		go func() {
+			defer close(shipDone)
+			t := time.NewTicker(*telInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopShip:
+					return
+				case <-t.C:
+					ship(false)
+				}
+			}
+		}()
+	} else {
+		close(shipDone)
+	}
+
+	// extract runs one document, tracing it when asked. Journal-replayed
+	// documents never re-run, so they get a stub tree marked replayed —
+	// the front end's stitched trace still shows where the cached answer
+	// came from, and vs2trace knows not to demand pipeline phases of it.
+	extract := func(ctx context.Context, i int, req shard.Request, d *vs2.Document) vs2.BatchResult {
+		if !*traceSpans {
+			return s.ExtractRecordedKey(ctx, i, req.Key, d, jrn)
+		}
+		tr := vs2.NewTrace("worker " + req.Key)
+		root := tr.Root()
+		root.SetAttr("key", req.Key)
+		if req.Span != "" {
+			root.SetAttr("parent_span", req.Span)
+		}
+		var br vs2.BatchResult
+		if _, done := jrn.Completed(req.Key); done {
+			br = s.ExtractRecordedKey(ctx, i, req.Key, d, jrn) // replay fast path
+			root.SetAttr("replayed", true)
+		} else {
+			br = s.ExtractRecordedKey(vs2.WithTrace(ctx, tr), i, req.Key, d, jrn)
+			if br.Replayed {
+				root.SetAttr("replayed", true)
+			}
+		}
+		tr.Finish()
+		telMu.Lock()
+		pendingSpans = append(pendingSpans, tr.Snapshot())
+		telMu.Unlock()
+		return br
 	}
 
 	window := vs2.ServerConfig{Workers: *workers, Queue: *queue}.Window()
@@ -129,7 +204,7 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			br := s.ExtractRecordedKey(ctx, i, req.Key, d, jrn)
+			br := extract(ctx, i, req, d)
 			if br.Replayed {
 				replayed.Add(1)
 			}
@@ -150,6 +225,11 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := s.Shutdown(shutCtx); err != nil {
 		logf("shutdown: %v", err)
 		code = 1
+	}
+	close(stopShip)
+	<-shipDone
+	if *telInterval > 0 || *traceSpans {
+		ship(true) // shutdown flush: whatever the last tick missed
 	}
 	if err := jrn.Close(); err != nil {
 		logf("journal close: %v", err)

@@ -52,6 +52,8 @@ import (
 	"time"
 
 	"vs2"
+	"vs2/internal/admin"
+	"vs2/internal/obs"
 )
 
 func main() {
@@ -73,6 +75,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		maxLine   = fs.Int("max-line", 16<<20, "largest input line accepted, in bytes")
 		metrics   = fs.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
 		traceOut  = fs.String("trace", "", "write one compact span tree per document (JSONL) to this file")
+		adminAddr = fs.String("admin", "", "admin HTTP listener address (/metrics, /healthz, /readyz, /slo, /debug/pprof); empty disables")
 
 		journalPath = fs.String("journal", "", "write-ahead journal path; completions are journaled before they are emitted")
 		resume      = fs.Bool("resume", false, "replay the journal: skip completed documents, re-emit their cached lines, continue the tail")
@@ -137,6 +140,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		Metrics:   m,
 	})
 
+	// The end-to-end latency window behind /slo: submission to answer,
+	// per document, over the last minute.
+	win := obs.NewWindow(nil, time.Minute, 6)
+	if *adminAddr != "" {
+		adminSrv, aerr := admin.Start(*adminAddr, admin.Config{
+			Metrics: func() obs.Snapshot { return m.Snapshot() },
+			Health:  func() admin.HealthStatus { return serveHealth(m) },
+			SLO:     func() admin.SLOStatus { return serveSLO(m, win) },
+		})
+		if aerr != nil {
+			fmt.Fprintln(stderr, "vs2serve:", aerr)
+			return 2
+		}
+		defer adminSrv.Close()
+		fmt.Fprintf(stderr, "vs2serve: admin listening on %s\n", adminSrv.Addr())
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -163,6 +183,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		stdout:  stdout,
 		stderr:  stderr,
 		traceW:  traceW,
+		latency: win,
 	})
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -193,6 +214,58 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// serveHealth derives the admin verdict from the registry: the process
+// is alive and serving, and an open phase breaker marks it degraded (it
+// still answers, with degraded-mode fallbacks or structured errors).
+func serveHealth(m *vs2.Metrics) admin.HealthStatus {
+	snap := m.Snapshot()
+	open := []string{}
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "serve.breaker.") && strings.HasSuffix(name, ".state") && v != 0 {
+			open = append(open, strings.TrimSuffix(strings.TrimPrefix(name, "serve.breaker."), ".state"))
+		}
+	}
+	sort.Strings(open)
+	status := "ok"
+	if len(open) > 0 {
+		status = "degraded"
+	}
+	return admin.HealthStatus{Status: status, Detail: map[string]any{"open_breakers": open}}
+}
+
+// serveSLO summarizes the latency window and the server's cumulative
+// outcome counters for /slo.
+func serveSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
+	count, _ := win.Totals()
+	snap := m.Snapshot()
+	completed := snap.Counters["serve.completed"]
+	failed := snap.Counters["serve.failed"]
+	shed := snap.Counters["serve.shed"]
+	var degraded int64
+	for name, v := range snap.Counters {
+		// One counter per degradation fallback (degraded.<fallback>).
+		if strings.HasPrefix(name, "degraded.") {
+			degraded += v
+		}
+	}
+	slo := admin.SLOStatus{
+		WindowSeconds: 60,
+		Count:         count,
+		P50MS:         win.Quantile(0.50),
+		P95MS:         win.Quantile(0.95),
+		P99MS:         win.Quantile(0.99),
+		Completed:     completed,
+		Failed:        failed,
+		Shed:          shed,
+		Degraded:      degraded,
+	}
+	if total := completed + failed; total > 0 {
+		slo.ShedRate = float64(shed) / float64(total)
+		slo.DegradedRate = float64(degraded) / float64(total)
+	}
+	return slo
 }
 
 // serveFlags carries the flag values the CLI invariants constrain.
@@ -251,6 +324,7 @@ type streamConfig struct {
 	stdout  io.Writer
 	stderr  io.Writer
 	traceW  *json.Encoder
+	latency *obs.Window // end-to-end latency for /slo (nil disables)
 }
 
 // streamStats aggregates the run for the summary line and exit code.
@@ -307,7 +381,9 @@ func streamExtract(ctx context.Context, s *vs2.Server, jrn *vs2.Journal, cfg str
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			start := time.Now()
 			br := extractOne(ctx, s, jrn, i, d, cfg.traceW, &traceMu)
+			cfg.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 			results <- emitted{index: i, line: br.Line, stats: statsFor(br)}
 		}()
 	})

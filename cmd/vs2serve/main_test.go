@@ -5,8 +5,11 @@ package main
 // flag validation, streaming-input guards, and journal/resume cycles.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,6 +45,71 @@ func parseLines(t *testing.T, stdout string) []vs2.DocLine {
 		out = append(out, d)
 	}
 	return out
+}
+
+// TestServeAdminEndpoints runs a stream with -admin bound to an
+// ephemeral port and scrapes /metrics, /healthz and /slo while the
+// batch runs (the scrape happens before stdin unblocks, so the server
+// is mid-run when probed).
+func TestServeAdminEndpoints(t *testing.T) {
+	pr, pw := io.Pipe()
+	addrCh := make(chan string, 1)
+	stderrR, stderrW := io.Pipe()
+	go func() {
+		// The admin address is announced on stderr before input is read.
+		sc := bufio.NewScanner(stderrR)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "vs2serve: admin listening on ") {
+				addrCh <- strings.TrimPrefix(sc.Text(), "vs2serve: admin listening on ")
+				break
+			}
+		}
+		io.Copy(io.Discard, stderrR) //nolint:errcheck
+	}()
+
+	var stdout bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-task", "events", "-admin", "127.0.0.1:0", "-queue-wait", "10m"}, pr, &stdout, stderrW)
+	}()
+	addr := <-addrCh
+
+	// First half of the corpus, then scrape mid-run, then the rest.
+	stream := posterStream(t, 6).Bytes()
+	half := bytes.Index(stream, []byte("\n")) + 1
+	if _, err := pw.Write(stream[:half]); err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Errorf("/healthz = %d %s", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "# TYPE serve_workers gauge") {
+		t.Errorf("/metrics = %d\n%.400s", code, body)
+	}
+	if code, body := get("/slo"); code != 200 || !strings.Contains(body, "p99_ms") {
+		t.Errorf("/slo = %d %s", code, body)
+	}
+	if _, err := pw.Write(stream[half:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if code := <-done; code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	stderrW.Close()
+	if got := bytes.Count(bytes.TrimSuffix(stdout.Bytes(), []byte("\n")), []byte("\n")) + 1; got != 6 {
+		t.Errorf("output lines = %d, want 6", got)
+	}
 }
 
 func TestServeCleanStream(t *testing.T) {

@@ -1,12 +1,26 @@
 // Command vs2trace validates and summarises trace files written by
-// `vs2 -trace` (one indented JSON span tree) or `vs2serve -trace` (a
-// JSONL stream, one compact span tree per line). It checks the
+// `vs2 -trace` (one indented JSON span tree), `vs2serve -trace` (a
+// JSONL stream, one compact span tree per line), or `vs2d -trace` (a
+// JSONL stream of stitched front-end/worker trees). It checks the
 // structural invariants of each span tree — every child fits inside its
-// parent's duration, the extract span is present, and the per-phase
+// parent's duration, the extract span is present (at any depth; a
+// stitched tree nests it under route → worker), and the per-phase
 // durations account for the run's wall-clock to within 10% — then
 // prints a flame-style summary. A violated invariant or a malformed
 // line exits non-zero, so the `make trace-demo` target doubles as an
 // end-to-end check of the tracing layer.
+//
+// Stitched traces get two additional checks. Cross-process parentage:
+// any span carrying a parent_span attribute must sit structurally under
+// a span whose span_id attribute matches it — a worker tree grafted
+// under the wrong route span is a stitching bug, not a cosmetic one.
+// Orphans: a top-level span carrying parent_span is a worker tree the
+// front end never claimed; it is reported with its line number and
+// whether its parent span ID exists elsewhere in the stream (mis-graft)
+// or was never seen at all (lost front-end span), and exits non-zero.
+// A worker tree whose root carries replayed=true answered from its
+// journal without re-running the pipeline, so it is exempt from the
+// extract/phase requirements.
 //
 // Malformed or truncated lines in a stream do not abort the run: each
 // gets a line-numbered diagnostic on stderr, the remaining lines are
@@ -69,7 +83,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// recovery.
 	var root vs2.SpanSnapshot
 	if err := json.Unmarshal(data, &root); err == nil {
-		if bad := checkTrace(&root, *depth, stdout, stderr); bad {
+		st := newStitchState()
+		st.collect(&root, 1)
+		bad := checkTrace(&root, *depth, stdout, stderr)
+		if st.report(*in, stderr) > 0 {
+			bad = true
+		}
+		if bad {
 			return 1
 		}
 		fmt.Fprintln(stdout, "trace OK")
@@ -91,6 +111,7 @@ func runStream(name string, data []byte, depth int, stdout, stderr io.Writer) in
 		traces int
 		bad    int
 	)
+	st := newStitchState()
 	for sc.Scan() {
 		line++
 		text := bytes.TrimSpace(sc.Bytes())
@@ -104,6 +125,7 @@ func runStream(name string, data []byte, depth int, stdout, stderr io.Writer) in
 			continue
 		}
 		traces++
+		st.collect(&root, line)
 		if checkTrace(&root, depth, stdout, stderr) {
 			bad++
 		}
@@ -112,6 +134,9 @@ func runStream(name string, data []byte, depth int, stdout, stderr io.Writer) in
 		fmt.Fprintf(stderr, "vs2trace: %s:%d: %v\n", name, line+1, err)
 		return 1
 	}
+	// Orphans are judged only once the whole stream has been scanned:
+	// "never seen" must mean never, not "not yet".
+	bad += st.report(name, stderr)
 	if traces == 0 && bad == 0 {
 		fmt.Fprintf(stderr, "vs2trace: %s: no traces found\n", name)
 		return 1
@@ -157,10 +182,15 @@ func errorsAsSyntax(err error, target **json.SyntaxError) bool {
 func checkTrace(root *vs2.SpanSnapshot, depth int, stdout, stderr io.Writer) bool {
 	var problems []string
 	checkNesting(root, &problems)
+	checkParentage(root, &problems)
 
-	run := find(root, "extract")
+	// A stitched tree nests extract under route → worker, so the lookup
+	// descends; the direct-child preference keeps flat traces unambiguous.
+	run := findDeep(root, "extract")
 	if run == nil {
-		problems = append(problems, "no extract span in trace")
+		if !hasReplayed(root) {
+			problems = append(problems, "no extract span in trace")
+		}
 	} else {
 		var phaseSum int64
 		for _, name := range phases {
@@ -209,10 +239,118 @@ func checkNesting(s *vs2.SpanSnapshot, problems *[]string) {
 	}
 }
 
+// checkParentage verifies the cross-process stitch: a span that claims a
+// parent via its parent_span attribute must sit directly under the span
+// whose span_id attribute matches. The root's own claim (an orphan) is
+// judged at stream scope, where "never seen" can mean something.
+func checkParentage(s *vs2.SpanSnapshot, problems *[]string) {
+	for i := range s.Children {
+		c := &s.Children[i]
+		if want, ok := attrString(c, "parent_span"); ok {
+			if id, _ := attrString(s, "span_id"); id != want {
+				*problems = append(*problems, fmt.Sprintf(
+					"span %q claims parent span %q but is stitched under %q (span_id %q)",
+					c.Name, want, s.Name, id))
+			}
+		}
+		checkParentage(c, problems)
+	}
+}
+
+// stitchState accumulates what orphan diagnosis needs across a whole
+// stream: where each span_id first appeared, and every top-level span
+// that claims a parent.
+type stitchState struct {
+	ids     map[string]int // span_id attribute -> first line seen
+	orphans []orphanSpan
+}
+
+type orphanSpan struct {
+	line   int
+	name   string
+	parent string
+}
+
+func newStitchState() *stitchState {
+	return &stitchState{ids: map[string]int{}}
+}
+
+// collect indexes one tree's span_ids and records the root as an orphan
+// if it claims a parent — a worker tree the stitcher failed to graft.
+func (st *stitchState) collect(root *vs2.SpanSnapshot, line int) {
+	var walk func(s *vs2.SpanSnapshot)
+	walk = func(s *vs2.SpanSnapshot) {
+		if id, ok := attrString(s, "span_id"); ok {
+			if _, seen := st.ids[id]; !seen {
+				st.ids[id] = line
+			}
+		}
+		for i := range s.Children {
+			walk(&s.Children[i])
+		}
+	}
+	walk(root)
+	if parent, ok := attrString(root, "parent_span"); ok {
+		st.orphans = append(st.orphans, orphanSpan{line: line, name: root.Name, parent: parent})
+	}
+}
+
+// report prints one line-numbered diagnostic per orphan and returns the
+// orphan count. The distinction matters for debugging: a parent seen
+// elsewhere means the stitcher failed to graft; never seen means the
+// front-end half of the trace is missing entirely.
+func (st *stitchState) report(name string, stderr io.Writer) int {
+	for _, o := range st.orphans {
+		if seenAt, ok := st.ids[o.parent]; ok {
+			fmt.Fprintf(stderr, "vs2trace: %s:%d: orphaned span %q: parent span %q exists (line %d) but the span was not stitched under it\n",
+				name, o.line, o.name, o.parent, seenAt)
+		} else {
+			fmt.Fprintf(stderr, "vs2trace: %s:%d: orphaned span %q: parent span ID %q never seen in the stream\n",
+				name, o.line, o.name, o.parent)
+		}
+	}
+	return len(st.orphans)
+}
+
+// attrString reads a non-empty string attribute.
+func attrString(s *vs2.SpanSnapshot, key string) (string, bool) {
+	v, ok := s.Attrs[key].(string)
+	return v, ok && v != ""
+}
+
+// hasReplayed reports whether any span in the tree is marked
+// replayed=true: the answer came from a journal, no pipeline ran.
+func hasReplayed(s *vs2.SpanSnapshot) bool {
+	if r, ok := s.Attrs["replayed"].(bool); ok && r {
+		return true
+	}
+	for i := range s.Children {
+		if hasReplayed(&s.Children[i]) {
+			return true
+		}
+	}
+	return false
+}
+
 func find(s *vs2.SpanSnapshot, name string) *vs2.SpanSnapshot {
 	for i := range s.Children {
 		if s.Children[i].Name == name {
 			return &s.Children[i]
+		}
+	}
+	return nil
+}
+
+// findDeep prefers a direct child named name, then descends breadth-ish:
+// each child's subtree in order. Stitched vs2d trees carry extract three
+// levels down (route → worker → extract); flat traces hit the fast path.
+func findDeep(s *vs2.SpanSnapshot, name string) *vs2.SpanSnapshot {
+	if c := find(s, name); c != nil {
+		return c
+	}
+	for i := range s.Children {
+		if c := findDeep(&s.Children[i], name); c != nil {
+			return c
 		}
 	}
 	return nil

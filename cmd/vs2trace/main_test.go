@@ -2,9 +2,10 @@ package main
 
 // Regression tests of the vs2trace validator: the single-document mode
 // used by `vs2 -trace`, the JSONL stream mode used by `vs2serve -trace`,
-// and — the satellite contract — line-numbered diagnostics with a
-// non-zero exit on corrupted lines, without aborting the rest of the
-// stream.
+// the stitched cross-process mode used by `vs2d -trace`, and — the
+// satellite contracts — line-numbered diagnostics with a non-zero exit
+// on corrupted lines or orphaned spans, without aborting the rest of
+// the stream.
 
 import (
 	"bytes"
@@ -98,5 +99,83 @@ func TestMissingFlagExits2(t *testing.T) {
 	code, _, stderr := runTrace(t)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr)
+	}
+}
+
+// TestStitchedStreamOK validates a vs2d-style stitched stream: extract
+// found deep under route → worker, cross-process parentage consistent,
+// and a replayed worker tree exempt from the pipeline-phase checks.
+func TestStitchedStreamOK(t *testing.T) {
+	code, stdout, stderr := runTrace(t, "-in", "testdata/stitched.jsonl", "-depth", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "2 traces checked, 0 bad") {
+		t.Fatalf("stdout = %s, want 2 traces checked", stdout)
+	}
+	// The deep extract was found and its phases summarised.
+	if !strings.Contains(stdout, "segment") {
+		t.Fatalf("stdout missing phase breakdown for stitched trace:\n%s", stdout)
+	}
+}
+
+// TestOrphanedSpansDiagnosed is the satellite contract: top-level worker
+// trees that were never grafted exit non-zero with line-numbered
+// diagnostics distinguishing a mis-graft (parent seen elsewhere) from a
+// lost parent (ID never seen).
+func TestOrphanedSpansDiagnosed(t *testing.T) {
+	code, stdout, stderr := runTrace(t, "-in", "testdata/orphans.jsonl", "-depth", "0")
+	if code == 0 {
+		t.Fatal("stream with orphaned spans exited 0")
+	}
+	if !strings.Contains(stderr, `orphans.jsonl:2: orphaned span "worker doc-9"`) ||
+		!strings.Contains(stderr, `parent span "fe-1" exists (line 1)`) {
+		t.Fatalf("stderr missing mis-graft diagnostic for line 2:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, `orphans.jsonl:3: orphaned span "worker doc-8"`) ||
+		!strings.Contains(stderr, `parent span ID "fe-99" never seen`) {
+		t.Fatalf("stderr missing never-seen diagnostic for line 3:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "3 traces checked, 2 bad") {
+		t.Fatalf("stdout = %s, want 3 traces checked, 2 bad", stdout)
+	}
+}
+
+// TestParentageMismatchFails: a worker tree grafted under the wrong
+// route span (parent_span disagrees with the structural parent's
+// span_id) is a stitching bug and must fail validation.
+func TestParentageMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/mismatch.json"
+	tree := `{"name":"vs2d x","start":"2026-08-06T10:00:00Z","duration_ns":1000000,"children":[` +
+		`{"name":"route","start":"2026-08-06T10:00:00Z","duration_ns":900000,"attrs":{"span_id":"fe-1"},"children":[` +
+		`{"name":"worker x","start":"2026-08-06T10:00:00Z","duration_ns":1000,"attrs":{"parent_span":"fe-2","replayed":true}}]}]}`
+	if err := os.WriteFile(path, []byte(tree), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runTrace(t, "-in", path)
+	if code == 0 {
+		t.Fatal("mismatched parentage exited 0")
+	}
+	if !strings.Contains(stderr, `claims parent span "fe-2"`) || !strings.Contains(stderr, `span_id "fe-1"`) {
+		t.Fatalf("stderr missing parentage diagnostic:\n%s", stderr)
+	}
+}
+
+// TestSingleOrphanFails: even in single-document mode a root that claims
+// a parent is an orphan — its front-end half is missing.
+func TestSingleOrphanFails(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/orphan.json"
+	tree := `{"name":"worker y","start":"2026-08-06T10:00:00Z","duration_ns":1000,"attrs":{"parent_span":"fe-7","replayed":true}}`
+	if err := os.WriteFile(path, []byte(tree), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runTrace(t, "-in", path)
+	if code == 0 {
+		t.Fatal("orphaned single trace exited 0")
+	}
+	if !strings.Contains(stderr, `parent span ID "fe-7" never seen`) {
+		t.Fatalf("stderr missing orphan diagnostic:\n%s", stderr)
 	}
 }

@@ -1,0 +1,165 @@
+// Package admin serves the operational plane of a vs2 process: a small
+// HTTP listener exposing Prometheus metrics, liveness/readiness probes,
+// an SLO summary, and the standard pprof handlers. Both vs2d (the
+// sharded front end) and vs2serve (the single-process server) mount it
+// behind an -admin flag; the handlers only read — scraping never
+// perturbs the serving path beyond a registry snapshot.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"vs2/internal/obs"
+)
+
+// Config wires the admin endpoints to the process's observability
+// state. Every field is optional: a nil source serves an empty (but
+// well-formed) response, so a caller can mount the listener before all
+// subsystems exist.
+type Config struct {
+	// Metrics returns the snapshot /metrics renders. Called per scrape.
+	Metrics func() obs.Snapshot
+	// Health returns the health document /healthz and /readyz judge.
+	// Degraded keeps /healthz at 200 (the process is alive and serving,
+	// just not at full strength) but flips /readyz to 503 so a load
+	// balancer drains it; Failed flips both to 503.
+	Health func() HealthStatus
+	// SLO returns the latency/error summary /slo renders. Called per
+	// request.
+	SLO func() SLOStatus
+}
+
+// HealthStatus is the health document: an overall verdict plus an
+// arbitrary detail payload (vs2d supplies the per-shard fleet health).
+type HealthStatus struct {
+	// Status is "ok", "degraded" or "failed".
+	Status string `json:"status"`
+	// Detail is endpoint-specific structured state, e.g. per-shard
+	// supervision snapshots.
+	Detail any `json:"detail,omitempty"`
+}
+
+// SLOStatus is the /slo summary: end-to-end latency quantiles over a
+// sliding window plus cumulative shed/degraded/failed rates.
+type SLOStatus struct {
+	// WindowSeconds is the quantile window's span.
+	WindowSeconds float64 `json:"window_seconds"`
+	// Count is the number of observations inside the window.
+	Count int64 `json:"count"`
+	// P50MS, P95MS and P99MS are latency quantiles in milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// Completed, Failed, Shed and Degraded are cumulative document
+	// counts since process start.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Shed      int64 `json:"shed"`
+	Degraded  int64 `json:"degraded"`
+	// ShedRate and DegradedRate are the cumulative fractions of
+	// documents shed / degraded; 0 when nothing has completed.
+	ShedRate     float64 `json:"shed_rate"`
+	DegradedRate float64 `json:"degraded_rate"`
+}
+
+// Server is one bound admin listener.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// Start binds addr (e.g. "127.0.0.1:0") and serves the admin endpoints
+// until Close. The returned server's Addr reports the bound address, so
+// ":0" works for tests and for writing an address file.
+func Start(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, http: &http.Server{
+		Handler:           Handler(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}}
+	go s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr is the listener's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.http.Close() }
+
+// Handler builds the admin mux; exported so tests (and embedders) can
+// drive the endpoints without a real listener.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var snap obs.Snapshot
+		if cfg.Metrics != nil {
+			snap = cfg.Metrics()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeHealth(w, health(cfg), false)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeHealth(w, health(cfg), true)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		var slo SLOStatus
+		if cfg.SLO != nil {
+			slo = cfg.SLO()
+		}
+		writeJSON(w, http.StatusOK, slo)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func health(cfg Config) HealthStatus {
+	if cfg.Health == nil {
+		return HealthStatus{Status: "ok"}
+	}
+	h := cfg.Health()
+	if h.Status == "" {
+		h.Status = "ok"
+	}
+	return h
+}
+
+// writeHealth maps the verdict onto a status code. Liveness (/healthz)
+// tolerates degradation — restarting a degraded-but-serving process
+// makes things worse; readiness (/readyz) does not — a drained process
+// stops receiving new traffic until it recovers.
+func writeHealth(w http.ResponseWriter, h HealthStatus, readiness bool) {
+	code := http.StatusOK
+	switch h.Status {
+	case "failed":
+		code = http.StatusServiceUnavailable
+	case "degraded":
+		if readiness {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, h)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck
+}

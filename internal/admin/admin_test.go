@@ -1,0 +1,124 @@
+package admin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vs2/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// TestAdminMetrics: /metrics renders the registry snapshot in
+// Prometheus text exposition with the versioned content type.
+func TestAdminMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("extract.runs").Add(3)
+	r.Gauge(obs.Name("shard.up", obs.L("shard", "0"))).Set(1)
+	h := Handler(Config{Metrics: r.Snapshot})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q, want versioned exposition type", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"extract_runs 3", `shard_up{shard="0"} 1`} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestAdminHealth: /healthz tolerates degradation (200) but not
+// failure (503); /readyz drains on either.
+func TestAdminHealth(t *testing.T) {
+	cases := []struct {
+		status    string
+		wantLive  int
+		wantReady int
+	}{
+		{"ok", 200, 200},
+		{"degraded", 200, 503},
+		{"failed", 503, 503},
+	}
+	for _, tc := range cases {
+		h := Handler(Config{Health: func() HealthStatus {
+			return HealthStatus{Status: tc.status, Detail: map[string]int{"live": 2}}
+		}})
+		if code, body := get(t, h, "/healthz"); code != tc.wantLive {
+			t.Errorf("%s: /healthz = %d, want %d (%s)", tc.status, code, tc.wantLive, body)
+		}
+		if code, body := get(t, h, "/readyz"); code != tc.wantReady {
+			t.Errorf("%s: /readyz = %d, want %d (%s)", tc.status, code, tc.wantReady, body)
+		}
+	}
+	// Nil sources serve well-formed defaults.
+	h := Handler(Config{})
+	code, body := get(t, h, "/healthz")
+	if code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Errorf("nil-config /healthz = %d %q", code, body)
+	}
+}
+
+// TestAdminSLO: /slo renders the summary JSON from the callback.
+func TestAdminSLO(t *testing.T) {
+	h := Handler(Config{SLO: func() SLOStatus {
+		return SLOStatus{WindowSeconds: 60, Count: 10, P50MS: 2.5, P95MS: 9, P99MS: 20, Completed: 10, Shed: 1, ShedRate: 0.1}
+	}})
+	code, body := get(t, h, "/slo")
+	if code != 200 {
+		t.Fatalf("/slo = %d", code)
+	}
+	var got SLOStatus
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("bad /slo JSON: %v\n%s", err, body)
+	}
+	if got.P95MS != 9 || got.ShedRate != 0.1 {
+		t.Errorf("/slo round trip = %+v", got)
+	}
+}
+
+// TestAdminPprof: the pprof index mounts under /debug/pprof/.
+func TestAdminPprof(t *testing.T) {
+	h := Handler(Config{})
+	if code, body := get(t, h, "/debug/pprof/"); code != 200 || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ = %d, body %.80q", code, body)
+	}
+}
+
+// TestAdminStart: a real listener binds :0, serves, reports its
+// address and closes cleanly.
+func TestAdminStart(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("x").Add(1)
+	s, err := Start("127.0.0.1:0", Config{Metrics: r.Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "x 1\n") {
+		t.Errorf("live /metrics = %d %q", resp.StatusCode, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

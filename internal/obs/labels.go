@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Metric labels. The registry itself is a flat name -> metric map; a
+// labelled series is a name carrying a canonical label suffix,
+// `base{key="value",...}`, produced by Name. Canonicalisation (sorted
+// keys, escaped values) makes the encoding injective, so two call sites
+// naming the same series always hit the same metric, and WritePrometheus
+// can decode the suffix back into real Prometheus labels instead of
+// leaking key-suffix pseudo-names like "shard.3.up".
+
+// Label is one key/value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Name encodes a labelled series name: `base{k="v",...}` with keys
+// sorted and values escaped. With no labels it returns base unchanged.
+// If base already carries a label suffix, the new labels merge into it
+// (a repeated key keeps the later value).
+func Name(base string, labels ...Label) string {
+	if len(labels) == 0 {
+		return base
+	}
+	prefix, existing := SplitName(base)
+	merged := make(map[string]string, len(existing)+len(labels))
+	for _, l := range existing {
+		merged[l.Key] = l.Value
+	}
+	for _, l := range labels {
+		merged[l.Key] = l.Value
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(prefix)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(merged[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitName decodes a series name into its base and labels. A name
+// without a well-formed label suffix is all base; labels come back in
+// the suffix's (canonical, sorted) order.
+func SplitName(name string) (string, []Label) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base := name[:open]
+	body := name[open+1 : len(name)-1]
+	var labels []Label
+	for len(body) > 0 {
+		eq := strings.Index(body, `="`)
+		if eq < 0 {
+			return name, nil // malformed: treat the whole thing as a base name
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		end, value, ok := unescapeLabel(rest)
+		if !ok {
+			return name, nil
+		}
+		labels = append(labels, Label{Key: key, Value: value})
+		body = rest[end:]
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+		} else if len(body) > 0 {
+			return name, nil
+		}
+	}
+	return base, labels
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabel scans an escaped label value up to its closing quote,
+// returning the index just past the quote and the decoded value.
+func unescapeLabel(s string) (end int, value string, ok bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return i + 1, b.String(), true
+		case '\\':
+			if i+1 >= len(s) {
+				return 0, "", false
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return 0, "", false
+}

@@ -1,0 +1,135 @@
+package obs
+
+import "math"
+
+// Snapshot delta and registry merge: the plumbing that lets a worker
+// process ship its telemetry to a supervising front end. The worker
+// periodically snapshots its registry, computes the delta since the
+// last shipment, and sends that; the front end folds each delta into a
+// fleet registry, stamping every series with the worker's identity
+// (e.g. shard="3") as a real label. Counters and histogram buckets
+// accumulate across shipments — and across worker restarts, since a
+// fresh child's counters restart from zero and deltas keep adding —
+// while gauges are last-value-wins per series.
+
+// DeltaSince returns the change from prev to s: counter increments,
+// per-bucket histogram increments, and the current gauge values
+// (gauges ship absolute — a delta of a last-value metric is
+// meaningless). Zero counter deltas are omitted to keep the wire small.
+// A counter or histogram that went backwards (the source restarted its
+// registry) contributes its full current value.
+func (s Snapshot) DeltaSince(prev Snapshot) Snapshot {
+	d := Snapshot{}
+	for name, cur := range s.Counters {
+		delta := cur
+		if p, ok := prev.Counters[name]; ok && p <= cur {
+			delta = cur - p
+		}
+		if delta == 0 {
+			continue
+		}
+		if d.Counters == nil {
+			d.Counters = map[string]int64{}
+		}
+		d.Counters[name] = delta
+	}
+	if len(s.Gauges) > 0 {
+		d.Gauges = make(map[string]float64, len(s.Gauges))
+		for name, v := range s.Gauges {
+			d.Gauges[name] = v
+		}
+	}
+	for name, cur := range s.Histograms {
+		hd := cur
+		if p, ok := prev.Histograms[name]; ok && sameBounds(p.Bounds, cur.Bounds) && p.Count <= cur.Count {
+			hd = HistogramSnapshot{
+				Count:  cur.Count - p.Count,
+				Sum:    cur.Sum - p.Sum,
+				Bounds: cur.Bounds,
+				Counts: make([]int64, len(cur.Counts)),
+			}
+			ok := true
+			for i := range cur.Counts {
+				if i >= len(p.Counts) || cur.Counts[i] < p.Counts[i] {
+					ok = false
+					break
+				}
+				hd.Counts[i] = cur.Counts[i] - p.Counts[i]
+			}
+			if !ok {
+				hd = cur
+			}
+		}
+		if hd.Count == 0 {
+			continue
+		}
+		if d.Histograms == nil {
+			d.Histograms = map[string]HistogramSnapshot{}
+		}
+		d.Histograms[name] = hd
+	}
+	return d
+}
+
+// Merge folds a snapshot delta into the registry, stamping every series
+// with the extra labels: counters add, gauges set, histogram buckets
+// add. Histogram deltas whose bucket layout cannot merge (mismatched or
+// invalid bounds — possible only for a corrupt wire snapshot) are
+// dropped and counted on the registry's own "merge.dropped" counter
+// rather than panicking the merging process.
+func (r *Registry) Merge(delta Snapshot, labels ...Label) {
+	if r == nil {
+		return
+	}
+	for name, v := range delta.Counters {
+		r.Counter(Name(name, labels...)).Add(v)
+	}
+	for name, v := range delta.Gauges {
+		r.Gauge(Name(name, labels...)).Set(v)
+	}
+	for name := range delta.Histograms {
+		hd := delta.Histograms[name]
+		if err := validateBounds(hd.Bounds); err != nil || len(hd.Counts) != len(hd.Bounds)+1 {
+			r.Counter("merge.dropped").Inc()
+			continue
+		}
+		h := r.Histogram(Name(name, labels...), hd.Bounds)
+		if !h.mergeSnapshot(hd) {
+			r.Counter("merge.dropped").Inc()
+		}
+	}
+}
+
+// mergeSnapshot adds a snapshot's buckets into the live histogram;
+// false when the bucket layouts differ.
+func (h *Histogram) mergeSnapshot(hs HistogramSnapshot) bool {
+	if h == nil {
+		return false
+	}
+	if !sameBounds(h.bounds, hs.Bounds) || len(hs.Counts) != len(h.counts) {
+		return false
+	}
+	for i := range hs.Counts {
+		h.counts[i].Add(hs.Counts[i])
+	}
+	h.count.Add(hs.Count)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + hs.Sum)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return true
+		}
+	}
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

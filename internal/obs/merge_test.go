@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+)
+
+// TestDeltaSince: counters and histogram buckets ship as increments,
+// gauges as absolutes, and a counter that went backwards (worker
+// restart) ships its full current value.
+func TestDeltaSince(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("done").Add(5)
+	r.Gauge("depth").Set(2)
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	prev := r.Snapshot()
+
+	r.Counter("done").Add(3)
+	r.Gauge("depth").Set(7)
+	h.Observe(5)
+	d := r.Snapshot().DeltaSince(prev)
+
+	if got := d.Counters["done"]; got != 3 {
+		t.Errorf("counter delta = %d, want 3", got)
+	}
+	if got := d.Gauges["depth"]; got != 7 {
+		t.Errorf("gauge in delta = %v, want absolute 7", got)
+	}
+	hd := d.Histograms["lat"]
+	if hd.Count != 1 || hd.Sum != 5 {
+		t.Errorf("hist delta count/sum = %d/%v, want 1/5", hd.Count, hd.Sum)
+	}
+	if hd.Counts[1] != 1 || hd.Counts[0] != 0 {
+		t.Errorf("hist delta buckets = %v, want [0 1 0]", hd.Counts)
+	}
+
+	// Restart: current counter below previous ships in full.
+	fresh := NewRegistry()
+	fresh.Counter("done").Add(2)
+	d2 := fresh.Snapshot().DeltaSince(r.Snapshot())
+	if got := d2.Counters["done"]; got != 2 {
+		t.Errorf("post-restart delta = %d, want full 2", got)
+	}
+
+	// A flat registry produces an empty (wire-cheap) delta.
+	d3 := r.Snapshot().DeltaSince(r.Snapshot())
+	if len(d3.Counters) != 0 || len(d3.Histograms) != 0 {
+		t.Errorf("no-change delta carries data: %+v", d3)
+	}
+}
+
+// TestRegistryMerge: deltas fold into a fleet registry with the shard
+// identity as a real label, accumulating across shipments.
+func TestRegistryMerge(t *testing.T) {
+	fleet := NewRegistry()
+	worker := NewRegistry()
+	worker.Counter("serve.completed").Add(4)
+	worker.Gauge("serve.inflight").Set(2)
+	worker.Histogram("lat", []float64{1, 10}).Observe(3)
+	snap := worker.Snapshot()
+
+	fleet.Merge(snap, L("shard", "3"))
+	fleet.Merge(snap, L("shard", "3")) // second shipment accumulates
+
+	if got := fleet.Counter(`serve.completed{shard="3"}`).Value(); got != 8 {
+		t.Errorf("merged counter = %d, want 8", got)
+	}
+	if got := fleet.Gauge(`serve.inflight{shard="3"}`).Value(); got != 2 {
+		t.Errorf("merged gauge = %v, want 2 (last value wins)", got)
+	}
+	mh := fleet.Histogram(`lat{shard="3"}`, []float64{1, 10})
+	if mh.Count() != 2 || mh.Sum() != 6 {
+		t.Errorf("merged hist count/sum = %d/%v, want 2/6", mh.Count(), mh.Sum())
+	}
+
+	// A corrupt wire histogram (bad bounds) is dropped, not a panic.
+	fleet.Merge(Snapshot{Histograms: map[string]HistogramSnapshot{
+		"evil": {Count: 1, Bounds: []float64{5, 1}, Counts: []int64{1, 0, 0}},
+	}}, L("shard", "3"))
+	if got := fleet.Counter("merge.dropped").Value(); got != 1 {
+		t.Errorf("merge.dropped = %d, want 1", got)
+	}
+
+	// A layout mismatch against an existing series is dropped too.
+	fleet.Merge(Snapshot{Histograms: map[string]HistogramSnapshot{
+		"lat": {Count: 1, Bounds: []float64{2, 20}, Counts: []int64{1, 0, 0}},
+	}}, L("shard", "3"))
+	if got := fleet.Counter("merge.dropped").Value(); got != 2 {
+		t.Errorf("merge.dropped after mismatch = %d, want 2", got)
+	}
+	if mh.Count() != 2 {
+		t.Errorf("mismatched delta perturbed the series: count %d", mh.Count())
+	}
+}
+
+// TestHistogramBoundsValidation: misdeclared layouts fail loudly at
+// registration instead of misbucketing forever.
+func TestHistogramBoundsValidation(t *testing.T) {
+	r := NewRegistry()
+	for name, bounds := range map[string][]float64{
+		"empty":     {},
+		"descend":   {5, 1},
+		"duplicate": {1, 1, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Histogram(%s, %v) did not panic", name, bounds)
+				}
+			}()
+			r.Histogram(name, bounds)
+		}()
+	}
+	// nil still selects the default layout; an existing histogram ignores
+	// later (even bad) bounds because registration already fixed them.
+	if h := r.Histogram("ok", nil); h == nil {
+		t.Fatal("nil bounds must register the default layout")
+	}
+	if h := r.Histogram("ok", nil); h == nil {
+		t.Fatal("re-lookup failed")
+	}
+}
+
+// TestExpvarDuplicateGuard: publishing the same expvar name twice (from
+// one or several registries) is idempotent, not a panic — expvar.Publish
+// itself panics on duplicates, so the guard is what keeps two servers in
+// one process (vs2d admin + tests) safe.
+func TestExpvarDuplicateGuard(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(1)
+	name := "obs-test-dup-guard"
+	a.Expvar(name)
+	b.Expvar(name) // would panic without the guard
+	a.Expvar(name)
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("expvar never published")
+	}
+	if s := v.String(); !strings.Contains(s, `"x":1`) {
+		t.Errorf("expvar serves the wrong registry: %s", s)
+	}
+}

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -180,6 +182,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns the named histogram, creating it on first use with
 // the given bucket bounds (nil selects LatencyBucketsMS). The first
 // creation fixes the layout; later bounds arguments are ignored.
+// Explicit bounds must be non-empty and strictly increasing —
+// registration panics otherwise, because a misdeclared layout would
+// silently misbucket every later observation.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
@@ -189,6 +194,11 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.RUnlock()
 	if h != nil {
 		return h
+	}
+	if bounds != nil {
+		if err := validateBounds(bounds); err != nil {
+			panic(fmt.Sprintf("obs: histogram %q: %v", name, err))
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -200,6 +210,25 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// validateBounds rejects bucket layouts that would misbucket: empty
+// bound lists and bounds that are not strictly increasing (which
+// includes NaN anywhere in the list).
+func validateBounds(bounds []float64) error {
+	if len(bounds) == 0 {
+		return errors.New("empty bucket bounds")
+	}
+	for i, b := range bounds {
+		if b != b { // NaN
+			return fmt.Errorf("bound %d is NaN", i)
+		}
+		if i > 0 && bounds[i-1] >= b {
+			return fmt.Errorf("bounds not strictly increasing: bounds[%d]=%v >= bounds[%d]=%v",
+				i-1, bounds[i-1], i, b)
+		}
+	}
+	return nil
 }
 
 // HistogramSnapshot is the immutable form of one histogram. Counts has

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a metrics
+// snapshot. Series names canonicalised by Name decode back into real
+// Prometheus labels; dots in base names become underscores. The output
+// is fully deterministic — families sorted by name, series sorted by
+// label suffix — so a scrape is diffable and the format is pinned by a
+// golden test.
+
+// WritePrometheus renders the snapshot in the Prometheus text format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type series struct {
+		labels string // canonical `{k="v",...}` suffix, "" when unlabelled
+		value  string
+		hist   *HistogramSnapshot
+	}
+	families := map[string]*struct {
+		kind   string
+		series []series
+	}{}
+	add := func(name, kind string, val string, hist *HistogramSnapshot) {
+		base, labels := SplitName(name)
+		fam := promName(base)
+		f := families[fam]
+		if f == nil || f.kind != kind {
+			// A base name shared across metric kinds would produce duplicate
+			// family names; keep them apart with a kind suffix. Registries in
+			// this codebase never do this, but a merged foreign snapshot could.
+			if f != nil {
+				fam = fam + "_" + kind
+				f = families[fam]
+			}
+		}
+		if f == nil {
+			f = &struct {
+				kind   string
+				series []series
+			}{kind: kind}
+			families[fam] = f
+		}
+		f.series = append(f.series, series{labels: labelSuffix(labels), value: val, hist: hist})
+	}
+	for name, v := range s.Counters {
+		add(name, "counter", strconv.FormatInt(v, 10), nil)
+	}
+	for name, v := range s.Gauges {
+		add(name, "gauge", formatFloat(v), nil)
+	}
+	for name := range s.Histograms {
+		h := s.Histograms[name]
+		add(name, "histogram", "", &h)
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		f := families[fam]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, f.kind); err != nil {
+			return err
+		}
+		for _, sr := range f.series {
+			if sr.hist == nil {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", fam, sr.labels, sr.value); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writeHistogram(w, fam, sr.labels, sr.hist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// `le` labels (the internal per-bucket counts convert to cumulative),
+// then _sum and _count.
+func writeHistogram(w io.Writer, fam, labels string, h *HistogramSnapshot) error {
+	cum := int64(0)
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, bucketLabels(labels, formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, bucketLabels(labels, "+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, labels, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, labels, h.Count)
+	return err
+}
+
+// bucketLabels appends the `le` label to an existing label suffix.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// labelSuffix renders decoded labels back into a canonical suffix.
+func labelSuffix(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelKey(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promName maps a dotted registry name onto a valid Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*, with '.' and every other invalid rune
+// becoming '_'.
+func promName(base string) string {
+	var b strings.Builder
+	for i, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelKey maps a label key onto a valid Prometheus label name
+// ('le' excepted — the histogram path owns that key).
+func promLabelKey(k string) string {
+	var b strings.Builder
+	for i, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, integral values without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

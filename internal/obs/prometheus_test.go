@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte for byte:
+// deterministic family order, labelled series decoded from canonical
+// names, cumulative histogram buckets with le labels.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("extract.runs").Add(17)
+	r.Counter(Name("shard.restarts", L("shard", "1"))).Add(2)
+	r.Counter(Name("shard.restarts", L("shard", "0"))).Add(0) // zero still exposes
+	r.Gauge(Name("shard.up", L("shard", "0"))).Set(1)
+	r.Gauge(Name("shard.up", L("shard", "1"))).Set(0)
+	r.Gauge("serve.inflight").Set(3.5)
+	h := r.Histogram("phase.segment.ms", []float64{1, 5, 25})
+	h.Observe(0.4)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100) // overflow bucket
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE extract_runs counter
+extract_runs 17
+# TYPE phase_segment_ms histogram
+phase_segment_ms_bucket{le="1"} 1
+phase_segment_ms_bucket{le="5"} 3
+phase_segment_ms_bucket{le="25"} 3
+phase_segment_ms_bucket{le="+Inf"} 4
+phase_segment_ms_sum 106.4
+phase_segment_ms_count 4
+# TYPE serve_inflight gauge
+serve_inflight 3.5
+# TYPE shard_restarts counter
+shard_restarts{shard="0"} 0
+shard_restarts{shard="1"} 2
+# TYPE shard_up gauge
+shard_up{shard="0"} 1
+shard_up{shard="1"} 0
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
+// TestPrometheusLabelledHistogram: a labelled histogram series carries
+// its labels on every bucket line, with le appended.
+func TestPrometheusLabelledHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(Name("phase.search.ms", L("shard", "2")), []float64{10}).Observe(4)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`phase_search_ms_bucket{shard="2",le="10"} 1`,
+		`phase_search_ms_bucket{shard="2",le="+Inf"} 1`,
+		`phase_search_ms_sum{shard="2"} 4`,
+		`phase_search_ms_count{shard="2"} 1`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestNameSplitRoundTrip(t *testing.T) {
+	cases := []struct {
+		base   string
+		labels []Label
+		want   string
+	}{
+		{"shard.up", nil, "shard.up"},
+		{"shard.up", []Label{L("shard", "3")}, `shard.up{shard="3"}`},
+		{"x", []Label{L("b", "2"), L("a", "1")}, `x{a="1",b="2"}`},
+		{`x{a="1"}`, []Label{L("b", "2")}, `x{a="1",b="2"}`},
+		{"esc", []Label{L("k", `quote " back \ nl`+"\n")}, `esc{k="quote \" back \\ nl\n"}`},
+	}
+	for _, tc := range cases {
+		got := Name(tc.base, tc.labels...)
+		if got != tc.want {
+			t.Errorf("Name(%q, %v) = %q, want %q", tc.base, tc.labels, got, tc.want)
+			continue
+		}
+		base, labels := SplitName(got)
+		round := Name(base, labels...)
+		if round != got {
+			t.Errorf("SplitName/Name round trip of %q = %q", got, round)
+		}
+	}
+	if base, labels := SplitName("plain.name"); base != "plain.name" || labels != nil {
+		t.Errorf("SplitName(plain.name) = %q, %v", base, labels)
+	}
+	if base, _ := SplitName("torn{a="); base != "torn{a=" {
+		t.Errorf("malformed suffix should stay a base name, got %q", base)
+	}
+}

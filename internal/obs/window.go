@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Window is a sliding-window histogram for SLO reporting: observations
+// land in fixed buckets like a Histogram, but old observations age out,
+// so Quantile answers "p99 over the last minute" rather than "p99 since
+// process start". The window is a ring of time-aligned slots; a slot is
+// reset lazily when the ring wraps onto it, so Observe stays O(1) and
+// allocation-free after construction. All methods are safe for
+// concurrent use and on a nil receiver.
+type Window struct {
+	mu      sync.Mutex
+	bounds  []float64
+	slots   []windowSlot
+	slotDur time.Duration
+	now     func() time.Time
+}
+
+type windowSlot struct {
+	epoch  int64 // slot index since the Unix epoch; 0 slots are dead
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+// NewWindow builds a sliding-window histogram covering roughly span,
+// quantised into slots ring positions (more slots, smoother aging).
+// Bounds follow the Histogram rules (nil selects LatencyBucketsMS,
+// explicit bounds must be non-empty and strictly increasing). span and
+// slots are clamped to sane minimums.
+func NewWindow(bounds []float64, span time.Duration, slots int) *Window {
+	if bounds == nil {
+		bounds = LatencyBucketsMS
+	} else if err := validateBounds(bounds); err != nil {
+		panic("obs: window: " + err.Error())
+	}
+	if slots < 2 {
+		slots = 2
+	}
+	if span < time.Duration(slots) {
+		span = time.Minute
+	}
+	w := &Window{
+		bounds:  bounds,
+		slots:   make([]windowSlot, slots),
+		slotDur: span / time.Duration(slots),
+		now:     time.Now,
+	}
+	for i := range w.slots {
+		w.slots[i].counts = make([]int64, len(bounds)+1)
+	}
+	return w
+}
+
+// slot returns the live ring slot for the current instant, resetting it
+// if the ring has wrapped since it was last written. Callers hold w.mu.
+func (w *Window) slot() *windowSlot {
+	epoch := w.now().UnixNano() / int64(w.slotDur)
+	s := &w.slots[int(epoch%int64(len(w.slots)))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.count, s.sum = 0, 0
+	}
+	return s
+}
+
+// Observe records one value into the current slot.
+func (w *Window) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.slot()
+	i := 0
+	for i < len(w.bounds) && v > w.bounds[i] {
+		i++
+	}
+	s.counts[i]++
+	s.count++
+	s.sum += v
+}
+
+// aggregate sums the slots still inside the window. Callers hold w.mu.
+func (w *Window) aggregate() (counts []int64, count int64, sum float64) {
+	oldest := w.now().UnixNano()/int64(w.slotDur) - int64(len(w.slots)) + 1
+	counts = make([]int64, len(w.bounds)+1)
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.epoch < oldest || s.epoch == 0 {
+			continue
+		}
+		for j, c := range s.counts {
+			counts[j] += c
+		}
+		count += s.count
+		sum += s.sum
+	}
+	return counts, count, sum
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the windowed
+// observations by linear interpolation inside the bucket the rank lands
+// in, the same estimate histogram_quantile computes. An empty window
+// returns 0; a rank in the overflow bucket returns the highest bound
+// (the window cannot see past its last bucket).
+func (w *Window) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	counts, count, _ := w.aggregate()
+	bounds := w.bounds
+	w.mu.Unlock()
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Totals returns the observation count and sum inside the window.
+func (w *Window) Totals() (count int64, sum float64) {
+	if w == nil {
+		return 0, 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, count, sum = w.aggregate()
+	return count, sum
+}
+
+// Snapshot renders the windowed distribution in the same immutable form
+// as a cumulative histogram's snapshot.
+func (w *Window) Snapshot() HistogramSnapshot {
+	if w == nil {
+		return HistogramSnapshot{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	counts, count, sum := w.aggregate()
+	return HistogramSnapshot{
+		Count:  count,
+		Sum:    sum,
+		Bounds: append([]float64(nil), w.bounds...),
+		Counts: counts,
+	}
+}

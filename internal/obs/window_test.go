@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Window deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testWindow(span time.Duration, slots int) (*Window, *fakeClock) {
+	w := NewWindow([]float64{1, 2, 5, 10, 100}, span, slots)
+	c := &fakeClock{t: time.Unix(1_000_000, 0)}
+	w.now = c.now
+	return w, c
+}
+
+func TestWindowQuantile(t *testing.T) {
+	w, _ := testWindow(time.Minute, 6)
+	// 90 observations in (0,1], 10 in (5,10]: p50 inside the first
+	// bucket, p99 inside the fourth.
+	for i := 0; i < 90; i++ {
+		w.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(7)
+	}
+	if p50 := w.Quantile(0.50); p50 <= 0 || p50 > 1 {
+		t.Errorf("p50 = %v, want in (0,1]", p50)
+	}
+	if p95 := w.Quantile(0.95); p95 < 5 || p95 > 10 {
+		t.Errorf("p95 = %v, want in [5,10]", p95)
+	}
+	if count, sum := w.Totals(); count != 100 || math.Abs(sum-115) > 1e-9 {
+		t.Errorf("totals = %d, %v; want 100, 115", count, sum)
+	}
+}
+
+func TestWindowAgesOut(t *testing.T) {
+	w, c := testWindow(time.Minute, 6)
+	w.Observe(3)
+	if count, _ := w.Totals(); count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	c.advance(30 * time.Second)
+	w.Observe(3)
+	if count, _ := w.Totals(); count != 2 {
+		t.Fatalf("count after half window = %d, want 2", count)
+	}
+	c.advance(45 * time.Second) // first observation is now past the window
+	if count, _ := w.Totals(); count != 1 {
+		t.Errorf("count after aging = %d, want 1", count)
+	}
+	c.advance(2 * time.Minute)
+	if count, _ := w.Totals(); count != 0 {
+		t.Errorf("count after full expiry = %d, want 0", count)
+	}
+	if q := w.Quantile(0.99); q != 0 {
+		t.Errorf("quantile of empty window = %v, want 0", q)
+	}
+}
+
+func TestWindowOverflowClampsToLastBound(t *testing.T) {
+	w, _ := testWindow(time.Minute, 4)
+	for i := 0; i < 10; i++ {
+		w.Observe(1e6) // far past the last bound
+	}
+	if q := w.Quantile(0.99); q != 100 {
+		t.Errorf("overflow quantile = %v, want clamp to last bound 100", q)
+	}
+}
+
+func TestWindowNilSafe(t *testing.T) {
+	var w *Window
+	w.Observe(1)
+	if q := w.Quantile(0.5); q != 0 {
+		t.Errorf("nil window quantile = %v", q)
+	}
+	if c, s := w.Totals(); c != 0 || s != 0 {
+		t.Errorf("nil window totals = %d, %v", c, s)
+	}
+	if snap := w.Snapshot(); snap.Count != 0 {
+		t.Errorf("nil window snapshot count = %d", snap.Count)
+	}
+}
+
+// TestObsWindowConcurrent hits one window from many goroutines under
+// the race detector (the `make obs` target runs -run TestObs -race).
+func TestObsWindowConcurrent(t *testing.T) {
+	w := NewWindow(nil, time.Second, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Observe(float64(i % 50))
+				if i%50 == 0 {
+					w.Quantile(0.95)
+					w.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count, _ := w.Totals(); count == 0 {
+		t.Error("no observations landed")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,8 +82,16 @@ type Config struct {
 	Seed int64
 	// Metrics, when non-nil, receives the shard.* telemetry: per-shard
 	// up/down gauges, start/restart/crash/failover counters and the
-	// reroute-distance histogram.
+	// reroute-distance histogram. Per-shard series carry the shard index
+	// as a real label (obs.Name), so a Prometheus exposition shows
+	// shard="3" rather than a key-suffix pseudo-name.
 	Metrics *obs.Registry
+	// OnTelemetry, when non-nil, observes every telemetry shipment a
+	// worker sends up the response pipe, stamped with the authoritative
+	// shard index and child epoch. Called from the shard's reader
+	// goroutine — implementations must be quick and internally
+	// synchronized.
+	OnTelemetry func(t Telemetry)
 	// Stderr receives the children's stderr; nil selects os.Stderr.
 	Stderr io.Writer
 }
@@ -192,7 +201,8 @@ func New(cfg Config) (*Supervisor, error) {
 			Threshold: breakerThreshold(cfg.BreakerThreshold),
 			Cooldown:  cfg.BreakerCooldown,
 			OnTransition: func(_, to serve.State) {
-				s.m.Counter(fmt.Sprintf("shard.%d.breaker.to_%s", i, to)).Inc()
+				s.m.Counter(obs.Name("shard.breaker.transitions",
+					obs.L("shard", strconv.Itoa(i)), obs.L("to", to.String()))).Inc()
 			},
 		})
 		s.shards = append(s.shards, st)
@@ -222,6 +232,7 @@ type callResult struct {
 type call struct {
 	key  string
 	doc  json.RawMessage
+	span string          // front-end parent span ID, "" when untraced
 	done chan callResult // buffered(1)
 }
 
@@ -233,6 +244,14 @@ type call struct {
 // error when the caller's context expires, the supervisor closes, or
 // the whole fleet is permanently failed.
 func (s *Supervisor) Do(ctx context.Context, key string, doc json.RawMessage) ([]byte, error) {
+	return s.DoSpan(ctx, key, doc, "")
+}
+
+// DoSpan is Do with a front-end span ID: the worker stamps its own
+// extraction span tree with span as its parent, so the front end can
+// stitch a cross-process trace for this document. An empty span
+// disables worker tracing for the call.
+func (s *Supervisor) DoSpan(ctx context.Context, key string, doc json.RawMessage, span string) ([]byte, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -240,7 +259,7 @@ func (s *Supervisor) Do(ctx context.Context, key string, doc json.RawMessage) ([
 	if !ok {
 		return nil, ErrNoShards
 	}
-	c := &call{key: key, doc: doc, done: make(chan callResult, 1)}
+	c := &call{key: key, doc: doc, span: span, done: make(chan callResult, 1)}
 	s.shards[target].enqueue(c)
 	select {
 	case r := <-c.done:
@@ -303,6 +322,89 @@ func (s *Supervisor) Close(ctx context.Context) error {
 // Metrics returns the supervisor's registry (possibly nil).
 func (s *Supervisor) Metrics() *obs.Registry { return s.m }
 
+// ShardHealth is one shard's live supervision state, as reported by
+// Health for the /healthz and /readyz endpoints.
+type ShardHealth struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Up reports whether a child process is currently alive.
+	Up bool `json:"up"`
+	// PID is the live child's process ID; 0 when down.
+	PID int `json:"pid,omitempty"`
+	// Breaker is the shard's routing breaker state: closed shards take
+	// new traffic, open ones fail over to their ring successors.
+	Breaker string `json:"breaker"`
+	// Backlog counts calls accepted but not yet answered: queued (not
+	// written to a live child) plus in flight (awaiting a response).
+	Backlog int `json:"backlog"`
+	// InFlight counts calls written to the current child and awaiting
+	// answers.
+	InFlight int `json:"in_flight"`
+	// Restarts is the shard's lifetime restart count.
+	Restarts int64 `json:"restarts"`
+	// Epoch is the current child incarnation (1 = first start).
+	Epoch int64 `json:"epoch"`
+	// Failed marks a shard abandoned after MaxRestarts consecutive
+	// unproven starts; its keyspace has failed over for good.
+	Failed bool `json:"failed"`
+}
+
+// FleetHealth is the whole fleet's health summary. Degraded means the
+// fleet still serves but not at full strength (a shard down, breaker
+// open, or permanently failed); Failed means no shard can take work at
+// all.
+type FleetHealth struct {
+	Shards   []ShardHealth `json:"shards"`
+	Live     int           `json:"live"`     // shards with a running child
+	Routable int           `json:"routable"` // shards accepting new traffic
+	Degraded bool          `json:"degraded"`
+	Failed   bool          `json:"failed"`
+	Closed   bool          `json:"closed"`
+}
+
+// Health snapshots the fleet's supervision state. Safe for concurrent
+// use; the snapshot is internally consistent per shard (each shard's
+// fields are read under its own lock).
+func (s *Supervisor) Health() FleetHealth {
+	fh := FleetHealth{Closed: s.closed.Load()}
+	for _, st := range s.shards {
+		st.mu.Lock()
+		sh := ShardHealth{
+			Shard:    st.id,
+			Up:       st.up,
+			PID:      st.pid,
+			Backlog:  len(st.queue),
+			Restarts: st.total,
+			Epoch:    st.epoch,
+			Failed:   st.failed,
+		}
+		for _, cs := range st.sent {
+			sh.InFlight += len(cs)
+		}
+		sh.Backlog += sh.InFlight
+		st.mu.Unlock()
+		sh.Breaker = st.breaker.State().String()
+		fh.Shards = append(fh.Shards, sh)
+		if sh.Up {
+			fh.Live++
+		}
+		if !sh.Failed && sh.Breaker == serve.Closed.String() {
+			fh.Routable++
+		}
+		if !sh.Up || sh.Failed || sh.Breaker != serve.Closed.String() {
+			fh.Degraded = true
+		}
+	}
+	alive := 0
+	for _, st := range s.shards {
+		if !st.permanentlyFailed() {
+			alive++
+		}
+	}
+	fh.Failed = alive == 0
+	return fh
+}
+
 // shardState is one shard's supervision state: its dispatch queue, the
 // calls in flight on the current child, and the crash accounting that
 // drives restarts and failover.
@@ -317,6 +419,10 @@ type shardState struct {
 	sent     map[string][]*call // written, awaiting responses (FIFO per key)
 	failed   bool               // permanent: MaxRestarts consecutive unproven starts
 	restarts int                // consecutive unproven (re)starts
+	total    int64              // restarts over the shard's lifetime (never resets)
+	epoch    int64              // child incarnation: 1 on first start, +1 per restart
+	up       bool               // a child is currently alive
+	pid      int                // current child's PID; 0 when down
 	kick     chan struct{}
 }
 
@@ -395,6 +501,10 @@ func (st *shardState) run() {
 		st.mu.Unlock()
 		if attempt > 0 {
 			st.sup.m.Counter("shard.restarts").Inc()
+			st.sup.m.Counter(obs.Name("shard.restarts", st.label())).Inc()
+			st.mu.Lock()
+			st.total++
+			st.mu.Unlock()
 			if err := st.backoff.Sleep(context.Background(), st.sup.done, attempt-1); err != nil {
 				return
 			}
@@ -613,13 +723,23 @@ func (st *shardState) startChild() (*proc, error) {
 		p.waitErr = cmd.Wait()
 		close(p.exited)
 	}()
+	st.mu.Lock()
+	st.epoch++
+	st.up = true
+	st.pid = cmd.Process.Pid
+	st.mu.Unlock()
 	st.sup.m.Counter("shard.starts").Inc()
-	st.sup.m.Gauge(fmt.Sprintf("shard.%d.up", st.id)).Set(1)
+	st.sup.m.Gauge(obs.Name("shard.up", st.label())).Set(1)
 	st.sup.m.Gauge("shard.up").Add(1)
 	if st.sup.cfg.OnStart != nil {
 		st.sup.cfg.OnStart(st.id, cmd.Process.Pid)
 	}
 	return p, nil
+}
+
+// label is the shard's metric label.
+func (st *shardState) label() obs.Label {
+	return obs.L("shard", strconv.Itoa(st.id))
 }
 
 // serveChild pumps one child for its whole life: a reader goroutine
@@ -628,12 +748,19 @@ func (st *shardState) startChild() (*proc, error) {
 // has exited and its output is fully drained — true when the exit was a
 // supervisor shutdown, false when it was a crash.
 func (st *shardState) serveChild(p *proc) (shutdown bool) {
+	st.mu.Lock()
+	epoch := st.epoch
+	st.mu.Unlock()
 	defer func() {
-		st.sup.m.Gauge(fmt.Sprintf("shard.%d.up", st.id)).Set(0)
+		st.mu.Lock()
+		st.up = false
+		st.pid = 0
+		st.mu.Unlock()
+		st.sup.m.Gauge(obs.Name("shard.up", st.label())).Set(0)
 		st.sup.m.Gauge("shard.up").Add(-1)
 	}()
 	readerDone := make(chan struct{})
-	go st.readResponses(p, readerDone)
+	go st.readResponses(p, epoch, readerDone)
 	proberDone := make(chan struct{})
 	go st.probe(p, proberDone)
 	// Work requeued from the previous incarnation (and anything enqueued
@@ -687,15 +814,17 @@ func (st *shardState) flush(p *proc) bool {
 		st.queue = st.queue[1:]
 		st.sent[c.key] = append(st.sent[c.key], c)
 		st.mu.Unlock()
-		if err := p.write(Request{Key: c.key, Doc: c.doc}); err != nil {
+		if err := p.write(Request{Key: c.key, Doc: c.doc, Span: c.span}); err != nil {
 			return false
 		}
 	}
 }
 
 // readResponses drains the child's stdout until EOF, delivering each
-// keyed line to the oldest waiting call for that key.
-func (st *shardState) readResponses(p *proc, done chan<- struct{}) {
+// keyed line to the oldest waiting call for that key and forwarding
+// telemetry shipments, stamped with the shard index and this child's
+// epoch, to the telemetry observer.
+func (st *shardState) readResponses(p *proc, epoch int64, done chan<- struct{}) {
 	defer close(done)
 	defer p.stdout.Close() //nolint:errcheck
 	dec := json.NewDecoder(p.stdout)
@@ -706,6 +835,16 @@ func (st *shardState) readResponses(p *proc, done chan<- struct{}) {
 		}
 		p.lastSeen.Store(time.Now().UnixNano())
 		st.markLive()
+		if r.Telemetry != nil {
+			st.sup.m.Counter(obs.Name("shard.telemetry.shipments", st.label())).Inc()
+			if cb := st.sup.cfg.OnTelemetry; cb != nil {
+				t := *r.Telemetry
+				t.Shard = st.id
+				t.Epoch = epoch
+				cb(t)
+			}
+			continue
+		}
 		if r.Pong {
 			continue
 		}

@@ -40,6 +40,9 @@ func TestMain(m *testing.M) {
 //	SHARD_HANG_ONCE=path   first incarnation answers nothing at all
 //	                       (probe deadline must kill it)
 //	SHARD_FAIL_START=1     exit(9) immediately, before reading stdin
+//	SHARD_TELEMETRY=1      after each answered document, ship a telemetry
+//	                       line: the worker registry's delta plus one span
+//	                       stamped with the request's Span as parent_span
 func echoWorker() int {
 	if os.Getenv("SHARD_FAIL_START") != "" {
 		return 9
@@ -57,6 +60,9 @@ func echoWorker() int {
 	if v := os.Getenv("SHARD_CRASH_AFTER"); v != "" {
 		crashAfter, _ = strconv.Atoi(v)
 	}
+	telemetry := os.Getenv("SHARD_TELEMETRY") != ""
+	wm := obs.NewRegistry()
+	var prev obs.Snapshot
 	answered := 0
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -79,10 +85,32 @@ func echoWorker() int {
 		line, _ := json.Marshal(map[string]any{"id": req.Key, "pid": os.Getpid() != 0})
 		writeJSON(out, Response{Key: req.Key, Line: line})
 		answered++
+		if telemetry {
+			wm.Counter("worker.docs").Inc()
+			cur := wm.Snapshot()
+			delta := cur.DeltaSince(prev)
+			prev = cur
+			tr := obs.New("worker " + req.Key)
+			tr.Root().SetAttr("key", req.Key)
+			if req.Span != "" {
+				tr.Root().SetAttr("parent_span", req.Span)
+			}
+			tr.Finish()
+			span := tr.Snapshot()
+			writeJSON(out, Response{Telemetry: &Telemetry{
+				Metrics: &delta,
+				Spans:   []obs.SpanSnapshot{span},
+			}})
+		}
 		if crashAfter >= 0 && answered >= crashAfter {
 			out.Flush() //nolint:errcheck
 			return 3
 		}
+	}
+	if telemetry {
+		cur := wm.Snapshot()
+		delta := cur.DeltaSince(prev)
+		writeJSON(out, Response{Telemetry: &Telemetry{Metrics: &delta, Final: true}})
 	}
 	out.Flush() //nolint:errcheck
 	return 0

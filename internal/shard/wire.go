@@ -1,6 +1,10 @@
 package shard
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"vs2/internal/obs"
+)
 
 // The front end and its worker children speak JSONL over the child's
 // stdin/stdout: one Request per line down, one Response per line up.
@@ -23,6 +27,11 @@ type Request struct {
 	// Ping marks a liveness probe; the worker answers with Pong
 	// immediately, ahead of any queued extraction work.
 	Ping bool `json:"ping,omitempty"`
+	// Span is the front end's span ID for this document — the parent
+	// under which the worker's own extraction span tree re-parents when
+	// traces are stitched across the process boundary. Empty when the
+	// front end is not tracing.
+	Span string `json:"span,omitempty"`
 }
 
 // Response is one line a shard worker sends back.
@@ -35,4 +44,32 @@ type Response struct {
 	Line json.RawMessage `json:"line,omitempty"`
 	// Pong answers a Ping.
 	Pong bool `json:"pong,omitempty"`
+	// Telemetry is a periodic observability shipment riding the same
+	// response pipe: metric deltas since the worker's last shipment plus
+	// the span trees completed since then. Telemetry lines carry no Key.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
+}
+
+// Telemetry is one worker observability shipment. The worker fills
+// Metrics and Spans; the supervisor stamps Shard and Epoch (the child
+// incarnation number) on receipt — the child cannot know its own epoch,
+// and an authoritative stamp survives any worker confusion.
+type Telemetry struct {
+	// Shard is the shard index the shipment arrived from.
+	Shard int `json:"shard"`
+	// Epoch is the incarnation of the child that sent it: 1 for the
+	// first start, incremented on every restart. A span stamped with an
+	// earlier epoch than the document's final answer belonged to an
+	// attempt that died.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Metrics is the delta of the worker's registry since its previous
+	// shipment (obs.Snapshot.DeltaSince); the front end folds it into
+	// the fleet registry with a shard label.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Spans holds the span trees of documents completed since the last
+	// shipment, each root stamped with the request's Span as its
+	// parent_span attribute.
+	Spans []obs.SpanSnapshot `json:"spans,omitempty"`
+	// Final marks the worker's shutdown flush.
+	Final bool `json:"final,omitempty"`
 }

@@ -16,7 +16,9 @@ package vs2
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -294,5 +296,246 @@ func TestShardChaosKillFrontEnd(t *testing.T) {
 	t.Logf("front-end chaos: %d/%d kills landed mid-run (journal window %d bytes)", landed, iterations, window)
 	if landed == 0 {
 		t.Fatal("no front-end kill ever landed mid-run")
+	}
+}
+
+// buildVS2TraceBinary compiles cmd/vs2trace for the observability test.
+func buildVS2TraceBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vs2trace")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/vs2trace")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/vs2trace: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// waitAdminAddr polls for the admin.addr file the front end writes into
+// its state directory when started with -admin :0.
+func waitAdminAddr(t *testing.T, state string) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if data, err := os.ReadFile(filepath.Join(state, "admin.addr")); err == nil {
+			if addr := strings.TrimSpace(string(data)); addr != "" {
+				return addr
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admin.addr never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// adminGet scrapes one admin endpoint, returning status code and body.
+func adminGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, ""
+	}
+	return resp.StatusCode, string(body)
+}
+
+// waitScrape polls an endpoint until ok(status, body) holds, failing
+// after the deadline with the last scrape attached.
+func waitScrape(t *testing.T, url, what string, ok func(int, string) bool) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var code int
+	var body string
+	for {
+		code, body = adminGet(t, url)
+		if ok(code, body) {
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never observed at %s; last scrape (HTTP %d):\n%s", what, url, code, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// metricValue extracts one sample's value from a Prometheus exposition.
+func metricValue(body, sample string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, sample+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, sample)), 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+// TestShardChaosAdminObservability is the acceptance test of the
+// observability PR: while a fleet runs a batch, the admin plane is
+// scraped through a shard SIGKILL and must report the truth at every
+// phase — all shards up before the kill, the dead shard's up gauge at 0
+// and readiness 503 (degraded) while it is down, the restart counter
+// incremented and readiness restored once the supervisor revives it.
+// The run's stitched trace must then validate end to end under
+// vs2trace: no orphaned worker spans, with the killed shard's
+// in-flight documents re-parented under the retry that answered them.
+// When VS2_CHAOS_ARTIFACTS names a directory, the final /metrics
+// snapshot and the stitched trace are saved there for CI upload.
+func TestShardChaosAdminObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard chaos spawns real process fleets; skipped in -short")
+	}
+	bin := buildVS2DBinary(t)
+	traceBin := buildVS2TraceBinary(t)
+	corpus := chaosCorpus(t, 60)
+	lines := bytes.Split(bytes.TrimSpace(corpus), []byte("\n"))
+	if len(lines) != 60 {
+		t.Fatalf("corpus has %d lines, want 60", len(lines))
+	}
+
+	state := t.TempDir()
+	tracePath := filepath.Join(state, "trace.jsonl")
+	// The restart backoff is raised well above the harness default so
+	// the down state is wide enough to observe through the scrape loop.
+	cmd := exec.Command(bin, vs2dArgs(state,
+		"-restart-backoff", "500ms", "-restart-backoff-max", "500ms",
+		"-admin", "127.0.0.1:0",
+		"-trace", tracePath,
+		"-telemetry-interval", "50ms",
+	)...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	// Failure cleanup only: the happy path consumes the exit itself, and
+	// draining the channel twice would hang the suite on success.
+	reaped := false
+	defer func() {
+		if reaped {
+			return
+		}
+		stdin.Close()      //nolint:errcheck
+		cmd.Process.Kill() //nolint:errcheck
+		<-exited
+	}()
+
+	base := "http://" + waitAdminAddr(t, state)
+
+	// Phase 1: the whole fleet is up and ready before any document flows.
+	waitScrape(t, base+"/metrics", "all shards up", func(code int, body string) bool {
+		if code != http.StatusOK {
+			return false
+		}
+		for s := 0; s < chaosShards; s++ {
+			if v, ok := metricValue(body, fmt.Sprintf(`shard_up{shard="%d"}`, s)); !ok || v != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	if code, body := adminGet(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/healthz before the kill: HTTP %d, body %s", code, body)
+	}
+	if code, _ := adminGet(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before the kill: HTTP %d", code)
+	}
+
+	// Phase 2: half the corpus goes in, and shard 0 is SIGKILLed while
+	// its slice of those documents is in flight.
+	half := append(bytes.Join(lines[:30], []byte("\n")), '\n')
+	if _, err := stdin.Write(half); err != nil {
+		t.Fatal(err)
+	}
+	pid := shardPid(state, 0)
+	if pid <= 0 {
+		t.Fatal("no pidfile for shard 0")
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scrape must see the death: up gauge at 0, readiness draining.
+	waitScrape(t, base+"/metrics", `shard_up{shard="0"} at 0`, func(code int, body string) bool {
+		v, ok := metricValue(body, `shard_up{shard="0"}`)
+		return code == http.StatusOK && ok && v == 0
+	})
+	waitScrape(t, base+"/readyz", "readiness 503 while shard 0 is down", func(code int, body string) bool {
+		return code == http.StatusServiceUnavailable && strings.Contains(body, `"degraded"`)
+	})
+	// Liveness tolerates a degraded fleet: restarting vs2d would only
+	// make things worse.
+	if code, body := adminGet(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, `"degraded"`) {
+		t.Fatalf("/healthz while degraded: HTTP %d, body %s", code, body)
+	}
+
+	// Phase 3: the supervisor revives the shard; the gauges and restart
+	// counter must agree with it.
+	finalMetrics := waitScrape(t, base+"/metrics", "shard 0 back up with a restart counted", func(code int, body string) bool {
+		up, upOK := metricValue(body, `shard_up{shard="0"}`)
+		restarts, rOK := metricValue(body, `shard_restarts{shard="0"}`)
+		return code == http.StatusOK && upOK && up == 1 && rOK && restarts >= 1
+	})
+	waitScrape(t, base+"/readyz", "readiness restored after the restart", func(code int, body string) bool {
+		return code == http.StatusOK
+	})
+
+	// Phase 4: the rest of the corpus flows through the healed fleet and
+	// the batch completes.
+	rest := append(bytes.Join(lines[30:], []byte("\n")), '\n')
+	if _, err := stdin.Write(rest); err != nil {
+		t.Fatal(err)
+	}
+	if err := stdin.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = <-exited
+	reaped = true
+	if err != nil {
+		t.Fatalf("front end failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if got := len(bytes.Split(bytes.TrimSpace(stdout.Bytes()), []byte("\n"))); got != 60 {
+		t.Fatalf("front end emitted %d lines, want 60\nstderr:\n%s", got, stderr.String())
+	}
+
+	// Phase 5: the stitched trace — including the documents whose shard
+	// died mid-flight — validates with no orphaned spans.
+	vcmd := exec.Command(traceBin, "-in", tracePath, "-depth", "0")
+	var vout, verr bytes.Buffer
+	vcmd.Stdout, vcmd.Stderr = &vout, &verr
+	if err := vcmd.Run(); err != nil {
+		t.Fatalf("vs2trace rejected the stitched chaos trace: %v\nstdout:\n%s\nstderr:\n%s", err, vout.String(), verr.String())
+	}
+	if !strings.Contains(vout.String(), "60 traces checked, 0 bad") {
+		t.Fatalf("vs2trace output: %s", vout.String())
+	}
+
+	// The CI workflow points VS2_CHAOS_ARTIFACTS at a directory and
+	// uploads whatever lands there.
+	if dir := os.Getenv("VS2_CHAOS_ARTIFACTS"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatalf("artifacts dir: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "metrics.prom"), []byte(finalMetrics), 0o644); err != nil {
+			t.Fatalf("artifacts metrics: %v", err)
+		}
+		trace, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatalf("artifacts trace: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "stitched-trace.jsonl"), trace, 0o644); err != nil {
+			t.Fatalf("artifacts trace: %v", err)
+		}
 	}
 }
