@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race obs serve-chaos crash-chaos shard-chaos fuzz trace-demo bench-gate bench-baseline
+.PHONY: check vet build test race obs serve-chaos crash-chaos shard-chaos triage-chaos fuzz trace-demo bench-gate bench-baseline
 
 # check is the tier-1 verification gate: static analysis, a full build,
 # the full test suite, the race-detector pass (the chaos suite asserts
 # its no-panic/no-hang containment contract there), a focused
 # race-detector pass over the observability primitives, the
 # serving-layer soak, the journal kill -9 crash-recovery harness, the
-# sharded-fleet shard-kill harness, and the segmentation
-# benchmark-regression gate.
-check: vet build test race obs serve-chaos crash-chaos shard-chaos bench-gate
+# sharded-fleet shard-kill harness, the fidelity-ladder overload soak,
+# and the segmentation benchmark-regression gate.
+check: vet build test race obs serve-chaos crash-chaos shard-chaos triage-chaos bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,20 @@ crash-chaos:
 # uninterrupted run.
 shard-chaos:
 	$(GO) test -race -run TestShardChaos -count=1 -timeout 15m .
+
+# triage-chaos soaks the adaptive fidelity ladder under the race
+# detector: a saturating 150-document burst against a deliberately
+# undersized server, once with the ladder off (the control: most of the
+# burst sheds with ErrOverloaded) and once adaptive (the controller
+# shifts the triage thresholds and the cheap path drains the queue).
+# Asserted invariants: the adaptive run sheds strictly fewer documents
+# than the control, at least one up-shift fires, recovery back to full
+# fidelity is monotone, a ladder-off server renders byte-identical
+# output to one without the subsystem, and no goroutines leak. With
+# VS2_CHAOS_ARTIFACTS set, before/during/after /metrics snapshots land
+# there for CI upload.
+triage-chaos:
+	$(GO) test -race -run TestTriageChaosOverloadSoak -count=1 -timeout 15m .
 
 # trace-demo runs the full observability path end to end: generate one
 # tax form, extract with tracing + metrics + explanation on, then

@@ -35,6 +35,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,13 +47,16 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"vs2"
 	"vs2/internal/admin"
 	"vs2/internal/obs"
+	"vs2/internal/serve"
 	"vs2/internal/shard"
+	"vs2/internal/triage"
 )
 
 func main() {
@@ -90,6 +94,11 @@ type options struct {
 	restartMax     time.Duration
 	maxRestarts    int
 	drainGrace     time.Duration
+	poisonAfter    int
+
+	fidelity     string
+	fidelityLvls int
+	fidelityPin  int
 }
 
 // run is the testable front-end entry point; it returns the exit code.
@@ -123,6 +132,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.DurationVar(&o.restartMax, "restart-backoff-max", 5*time.Second, "backoff cap for crash-looping shards")
 	fs.IntVar(&o.maxRestarts, "max-restarts", 8, "consecutive failed starts before a shard is abandoned and failed over")
 	fs.DurationVar(&o.drainGrace, "drain-grace", 10*time.Second, "how long shutdown waits for a shard to drain before killing it")
+	fs.IntVar(&o.poisonAfter, "poison-after", 0, "quarantine a document after it crashes its worker this many times (0 disables); quarantined keys land in state/poisoned.jsonl")
+	fs.StringVar(&o.fidelity, "fidelity", "off", "fleet fidelity ladder mode: off | pinned | adaptive; the front end stamps its level on every request so all shards degrade coherently")
+	fs.IntVar(&o.fidelityLvls, "fidelity-levels", 3, "deepest fidelity degradation level")
+	fs.IntVar(&o.fidelityPin, "fidelity-pin", 0, "level a pinned-mode ladder holds")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -143,10 +156,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// The end-to-end latency window behind /slo: admission to answer,
 	// per document, over the last minute.
 	win := obs.NewWindow(nil, time.Minute, 6)
+	level := startFleetFidelity(&o, sup, m)
+	defer level.stop()
 	if o.admin != "" {
 		adminSrv, err := admin.Start(o.admin, admin.Config{
 			Metrics: func() obs.Snapshot { return m.Snapshot() },
-			Health:  func() admin.HealthStatus { return fleetHealth(sup) },
+			Health:  func() admin.HealthStatus { return fleetHealth(sup, m) },
 			SLO:     func() admin.SLOStatus { return fleetSLO(m, win) },
 		})
 		if err != nil {
@@ -166,9 +181,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	code := 0
 	if o.listen != "" {
-		code = runListen(&o, sup, win, stitch, stderr)
+		code = runListen(&o, sup, win, stitch, level.current, stderr)
 	} else {
-		code = runBatch(&o, sup, win, stitch, stdin, stdout, stderr)
+		code = runBatch(&o, sup, win, stitch, level.current, stdin, stdout, stderr)
 	}
 	closeCtx, cancel := context.WithTimeout(context.Background(), o.drainGrace+5*time.Second)
 	defer cancel()
@@ -194,29 +209,131 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return code
 }
 
+// fleetFidelity is the front end's side of the adaptive fidelity
+// ladder: one controller watches the whole fleet's saturation and its
+// level rides every request envelope (shard.Request.Level), so all
+// shards degrade — and recover — coherently under the same verdict.
+type fleetFidelity struct {
+	ctrl  *triage.Controller
+	pin   int
+	armed bool
+}
+
+// current is the level stamped on the next request; 0 with the ladder
+// off.
+func (f fleetFidelity) current() int {
+	if f.ctrl != nil {
+		return f.ctrl.Level()
+	}
+	return f.pin
+}
+
+func (f fleetFidelity) stop() {
+	if f.ctrl != nil {
+		f.ctrl.Stop()
+	}
+}
+
+// startFleetFidelity wires the front-end fidelity ladder per -fidelity.
+// The adaptive controller samples fleet backlog against the in-flight
+// window plus shard breaker states. Note the batch caveat: a batch run
+// keeps the window full by design, so adaptive mode is most meaningful
+// in serve mode (-listen) where backlog tracks offered load.
+func startFleetFidelity(o *options, sup *shard.Supervisor, m *vs2.Metrics) fleetFidelity {
+	switch o.fidelity {
+	case vs2.FidelityAdaptive:
+		f := fleetFidelity{armed: true}
+		f.ctrl = triage.NewController(triage.ControllerConfig{
+			Levels: o.fidelityLvls,
+			Signals: func() triage.Signals {
+				h := sup.Health()
+				backlog, open := 0, false
+				for _, sh := range h.Shards {
+					backlog += sh.Backlog
+					if sh.Breaker != serve.Closed.String() {
+						open = true
+					}
+				}
+				load := 0.0
+				if w := o.window(); w > 0 {
+					load = float64(backlog) / float64(w)
+				}
+				return triage.Signals{Load: load, BreakerOpen: open}
+			},
+			OnShift: func(from, to int) {
+				dir := "up"
+				if to < from {
+					dir = "down"
+				}
+				m.Counter(obs.Name("frontend.fidelity.shifts", obs.L("direction", dir))).Inc()
+				m.Gauge("frontend.fidelity.level").Set(float64(to))
+			},
+		})
+		m.Gauge("frontend.fidelity.level").Set(0)
+		f.ctrl.Start()
+		return f
+	case vs2.FidelityPinned:
+		pin := o.fidelityPin
+		if pin < 0 {
+			pin = 0
+		}
+		if pin > o.fidelityLvls {
+			pin = o.fidelityLvls
+		}
+		m.Gauge("frontend.fidelity.level").Set(float64(pin))
+		return fleetFidelity{pin: pin, armed: true}
+	default:
+		return fleetFidelity{}
+	}
+}
+
 // fleetHealth maps the supervisor's fleet snapshot onto the admin
-// verdict: degraded keeps serving (liveness stays green), failed means
-// no shard can take work.
-func fleetHealth(sup *shard.Supervisor) admin.HealthStatus {
+// verdict: degraded keeps serving (liveness stays green) — that
+// includes a fidelity ladder above level 0, which is reduced quality,
+// not failure; failed means no shard can take work.
+func fleetHealth(sup *shard.Supervisor, m *vs2.Metrics) admin.HealthStatus {
 	h := sup.Health()
+	level := int64(m.Gauge("frontend.fidelity.level").Value())
 	status := "ok"
-	if h.Degraded {
+	if h.Degraded || level > 0 {
 		status = "degraded"
 	}
 	if h.Failed {
 		status = "failed"
 	}
-	return admin.HealthStatus{Status: status, Detail: h}
+	return admin.HealthStatus{Status: status, Detail: map[string]any{
+		"fleet":          h,
+		"fidelity_level": level,
+	}}
 }
 
 // fleetSLO summarizes the front end's end-to-end latency window and
-// cumulative outcome counters for /slo.
+// cumulative outcome counters for /slo, including the fleet fidelity
+// state: the controller's level and transitions, per-class triage
+// counts summed across the shards' telemetry, and per-reason sheds.
 func fleetSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 	count, _ := win.Totals()
-	completed := m.Counter("frontend.completed").Value()
-	failed := m.Counter("frontend.failed").Value()
-	degraded := m.Counter("frontend.degraded").Value()
-	shed := m.Counter("frontend.shed").Value()
+	snap := m.Snapshot()
+	completed := snap.Counters["frontend.completed"]
+	failed := snap.Counters["frontend.failed"]
+	degraded := snap.Counters["frontend.degraded"]
+	shed := snap.Counters["frontend.shed"]
+	shedReasons := map[string]int64{}
+	shifts := map[string]int64{}
+	triageDocs := map[string]int64{}
+	for name, v := range snap.Counters {
+		base, labels := obs.SplitName(name)
+		for _, l := range labels {
+			switch {
+			case base == "serve.shed" && l.Key == "reason":
+				shedReasons[l.Value] += v
+			case base == "frontend.fidelity.shifts" && l.Key == "direction":
+				shifts[l.Value] += v
+			case base == "serve.triage.docs" && l.Key == "class":
+				triageDocs[l.Value] += v
+			}
+		}
+	}
 	slo := admin.SLOStatus{
 		WindowSeconds: 60,
 		Count:         count,
@@ -227,10 +344,20 @@ func fleetSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 		Failed:        failed,
 		Shed:          shed,
 		Degraded:      degraded,
+		FidelityLevel: int64(snap.Gauges["frontend.fidelity.level"]),
 	}
 	if total := completed + failed; total > 0 {
 		slo.ShedRate = float64(shed) / float64(total)
 		slo.DegradedRate = float64(degraded) / float64(total)
+	}
+	if len(shedReasons) > 0 {
+		slo.ShedReasons = shedReasons
+	}
+	if len(shifts) > 0 {
+		slo.FidelityShifts = shifts
+	}
+	if len(triageDocs) > 0 {
+		slo.TriageDocs = triageDocs
 	}
 	return slo
 }
@@ -255,6 +382,11 @@ func validate(o *options) error {
 	}
 	if o.ckptEvery < 0 {
 		return fmt.Errorf("-checkpoint must be >= 0")
+	}
+	switch o.fidelity {
+	case "", vs2.FidelityOff, vs2.FidelityPinned, vs2.FidelityAdaptive:
+	default:
+		return fmt.Errorf("unknown -fidelity mode %q (available: off, pinned, adaptive)", o.fidelity)
 	}
 	if o.state != "" {
 		if err := os.MkdirAll(o.state, 0o755); err != nil {
@@ -312,6 +444,8 @@ func startSupervisor(o *options, stitch *stitcher, stderr io.Writer) (*shard.Sup
 		RestartBackoff: o.restartBackoff, RestartBackoffMax: o.restartMax,
 		MaxRestarts: o.maxRestarts,
 		DrainGrace:  o.drainGrace,
+		PoisonAfter: o.poisonAfter,
+		OnPoison:    poisonJournal(o.state, stderr),
 		Metrics:     m,
 		OnTelemetry: onTelemetry,
 		Stderr:      stderr,
@@ -348,7 +482,45 @@ func workerArgs(o *options, i int) []string {
 	if o.trace != "" {
 		a = append(a, "-trace-spans")
 	}
+	if o.fidelity == vs2.FidelityPinned || o.fidelity == vs2.FidelityAdaptive {
+		// Workers run pinned at level 0: triage is armed at its base
+		// thresholds, and the envelope level the front end stamps on each
+		// request (shard.Request.Level) overrides per document — the one
+		// controller lives in the front end.
+		a = append(a,
+			"-fidelity", vs2.FidelityPinned,
+			"-fidelity-levels", strconv.Itoa(o.fidelityLvls),
+			"-fidelity-pin", "0",
+		)
+	}
 	return a
+}
+
+// poisonJournal builds the supervisor's OnPoison hook: one JSON line
+// per quarantined document appended to state/poisoned.jsonl, so
+// operators can triage the corpus offline. A stateless run gets only
+// the supervisor's stderr log line.
+func poisonJournal(state string, stderr io.Writer) func(shard int, key string, crashes int) {
+	if state == "" {
+		return nil
+	}
+	var mu sync.Mutex
+	path := filepath.Join(state, "poisoned.jsonl")
+	return func(shard int, key string, crashes int) {
+		rec, err := json.Marshal(map[string]any{"shard": shard, "key": key, "crashes": crashes})
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "vs2d: poisoned.jsonl: %v\n", err)
+			return
+		}
+		defer f.Close()
+		f.Write(append(rec, '\n')) //nolint:errcheck
+	}
 }
 
 func shardJournal(state string, i int) string {
@@ -388,7 +560,7 @@ func wipeState(dir string) error {
 }
 
 // runBatch scatters one corpus and merges the result stream to stdout.
-func runBatch(o *options, sup *shard.Supervisor, win *obs.Window, stitch *stitcher, stdin io.Reader, stdout, stderr io.Writer) int {
+func runBatch(o *options, sup *shard.Supervisor, win *obs.Window, stitch *stitcher, level func() int, stdin io.Reader, stdout, stderr io.Writer) int {
 	ctx := context.Background()
 	if o.timeout > 0 {
 		var cancel context.CancelFunc
@@ -414,6 +586,7 @@ func runBatch(o *options, sup *shard.Supervisor, win *obs.Window, stitch *stitch
 		metrics: sup.Metrics(),
 		latency: win,
 		stitch:  stitch,
+		level:   level,
 	}, in, stdout, stderr)
 	fmt.Fprintf(stderr, "vs2d: %d documents across %d shards: %d completed (%d degraded), %d failed\n",
 		st.docs, o.shards, st.completed, st.degraded, st.failed)
@@ -439,7 +612,7 @@ func (o *options) window() int {
 // accept loop and abort in-flight streams so the exit path still drains
 // the fleet — the final telemetry flushes and the stitched trace only
 // exist on an orderly shutdown.
-func runListen(o *options, sup *shard.Supervisor, win *obs.Window, stitch *stitcher, stderr io.Writer) int {
+func runListen(o *options, sup *shard.Supervisor, win *obs.Window, stitch *stitcher, level func() int, stderr io.Writer) int {
 	l, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		fmt.Fprintln(stderr, "vs2d:", err)
@@ -449,7 +622,7 @@ func runListen(o *options, sup *shard.Supervisor, win *obs.Window, stitch *stitc
 	fmt.Fprintf(stderr, "vs2d: listening on %s\n", l.Addr())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serveListener(ctx, l, sup, o, win, stitch, stderr); err != nil {
+	if err := serveListener(ctx, l, sup, o, win, stitch, level, stderr); err != nil {
 		fmt.Fprintln(stderr, "vs2d:", err)
 		return 1
 	}

@@ -349,7 +349,7 @@ func TestListenMode(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
-	go func() { served <- serveListener(ctx, l, sup, o, nil, nil, io.Discard) }()
+	go func() { served <- serveListener(ctx, l, sup, o, nil, nil, nil, io.Discard) }()
 
 	conn, err := net.Dial("tcp", l.Addr().String())
 	if err != nil {

@@ -33,6 +33,7 @@ type scatterConfig struct {
 	metrics *vs2.Metrics // frontend.* outcome counters (nil disables)
 	latency *obs.Window  // end-to-end latency, admission to answer (nil disables)
 	stitch  *stitcher    // per-document cross-process tracing (nil disables)
+	level   func() int   // fleet fidelity level stamped per request (nil = 0)
 }
 
 // scatterStats aggregates one stream for the summary line and exit code.
@@ -109,7 +110,13 @@ func scatter(ctx context.Context, sup *shard.Supervisor, cfg scatterConfig, in i
 			defer func() { <-sem }()
 			start := time.Now()
 			dt.routed()
-			line, err := sup.DoSpan(ctx, key, doc, span)
+			// The fidelity level is sampled at send time, per document, so
+			// a controller shift mid-stream takes effect immediately.
+			lvl := 0
+			if cfg.level != nil {
+				lvl = cfg.level()
+			}
+			line, err := sup.DoLevel(ctx, key, doc, span, lvl)
 			dt.answered()
 			cfg.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 			if err != nil {
@@ -163,7 +170,7 @@ func routeKey(d *vs2.Document, index int) string {
 
 // serveListener accepts JSONL connections and serves each with its own
 // scatter stream until the listener closes or ctx expires.
-func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o *options, win *obs.Window, stitch *stitcher, errw io.Writer) error {
+func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o *options, win *obs.Window, stitch *stitcher, level func() int, errw io.Writer) error {
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
@@ -194,6 +201,7 @@ func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o
 				metrics: sup.Metrics(),
 				latency: win,
 				stitch:  stitch,
+				level:   level,
 			}, conn, conn, errw)
 			fmt.Fprintf(errw, "vs2d: %s: %d documents: %d completed, %d failed\n",
 				conn.RemoteAddr(), st.docs, st.completed, st.failed)

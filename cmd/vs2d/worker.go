@@ -45,6 +45,9 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	ckpt := fs.Int("checkpoint", 256, "compact the journal every N completions (0 = only at exit)")
 	telInterval := fs.Duration("telemetry-interval", 0, "ship metric deltas and completed spans up the response pipe this often (0 disables)")
 	traceSpans := fs.Bool("trace-spans", false, "trace each extracted document and ship its span tree with the telemetry")
+	fidelity := fs.String("fidelity", "off", "fidelity ladder mode: off | pinned | adaptive (the front end passes pinned 0: envelope levels decide per document)")
+	fidelityLvls := fs.Int("fidelity-levels", 3, "deepest fidelity degradation level")
+	fidelityPin := fs.Int("fidelity-pin", 0, "level a pinned-mode ladder holds")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +74,11 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		QueueWait: 24 * time.Hour,
 		Retry:     vs2.RetryPolicy{MaxAttempts: *retries},
 		Metrics:   wm,
+		Fidelity: vs2.FidelityPolicy{
+			Mode:   *fidelity,
+			Levels: *fidelityLvls,
+			Pin:    *fidelityPin,
+		},
 	})
 
 	var jrn *vs2.Journal
@@ -204,7 +212,13 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			br := extract(ctx, i, req, d)
+			// The front end's fidelity level rides the envelope; carry it
+			// on the context so this document triages at the fleet's level.
+			rctx := ctx
+			if req.Level > 0 {
+				rctx = vs2.WithFidelity(ctx, req.Level)
+			}
+			br := extract(rctx, i, req, d)
 			if br.Replayed {
 				replayed.Add(1)
 			}

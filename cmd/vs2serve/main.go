@@ -77,6 +77,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		traceOut  = fs.String("trace", "", "write one compact span tree per document (JSONL) to this file")
 		adminAddr = fs.String("admin", "", "admin HTTP listener address (/metrics, /healthz, /readyz, /slo, /debug/pprof); empty disables")
 
+		fidelity     = fs.String("fidelity", "off", "fidelity ladder mode: off | pinned | adaptive")
+		fidelityLvls = fs.Int("fidelity-levels", 3, "deepest fidelity degradation level")
+		fidelityPin  = fs.Int("fidelity-pin", 0, "level a pinned-mode ladder holds")
+
 		journalPath = fs.String("journal", "", "write-ahead journal path; completions are journaled before they are emitted")
 		resume      = fs.Bool("resume", false, "replay the journal: skip completed documents, re-emit their cached lines, continue the tail")
 		jsync       = fs.String("journal-sync", "always", "journal fsync policy: always | interval | never")
@@ -92,6 +96,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		checkpoint: *checkpoint,
 		journal:    *journalPath,
 		resume:     *resume,
+		fidelity:   *fidelity,
 	}); err != nil {
 		fmt.Fprintln(stderr, "vs2serve:", err)
 		return 2
@@ -138,6 +143,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		QueueWait: *queueWait,
 		Retry:     vs2.RetryPolicy{MaxAttempts: *retries},
 		Metrics:   m,
+		Fidelity: vs2.FidelityPolicy{
+			Mode:   *fidelity,
+			Levels: *fidelityLvls,
+			Pin:    *fidelityPin,
+		},
 	})
 
 	// The end-to-end latency window behind /slo: submission to answer,
@@ -217,8 +227,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 }
 
 // serveHealth derives the admin verdict from the registry: the process
-// is alive and serving, and an open phase breaker marks it degraded (it
-// still answers, with degraded-mode fallbacks or structured errors).
+// is alive and serving, and an open phase breaker — or a fidelity
+// ladder that has degraded above level 0 — marks it degraded, not
+// failed: it still answers, with degraded-mode fallbacks, cheaper
+// triage paths, or structured errors.
 func serveHealth(m *vs2.Metrics) admin.HealthStatus {
 	snap := m.Snapshot()
 	open := []string{}
@@ -228,11 +240,15 @@ func serveHealth(m *vs2.Metrics) admin.HealthStatus {
 		}
 	}
 	sort.Strings(open)
+	level := int64(snap.Gauges["serve.fidelity.level"])
 	status := "ok"
-	if len(open) > 0 {
+	if len(open) > 0 || level > 0 {
 		status = "degraded"
 	}
-	return admin.HealthStatus{Status: status, Detail: map[string]any{"open_breakers": open}}
+	return admin.HealthStatus{Status: status, Detail: map[string]any{
+		"open_breakers":  open,
+		"fidelity_level": level,
+	}}
 }
 
 // serveSLO summarizes the latency window and the server's cumulative
@@ -244,10 +260,24 @@ func serveSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 	failed := snap.Counters["serve.failed"]
 	shed := snap.Counters["serve.shed"]
 	var degraded int64
+	shedReasons := map[string]int64{}
+	shifts := map[string]int64{}
+	triageDocs := map[string]int64{}
 	for name, v := range snap.Counters {
 		// One counter per degradation fallback (degraded.<fallback>).
 		if strings.HasPrefix(name, "degraded.") {
 			degraded += v
+		}
+		base, labels := obs.SplitName(name)
+		for _, l := range labels {
+			switch {
+			case base == "serve.shed" && l.Key == "reason":
+				shedReasons[l.Value] += v
+			case base == "serve.fidelity.shifts" && l.Key == "direction":
+				shifts[l.Value] += v
+			case base == "serve.triage.docs" && l.Key == "class":
+				triageDocs[l.Value] += v
+			}
 		}
 	}
 	slo := admin.SLOStatus{
@@ -260,6 +290,16 @@ func serveSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 		Failed:        failed,
 		Shed:          shed,
 		Degraded:      degraded,
+		FidelityLevel: int64(snap.Gauges["serve.fidelity.level"]),
+	}
+	if len(shedReasons) > 0 {
+		slo.ShedReasons = shedReasons
+	}
+	if len(shifts) > 0 {
+		slo.FidelityShifts = shifts
+	}
+	if len(triageDocs) > 0 {
+		slo.TriageDocs = triageDocs
 	}
 	if total := completed + failed; total > 0 {
 		slo.ShedRate = float64(shed) / float64(total)
@@ -275,6 +315,7 @@ type serveFlags struct {
 	checkpoint int
 	journal    string
 	resume     bool
+	fidelity   string
 }
 
 // validateServeFlags applies the CLI invariants before any state is
@@ -292,6 +333,11 @@ func validateServeFlags(f serveFlags) error {
 	}
 	if f.checkpoint < 0 {
 		return errors.New("-checkpoint must be >= 0")
+	}
+	switch f.fidelity {
+	case "", vs2.FidelityOff, vs2.FidelityPinned, vs2.FidelityAdaptive:
+	default:
+		return fmt.Errorf("unknown -fidelity mode %q (available: off, pinned, adaptive)", f.fidelity)
 	}
 	if f.journal != "" {
 		if err := writableParent(f.journal); err != nil {

@@ -65,6 +65,19 @@ type SLOStatus struct {
 	// documents shed / degraded; 0 when nothing has completed.
 	ShedRate     float64 `json:"shed_rate"`
 	DegradedRate float64 `json:"degraded_rate"`
+	// ShedReasons breaks Shed down by cause (queue_full, queue_wait,
+	// admission_closed). Empty when nothing was shed.
+	ShedReasons map[string]int64 `json:"shed_reasons,omitempty"`
+	// FidelityLevel is the adaptive fidelity ladder's current level: 0 is
+	// full fidelity, rising under saturation. Always 0 with the ladder
+	// off.
+	FidelityLevel int64 `json:"fidelity_level"`
+	// FidelityShifts counts controller transitions by direction
+	// ("up"/"down"). Empty when the controller never shifted.
+	FidelityShifts map[string]int64 `json:"fidelity_shifts,omitempty"`
+	// TriageDocs counts triaged documents by class ("full", "cheap",
+	// "skip"), summed over fidelity levels. Empty with the ladder off.
+	TriageDocs map[string]int64 `json:"triage_docs,omitempty"`
 }
 
 // Server is one bound admin listener.

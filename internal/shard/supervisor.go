@@ -25,6 +25,10 @@ var (
 	// ErrNoShards marks work that cannot be placed anywhere: every shard
 	// has permanently failed.
 	ErrNoShards = errors.New("shard: no live shards")
+	// ErrPoisoned marks a document quarantined after crashing its worker
+	// Config.PoisonAfter times: it fails permanently instead of riding
+	// the restart loop forever and taking the shard down with it.
+	ErrPoisoned = errors.New("shard: poison document quarantined")
 )
 
 // RerouteBuckets is the bucket layout of the shard.reroute.distance
@@ -77,6 +81,19 @@ type Config struct {
 	// DrainGrace is how long Close waits for a child to drain after its
 	// stdin closes before killing it; 0 selects 10s.
 	DrainGrace time.Duration
+	// PoisonAfter is the number of worker crashes one in-flight document
+	// may ride through before it is quarantined: its call fails with
+	// ErrPoisoned instead of requeueing, so a single pathological input
+	// cannot crash-loop a shard into abandonment. 0 (the default)
+	// disables quarantine — a shard that crash-loops for reasons
+	// unrelated to its input must not condemn the innocent documents
+	// riding through the restarts, so the threshold is an explicit
+	// deployment choice.
+	PoisonAfter int
+	// OnPoison, when non-nil, observes every quarantined document with
+	// the shard it poisoned and its crash count (e.g. to journal the key
+	// for offline triage). Called outside supervisor locks.
+	OnPoison func(shard int, key string, crashes int)
 	// Seed drives the restart-backoff jitter; shard i uses Seed+i so one
 	// seed reproduces the whole fleet's schedule.
 	Seed int64
@@ -230,10 +247,12 @@ type callResult struct {
 }
 
 type call struct {
-	key  string
-	doc  json.RawMessage
-	span string          // front-end parent span ID, "" when untraced
-	done chan callResult // buffered(1)
+	key     string
+	doc     json.RawMessage
+	span    string          // front-end parent span ID, "" when untraced
+	level   int             // front-end fidelity level, 0 = full
+	crashes int             // worker crashes ridden through while in flight
+	done    chan callResult // buffered(1)
 }
 
 // Do routes one document to its shard and blocks for the result line.
@@ -252,6 +271,14 @@ func (s *Supervisor) Do(ctx context.Context, key string, doc json.RawMessage) ([
 // stitch a cross-process trace for this document. An empty span
 // disables worker tracing for the call.
 func (s *Supervisor) DoSpan(ctx context.Context, key string, doc json.RawMessage, span string) ([]byte, error) {
+	return s.DoLevel(ctx, key, doc, span, 0)
+}
+
+// DoLevel is DoSpan with a fidelity level: the worker extracts the
+// document at the front end's level (vs2.WithFidelity on the worker
+// side), so one front-end controller degrades the whole fleet
+// coherently. Level 0 is full fidelity.
+func (s *Supervisor) DoLevel(ctx context.Context, key string, doc json.RawMessage, span string, level int) ([]byte, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -259,7 +286,7 @@ func (s *Supervisor) DoSpan(ctx context.Context, key string, doc json.RawMessage
 	if !ok {
 		return nil, ErrNoShards
 	}
-	c := &call{key: key, doc: doc, span: span, done: make(chan callResult, 1)}
+	c := &call{key: key, doc: doc, span: span, level: level, done: make(chan callResult, 1)}
 	s.shards[target].enqueue(c)
 	select {
 	case r := <-c.done:
@@ -530,19 +557,31 @@ func (st *shardState) run() {
 
 // crashed accounts one unproven child (failed start, or an exit before
 // shutdown): the crash trips toward the breaker and, at MaxRestarts
-// consecutive, abandons the shard. Outstanding work is requeued, and —
-// when the shard is no longer routeable — rerouted to live shards.
-// Reports whether the runner should stop (shard permanently failed).
+// consecutive, abandons the shard. Outstanding work is requeued —
+// except documents that have now crashed PoisonAfter workers, which
+// are quarantined with ErrPoisoned — and, when the shard is no longer
+// routeable, rerouted to live shards. Reports whether the runner
+// should stop (shard permanently failed).
 func (st *shardState) crashed() bool {
 	st.breaker.Failure()
 	st.mu.Lock()
 	st.restarts++
-	st.requeueSentLocked()
+	poisoned := st.requeueSentLocked()
 	abandoned := st.restarts > st.sup.cfg.MaxRestarts
 	if abandoned {
 		st.failed = true
 	}
 	st.mu.Unlock()
+	for _, c := range poisoned {
+		st.sup.m.Counter("shard.poisoned").Inc()
+		st.sup.m.Counter(obs.Name("shard.poisoned", st.label())).Inc()
+		fmt.Fprintf(st.sup.cfg.Stderr, "vs2d: shard %d: quarantined poison document %q after %d worker crashes\n",
+			st.id, c.key, c.crashes)
+		if cb := st.sup.cfg.OnPoison; cb != nil {
+			cb(st.id, c.key, c.crashes)
+		}
+		c.done <- callResult{err: fmt.Errorf("%w: key %q crashed its worker %d times", ErrPoisoned, c.key, c.crashes)}
+	}
 	st.sup.m.Counter("shard.crashes").Inc()
 	if abandoned {
 		st.sup.m.Counter("shard.abandoned").Inc()
@@ -558,20 +597,32 @@ func (st *shardState) crashed() bool {
 // requeueSentLocked moves every unanswered in-flight call back to the
 // front of the queue, preserving send order, so the next child (which
 // resumes its journal) sees them again: completed-but-unacknowledged
-// documents replay their cached lines, the rest re-extract.
-func (st *shardState) requeueSentLocked() {
+// documents replay their cached lines, the rest re-extract. Each call
+// accounts the crash it just rode through; calls at the PoisonAfter
+// threshold are returned for quarantine instead of requeued — the
+// caller delivers their failures outside the lock.
+func (st *shardState) requeueSentLocked() (poisoned []*call) {
 	if len(st.sent) == 0 {
-		return
+		return nil
 	}
+	limit := st.sup.cfg.PoisonAfter
 	requeued := make([]*call, 0, len(st.sent))
 	for _, cs := range st.sent {
-		requeued = append(requeued, cs...)
+		for _, c := range cs {
+			c.crashes++
+			if limit > 0 && c.crashes >= limit {
+				poisoned = append(poisoned, c)
+				continue
+			}
+			requeued = append(requeued, c)
+		}
 	}
 	// Send order is not recoverable from the map, but order across keys
 	// is immaterial: responses are keyed and the front end merges by
 	// global input order.
 	st.queue = append(requeued, st.queue...)
 	st.sent = map[string][]*call{}
+	return poisoned
 }
 
 // reroute drains this shard's queue onto live shards along each key's
@@ -814,7 +865,7 @@ func (st *shardState) flush(p *proc) bool {
 		st.queue = st.queue[1:]
 		st.sent[c.key] = append(st.sent[c.key], c)
 		st.mu.Unlock()
-		if err := p.write(Request{Key: c.key, Doc: c.doc, Span: c.span}); err != nil {
+		if err := p.write(Request{Key: c.key, Doc: c.doc, Span: c.span, Level: c.level}); err != nil {
 			return false
 		}
 	}

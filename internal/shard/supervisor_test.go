@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -43,6 +44,8 @@ func TestMain(m *testing.M) {
 //	SHARD_TELEMETRY=1      after each answered document, ship a telemetry
 //	                       line: the worker registry's delta plus one span
 //	                       stamped with the request's Span as parent_span
+//	SHARD_POISON_KEY=k     exit(3) on receiving key k, every incarnation —
+//	                       a deterministic poison document
 func echoWorker() int {
 	if os.Getenv("SHARD_FAIL_START") != "" {
 		return 9
@@ -82,7 +85,10 @@ func echoWorker() int {
 				return 3                                            // die holding the request: the supervisor must requeue it
 			}
 		}
-		line, _ := json.Marshal(map[string]any{"id": req.Key, "pid": os.Getpid() != 0})
+		if pk := os.Getenv("SHARD_POISON_KEY"); pk != "" && req.Key == pk {
+			return 3 // the document itself kills the worker, deterministically
+		}
+		line, _ := json.Marshal(map[string]any{"id": req.Key, "pid": os.Getpid() != 0, "level": req.Level})
 		writeJSON(out, Response{Key: req.Key, Line: line})
 		answered++
 		if telemetry {
@@ -404,6 +410,99 @@ func TestSupervisorCrashLoopKeepsServing(t *testing.T) {
 	}
 	if got := s.Metrics().Counter("shard.crashes").Value(); got < 2 {
 		t.Errorf("shard.crashes = %d, want >= 2 for a crash-looping child", got)
+	}
+}
+
+// TestSupervisorPoisonQuarantine: a document that deterministically
+// kills its worker is quarantined after PoisonAfter crashes — the call
+// fails with ErrPoisoned, the event is counted and observed, and the
+// shard goes on serving everything else.
+func TestSupervisorPoisonQuarantine(t *testing.T) {
+	cfg := fastCfg(t, 1, func(int) []string {
+		return []string{"SHARD_POISON_KEY=bad"}
+	})
+	cfg.PoisonAfter = 2
+	cfg.MaxRestarts = 100
+	type poisonEvent struct {
+		shard, crashes int
+		key            string
+	}
+	events := make(chan poisonEvent, 4)
+	cfg.OnPoison = func(shard int, key string, crashes int) {
+		events <- poisonEvent{shard: shard, crashes: crashes, key: key}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeSup(t, s)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, derr := s.Do(ctx, "bad", json.RawMessage(`{}`))
+	if !errors.Is(derr, ErrPoisoned) {
+		t.Fatalf("Do(bad) = %v, want ErrPoisoned", derr)
+	}
+	select {
+	case ev := <-events:
+		if ev.key != "bad" || ev.shard != 0 || ev.crashes != 2 {
+			t.Errorf("OnPoison(%+v), want shard 0 key \"bad\" crashes 2", ev)
+		}
+	default:
+		t.Error("OnPoison was not called")
+	}
+	if got := s.Metrics().Counter("shard.poisoned").Value(); got != 1 {
+		t.Errorf("shard.poisoned = %d, want 1", got)
+	}
+
+	// The shard survives its poison: later documents are served normally.
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("good-%d", i)
+		line, err := s.Do(ctx, key, json.RawMessage(`{}`))
+		if err != nil {
+			t.Fatalf("Do(%s) after quarantine: %v", key, err)
+		}
+		var got map[string]any
+		if err := json.Unmarshal(line, &got); err != nil || got["id"] != key {
+			t.Fatalf("bad line for %s after quarantine: %q", key, line)
+		}
+	}
+	if got := s.Metrics().Counter("shard.abandoned").Value(); got != 0 {
+		t.Errorf("shard.abandoned = %d after quarantine, want 0", got)
+	}
+}
+
+// TestSupervisorLevelPropagation: the fidelity level rides the request
+// envelope to the worker, and crosses restarts with the requeued call.
+func TestSupervisorLevelPropagation(t *testing.T) {
+	s, err := New(fastCfg(t, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeSup(t, s)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for _, tc := range []struct {
+		key   string
+		level int
+	}{{"full", 0}, {"degraded", 2}} {
+		var line []byte
+		if tc.level == 0 {
+			line, err = s.Do(ctx, tc.key, json.RawMessage(`{}`))
+		} else {
+			line, err = s.DoLevel(ctx, tc.key, json.RawMessage(`{}`), "", tc.level)
+		}
+		if err != nil {
+			t.Fatalf("Do(%s): %v", tc.key, err)
+		}
+		var got map[string]any
+		if err := json.Unmarshal(line, &got); err != nil {
+			t.Fatalf("bad line for %s: %q", tc.key, line)
+		}
+		if lvl, _ := got["level"].(float64); int(lvl) != tc.level {
+			t.Errorf("worker saw level %v for %s, want %d", got["level"], tc.key, tc.level)
+		}
 	}
 }
 

@@ -32,6 +32,11 @@ type Request struct {
 	// traces are stitched across the process boundary. Empty when the
 	// front end is not tracing.
 	Span string `json:"span,omitempty"`
+	// Level is the front end's fidelity level for this document, so every
+	// shard degrades coherently under the one controller the front end
+	// runs. Zero (omitted) means full fidelity; workers whose ladder is
+	// off ignore it.
+	Level int `json:"level,omitempty"`
 }
 
 // Response is one line a shard worker sends back.

@@ -1,0 +1,216 @@
+package triage
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Signals is one sample of the serving layer's saturation state, as
+// seen by the Controller on each evaluation.
+type Signals struct {
+	// Load is queue occupancy in [0, 1]: queued work over queue capacity
+	// (or backlog over the in-flight window for a fleet front end).
+	Load float64
+	// WaitP95MS is the 95th-percentile queue wait (or end-to-end
+	// latency) in milliseconds over a sliding window; 0 when unknown.
+	WaitP95MS float64
+	// BreakerOpen reports whether any circuit breaker is not closed —
+	// the backend is already failing, independent of queue depth.
+	BreakerOpen bool
+}
+
+// ControllerConfig tunes a Controller. The zero value of every optional
+// field selects the default noted on it.
+type ControllerConfig struct {
+	// Levels is the top fidelity level (the deepest degradation rung);
+	// 0 selects 3. The controller moves one level per shift.
+	Levels int
+	// Interval is the evaluation cadence of Start's ticker; 0 selects
+	// 500ms.
+	Interval time.Duration
+	// HighLoad and LowLoad are the saturation watermarks on
+	// Signals.Load: at or above HighLoad the sample is hot, at or below
+	// LowLoad (with no open breaker) it is cold, in between it is
+	// neutral and streaks reset. 0 selects 0.75 and 0.25.
+	HighLoad float64
+	LowLoad  float64
+	// HighWaitMS and LowWaitMS are the same watermarks on
+	// Signals.WaitP95MS. 0 disables the wait signal (load and breakers
+	// alone drive the controller).
+	HighWaitMS float64
+	LowWaitMS  float64
+	// RaiseAfter is the consecutive hot evaluations required to shift
+	// the level up; LowerAfter the consecutive cold evaluations to shift
+	// it down. Hysteresis: recovery is deliberately slower than
+	// degradation (0 selects 2 and 4).
+	RaiseAfter int
+	LowerAfter int
+	// JitterHold is the upper bound on the seeded-random number of
+	// evaluations the controller holds still after a shift, so a fleet
+	// of controllers watching correlated load cannot flap in lockstep;
+	// 0 selects 2, negative disables the hold.
+	JitterHold int
+	// Seed drives the jitter, making a run's shift schedule
+	// reproducible.
+	Seed int64
+	// Signals samples the saturation state; required for Start and
+	// Evaluate.
+	Signals func() Signals
+	// OnShift, when non-nil, observes every level transition.
+	OnShift func(from, to int)
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.Levels <= 0 {
+		c.Levels = 3
+	}
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.HighLoad == 0 {
+		c.HighLoad = 0.75
+	}
+	if c.LowLoad == 0 {
+		c.LowLoad = 0.25
+	}
+	if c.RaiseAfter <= 0 {
+		c.RaiseAfter = 2
+	}
+	if c.LowerAfter <= 0 {
+		c.LowerAfter = 4
+	}
+	switch {
+	case c.JitterHold == 0:
+		c.JitterHold = 2
+	case c.JitterHold < 0:
+		c.JitterHold = 0
+	}
+	return c
+}
+
+// Controller drives the fidelity level from saturation signals: shift
+// up under sustained pressure, back down on sustained recovery, one
+// level at a time. Flap resistance comes from three mechanisms layered
+// together — streak hysteresis (RaiseAfter/LowerAfter), asymmetric
+// recovery (LowerAfter > RaiseAfter by default), and a seeded-random
+// post-shift hold (JitterHold) — so oscillating load cannot bounce the
+// level every interval. Level reads are lock-free; a Controller is safe
+// for concurrent use.
+type Controller struct {
+	cfg   ControllerConfig
+	level atomic.Int64
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	hot  int
+	cold int
+	hold int
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	stopped   chan struct{}
+}
+
+// NewController builds a controller at level 0. Panics if cfg.Signals
+// is nil — a controller with nothing to watch is a programming error.
+func NewController(cfg ControllerConfig) *Controller {
+	if cfg.Signals == nil {
+		panic("triage: ControllerConfig.Signals is required")
+	}
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+}
+
+// Level is the current fidelity level: 0 = full fidelity, up to
+// cfg.Levels at maximum degradation. Lock-free; called on the per-
+// document hot path.
+func (c *Controller) Level() int { return int(c.level.Load()) }
+
+// Levels is the configured top level.
+func (c *Controller) Levels() int { return c.cfg.Levels }
+
+// Evaluate takes one sample and applies the shift logic, returning the
+// (possibly new) level. Start calls it on the ticker; tests call it
+// directly for a deterministic schedule.
+func (c *Controller) Evaluate() int {
+	s := c.cfg.Signals()
+	hot := s.BreakerOpen ||
+		s.Load >= c.cfg.HighLoad ||
+		(c.cfg.HighWaitMS > 0 && s.WaitP95MS >= c.cfg.HighWaitMS)
+	cold := !hot && s.Load <= c.cfg.LowLoad &&
+		(c.cfg.HighWaitMS <= 0 || s.WaitP95MS <= c.cfg.LowWaitMS)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case hot:
+		c.hot++
+		c.cold = 0
+	case cold:
+		c.cold++
+		c.hot = 0
+	default:
+		c.hot, c.cold = 0, 0
+	}
+	if c.hold > 0 {
+		// Post-shift hold: streaks keep accumulating, the level stays put.
+		c.hold--
+		return int(c.level.Load())
+	}
+	lvl := int(c.level.Load())
+	switch {
+	case c.hot >= c.cfg.RaiseAfter && lvl < c.cfg.Levels:
+		c.shiftLocked(lvl, lvl+1)
+	case c.cold >= c.cfg.LowerAfter && lvl > 0:
+		c.shiftLocked(lvl, lvl-1)
+	}
+	return int(c.level.Load())
+}
+
+// shiftLocked moves the level and arms the anti-flap hold. Callers hold
+// c.mu.
+func (c *Controller) shiftLocked(from, to int) {
+	c.level.Store(int64(to))
+	c.hot, c.cold = 0, 0
+	if c.cfg.JitterHold > 0 {
+		c.hold = c.rng.Intn(c.cfg.JitterHold + 1)
+	}
+	if c.cfg.OnShift != nil {
+		c.cfg.OnShift(from, to)
+	}
+}
+
+// Start launches the evaluation ticker; idempotent.
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		go func() {
+			defer close(c.stopped)
+			t := time.NewTicker(c.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.done:
+					return
+				case <-t.C:
+					c.Evaluate()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the ticker and waits for the evaluation goroutine to
+// exit; idempotent, and safe to call on a controller never started.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.done) })
+	c.startOnce.Do(func() { close(c.stopped) }) // never started: nothing to wait for
+	<-c.stopped
+}

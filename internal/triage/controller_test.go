@@ -1,0 +1,207 @@
+package triage
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// signalFeed replays a scripted sequence of samples; past the end it
+// repeats the last one.
+type signalFeed struct {
+	mu      sync.Mutex
+	samples []Signals
+	i       int
+}
+
+func (f *signalFeed) next() Signals {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.i < len(f.samples) {
+		s := f.samples[f.i]
+		f.i++
+		return s
+	}
+	return f.samples[len(f.samples)-1]
+}
+
+func (f *signalFeed) set(s Signals) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.samples = []Signals{s}
+	f.i = 0
+}
+
+func ctl(t *testing.T, feed *signalFeed, cfg ControllerConfig) *Controller {
+	t.Helper()
+	cfg.Signals = feed.next
+	c := NewController(cfg)
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestControllerRaisesAfterStreak(t *testing.T) {
+	feed := &signalFeed{samples: []Signals{{Load: 1}}}
+	var shifts [][2]int
+	c := ctl(t, feed, ControllerConfig{
+		Levels: 3, RaiseAfter: 2, LowerAfter: 2, JitterHold: -1,
+		OnShift: func(from, to int) { shifts = append(shifts, [2]int{from, to}) },
+	})
+	if c.Evaluate() != 0 {
+		t.Fatal("shifted after a single hot sample; RaiseAfter=2 requires two")
+	}
+	if c.Evaluate() != 1 {
+		t.Fatal("no shift after two hot samples")
+	}
+	// The streak reset on shift: one more hot sample is not enough again.
+	if c.Evaluate() != 1 {
+		t.Fatal("shifted immediately after shifting; streak should reset")
+	}
+	if c.Evaluate() != 2 {
+		t.Fatal("no second shift after two more hot samples")
+	}
+	want := [][2]int{{0, 1}, {1, 2}}
+	if len(shifts) != len(want) || shifts[0] != want[0] || shifts[1] != want[1] {
+		t.Fatalf("shifts = %v, want %v", shifts, want)
+	}
+}
+
+func TestControllerCapsAtTopLevel(t *testing.T) {
+	feed := &signalFeed{samples: []Signals{{Load: 1}}}
+	c := ctl(t, feed, ControllerConfig{Levels: 2, RaiseAfter: 1, JitterHold: -1})
+	for i := 0; i < 10; i++ {
+		c.Evaluate()
+	}
+	if got := c.Level(); got != 2 {
+		t.Fatalf("level = %d, want the cap 2", got)
+	}
+}
+
+func TestControllerRecoversSlowly(t *testing.T) {
+	feed := &signalFeed{samples: []Signals{{Load: 1}}}
+	c := ctl(t, feed, ControllerConfig{
+		Levels: 3, RaiseAfter: 1, LowerAfter: 3, JitterHold: -1,
+	})
+	c.Evaluate()
+	c.Evaluate() // level 2
+	feed.set(Signals{Load: 0})
+	for i := 0; i < 2; i++ {
+		if got := c.Evaluate(); got != 2 {
+			t.Fatalf("recovered after %d cold samples; LowerAfter=3 requires three", i+1)
+		}
+	}
+	if got := c.Evaluate(); got != 1 {
+		t.Fatalf("level = %d after three cold samples, want 1", got)
+	}
+	// Monotone recovery: keep evaluating, the level only ever descends.
+	prev := c.Level()
+	for i := 0; i < 12; i++ {
+		got := c.Evaluate()
+		if got > prev {
+			t.Fatalf("level rose from %d to %d under cold signals", prev, got)
+		}
+		prev = got
+	}
+	if prev != 0 {
+		t.Fatalf("did not recover to level 0; stuck at %d", prev)
+	}
+}
+
+func TestControllerNeutralBandResetsStreaks(t *testing.T) {
+	// Alternating hot / neutral samples never accumulate a streak.
+	feed := &signalFeed{samples: []Signals{
+		{Load: 1}, {Load: 0.5}, {Load: 1}, {Load: 0.5}, {Load: 1}, {Load: 0.5},
+	}}
+	c := ctl(t, feed, ControllerConfig{
+		Levels: 3, HighLoad: 0.9, LowLoad: 0.1, RaiseAfter: 2, JitterHold: -1,
+	})
+	for i := 0; i < 6; i++ {
+		if got := c.Evaluate(); got != 0 {
+			t.Fatalf("level = %d on an alternating feed, want 0 (hysteresis)", got)
+		}
+	}
+}
+
+func TestControllerBreakerSignal(t *testing.T) {
+	// An open breaker is hot regardless of load.
+	feed := &signalFeed{samples: []Signals{{Load: 0, BreakerOpen: true}}}
+	c := ctl(t, feed, ControllerConfig{Levels: 1, RaiseAfter: 1, JitterHold: -1})
+	if got := c.Evaluate(); got != 1 {
+		t.Fatalf("level = %d with an open breaker, want 1", got)
+	}
+	// And it blocks recovery even at zero load.
+	if got := c.Evaluate(); got != 1 {
+		t.Fatalf("level = %d, breaker-open must not count as cold", got)
+	}
+}
+
+func TestControllerWaitSignal(t *testing.T) {
+	feed := &signalFeed{samples: []Signals{{Load: 0, WaitP95MS: 500}}}
+	c := ctl(t, feed, ControllerConfig{
+		Levels: 1, RaiseAfter: 1, JitterHold: -1,
+		HighWaitMS: 200, LowWaitMS: 50,
+	})
+	if got := c.Evaluate(); got != 1 {
+		t.Fatalf("level = %d with p95 wait past the watermark, want 1", got)
+	}
+	// Low load but wait still above LowWaitMS: not cold, level holds.
+	feed.set(Signals{Load: 0, WaitP95MS: 100})
+	for i := 0; i < 5; i++ {
+		if got := c.Evaluate(); got != 1 {
+			t.Fatalf("recovered while p95 wait above LowWaitMS")
+		}
+	}
+	feed.set(Signals{Load: 0, WaitP95MS: 10})
+	for i := 0; i < 4; i++ {
+		c.Evaluate()
+	}
+	if got := c.Level(); got != 0 {
+		t.Fatalf("level = %d after sustained cold wait, want 0", got)
+	}
+}
+
+func TestControllerJitterHoldDeterministic(t *testing.T) {
+	// Two controllers with the same seed shift on identical schedules;
+	// the jitter hold delays shifts but never diverges for equal seeds.
+	run := func(seed int64) []int {
+		feed := &signalFeed{samples: []Signals{{Load: 1}}}
+		c := ctl(t, feed, ControllerConfig{
+			Levels: 3, RaiseAfter: 1, JitterHold: 3, Seed: seed,
+		})
+		var levels []int
+		for i := 0; i < 20; i++ {
+			levels = append(levels, c.Evaluate())
+		}
+		return levels
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at evaluation %d: %v vs %v", i, a, b)
+		}
+	}
+	if a[len(a)-1] != 3 {
+		t.Fatalf("held forever: final level %d, want 3", a[len(a)-1])
+	}
+}
+
+func TestControllerStartStop(t *testing.T) {
+	feed := &signalFeed{samples: []Signals{{Load: 1}}}
+	c := NewController(ControllerConfig{
+		Levels: 2, RaiseAfter: 1, Interval: time.Millisecond, JitterHold: -1,
+		Signals: feed.next,
+	})
+	c.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Level() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	if got := c.Level(); got != 2 {
+		t.Fatalf("ticker never drove the level to 2 (got %d)", got)
+	}
+	// Stop on a never-started controller must not hang.
+	c2 := NewController(ControllerConfig{Signals: feed.next})
+	c2.Stop()
+}

@@ -1,0 +1,251 @@
+// Package triage implements the complexity pre-pass of the adaptive
+// fidelity ladder: a deterministic, cheap score of how hard a document
+// will be to segment, and a thresholded classification into FULL (run
+// the whole VS2 pipeline), CHEAP (linear segmentation + first-match
+// selection is good enough) or SKIP (treat the page as one block).
+//
+// The score is computed from nothing but the element bounding boxes —
+// element count, whitespace-gutter coverage, and bbox-geometry
+// statistics — so it costs O(n log n) with no allocation-heavy
+// machinery, orders of magnitude below a real segmentation pass. The
+// same document always scores identically, which keeps the fidelity
+// ladder's output reproducible for any pinned fidelity level.
+//
+// The package also hosts the load Controller that shifts the triage
+// thresholds up under saturation and back down on recovery (see
+// controller.go); together they let a serving layer trade fidelity for
+// throughput before it has to shed work.
+package triage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vs2/internal/doc"
+)
+
+// Class is the triage verdict for one document.
+type Class int
+
+const (
+	// Full runs the complete VS2 pipeline: recursive segmentation and
+	// Eq. 2 disambiguation.
+	Full Class = iota
+	// Cheap routes the document through the linear segmenter and
+	// first-match selection: the layout is simple enough that the
+	// expensive machinery cannot change the answer much.
+	Cheap
+	// Skip treats the whole page as a single block: the document is so
+	// sparse that segmentation has nothing to separate.
+	Skip
+)
+
+func (c Class) String() string {
+	switch c {
+	case Full:
+		return "full"
+	case Cheap:
+		return "cheap"
+	case Skip:
+		return "skip"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Score is the deterministic complexity measurement of one document.
+// Complexity is the headline number in [0, 1]; the remaining fields are
+// the raw statistics it was derived from, kept for explainability and
+// for tests that pin the formula.
+type Score struct {
+	// Elements is the document's element count.
+	Elements int
+	// GutterX and GutterY are the whitespace-gutter ratios: the fraction
+	// of the page width (resp. height) covered by no element's projected
+	// extent. A page of well-separated text rows has a high GutterY; a
+	// dense multi-column table has almost none.
+	GutterX float64
+	GutterY float64
+	// HeightCV is the coefficient of variation of element heights —
+	// heterogeneous typography (titles, captions, body mixed) segments
+	// harder than a uniform form.
+	HeightCV float64
+	// Coverage is the fraction of the page area under element boxes.
+	Coverage float64
+	// Complexity is the combined score in [0, 1]; higher means the
+	// document needs the full pipeline more.
+	Complexity float64
+}
+
+// Analyze scores a document. It is pure and deterministic: no clocks,
+// no randomness, and it never fails — a nil or empty document scores
+// zero complexity (there is nothing to segment).
+func Analyze(d *doc.Document) Score {
+	var s Score
+	if d == nil || len(d.Elements) == 0 {
+		return s
+	}
+	n := len(d.Elements)
+	s.Elements = n
+	page := d.Bounds()
+	if page.W <= 0 || page.H <= 0 || !isFinite(page.W) || !isFinite(page.H) {
+		// Geometry too damaged to reason about; claim full complexity so
+		// the full pipeline (and its validator) deals with it.
+		s.Complexity = 1
+		return s
+	}
+
+	xs := make([]span, 0, n)
+	ys := make([]span, 0, n)
+	var area, hsum float64
+	heights := make([]float64, 0, n)
+	for i := range d.Elements {
+		b := d.Elements[i].Box
+		if !isFinite(b.X, b.Y, b.W, b.H) {
+			s.Complexity = 1
+			return s
+		}
+		xs = append(xs, clampSpan(b.X, b.X+b.W, page.X, page.X+page.W))
+		ys = append(ys, clampSpan(b.Y, b.Y+b.H, page.Y, page.Y+page.H))
+		area += math.Max(0, b.W) * math.Max(0, b.H)
+		h := math.Max(0, b.H)
+		heights = append(heights, h)
+		hsum += h
+	}
+	s.GutterX = 1 - coveredFraction(xs, page.W)
+	s.GutterY = 1 - coveredFraction(ys, page.H)
+	s.Coverage = clamp01(area / (page.W * page.H))
+
+	mean := hsum / float64(n)
+	if mean > 0 {
+		var varsum float64
+		for _, h := range heights {
+			dlt := h - mean
+			varsum += dlt * dlt
+		}
+		s.HeightCV = math.Sqrt(varsum/float64(n)) / mean
+	}
+
+	// The combination: document size dominates (a 500-element page is
+	// expensive no matter its shape), vertical structure density second
+	// (a page with no row gutters defeats the linear baseline), height
+	// heterogeneity third (mixed typography needs the real clusterer).
+	sizeTerm := float64(n) / (float64(n) + 120)
+	structureTerm := 1 - s.GutterY
+	heteroTerm := math.Min(1, s.HeightCV)
+	s.Complexity = clamp01(0.5*sizeTerm + 0.3*structureTerm + 0.2*heteroTerm)
+	return s
+}
+
+// span is one closed interval on an axis.
+type span struct{ lo, hi float64 }
+
+func clampSpan(lo, hi, min, max float64) span {
+	return span{lo: math.Max(lo, min), hi: math.Min(hi, max)}
+}
+
+// coveredFraction is the fraction of an axis of length total covered by
+// the union of the spans: the complement of the whitespace-gutter ratio.
+func coveredFraction(spans []span, total float64) float64 {
+	if total <= 0 || len(spans) == 0 {
+		return 0
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	covered := 0.0
+	curLo, curHi := spans[0].lo, spans[0].hi
+	for _, sp := range spans[1:] {
+		if sp.lo > curHi {
+			covered += math.Max(0, curHi-curLo)
+			curLo, curHi = sp.lo, sp.hi
+			continue
+		}
+		if sp.hi > curHi {
+			curHi = sp.hi
+		}
+	}
+	covered += math.Max(0, curHi-curLo)
+	return clamp01(covered / total)
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0 || math.IsNaN(v):
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+func isFinite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Policy is the pair of complexity thresholds that turn a Score into a
+// Class, at fidelity level 0 (no load pressure). Higher fidelity levels
+// scale both thresholds up via At, widening the CHEAP and SKIP bands.
+type Policy struct {
+	// CheapBelow routes documents with Complexity below it through the
+	// cheap path; 0 selects 0.35, negative disables cheap routing.
+	CheapBelow float64
+	// SkipBelow treats documents with Complexity below it as a single
+	// block; 0 selects 0.06, negative disables skipping.
+	SkipBelow float64
+}
+
+// WithDefaults resolves the zero-value conventions.
+func (p Policy) WithDefaults() Policy {
+	if p.CheapBelow == 0 {
+		p.CheapBelow = 0.35
+	}
+	if p.SkipBelow == 0 {
+		p.SkipBelow = 0.06
+	}
+	return p
+}
+
+// At scales the policy to a fidelity level in [0, levels]: level 0 is
+// the policy itself, and each step widens the degraded bands — at the
+// top level the cheap threshold reaches 1 (every document routes cheap)
+// and the skip threshold reaches the level-0 cheap threshold. The
+// interpolation is linear, so adjacent levels differ modestly and the
+// controller's one-step shifts stay gentle.
+func (p Policy) At(level, levels int) Policy {
+	p = p.WithDefaults()
+	if level <= 0 || levels <= 0 {
+		return p
+	}
+	if level > levels {
+		level = levels
+	}
+	frac := float64(level) / float64(levels)
+	out := p
+	if p.CheapBelow > 0 {
+		out.CheapBelow = p.CheapBelow + (1-p.CheapBelow)*frac
+	}
+	if p.SkipBelow > 0 {
+		hi := math.Max(p.SkipBelow, p.CheapBelow)
+		out.SkipBelow = p.SkipBelow + (hi-p.SkipBelow)*frac
+	}
+	return out
+}
+
+// Classify applies the thresholds. The skip band sits inside the cheap
+// band; a disabled (negative) threshold never matches.
+func (p Policy) Classify(s Score) Class {
+	p = p.WithDefaults()
+	switch {
+	case p.SkipBelow > 0 && s.Complexity < p.SkipBelow:
+		return Skip
+	case p.CheapBelow > 0 && s.Complexity < p.CheapBelow:
+		return Cheap
+	default:
+		return Full
+	}
+}

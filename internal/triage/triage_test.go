@@ -1,0 +1,155 @@
+package triage
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+)
+
+// page builds a W x H document with one text element per box.
+func page(w, h float64, boxes ...geom.Rect) *doc.Document {
+	d := &doc.Document{ID: "t", Width: w, Height: h}
+	for i, b := range boxes {
+		d.Elements = append(d.Elements, doc.Element{ID: i, Box: b, Line: i})
+	}
+	return d
+}
+
+// rows lays out n uniform full-width rows with a gutter between them.
+func rows(n int) *doc.Document {
+	boxes := make([]geom.Rect, 0, n)
+	for i := 0; i < n; i++ {
+		boxes = append(boxes, geom.Rect{X: 10, Y: float64(i) * 20, W: 80, H: 10})
+	}
+	return page(100, float64(n)*20+20, boxes...)
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	d := rows(40)
+	a, b := Analyze(d), Analyze(d)
+	if a != b {
+		t.Fatalf("Analyze not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAnalyzeEmptyAndNil(t *testing.T) {
+	if s := Analyze(nil); s.Complexity != 0 {
+		t.Errorf("nil doc complexity = %v, want 0", s.Complexity)
+	}
+	if s := Analyze(&doc.Document{Width: 100, Height: 100}); s.Complexity != 0 {
+		t.Errorf("empty doc complexity = %v, want 0", s.Complexity)
+	}
+}
+
+func TestAnalyzeDamagedGeometry(t *testing.T) {
+	for _, d := range []*doc.Document{
+		page(0, 0, geom.Rect{W: 10, H: 10}),
+		page(100, 100, geom.Rect{X: math.NaN(), W: 10, H: 10}),
+		page(math.Inf(1), 100, geom.Rect{W: 10, H: 10}),
+	} {
+		if s := Analyze(d); s.Complexity != 1 {
+			t.Errorf("damaged geometry complexity = %v, want 1", s.Complexity)
+		}
+	}
+}
+
+func TestAnalyzeOrdering(t *testing.T) {
+	// A sparse page of a few separated rows must score below a dense
+	// page packed with many hetero-height boxes.
+	simple := Analyze(rows(5))
+	denseBoxes := make([]geom.Rect, 0, 400)
+	for i := 0; i < 400; i++ {
+		h := 5 + float64(i%7)*6
+		denseBoxes = append(denseBoxes, geom.Rect{
+			X: float64(i%20) * 5, Y: float64(i/20) * 5, W: 5, H: h,
+		})
+	}
+	dense := Analyze(page(100, 120, denseBoxes...))
+	if simple.Complexity >= dense.Complexity {
+		t.Fatalf("simple %.3f >= dense %.3f", simple.Complexity, dense.Complexity)
+	}
+	if simple.GutterY <= dense.GutterY {
+		t.Errorf("simple gutterY %.3f <= dense gutterY %.3f", simple.GutterY, dense.GutterY)
+	}
+	if simple.Complexity <= 0 || dense.Complexity > 1 {
+		t.Errorf("complexity out of range: simple %.3f dense %.3f", simple.Complexity, dense.Complexity)
+	}
+}
+
+func TestPolicyClassify(t *testing.T) {
+	p := Policy{CheapBelow: 0.5, SkipBelow: 0.1}
+	cases := []struct {
+		c    float64
+		want Class
+	}{
+		{0.05, Skip},
+		{0.1, Cheap}, // thresholds are strict: 0.1 is not below 0.1
+		{0.3, Cheap},
+		{0.5, Full},
+		{0.9, Full},
+	}
+	for _, tc := range cases {
+		if got := p.Classify(Score{Complexity: tc.c}); got != tc.want {
+			t.Errorf("Classify(%.2f) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyDisabled(t *testing.T) {
+	p := Policy{CheapBelow: -1, SkipBelow: -1}
+	if got := p.Classify(Score{Complexity: 0}); got != Full {
+		t.Errorf("disabled policy classified %v, want full", got)
+	}
+	// Disabled thresholds stay disabled at every level.
+	if got := p.At(3, 3).Classify(Score{Complexity: 0}); got != Full {
+		t.Errorf("disabled policy at top level classified %v, want full", got)
+	}
+}
+
+func TestPolicyAtScaling(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	prevCheap, prevSkip := p.CheapBelow, p.SkipBelow
+	for lvl := 1; lvl <= 3; lvl++ {
+		at := p.At(lvl, 3)
+		if at.CheapBelow <= prevCheap || at.SkipBelow <= prevSkip {
+			t.Fatalf("level %d thresholds did not widen: %+v after %.3f/%.3f",
+				lvl, at, prevCheap, prevSkip)
+		}
+		prevCheap, prevSkip = at.CheapBelow, at.SkipBelow
+	}
+	top := p.At(3, 3)
+	if top.CheapBelow != 1 {
+		t.Errorf("top-level cheap threshold = %.3f, want 1", top.CheapBelow)
+	}
+	if math.Abs(top.SkipBelow-p.CheapBelow) > 1e-9 {
+		t.Errorf("top-level skip threshold = %.3f, want the base cheap threshold %.3f",
+			top.SkipBelow, p.CheapBelow)
+	}
+	// Beyond-range levels clamp rather than extrapolate.
+	if got := p.At(9, 3); got != top {
+		t.Errorf("At(9,3) = %+v, want the clamped top policy %+v", got, top)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{Full: "full", Cheap: "cheap", Skip: "skip", Class(9): "Class(9)"} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func ExamplePolicy_At() {
+	p := Policy{CheapBelow: 0.4, SkipBelow: 0.1}
+	for lvl := 0; lvl <= 2; lvl++ {
+		at := p.At(lvl, 2)
+		fmt.Printf("level %d: cheap<%.2f skip<%.2f\n", lvl, at.CheapBelow, at.SkipBelow)
+	}
+	// Output:
+	// level 0: cheap<0.40 skip<0.10
+	// level 1: cheap<0.70 skip<0.25
+	// level 2: cheap<1.00 skip<0.40
+}

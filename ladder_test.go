@@ -1,0 +1,272 @@
+package vs2
+
+// Ordering contract of the degradation ladder: when triage routing,
+// breaker trips, budget overruns and backend failures fire together,
+// Result.Degraded must record exactly one entry per fallback, in phase
+// order (triage → segment → search → disambiguate), each with a
+// deterministic cause line. The table below pins the exact sequence for
+// every reachable combination; the server-level test pins how a pinned
+// fidelity ladder (and the fleet's context-carried level) selects the
+// triage class.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vs2/internal/extract"
+	"vs2/internal/faults"
+	"vs2/internal/obs"
+	"vs2/internal/segment"
+	"vs2/internal/triage"
+)
+
+// ladderExtractor wraps the real extractor so one case can fail search
+// with partial candidates (budget/breaker shapes) or fail selection
+// outright, independently of timing.
+type ladderExtractor struct {
+	inner     ExtractBackend
+	searchErr error // returned alongside the real (partial) candidates
+	selectErr error // forces the first-match fallback
+}
+
+func (l *ladderExtractor) SearchContext(ctx context.Context, d *Document, blocks []*Node, sets []*PatternSet) (map[string][]Candidate, error) {
+	cands, err := l.inner.SearchContext(ctx, d, blocks, sets)
+	if err == nil && l.searchErr != nil {
+		return cands, l.searchErr
+	}
+	return cands, err
+}
+
+func (l *ladderExtractor) SelectContext(ctx context.Context, d *Document, blocks []*Node, cands map[string][]Candidate, sets []*PatternSet) ([]Extraction, error) {
+	if l.selectErr != nil {
+		return nil, l.selectErr
+	}
+	return l.inner.SelectContext(ctx, d, blocks, cands, sets)
+}
+
+func (l *ladderExtractor) SelectFirstMatch(d *Document, cands map[string][]Candidate, sets []*PatternSet) []Extraction {
+	return l.inner.SelectFirstMatch(d, cands, sets)
+}
+
+// fallbackSeq renders the degradation trail as "phase/fallback" steps.
+func fallbackSeq(res *Result) []string {
+	out := make([]string, 0, len(res.Degraded))
+	for _, g := range res.Degraded {
+		out = append(out, string(g.Phase)+"/"+g.Fallback)
+	}
+	return out
+}
+
+func TestDegradationLadderOrdering(t *testing.T) {
+	task := EventPosterTask()
+	baseSeg := segment.New(segment.Options{})
+	baseExt := extract.New(extract.Options{Weights: task.Weights})
+
+	// A triage decision as the serving layer would attach it: real score,
+	// real thresholds at the given level.
+	decide := func(class triage.Class, level int) *triageDecision {
+		return &triageDecision{
+			class:  class,
+			level:  level,
+			score:  triage.Analyze(soakDoc("probe")),
+			policy: triage.Policy{}.At(level, 3),
+		}
+	}
+
+	cases := []struct {
+		name      string
+		dec       *triageDecision
+		segErr    bool  // segmenter fails every call
+		searchErr error // injected search error, candidates kept
+		selectErr error // injected selection error
+		want      []string
+		causes    map[string]string // fallback -> required cause substring
+	}{
+		{
+			name: "clean run records nothing",
+		},
+		{
+			name:   "triage cheap",
+			dec:    decide(triage.Cheap, 2),
+			want:   []string{"triage/triage-cheap"},
+			causes: map[string]string{"triage-cheap": "below cheap threshold"},
+		},
+		{
+			name:   "triage skip",
+			dec:    decide(triage.Skip, 3),
+			want:   []string{"triage/triage-skip"},
+			causes: map[string]string{"triage-skip": "fidelity level 3"},
+		},
+		{
+			name:   "segment failure degrades to linear",
+			segErr: true,
+			want:   []string{"segment/linear-segmentation"},
+			causes: map[string]string{"linear-segmentation": "injected"},
+		},
+		{
+			name:      "segment and select failures stack in phase order",
+			segErr:    true,
+			selectErr: errors.New("injected select failure"),
+			want:      []string{"segment/linear-segmentation", "disambiguate/first-match"},
+			causes:    map[string]string{"first-match": "injected select failure"},
+		},
+		{
+			name:      "triage cheap plus search budget overrun",
+			dec:       decide(triage.Cheap, 1),
+			searchErr: fmt.Errorf("%w: injected slow search", ErrBudgetExceeded),
+			want:      []string{"triage/triage-cheap", "search/partial-search"},
+			causes: map[string]string{
+				"triage-cheap":   "fidelity level 1",
+				"partial-search": ErrBudgetExceeded.Error(),
+			},
+		},
+		{
+			name:      "triage cheap plus open search breaker",
+			dec:       decide(triage.Cheap, 2),
+			searchErr: fmt.Errorf("search short-circuited: %w", ErrBreakerOpen),
+			want:      []string{"triage/triage-cheap", "search/partial-search"},
+			causes:    map[string]string{"partial-search": ErrBreakerOpen.Error()},
+		},
+		{
+			name:      "full run with budget overrun and select failure",
+			searchErr: fmt.Errorf("%w: injected slow search", ErrBudgetExceeded),
+			selectErr: errors.New("injected select failure"),
+			want:      []string{"search/partial-search", "disambiguate/first-match"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var seg SegmentBackend = baseSeg
+			if tc.segErr {
+				seg = &faults.Segmenter{Inner: baseSeg, Inject: faults.Injection{Kind: faults.Error}}
+			}
+			p := NewPipeline(Config{
+				Task:      task,
+				Segmenter: seg,
+				Extractor: &ladderExtractor{inner: baseExt, searchErr: tc.searchErr, selectErr: tc.selectErr},
+			})
+			ctx := context.Background()
+			if tc.dec != nil {
+				ctx = withTriageDecision(ctx, *tc.dec)
+			}
+			res, err := p.ExtractContext(ctx, soakDoc("ladder-"+tc.name))
+			if err != nil {
+				t.Fatalf("ExtractContext: %v", err)
+			}
+			got := fallbackSeq(res)
+			if len(got) != len(tc.want) {
+				t.Fatalf("degradations = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("degradation %d = %q, want %q (full trail %v)", i, got[i], tc.want[i], got)
+				}
+			}
+			// One entry per fallback: the trail never repeats a strategy.
+			seen := map[string]bool{}
+			for _, g := range res.Degraded {
+				if seen[g.Fallback] {
+					t.Fatalf("fallback %q recorded twice: %v", g.Fallback, got)
+				}
+				seen[g.Fallback] = true
+			}
+			for _, g := range res.Degraded {
+				if want, ok := tc.causes[g.Fallback]; ok && !strings.Contains(g.Cause, want) {
+					t.Fatalf("fallback %q cause = %q, want substring %q", g.Fallback, g.Cause, want)
+				}
+				if g.Cause == "" {
+					t.Fatalf("fallback %q recorded no cause", g.Fallback)
+				}
+			}
+			if len(res.Entities) == 0 {
+				t.Fatalf("degraded run extracted nothing (trail %v)", got)
+			}
+		})
+	}
+}
+
+// TestPinnedFidelityTriage pins the server-level routing: a pinned
+// ladder classifies at its pin, and a context-carried level (the fleet
+// envelope) overrides it per document.
+func TestPinnedFidelityTriage(t *testing.T) {
+	// soakDoc's complexity sits between the default skip and cheap
+	// thresholds at level 0, and under the widened skip band at level 3 —
+	// assert that precondition so the expectations below cannot rot
+	// silently if the scorer or the document changes.
+	score := triage.Analyze(soakDoc("probe"))
+	if c0 := (triage.Policy{}).At(0, 3).Classify(score); c0 != triage.Cheap {
+		t.Fatalf("soakDoc classifies %v at level 0, test needs cheap (complexity %.3f)", c0, score.Complexity)
+	}
+	if c3 := (triage.Policy{}).At(3, 3).Classify(score); c3 != triage.Skip {
+		t.Fatalf("soakDoc classifies %v at level 3, test needs skip (complexity %.3f)", c3, score.Complexity)
+	}
+
+	task := EventPosterTask()
+	cases := []struct {
+		name     string
+		pin      int
+		ctxLevel int // -1 = no context level
+		fallback string
+		level    string // triage counter's level label
+	}{
+		{"pin 0 routes cheap at base thresholds", 0, -1, "triage-cheap", "0"},
+		{"pin at the top level routes skip", 3, -1, "triage-skip", "3"},
+		{"fleet envelope overrides the pin", 0, 3, "triage-skip", "3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMetrics()
+			p := NewPipeline(Config{Task: task})
+			s := NewServer(p, ServerConfig{
+				Workers: 1,
+				Metrics: m,
+				Fidelity: FidelityPolicy{
+					Mode:   FidelityPinned,
+					Levels: 3,
+					Pin:    tc.pin,
+				},
+			})
+			defer shutdownServer(t, s)
+
+			ctx := context.Background()
+			if tc.ctxLevel >= 0 {
+				ctx = WithFidelity(ctx, tc.ctxLevel)
+			}
+			res, err := s.Extract(ctx, soakDoc("pinned"))
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			if !hasDegradation(res, PhaseTriage, tc.fallback) {
+				t.Fatalf("degradations = %+v, want %s", res.Degraded, tc.fallback)
+			}
+			class := strings.TrimPrefix(tc.fallback, "triage-")
+			key := obs.Name("serve.triage.docs", obs.L("class", class), obs.L("level", tc.level))
+			if got := m.Snapshot().Counters[key]; got != 1 {
+				t.Fatalf("%s = %d, want 1", key, got)
+			}
+		})
+	}
+
+	// The off mode must not triage at all, even with an envelope level.
+	t.Run("off ignores the envelope", func(t *testing.T) {
+		m := NewMetrics()
+		s := NewServer(NewPipeline(Config{Task: task}), ServerConfig{Workers: 1, Metrics: m})
+		defer shutdownServer(t, s)
+		res, err := s.Extract(WithFidelity(context.Background(), 3), soakDoc("off"))
+		if err != nil {
+			t.Fatalf("Extract: %v", err)
+		}
+		if res.IsDegraded() {
+			t.Fatalf("ladder-off server degraded: %+v", res.Degraded)
+		}
+		for name := range m.Snapshot().Counters {
+			if strings.HasPrefix(name, "serve.triage.") {
+				t.Fatalf("ladder-off server recorded triage counter %s", name)
+			}
+		}
+	})
+}

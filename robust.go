@@ -18,6 +18,7 @@ import (
 	"vs2/internal/extract"
 	"vs2/internal/obs"
 	"vs2/internal/segment"
+	"vs2/internal/triage"
 )
 
 // Phase identifies one stage of the pipeline in errors and degradation
@@ -106,8 +107,9 @@ type Degradation struct {
 	// Phase is where the primary strategy was abandoned.
 	Phase Phase
 	// Fallback names the strategy used instead: "linear-segmentation",
-	// "sanitized-blocks", "sequential-recursion", "partial-search" or
-	// "first-match".
+	// "sanitized-blocks", "sequential-recursion", "partial-search",
+	// "first-match", or — chosen by the fidelity ladder rather than forced
+	// by a failure — "triage-cheap" / "triage-skip".
 	Fallback string
 	// Cause describes why, in one line.
 	Cause string
@@ -222,24 +224,47 @@ func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, er
 		m.Counter("degraded." + fallback).Inc()
 	}
 
-	// Phase 1: segmentation. Any failure degrades to the linear baseline.
-	// A stats sink rides the phase context so a parallel-capable segmenter
-	// can report whether the branch pool ever admitted a fork.
-	sctx, segStats := segment.WithStats(ctx)
-	tree, err := p.segmentPhase(sctx, run, d)
-	if err != nil {
-		if ctx.Err() != nil {
-			return fail(PhaseSegment, "", err)
-		}
-		degrade(PhaseSegment, "linear-segmentation", err)
+	// Phase 0.5: triage. When the serving layer's fidelity ladder marked
+	// this document for a cheaper path (a choice, not a failure), the
+	// expensive segmentation is skipped outright: CHEAP takes the linear
+	// baseline tree, SKIP treats the whole page as one block. Exactly one
+	// Degradation records the routing — it covers both the segmentation
+	// substitute and the first-match selection the triaged run uses — so
+	// Result.Degraded and -explain stay honest about what actually ran.
+	dec, triaged := triageDecisionFrom(ctx)
+	var tree *Node
+	var err error
+	switch {
+	case triaged && dec.class == triage.Skip:
+		tree = doc.NewTree(d)
+		degrade(PhaseTriage, "triage-skip", dec.cause())
+		run.SetAttr("triage", "skip")
+	case triaged && dec.class == triage.Cheap:
 		tree = p.linearTree(d)
-	} else if segStats.SequentialFallback() {
-		// The tree is still correct — sequential recursion is the designed
-		// pressure valve, and it produces identical output — but the run
-		// did not get the parallelism it was configured for, which callers
-		// watching latency SLOs need to see.
-		degrade(PhaseSegment, "sequential-recursion",
-			errors.New("branch pool exhausted; subtrees recursed inline"))
+		degrade(PhaseTriage, "triage-cheap", dec.cause())
+		run.SetAttr("triage", "cheap")
+	default:
+		triaged = false
+		// Phase 1: segmentation. Any failure degrades to the linear
+		// baseline. A stats sink rides the phase context so a
+		// parallel-capable segmenter can report whether the branch pool
+		// ever admitted a fork.
+		sctx, segStats := segment.WithStats(ctx)
+		tree, err = p.segmentPhase(sctx, run, d)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fail(PhaseSegment, "", err)
+			}
+			degrade(PhaseSegment, "linear-segmentation", err)
+			tree = p.linearTree(d)
+		} else if segStats.SequentialFallback() {
+			// The tree is still correct — sequential recursion is the designed
+			// pressure valve, and it produces identical output — but the run
+			// did not get the parallelism it was configured for, which callers
+			// watching latency SLOs need to see.
+			degrade(PhaseSegment, "sequential-recursion",
+				errors.New("branch pool exhausted; subtrees recursed inline"))
+		}
 	}
 	blocks, note := sanitizeBlocks(d, tree)
 	if note != "" {
@@ -265,30 +290,46 @@ func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, er
 		degrade(PhaseSearch, "partial-search", err)
 	}
 
-	// Phase 3: disambiguation. Any failure degrades to first-match. When
-	// an explanation was requested, a sink rides the phase context and the
-	// extractor fills it with the Eq. 2 reasoning per entity.
-	ectx := ctx
+	// Phase 3: disambiguation. A triaged run takes first-match selection
+	// by design — the routing's single Degradation already covers it, so
+	// no second entry is recorded. Otherwise any failure degrades to
+	// first-match. When an explanation was requested, a sink rides the
+	// phase context and the extractor fills it with the Eq. 2 reasoning
+	// per entity.
+	var entities []Extraction
 	var sink *extract.ExplainSink
-	if p.cfg.Explain {
-		ectx, sink = extract.WithExplain(ctx)
-	}
-	entities, err := p.selectPhase(ectx, run, d, blocks, cands)
-	if err != nil {
-		if ctx.Err() != nil {
-			return fail(PhaseDisambiguate, "", err)
+	if triaged {
+		entities, err = p.firstMatchPhase(d, cands)
+		if err != nil {
+			return fail(PhaseDisambiguate, "triage first-match", err)
 		}
-		fallback, ferr := p.firstMatchPhase(d, cands)
-		if ferr != nil {
-			return fail(PhaseDisambiguate, "first-match fallback", ferr)
+	} else {
+		ectx := ctx
+		if p.cfg.Explain {
+			ectx, sink = extract.WithExplain(ctx)
 		}
-		degrade(PhaseDisambiguate, "first-match", err)
-		entities = fallback
+		entities, err = p.selectPhase(ectx, run, d, blocks, cands)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fail(PhaseDisambiguate, "", err)
+			}
+			fallback, ferr := p.firstMatchPhase(d, cands)
+			if ferr != nil {
+				return fail(PhaseDisambiguate, "first-match fallback", ferr)
+			}
+			degrade(PhaseDisambiguate, "first-match", err)
+			entities = fallback
+		}
 	}
 
 	res.Entities, res.Blocks, res.Tree = entities, blocks, tree
 	if sink != nil {
 		res.Report = buildReport(tree, sink.Explanations(), res.Degraded)
+	} else if p.cfg.Explain {
+		// A triaged run never fills the Eq. 2 sink (first-match has no
+		// reasoning to explain), but the report still carries the
+		// degradation trail so -explain shows why the cheap path ran.
+		res.Report = buildReport(tree, nil, res.Degraded)
 	}
 	if run != nil || m != nil {
 		total := 0

@@ -18,7 +18,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vs2/internal/obs"
 	"vs2/internal/serve"
+	"vs2/internal/triage"
 )
 
 // PhaseAdmit is the serving layer's admission stage: errors carrying it
@@ -141,11 +143,23 @@ type ServerConfig struct {
 	Retry RetryPolicy
 	// Breaker tunes the per-phase circuit breakers.
 	Breaker BreakerPolicy
+	// Fidelity tunes the adaptive fidelity ladder: complexity triage
+	// onto the cheap path, and (in adaptive mode) the load controller
+	// that widens the triage bands under saturation. The zero value is
+	// off — no triage, byte-identical to the pre-ladder server.
+	Fidelity FidelityPolicy
 	// Metrics, when non-nil, receives the serving-layer telemetry:
 	// serve.queue.depth / serve.inflight gauges, serve.shed /
 	// serve.retries / serve.breaker.<phase>.to_<state> counters and the
-	// serve.queue.wait.ms histogram. Independent of the pipeline's own
-	// Config.Metrics; the same registry may serve both.
+	// serve.queue.wait.ms histogram. The bare serve.shed counter counts
+	// overload sheds (ErrOverloaded); the labeled
+	// serve.shed{reason="queue_full"|"queue_wait"|"admission_closed"}
+	// series breaks every admission rejection down by reason. With the
+	// fidelity ladder on, serve.fidelity.level,
+	// serve.fidelity.shifts{direction=...} and
+	// serve.triage.docs{class=...,level=...} land here too. Independent
+	// of the pipeline's own Config.Metrics; the same registry may serve
+	// both.
 	Metrics *Metrics
 }
 
@@ -178,6 +192,14 @@ type Server struct {
 	m    *Metrics
 
 	backoff *serve.Backoff
+
+	// The fidelity ladder (nil / zero when ServerConfig.Fidelity is off):
+	// the adaptive controller, the queue-wait window feeding its p95
+	// signal, the pinned level, and the phase breakers it watches.
+	ctrl     *triage.Controller
+	waitWin  *obs.Window
+	pinned   atomic.Int64
+	breakers []*serve.Breaker
 
 	queue    chan *job
 	queued   atomic.Int64
@@ -233,6 +255,7 @@ func NewServer(p *Pipeline, cfg ServerConfig) *Server {
 		drained: make(chan struct{}),
 	}
 	s.pipe = s.wirePipeline(p, cfg.Breaker)
+	s.startFidelity()
 	s.m.Gauge("serve.workers").Set(float64(cfg.Workers))
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -265,7 +288,7 @@ func (s *Server) wirePipeline(p *Pipeline, pol BreakerPolicy) *Pipeline {
 
 func (s *Server) newBreaker(phase Phase, pol BreakerPolicy) *serve.Breaker {
 	name := string(phase)
-	return serve.NewBreaker(serve.BreakerConfig{
+	br := serve.NewBreaker(serve.BreakerConfig{
 		Threshold: pol.Threshold,
 		Cooldown:  pol.Cooldown,
 		Probes:    pol.Probes,
@@ -274,6 +297,10 @@ func (s *Server) newBreaker(phase Phase, pol BreakerPolicy) *serve.Breaker {
 			s.m.Gauge("serve.breaker." + name + ".state").Set(float64(to))
 		},
 	})
+	// The fidelity controller reads breaker state as a saturation signal;
+	// keep a reference to every phase breaker wired.
+	s.breakers = append(s.breakers, br)
+	return br
 }
 
 // Extract submits one document and blocks until its result: the
@@ -375,6 +402,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Lock()   // barrier: every in-flight admission has resolved
 		close(s.queue)
 		s.mu.Unlock()
+		if s.ctrl != nil {
+			s.ctrl.Stop()
+		}
 		go func() {
 			s.workers.Wait()
 			close(s.drained)
@@ -396,6 +426,7 @@ func (s *Server) admit(ctx context.Context, j *job) error {
 	defer s.mu.RUnlock()
 	if s.closed.Load() {
 		s.m.Counter("serve.rejected.closed").Inc()
+		s.m.Counter(obs.Name("serve.shed", obs.L("reason", "admission_closed"))).Inc()
 		return &Error{Phase: PhaseAdmit, Stage: "closed", Err: ErrServerClosed}
 	}
 	select {
@@ -405,7 +436,7 @@ func (s *Server) admit(ctx context.Context, j *job) error {
 	default:
 	}
 	if s.cfg.QueueWait <= 0 {
-		s.m.Counter("serve.shed").Inc()
+		s.shed("queue_full")
 		return &Error{Phase: PhaseAdmit, Stage: "queue-full",
 			Err: fmt.Errorf("%w: queue full (depth %d)", ErrOverloaded, cap(s.queue))}
 	}
@@ -417,16 +448,26 @@ func (s *Server) admit(ctx context.Context, j *job) error {
 		return nil
 	case <-s.done:
 		s.m.Counter("serve.rejected.closed").Inc()
+		s.m.Counter(obs.Name("serve.shed", obs.L("reason", "admission_closed"))).Inc()
 		return &Error{Phase: PhaseAdmit, Stage: "closed", Err: ErrServerClosed}
 	case <-admit.Done():
 		if err := ctx.Err(); err != nil {
 			s.m.Counter("serve.abandoned").Inc()
 			return &Error{Phase: PhaseAdmit, Stage: "admission", Err: err}
 		}
-		s.m.Counter("serve.shed").Inc()
+		s.shed("queue_full")
 		return &Error{Phase: PhaseAdmit, Stage: "queue-full",
 			Err: fmt.Errorf("%w: no queue slot within the %v queue-wait budget", ErrOverloaded, s.cfg.QueueWait)}
 	}
+}
+
+// shed counts one ErrOverloaded rejection: the bare serve.shed counter
+// (the series /slo and the chaos suites pin) plus the per-reason
+// labeled breakdown. Admission-closed rejections are not ErrOverloaded
+// and only land on the labeled series.
+func (s *Server) shed(reason string) {
+	s.m.Counter("serve.shed").Inc()
+	s.m.Counter(obs.Name("serve.shed", obs.L("reason", reason))).Inc()
 }
 
 func (s *Server) enqueued() {
@@ -448,13 +489,14 @@ func (s *Server) handle(j *job) {
 	s.m.Gauge("serve.queue.depth").Set(float64(s.queued.Add(-1)))
 	wait := time.Since(j.enqueued)
 	s.m.Histogram("serve.queue.wait.ms", nil).Observe(float64(wait) / float64(time.Millisecond))
+	s.waitWin.Observe(float64(wait) / float64(time.Millisecond)) // nil-safe; fidelity controller's p95 signal
 	if err := j.ctx.Err(); err != nil {
 		s.m.Counter("serve.abandoned").Inc()
 		j.out <- jobResult{err: &Error{Phase: PhaseAdmit, Stage: "queued", Err: err}}
 		return
 	}
 	if w := s.cfg.QueueWait; w > 0 && wait > w {
-		s.m.Counter("serve.shed").Inc()
+		s.shed("queue_wait")
 		j.out <- jobResult{err: &Error{Phase: PhaseAdmit, Stage: "queue-wait",
 			Err: fmt.Errorf("%w: waited %v beyond the %v queue-wait budget",
 				ErrOverloaded, wait.Round(time.Millisecond), w)}}
@@ -477,6 +519,11 @@ func (s *Server) handle(j *job) {
 // bypass the machinery that just failed. Permanent errors and drained
 // servers end the loop immediately.
 func (s *Server) run(ctx context.Context, d *Document) (*Result, error) {
+	// The fidelity pre-pass: with the ladder on, triage may mark the
+	// document for the cheap or skip path at the current level; the
+	// decision rides the context into ExtractContext, which records the
+	// routing in Result.Degraded. With the ladder off this is a no-op.
+	ctx = s.triageCtx(ctx, d)
 	var lastErr error
 	degraded := false
 	for attempt := 0; attempt < s.cfg.Retry.MaxAttempts; attempt++ {

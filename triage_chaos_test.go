@@ -1,0 +1,273 @@
+package vs2
+
+// Overload-soak chaos harness for the adaptive fidelity ladder, run
+// under -race via `make triage-chaos`. The contract it pins:
+//
+//   - Under a saturating burst, a ladder-enabled server sheds strictly
+//     fewer documents than the same server with the ladder off — the
+//     controller trades fidelity for throughput before admission control
+//     has to throw ErrOverloaded.
+//   - Every degraded answer is honest: cheap-routed documents carry a
+//     triage Degradation, and the triage counters account for the split.
+//   - Recovery is monotone: once the burst drains, the fidelity level
+//     steps back down without ever rising, reaching FULL (level 0).
+//   - Pinned off, the ladder is byte-invisible: RenderLine output is
+//     identical to a server without the subsystem.
+//   - No panics, no leaked goroutines, every shed carries a structured
+//     admit error.
+//
+// The CI workflow points VS2_CHAOS_ARTIFACTS at a directory; the test
+// drops before/during/after Prometheus snapshots of the adaptive
+// server's registry there for post-mortem inspection.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"vs2/internal/faults"
+	"vs2/internal/obs"
+	"vs2/internal/segment"
+	"vs2/internal/triage"
+)
+
+// soakTriagePolicy puts soakDoc's complexity (~0.14) above the level-0
+// cheap threshold but inside the widened band from level 1 up, so the
+// burst runs the full (slow) pipeline until the controller shifts.
+var soakTriagePolicy = triage.Policy{CheapBelow: 0.1, SkipBelow: 0.01}
+
+// slowSoakServer builds the saturation fixture: a 2-worker, 2-slot
+// server over a pipeline whose segmenter stalls 100ms per document —
+// slow enough that a concurrent burst overwhelms the queue, and
+// entirely bypassed by the triage cheap path. The 500ms queue-wait
+// budget is sized so the adaptive controller (5ms ticks) has shifted
+// long before the blocked admissions give up: the fixture saturates on
+// throughput, not on reaction time.
+func slowSoakServer(m *Metrics, fidelity FidelityPolicy) *Server {
+	task := EventPosterTask()
+	p := NewPipeline(Config{
+		Task: task,
+		Segmenter: &faults.Segmenter{
+			Inner:  segment.New(segment.Options{}),
+			Inject: faults.Injection{Kind: faults.Delay, Sleep: 100 * time.Millisecond},
+		},
+	})
+	return NewServer(p, ServerConfig{
+		Workers:   2,
+		Queue:     2,
+		QueueWait: 500 * time.Millisecond,
+		Metrics:   m,
+		Retry:     fastRetry(1),
+		Fidelity:  fidelity,
+	})
+}
+
+// soakBurst slams n concurrent documents into the server and reports
+// how many were served and how many shed, failing on any outcome that
+// is neither a success nor a structured ErrOverloaded.
+func soakBurst(t *testing.T, s *Server, n int) (served, shed int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Extract(context.Background(), soakDoc(fmt.Sprintf("triage-burst-%03d", i)))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				served++
+			case errors.Is(err, ErrOverloaded):
+				var pe *Error
+				if !errors.As(err, &pe) || pe.Phase != PhaseAdmit {
+					t.Errorf("burst doc %d: shed without structured admit error: %v", i, err)
+				}
+				shed++
+			default:
+				t.Errorf("burst doc %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return served, shed
+}
+
+// writeSoakArtifact drops one Prometheus snapshot into the CI artifact
+// directory, when one is configured.
+func writeSoakArtifact(t *testing.T, name string, m *Metrics) {
+	t.Helper()
+	dir := os.Getenv("VS2_CHAOS_ARTIFACTS")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("artifacts dir: %v", err)
+	}
+	var buf bytes.Buffer
+	m.Snapshot().WritePrometheus(&buf) //nolint:errcheck
+	if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("artifact %s: %v", name, err)
+	}
+}
+
+// labeledSum sums a labeled counter family over all series matching one
+// label key/value, e.g. every serve.triage.docs{class="cheap",...}
+// regardless of level.
+func labeledSum(m *Metrics, base, key, value string) int64 {
+	var sum int64
+	for name, v := range m.Snapshot().Counters {
+		b, labels := obs.SplitName(name)
+		if b != base {
+			continue
+		}
+		for _, l := range labels {
+			if l.Key == key && l.Value == value {
+				sum += v
+			}
+		}
+	}
+	return sum
+}
+
+func TestTriageChaosOverloadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+	const burstN = 150
+
+	// Phase A control: the same fixture with the ladder off sheds most of
+	// the burst — the only defenses are the queue and its 30ms wait.
+	mOff := NewMetrics()
+	sOff := slowSoakServer(mOff, FidelityPolicy{})
+	servedOff, shedOff := soakBurst(t, sOff, burstN)
+	t.Logf("ladder off: %d served, %d shed", servedOff, shedOff)
+	if shedOff == 0 {
+		t.Fatal("control burst shed nothing; the fixture no longer saturates")
+	}
+	if err := sOff.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown (control): %v", err)
+	}
+
+	// Phase A treatment: the adaptive ladder watches queue occupancy and
+	// shifts within ~10ms; cheap-routed documents bypass the stalled
+	// segmenter, so the queue drains and blocked admissions get slots.
+	mAd := NewMetrics()
+	sAd := slowSoakServer(mAd, FidelityPolicy{
+		Mode:       FidelityAdaptive,
+		Levels:     3,
+		Triage:     soakTriagePolicy,
+		Interval:   5 * time.Millisecond,
+		HighLoad:   0.5,
+		LowLoad:    0.1,
+		RaiseAfter: 1,
+		LowerAfter: 2,
+		JitterHold: 1,
+		Seed:       7,
+	})
+	writeSoakArtifact(t, "triage-soak-before.prom", mAd)
+	servedAd, shedAd := soakBurst(t, sAd, burstN)
+	t.Logf("ladder adaptive: %d served, %d shed", servedAd, shedAd)
+	writeSoakArtifact(t, "triage-soak-during.prom", mAd)
+
+	if servedAd+shedAd != burstN {
+		t.Fatalf("served %d + shed %d != %d", servedAd, shedAd, burstN)
+	}
+	if shedAd >= shedOff {
+		t.Fatalf("adaptive ladder shed %d, control shed %d: degradation did not beat load shedding", shedAd, shedOff)
+	}
+	snap := mAd.Snapshot()
+	if got := snap.Counters[obs.Name("serve.fidelity.shifts", obs.L("direction", "up"))]; got < 1 {
+		t.Fatalf("serve.fidelity.shifts{direction=up} = %d, want >= 1: the controller never reacted", got)
+	}
+	if got := labeledSum(mAd, "serve.triage.docs", "class", "cheap"); got == 0 {
+		t.Fatal("no document was cheap-routed during the saturating burst")
+	}
+
+	// Phase B: monotone recovery — the burst is drained, load is zero,
+	// and the level must step back to FULL without ever rising.
+	deadline := time.Now().Add(10 * time.Second)
+	last := sAd.FidelityLevel()
+	if last == 0 {
+		t.Log("level already recovered to 0 at burst end (controller outran the check)")
+	}
+	for {
+		lvl := sAd.FidelityLevel()
+		if lvl > last {
+			t.Fatalf("fidelity level rose from %d to %d during idle recovery", last, lvl)
+		}
+		last = lvl
+		if lvl == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fidelity level stuck at %d after the burst drained", lvl)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitFor(t, func() bool {
+		s := mAd.Snapshot()
+		return s.Counters[obs.Name("serve.fidelity.shifts", obs.L("direction", "down"))] >= 1 &&
+			s.Gauges["serve.fidelity.level"] == 0
+	})
+	// A document extracted after recovery runs at full fidelity again.
+	res, err := sAd.Extract(context.Background(), soakDoc("triage-recovered"))
+	if err != nil {
+		t.Fatalf("post-recovery extract: %v", err)
+	}
+	for _, g := range res.Degraded {
+		if g.Phase == PhaseTriage {
+			t.Fatalf("post-recovery document still triaged: %+v", res.Degraded)
+		}
+	}
+	writeSoakArtifact(t, "triage-soak-after.prom", mAd)
+	if err := sAd.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown (adaptive): %v", err)
+	}
+
+	// Phase C: pinned off, the ladder must be byte-invisible. The same
+	// corpus through a ladder-off server and a server without the
+	// subsystem renders identical lines.
+	task := EventPosterTask()
+	const identN = 30
+	docs := make([]*Document, identN)
+	for i := range docs {
+		docs[i] = soakDoc(fmt.Sprintf("triage-ident-%02d", i))
+	}
+	// A generous queue-wait: this phase pins byte identity, not shedding,
+	// and a race-detector run must never time out of the queue.
+	sPlain := NewServer(NewPipeline(Config{Task: task}), ServerConfig{
+		Workers: 2, QueueWait: 10 * time.Minute,
+	})
+	sLadderOff := NewServer(NewPipeline(Config{Task: task}), ServerConfig{
+		Workers:   2,
+		QueueWait: 10 * time.Minute,
+		Fidelity:  FidelityPolicy{Mode: FidelityOff, Levels: 3, Triage: soakTriagePolicy},
+	})
+	plainRes := sPlain.ExtractBatch(context.Background(), docs)
+	offRes := sLadderOff.ExtractBatch(context.Background(), docs)
+	for i := range docs {
+		pl, ol := RenderLine(plainRes[i]), RenderLine(offRes[i])
+		if !bytes.Equal(pl, ol) {
+			t.Fatalf("doc %d: ladder-off output diverged\nplain: %s\noff:   %s", i, pl, ol)
+		}
+	}
+	if err := sPlain.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown (plain): %v", err)
+	}
+	if err := sLadderOff.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown (ladder-off): %v", err)
+	}
+
+	// No goroutine — controller included — may outlive the servers.
+	settleGoroutines(t, baseline)
+}
