@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race obs serve-chaos crash-chaos shard-chaos triage-chaos fuzz trace-demo bench-gate bench-baseline
+.PHONY: check vet build test race obs serve-chaos crash-chaos shard-chaos triage-chaos template-diff fuzz trace-demo bench-gate bench-baseline
 
 # check is the tier-1 verification gate: static analysis, a full build,
 # the full test suite, the race-detector pass (the chaos suite asserts
@@ -8,8 +8,9 @@ GO ?= go
 # race-detector pass over the observability primitives, the
 # serving-layer soak, the journal kill -9 crash-recovery harness, the
 # sharded-fleet shard-kill harness, the fidelity-ladder overload soak,
-# and the segmentation benchmark-regression gate.
-check: vet build test race obs serve-chaos crash-chaos shard-chaos triage-chaos bench-gate
+# the template-cache differential-oracle suite, and the benchmark
+# regression gates.
+check: vet build test race obs serve-chaos crash-chaos shard-chaos triage-chaos template-diff bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +78,17 @@ shard-chaos:
 triage-chaos:
 	$(GO) test -race -run TestTriageChaosOverloadSoak -count=1 -timeout 15m .
 
+# template-diff runs the layout-template cache's differential oracle
+# under the race detector: golden corpora plus 8 seeded synthetic
+# templates with jittered geometry, asserting warm (cache-hit) output is
+# byte-identical to the cold path — including explanation Reports and
+# degradation notes — plus a concurrent Server eviction-churn soak
+# against a deliberately undersized cache. (The `race` target runs the
+# same tests with -short, which trims the per-template instance count;
+# this target runs the full matrix.)
+template-diff:
+	$(GO) test -race -run TestTemplateDiff -count=1 -timeout 15m .
+
 # trace-demo runs the full observability path end to end: generate one
 # tax form, extract with tracing + metrics + explanation on, then
 # validate the span tree (structure, phase coverage, 10% wall-clock
@@ -93,21 +105,27 @@ trace-demo:
 # The comparison uses within-run ratios against the reference
 # implementation, so it holds across machines of different speeds.
 # It then re-measures the telemetry overhead (metrics + tracing vs
-# neither) and fails if observability costs more than 5% ns/op.
+# neither) and fails if observability costs more than 5% ns/op, and the
+# template-cache hit path, which must stay >= 5x faster than a cold
+# VS2-Segment (-benchgate runs the template gate itself).
 bench-gate:
 	$(GO) run ./cmd/vs2bench -benchgate
 	$(GO) run ./cmd/vs2bench -obsgate
 
-# bench-baseline regenerates BENCH_segment.json and BENCH_obs.json
-# after an intentional performance change. Commit the results.
+# bench-baseline regenerates BENCH_segment.json, BENCH_obs.json and
+# BENCH_template.json after an intentional performance change. Commit
+# the results.
 bench-baseline:
 	$(GO) run ./cmd/vs2bench -segbench
 	$(GO) run ./cmd/vs2bench -obsbench
+	$(GO) run ./cmd/vs2bench -templatebench
 
-# fuzz smoke-runs the four fuzz targets (decoder, full pipeline,
-# parallel segmenter determinism, journal replay).
+# fuzz smoke-runs the five fuzz targets (decoder, full pipeline,
+# parallel segmenter determinism, journal replay, template
+# fingerprinting under forced digest collisions).
 fuzz:
 	$(GO) test -run FuzzDecode -fuzz FuzzDecode -fuzztime 30s ./internal/doc
 	$(GO) test -run FuzzExtract -fuzz FuzzExtract -fuzztime 30s .
 	$(GO) test -run FuzzParallelSegment -fuzz FuzzParallelSegment -fuzztime 30s .
 	$(GO) test -run FuzzJournalReplay -fuzz FuzzJournalReplay -fuzztime 30s ./internal/journal
+	$(GO) test -run FuzzFingerprint -fuzz FuzzFingerprint -fuzztime 30s ./internal/template

@@ -14,6 +14,7 @@
 //	vs2bench -benchgate            # gate current segmentation perf against the baseline
 //	vs2bench -obsbench             # telemetry-overhead benchmark -> BENCH_obs.json
 //	vs2bench -obsgate              # fail if metrics+tracing cost >5% ns/op
+//	vs2bench -templatebench        # template-cache benchmark -> BENCH_template.json
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 		obsbench = flag.Bool("obsbench", false, "run the telemetry-overhead benchmark and write its baseline JSON")
 		obsgate  = flag.Bool("obsgate", false, "re-run the telemetry-overhead benchmark and fail if obs costs >5% ns/op")
 		obsOut   = flag.String("obsout", obsBenchFile, "baseline path for -obsbench")
+		tplbench = flag.Bool("templatebench", false, "run the template-cache benchmark and write its baseline JSON")
+		tplOut   = flag.String("templateout", templateBenchFile, "baseline path for -templatebench")
 	)
 	flag.Parse()
 	opts := eval.Options{N: *n, Seed: *seed}
@@ -53,9 +56,13 @@ func main() {
 		return
 	case *gate:
 		runBenchGate(*benchOut)
+		runTemplateGate()
 		return
 	case *obsbench:
 		runObsBench(*obsOut)
+		return
+	case *tplbench:
+		runTemplateBench(*tplOut)
 		return
 	case *obsgate:
 		runObsGate()

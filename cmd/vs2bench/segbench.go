@@ -18,9 +18,12 @@ package main
 // matrix (per-cell noise is uncorrelated and averages out): a
 // configuration whose mean ratio grew more than 10% over the committed
 // baseline fails the gate, as does a parallel configuration at
-// GOMAXPROCS >= 4 whose speedup over the reference drops below 2x. A
-// failing gate re-measures once before reporting a regression, so a
-// single anomalous run cannot fail the build on its own.
+// GOMAXPROCS >= 4 whose speedup over the reference drops below 2x — on
+// hosts with fewer than 4 CPUs that floor is not gated at all and every
+// run says so explicitly (the floor needs real parallelism; a pass on a
+// starved host would be luck, not evidence). A failing gate re-measures
+// once before reporting a regression, so a single anomalous run cannot
+// fail the build on its own.
 
 import (
 	"encoding/json"
@@ -220,18 +223,26 @@ func gateOnce(baseByProcs map[int]segConfigResult) int {
 			r.GoMaxProcs, curSeq[r.GoMaxProcs], baseSeq[r.GoMaxProcs])
 		fmt.Printf("  GOMAXPROCS=%d parallel   ns/op ratio vs reference: %.3f (baseline %.3f)\n",
 			r.GoMaxProcs, curPar[r.GoMaxProcs], basePar[r.GoMaxProcs])
-		if r.GoMaxProcs >= 4 && r.SpeedupVsReference < 2.0 {
-			if hostCPUs := runtime.NumCPU(); hostCPUs < 4 {
-				// GOMAXPROCS beyond the physical core count multiplexes
-				// goroutines without adding parallelism; the 2x floor is
-				// unreachable by construction, not by regression. The
-				// report's host_cpus field records the environment.
-				fmt.Printf("  GOMAXPROCS=%d parallel speedup vs reference %.2fx < 2.0x SKIPPED: host has only %d CPU(s), need >= 4 for the speedup floor\n",
-					r.GoMaxProcs, r.SpeedupVsReference, hostCPUs)
-			} else {
+		// The speedup floor is only meaningful where the host can actually
+		// run 4 branches in parallel. On smaller hosts GOMAXPROCS beyond
+		// the physical core count multiplexes goroutines without adding
+		// parallelism, so the floor is skipped — loudly, and regardless of
+		// what the measurement happened to read: a >= 2x number on a
+		// 2-CPU host is scheduler luck, and silently "passing" it would
+		// misreport the floor as enforced. host_cpus in the report
+		// records the environment the baseline was measured on.
+		if r.GoMaxProcs >= 4 {
+			switch hostCPUs := runtime.NumCPU(); {
+			case hostCPUs < 4:
+				fmt.Printf("  GOMAXPROCS=%d parallel speedup floor (>= 2.0x vs reference) SKIPPED: host_cpus=%d, need >= 4 (measured %.2fx, not gated)\n",
+					r.GoMaxProcs, hostCPUs, r.SpeedupVsReference)
+			case r.SpeedupVsReference < 2.0:
 				fmt.Printf("  GOMAXPROCS=%d parallel speedup vs reference %.2fx < 2.0x REGRESSION\n",
 					r.GoMaxProcs, r.SpeedupVsReference)
 				failures++
+			default:
+				fmt.Printf("  GOMAXPROCS=%d parallel speedup vs reference %.2fx >= 2.0x ok\n",
+					r.GoMaxProcs, r.SpeedupVsReference)
 			}
 		}
 	}

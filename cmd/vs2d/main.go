@@ -99,6 +99,9 @@ type options struct {
 	fidelity     string
 	fidelityLvls int
 	fidelityPin  int
+
+	tplCap     int
+	tplQuantum float64
 }
 
 // run is the testable front-end entry point; it returns the exit code.
@@ -136,6 +139,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.fidelity, "fidelity", "off", "fleet fidelity ladder mode: off | pinned | adaptive; the front end stamps its level on every request so all shards degrade coherently")
 	fs.IntVar(&o.fidelityLvls, "fidelity-levels", 3, "deepest fidelity degradation level")
 	fs.IntVar(&o.fidelityPin, "fidelity-pin", 0, "level a pinned-mode ladder holds")
+	fs.IntVar(&o.tplCap, "template-cache", 0, "per-shard layout-template cache capacity in entries (0 disables)")
+	fs.Float64Var(&o.tplQuantum, "template-quantum", 0, "template fingerprint quantization step in layout units (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -321,8 +326,19 @@ func fleetSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 	shedReasons := map[string]int64{}
 	shifts := map[string]int64{}
 	triageDocs := map[string]int64{}
+	var tplHits, tplMisses, tplEvictions int64
 	for name, v := range snap.Counters {
 		base, labels := obs.SplitName(name)
+		// Shard caches ship template.* as shard-labeled series; summing
+		// by base name yields the fleet-wide hit accounting.
+		switch base {
+		case "template.hits":
+			tplHits += v
+		case "template.misses":
+			tplMisses += v
+		case "template.evictions":
+			tplEvictions += v
+		}
 		for _, l := range labels {
 			switch {
 			case base == "serve.shed" && l.Key == "reason":
@@ -345,6 +361,13 @@ func fleetSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 		Shed:          shed,
 		Degraded:      degraded,
 		FidelityLevel: int64(snap.Gauges["frontend.fidelity.level"]),
+
+		TemplateHits:      tplHits,
+		TemplateMisses:    tplMisses,
+		TemplateEvictions: tplEvictions,
+	}
+	if probes := tplHits + tplMisses; probes > 0 {
+		slo.TemplateHitRate = float64(tplHits) / float64(probes)
 	}
 	if total := completed + failed; total > 0 {
 		slo.ShedRate = float64(shed) / float64(total)
@@ -387,6 +410,12 @@ func validate(o *options) error {
 	case "", vs2.FidelityOff, vs2.FidelityPinned, vs2.FidelityAdaptive:
 	default:
 		return fmt.Errorf("unknown -fidelity mode %q (available: off, pinned, adaptive)", o.fidelity)
+	}
+	if o.tplCap < 0 {
+		return fmt.Errorf("-template-cache must be >= 0")
+	}
+	if o.tplQuantum < 0 {
+		return fmt.Errorf("-template-quantum must be >= 0")
 	}
 	if o.state != "" {
 		if err := os.MkdirAll(o.state, 0o755); err != nil {
@@ -492,6 +521,14 @@ func workerArgs(o *options, i int) []string {
 			"-fidelity-levels", strconv.Itoa(o.fidelityLvls),
 			"-fidelity-pin", "0",
 		)
+	}
+	if o.tplCap > 0 {
+		// Each shard owns its cache: templates are memoized where the
+		// documents land, and a restarted shard simply rewarms.
+		a = append(a, "-template-cache", strconv.Itoa(o.tplCap))
+		if o.tplQuantum > 0 {
+			a = append(a, "-template-quantum", strconv.FormatFloat(o.tplQuantum, 'g', -1, 64))
+		}
 	}
 	return a
 }

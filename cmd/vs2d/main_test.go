@@ -70,6 +70,9 @@ func TestValidate(t *testing.T) {
 		{"listen and in", func(o *options) { o.listen = ":0"; o.in = "x.jsonl" }, "mutually exclusive"},
 		{"zero max-line", func(o *options) { o.maxLine = 0 }, "-max-line"},
 		{"negative checkpoint", func(o *options) { o.ckptEvery = -1 }, "-checkpoint"},
+		{"negative template cache", func(o *options) { o.tplCap = -1 }, "-template-cache"},
+		{"negative template quantum", func(o *options) { o.tplQuantum = -2 }, "-template-quantum"},
+		{"template cache on", func(o *options) { o.tplCap = 32; o.tplQuantum = 4 }, ""},
 		{"writable state", func(o *options) { o.state = writable }, ""},
 		{"state under unwritable parent", func(o *options) { o.state = filepath.Join(rodir, "sub") }, "sub"},
 		{"unwritable state", func(o *options) { o.state = rodir }, "not writable"},
@@ -92,6 +95,21 @@ func TestValidate(t *testing.T) {
 				t.Fatalf("validate: %v, want error containing %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestWorkerArgsTemplateCache pins the per-shard forwarding: the front
+// end's -template-cache/-template-quantum reach each worker's command
+// line, and a disabled cache forwards nothing.
+func TestWorkerArgsTemplateCache(t *testing.T) {
+	o := options{task: "events", tplCap: 48, tplQuantum: 8}
+	args := strings.Join(workerArgs(&o, 1), " ")
+	if !strings.Contains(args, "-template-cache 48") || !strings.Contains(args, "-template-quantum 8") {
+		t.Fatalf("workerArgs = %q, want template flags forwarded", args)
+	}
+	o = options{task: "events"}
+	if args := strings.Join(workerArgs(&o, 1), " "); strings.Contains(args, "template") {
+		t.Fatalf("workerArgs = %q, want no template flags when the cache is off", args)
 	}
 }
 

@@ -48,6 +48,8 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fidelity := fs.String("fidelity", "off", "fidelity ladder mode: off | pinned | adaptive (the front end passes pinned 0: envelope levels decide per document)")
 	fidelityLvls := fs.Int("fidelity-levels", 3, "deepest fidelity degradation level")
 	fidelityPin := fs.Int("fidelity-pin", 0, "level a pinned-mode ladder holds")
+	templateCache := fs.Int("template-cache", 0, "layout-template cache capacity in entries (0 disables)")
+	templateQuantum := fs.Float64("template-quantum", 0, "template fingerprint quantization step in layout units (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,6 +80,10 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			Mode:   *fidelity,
 			Levels: *fidelityLvls,
 			Pin:    *fidelityPin,
+		},
+		Template: vs2.TemplatePolicy{
+			Capacity: *templateCache,
+			Quantum:  *templateQuantum,
 		},
 	})
 

@@ -81,6 +81,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fidelityLvls = fs.Int("fidelity-levels", 3, "deepest fidelity degradation level")
 		fidelityPin  = fs.Int("fidelity-pin", 0, "level a pinned-mode ladder holds")
 
+		templateCache   = fs.Int("template-cache", 0, "layout-template cache capacity in entries (0 disables)")
+		templateQuantum = fs.Float64("template-quantum", 0, "template fingerprint quantization step in layout units (0 = default)")
+
 		journalPath = fs.String("journal", "", "write-ahead journal path; completions are journaled before they are emitted")
 		resume      = fs.Bool("resume", false, "replay the journal: skip completed documents, re-emit their cached lines, continue the tail")
 		jsync       = fs.String("journal-sync", "always", "journal fsync policy: always | interval | never")
@@ -97,6 +100,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		journal:    *journalPath,
 		resume:     *resume,
 		fidelity:   *fidelity,
+		tplCap:     *templateCache,
+		tplQuantum: *templateQuantum,
 	}); err != nil {
 		fmt.Fprintln(stderr, "vs2serve:", err)
 		return 2
@@ -147,6 +152,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			Mode:   *fidelity,
 			Levels: *fidelityLvls,
 			Pin:    *fidelityPin,
+		},
+		Template: vs2.TemplatePolicy{
+			Capacity: *templateCache,
+			Quantum:  *templateQuantum,
 		},
 	})
 
@@ -259,7 +268,7 @@ func serveSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 	completed := snap.Counters["serve.completed"]
 	failed := snap.Counters["serve.failed"]
 	shed := snap.Counters["serve.shed"]
-	var degraded int64
+	var degraded, tplHits, tplMisses, tplEvictions int64
 	shedReasons := map[string]int64{}
 	shifts := map[string]int64{}
 	triageDocs := map[string]int64{}
@@ -269,6 +278,16 @@ func serveSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 			degraded += v
 		}
 		base, labels := obs.SplitName(name)
+		// Template counters match by base name so shard-labeled series
+		// (vs2d's merged registries) sum the same way plain ones do.
+		switch base {
+		case "template.hits":
+			tplHits += v
+		case "template.misses":
+			tplMisses += v
+		case "template.evictions":
+			tplEvictions += v
+		}
 		for _, l := range labels {
 			switch {
 			case base == "serve.shed" && l.Key == "reason":
@@ -291,6 +310,13 @@ func serveSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 		Shed:          shed,
 		Degraded:      degraded,
 		FidelityLevel: int64(snap.Gauges["serve.fidelity.level"]),
+
+		TemplateHits:      tplHits,
+		TemplateMisses:    tplMisses,
+		TemplateEvictions: tplEvictions,
+	}
+	if probes := tplHits + tplMisses; probes > 0 {
+		slo.TemplateHitRate = float64(tplHits) / float64(probes)
 	}
 	if len(shedReasons) > 0 {
 		slo.ShedReasons = shedReasons
@@ -316,6 +342,8 @@ type serveFlags struct {
 	journal    string
 	resume     bool
 	fidelity   string
+	tplCap     int
+	tplQuantum float64
 }
 
 // validateServeFlags applies the CLI invariants before any state is
@@ -338,6 +366,12 @@ func validateServeFlags(f serveFlags) error {
 	case "", vs2.FidelityOff, vs2.FidelityPinned, vs2.FidelityAdaptive:
 	default:
 		return fmt.Errorf("unknown -fidelity mode %q (available: off, pinned, adaptive)", f.fidelity)
+	}
+	if f.tplCap < 0 {
+		return errors.New("-template-cache must be >= 0")
+	}
+	if f.tplQuantum < 0 {
+		return errors.New("-template-quantum must be >= 0")
 	}
 	if f.journal != "" {
 		if err := writableParent(f.journal); err != nil {

@@ -395,6 +395,9 @@ func TestServeFlagValidation(t *testing.T) {
 		{"zero max-line", func(f *serveFlags) { f.maxLine = 0 }, "-max-line"},
 		{"negative max-line", func(f *serveFlags) { f.maxLine = -5 }, "-max-line"},
 		{"negative checkpoint", func(f *serveFlags) { f.checkpoint = -1 }, "-checkpoint"},
+		{"negative template cache", func(f *serveFlags) { f.tplCap = -1 }, "-template-cache"},
+		{"negative template quantum", func(f *serveFlags) { f.tplQuantum = -0.5 }, "-template-quantum"},
+		{"template cache on", func(f *serveFlags) { f.tplCap = 64; f.tplQuantum = 8 }, ""},
 		{"journal in writable dir", func(f *serveFlags) { f.journal = filepath.Join(writable, "run.wal") }, ""},
 		{"journal in missing dir", func(f *serveFlags) { f.journal = filepath.Join(writable, "no-such", "run.wal") }, "not writable"},
 		{"journal in unwritable dir", func(f *serveFlags) { f.journal = filepath.Join(rodir, "run.wal") }, "not writable"},

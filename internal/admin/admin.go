@@ -78,6 +78,14 @@ type SLOStatus struct {
 	// TriageDocs counts triaged documents by class ("full", "cheap",
 	// "skip"), summed over fidelity levels. Empty with the ladder off.
 	TriageDocs map[string]int64 `json:"triage_docs,omitempty"`
+	// TemplateHits and TemplateMisses count layout-template cache
+	// probes; TemplateEvictions counts LRU evictions. All 0 with the
+	// cache off.
+	TemplateHits      int64 `json:"template_hits"`
+	TemplateMisses    int64 `json:"template_misses"`
+	TemplateEvictions int64 `json:"template_evictions"`
+	// TemplateHitRate is hits/(hits+misses); 0 before the first probe.
+	TemplateHitRate float64 `json:"template_hit_rate"`
 }
 
 // Server is one bound admin listener.

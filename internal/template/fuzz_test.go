@@ -1,0 +1,93 @@
+package template
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+)
+
+// FuzzFingerprint drives the cache's two safety properties under
+// adversarial inputs:
+//
+//  1. Fingerprinting never panics, whatever the geometry or quantum —
+//     non-finite boxes, huge magnitudes, degenerate pages.
+//  2. A false hit is impossible. The digest is truncated to 8 bits
+//     (hashMask) so structurally different layouts collide constantly;
+//     the post-hit validation guard (full signature comparison) must
+//     turn every collision into a miss, and any genuine hit must
+//     return a tree that validates and partitions the new document's
+//     elements exactly.
+func FuzzFingerprint(f *testing.F) {
+	f.Add(int64(1), 4.0, 0.5, uint8(6))
+	f.Add(int64(7), 0.0, 100.0, uint8(0))
+	f.Add(int64(42), math.NaN(), -3.0, uint8(40))
+	f.Add(int64(-9), 1e308, math.Inf(1), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, quantum, perturb float64, nElems uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		fuzzDoc := func(extra float64) *doc.Document {
+			d := &doc.Document{ID: "fuzz", Width: 100 + rng.Float64()*400, Height: 100 + rng.Float64()*400}
+			for i := 0; i < int(nElems); i++ {
+				box := geom.Rect{
+					X: rng.Float64()*500 + extra,
+					Y: rng.Float64()*500 + extra,
+					W: rng.Float64() * 120,
+					H: rng.Float64() * 40,
+				}
+				switch i % 7 {
+				case 3:
+					box.X = math.NaN()
+				case 5:
+					box.W = math.Inf(1)
+				}
+				d.Elements = append(d.Elements, doc.Element{
+					ID:       i,
+					Kind:     doc.ElementKind(i % 2),
+					Text:     string(rune('a' + i%26)),
+					Box:      box,
+					FontSize: rng.Float64() * 30,
+					Line:     i / 3,
+				})
+			}
+			return d
+		}
+		a := fuzzDoc(0)
+		b := fuzzDoc(perturb)
+
+		c := New(Config{Capacity: 4, Quantum: quantum})
+		c.hashMask = 0xff // force digest collisions
+
+		fpA := c.Fingerprint(a)
+		if len(a.Elements) > 0 {
+			c.Insert(a, fpA, doc.NewTree(a))
+		}
+		fpB := c.Fingerprint(b)
+		tree, ok := c.Lookup(b, fpB)
+		if !ok {
+			return
+		}
+		// A hit through a truncated digest is only legal when the full
+		// signatures are equal — anything else is a served false hit.
+		if !bytes.Equal(fpA.sig, fpB.sig) {
+			t.Fatalf("false hit: signatures differ but Lookup returned a tree (digest %s vs %s)", fpA, fpB)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("hit returned an invalid tree: %v", err)
+		}
+		if !coversExactly(mustCapture(t, b, tree), len(b.Elements)) {
+			t.Fatal("hit tree does not partition the document's elements")
+		}
+	})
+}
+
+func mustCapture(t *testing.T, d *doc.Document, n *doc.Node) *tnode {
+	t.Helper()
+	c, ok := capture(d, n)
+	if !ok {
+		t.Fatal("remapped tree not reconstructible from its own document")
+	}
+	return c
+}

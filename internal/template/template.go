@@ -1,0 +1,464 @@
+// Package template implements the layout-template fingerprint cache:
+// documents sharing a form face (the paper's D1 corpus models 20 of
+// them) produce near-identical element geometry, so the layout tree
+// computed for one instance can be reused for the next. A document is
+// fingerprinted by quantizing its element geometry onto a coarse grid —
+// the quantum is the tolerance band that absorbs OCR jitter — together
+// with the visual and coarse textual attributes the segmenter's
+// decisions depend on (color, font size, boldness, line grouping, text
+// length/character class). A cache hit skips VS2-Segment entirely: the
+// memoized tree structure is remapped onto the new document's elements,
+// with every node box recomputed from the new geometry, and the
+// pipeline jumps straight to search-and-select.
+//
+// Correctness over hit rate, everywhere:
+//
+//   - The cache key is a 64-bit FNV-1a digest of the quantized
+//     signature, but an entry stores the full signature bytes and a
+//     lookup compares them — a digest collision between structurally
+//     different layouts is detected and counted (template.guard.rejects)
+//     instead of serving a wrong tree. A false hit is a correctness
+//     bug, not a perf bug.
+//   - Insert validates that the tree is exactly reconstructible from
+//     the document (every node box is either the page bounds or the
+//     recomputed bounding box of its elements, every element index in
+//     range); trees that are not — damaged, sanitized, or foreign —
+//     are refused (template.uncacheable) rather than memoized.
+//   - Elements correspond by document order: a hit asserts the new
+//     document's element list is shape-identical position by position,
+//     so remapping is the identity correspondence. Producers that
+//     permute elements simply miss.
+//
+// Eviction is LRU over a bounded entry count. All methods are safe for
+// concurrent use; metrics are optional and nil-safe.
+package template
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"vs2/internal/doc"
+	"vs2/internal/obs"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultCapacity bounds the LRU when Config.Capacity is 0.
+	DefaultCapacity = 256
+	// DefaultQuantum is the geometry tolerance band in page units: boxes
+	// whose coordinates move by less than half of it keep their
+	// fingerprint. 4 page units (≈ half a typical glyph height) absorbs
+	// the simulated OCR channel's positional jitter.
+	DefaultQuantum = 4.0
+)
+
+// Config tunes a Cache.
+type Config struct {
+	// Capacity is the maximum number of memoized templates; 0 selects
+	// DefaultCapacity.
+	Capacity int
+	// Quantum is the geometry quantization step in page units — the OCR
+	// jitter tolerance band. 0 (or non-finite, or negative) selects
+	// DefaultQuantum.
+	Quantum float64
+	// Metrics, when non-nil, receives the template.hits / template.misses
+	// / template.evictions / template.guard.rejects / template.inserts /
+	// template.uncacheable counters and the template.size gauge.
+	Metrics *obs.Registry
+}
+
+// Fingerprint is one document's quantized layout signature: the full
+// signature bytes plus their 64-bit digest. Compute it once per
+// document with Cache.Fingerprint and pass it to Lookup and Insert.
+type Fingerprint struct {
+	digest uint64
+	sig    []byte
+}
+
+// Empty reports whether the fingerprint was never computed.
+func (f Fingerprint) Empty() bool { return len(f.sig) == 0 }
+
+// Digest is the signature's 64-bit FNV-1a hash, for logs and spans.
+func (f Fingerprint) Digest() uint64 { return f.digest }
+
+// String renders the digest as a hex template identifier.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x", f.digest) }
+
+// Stats is a point-in-time counter snapshot, for tests and /slo.
+type Stats struct {
+	Hits, Misses, Evictions, GuardRejects, Inserts, Uncacheable int64
+	// Size is the current entry count (≤ the configured capacity).
+	Size int
+}
+
+// tnode is the memoized form of one layout-tree node: element indices
+// and structure only. Boxes are not stored — they are recomputed from
+// the hitting document's geometry, which keeps a remapped tree exactly
+// as faithful to its document as a cold segmentation would be.
+type tnode struct {
+	elems []int32
+	kids  []*tnode
+	// pageBox marks the one node rule exception: a box equal to the full
+	// page bounds (the root NewTree creates) rather than the elements'
+	// bounding box.
+	pageBox bool
+}
+
+// entry is one memoized template. Immutable after insert, so remapping
+// can run outside the cache lock.
+type entry struct {
+	sig  []byte
+	root *tnode
+}
+
+// Cache is a bounded, concurrency-safe LRU of layout templates.
+type Cache struct {
+	capacity int
+	quantum  float64
+	m        *obs.Registry
+
+	mu  sync.Mutex
+	lru *list.List               // front = most recently used; values are *entry
+	idx map[uint64]*list.Element // masked digest → element
+
+	// hashMask truncates digests before indexing. Full by default; the
+	// fuzz harness narrows it to force collisions and prove the
+	// signature-comparison guard holds.
+	hashMask uint64
+
+	hits, misses, evictions, guardRejects, inserts, uncacheable int64
+}
+
+// New builds an empty cache. A nil *Cache is a valid no-op cache: every
+// lookup misses, every insert is dropped.
+func New(cfg Config) *Cache {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Quantum <= 0 || math.IsNaN(cfg.Quantum) || math.IsInf(cfg.Quantum, 0) {
+		cfg.Quantum = DefaultQuantum
+	}
+	return &Cache{
+		capacity: cfg.Capacity,
+		quantum:  cfg.Quantum,
+		m:        cfg.Metrics,
+		lru:      list.New(),
+		idx:      make(map[uint64]*list.Element),
+		hashMask: ^uint64(0),
+	}
+}
+
+// Fingerprint computes the document's quantized layout signature. It
+// never panics, whatever the geometry (the fuzz target feeds it
+// non-finite and extreme boxes); non-finite values quantize to a
+// sentinel bucket.
+func (c *Cache) Fingerprint(d *doc.Document) Fingerprint {
+	if c == nil || d == nil {
+		return Fingerprint{}
+	}
+	q := c.quantum
+	fq := q / 2 // finer band for font sizes: typography drives Eq. 1 merges
+	buf := make([]byte, 0, 16+24*len(d.Elements))
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(quantize(d.Width, q))
+	put(quantize(d.Height, q))
+	put(int64(len(d.Elements)))
+	for i := range d.Elements {
+		e := &d.Elements[i]
+		put(int64(e.Kind))
+		put(quantize(e.Box.X, q))
+		put(quantize(e.Box.Y, q))
+		put(quantize(e.Box.W, q))
+		put(quantize(e.Box.H, q))
+		buf = append(buf, e.Color.R, e.Color.G, e.Color.B)
+		put(quantize(e.FontSize, fq))
+		bold := byte(0)
+		if e.Bold {
+			bold = 1
+		}
+		buf = append(buf, bold, textClass(e.Text))
+		put(int64(e.Line))
+	}
+	return Fingerprint{digest: fnv64a(buf), sig: buf}
+}
+
+// quantize maps a coordinate onto the tolerance grid. Values within
+// ±quantum/2 of a grid point share a bucket; non-finite values get a
+// dedicated sentinel so they never collide with real geometry.
+func quantize(v, q float64) int64 {
+	r := math.Round(v / q)
+	switch {
+	case math.IsNaN(r):
+		return math.MinInt64
+	case r >= math.MaxInt64:
+		return math.MaxInt64
+	case r <= math.MinInt64+1:
+		return math.MinInt64 + 1
+	}
+	return int64(r)
+}
+
+// textClass folds a text element's content into one byte: a character
+// class (none/digit/alpha/mixed) and a coarse length bucket. The
+// segmenter's semantic merge reads text, so the fingerprint must pin
+// its shape — but only its shape, so a template's field values are free
+// to vary between instances.
+func textClass(s string) byte {
+	hasAlpha, hasDigit := false, false
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			hasDigit = true
+		case (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r > 127:
+			hasAlpha = true
+		}
+	}
+	cls := byte(0)
+	if hasDigit {
+		cls |= 1
+	}
+	if hasAlpha {
+		cls |= 2
+	}
+	bucket := len(s) / 4
+	if bucket > 31 {
+		bucket = 31
+	}
+	return cls<<5 | byte(bucket)
+}
+
+// fnv64a is the 64-bit FNV-1a hash (inlined: no dependency on the
+// hash/fnv allocation of a hash.Hash64).
+func fnv64a(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// Lookup returns the memoized layout tree remapped onto d, or (nil,
+// false) on a miss. A hit requires full signature equality — a digest
+// collision is rejected by the post-hit validation guard and counted as
+// template.guard.rejects plus a miss.
+func (c *Cache) Lookup(d *doc.Document, fp Fingerprint) (*doc.Node, bool) {
+	if c == nil || d == nil || fp.Empty() {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.idx[fp.digest&c.hashMask]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		c.m.Counter("template.misses").Inc()
+		return nil, false
+	}
+	ent := el.Value.(*entry)
+	if !bytes.Equal(ent.sig, fp.sig) {
+		c.guardRejects++
+		c.misses++
+		c.mu.Unlock()
+		c.m.Counter("template.guard.rejects").Inc()
+		c.m.Counter("template.misses").Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	c.mu.Unlock()
+	c.m.Counter("template.hits").Inc()
+	// The entry is immutable; remapping outside the lock keeps hits
+	// contention-free even if the entry is evicted mid-remap.
+	return remap(d, ent.root, 0), true
+}
+
+// Insert memoizes the layout tree of d under fp. It refuses — counting
+// template.uncacheable — trees that are not exactly reconstructible
+// from the document, so a later hit can never be less faithful than a
+// cold segmentation. Returns whether the template was stored.
+func (c *Cache) Insert(d *doc.Document, fp Fingerprint, tree *doc.Node) bool {
+	if c == nil || d == nil || fp.Empty() || tree == nil {
+		return false
+	}
+	root, ok := capture(d, tree)
+	if !ok || !coversExactly(root, len(d.Elements)) {
+		c.mu.Lock()
+		c.uncacheable++
+		c.mu.Unlock()
+		c.m.Counter("template.uncacheable").Inc()
+		return false
+	}
+	ent := &entry{sig: append([]byte(nil), fp.sig...), root: root}
+	key := fp.digest & c.hashMask
+	evicted := 0
+	c.mu.Lock()
+	if el, ok := c.idx[key]; ok {
+		// Same layout re-inserted (or a masked-digest collision): replace
+		// in place, keeping the slot's recency.
+		el.Value = ent
+		c.lru.MoveToFront(el)
+	} else {
+		for c.lru.Len() >= c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			for k, v := range c.idx {
+				if v == oldest {
+					delete(c.idx, k)
+					break
+				}
+			}
+			c.evictions++
+			evicted++
+		}
+		c.idx[key] = c.lru.PushFront(ent)
+	}
+	c.inserts++
+	size := c.lru.Len()
+	c.mu.Unlock()
+	c.m.Counter("template.inserts").Inc()
+	if evicted > 0 {
+		c.m.Counter("template.evictions").Add(int64(evicted))
+	}
+	c.m.Gauge("template.size").Set(float64(size))
+	return true
+}
+
+// Len is the current entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		GuardRejects: c.guardRejects,
+		Inserts:      c.inserts,
+		Uncacheable:  c.uncacheable,
+		Size:         c.lru.Len(),
+	}
+}
+
+// capture converts a layout tree into its memoized structural form,
+// verifying node by node that the tree is exactly reconstructible: each
+// box must equal either the page bounds or the recomputed bounding box
+// of the node's elements, and every element index must be in range. Any
+// violation makes the tree uncacheable.
+func capture(d *doc.Document, n *doc.Node) (*tnode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	t := &tnode{}
+	if len(n.Elements) > 0 {
+		t.elems = make([]int32, len(n.Elements))
+		for i, id := range n.Elements {
+			if id < 0 || id >= len(d.Elements) {
+				return nil, false
+			}
+			t.elems[i] = int32(id)
+		}
+	}
+	switch {
+	case n.Box == d.Bounds():
+		t.pageBox = true
+	case len(n.Elements) > 0 && n.Box == d.BoundingBoxOf(n.Elements):
+		// reconstructible from the elements
+	default:
+		return nil, false
+	}
+	if len(n.Children) > 0 {
+		t.kids = make([]*tnode, 0, len(n.Children))
+		for _, k := range n.Children {
+			ck, ok := capture(d, k)
+			if !ok {
+				return nil, false
+			}
+			t.kids = append(t.kids, ck)
+		}
+	}
+	return t, true
+}
+
+// coversExactly verifies the memoized tree's leaves partition the
+// element set: every index covered exactly once. Trees that drop or
+// duplicate elements (the sanitizer's fallback output) are refused.
+func coversExactly(root *tnode, n int) bool {
+	covered := make([]bool, n)
+	ok := true
+	var walk func(t *tnode)
+	walk = func(t *tnode) {
+		if !ok {
+			return
+		}
+		if len(t.kids) == 0 {
+			for _, id := range t.elems {
+				if int(id) >= n || covered[id] {
+					ok = false
+					return
+				}
+				covered[id] = true
+			}
+			return
+		}
+		for _, k := range t.kids {
+			walk(k)
+		}
+	}
+	walk(root)
+	if !ok {
+		return false
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// remap rebuilds a live layout tree over d from the memoized structure.
+// Every box is recomputed from d's element geometry (or the page
+// bounds), and depths are restamped — the result is indistinguishable
+// from a cold segmentation that made the same structural decisions.
+func remap(d *doc.Document, t *tnode, depth int) *doc.Node {
+	n := &doc.Node{Depth: depth}
+	if len(t.elems) > 0 {
+		n.Elements = make([]int, len(t.elems))
+		for i, id := range t.elems {
+			n.Elements[i] = int(id)
+		}
+	}
+	if t.pageBox {
+		n.Box = d.Bounds()
+	} else {
+		n.Box = d.BoundingBoxOf(n.Elements)
+	}
+	if len(t.kids) > 0 {
+		n.Children = make([]*doc.Node, 0, len(t.kids))
+		for _, k := range t.kids {
+			n.Children = append(n.Children, remap(d, k, depth+1))
+		}
+	}
+	return n
+}

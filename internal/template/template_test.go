@@ -1,0 +1,259 @@
+package template
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"vs2/internal/doc"
+	"vs2/internal/geom"
+	"vs2/internal/obs"
+)
+
+// testDoc builds a small two-block page whose coordinates sit on
+// multiples of the default quantum, so sub-quantum jitter keeps the
+// fingerprint stable by construction.
+func testDoc(id string, jitter float64) *doc.Document {
+	d := &doc.Document{ID: id, Width: 400, Height: 520}
+	add := func(x, y, w, h float64, text string, font float64, line int) {
+		d.Elements = append(d.Elements, doc.Element{
+			ID:       len(d.Elements),
+			Kind:     doc.TextElement,
+			Text:     text,
+			Box:      geom.Rect{X: x + jitter, Y: y + jitter, W: w, H: h},
+			FontSize: font,
+			Line:     line,
+		})
+	}
+	add(40, 40, 80, 12, "invoice", 12, 0)
+	add(128, 40, 64, 12, "number", 12, 0)
+	add(40, 56, 96, 12, "4417-0092", 12, 1)
+	add(40, 320, 80, 12, "total", 12, 2)
+	add(128, 320, 72, 12, "1,204.50", 12, 2)
+	return d
+}
+
+// twoBlockTree hand-builds the layout tree a segmenter would produce
+// for testDoc: the page root over two leaves.
+func twoBlockTree(d *doc.Document) *doc.Node {
+	root := doc.NewTree(d)
+	root.AddChild(d.BoundingBoxOf([]int{0, 1, 2}), []int{0, 1, 2})
+	root.AddChild(d.BoundingBoxOf([]int{3, 4}), []int{3, 4})
+	return root
+}
+
+func TestFingerprintToleranceBand(t *testing.T) {
+	c := New(Config{})
+	base := c.Fingerprint(testDoc("base", 0))
+	for _, jitter := range []float64{-1.9, -0.5, 0.7, 1.9} {
+		got := c.Fingerprint(testDoc("jittered", jitter))
+		if got.Digest() != base.Digest() {
+			t.Errorf("jitter %v: digest changed: %s vs %s", jitter, got, base)
+		}
+	}
+	// A shift past the band must change the fingerprint.
+	if got := c.Fingerprint(testDoc("shifted", 3.5)); got.Digest() == base.Digest() {
+		t.Errorf("jitter beyond the tolerance band kept the fingerprint %s", base)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	c := New(Config{})
+	base := c.Fingerprint(testDoc("base", 0))
+	mutate := map[string]func(*doc.Document){
+		"kind":       func(d *doc.Document) { d.Elements[0].Kind = doc.ImageElement },
+		"color":      func(d *doc.Document) { d.Elements[0].Color.R = 200 },
+		"font":       func(d *doc.Document) { d.Elements[0].FontSize = 24 },
+		"bold":       func(d *doc.Document) { d.Elements[0].Bold = true },
+		"line":       func(d *doc.Document) { d.Elements[0].Line = 9 },
+		"text-class": func(d *doc.Document) { d.Elements[0].Text = "123" },
+		"text-len":   func(d *doc.Document) { d.Elements[0].Text = "a very much longer text run" },
+		"page":       func(d *doc.Document) { d.Width = 800 },
+		"count":      func(d *doc.Document) { d.Elements = d.Elements[:4] },
+	}
+	for name, f := range mutate {
+		d := testDoc("mut", 0)
+		f(d)
+		if got := c.Fingerprint(d); got.Digest() == base.Digest() {
+			t.Errorf("%s mutation did not change the fingerprint", name)
+		}
+	}
+	// Value text may vary freely within the same length bucket and
+	// character class: that is the point of the template cache.
+	d := testDoc("value", 0)
+	d.Elements[2].Text = "9983-1174"
+	if got := c.Fingerprint(d); got.Digest() != base.Digest() {
+		t.Error("same-shape value text changed the fingerprint")
+	}
+}
+
+func TestLookupRemapsOntoNewGeometry(t *testing.T) {
+	m := obs.NewRegistry()
+	c := New(Config{Capacity: 8, Metrics: m})
+	src := testDoc("src", 0)
+	fp := c.Fingerprint(src)
+	if _, ok := c.Lookup(src, fp); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if !c.Insert(src, fp, twoBlockTree(src)) {
+		t.Fatal("insert refused a reconstructible tree")
+	}
+	dst := testDoc("dst", 1.5)
+	fp2 := c.Fingerprint(dst)
+	tree, ok := c.Lookup(dst, fp2)
+	if !ok {
+		t.Fatal("jittered instance missed")
+	}
+	want := twoBlockTree(dst)
+	if got := tree.Dump(dst); got != want.Dump(dst) {
+		t.Fatalf("remapped tree diverges from a cold tree over the same structure:\n--- remapped ---\n%s\n--- cold ---\n%s", got, want.Dump(dst))
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("remapped tree invalid: %v", err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 || st.Size != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	snap := m.Snapshot()
+	if snap.Counters["template.hits"] != 1 || snap.Counters["template.misses"] != 1 {
+		t.Fatalf("metrics: %+v", snap.Counters)
+	}
+}
+
+func TestInsertRefusesUnreconstructibleTrees(t *testing.T) {
+	c := New(Config{})
+	d := testDoc("bad", 0)
+	fp := c.Fingerprint(d)
+
+	// A leaf box that is neither the page bounds nor the elements' bbox.
+	warped := twoBlockTree(d)
+	warped.Children[0].Box.X += 2
+	if c.Insert(d, fp, warped) {
+		t.Error("insert accepted a warped box")
+	}
+	// An out-of-range element index.
+	dangling := twoBlockTree(d)
+	dangling.Children[1].Elements = []int{3, 99}
+	if c.Insert(d, fp, dangling) {
+		t.Error("insert accepted a dangling element index")
+	}
+	// Leaves that drop an element.
+	short := doc.NewTree(d)
+	short.AddChild(d.BoundingBoxOf([]int{0, 1}), []int{0, 1})
+	short.AddChild(d.BoundingBoxOf([]int{3, 4}), []int{3, 4})
+	if c.Insert(d, fp, short) {
+		t.Error("insert accepted a tree that drops element 2")
+	}
+	// Leaves that double-cover an element.
+	dup := doc.NewTree(d)
+	dup.AddChild(d.BoundingBoxOf([]int{0, 1, 2}), []int{0, 1, 2})
+	dup.AddChild(d.BoundingBoxOf([]int{2, 3, 4}), []int{2, 3, 4})
+	if c.Insert(d, fp, dup) {
+		t.Error("insert accepted a tree that covers element 2 twice")
+	}
+	if st := c.Stats(); st.Uncacheable != 4 || st.Inserts != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := obs.NewRegistry()
+	c := New(Config{Capacity: 2, Metrics: m})
+	docs := make([]*doc.Document, 3)
+	fps := make([]Fingerprint, 3)
+	for i := range docs {
+		d := testDoc(fmt.Sprintf("t%d", i), 0)
+		// Distinct templates: move the second block per template by a
+		// full quantum multiple.
+		for j := 3; j < 5; j++ {
+			d.Elements[j].Box.Y += float64(i) * 40
+		}
+		docs[i] = d
+		fps[i] = c.Fingerprint(d)
+		c.Insert(d, fps[i], twoBlockTree(d))
+	}
+	if st := c.Stats(); st.Size != 2 || st.Evictions != 1 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+	// Template 0 (oldest) was evicted; 1 and 2 remain.
+	if _, ok := c.Lookup(docs[0], fps[0]); ok {
+		t.Error("evicted template still hit")
+	}
+	if _, ok := c.Lookup(docs[1], fps[1]); !ok {
+		t.Error("resident template missed")
+	}
+	// Touching 1 makes 2 the LRU victim for the next insert.
+	c.Insert(docs[0], fps[0], twoBlockTree(docs[0]))
+	if _, ok := c.Lookup(docs[2], fps[2]); ok {
+		t.Error("LRU order ignored: least-recently-used entry survived")
+	}
+	if _, ok := c.Lookup(docs[1], fps[1]); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if v := m.Snapshot().Gauges["template.size"]; v != 2 {
+		t.Fatalf("template.size gauge = %v, want 2", v)
+	}
+}
+
+func TestDigestCollisionGuard(t *testing.T) {
+	c := New(Config{Capacity: 8})
+	c.hashMask = 0 // every digest maps to the same slot
+	a := testDoc("a", 0)
+	b := testDoc("b", 0)
+	b.Elements[0].Text = "totally different words here"
+	b.Elements[1].Bold = true
+	fpA, fpB := c.Fingerprint(a), c.Fingerprint(b)
+	if !c.Insert(a, fpA, twoBlockTree(a)) {
+		t.Fatal("insert failed")
+	}
+	if _, ok := c.Lookup(b, fpB); ok {
+		t.Fatal("collision guard served a structurally different layout")
+	}
+	st := c.Stats()
+	if st.GuardRejects != 1 {
+		t.Fatalf("guard rejects = %d, want 1", st.GuardRejects)
+	}
+	// The true owner still hits through the same slot.
+	if _, ok := c.Lookup(a, fpA); !ok {
+		t.Fatal("owner missed after collision rejection")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Cache
+	d := testDoc("nil", 0)
+	if fp := c.Fingerprint(d); !fp.Empty() {
+		t.Error("nil cache produced a fingerprint")
+	}
+	if _, ok := c.Lookup(d, Fingerprint{}); ok {
+		t.Error("nil cache hit")
+	}
+	if c.Insert(d, Fingerprint{}, twoBlockTree(d)) {
+		t.Error("nil cache inserted")
+	}
+	_ = c.Stats()
+	_ = c.Len()
+
+	// Degenerate quanta select the default instead of dividing by zero.
+	for _, q := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		cc := New(Config{Quantum: q})
+		if cc.quantum != DefaultQuantum {
+			t.Errorf("quantum %v not defaulted", q)
+		}
+		_ = cc.Fingerprint(d)
+	}
+}
+
+func TestFingerprintNonFiniteGeometry(t *testing.T) {
+	c := New(Config{})
+	d := testDoc("nan", 0)
+	d.Elements[0].Box = geom.Rect{X: math.NaN(), Y: math.Inf(1), W: math.Inf(-1), H: 1e308}
+	fp := c.Fingerprint(d)
+	if fp.Empty() {
+		t.Fatal("non-finite geometry produced an empty fingerprint")
+	}
+	if fp.Digest() == c.Fingerprint(testDoc("nan2", 0)).Digest() {
+		t.Fatal("non-finite geometry collided with finite geometry")
+	}
+}

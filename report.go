@@ -65,6 +65,11 @@ type Report struct {
 	Entities []EntityReport `json:"entities"`
 	// Degraded echoes the run's degradations, timestamped.
 	Degraded []Degradation `json:"degraded,omitempty"`
+	// Template reports the layout-template cache probe, when a cache was
+	// configured: "hit" (VS2-Segment was skipped, the memoized tree was
+	// remapped onto this document) or "miss". Empty when no cache is
+	// wired or the run was triaged onto a cheap path before the probe.
+	Template string `json:"template,omitempty"`
 }
 
 // buildReport converts the extractor's explanation records into the
@@ -148,6 +153,9 @@ func (r *Report) String() string {
 	}
 	for _, g := range r.Degraded {
 		fmt.Fprintf(&sb, "degraded: %s\n", g)
+	}
+	if r.Template != "" {
+		fmt.Fprintf(&sb, "template cache: %s\n", r.Template)
 	}
 	return sb.String()
 }

@@ -18,6 +18,7 @@ import (
 	"vs2/internal/extract"
 	"vs2/internal/obs"
 	"vs2/internal/segment"
+	"vs2/internal/template"
 	"vs2/internal/triage"
 )
 
@@ -28,6 +29,10 @@ type Phase string
 const (
 	// PhaseValidate is input admission (Document.Validate plus guards).
 	PhaseValidate Phase = "validate"
+	// PhaseTemplate is the pre-segmentation template-cache probe: the
+	// quantized-geometry fingerprint lookup that, on a hit, replaces
+	// VS2-Segment with a remapped memoized layout tree.
+	PhaseTemplate Phase = "template"
 	// PhaseSegment is VS2-Segment, the layout-tree decomposition.
 	PhaseSegment Phase = "segment"
 	// PhaseSearch is the pattern-search half of VS2-Select.
@@ -234,6 +239,9 @@ func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, er
 	dec, triaged := triageDecisionFrom(ctx)
 	var tree *Node
 	var err error
+	var fp template.Fingerprint
+	tplOutcome := "" // "hit" / "miss" when the cache probed this run
+	tplInsert := false
 	switch {
 	case triaged && dec.class == triage.Skip:
 		tree = doc.NewTree(d)
@@ -245,25 +253,51 @@ func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, er
 		run.SetAttr("triage", "cheap")
 	default:
 		triaged = false
-		// Phase 1: segmentation. Any failure degrades to the linear
-		// baseline. A stats sink rides the phase context so a
-		// parallel-capable segmenter can report whether the branch pool
-		// ever admitted a fork.
-		sctx, segStats := segment.WithStats(ctx)
-		tree, err = p.segmentPhase(sctx, run, d)
-		if err != nil {
-			if ctx.Err() != nil {
-				return fail(PhaseSegment, "", err)
+		// Phase 0.75: template-cache probe. Only full-fidelity runs reach
+		// this point, so a SKIP/CHEAP triage routing can never poison the
+		// cache with its substitute trees. A hit replaces VS2-Segment with
+		// the memoized structure remapped onto this document's geometry —
+		// a designed reuse, not a fallback, so it records no Degradation.
+		if tc := p.cfg.Templates; tc != nil {
+			tstart := time.Now()
+			tsp := run.Child("template")
+			fp = tc.Fingerprint(d)
+			if cached, ok := tc.Lookup(d, fp); ok {
+				tree = cached
+				tplOutcome = "hit"
+			} else {
+				tplOutcome = "miss"
 			}
-			degrade(PhaseSegment, "linear-segmentation", err)
-			tree = p.linearTree(d)
-		} else if segStats.SequentialFallback() {
-			// The tree is still correct — sequential recursion is the designed
-			// pressure valve, and it produces identical output — but the run
-			// did not get the parallelism it was configured for, which callers
-			// watching latency SLOs need to see.
-			degrade(PhaseSegment, "sequential-recursion",
-				errors.New("branch pool exhausted; subtrees recursed inline"))
+			tsp.SetAttr("outcome", tplOutcome)
+			tsp.SetAttr("fingerprint", fp.String())
+			tsp.End()
+			m.Histogram("phase.template.ms", nil).Observe(msSince(tstart))
+			run.SetAttr("template", tplOutcome)
+		}
+		if tree == nil {
+			// Phase 1: segmentation. Any failure degrades to the linear
+			// baseline. A stats sink rides the phase context so a
+			// parallel-capable segmenter can report whether the branch pool
+			// ever admitted a fork.
+			sctx, segStats := segment.WithStats(ctx)
+			tree, err = p.segmentPhase(sctx, run, d)
+			if err != nil {
+				if ctx.Err() != nil {
+					return fail(PhaseSegment, "", err)
+				}
+				degrade(PhaseSegment, "linear-segmentation", err)
+				tree = p.linearTree(d)
+			} else if segStats.SequentialFallback() {
+				// The tree is still correct — sequential recursion is the designed
+				// pressure valve, and it produces identical output — but the run
+				// did not get the parallelism it was configured for, which callers
+				// watching latency SLOs need to see.
+				degrade(PhaseSegment, "sequential-recursion",
+					errors.New("branch pool exhausted; subtrees recursed inline"))
+			}
+			// Only a cleanly segmented tree may be memoized; the linear
+			// fallback is a degradation, not the template's layout.
+			tplInsert = tplOutcome == "miss" && err == nil
 		}
 	}
 	blocks, note := sanitizeBlocks(d, tree)
@@ -273,6 +307,11 @@ func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, er
 		// elements); the cleaned set is used and the damage reported.
 		degrade(PhaseSegment, "sanitized-blocks", errors.New(note))
 		tree = wrapBlocks(d, blocks)
+	}
+	if tplInsert && note == "" {
+		// Memoize after sanitation has vouched for the tree: a damaged
+		// tree must degrade this run only, never future hits.
+		p.cfg.Templates.Insert(d, fp, tree)
 	}
 
 	// Phase 2: pattern search. A budget overrun keeps partial candidates,
@@ -330,6 +369,9 @@ func (p *Pipeline) ExtractContext(ctx context.Context, d *Document) (*Result, er
 		// reasoning to explain), but the report still carries the
 		// degradation trail so -explain shows why the cheap path ran.
 		res.Report = buildReport(tree, nil, res.Degraded)
+	}
+	if res.Report != nil {
+		res.Report.Template = tplOutcome
 	}
 	if run != nil || m != nil {
 		total := 0

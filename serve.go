@@ -124,6 +124,18 @@ type BreakerPolicy struct {
 	Probes int
 }
 
+// TemplatePolicy tunes the serving layer's layout-template fingerprint
+// cache (see TemplateCache). The zero value is off: every document pays
+// full segmentation, byte-identical to the pre-cache server.
+type TemplatePolicy struct {
+	// Capacity is the bounded LRU's maximum template count; 0 disables
+	// the cache.
+	Capacity int
+	// Quantum is the geometry tolerance band in page units absorbing OCR
+	// jitter between instances of one template; 0 selects 4.
+	Quantum float64
+}
+
 // ServerConfig tunes a Server. The zero value serves with GOMAXPROCS
 // workers (capped at 8), a queue of 4x the workers, a 1s queue-wait
 // budget, 3 attempts per document, and breakers tripping after 5
@@ -148,6 +160,14 @@ type ServerConfig struct {
 	// that widens the triage bands under saturation. The zero value is
 	// off — no triage, byte-identical to the pre-ladder server.
 	Fidelity FidelityPolicy
+	// Template tunes the layout-template fingerprint cache: documents
+	// whose quantized geometry matches a memoized layout skip VS2-Segment
+	// and reuse the cached tree remapped onto their elements. The cache
+	// is wired onto the primary-attempt pipeline only — degraded-mode
+	// retries bypass it, like they bypass the breakers. When the handed-in
+	// pipeline already carries Config.Templates, that cache is used and
+	// this policy is ignored. The zero value is off.
+	Template TemplatePolicy
 	// Metrics, when non-nil, receives the serving-layer telemetry:
 	// serve.queue.depth / serve.inflight gauges, serve.shed /
 	// serve.retries / serve.breaker.<phase>.to_<state> counters and the
@@ -266,14 +286,28 @@ func NewServer(p *Pipeline, cfg ServerConfig) *Server {
 
 // wirePipeline derives the pipeline the primary attempts run on: the
 // same configuration and backends, with each phase's backend gated by
-// its circuit breaker. A negative breaker threshold disables the
-// wrapping and primary attempts run on the pipeline as handed in.
+// its circuit breaker, and — when ServerConfig.Template enables it —
+// the layout-template cache wired into the configuration. A negative
+// breaker threshold disables the breaker wrapping; primary attempts
+// then run on the pipeline as handed in (template cache still applied,
+// on a configuration-only clone). The handed-in pipeline is never
+// mutated: degraded-mode retries run on it and so bypass both the
+// breakers and the cache.
 func (s *Server) wirePipeline(p *Pipeline, pol BreakerPolicy) *Pipeline {
+	cfg := p.cfg
+	if s.cfg.Template.Capacity > 0 && cfg.Templates == nil {
+		cfg.Templates = NewTemplateCache(s.cfg.Template.Capacity, s.cfg.Template.Quantum, s.m)
+	}
 	if pol.Threshold < 0 {
-		return p
+		if cfg.Templates == p.cfg.Templates {
+			return p
+		}
+		clone := *p
+		clone.cfg = cfg
+		return &clone
 	}
 	return &Pipeline{
-		cfg: p.cfg,
+		cfg: cfg,
 		segmenter: &breakerSegmenter{
 			inner: p.segmenter,
 			br:    s.newBreaker(PhaseSegment, pol),

@@ -15,6 +15,7 @@ package vs2
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -83,10 +84,10 @@ func shardPid(state string, shard int) int {
 // probeShardJournalWindow runs one throwaway batch and reports the
 // largest size any shard journal reached, so kill offsets spread across
 // the real write window instead of clustering at zero.
-func probeShardJournalWindow(t *testing.T, bin string, corpus []byte) int64 {
+func probeShardJournalWindow(t *testing.T, bin string, corpus []byte, extra ...string) int64 {
 	t.Helper()
 	state := t.TempDir()
-	cmd := exec.Command(bin, vs2dArgs(state)...)
+	cmd := exec.Command(bin, vs2dArgs(state, extra...)...)
 	cmd.Stdin = bytes.NewReader(corpus)
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
@@ -118,9 +119,9 @@ probe:
 // that shard's journal reaches offset bytes. The front end must survive
 // the kill and finish; its stdout and a flag for whether the kill
 // landed mid-run are returned.
-func killShardAt(t *testing.T, bin string, corpus []byte, state string, target int, offset int64) ([]byte, bool) {
+func killShardAt(t *testing.T, bin string, corpus []byte, state string, target int, offset int64, extra ...string) ([]byte, bool) {
 	t.Helper()
-	cmd := exec.Command(bin, vs2dArgs(state)...)
+	cmd := exec.Command(bin, vs2dArgs(state, extra...)...)
 	cmd.Stdin = bytes.NewReader(corpus)
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &stdout, &stderr
@@ -296,6 +297,117 @@ func TestShardChaosKillFrontEnd(t *testing.T) {
 	t.Logf("front-end chaos: %d/%d kills landed mid-run (journal window %d bytes)", landed, iterations, window)
 	if landed == 0 {
 		t.Fatal("no front-end kill ever landed mid-run")
+	}
+}
+
+// templateChaosCorpus renders a template-heavy JSONL corpus: jittered
+// instances of the differential suite's synthetic templates, so each
+// shard's layout-template cache warms within a few documents and most
+// of the batch takes the hit path.
+func templateChaosCorpus(t *testing.T, templates, perTemplate int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for inst := 0; inst < perTemplate; inst++ {
+		for tpl := 0; tpl < templates; tpl++ {
+			data, err := json.Marshal(synthTemplateDoc(tpl, int64(inst)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(data)
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.Bytes()
+}
+
+// templateHitsSnapshot runs one full batch with -metrics and returns
+// the fleet-wide template.hits total from the front end's final
+// snapshot (shard caches ship their counters up as shard-labeled
+// series). With VS2_CHAOS_ARTIFACTS set, the snapshot JSON lands there
+// for CI upload.
+func templateHitsSnapshot(t *testing.T, bin string, corpus []byte, extra ...string) int64 {
+	t.Helper()
+	cmd := exec.Command(bin, vs2dArgs(t.TempDir(), append(extra, "-metrics")...)...)
+	cmd.Stdin = bytes.NewReader(corpus)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("vs2d -metrics: %v\nstderr:\n%s", err, stderr.String())
+	}
+	marker := "vs2d: metrics:"
+	i := strings.Index(stderr.String(), marker)
+	if i < 0 {
+		t.Fatalf("no metrics snapshot on stderr:\n%s", stderr.String())
+	}
+	raw := stderr.String()[i+len(marker):]
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(raw)), &snap); err != nil {
+		t.Fatalf("decoding metrics snapshot: %v", err)
+	}
+	if dir := os.Getenv("VS2_CHAOS_ARTIFACTS"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			os.WriteFile(filepath.Join(dir, "template-chaos-metrics.json"), //nolint:errcheck
+				[]byte(strings.TrimSpace(raw)+"\n"), 0o644)
+		}
+	}
+	var hits int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "template.hits") {
+			hits += v
+		}
+	}
+	return hits
+}
+
+// TestShardChaosWarmTemplateCache extends the shard-kill harness to the
+// layout-template cache: per-shard caches are in-memory only, so a
+// SIGKILLed worker comes back cold and must rewarm from the requeued
+// work — and the merged output must still be byte-identical to an
+// uninterrupted warm run, which itself must be byte-identical to a run
+// with the cache off (the cache may only ever change latency).
+func TestShardChaosWarmTemplateCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard chaos spawns real process fleets; skipped in -short")
+	}
+	bin := buildVS2DBinary(t)
+	corpus := templateChaosCorpus(t, 6, 10)
+	tplArgs := []string{"-task", "realestate", "-template-cache", "64"}
+
+	golden := runVS2D(t, bin, corpus, t.TempDir(), tplArgs...)
+	if off := runVS2D(t, bin, corpus, t.TempDir(), "-task", "realestate"); !bytes.Equal(golden, off) {
+		t.Fatalf("template cache changed the fleet's bytes\n-- cache on --\n%s\n-- cache off --\n%s", golden, off)
+	}
+
+	// Non-vacuity: the warm fleet must actually be taking the hit path,
+	// or the kills below would only ever exercise the cold one.
+	hits := templateHitsSnapshot(t, bin, corpus, tplArgs...)
+	if hits == 0 {
+		t.Fatal("no shard ever recorded a template-cache hit; the corpus is not exercising the warm path")
+	}
+	t.Logf("warm fleet recorded %d template-cache hits across shards", hits)
+
+	window := probeShardJournalWindow(t, bin, corpus, tplArgs...)
+	rnd := rand.New(rand.NewSource(2026)) // seeded: a failure reproduces
+	const iterations = 8
+	landed := 0
+	for i := 0; i < iterations; i++ {
+		state := t.TempDir()
+		target := rnd.Intn(chaosShards)
+		offset := rnd.Int63n(window + 1)
+		out, hit := killShardAt(t, bin, corpus, state, target, offset, tplArgs...)
+		if hit {
+			landed++
+		}
+		if !bytes.Equal(golden, out) {
+			t.Fatalf("iteration %d (SIGKILL shard %d at offset %d, warm cache): merged output differs\n-- golden --\n%s\n-- chaos --\n%s",
+				i, target, offset, golden, out)
+		}
+	}
+	t.Logf("warm-cache shard chaos: %d/%d kills landed mid-run (journal window %d bytes)", landed, iterations, window)
+	if landed == 0 {
+		t.Fatal("no kill ever landed before the batch finished; the harness is not exercising crashes")
 	}
 }
 

@@ -1,0 +1,307 @@
+package vs2
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// This file is the differential harness for the layout-template
+// fingerprint cache. The contract is absolute: a cache hit must produce
+// output byte-identical (RenderLine) to what the cold path would have
+// produced on the same document, with an equivalent explanation Report
+// — the cache may only ever change latency, never bytes. The harness
+// applies the PR 4 oracle pattern to the cache: the golden corpora plus
+// seeded synthetic templates with jittered geometry, all replayable
+// from their seeds through rand.go (no wall clock anywhere). `make
+// template-diff` runs it under the race detector as part of `make
+// check`.
+
+// synthValue generators produce per-instance field values that vary
+// freely in content while keeping the fingerprint's text shape (length
+// bucket + character class) fixed — exactly the variation a recurring
+// form face exhibits between fillings.
+var (
+	synthNames  = []string{"Burke", "Hayes", "Lopez", "Mills", "Stone", "Drake"}
+	synthWords  = []string{"quiet", "sunny", "grand", "brick", "newer", "clean"}
+	synthLabels = [8][4]string{
+		{"Broker", "Phone", "Email", "Price"},
+		{"Agent", "Contact", "Offer", "Size"},
+		{"Listing", "Address", "Acres", "About"},
+		{"Seller", "Callnow", "Reach", "Asking"},
+		{"Realty", "Mobile", "Inbox", "Value"},
+		{"Office", "Direct", "Write", "Total"},
+		{"Branch", "Hotline", "Notes", "Quote"},
+		{"Group", "Tollfree", "Reply", "Worth"},
+	}
+)
+
+// synthTemplateDoc renders instance inst of synthetic template tpl
+// (0..7): a single-column page of label/value blocks. Layout geometry
+// is template-determined on a 4-unit grid; each instance jitters
+// element positions by up to ±1.9 units (inside the default tolerance
+// band of quantum/2 = 2) and redraws every field value with the same
+// text shape. The layouts are designed so the tree's structure is
+// identical across instances — which is what makes a template cacheable
+// in the first place: blocks are pairs (label, value) that can never be
+// split below block level (MinElements), inter-block gaps exceed the
+// Eq. 1 merge ceiling of 0.16·maxDim, and the gap widths within one
+// template differ from each other by ≥25% so Algorithm 1's
+// clearance-ranked delimiter selection orders them identically for
+// every jittered instance (near-ties would let jitter reshuffle the
+// ranking and reshape the tree).
+func synthTemplateDoc(tpl int, inst int64) *Document {
+	rng := newRand(int64(tpl)*1000 + inst + 1)
+	jit := func() float64 { return rng.Float64()*3.8 - 1.9 }
+	d := &Document{
+		ID:     fmt.Sprintf("synth-t%d-i%d", tpl, inst),
+		Width:  400,
+		Height: 560,
+	}
+	font := []float64{10, 12, 14}[tpl%3]
+	color := []RGB{{R: 20, G: 20, B: 20}, {R: 30, G: 60, B: 200}, {R: 160, G: 30, B: 30}}[tpl%3]
+	round4 := func(v float64) float64 { return float64(int((v+2)/4)) * 4 }
+	addWord := func(x, y float64, text string, line int) {
+		d.Elements = append(d.Elements, Element{
+			ID:       len(d.Elements),
+			Kind:     TextElement,
+			Text:     text,
+			Box:      Rect{X: x + jit(), Y: y + jit(), W: round4(float64(len(text)) * font * 0.55), H: round4(font)},
+			Color:    color,
+			FontSize: font,
+			Line:     line,
+		})
+	}
+	value := func(slot int) string {
+		switch slot % 4 {
+		case 0: // phone-shaped
+			return fmt.Sprintf("614-555-%04d", rng.Intn(10000))
+		case 1: // price-shaped
+			return fmt.Sprintf("$%d%d%d,900", 1+rng.Intn(9), rng.Intn(10), rng.Intn(10))
+		case 2: // name-shaped
+			return synthNames[rng.Intn(len(synthNames))]
+		default: // word-shaped
+			return synthWords[rng.Intn(len(synthWords))]
+		}
+	}
+	// Single column, 3 or 4 blocks; strictly distinct vertical pitches
+	// (96 / 128 / 160, ascending or descending per template) keep the
+	// delimiter ranking jitter-stable.
+	nBlocks := 3 + tpl%2
+	pitches := []float64{96, 128, 160}
+	if tpl%2 == 1 {
+		pitches = []float64{160, 128, 96}
+	}
+	x := 40.0
+	y := 40 + 4*float64(tpl)
+	for b := 0; b < nBlocks; b++ {
+		label := synthLabels[tpl][b%4]
+		addWord(x, y, label, b)
+		addWord(x+round4(float64(len(label))*font*0.55)+4, y, value(b+tpl), b)
+		if b < len(pitches) {
+			y += pitches[b]
+		}
+	}
+	return d
+}
+
+// renderedLine is the byte-identity unit of the contract.
+func renderedLine(res *Result, d *Document, err error) []byte {
+	return RenderLine(BatchResult{Doc: d, Result: res, Err: err})
+}
+
+// normalizeReport strips the fields the contract explicitly excludes:
+// the Template marker (the cold pipeline has no cache, so "hit" vs ""
+// is the one designed difference) and degradation wall-clock stamps
+// (already excluded from RenderLine for the same reason).
+func normalizeReport(r *Report) *Report {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	cp.Template = ""
+	cp.Degraded = append([]Degradation(nil), r.Degraded...)
+	for i := range cp.Degraded {
+		cp.Degraded[i].Time = time.Time{}
+	}
+	return &cp
+}
+
+func assertWarmEqualsCold(t *testing.T, label string, d *Document, coldRes, warmRes *Result, coldErr, warmErr error) {
+	t.Helper()
+	coldLine := renderedLine(coldRes, d, coldErr)
+	warmLine := renderedLine(warmRes, d, warmErr)
+	if !bytes.Equal(coldLine, warmLine) {
+		t.Fatalf("%s: warm output diverges from cold\n--- cold ---\n%s\n--- warm ---\n%s", label, coldLine, warmLine)
+	}
+	if !reflect.DeepEqual(normalizeReport(coldRes.Report), normalizeReport(warmRes.Report)) {
+		t.Fatalf("%s: warm Report diverges from cold\n--- cold ---\n%s\n--- warm ---\n%s",
+			label, coldRes.Report, warmRes.Report)
+	}
+	if len(coldRes.Degraded) != len(warmRes.Degraded) {
+		t.Fatalf("%s: degradation trail diverges: cold %v, warm %v", label, coldRes.Degraded, warmRes.Degraded)
+	}
+}
+
+// TestTemplateDiffGolden runs every golden-corpus document through a
+// cold pipeline and twice through a cache-enabled pipeline: the first
+// warm pass must miss and memoize (the corpora are real segmenter
+// output, so insert refusing any of them is a bug), the second must hit
+// and render byte-identical output with an identical layout tree.
+func TestTemplateDiffGolden(t *testing.T) {
+	tasks := map[string]Task{
+		"taxforms":     NISTTaxTask(),
+		"eventposters": EventPosterTask(),
+		"realestate":   RealEstateTask(),
+	}
+	ctx := context.Background()
+	for name, docs := range goldenCorpora() {
+		t.Run(name, func(t *testing.T) {
+			cache := NewTemplateCache(16, 0, nil)
+			cold := NewPipeline(Config{Task: tasks[name], Explain: true})
+			warm := NewPipeline(Config{Task: tasks[name], Explain: true, Templates: cache})
+			for _, d := range docs {
+				coldRes, coldErr := cold.ExtractContext(ctx, d)
+				w1, err1 := warm.ExtractContext(ctx, d)
+				assertWarmEqualsCold(t, d.ID+" (warm miss)", d, coldRes, w1, coldErr, err1)
+				w2, err2 := warm.ExtractContext(ctx, d)
+				assertWarmEqualsCold(t, d.ID+" (warm hit)", d, coldRes, w2, coldErr, err2)
+				if coldRes != nil && w2 != nil {
+					if got, want := w2.Tree.Dump(d), coldRes.Tree.Dump(d); got != want {
+						t.Fatalf("%s: remapped tree diverges from cold tree\n--- warm ---\n%s\n--- cold ---\n%s", d.ID, got, want)
+					}
+					if w2.Report.Template != "hit" {
+						t.Fatalf("%s: second warm pass reported %q, want hit", d.ID, w2.Report.Template)
+					}
+				}
+			}
+			st := cache.Stats()
+			if st.Hits != int64(len(docs)) || st.Inserts != int64(len(docs)) {
+				t.Fatalf("cache stats %+v: want %d hits and %d inserts (every golden tree must be cacheable)", st, len(docs), len(docs))
+			}
+			if st.Uncacheable != 0 || st.GuardRejects != 0 {
+				t.Fatalf("cache stats %+v: unexpected uncacheable/guard-reject on golden corpora", st)
+			}
+		})
+	}
+}
+
+// TestTemplateDiffSeeded renders ≥48 seeded layouts from the 8
+// synthetic templates — every instance jittered within the tolerance
+// band — and asserts the warm pipeline (which hits the cache on every
+// instance after the first per template) is byte-identical to the cold
+// pipeline on all of them.
+func TestTemplateDiffSeeded(t *testing.T) {
+	instances := int64(6)
+	if testing.Short() {
+		instances = 3
+	}
+	const templates = 8
+	ctx := context.Background()
+	task := RealEstateTask()
+	cache := NewTemplateCache(32, 0, nil)
+	cold := NewPipeline(Config{Task: task, Explain: true})
+	warm := NewPipeline(Config{Task: task, Explain: true, Templates: cache})
+	entities := 0
+	for tpl := 0; tpl < templates; tpl++ {
+		for inst := int64(0); inst < instances; inst++ {
+			d := synthTemplateDoc(tpl, inst)
+			label := d.ID
+			coldRes, coldErr := cold.ExtractContext(ctx, d)
+			warmRes, warmErr := warm.ExtractContext(ctx, d)
+			assertWarmEqualsCold(t, label, d, coldRes, warmRes, coldErr, warmErr)
+			if coldRes != nil {
+				entities += len(coldRes.Entities)
+			}
+			wantOutcome := "hit"
+			if inst == 0 {
+				wantOutcome = "miss"
+			}
+			if warmRes != nil && warmRes.Report.Template != wantOutcome {
+				t.Fatalf("%s: template outcome %q, want %q (jitter broke the tolerance band?)", label, warmRes.Report.Template, wantOutcome)
+			}
+		}
+	}
+	st := cache.Stats()
+	if want := int64(templates) * (instances - 1); st.Hits != want {
+		t.Fatalf("cache stats %+v: want exactly %d hits", st, want)
+	}
+	if st.Misses != templates || st.Inserts != templates || st.GuardRejects != 0 {
+		t.Fatalf("cache stats %+v: want %d misses and inserts, no guard rejects", st, templates)
+	}
+	if entities == 0 {
+		t.Fatal("vacuous corpus: no entities extracted from any synthetic template")
+	}
+}
+
+// TestTemplateDiffServerRaceEviction soaks a Server whose template
+// cache is much smaller than the template population, under the race
+// detector: 8 templates churning through a 3-entry LRU. Asserted
+// invariants: every result is byte-identical to a cold pipeline's,
+// memory stays bounded (size ≤ capacity), eviction happens, the
+// hit/miss counters account for every full-fidelity document exactly,
+// and no goroutines leak.
+func TestTemplateDiffServerRaceEviction(t *testing.T) {
+	const templates, instances = 8, 6
+	ctx := context.Background()
+	task := RealEstateTask()
+
+	// Cold oracle lines, computed sequentially without any cache.
+	cold := NewPipeline(Config{Task: task})
+	docs := make([]*Document, 0, templates*instances)
+	want := make(map[string][]byte, templates*instances)
+	for inst := int64(0); inst < instances; inst++ {
+		for tpl := 0; tpl < templates; tpl++ {
+			d := synthTemplateDoc(tpl, inst)
+			docs = append(docs, d)
+			res, err := cold.ExtractContext(ctx, d)
+			want[d.ID] = renderedLine(res, d, err)
+		}
+	}
+	// Deterministic shuffle so template instances interleave adversarially.
+	rng := newRand(99)
+	rng.Shuffle(len(docs), func(i, j int) { docs[i], docs[j] = docs[j], docs[i] })
+
+	baseline := runtime.NumGoroutine()
+	m := NewMetrics()
+	s := NewServer(NewPipeline(Config{Task: task}), ServerConfig{
+		Workers:   4,
+		Queue:     len(docs),
+		QueueWait: time.Minute,
+		Retry:     RetryPolicy{MaxAttempts: 1},
+		Template:  TemplatePolicy{Capacity: 3},
+		Metrics:   m,
+	})
+	results := s.ExtractBatch(ctx, docs)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Doc.ID, r.Err)
+		}
+		if got := renderedLine(r.Result, r.Doc, nil); !bytes.Equal(got, want[r.Doc.ID]) {
+			t.Fatalf("%s: cached-server output diverges from cold oracle\n--- server ---\n%s\n--- cold ---\n%s", r.Doc.ID, got, want[r.Doc.ID])
+		}
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	snap := m.Snapshot()
+	hits, misses := snap.Counters["template.hits"], snap.Counters["template.misses"]
+	if hits+misses != int64(len(docs)) {
+		t.Fatalf("hit/miss accounting: %d hits + %d misses != %d documents", hits, misses, len(docs))
+	}
+	if snap.Counters["template.evictions"] == 0 {
+		t.Fatal("no evictions despite 8 templates against a 3-entry cache")
+	}
+	if size := snap.Gauges["template.size"]; size > 3 {
+		t.Fatalf("cache size %v exceeds capacity 3", size)
+	}
+	if rej := snap.Counters["template.guard.rejects"]; rej != 0 {
+		t.Fatalf("%d guard rejects on honest traffic", rej)
+	}
+	settleGoroutines(t, baseline)
+}

@@ -46,6 +46,7 @@ import (
 	"vs2/internal/ocr"
 	"vs2/internal/pattern"
 	"vs2/internal/segment"
+	"vs2/internal/template"
 )
 
 // Re-exported document-model types: the JSON document format is the
@@ -208,6 +209,13 @@ type Config struct {
 	// LeskDisambiguation replaces Eq. 2 with the text-only Lesk strategy
 	// (ablation A4).
 	LeskDisambiguation bool
+	// Templates, when non-nil, short-circuits VS2-Segment for documents
+	// whose quantized element geometry matches a memoized layout: the
+	// cached tree structure is remapped onto the new document and the
+	// pipeline jumps straight to search-and-select. Build one with
+	// NewTemplateCache; one cache may serve many pipelines. Nil disables
+	// template reuse (every document pays full segmentation).
+	Templates *TemplateCache
 	// Segmenter overrides the built-in VS2-Segment backend (nil = default).
 	// Primarily for the internal fault-injection harness and for callers
 	// bringing their own layout analysis.
@@ -353,6 +361,23 @@ func LearnPatterns(task string, seed int64) []*PatternSet {
 	}
 	c := holdout.Build(sites, holdout.BuildOptions{Seed: seed})
 	return holdout.LearnedSets(c, holdout.LearnOptions{})
+}
+
+// TemplateCache memoizes layout trees by quantized-geometry fingerprint
+// so documents sharing a form face skip VS2-Segment (see Config.Templates
+// and ServerConfig.Template). Safe for concurrent use.
+type TemplateCache = template.Cache
+
+// TemplateStats is a point-in-time snapshot of a TemplateCache's
+// hit/miss/eviction counters.
+type TemplateStats = template.Stats
+
+// NewTemplateCache builds a bounded LRU layout-template cache. capacity
+// is the maximum number of memoized templates (0 selects 256); quantum
+// is the geometry tolerance band in page units absorbing OCR jitter
+// (0 selects 4). m, when non-nil, receives the template.* metrics.
+func NewTemplateCache(capacity int, quantum float64, m *Metrics) *TemplateCache {
+	return template.New(template.Config{Capacity: capacity, Quantum: quantum, Metrics: m})
 }
 
 // Embedder is the word-embedding interface of the semantic components.
