@@ -1,16 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race obs serve-chaos crash-chaos shard-chaos triage-chaos template-diff fuzz trace-demo bench-gate bench-baseline
+.PHONY: check vet build test race obs serve-chaos crash-chaos shard-chaos reshard-chaos triage-chaos template-diff fuzz trace-demo bench-gate bench-baseline
 
 # check is the tier-1 verification gate: static analysis, a full build,
 # the full test suite, the race-detector pass (the chaos suite asserts
 # its no-panic/no-hang containment contract there), a focused
 # race-detector pass over the observability primitives, the
 # serving-layer soak, the journal kill -9 crash-recovery harness, the
-# sharded-fleet shard-kill harness, the fidelity-ladder overload soak,
-# the template-cache differential-oracle suite, and the benchmark
-# regression gates.
-check: vet build test race obs serve-chaos crash-chaos shard-chaos triage-chaos template-diff bench-gate
+# sharded-fleet shard-kill harness, the live-resharding rebalance
+# harness, the fidelity-ladder overload soak, the template-cache
+# differential-oracle suite, and the benchmark regression gates.
+check: vet build test race obs serve-chaos crash-chaos shard-chaos reshard-chaos triage-chaos template-diff bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +63,18 @@ crash-chaos:
 # uninterrupted run.
 shard-chaos:
 	$(GO) test -race -run TestShardChaos -count=1 -timeout 15m .
+
+# reshard-chaos drives live fleet reconfiguration under fire: a real
+# vs2d front end serves a batch while the harness scales the fleet
+# 3 -> 5 -> 2 through POST /admin/scale (odd iterations also roll it
+# via SIGHUP) and SIGKILLs a random shard inside the transition window
+# at randomized offsets. The merged stdout must stay byte-identical to
+# an undisturbed 3-shard run with every document emitted exactly once,
+# the retired shards' journals must hand off to live successors, and
+# the epoch-stamped shard.reconfig.* series must appear in the final
+# /metrics scrape (saved to VS2_CHAOS_ARTIFACTS for CI upload).
+reshard-chaos:
+	$(GO) test -race -run TestReshardChaos -count=1 -timeout 20m .
 
 # triage-chaos soaks the adaptive fidelity ladder under the race
 # detector: a saturating 150-document burst against a deliberately

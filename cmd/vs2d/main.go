@@ -96,6 +96,10 @@ type options struct {
 	drainGrace     time.Duration
 	poisonAfter    int
 
+	maxConns        int
+	idleTimeout     time.Duration
+	reconfigTimeout time.Duration
+
 	fidelity     string
 	fidelityLvls int
 	fidelityPin  int
@@ -136,6 +140,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.maxRestarts, "max-restarts", 8, "consecutive failed starts before a shard is abandoned and failed over")
 	fs.DurationVar(&o.drainGrace, "drain-grace", 10*time.Second, "how long shutdown waits for a shard to drain before killing it")
 	fs.IntVar(&o.poisonAfter, "poison-after", 0, "quarantine a document after it crashes its worker this many times (0 disables); quarantined keys land in state/poisoned.jsonl")
+	fs.IntVar(&o.maxConns, "max-conns", 256, "serve mode: concurrent client connection cap; excess connections are shed with one JSON error line")
+	fs.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "serve mode: close a connection idle (no readable byte) for this long; 0 disables")
+	fs.DurationVar(&o.reconfigTimeout, "reconfig-timeout", 2*time.Minute, "deadline for one live reconfiguration (/admin/scale, /admin/roll, SIGHUP roll)")
 	fs.StringVar(&o.fidelity, "fidelity", "off", "fleet fidelity ladder mode: off | pinned | adaptive; the front end stamps its level on every request so all shards degrade coherently")
 	fs.IntVar(&o.fidelityLvls, "fidelity-levels", 3, "deepest fidelity degradation level")
 	fs.IntVar(&o.fidelityPin, "fidelity-pin", 0, "level a pinned-mode ladder holds")
@@ -163,11 +170,38 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	win := obs.NewWindow(nil, time.Minute, 6)
 	level := startFleetFidelity(&o, sup, m)
 	defer level.stop()
+	// Live reconfiguration entry points: /admin/scale and /admin/roll
+	// block until the transition completes (bounded by -reconfig-timeout),
+	// and SIGHUP triggers a rolling restart — the operator's zero-downtime
+	// "pick up fresh children" signal.
+	scaleTo := func(n int) error {
+		ctx, cancel := context.WithTimeout(context.Background(), o.reconfigTimeout)
+		defer cancel()
+		return sup.Scale(ctx, n)
+	}
+	rollFleet := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), o.reconfigTimeout)
+		defer cancel()
+		return sup.Roll(ctx)
+	}
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			fmt.Fprintln(stderr, "vs2d: SIGHUP: rolling restart")
+			if err := rollFleet(); err != nil {
+				fmt.Fprintln(stderr, "vs2d: roll:", err)
+			}
+		}
+	}()
 	if o.admin != "" {
 		adminSrv, err := admin.Start(o.admin, admin.Config{
 			Metrics: func() obs.Snapshot { return m.Snapshot() },
 			Health:  func() admin.HealthStatus { return fleetHealth(sup, m) },
-			SLO:     func() admin.SLOStatus { return fleetSLO(m, win) },
+			SLO:     func() admin.SLOStatus { return fleetSLO(sup, m, win) },
+			Scale:   scaleTo,
+			Roll:    rollFleet,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "vs2d:", err)
@@ -315,8 +349,10 @@ func fleetHealth(sup *shard.Supervisor, m *vs2.Metrics) admin.HealthStatus {
 // fleetSLO summarizes the front end's end-to-end latency window and
 // cumulative outcome counters for /slo, including the fleet fidelity
 // state: the controller's level and transitions, per-class triage
-// counts summed across the shards' telemetry, and per-reason sheds.
-func fleetSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
+// counts summed across the shards' telemetry, per-reason sheds, and
+// the reconfiguration state (ring version, latest epoch, in-progress
+// transition).
+func fleetSLO(sup *shard.Supervisor, m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 	count, _ := win.Totals()
 	snap := m.Snapshot()
 	completed := snap.Counters["frontend.completed"]
@@ -365,6 +401,12 @@ func fleetSLO(m *vs2.Metrics, win *obs.Window) admin.SLOStatus {
 		TemplateHits:      tplHits,
 		TemplateMisses:    tplMisses,
 		TemplateEvictions: tplEvictions,
+
+		RingVersion:   sup.RingVersion(),
+		ReconfigEpoch: int64(snap.Gauges["shard.reconfig.epoch"]),
+	}
+	if t := sup.Transition(); t != nil {
+		slo.Reconfig = t
 	}
 	if probes := tplHits + tplMisses; probes > 0 {
 		slo.TemplateHitRate = float64(tplHits) / float64(probes)
@@ -405,6 +447,15 @@ func validate(o *options) error {
 	}
 	if o.ckptEvery < 0 {
 		return fmt.Errorf("-checkpoint must be >= 0")
+	}
+	if o.maxConns < 1 {
+		return fmt.Errorf("-max-conns must be >= 1 (got %d)", o.maxConns)
+	}
+	if o.idleTimeout < 0 {
+		return fmt.Errorf("-idle-timeout must be >= 0")
+	}
+	if o.reconfigTimeout <= 0 {
+		return fmt.Errorf("-reconfig-timeout must be positive")
 	}
 	switch o.fidelity {
 	case "", vs2.FidelityOff, vs2.FidelityPinned, vs2.FidelityAdaptive:
@@ -464,7 +515,7 @@ func startSupervisor(o *options, stitch *stitcher, stderr io.Writer) (*shard.Sup
 			stitch.onTelemetry(t)
 		}
 	}
-	sup, err := shard.New(shard.Config{
+	cfg := shard.Config{
 		Shards:         o.shards,
 		Start:          func(i int) (*exec.Cmd, error) { return exec.Command(self, workerArgs(o, i)...), nil },
 		OnStart:        pidfileWriter(o.state, stderr),
@@ -478,7 +529,39 @@ func startSupervisor(o *options, stitch *stitcher, stderr io.Writer) (*shard.Sup
 		Metrics:     m,
 		OnTelemetry: onTelemetry,
 		Stderr:      stderr,
-	})
+	}
+	if o.state != "" {
+		// Scale-out: a shard index coming (back) into service must not
+		// inherit a stale journal — its old completions were handed off
+		// when the index retired, and the resized ring redistributes the
+		// keyspace anyway. Re-extraction is deterministic, so deleting is
+		// always safe. Only Scale calls this, never the initial fleet, so
+		// -resume semantics are untouched.
+		cfg.OnProvision = func(i int) error {
+			for _, p := range []string{shardJournal(o.state, i), shardJournal(o.state, i) + ".ckpt"} {
+				if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+					return fmt.Errorf("provision shard %d: %w", i, err)
+				}
+			}
+			return nil
+		}
+		// Scale-in: re-stamp the drained retiree's journal to the
+		// successor's owner label and hand its path over for adoption.
+		// A retiree that never journaled has nothing to hand off.
+		cfg.OnHandoff = func(retired, successor int) (string, error) {
+			path := shardJournal(o.state, retired)
+			if _, err := os.Stat(path); os.IsNotExist(err) {
+				return "", nil
+			}
+			from := fmt.Sprintf("shard-%d", retired)
+			to := fmt.Sprintf("shard-%d", successor)
+			if err := vs2.TransferJournal(path, from, to); err != nil {
+				return "", fmt.Errorf("transfer %s (%s -> %s): %w", path, from, to, err)
+			}
+			return path, nil
+		}
+	}
+	sup, err := shard.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -659,7 +742,7 @@ func runListen(o *options, sup *shard.Supervisor, win *obs.Window, stitch *stitc
 	fmt.Fprintf(stderr, "vs2d: listening on %s\n", l.Addr())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serveListener(ctx, l, sup, o, win, stitch, level, stderr); err != nil {
+	if err := serveListener(ctx, l, sup, sup.Metrics(), o, win, stitch, level, stderr); err != nil {
 		fmt.Fprintln(stderr, "vs2d:", err)
 		return 1
 	}

@@ -54,7 +54,8 @@ func TestValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := func() options {
-		return options{shards: 2, task: "events", maxLine: 1024, ckptEvery: 256}
+		return options{shards: 2, task: "events", maxLine: 1024, ckptEvery: 256,
+			maxConns: 256, reconfigTimeout: time.Minute}
 	}
 	cases := []struct {
 		name    string
@@ -70,6 +71,9 @@ func TestValidate(t *testing.T) {
 		{"listen and in", func(o *options) { o.listen = ":0"; o.in = "x.jsonl" }, "mutually exclusive"},
 		{"zero max-line", func(o *options) { o.maxLine = 0 }, "-max-line"},
 		{"negative checkpoint", func(o *options) { o.ckptEvery = -1 }, "-checkpoint"},
+		{"zero max-conns", func(o *options) { o.maxConns = 0 }, "-max-conns"},
+		{"negative idle timeout", func(o *options) { o.idleTimeout = -time.Second }, "-idle-timeout"},
+		{"zero reconfig timeout", func(o *options) { o.reconfigTimeout = 0 }, "-reconfig-timeout"},
 		{"negative template cache", func(o *options) { o.tplCap = -1 }, "-template-cache"},
 		{"negative template quantum", func(o *options) { o.tplQuantum = -2 }, "-template-quantum"},
 		{"template cache on", func(o *options) { o.tplCap = 32; o.tplQuantum = 4 }, ""},
@@ -350,6 +354,7 @@ func TestListenMode(t *testing.T) {
 		probeInterval: 100 * time.Millisecond, probeTimeout: 5 * time.Second,
 		restartBackoff: 20 * time.Millisecond, restartMax: time.Second,
 		maxRestarts: 3, drainGrace: 5 * time.Second,
+		maxConns: 8, reconfigTimeout: time.Minute,
 	}
 	sup, _, err := startSupervisor(o, nil, io.Discard)
 	if err != nil {
@@ -367,7 +372,7 @@ func TestListenMode(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
-	go func() { served <- serveListener(ctx, l, sup, o, nil, nil, nil, io.Discard) }()
+	go func() { served <- serveListener(ctx, l, sup, sup.Metrics(), o, nil, nil, nil, io.Discard) }()
 
 	conn, err := net.Dial("tcp", l.Addr().String())
 	if err != nil {

@@ -21,8 +21,15 @@ import (
 
 	"vs2"
 	"vs2/internal/obs"
-	"vs2/internal/shard"
 )
+
+// router is what the scatter engine needs from the shard supervisor:
+// keyed dispatch with span and fidelity level. Narrowed to an interface
+// so the serve-path plumbing (connection caps, idle deadlines) unit
+// tests against a fake without a child-process fleet.
+type router interface {
+	DoLevel(ctx context.Context, key string, doc json.RawMessage, span string, level int) ([]byte, error)
+}
 
 // scatterConfig tunes one scatter/merge stream.
 type scatterConfig struct {
@@ -51,7 +58,7 @@ type emitted struct {
 
 // scatter reads JSONL documents from in, routes each through the
 // supervisor, and writes one line per document to out in input order.
-func scatter(ctx context.Context, sup *shard.Supervisor, cfg scatterConfig, in io.Reader, out, errw io.Writer) scatterStats {
+func scatter(ctx context.Context, sup router, cfg scatterConfig, in io.Reader, out, errw io.Writer) scatterStats {
 	var st scatterStats
 
 	bw := bufio.NewWriterSize(out, 1<<16)
@@ -169,8 +176,13 @@ func routeKey(d *vs2.Document, index int) string {
 }
 
 // serveListener accepts JSONL connections and serves each with its own
-// scatter stream until the listener closes or ctx expires.
-func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o *options, win *obs.Window, stitch *stitcher, level func() int, errw io.Writer) error {
+// scatter stream until the listener closes or ctx expires. Two
+// hardening measures protect the accept loop from misbehaving clients:
+// a concurrent-connection cap (-max-conns) sheds excess connections
+// with one JSON error line instead of queueing them into memory, and a
+// per-read idle deadline (-idle-timeout) reclaims connections whose
+// client has gone silent.
+func serveListener(ctx context.Context, l net.Listener, rt router, m *vs2.Metrics, o *options, win *obs.Window, stitch *stitcher, level func() int, errw io.Writer) error {
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
@@ -182,6 +194,7 @@ func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o
 	}()
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	sem := make(chan struct{}, o.maxConns)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -190,23 +203,70 @@ func serveListener(ctx context.Context, l net.Listener, sup *shard.Supervisor, o
 			}
 			return err
 		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			shedConn(conn, m, errw)
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() { <-sem }()
 			defer conn.Close()
-			st := scatter(ctx, sup, scatterConfig{
+			var in io.Reader = conn
+			if o.idleTimeout > 0 {
+				in = &idleConn{conn: conn, timeout: o.idleTimeout, m: m, errw: errw}
+			}
+			st := scatter(ctx, rt, scatterConfig{
 				name:    conn.RemoteAddr().String(),
 				maxLine: o.maxLine,
 				window:  o.window(),
-				metrics: sup.Metrics(),
+				metrics: m,
 				latency: win,
 				stitch:  stitch,
 				level:   level,
-			}, conn, conn, errw)
+			}, in, conn, errw)
 			fmt.Fprintf(errw, "vs2d: %s: %d documents: %d completed, %d failed\n",
 				conn.RemoteAddr(), st.docs, st.completed, st.failed)
 		}()
 	}
+}
+
+// shedConn refuses a connection over the cap: one well-formed JSON
+// error line (so a JSONL client sees a parseable refusal, not a bare
+// hangup), then close. Counted under serve.shed{reason="conn_limit"},
+// the same series the in-process admission queue sheds into.
+func shedConn(conn net.Conn, m *vs2.Metrics, errw io.Writer) {
+	m.Counter(obs.Name("serve.shed", obs.L("reason", "conn_limit"))).Inc()
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	line, _ := json.Marshal(map[string]string{"error": "connection limit reached, retry later"})
+	conn.Write(append(line, '\n')) //nolint:errcheck
+	conn.Close()                   //nolint:errcheck
+	fmt.Fprintf(errw, "vs2d: %s: shed (connection limit)\n", conn.RemoteAddr())
+}
+
+// idleConn wraps a connection with a rolling read deadline: each Read
+// re-arms the idle clock, and a deadline expiry converts to io.EOF so
+// the scatter stream ends cleanly — documents already in flight still
+// emit, then the connection closes.
+type idleConn struct {
+	conn    net.Conn
+	timeout time.Duration
+	m       *vs2.Metrics
+	errw    io.Writer
+}
+
+func (ic *idleConn) Read(p []byte) (int, error) {
+	ic.conn.SetReadDeadline(time.Now().Add(ic.timeout)) //nolint:errcheck
+	n, err := ic.conn.Read(p)
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		ic.m.Counter("serve.conn.idle_closed").Inc()
+		fmt.Fprintf(ic.errw, "vs2d: %s: closing idle connection\n", ic.conn.RemoteAddr())
+		return n, io.EOF
+	}
+	return n, err
 }
 
 // scanLines streams the JSONL input line by line, invoking fn for each

@@ -204,6 +204,26 @@ func runWorker(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			respond(shard.Response{Pong: true})
 			return nil
 		}
+		if req.Adopt != "" {
+			// Scale-in handoff: merge the retired shard's journal (already
+			// transferred to this worker's owner label) into our own. The
+			// ack rides the per-key FIFO like a document; Adopt is
+			// idempotent, so a crash between merge and ack just re-merges
+			// an already-removed source on the retried request.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n, aerr := jrn.Adopt(req.Adopt)
+				if aerr != nil {
+					logf("adopt %s: %v", req.Adopt, aerr)
+					respond(shard.Response{Key: req.Key, Err: aerr.Error()})
+					return
+				}
+				logf("adopted %d entries from %s", n, req.Adopt)
+				respond(shard.Response{Key: req.Key, Adopted: n})
+			}()
+			return nil
+		}
 		i := index
 		index++
 		d, derr := decodeDocument(req.Doc)

@@ -136,6 +136,27 @@ func (j *Journal) Path() string {
 	return j.path
 }
 
+// Adopt merges a retired shard's journal (already transferred to this
+// journal's owner — see TransferJournal) into this journal: entries are
+// re-journaled idempotently, compacted for durability, and the source
+// files removed. A nil journal adopts nothing. Returns how many entries
+// were merged.
+func (j *Journal) Adopt(path string) (int, error) {
+	if j == nil {
+		return 0, nil
+	}
+	return j.st.Adopt(path)
+}
+
+// TransferJournal re-stamps the quiesced journal at path from owner
+// `from` to owner `to` — the front-end half of a planned shard handoff,
+// run after the departing worker has exited. The successor worker then
+// adopts the journal under its own label. Unplanned owner mismatches
+// keep failing with journal.ErrWrongOwner.
+func TransferJournal(path, from, to string) error {
+	return journal.Transfer(path, journal.Options{}, from, to)
+}
+
 // DocLine is the canonical per-document output line of a batch run — the
 // unit the journal caches and a resumed run re-emits byte for byte. Its
 // rendering must stay deterministic: no timestamps, no map iteration.

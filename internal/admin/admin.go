@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"vs2/internal/obs"
@@ -32,6 +33,15 @@ type Config struct {
 	// SLO returns the latency/error summary /slo renders. Called per
 	// request.
 	SLO func() SLOStatus
+	// Scale, when non-nil, mounts POST /admin/scale?shards=N: live fleet
+	// resizing. The hook blocks until the transition completes (or its
+	// own timeout fires) and its error becomes a 500 with the message in
+	// the body. Nil leaves the endpoint a 404 — vs2serve has no fleet.
+	Scale func(n int) error
+	// Roll, when non-nil, mounts POST /admin/roll: a rolling restart of
+	// every shard's child, one at a time. Same blocking and error
+	// contract as Scale.
+	Roll func() error
 }
 
 // HealthStatus is the health document: an overall verdict plus an
@@ -86,6 +96,14 @@ type SLOStatus struct {
 	TemplateEvictions int64 `json:"template_evictions"`
 	// TemplateHitRate is hits/(hits+misses); 0 before the first probe.
 	TemplateHitRate float64 `json:"template_hit_rate"`
+	// RingVersion is the routing ring's version (1 at boot, +1 per
+	// scale); 0 on a process without a fleet.
+	RingVersion int64 `json:"ring_version,omitempty"`
+	// ReconfigEpoch is the latest completed fleet transition's epoch
+	// (scales and rolls both count); Reconfig reports the one in
+	// progress, null when the topology is stable.
+	ReconfigEpoch int64 `json:"reconfig_epoch,omitempty"`
+	Reconfig      any   `json:"reconfig,omitempty"`
 }
 
 // Server is one bound admin listener.
@@ -141,12 +159,78 @@ func Handler(cfg Config) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, slo)
 	})
+	mux.HandleFunc("/admin/scale", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Scale == nil {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+			return
+		}
+		n, err := scaleTarget(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if err := cfg.Scale(n); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": n})
+	})
+	mux.HandleFunc("/admin/roll", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Roll == nil {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+			return
+		}
+		if err := cfg.Roll(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// scaleTarget parses the target fleet size from ?shards=N (query or
+// form) or a {"shards": N} JSON body.
+func scaleTarget(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("shards")
+	if v == "" && r.Header.Get("Content-Type") == "application/json" {
+		var body struct {
+			Shards int `json:"shards"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			return 0, fmt.Errorf("bad JSON body: %v", err)
+		}
+		if body.Shards >= 1 {
+			return body.Shards, nil
+		}
+		return 0, fmt.Errorf("shards must be >= 1, got %d", body.Shards)
+	}
+	if v == "" {
+		v = r.PostFormValue("shards")
+	}
+	if v == "" {
+		return 0, fmt.Errorf("missing shards parameter")
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("shards must be an integer >= 1, got %q", v)
+	}
+	return n, nil
 }
 
 func health(cfg Config) HealthStatus {

@@ -2,6 +2,7 @@ package admin
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -90,6 +91,77 @@ func TestAdminSLO(t *testing.T) {
 		t.Errorf("/slo round trip = %+v", got)
 	}
 }
+
+// TestAdminScaleRoll: POST /admin/scale and /admin/roll drive the
+// reconfiguration hooks; bad input, wrong methods and hook errors map
+// to the right status codes; nil hooks leave the endpoints unmounted.
+func TestAdminScaleRoll(t *testing.T) {
+	var scaled []int
+	rolled := 0
+	h := Handler(Config{
+		Scale: func(n int) error {
+			if n > 8 {
+				return errNoCapacity
+			}
+			scaled = append(scaled, n)
+			return nil
+		},
+		Roll: func() error { rolled++; return nil },
+	})
+	post := func(path, contentType, body string) (int, string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	if code, body := post("/admin/scale?shards=5", "", ""); code != 200 {
+		t.Errorf("scale?shards=5 = %d (%s)", code, body)
+	}
+	if code, body := post("/admin/scale", "application/json", `{"shards":3}`); code != 200 {
+		t.Errorf("scale JSON body = %d (%s)", code, body)
+	}
+	if len(scaled) != 2 || scaled[0] != 5 || scaled[1] != 3 {
+		t.Errorf("Scale hook saw %v, want [5 3]", scaled)
+	}
+	if code, _ := post("/admin/roll", "", ""); code != 200 || rolled != 1 {
+		t.Errorf("roll = %d, hook calls %d", rolled, rolled)
+	}
+
+	if code, _ := post("/admin/scale", "", ""); code != 400 {
+		t.Errorf("scale with no n = %d, want 400", code)
+	}
+	if code, _ := post("/admin/scale?shards=0", "", ""); code != 400 {
+		t.Errorf("scale?shards=0 = %d, want 400", code)
+	}
+	if code, _ := post("/admin/scale?shards=nope", "", ""); code != 400 {
+		t.Errorf("scale?shards=nope = %d, want 400", code)
+	}
+	if code, body := post("/admin/scale?shards=99", "", ""); code != 500 || !strings.Contains(body, "no capacity") {
+		t.Errorf("scale hook error = %d (%s), want 500", code, body)
+	}
+	if code, _ := get(t, h, "/admin/scale"); code != 405 {
+		t.Errorf("GET /admin/scale = %d, want 405", code)
+	}
+	if code, _ := get(t, h, "/admin/roll"); code != 405 {
+		t.Errorf("GET /admin/roll = %d, want 405", code)
+	}
+
+	// Without hooks (vs2serve), the endpoints do not exist.
+	bare := Handler(Config{})
+	rec := httptest.NewRecorder()
+	rec2 := httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("POST", "/admin/scale?shards=2", nil))
+	bare.ServeHTTP(rec2, httptest.NewRequest("POST", "/admin/roll", nil))
+	if rec.Code != 404 || rec2.Code != 404 {
+		t.Errorf("hookless scale/roll = %d/%d, want 404/404", rec.Code, rec2.Code)
+	}
+}
+
+var errNoCapacity = errors.New("no capacity for that many shards")
 
 // TestAdminPprof: the pprof index mounts under /debug/pprof/.
 func TestAdminPprof(t *testing.T) {

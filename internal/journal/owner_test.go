@@ -2,6 +2,7 @@ package journal
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -105,6 +106,219 @@ func TestOwnerAdoptsUnstampedState(t *testing.T) {
 	// The adoption stamped it: a different owner is now rejected.
 	if _, err := OpenState(path, StateOptions{Resume: true, Owner: "shard-9"}); !errors.Is(err, ErrWrongOwner) {
 		t.Fatalf("resume after adoption: err = %v, want ErrWrongOwner", err)
+	}
+}
+
+// TestOwnerTransferChain: a planned transfer re-stamps the journal so
+// the successor resumes cleanly and the previous owner is now rejected —
+// ErrWrongOwner stays fatal for unplanned mismatches only.
+func TestOwnerTransferChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "owned.wal")
+	s, err := OpenState(path, StateOptions{Owner: "shard-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete("doc-1", []byte(`{"id":"doc-1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := Transfer(path, Options{}, "shard-4", "shard-1"); err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+	// A transfer under the wrong from-label is an unplanned mismatch.
+	if err := Transfer(path, Options{}, "shard-4", "shard-9"); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("transfer with stale from-owner: err = %v, want ErrWrongOwner", err)
+	}
+
+	if _, err := OpenState(path, StateOptions{Resume: true, Owner: "shard-4"}); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("previous owner after transfer: err = %v, want ErrWrongOwner", err)
+	}
+	r, err := OpenState(path, StateOptions{Resume: true, Owner: "shard-1"})
+	if err != nil {
+		t.Fatalf("successor resume after transfer: %v", err)
+	}
+	defer r.Close()
+	if line, ok := r.Completed("doc-1"); !ok || string(line) != `{"id":"doc-1"}` {
+		t.Fatalf("completion lost across transfer: %q, %v", line, ok)
+	}
+}
+
+// TestOwnerTransferSurvivesUncompactedStamp: the transfer record guards
+// even when the chain lives only in the journal tail (checkpoint still
+// carries the old owner) — the ownership check must run after replay,
+// not against the checkpoint alone.
+func TestOwnerTransferSurvivesUncompactedStamp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "owned.wal")
+	s, err := OpenState(path, StateOptions{Owner: "shard-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete("doc-1", []byte(`{"id":"doc-1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil { // checkpoint now stamped shard-2
+		t.Fatal(err)
+	}
+	// Append a transfer record without compacting: the new stamp exists
+	// only in the journal, behind a checkpoint claiming shard-2.
+	if err := s.append(Record{T: RecordOwner, ID: "shard-0", From: "shard-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenState(path, StateOptions{Resume: true, Owner: "shard-0"})
+	if err != nil {
+		t.Fatalf("resume under journal-tail transfer: %v", err)
+	}
+	defer r.Close()
+	if _, ok := r.Completed("doc-1"); !ok {
+		t.Fatal("completion lost resuming under journal-tail transfer")
+	}
+}
+
+// TestAdoptMergesAndRemoves: the successor merges a transferred journal
+// into its own state, the source files disappear, and re-adoption is an
+// idempotent no-op — the crash-safe half of the handoff.
+func TestAdoptMergesAndRemoves(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "shard-2.wal")
+	dst := filepath.Join(dir, "shard-0.wal")
+	s, err := OpenState(src, StateOptions{Owner: "shard-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"doc-a", "doc-b", "doc-shared"} {
+		if err := s.Complete(id, []byte(`{"id":"`+id+`"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transfer(src, Options{}, "shard-2", "shard-0"); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := OpenState(dst, StateOptions{Owner: "shard-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Complete("doc-shared", []byte(`{"id":"doc-shared"}`)); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := d.Adopt(src)
+	if err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	if merged != 2 {
+		t.Fatalf("adopt merged %d entries, want 2 (doc-shared already completed)", merged)
+	}
+	for _, id := range []string{"doc-a", "doc-b", "doc-shared"} {
+		if _, ok := d.Completed(id); !ok {
+			t.Fatalf("entry %s missing after adoption", id)
+		}
+	}
+	if _, err := os.Stat(src); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("source journal still present after adoption: %v", err)
+	}
+	if _, err := os.Stat(src + ".ckpt"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("source checkpoint still present after adoption: %v", err)
+	}
+	if again, err := d.Adopt(src); err != nil || again != 0 {
+		t.Fatalf("re-adopt of removed source: merged=%d err=%v, want 0,nil", again, err)
+	}
+}
+
+// TestAdoptRefusesForeignJournal: adopting a journal that was never
+// transferred is an unplanned mismatch — the source survives untouched.
+func TestAdoptRefusesForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "shard-2.wal")
+	s, err := OpenState(src, StateOptions{Owner: "shard-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete("doc-1", []byte(`{"id":"doc-1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := OpenState(filepath.Join(dir, "shard-0.wal"), StateOptions{Owner: "shard-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Adopt(src); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("adopt of untransferred journal: err = %v, want ErrWrongOwner", err)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("refused adoption must leave the source intact: %v", err)
+	}
+}
+
+// TestLoadReadOnly: Load reads a journal without truncating its torn
+// tail or creating files for a missing path.
+func TestLoadReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.wal")
+	s, err := OpenState(path, StateOptions{Owner: "shard-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete("doc-1", []byte(`{"id":"doc-1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: append garbage that replay must stop at.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("J1 torn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := Load(path, 0, "shard-3")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, ok := entries["doc-1"]; !ok {
+		t.Fatal("entry missing from Load")
+	}
+	if _, err := Load(path, 0, "shard-9"); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("foreign load: err = %v, want ErrWrongOwner", err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("Load mutated the journal: %d -> %d bytes", before.Size(), after.Size())
+	}
+
+	missing, err := Load(filepath.Join(dir, "absent.wal"), 0, "shard-0")
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("missing-path load: %v, %d entries; want empty", err, len(missing))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "absent.wal")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("Load created a file for a missing path")
 	}
 }
 

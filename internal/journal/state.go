@@ -30,6 +30,13 @@ type Record struct {
 	// exact output line (no trailing newline), Digest its CRC32 hex8.
 	Digest string `json:"digest,omitempty"`
 	Line   string `json:"line,omitempty"`
+	// From, on owner records, names the previous owner of an explicit
+	// ownership transfer (a planned handoff during live resharding);
+	// empty on the initial stamp. Replay follows the chain: the final
+	// stamp is the journal's owner, so a transferred journal resumes
+	// cleanly under its successor while every unplanned mismatch stays
+	// ErrWrongOwner.
+	From string `json:"from,omitempty"`
 }
 
 // Record types.
@@ -135,24 +142,57 @@ func OpenState(path string, so StateOptions) (*State, error) {
 
 // recover loads the checkpoint, replays the journal over it, and
 // truncates the journal's torn tail (if any) so the writer can append.
+// The ownership check runs after the full replay so a planned transfer
+// record late in the journal can legitimately re-stamp state whose
+// checkpoint still carries the previous owner; nothing on disk is
+// mutated before the check passes.
 func (s *State) recover() error {
-	ck, err := ReadCheckpoint(s.ckptPath)
+	completed, admits, stamped, seq, rst, err := loadEntries(s.path, s.ckptPath, s.opts.MaxRecord, s.m)
 	if err != nil {
 		return err
 	}
-	if s.owner != "" && ck.Owner != "" && ck.Owner != s.owner {
-		return fmt.Errorf("%w: checkpoint %s is owned by %q, opened as %q", ErrWrongOwner, s.ckptPath, ck.Owner, s.owner)
+	if s.owner != "" && stamped != "" && stamped != s.owner {
+		return fmt.Errorf("%w: state %s is owned by %q, opened as %q", ErrWrongOwner, s.path, stamped, s.owner)
 	}
-	s.seq = ck.Seq
-	s.completed = ck.Entries
-	admits := map[string]bool{}
-	st, err := ReplayFile(s.path, s.opts.MaxRecord, s.m, func(payload []byte) error {
+	s.seq = seq
+	s.completed = completed
+	for id := range admits {
+		if _, done := s.completed[id]; !done {
+			s.admitted++
+		}
+	}
+	s.replayed = len(s.completed)
+	if rst.TruncatedBytes > 0 {
+		// Drop the torn tail on disk, or frames appended by this run
+		// would sit unreachable behind it.
+		if terr := os.Truncate(s.path, rst.Bytes); terr != nil {
+			return fmt.Errorf("journal: truncate torn tail of %s: %w", s.path, terr)
+		}
+	}
+	return nil
+}
+
+// loadEntries is the shared read path of recover and Load: checkpoint
+// first, journal replayed over it (later records win), the ownership
+// chain followed to its final stamp. It reads only — torn tails are
+// tolerated, not truncated — so read-only consumers (Load, adoption)
+// can use it against a journal they do not own the write handle for.
+func loadEntries(path, ckptPath string, maxRecord int, m *obs.Registry) (completed map[string]Entry, admits map[string]bool, stamped string, seq int64, rst ReplayStats, err error) {
+	ck, err := ReadCheckpoint(ckptPath)
+	if err != nil {
+		return nil, nil, "", 0, ReplayStats{}, err
+	}
+	seq = ck.Seq
+	stamped = ck.Owner
+	completed = ck.Entries
+	admits = map[string]bool{}
+	rst, err = ReplayFile(path, maxRecord, m, func(payload []byte) error {
 		var rec Record
 		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
 			// A verified frame with an unparseable payload was written by
 			// something that is not this schema; skip rather than abort —
 			// the frame is durable but meaningless to us.
-			s.m.Counter("journal.replay.unknown").Inc()
+			m.Counter("journal.replay.unknown").Inc()
 			return nil
 		}
 		switch rec.T {
@@ -160,38 +200,47 @@ func (s *State) recover() error {
 			admits[rec.ID] = true
 		case RecordComplete:
 			if Digest([]byte(rec.Line)) == rec.Digest {
-				s.completed[rec.ID] = Entry{Digest: rec.Digest, Line: rec.Line}
+				completed[rec.ID] = Entry{Digest: rec.Digest, Line: rec.Line}
 			} else {
-				s.m.Counter("journal.replay.bad_digest").Inc()
+				m.Counter("journal.replay.bad_digest").Inc()
 			}
 		case RecordDegrade:
 			// Informational; nothing to restore.
 		case RecordOwner:
-			if s.owner != "" && rec.ID != "" && rec.ID != s.owner {
-				return fmt.Errorf("%w: journal %s is owned by %q, opened as %q", ErrWrongOwner, s.path, rec.ID, s.owner)
+			if rec.ID != "" {
+				stamped = rec.ID // the chain's latest stamp wins
 			}
 		default:
-			s.m.Counter("journal.replay.unknown").Inc()
+			m.Counter("journal.replay.unknown").Inc()
 		}
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, nil, "", 0, ReplayStats{}, err
 	}
-	for id := range admits {
-		if _, done := s.completed[id]; !done {
-			s.admitted++
-		}
+	return completed, admits, stamped, seq, rst, nil
+}
+
+// Load reads the durable state at path without opening a writer or
+// mutating anything on disk (torn tails are tolerated, not truncated; a
+// missing file is an empty state). When owner is non-empty the ownership
+// chain must end at owner — the same rule OpenState enforces — and an
+// unstamped journal is legal to read. Adoption after a planned handoff
+// uses Load: the successor reads the retired journal it now owns,
+// merges the entries into its own state, and only then removes the
+// source.
+func Load(path string, maxRecord int, owner string) (map[string]Entry, error) {
+	if maxRecord <= 0 {
+		maxRecord = (Options{}).withDefaults().MaxRecord
 	}
-	s.replayed = len(s.completed)
-	if st.TruncatedBytes > 0 {
-		// Drop the torn tail on disk, or frames appended by this run
-		// would sit unreachable behind it.
-		if terr := os.Truncate(s.path, st.Bytes); terr != nil {
-			return fmt.Errorf("journal: truncate torn tail of %s: %w", s.path, terr)
-		}
+	completed, _, stamped, _, _, err := loadEntries(path, path+".ckpt", maxRecord, nil)
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	if owner != "" && stamped != "" && stamped != owner {
+		return nil, fmt.Errorf("%w: state %s is owned by %q, loaded as %q", ErrWrongOwner, path, stamped, owner)
+	}
+	return completed, nil
 }
 
 func (s *State) append(rec Record) error {
@@ -313,6 +362,84 @@ func (s *State) compactLocked() error {
 	s.m.Counter("journal.compactions").Inc()
 	s.m.Gauge("journal.checkpoint.entries").Set(float64(len(entries)))
 	return nil
+}
+
+// TransferTo hands the journal to a new owner: an explicit
+// ownership-transfer record (From = the current owner) followed by a
+// checkpoint compaction, so by return the new stamp is durable in the
+// checkpoint and the journal chain alike. Planned transfers are the one
+// legal way ownership changes — an opener whose label matches the
+// chain's final stamp resumes cleanly; every other mismatch stays
+// ErrWrongOwner.
+func (s *State) TransferTo(to string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if to == "" {
+		return errors.New("journal: transfer to empty owner")
+	}
+	if to == s.owner {
+		return nil
+	}
+	if err := s.append(Record{T: RecordOwner, ID: to, From: s.owner}); err != nil {
+		return err
+	}
+	s.owner = to
+	s.m.Counter("journal.transfers").Inc()
+	return s.compactLocked()
+}
+
+// Transfer re-stamps the quiesced journal at path from owner from to
+// owner to: the front-end half of a planned shard handoff, run after the
+// departing worker has exited so no writer races the transfer. Opening
+// as from validates the current claim (an unstamped journal is adopted);
+// TransferTo leaves to durable in the checkpoint before Transfer
+// returns. The successor then resumes or Loads the journal under its own
+// label.
+func Transfer(path string, opts Options, from, to string) error {
+	s, err := OpenState(path, StateOptions{Options: opts, Resume: true, Owner: from})
+	if err != nil {
+		return err
+	}
+	if err := s.TransferTo(to); err != nil {
+		s.Close() //nolint:errcheck
+		return err
+	}
+	return s.Close()
+}
+
+// Adopt merges a retired journal's completions into this state: the
+// successor's half of a planned shard handoff. The source must already
+// have been transferred to this state's owner (see Transfer); its
+// entries are journaled here idempotently — IDs this state already
+// completed are skipped — then compacted for durability, and only after
+// that are the source files removed. Every crash window is safe: a
+// re-Adopt re-merges idempotently, and a source already removed adopts
+// as empty.
+func (s *State) Adopt(path string) (merged int, err error) {
+	s.mu.Lock()
+	owner := s.owner
+	maxRecord := s.opts.MaxRecord
+	s.mu.Unlock()
+	entries, err := Load(path, maxRecord, owner)
+	if err != nil {
+		return 0, err
+	}
+	for id, e := range entries {
+		if _, ok := s.Completed(id); ok {
+			continue
+		}
+		if err := s.Complete(id, []byte(e.Line)); err != nil {
+			return merged, err
+		}
+		merged++
+	}
+	if err := s.Compact(); err != nil {
+		return merged, err
+	}
+	os.Remove(path)           //nolint:errcheck // best-effort: a leftover source re-adopts as a no-op
+	os.Remove(path + ".ckpt") //nolint:errcheck
+	s.m.Counter("journal.adoptions").Inc()
+	return merged, nil
 }
 
 // Sync forces pending journal frames to stable storage.

@@ -1,0 +1,285 @@
+// reconfig.go is the supervisor's live-reconfiguration surface: Scale
+// resizes the fleet in place and Roll restarts children one at a time,
+// both without losing, duplicating or reordering a single in-flight
+// document.
+//
+// Scale-out starts the new shards first and proves each one live
+// (ping/pong or a response) before atomically swapping the routing view
+// to the resized ring — no key ever routes to a shard that has not
+// answered. The consistent-hash ring's minimal-movement property means
+// keys move only onto the new shards; documents already completed under
+// the old topology stay cached in their original shards' journals, and
+// any key that migrated re-extracts deterministically on its new owner
+// (the front end's dedup-and-reorder merge makes the output bytes
+// identical either way).
+//
+// Scale-in flips routing away from the departing shards first, then
+// drains each one: queued work reroutes to survivors, the in-flight
+// tail finishes on the exiting child, and the retired shard's journal
+// is handed to a live successor — ownership re-stamped via the
+// journal's transfer-record chain (Config.OnHandoff), then merged into
+// the successor's journal by an adoption request that rides the per-key
+// FIFO exactly-once machinery (a successor killed mid-adoption sees the
+// request again after restart and re-merges idempotently).
+//
+// Roll drains and restarts each shard's child sequentially, waiting for
+// the replacement to prove liveness before touching the next shard, so
+// a rolling restart never takes two shards down at once. SIGHUP on the
+// vs2d front end triggers a Roll.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"vs2/internal/obs"
+)
+
+// Scale resizes the fleet to n shards. Growing provisions and starts
+// shards cur..n-1, waits for every one to prove liveness, then flips
+// routing to the resized ring. Shrinking flips routing first, then
+// retires shards n..cur-1 one at a time: each drains its in-flight work
+// through its exiting child and hands its journal to a live successor
+// (Config.OnHandoff + worker adoption). Scale transitions serialize
+// with each other and with Roll; ctx bounds the whole transition.
+func (s *Supervisor) Scale(ctx context.Context, n int) error {
+	if n < 1 {
+		return fmt.Errorf("shard: Scale: n must be >= 1, got %d", n)
+	}
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	f := s.view.Load()
+	cur := len(f.shards)
+	if n == cur {
+		return nil
+	}
+	epoch := s.reconfigEpoch.Add(1)
+	kind := "scale_out"
+	if n < cur {
+		kind = "scale_in"
+	}
+	s.m.Counter(obs.Name("shard.reconfig.transitions",
+		obs.L("kind", kind), obs.L("epoch", strconv.FormatInt(epoch, 10)))).Inc()
+	s.m.Gauge("shard.reconfig.active").Set(1)
+	defer s.m.Gauge("shard.reconfig.active").Set(0)
+	defer s.clearTransition()
+	fmt.Fprintf(s.cfg.Stderr, "vs2d: reconfig epoch %d: %s %d -> %d\n", epoch, kind, cur, n)
+	var err error
+	if n > cur {
+		err = s.scaleOut(ctx, f, n, epoch)
+	} else {
+		err = s.scaleIn(ctx, f, n, epoch)
+	}
+	if err != nil {
+		return fmt.Errorf("shard: %s to %d (epoch %d): %w", kind, n, epoch, err)
+	}
+	nf := s.view.Load()
+	s.m.Gauge("shard.reconfig.epoch").Set(float64(epoch))
+	s.m.Gauge("shard.ring.version").Set(float64(nf.ring.Version()))
+	fmt.Fprintf(s.cfg.Stderr, "vs2d: reconfig epoch %d: %s complete, fleet at %d shards (ring v%d)\n",
+		epoch, kind, len(nf.shards), nf.ring.Version())
+	return nil
+}
+
+// scaleOut grows the fleet from len(f.shards) to n. The routing view
+// flips only after every new shard's child has answered, so no document
+// can route into a shard that might never come up.
+func (s *Supervisor) scaleOut(ctx context.Context, f *fleet, n int, epoch int64) error {
+	cur := len(f.shards)
+	var fresh []*shardState
+	ok := false
+	defer func() {
+		if ok {
+			return
+		}
+		// Abort: retire whatever we started so a retry (or Close) does
+		// not inherit half-provisioned runners taking no traffic.
+		for _, st := range fresh {
+			st.requestRetire()
+		}
+	}()
+	for i := cur; i < n; i++ {
+		s.setTransition(Reconfig{Kind: "scale_out", From: cur, To: n, Epoch: epoch, Phase: "starting", Shard: i})
+		if cb := s.cfg.OnProvision; cb != nil {
+			if err := cb(i); err != nil {
+				return fmt.Errorf("provision shard %d: %w", i, err)
+			}
+		}
+		st := s.newShardState(i)
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			st.lifeStop()
+			close(st.gone) // never ran; satisfy any future waiter
+			return ErrClosed
+		}
+		s.all = append(s.all, st)
+		s.mu.Unlock()
+		fresh = append(fresh, st)
+		go st.run()
+	}
+	for _, st := range fresh {
+		s.setTransition(Reconfig{Kind: "scale_out", From: cur, To: n, Epoch: epoch, Phase: "proving", Shard: st.id})
+		if err := st.waitProven(ctx, 0, s.done); err != nil {
+			return fmt.Errorf("prove shard %d: %w", st.id, err)
+		}
+	}
+	shards := append(append([]*shardState(nil), f.shards...), fresh...)
+	s.view.Store(&fleet{ring: f.ring.Resize(n), shards: shards})
+	ok = true
+	return nil
+}
+
+// scaleIn shrinks the fleet from len(f.shards) to n. Routing flips
+// first — new documents stop landing on the departing shards — then
+// each retiree drains and hands its journal to a live successor.
+func (s *Supervisor) scaleIn(ctx context.Context, f *fleet, n int, epoch int64) error {
+	cur := len(f.shards)
+	survivors := append([]*shardState(nil), f.shards[:n]...)
+	live := 0
+	for _, st := range survivors {
+		if !st.permanentlyFailed() {
+			live++
+		}
+	}
+	if live == 0 {
+		return fmt.Errorf("no live shard would survive shrinking to %d", n)
+	}
+	nf := &fleet{ring: f.ring.Resize(n), shards: survivors}
+	s.view.Store(nf)
+	for _, st := range f.shards[n:cur] {
+		s.setTransition(Reconfig{Kind: "scale_in", From: cur, To: n, Epoch: epoch, Phase: "draining", Shard: st.id})
+		st.requestRetire()
+		select {
+		case <-st.gone:
+		case <-ctx.Done():
+			return fmt.Errorf("drain shard %d: %w", st.id, ctx.Err())
+		case <-s.done:
+			return ErrClosed
+		}
+		if s.cfg.OnHandoff == nil {
+			continue
+		}
+		succ := nf.successor(st.id)
+		if succ == nil {
+			return fmt.Errorf("handoff from shard %d: no live successor", st.id)
+		}
+		s.setTransition(Reconfig{Kind: "scale_in", From: cur, To: n, Epoch: epoch, Phase: "handoff", Shard: st.id})
+		path, err := s.cfg.OnHandoff(st.id, succ.id)
+		if err != nil {
+			return fmt.Errorf("handoff from shard %d to %d: %w", st.id, succ.id, err)
+		}
+		if path == "" {
+			continue
+		}
+		s.setTransition(Reconfig{Kind: "scale_in", From: cur, To: n, Epoch: epoch, Phase: "adopting", Shard: succ.id})
+		if err := s.adopt(ctx, succ, path); err != nil {
+			return fmt.Errorf("shard %d adopting %s: %w", succ.id, path, err)
+		}
+		s.m.Counter(obs.Name("shard.reconfig.handoffs",
+			obs.L("epoch", strconv.FormatInt(epoch, 10)))).Inc()
+	}
+	return nil
+}
+
+// successor picks the live shard that adopts a retired shard's journal:
+// the survivor at the retiree's index modulo the new fleet size, walking
+// forward past shards that are themselves failed or departing.
+func (f *fleet) successor(retired int) *shardState {
+	n := len(f.shards)
+	for off := 0; off < n; off++ {
+		st := f.shards[(retired+off)%n]
+		if !st.permanentlyFailed() && !st.retireRequested() {
+			return st
+		}
+	}
+	return nil
+}
+
+// adopt sends the successor an adoption request for the retired journal
+// and waits for its ack. The request is pinned to the successor — an
+// adoption is meaningless anywhere else — and rides the per-key FIFO,
+// so a successor crash mid-adoption requeues it for the restarted child.
+func (s *Supervisor) adopt(ctx context.Context, succ *shardState, path string) error {
+	c := &call{
+		key:    "\x00adopt:" + path,
+		adopt:  path,
+		pinned: true,
+		done:   make(chan callResult, 1),
+	}
+	succ.enqueue(c)
+	select {
+	case r := <-c.done:
+		return r.err
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Roll restarts every shard's child one at a time: drain the current
+// child gracefully (it journals its in-flight tail and exits), start a
+// fresh one, wait for it to prove liveness, then move to the next
+// shard. Shards that are permanently failed or retiring are skipped; a
+// shard that is down mid-crash-restart counts its in-progress restart
+// as the roll. Roll serializes with Scale; ctx bounds the whole sweep.
+func (s *Supervisor) Roll(ctx context.Context) error {
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	f := s.view.Load()
+	epoch := s.reconfigEpoch.Add(1)
+	s.m.Counter(obs.Name("shard.reconfig.transitions",
+		obs.L("kind", "roll"), obs.L("epoch", strconv.FormatInt(epoch, 10)))).Inc()
+	s.m.Gauge("shard.reconfig.active").Set(1)
+	defer s.m.Gauge("shard.reconfig.active").Set(0)
+	defer s.clearTransition()
+	fmt.Fprintf(s.cfg.Stderr, "vs2d: reconfig epoch %d: rolling restart of %d shards\n", epoch, len(f.shards))
+	for _, st := range f.shards {
+		st.mu.Lock()
+		skip := st.failed || st.retired
+		st.mu.Unlock()
+		if skip || st.retireRequested() {
+			continue
+		}
+		s.setTransition(Reconfig{Kind: "roll", From: len(f.shards), To: len(f.shards), Epoch: epoch, Phase: "rolling", Shard: st.id})
+		// First make sure the shard has a proven child at all (a fleet
+		// still booting, or mid-crash-restart, settles first), then roll
+		// that incarnation and wait for a NEWER one to answer — not a
+		// late pong from the child draining out.
+		if err := st.waitProven(ctx, 0, s.done); err != nil {
+			return fmt.Errorf("shard: roll (epoch %d): shard %d: %w", epoch, st.id, err)
+		}
+		st.mu.Lock()
+		e0 := st.epoch
+		st.mu.Unlock()
+		st.requestRoll()
+		if err := st.waitProven(ctx, e0, s.done); err != nil {
+			return fmt.Errorf("shard: roll (epoch %d): shard %d: %w", epoch, st.id, err)
+		}
+	}
+	s.m.Gauge("shard.reconfig.epoch").Set(float64(epoch))
+	fmt.Fprintf(s.cfg.Stderr, "vs2d: reconfig epoch %d: roll complete\n", epoch)
+	return nil
+}
+
+func (s *Supervisor) setTransition(r Reconfig) { s.transition.Store(&r) }
+func (s *Supervisor) clearTransition()         { s.transition.Store(nil) }
+
+// Transition reports the reconfiguration currently in progress, nil
+// when the topology is stable. The returned copy is the caller's.
+func (s *Supervisor) Transition() *Reconfig {
+	t := s.transition.Load()
+	if t == nil {
+		return nil
+	}
+	c := *t
+	return &c
+}

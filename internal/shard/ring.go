@@ -17,12 +17,19 @@ import (
 // Ring is a consistent-hash ring over a fixed set of shards. Each shard
 // owns Replicas virtual points; a key hashes to a point on the circle
 // and belongs to the first virtual point clockwise from it. The ring is
-// immutable after construction — membership changes are expressed by the
-// caller skipping dead shards along Sequence, not by rehashing, so a
-// shard coming back keeps exactly the keyspace it had before it died.
+// immutable after construction — membership changes are expressed either
+// by the caller skipping dead shards along Sequence (a shard coming back
+// keeps exactly the keyspace it had before it died), or by Resize, which
+// returns a new ring at the next version. Virtual-point hashes depend
+// only on (shard, vnode), so resizing N→M leaves every surviving shard's
+// points exactly where they were: only keys on arcs captured by added
+// points (or orphaned by removed ones) change owner — the
+// minimal-movement property live resharding depends on.
 type Ring struct {
-	shards int
-	points []ringPoint // sorted by hash
+	shards   int
+	replicas int
+	version  int64
+	points   []ringPoint // sorted by hash
 }
 
 type ringPoint struct {
@@ -31,8 +38,8 @@ type ringPoint struct {
 }
 
 // NewRing builds a ring over shards shards with replicas virtual points
-// each. replicas < 1 selects 64, enough that the expected keyspace
-// imbalance between shards stays under a few percent.
+// each, at version 1. replicas < 1 selects 64, enough that the expected
+// keyspace imbalance between shards stays under a few percent.
 func NewRing(shards, replicas int) *Ring {
 	if shards < 1 {
 		shards = 1
@@ -40,7 +47,8 @@ func NewRing(shards, replicas int) *Ring {
 	if replicas < 1 {
 		replicas = 64
 	}
-	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*replicas)}
+	r := &Ring{shards: shards, replicas: replicas, version: 1,
+		points: make([]ringPoint, 0, shards*replicas)}
 	for s := 0; s < shards; s++ {
 		for v := 0; v < replicas; v++ {
 			r.points = append(r.points, ringPoint{
@@ -53,8 +61,23 @@ func NewRing(shards, replicas int) *Ring {
 	return r
 }
 
+// Resize returns a new ring over n shards (same replica count) at
+// version Version()+1; the receiver is untouched. Growing moves only the
+// keys captured by the new shards' virtual points; shrinking moves only
+// the keys the removed shards owned.
+func (r *Ring) Resize(n int) *Ring {
+	nr := NewRing(n, r.replicas)
+	nr.version = r.version + 1
+	return nr
+}
+
 // Shards returns the number of shards on the ring.
 func (r *Ring) Shards() int { return r.shards }
+
+// Version returns the ring's configuration version: 1 for a fresh ring,
+// incremented by every Resize. Reconfiguration metrics and health
+// reports stamp transitions with it.
+func (r *Ring) Version() int64 { return r.version }
 
 // Owner returns the shard that owns key: the shard of the first virtual
 // point clockwise from the key's hash.

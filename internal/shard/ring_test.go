@@ -83,6 +83,104 @@ func TestRingSingleShard(t *testing.T) {
 	}
 }
 
+// TestRingResizeVersioning: NewRing is version 1 and every Resize (grow,
+// shrink, or same-size) mints the next version without touching the
+// receiver.
+func TestRingResizeVersioning(t *testing.T) {
+	a := NewRing(3, 0)
+	if a.Version() != 1 {
+		t.Fatalf("NewRing version = %d, want 1", a.Version())
+	}
+	b := a.Resize(5)
+	c := b.Resize(2)
+	if a.Version() != 1 || b.Version() != 2 || c.Version() != 3 {
+		t.Fatalf("versions = %d,%d,%d, want 1,2,3", a.Version(), b.Version(), c.Version())
+	}
+	if a.Shards() != 3 || b.Shards() != 5 || c.Shards() != 2 {
+		t.Fatalf("shards = %d,%d,%d, want 3,5,2", a.Shards(), b.Shards(), c.Shards())
+	}
+}
+
+// TestRingResizeMinimalMovementGrow is the minimal-movement property
+// test: resizing N→N+1 may move a key only TO the added shard (surviving
+// shards' virtual points are untouched, so no key can change hands
+// between them), and the moved fraction must stay near the ideal
+// 1/(N+1) — an implementation that silently regressed to a full
+// reshuffle would move ~N/(N+1) of the keyspace and relocate keys
+// between surviving shards, failing both assertions.
+func TestRingResizeMinimalMovementGrow(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		a := NewRing(n, 0)
+		b := a.Resize(n + 1)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("d2-%05d", i)
+			if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+				moved++
+				if bo != n {
+					t.Fatalf("n=%d: key %s moved %d→%d; growth may only move keys to the new shard %d",
+						n, k, ao, bo, n)
+				}
+			}
+		}
+		ideal := keys / (n + 1)
+		// Vnode placement is hash-driven, so the captured arc fluctuates
+		// around ideal; 2x headroom holds comfortably at 64 vnodes while a
+		// full reshuffle (≈ keys*n/(n+1)) overshoots it for every n >= 2.
+		if hi := 2 * ideal; moved > hi {
+			t.Errorf("n=%d: %d of %d keys moved growing to %d shards (ideal %d, limit %d)",
+				n, moved, keys, n+1, ideal, hi)
+		}
+		if lo := ideal / 3; moved < lo {
+			t.Errorf("n=%d: only %d keys moved growing to %d shards (ideal %d) — new shard is underweight",
+				n, moved, n+1, ideal)
+		}
+	}
+}
+
+// TestRingResizeMinimalMovementShrink: the mirror property — shrinking
+// N→N-1 moves exactly the keys the removed shard owned, and nothing
+// between survivors.
+func TestRingResizeMinimalMovementShrink(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 3, 5, 8} {
+		a := NewRing(n, 0)
+		b := a.Resize(n - 1)
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("d2-%05d", i)
+			ao, bo := a.Owner(k), b.Owner(k)
+			if ao == n-1 {
+				if bo == ao {
+					t.Fatalf("n=%d: key %s still owned by removed shard %d", n, k, ao)
+				}
+				continue
+			}
+			if ao != bo {
+				t.Fatalf("n=%d: key %s moved %d→%d; shrink may only move the removed shard's keys",
+					n, k, ao, bo)
+			}
+		}
+	}
+}
+
+// TestRingResizeUniformity: after growing, ownership remains balanced —
+// redistribution cannot starve or overload any shard.
+func TestRingResizeUniformity(t *testing.T) {
+	const keys = 20000
+	r := NewRing(3, 0).Resize(5)
+	counts := make([]int, 5)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("d2-%05d", i))]++
+	}
+	fair := keys / 5
+	for s, c := range counts {
+		if c < fair/3 || c > fair*3 {
+			t.Errorf("post-resize shard %d owns %d of %d keys (fair %d); dist=%v", s, c, keys, fair, counts)
+		}
+	}
+}
+
 // TestRingDefaults: invalid construction parameters clamp rather than
 // panic.
 func TestRingDefaults(t *testing.T) {

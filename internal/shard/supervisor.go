@@ -53,6 +53,21 @@ type Config struct {
 	// the shard index and the child's PID (e.g. to write pidfiles for
 	// external tooling and chaos harnesses).
 	OnStart func(shard, pid int)
+	// OnProvision, when non-nil, runs before the first child of a shard
+	// added by Scale starts — the front end's chance to clear stale
+	// per-shard state (a journal left behind by a previous incarnation
+	// of the same index, whose completions were already handed off).
+	// It is not called for the initial fleet, so resume semantics of a
+	// fresh supervisor are untouched.
+	OnProvision func(shard int) error
+	// OnHandoff, when non-nil, runs during scale-in after the retired
+	// shard's child has fully exited and before routing work resumes:
+	// the front end transfers the retired shard's durable state (journal
+	// ownership) to the successor and returns the path the successor
+	// should adopt — "" to skip adoption (no durable state). An error
+	// aborts the Scale call; the fleet keeps serving at the new size,
+	// but the retired journal stays unadopted for a retry.
+	OnHandoff func(retired, successor int) (adoptPath string, err error)
 	// ProbeInterval is the liveness-probe cadence; 0 selects 1s,
 	// negative disables probing (process exit remains detected).
 	ProbeInterval time.Duration
@@ -78,8 +93,9 @@ type Config struct {
 	// BreakerCooldown is how long an open shard breaker waits before a
 	// recovered child may win traffic back; 0 selects 2s.
 	BreakerCooldown time.Duration
-	// DrainGrace is how long Close waits for a child to drain after its
-	// stdin closes before killing it; 0 selects 10s.
+	// DrainGrace is how long a drain (Close, retirement, rolling
+	// restart) waits for a child after its stdin closes before killing
+	// it; 0 selects 10s.
 	DrainGrace time.Duration
 	// PoisonAfter is the number of worker crashes one in-flight document
 	// may ride through before it is quarantined: its call fails with
@@ -172,22 +188,43 @@ func (lw *lockedWriter) Write(p []byte) (int, error) {
 	return lw.w.Write(p)
 }
 
-// Supervisor owns a fleet of shard child processes and routes keyed work
-// across them: consistent-hash placement, liveness supervision with
-// probes and exponential-backoff restarts, and breaker-gated failover
-// for shards that crash-loop. Create one with New, submit work with Do
-// from any number of goroutines, and Close to drain. All methods are
-// safe for concurrent use.
-type Supervisor struct {
-	cfg    Config
+// fleet is one immutable routing view: the ring and exactly the shard
+// states it routes over (len(shards) == ring.Shards()). Readers load the
+// pointer once and see a consistent pair; Scale swaps the whole view
+// atomically, which is what lets routing flip only after a successor has
+// proven liveness.
+type fleet struct {
 	ring   *Ring
 	shards []*shardState
-	m      *obs.Registry
+}
+
+// Supervisor owns a fleet of shard child processes and routes keyed work
+// across them: consistent-hash placement, liveness supervision with
+// probes and exponential-backoff restarts, breaker-gated failover for
+// shards that crash-loop, and live reconfiguration — Scale resizes the
+// fleet with zero-loss handoff, Roll restarts children one at a time.
+// Create one with New, submit work with Do from any number of
+// goroutines, and Close to drain. All methods are safe for concurrent
+// use.
+type Supervisor struct {
+	cfg  Config
+	view atomic.Pointer[fleet]
+	m    *obs.Registry
+
+	// mu guards all (every shard state ever created, including retired
+	// generations — Close reaps them all) and the closed transition that
+	// fences new states.
+	mu  sync.Mutex
+	all []*shardState
+
+	// reconfigMu serializes Scale and Roll: one transition at a time.
+	reconfigMu    sync.Mutex
+	reconfigEpoch atomic.Int64
+	transition    atomic.Pointer[Reconfig]
 
 	closed    atomic.Bool
 	done      chan struct{}
 	closeOnce sync.Once
-	wg        sync.WaitGroup
 }
 
 // New builds a supervisor and starts one runner per shard; children
@@ -202,33 +239,49 @@ func New(cfg Config) (*Supervisor, error) {
 	cfg = cfg.withDefaults()
 	s := &Supervisor{
 		cfg:  cfg,
-		ring: NewRing(cfg.Shards, cfg.Replicas),
 		m:    cfg.Metrics,
 		done: make(chan struct{}),
 	}
+	f := &fleet{ring: NewRing(cfg.Shards, cfg.Replicas)}
 	for i := 0; i < cfg.Shards; i++ {
-		st := &shardState{
-			sup:     s,
-			id:      i,
-			sent:    map[string][]*call{},
-			kick:    make(chan struct{}, 1),
-			backoff: serve.NewBackoff(cfg.RestartBackoff, cfg.RestartBackoffMax, cfg.Seed+int64(i)),
-		}
-		st.breaker = serve.NewBreaker(serve.BreakerConfig{
-			Threshold: breakerThreshold(cfg.BreakerThreshold),
-			Cooldown:  cfg.BreakerCooldown,
-			OnTransition: func(_, to serve.State) {
-				s.m.Counter(obs.Name("shard.breaker.transitions",
-					obs.L("shard", strconv.Itoa(i)), obs.L("to", to.String()))).Inc()
-			},
-		})
-		s.shards = append(s.shards, st)
+		f.shards = append(f.shards, s.newShardState(i))
 	}
-	for _, st := range s.shards {
-		s.wg.Add(1)
+	s.view.Store(f)
+	s.all = append(s.all, f.shards...)
+	s.m.Gauge("shard.ring.version").Set(float64(f.ring.Version()))
+	for _, st := range f.shards {
 		go st.run()
 	}
 	return s, nil
+}
+
+// newShardState builds the supervision state for one shard index. Scale
+// reuses it for added shards — including a re-added index whose previous
+// generation was retired; the old state stays in s.all (terminal) and
+// the new one takes over the index.
+func (s *Supervisor) newShardState(i int) *shardState {
+	lifeCtx, lifeStop := context.WithCancel(context.Background())
+	st := &shardState{
+		sup:      s,
+		id:       i,
+		sent:     map[string][]*call{},
+		kick:     make(chan struct{}, 1),
+		retireCh: make(chan struct{}),
+		rollCh:   make(chan struct{}, 1),
+		gone:     make(chan struct{}),
+		lifeCtx:  lifeCtx,
+		lifeStop: lifeStop,
+		backoff:  serve.NewBackoff(s.cfg.RestartBackoff, s.cfg.RestartBackoffMax, s.cfg.Seed+int64(i)),
+	}
+	st.breaker = serve.NewBreaker(serve.BreakerConfig{
+		Threshold: breakerThreshold(s.cfg.BreakerThreshold),
+		Cooldown:  s.cfg.BreakerCooldown,
+		OnTransition: func(_, to serve.State) {
+			s.m.Counter(obs.Name("shard.breaker.transitions",
+				obs.L("shard", strconv.Itoa(i)), obs.L("to", to.String()))).Inc()
+		},
+	})
+	return st
 }
 
 // breakerThreshold maps the config convention (negative disables) onto a
@@ -249,9 +302,11 @@ type callResult struct {
 type call struct {
 	key     string
 	doc     json.RawMessage
-	span    string          // front-end parent span ID, "" when untraced
-	level   int             // front-end fidelity level, 0 = full
-	crashes int             // worker crashes ridden through while in flight
+	span    string // front-end parent span ID, "" when untraced
+	level   int    // front-end fidelity level, 0 = full
+	adopt   string // adoption request: path of a retired journal
+	pinned  bool   // never reroute: the request only makes sense on its shard
+	crashes int    // worker crashes ridden through while in flight
 	done    chan callResult // buffered(1)
 }
 
@@ -287,7 +342,7 @@ func (s *Supervisor) DoLevel(ctx context.Context, key string, doc json.RawMessag
 		return nil, ErrNoShards
 	}
 	c := &call{key: key, doc: doc, span: span, level: level, done: make(chan callResult, 1)}
-	s.shards[target].enqueue(c)
+	target.enqueue(c)
 	select {
 	case r := <-c.done:
 		return r.line, r.err
@@ -298,44 +353,63 @@ func (s *Supervisor) DoLevel(ctx context.Context, key string, doc json.RawMessag
 	}
 }
 
+// Shards returns the current fleet size (the routing view's shard
+// count); it changes only through Scale.
+func (s *Supervisor) Shards() int { return len(s.view.Load().shards) }
+
+// RingVersion returns the current routing ring's version: 1 at boot,
+// +1 per Scale.
+func (s *Supervisor) RingVersion() int64 { return s.view.Load().ring.Version() }
+
 // route picks the shard for a key: the ring owner when it is routeable,
 // else the first routeable shard along the failover sequence (counted as
 // a failover), else the owner anyway when the fleet is merely degraded
 // (its queue drains on recovery). Only a fleet with every shard
-// permanently failed returns !ok.
-func (s *Supervisor) route(key string) (int, bool) {
-	seq := s.ring.Sequence(key)
+// permanently failed returns !ok. The whole decision reads one routing
+// view, so a concurrent Scale can never route into a half-flipped ring.
+func (s *Supervisor) route(key string) (*shardState, bool) {
+	f := s.view.Load()
+	seq := f.ring.Sequence(key)
 	for dist, id := range seq {
-		if s.shards[id].routeable() {
+		if f.shards[id].routeable() {
 			if dist > 0 {
 				s.m.Counter("shard.failovers").Inc()
 				s.m.Histogram("shard.reroute.distance", RerouteBuckets).Observe(float64(dist))
 			}
-			return id, true
+			return f.shards[id], true
 		}
 	}
 	for _, id := range seq {
-		if !s.shards[id].permanentlyFailed() {
+		if !f.shards[id].permanentlyFailed() {
 			s.m.Counter("shard.route.blind").Inc()
-			return id, true
+			return f.shards[id], true
 		}
 	}
-	return 0, false
+	return nil, false
 }
 
 // Close stops the fleet: children's stdins close so they drain in-flight
 // work and exit; stragglers are killed after DrainGrace. Close returns
-// nil once every runner has finished, or ctx's error if that takes too
-// long (runners keep winding down in the background). Pending Do calls
-// fail with ErrClosed.
+// nil once every runner — including retired generations and any child
+// that was mid-restart when Close fired — has finished, or ctx's error
+// if that takes too long (runners keep winding down in the background).
+// Pending Do calls fail with ErrClosed.
 func (s *Supervisor) Close(ctx context.Context) error {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
 		close(s.done)
 	})
+	// Snapshot after the closed fence: a concurrent Scale either
+	// registered its new shards before this lock (they are in the
+	// snapshot) or observes closed and never starts them.
+	s.mu.Lock()
+	all := append([]*shardState(nil), s.all...)
+	s.mu.Unlock()
 	finished := make(chan struct{})
 	go func() {
-		s.wg.Wait()
+		for _, st := range all {
+			<-st.gone
+		}
 		close(finished)
 	}()
 	select {
@@ -376,6 +450,26 @@ type ShardHealth struct {
 	Failed bool `json:"failed"`
 }
 
+// Reconfig describes an in-progress fleet transition, surfaced through
+// Health and the /slo endpoint so operators can watch a handoff live.
+type Reconfig struct {
+	// Kind is "scale_out", "scale_in" or "roll".
+	Kind string `json:"kind"`
+	// From and To are the fleet sizes on either side of the transition
+	// (equal for rolls).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Epoch is the reconfiguration epoch: a counter incremented at the
+	// start of every transition, stamped on the shard.reconfig.* metric
+	// series the transition emits.
+	Epoch int64 `json:"epoch"`
+	// Phase is the transition's current step: starting | proving |
+	// draining | handoff | adopting | rolling.
+	Phase string `json:"phase"`
+	// Shard is the shard currently in transition.
+	Shard int `json:"shard"`
+}
+
 // FleetHealth is the whole fleet's health summary. Degraded means the
 // fleet still serves but not at full strength (a shard down, breaker
 // open, or permanently failed); Failed means no shard can take work at
@@ -387,14 +481,26 @@ type FleetHealth struct {
 	Degraded bool          `json:"degraded"`
 	Failed   bool          `json:"failed"`
 	Closed   bool          `json:"closed"`
+	// RingVersion is the routing ring's version (1 at boot, +1 per
+	// Scale); Reconfig reports an in-progress transition, nil when the
+	// topology is stable.
+	RingVersion int64     `json:"ring_version"`
+	Reconfig    *Reconfig `json:"reconfig,omitempty"`
 }
 
-// Health snapshots the fleet's supervision state. Safe for concurrent
-// use; the snapshot is internally consistent per shard (each shard's
-// fields are read under its own lock).
+// Health snapshots the fleet's supervision state — the current routing
+// view only; retired shard generations drop out of the report the
+// moment routing flips away from them. Safe for concurrent use; the
+// snapshot is internally consistent per shard (each shard's fields are
+// read under its own lock).
 func (s *Supervisor) Health() FleetHealth {
-	fh := FleetHealth{Closed: s.closed.Load()}
-	for _, st := range s.shards {
+	f := s.view.Load()
+	fh := FleetHealth{Closed: s.closed.Load(), RingVersion: f.ring.Version()}
+	if t := s.transition.Load(); t != nil {
+		c := *t
+		fh.Reconfig = &c
+	}
+	for _, st := range f.shards {
 		st.mu.Lock()
 		sh := ShardHealth{
 			Shard:    st.id,
@@ -423,7 +529,7 @@ func (s *Supervisor) Health() FleetHealth {
 		}
 	}
 	alive := 0
-	for _, st := range s.shards {
+	for _, st := range f.shards {
 		if !st.permanentlyFailed() {
 			alive++
 		}
@@ -431,6 +537,16 @@ func (s *Supervisor) Health() FleetHealth {
 	fh.Failed = alive == 0
 	return fh
 }
+
+// exitKind classifies why serveChild returned.
+type exitKind int
+
+const (
+	exitCrashed  exitKind = iota // child died unplanned (or failed to drain)
+	exitShutdown                 // supervisor Close
+	exitRetired                  // planned retirement drain completed
+	exitRolled                   // planned rolling-restart drain completed
+)
 
 // shardState is one shard's supervision state: its dispatch queue, the
 // calls in flight on the current child, and the crash accounting that
@@ -441,25 +557,40 @@ type shardState struct {
 	breaker *serve.Breaker
 	backoff *serve.Backoff
 
-	mu       sync.Mutex
-	queue    []*call            // accepted, not yet written to a live child
-	sent     map[string][]*call // written, awaiting responses (FIFO per key)
-	failed   bool               // permanent: MaxRestarts consecutive unproven starts
-	restarts int                // consecutive unproven (re)starts
-	total    int64              // restarts over the shard's lifetime (never resets)
-	epoch    int64              // child incarnation: 1 on first start, +1 per restart
-	up       bool               // a child is currently alive
-	pid      int                // current child's PID; 0 when down
-	kick     chan struct{}
+	// retireCh is closed (once) to request retirement; rollCh carries
+	// planned-restart requests; gone closes when the runner exits for
+	// good. lifeCtx cancels with retirement so a backoff sleep aborts
+	// promptly.
+	retireOnce sync.Once
+	retireCh   chan struct{}
+	rollCh     chan struct{}
+	gone       chan struct{}
+	lifeCtx    context.Context
+	lifeStop   context.CancelFunc
+
+	mu          sync.Mutex
+	queue       []*call            // accepted, not yet written to a live child
+	sent        map[string][]*call // written, awaiting responses (FIFO per key)
+	failed      bool               // permanent: MaxRestarts consecutive unproven starts
+	retired     bool               // terminal: planned retirement completed
+	paused      bool               // flush suspended during a planned drain
+	restarts    int                // consecutive unproven (re)starts
+	total       int64              // restarts over the shard's lifetime (never resets)
+	epoch       int64              // child incarnation: 1 on first start, +1 per restart
+	provenEpoch int64              // latest epoch that answered (pong or response)
+	up          bool               // a child is currently alive
+	pid         int                // current child's PID; 0 when down
+	kick        chan struct{}
 }
 
 // routeable reports whether new traffic should land on this shard: not
-// permanently failed and not crash-looping (breaker closed).
+// terminal (permanently failed or retired) and not crash-looping
+// (breaker closed).
 func (st *shardState) routeable() bool {
 	st.mu.Lock()
-	failed := st.failed
+	terminal := st.failed || st.retired
 	st.mu.Unlock()
-	return !failed && st.breaker.State() == serve.Closed
+	return !terminal && !st.retireRequested() && st.breaker.State() == serve.Closed
 }
 
 func (st *shardState) permanentlyFailed() bool {
@@ -468,15 +599,62 @@ func (st *shardState) permanentlyFailed() bool {
 	return st.failed
 }
 
+// requestRetire asks the runner to drain and exit for good; idempotent.
+func (st *shardState) requestRetire() {
+	st.retireOnce.Do(func() {
+		close(st.retireCh)
+		st.lifeStop()
+	})
+}
+
+func (st *shardState) retireRequested() bool {
+	select {
+	case <-st.retireCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// requestRoll asks the runner to drain the current child and start a
+// fresh one without crash accounting; coalesces while one is pending.
+func (st *shardState) requestRoll() {
+	select {
+	case st.rollCh <- struct{}{}:
+	default:
+	}
+}
+
+func (st *shardState) setPaused(v bool) {
+	st.mu.Lock()
+	st.paused = v
+	st.mu.Unlock()
+	if !v {
+		st.wake()
+	}
+}
+
+func (st *shardState) sentLen() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, cs := range st.sent {
+		n += len(cs)
+	}
+	return n
+}
+
 func (st *shardState) enqueue(c *call) {
 	st.mu.Lock()
-	if st.failed {
-		// The shard was abandoned between routing and enqueue; bounce the
-		// call along its failover sequence rather than stranding it on a
-		// runner that has already exited. Recursion terminates: failed
-		// shards are never returned as targets.
+	if st.failed || st.retired {
+		// The shard became terminal between routing and enqueue; bounce
+		// the call along its failover sequence rather than stranding it
+		// on a runner that has already exited. Recursion terminates:
+		// terminal shards are never returned as targets.
 		st.mu.Unlock()
 		switch {
+		case c.pinned:
+			c.done <- callResult{err: fmt.Errorf("shard %d: pinned call %q: %w", st.id, c.key, ErrNoShards)}
 		case st.failoverEnqueue(c):
 		default:
 			c.done <- callResult{err: ErrNoShards}
@@ -492,14 +670,14 @@ func (st *shardState) enqueue(c *call) {
 // preferring the key's ring sequence; reports false when the rest of the
 // fleet is permanently failed too.
 func (st *shardState) failoverEnqueue(c *call) bool {
-	if to := st.failoverTarget(c.key); to >= 0 {
+	if to := st.failoverTarget(c.key); to != nil {
 		st.sup.m.Counter("shard.rerouted").Inc()
-		st.sup.shards[to].enqueue(c)
+		to.enqueue(c)
 		return true
 	}
-	if to := st.anyOtherAlive(); to >= 0 {
+	if to := st.anyOtherAlive(); to != nil {
 		st.sup.m.Counter("shard.rerouted").Inc()
-		st.sup.shards[to].enqueue(c)
+		to.enqueue(c)
 		return true
 	}
 	return false
@@ -513,15 +691,20 @@ func (st *shardState) wake() {
 }
 
 // run is the shard's supervision loop: start a child, serve it until it
-// dies, account the crash, back off, repeat — until shutdown or the
-// shard is abandoned as permanently failed.
+// dies, account the crash, back off, repeat — until shutdown, planned
+// retirement, or the shard is abandoned as permanently failed.
 func (st *shardState) run() {
-	defer st.sup.wg.Done()
+	defer close(st.gone)
+	defer st.lifeStop()
 	for {
 		select {
 		case <-st.sup.done:
 			return
 		default:
+		}
+		if st.retireRequested() {
+			st.finishRetire()
+			return
 		}
 		st.mu.Lock()
 		attempt := st.restarts
@@ -532,9 +715,18 @@ func (st *shardState) run() {
 			st.mu.Lock()
 			st.total++
 			st.mu.Unlock()
-			if err := st.backoff.Sleep(context.Background(), st.sup.done, attempt-1); err != nil {
+			if err := st.backoff.Sleep(st.lifeCtx, st.sup.done, attempt-1); err != nil {
+				if st.retireRequested() {
+					st.finishRetire()
+				}
 				return
 			}
+		}
+		if st.sup.closed.Load() {
+			// Close fired while we were between children (e.g. during the
+			// backoff sleep's final tick): starting a child now would
+			// orphan it past Close's reaping snapshot.
+			return
 		}
 		p, err := st.startChild()
 		if err != nil {
@@ -544,15 +736,41 @@ func (st *shardState) run() {
 			}
 			continue
 		}
-		shutdown := st.serveChild(p)
-		if shutdown {
+		switch st.serveChild(p) {
+		case exitShutdown:
 			return
-		}
-		fmt.Fprintf(st.sup.cfg.Stderr, "vs2d: shard %d: child exited unexpectedly; restarting\n", st.id)
-		if st.crashed() {
+		case exitRetired:
+			st.finishRetire()
 			return
+		case exitRolled:
+			st.setPaused(false)
+			st.sup.m.Counter(obs.Name("shard.reconfig.rolled", st.label())).Inc()
+			continue
+		case exitCrashed:
+			st.setPaused(false)
+			fmt.Fprintf(st.sup.cfg.Stderr, "vs2d: shard %d: child exited unexpectedly; restarting\n", st.id)
+			abandoned := st.crashed()
+			if st.retireRequested() {
+				st.finishRetire()
+				return
+			}
+			if abandoned {
+				return
+			}
 		}
 	}
+}
+
+// finishRetire marks the shard terminally retired and pushes any
+// straggling queued calls (enqueued in the race window while routing
+// flipped) to the surviving fleet.
+func (st *shardState) finishRetire() {
+	st.mu.Lock()
+	st.retired = true
+	st.mu.Unlock()
+	st.reroute()
+	st.sup.m.Counter("shard.reconfig.retired").Inc()
+	fmt.Fprintf(st.sup.cfg.Stderr, "vs2d: shard %d: retired\n", st.id)
 }
 
 // crashed accounts one unproven child (failed start, or an exit before
@@ -600,7 +818,9 @@ func (st *shardState) crashed() bool {
 // documents replay their cached lines, the rest re-extract. Each call
 // accounts the crash it just rode through; calls at the PoisonAfter
 // threshold are returned for quarantine instead of requeued — the
-// caller delivers their failures outside the lock.
+// caller delivers their failures outside the lock. Pinned calls
+// (adoptions) are exempt from quarantine: they must ride every restart
+// of their shard.
 func (st *shardState) requeueSentLocked() (poisoned []*call) {
 	if len(st.sent) == 0 {
 		return nil
@@ -610,7 +830,7 @@ func (st *shardState) requeueSentLocked() (poisoned []*call) {
 	for _, cs := range st.sent {
 		for _, c := range cs {
 			c.crashes++
-			if limit > 0 && c.crashes >= limit {
+			if limit > 0 && c.crashes >= limit && !c.pinned {
 				poisoned = append(poisoned, c)
 				continue
 			}
@@ -627,21 +847,27 @@ func (st *shardState) requeueSentLocked() (poisoned []*call) {
 
 // reroute drains this shard's queue onto live shards along each key's
 // failover sequence. Calls with nowhere to go stay queued here (the
-// fleet is merely degraded), unless this shard is permanently failed and
-// no shard can ever take them — those fail with ErrNoShards.
+// fleet is merely degraded), unless this shard is terminal — permanently
+// failed or retired — and no shard can ever take them — those fail with
+// ErrNoShards. Pinned calls never reroute: they wait for this shard's
+// restart, or fail when the shard is terminal.
 func (st *shardState) reroute() {
 	st.mu.Lock()
 	work := st.queue
 	st.queue = nil
-	failed := st.failed
+	terminal := st.failed || st.retired
 	st.mu.Unlock()
 	var kept []*call
 	for _, c := range work {
 		switch {
-		case !failed:
-			if to := st.failoverTarget(c.key); to >= 0 {
+		case c.pinned && !terminal:
+			kept = append(kept, c)
+		case c.pinned:
+			c.done <- callResult{err: fmt.Errorf("shard %d: pinned call %q: %w", st.id, c.key, ErrNoShards)}
+		case !terminal:
+			if to := st.failoverTarget(c.key); to != nil {
 				st.sup.m.Counter("shard.rerouted").Inc()
-				st.sup.shards[to].enqueue(c)
+				to.enqueue(c)
 			} else {
 				kept = append(kept, c)
 			}
@@ -659,43 +885,85 @@ func (st *shardState) reroute() {
 }
 
 // failoverTarget finds the first routeable shard other than this one
-// along the key's ring sequence; -1 when none is routeable.
-func (st *shardState) failoverTarget(key string) int {
-	for dist, id := range st.sup.ring.Sequence(key) {
-		if id == st.id {
+// along the key's ring sequence in the current view; nil when none is
+// routeable.
+func (st *shardState) failoverTarget(key string) *shardState {
+	f := st.sup.view.Load()
+	for dist, id := range f.ring.Sequence(key) {
+		other := f.shards[id]
+		if other == st {
 			continue
 		}
-		if st.sup.shards[id].routeable() {
+		if other.routeable() {
 			st.sup.m.Histogram("shard.reroute.distance", RerouteBuckets).Observe(float64(dist))
-			return id
+			return other
 		}
 	}
-	return -1
+	return nil
 }
 
-// anyOtherAlive finds any non-permanently-failed shard other than this
-// one; -1 when the rest of the fleet is gone too.
-func (st *shardState) anyOtherAlive() int {
-	for _, other := range st.sup.shards {
-		if other.id != st.id && !other.permanentlyFailed() {
-			return other.id
+// anyOtherAlive finds any non-terminal shard other than this one in the
+// current view; nil when the rest of the fleet is gone too.
+func (st *shardState) anyOtherAlive() *shardState {
+	f := st.sup.view.Load()
+	for _, other := range f.shards {
+		if other == st {
+			continue
+		}
+		other.mu.Lock()
+		terminal := other.failed || other.retired
+		other.mu.Unlock()
+		if !terminal {
+			return other
 		}
 	}
-	return -1
+	return nil
 }
 
 // markLive records proof of life from the current child — a pong or a
-// response — resetting the consecutive-restart streak and walking the
-// breaker back toward closed (half-open probe then success) once its
-// cooldown has elapsed.
-func (st *shardState) markLive() {
+// response — resetting the consecutive-restart streak, advancing the
+// proven epoch (what Scale and Roll wait on before flipping routing or
+// moving to the next shard), and walking the breaker back toward closed
+// (half-open probe then success) once its cooldown has elapsed.
+func (st *shardState) markLive(epoch int64) {
 	st.mu.Lock()
 	st.restarts = 0
+	if epoch > st.provenEpoch {
+		st.provenEpoch = epoch
+	}
 	st.mu.Unlock()
 	if st.breaker.State() == serve.Closed {
 		st.breaker.Success()
 	} else if st.breaker.Allow() {
 		st.breaker.Success()
+	}
+}
+
+// waitProven blocks until a child with epoch > after proves liveness
+// (pong or response) — the gate both Scale (routing flips only once the
+// new shard answers) and Roll (next shard only once the restarted one
+// answers) stand behind.
+func (st *shardState) waitProven(ctx context.Context, after int64, done <-chan struct{}) error {
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		st.mu.Lock()
+		proven := st.provenEpoch
+		failed := st.failed
+		st.mu.Unlock()
+		if proven > after {
+			return nil
+		}
+		if failed {
+			return fmt.Errorf("shard %d permanently failed", st.id)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-done:
+			return ErrClosed
+		case <-t.C:
+		}
 	}
 }
 
@@ -711,6 +979,7 @@ type proc struct {
 	exited   chan struct{}
 	waitErr  error
 	killOnce sync.Once
+	draining atomic.Bool  // planned drain in progress: the prober stands down
 	lastSeen atomic.Int64 // unix nanos of the latest pong or response
 }
 
@@ -796,9 +1065,9 @@ func (st *shardState) label() obs.Label {
 // serveChild pumps one child for its whole life: a reader goroutine
 // dispatches keyed responses, a prober enforces the liveness deadline,
 // and the loop body writes queued requests. It returns once the child
-// has exited and its output is fully drained — true when the exit was a
-// supervisor shutdown, false when it was a crash.
-func (st *shardState) serveChild(p *proc) (shutdown bool) {
+// has exited and its output is fully drained, classified by why the
+// child went down (crash, Close, retirement, roll).
+func (st *shardState) serveChild(p *proc) exitKind {
 	st.mu.Lock()
 	epoch := st.epoch
 	st.mu.Unlock()
@@ -814,33 +1083,71 @@ func (st *shardState) serveChild(p *proc) (shutdown bool) {
 	go st.readResponses(p, epoch, readerDone)
 	proberDone := make(chan struct{})
 	go st.probe(p, proberDone)
-	// Work requeued from the previous incarnation (and anything enqueued
-	// while the shard was down) must flush even if the kick was already
-	// consumed.
+	// A planned drain (roll) may have paused flushing on the previous
+	// child; this incarnation starts fresh. Work requeued from the
+	// previous incarnation (and anything enqueued while the shard was
+	// down) must flush even if the kick was already consumed.
+	st.setPaused(false)
 	st.wake()
-	defer func() {
+	// graceful closes stdin so the child finishes in-flight work,
+	// journals it and exits; a straggler is killed after the grace
+	// period. The prober stands down first — its pings would hit the
+	// closed pipe and kill a child that is draining legitimately.
+	graceful := func() {
+		p.draining.Store(true)
+		p.stdin.Close() //nolint:errcheck
+		grace := time.NewTimer(st.sup.cfg.DrainGrace)
+		defer grace.Stop()
+		select {
+		case <-p.exited:
+		case <-grace.C:
+			p.kill()
+		}
+	}
+	// join waits out the child and both pumps; responses written before
+	// the child exited are all delivered once join returns.
+	join := func() {
 		p.stdin.Close() //nolint:errcheck
 		<-p.exited
 		<-readerDone
 		<-proberDone
-	}()
+	}
 	for {
 		select {
 		case <-p.exited:
-			return false
+			join()
+			return exitCrashed
 		case <-st.sup.done:
-			// Graceful drain: EOF on stdin lets the child finish in-flight
-			// work, journal it and exit; a straggler is killed after the
-			// grace period.
-			p.stdin.Close() //nolint:errcheck
-			grace := time.NewTimer(st.sup.cfg.DrainGrace)
-			defer grace.Stop()
-			select {
-			case <-p.exited:
-			case <-grace.C:
-				p.kill()
+			graceful()
+			join()
+			return exitShutdown
+		case <-st.retireCh:
+			// Retirement: routing has already flipped away from this
+			// shard. Push queued-but-unsent work to the survivors, then
+			// drain the in-flight tail through the exiting child.
+			st.setPaused(true)
+			st.reroute()
+			before := st.sentLen()
+			graceful()
+			join()
+			if drained := before - st.sentLen(); drained > 0 {
+				st.sup.m.Counter("shard.reconfig.drained").Add(int64(drained))
 			}
-			return true
+			if st.sentLen() > 0 {
+				// The child died (or hung past grace) with answers owed:
+				// fall back to the crash path so the survivors re-serve
+				// the leftovers exactly once.
+				return exitCrashed
+			}
+			return exitRetired
+		case <-st.rollCh:
+			st.setPaused(true)
+			graceful()
+			join()
+			if st.sentLen() > 0 {
+				return exitCrashed
+			}
+			return exitRolled
 		case <-st.kick:
 			if !st.flush(p) {
 				// A write failed: the child is dying. Kill it and let the
@@ -853,11 +1160,12 @@ func (st *shardState) serveChild(p *proc) (shutdown bool) {
 
 // flush writes every queued request to the child, moving each call to
 // the sent map before its bytes hit the pipe so a response can never
-// arrive for an untracked key. Reports false on the first write error.
+// arrive for an untracked key. A paused shard (draining for a planned
+// transition) holds its queue. Reports false on the first write error.
 func (st *shardState) flush(p *proc) bool {
 	for {
 		st.mu.Lock()
-		if len(st.queue) == 0 {
+		if st.paused || len(st.queue) == 0 {
 			st.mu.Unlock()
 			return true
 		}
@@ -865,7 +1173,7 @@ func (st *shardState) flush(p *proc) bool {
 		st.queue = st.queue[1:]
 		st.sent[c.key] = append(st.sent[c.key], c)
 		st.mu.Unlock()
-		if err := p.write(Request{Key: c.key, Doc: c.doc, Span: c.span, Level: c.level}); err != nil {
+		if err := p.write(Request{Key: c.key, Doc: c.doc, Span: c.span, Level: c.level, Adopt: c.adopt}); err != nil {
 			return false
 		}
 	}
@@ -885,7 +1193,7 @@ func (st *shardState) readResponses(p *proc, epoch int64, done chan<- struct{}) 
 			return // EOF or a torn line from a dying child
 		}
 		p.lastSeen.Store(time.Now().UnixNano())
-		st.markLive()
+		st.markLive(epoch)
 		if r.Telemetry != nil {
 			st.sup.m.Counter(obs.Name("shard.telemetry.shipments", st.label())).Inc()
 			if cb := st.sup.cfg.OnTelemetry; cb != nil {
@@ -924,12 +1232,17 @@ func (st *shardState) deliver(r Response) {
 		st.sup.m.Counter("shard.response.orphans").Inc()
 		return
 	}
+	if r.Err != "" {
+		c.done <- callResult{err: fmt.Errorf("shard %d: %s", st.id, r.Err)}
+		return
+	}
 	c.done <- callResult{line: append([]byte(nil), r.Line...)}
 }
 
 // probe enforces the liveness deadline: a ping every ProbeInterval, and
 // a kill when the child has neither ponged nor responded within
-// ProbeTimeout. A negative interval disables active probing.
+// ProbeTimeout. A negative interval disables active probing; a planned
+// drain stands the prober down (the drain grace period polices hangs).
 func (st *shardState) probe(p *proc, done chan<- struct{}) {
 	defer close(done)
 	if st.sup.cfg.ProbeInterval < 0 {
@@ -944,6 +1257,9 @@ func (st *shardState) probe(p *proc, done chan<- struct{}) {
 		case <-st.sup.done:
 			return
 		case <-t.C:
+			if p.draining.Load() {
+				return
+			}
 			if time.Since(time.Unix(0, p.lastSeen.Load())) > st.sup.cfg.ProbeTimeout {
 				st.sup.m.Counter("shard.probe.timeouts").Inc()
 				fmt.Fprintf(st.sup.cfg.Stderr, "vs2d: shard %d: liveness probe deadline exceeded; killing child\n", st.id)

@@ -46,6 +46,15 @@ func TestMain(m *testing.M) {
 //	                       stamped with the request's Span as parent_span
 //	SHARD_POISON_KEY=k     exit(3) on receiving key k, every incarnation —
 //	                       a deterministic poison document
+//	SHARD_SLOW=ms          sleep that long before answering each document
+//	                       (pings stay instant) — drain-window widener
+//	SHARD_ADOPT_FAIL=1     answer Adopt requests with an error instead of
+//	                       merging
+//
+// Adopt requests are simulated against the filesystem: the worker counts
+// the lines of the file at the adopt path, removes it, and answers with
+// that count — 0 when the file is already gone, mirroring the idempotent
+// re-adoption of a real journal merge.
 func echoWorker() int {
 	if os.Getenv("SHARD_FAIL_START") != "" {
 		return 9
@@ -79,6 +88,26 @@ func echoWorker() int {
 			writeJSON(out, Response{Pong: true})
 			continue
 		}
+		if req.Adopt != "" {
+			if os.Getenv("SHARD_ADOPT_FAIL") != "" {
+				writeJSON(out, Response{Key: req.Key, Err: "adopt refused by test worker"})
+				continue
+			}
+			merged := 0
+			if data, err := os.ReadFile(req.Adopt); err == nil {
+				for _, b := range data {
+					if b == '\n' {
+						merged++
+					}
+				}
+				os.Remove(req.Adopt) //nolint:errcheck
+			}
+			writeJSON(out, Response{Key: req.Key, Adopted: merged})
+			continue
+		}
+		if ms, _ := strconv.Atoi(os.Getenv("SHARD_SLOW")); ms > 0 {
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+		}
 		if crashOnce != "" {
 			if _, err := os.Stat(crashOnce); os.IsNotExist(err) {
 				os.WriteFile(crashOnce, []byte("crashed\n"), 0o644) //nolint:errcheck
@@ -88,7 +117,7 @@ func echoWorker() int {
 		if pk := os.Getenv("SHARD_POISON_KEY"); pk != "" && req.Key == pk {
 			return 3 // the document itself kills the worker, deterministically
 		}
-		line, _ := json.Marshal(map[string]any{"id": req.Key, "pid": os.Getpid() != 0, "level": req.Level})
+		line, _ := json.Marshal(map[string]any{"id": req.Key, "pid": os.Getpid(), "level": req.Level})
 		writeJSON(out, Response{Key: req.Key, Line: line})
 		answered++
 		if telemetry {

@@ -37,6 +37,14 @@ type Request struct {
 	// runs. Zero (omitted) means full fidelity; workers whose ladder is
 	// off ignore it.
 	Level int `json:"level,omitempty"`
+	// Adopt asks the worker to merge the retired journal at this path —
+	// already transferred to the worker's owner label — into its own
+	// journal and remove the source: the successor's half of a planned
+	// shard handoff during scale-in. The request carries Key like a
+	// document so the ack rides the per-key FIFO exactly-once accounting;
+	// a worker killed mid-adoption sees the request again after restart
+	// and re-merges idempotently.
+	Adopt string `json:"adopt,omitempty"`
 }
 
 // Response is one line a shard worker sends back.
@@ -49,6 +57,14 @@ type Response struct {
 	Line json.RawMessage `json:"line,omitempty"`
 	// Pong answers a Ping.
 	Pong bool `json:"pong,omitempty"`
+	// Adopted acknowledges an Adopt request: how many journal entries the
+	// worker merged from the retired journal (0 when the source was
+	// already gone — a crashed-and-retried adoption).
+	Adopted int `json:"adopted,omitempty"`
+	// Err carries an adoption failure (e.g. an ownership mismatch); the
+	// supervisor surfaces it to the Scale caller. Document failures ride
+	// inside Line, never here.
+	Err string `json:"err,omitempty"`
 	// Telemetry is a periodic observability shipment riding the same
 	// response pipe: metric deltas since the worker's last shipment plus
 	// the span trees completed since then. Telemetry lines carry no Key.

@@ -1,0 +1,294 @@
+package vs2
+
+// Rebalance chaos harness for live fleet reconfiguration: a real vs2d
+// front end serves a batch while the harness resizes the fleet under it
+// — 3 shards out to 5 through POST /admin/scale, then in to 2 — and
+// SIGKILLs a random shard inside the transition window at randomized
+// delays. Odd iterations also roll the fleet via SIGHUP between the two
+// scales. The merged stdout must stay byte-identical to an undisturbed
+// 3-shard run, every document emitted exactly once: resharding moves
+// keys, drains retirees through their exiting children, hands retired
+// journals to live successors and survives a kill at any point in that
+// dance without losing, duplicating or reordering a line.
+//
+// Shares the process-fleet helpers of shard_chaos_test.go (build,
+// pidfiles, admin scrapes). Subprocess-heavy: runs only in the full
+// suite (`make reshard-chaos`); -short skips it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// adminPost POSTs one admin endpoint. Reconfigurations block until the
+// transition completes, so the client waits well past -reconfig-timeout.
+func adminPost(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := http.Client{Timeout: 3 * time.Minute}
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		return 0, err.Error()
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body) //nolint:errcheck
+	return resp.StatusCode, body.String()
+}
+
+// outputIDs parses the id of every emitted line, failing on any line
+// that is not a well-formed document result.
+func outputIDs(t *testing.T, out []byte) []string {
+	t.Helper()
+	var ids []string
+	for _, line := range bytes.Split(bytes.TrimSpace(out), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var l DocLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			t.Fatalf("unparseable output line %q: %v", line, err)
+		}
+		ids = append(ids, l.ID)
+	}
+	return ids
+}
+
+// sumMetric sums every sample of one family in a Prometheus exposition
+// (labelled series included) and reports how many series matched.
+func sumMetric(body, family string) (sum float64, series int) {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, family+"{") && !strings.HasPrefix(line, family+" ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			sum += v
+			series++
+		}
+	}
+	return sum, series
+}
+
+// TestReshardChaos is the acceptance test of the live-reconfiguration
+// PR: scale 3 -> 5 -> 2 under traffic with a SIGKILL landing inside the
+// transition at >= 8 randomized offsets, and the output never changes.
+func TestReshardChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reshard chaos spawns real process fleets; skipped in -short")
+	}
+	bin := buildVS2DBinary(t)
+	corpus := chaosCorpus(t, 90)
+	lines := bytes.Split(bytes.TrimSpace(corpus), []byte("\n"))
+	if len(lines) != 90 {
+		t.Fatalf("corpus has %d lines, want 90", len(lines))
+	}
+
+	golden := runVS2D(t, bin, corpus, t.TempDir())
+	goldenIDs := outputIDs(t, golden)
+	if len(goldenIDs) != 90 {
+		t.Fatalf("golden run emitted %d lines, want 90", len(goldenIDs))
+	}
+
+	rnd := rand.New(rand.NewSource(2207)) // seeded: a failure reproduces
+	const iterations = 9
+	landed := 0
+	var finalMetrics string
+	for i := 0; i < iterations; i++ {
+		state := t.TempDir()
+		cmd := exec.Command(bin, vs2dArgs(state, "-admin", "127.0.0.1:0")...)
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+		reaped := false
+		defer func() {
+			if reaped {
+				return
+			}
+			stdin.Close()      //nolint:errcheck
+			cmd.Process.Kill() //nolint:errcheck
+			<-exited
+		}()
+		base := "http://" + waitAdminAddr(t, state)
+		feed := func(from, to int) {
+			if _, err := stdin.Write(append(bytes.Join(lines[from:to], []byte("\n")), '\n')); err != nil {
+				t.Fatalf("iteration %d: feeding lines %d..%d: %v", i, from, to, err)
+			}
+		}
+
+		// Wave 1 lands on the original 3-shard fleet, then the fleet grows
+		// to 5 under that traffic.
+		feed(0, 30)
+		if code, body := adminPost(t, base+"/admin/scale?shards=5"); code != http.StatusOK {
+			t.Fatalf("iteration %d: scale to 5: HTTP %d, body %s\nstderr:\n%s", i, code, body, stderr.String())
+		}
+
+		// Odd iterations roll the grown fleet via SIGHUP — the roll
+		// serializes with the scale-in below, in whichever order the
+		// reconfig mutex settles.
+		rolled := i%2 == 1
+		if rolled {
+			if err := cmd.Process.Signal(syscall.SIGHUP); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Wave 2 keeps documents in flight while the fleet shrinks to 2;
+		// a SIGKILL lands on a random shard inside the transition window.
+		feed(30, 50)
+		scaleDone := make(chan struct {
+			code int
+			body string
+		}, 1)
+		go func() {
+			code, body := adminPost(t, base+"/admin/scale?shards=2")
+			scaleDone <- struct {
+				code int
+				body string
+			}{code, body}
+		}()
+		feed(50, 80)
+		hit := false
+		var res struct {
+			code int
+			body string
+		}
+		done := false
+		armDeadline := time.Now().Add(30 * time.Second)
+		for !done && !hit {
+			select {
+			case res = <-scaleDone:
+				done = true
+			default:
+			}
+			if done {
+				break
+			}
+			if _, body := adminGet(t, base+"/metrics"); body != "" {
+				if v, ok := metricValue(body, "shard_reconfig_active"); ok && v == 1 {
+					// Inside a transition: wait a randomized offset, then kill
+					// a random member of the 5-shard fleet — a draining
+					// retiree, an adopting successor, or a rolling child.
+					time.Sleep(time.Duration(rnd.Intn(60)) * time.Millisecond)
+					target := rnd.Intn(5)
+					if pid := shardPid(state, target); pid > 0 && syscall.Kill(pid, syscall.SIGKILL) == nil {
+						hit = true
+						landed++
+						t.Logf("iteration %d: SIGKILLed shard %d mid-transition", i, target)
+					}
+				}
+			}
+			if time.Now().After(armDeadline) {
+				t.Fatalf("iteration %d: scale to 2 neither completed nor showed an active transition", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if !done {
+			res = <-scaleDone
+		}
+		if res.code != http.StatusOK {
+			t.Fatalf("iteration %d: scale to 2: HTTP %d, body %s\nstderr:\n%s", i, res.code, res.body, stderr.String())
+		}
+
+		// Every transition settles — scale_out, scale_in and, when sent,
+		// the roll — before the tail wave proves the 2-shard fleet serves.
+		wantEpoch := float64(2)
+		if rolled {
+			wantEpoch = 3
+		}
+		finalMetrics = waitScrape(t, base+"/metrics", "reconfigurations settled", func(code int, body string) bool {
+			active, aok := metricValue(body, "shard_reconfig_active")
+			epoch, eok := metricValue(body, "shard_reconfig_epoch")
+			return code == http.StatusOK && aok && active == 0 && eok && epoch == wantEpoch
+		})
+
+		// The epoch-stamped reconfig series must tell the transition story.
+		for _, want := range []string{
+			`shard_reconfig_transitions{epoch="`,
+			`kind="scale_out"`,
+			`kind="scale_in"`,
+		} {
+			if !strings.Contains(finalMetrics, want) {
+				t.Fatalf("iteration %d: /metrics missing %q:\n%s", i, want, finalMetrics)
+			}
+		}
+		if v, ok := metricValue(finalMetrics, "shard_ring_version"); !ok || v != 3 {
+			t.Fatalf("iteration %d: shard_ring_version = %v (ok %v), want 3 after two resizes", i, v, ok)
+		}
+		if sum, _ := sumMetric(finalMetrics, "shard_reconfig_retired"); sum != 3 {
+			t.Fatalf("iteration %d: shard_reconfig_retired = %v, want 3 (shards 2..4)", i, sum)
+		}
+		if sum, _ := sumMetric(finalMetrics, "shard_reconfig_handoffs"); sum != 3 {
+			t.Fatalf("iteration %d: shard_reconfig_handoffs = %v, want 3 journal handoffs", i, sum)
+		}
+
+		feed(80, 90)
+		if err := stdin.Close(); err != nil {
+			t.Fatal(err)
+		}
+		err = <-exited
+		reaped = true
+		if err != nil {
+			t.Fatalf("iteration %d: front end failed: %v\nstderr:\n%s", i, err, stderr.String())
+		}
+
+		// Exactly-once accounting before the byte-level diff, so a
+		// lost or duplicated document names itself.
+		counts := map[string]int{}
+		for _, id := range outputIDs(t, stdout.Bytes()) {
+			counts[id]++
+		}
+		for _, id := range goldenIDs {
+			if counts[id] != 1 {
+				t.Errorf("iteration %d: document %q emitted %d times, want exactly once", i, id, counts[id])
+			}
+			delete(counts, id)
+		}
+		for id, n := range counts {
+			t.Errorf("iteration %d: unexpected document %q emitted %d times", i, id, n)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+		if !bytes.Equal(golden, stdout.Bytes()) {
+			t.Fatalf("iteration %d (rolled %v, kill landed %v): reshard output differs\n-- golden --\n%s\n-- chaos --\n%s",
+				i, rolled, hit, golden, stdout.Bytes())
+		}
+	}
+	t.Logf("reshard chaos: %d/%d kills landed inside a transition", landed, iterations)
+	if landed == 0 {
+		t.Fatal("no SIGKILL ever landed inside a reconfiguration; the harness is not exercising the rebalance path")
+	}
+
+	// The CI workflow points VS2_CHAOS_ARTIFACTS at a directory and
+	// uploads whatever lands there: the last iteration's scrape carries
+	// the full epoch-stamped shard.reconfig.* story.
+	if dir := os.Getenv("VS2_CHAOS_ARTIFACTS"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatalf("artifacts dir: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "reshard-chaos-metrics.prom"), []byte(finalMetrics), 0o644); err != nil {
+			t.Fatalf("artifacts metrics: %v", err)
+		}
+	}
+}
